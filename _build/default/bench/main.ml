@@ -1,0 +1,527 @@
+(* PPD benchmark harness: regenerates every table and figure of
+   EXPERIMENTS.md (the paper's quantitative claims plus the ablations
+   its §5.4/§7 discussions call for).
+
+   Usage:  dune exec bench/main.exe            -- everything
+           dune exec bench/main.exe -- t1 t5   -- selected experiments
+
+   Timings come from Bechamel (one Test.make per measured variant,
+   grouped per table); counts (log entries, bytes, pairs, replays) are
+   computed directly. *)
+
+open Bechamel
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel plumbing.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let measure_tests ?(quota = 0.4) (tests : Test.t) : (string * float) list =
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second quota) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let res = Analyze.all ols instance raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> e
+        | Some [] | None -> nan
+      in
+      (name, est) :: acc)
+    res []
+
+let time_of results name =
+  match List.assoc_opt name results with Some t -> t | None -> nan
+
+let fmt_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.1f µs" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let pct base v =
+  if Float.is_nan base || base = 0. then "n/a"
+  else Printf.sprintf "%+.1f%%" ((v -. base) /. base *. 100.)
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Shared run helpers.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sched = Runtime.Sched.Round_robin 4
+
+let compile = Lang.Compile.compile
+
+let run_bare prog =
+  let m = Runtime.Machine.create ~sched ~max_steps:5_000_000 prog in
+  ignore (Runtime.Machine.run m)
+
+let run_logged eb =
+  let logger = Trace.Logger.create eb in
+  let m =
+    Runtime.Machine.create ~sched ~max_steps:5_000_000
+      ~hooks:(Trace.Logger.factory logger) eb.Analysis.Eblock.prog
+  in
+  ignore (Runtime.Machine.run m)
+
+let run_logged_race eb =
+  let logger = Trace.Logger.create eb in
+  let obs = Ppd.Pardyn.observer eb.Analysis.Eblock.prog in
+  let hooks =
+    Runtime.Hooks.both (Trace.Logger.factory logger) (Ppd.Pardyn.factory obs)
+  in
+  let m =
+    Runtime.Machine.create ~sched ~max_steps:5_000_000 ~hooks
+      eb.Analysis.Eblock.prog
+  in
+  ignore (Runtime.Machine.run m)
+
+let logged_artifacts src =
+  let prog = compile src in
+  let eb = Analysis.Eblock.analyze prog in
+  let logger = Trace.Logger.create eb in
+  let ft = Trace.Full_trace.create () in
+  let hooks =
+    Runtime.Hooks.both (Trace.Logger.factory logger) (Trace.Full_trace.factory ft)
+  in
+  let m =
+    Runtime.Machine.create ~sched ~max_steps:5_000_000 ~hooks prog
+  in
+  let halt = Runtime.Machine.run m in
+  (eb, halt, Trace.Logger.finish logger, Trace.Full_trace.finish ft, m)
+
+(* The workload suite used by T1 and T2. *)
+let workloads =
+  [
+    ("matmul-12", Workloads.matmul 12);
+    ("counter-4x50", Workloads.counter ~workers:4 ~incs:50 ~mutex:true);
+    ("prodcons-300", Workloads.producer_consumer ~items:300 ~cap:8);
+    ("ring-6x12", Workloads.token_ring ~procs:6 ~rounds:12);
+    ("branchy-150", Workloads.branchy ~rounds:150);
+    ("fib-15", Workloads.fib 15);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* T1: execution-phase overhead of logging (§7: "less than 15%").       *)
+(* ------------------------------------------------------------------ *)
+
+let t1 () =
+  header "T1  Execution-phase overhead of incremental tracing (paper §7: <15%)";
+  let tests =
+    List.concat_map
+      (fun (name, src) ->
+        let prog = compile src in
+        let eb = Analysis.Eblock.analyze prog in
+        let eb54 =
+          Analysis.Eblock.analyze
+            ~policy:{ Analysis.Eblock.leaf_inline_max_stmts = 4; loop_block_min_body = 0 }
+            prog
+        in
+        [
+          Test.make ~name:(name ^ "/bare") (Staged.stage (fun () -> run_bare prog));
+          Test.make ~name:(name ^ "/logged") (Staged.stage (fun () -> run_logged eb));
+          Test.make ~name:(name ^ "/inline4")
+            (Staged.stage (fun () -> run_logged eb54));
+          Test.make ~name:(name ^ "/logged+race")
+            (Staged.stage (fun () -> run_logged_race eb));
+        ])
+      workloads
+  in
+  let results = measure_tests ~quota:0.8 (Test.make_grouped ~name:"t1" tests) in
+  row "%-14s %11s %11s %9s %11s %9s %13s %9s\n" "workload" "bare" "logged"
+    "ovh" "inline<=4" "ovh" "logged+race" "ovh";
+  List.iter
+    (fun (name, _) ->
+      let b = time_of results ("t1/" ^ name ^ "/bare") in
+      let l = time_of results ("t1/" ^ name ^ "/logged") in
+      let i = time_of results ("t1/" ^ name ^ "/inline4") in
+      let r = time_of results ("t1/" ^ name ^ "/logged+race") in
+      row "%-14s %11s %11s %9s %11s %9s %13s %9s\n" name (fmt_ns b) (fmt_ns l)
+        (pct b l) (fmt_ns i) (pct b i) (fmt_ns r) (pct b r))
+    workloads;
+  print_endline
+    "(paper's informal measurement: tracing added <15% to execution time;\n      inline<=4 applies the paper's own \xc2\xa75.4 fix: no e-blocks for small leaves)"
+
+(* ------------------------------------------------------------------ *)
+(* T2: log volume vs trace-everything (§2/§3.1).                        *)
+(* ------------------------------------------------------------------ *)
+
+let t2 () =
+  header "T2  Log volume: incremental tracing vs trace-everything baseline";
+  row "%-14s %10s %12s %12s %12s %8s\n" "workload" "log entrs" "log bytes"
+    "trace evts" "trace bytes" "ratio";
+  List.iter
+    (fun (name, src) ->
+      let _eb, _halt, log, tr, _m = logged_artifacts src in
+      let le = Trace.Log.entry_count log in
+      let lb = Trace.Log_io.measure log in
+      let te = Trace.Full_trace.nevents tr in
+      let tb = Trace.Log_io.measure_trace tr in
+      row "%-14s %10d %12d %12d %12d %7.1fx\n" name le lb te tb
+        (float_of_int tb /. float_of_int (max 1 lb)))
+    workloads
+
+(* ------------------------------------------------------------------ *)
+(* T3: e-block granularity (§5.4): execution cost vs debugging cost.    *)
+(* ------------------------------------------------------------------ *)
+
+(* Many small leaf helpers called from loops; the error at the end makes
+   a fixed flowback query possible. *)
+let granularity_src =
+  {|
+func inc(x) { return x + 1; }
+func double(x) {
+  var t = x;
+  t = t + x;
+  return t;
+}
+func dec(x) {
+  var t = x;
+  var d = 1;
+  t = t - d;
+  var chk = t + d;
+  assert(chk == x);
+  return t;
+}
+func main() {
+  var v = 1;
+  var i = 0;
+  for (i = 0; i < 40; i = i + 1) {
+    var a = inc(v);
+    var b = double(a);
+    v = dec(b);
+    if (v > 1000) {
+      v = v - 1000;
+    }
+  }
+  assert(v == 0);
+}
+|}
+
+let t3 () =
+  header "T3  E-block granularity (§5.4): leaf inlining threshold sweep";
+  row "%-10s %10s %12s %16s %16s\n" "threshold" "e-blocks" "log entries"
+    "steps (shallow)" "steps (slice)";
+  List.iter
+    (fun threshold ->
+      let prog = compile granularity_src in
+      let policy = { Analysis.Eblock.leaf_inline_max_stmts = threshold; loop_block_min_body = 0 } in
+      let eb = Analysis.Eblock.analyze ~policy prog in
+      let logger = Trace.Logger.create eb in
+      let m =
+        Runtime.Machine.create ~sched ~hooks:(Trace.Logger.factory logger) prog
+      in
+      ignore (Runtime.Machine.run m);
+      let log = Trace.Logger.finish logger in
+      let nblocks =
+        Array.fold_left (fun a b -> if b then a + 1 else a) 0 eb.is_eblock
+      in
+      (* two debugging-phase queries: a shallow one (immediate
+         dependences of the error — §3.2.3's first screen) and the full
+         slice *)
+      let ctl = Ppd.Controller.start eb log in
+      (match Ppd.Controller.last_event_node ctl ~pid:0 with
+      | Some root -> ignore (Ppd.Flowback.dependences ctl root)
+      | None -> ());
+      let shallow = Ppd.Controller.stats ctl in
+      let ctl2 = Ppd.Controller.start eb log in
+      (match Ppd.Controller.last_event_node ctl2 ~pid:0 with
+      | Some root -> ignore (Ppd.Flowback.backward_slice ctl2 root)
+      | None -> ());
+      let full = Ppd.Controller.stats ctl2 in
+      row "%-10d %10d %12d %16d %16d\n" threshold nblocks
+        (Trace.Log.entry_count log) shallow.Ppd.Controller.replay_steps
+        full.Ppd.Controller.replay_steps)
+    [ 0; 1; 3; 5; 100 ];
+  print_endline
+    "(larger blocks: fewer log entries during execution, but the first\n      debugging-phase question costs more re-execution)";
+  (* the same trade-off for loop e-blocks (§5.4's other knob): matmul's
+     nested loops dominate main, so promoting them to blocks makes the
+     first query cheap at the cost of per-loop logging *)
+  print_endline "";
+  row "%-18s %12s %16s %16s\n" "loop threshold" "log entries"
+    "steps (shallow)" "steps (slice)";
+  List.iter
+    (fun threshold ->
+      let prog = compile (Workloads.matmul 8) in
+      let policy =
+        { Analysis.Eblock.leaf_inline_max_stmts = 0;
+          loop_block_min_body = threshold }
+      in
+      let eb = Analysis.Eblock.analyze ~policy prog in
+      let logger = Trace.Logger.create eb in
+      let m =
+        Runtime.Machine.create ~sched ~hooks:(Trace.Logger.factory logger) prog
+      in
+      ignore (Runtime.Machine.run m);
+      let log = Trace.Logger.finish logger in
+      let ctl = Ppd.Controller.start eb log in
+      (match Ppd.Controller.last_event_node ctl ~pid:0 with
+      | Some root -> ignore (Ppd.Flowback.dependences ctl root)
+      | None -> ());
+      let shallow = Ppd.Controller.stats ctl in
+      let ctl2 = Ppd.Controller.start eb log in
+      (match Ppd.Controller.last_event_node ctl2 ~pid:0 with
+      | Some root -> ignore (Ppd.Flowback.backward_slice ctl2 root)
+      | None -> ());
+      let full = Ppd.Controller.stats ctl2 in
+      row "%-18s %12d %16d %16d\n"
+        (if threshold = 0 then "off" else string_of_int threshold)
+        (Trace.Log.entry_count log) shallow.Ppd.Controller.replay_steps
+        full.Ppd.Controller.replay_steps)
+    [ 0; 8; 4; 2 ];
+  print_endline
+    "(loop e-blocks let the debugger skip matmul's loop nests until asked)"
+
+(* ------------------------------------------------------------------ *)
+(* T4: bitmask vs list variable sets (§7).                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A call chain with global traffic, scaled by function count. *)
+let modref_src ~nfuncs ~nglobals =
+  let b = Buffer.create 2048 in
+  for g = 0 to nglobals - 1 do
+    Buffer.add_string b (Printf.sprintf "shared int g%d = 0;\n" g)
+  done;
+  Buffer.add_string b "func f0(x) { g0 = g0 + x; return g0; }\n";
+  for i = 1 to nfuncs - 1 do
+    Buffer.add_string b
+      (Printf.sprintf
+         "func f%d(x) { g%d = g%d + x; var y = f%d(x + 1); var z = g%d; return y + z; }\n"
+         i (i mod nglobals) (i mod nglobals) (i - 1)
+         ((i * 7) mod nglobals))
+  done;
+  Buffer.add_string b
+    (Printf.sprintf "func main() { var r = f%d(1); print(r); }\n" (nfuncs - 1));
+  Buffer.contents b
+
+let t4 () =
+  header "T4  Variable-set representation (§7): bitmask vs sorted list";
+  let sizes = [ (20, 10); (60, 30); (150, 75) ] in
+  let tests =
+    List.concat_map
+      (fun (nfuncs, nglobals) ->
+        let prog = compile (modref_src ~nfuncs ~nglobals) in
+        let module B = Analysis.Interproc.Make (Analysis.Varset.Bits) in
+        let module L = Analysis.Interproc.Make (Analysis.Varset.Lists) in
+        [
+          Test.make
+            ~name:(Printf.sprintf "%d-funcs/bitmask" nfuncs)
+            (Staged.stage (fun () -> ignore (B.compute prog)));
+          Test.make
+            ~name:(Printf.sprintf "%d-funcs/list" nfuncs)
+            (Staged.stage (fun () -> ignore (L.compute prog)));
+        ])
+      sizes
+  in
+  let results = measure_tests (Test.make_grouped ~name:"t4" tests) in
+  row "%-12s %12s %12s %10s\n" "program" "bitmask" "list" "speedup";
+  List.iter
+    (fun (nfuncs, _) ->
+      let b = time_of results (Printf.sprintf "t4/%d-funcs/bitmask" nfuncs) in
+      let l = time_of results (Printf.sprintf "t4/%d-funcs/list" nfuncs) in
+      row "%-12s %12s %12s %9.1fx\n"
+        (Printf.sprintf "%d funcs" nfuncs)
+        (fmt_ns b) (fmt_ns l) (l /. b))
+    sizes;
+  print_endline
+    "(the paper: \"bit-mask representations ... can have a large payoff\")"
+
+(* ------------------------------------------------------------------ *)
+(* T5: race detection algorithms (§7).                                  *)
+(* ------------------------------------------------------------------ *)
+
+let t5 () =
+  header "T5  All-pairs conflict detection (§7): naive vs per-variable index";
+  row "%-12s %8s %12s %12s %12s %12s %14s\n" "workload" "edges" "naive pairs"
+    "naive time" "index pairs" "index time" "static time";
+  List.iter
+    (fun workers ->
+      let src = Workloads.counter ~workers ~incs:6 ~mutex:false in
+      let prog = compile src in
+      let obs = Ppd.Pardyn.observer prog in
+      let m =
+        Runtime.Machine.create ~sched ~hooks:(Ppd.Pardyn.factory obs) prog
+      in
+      ignore (Runtime.Machine.run m);
+      let g = Ppd.Pardyn.finish obs in
+      let naive = Ppd.Race.detect ~algo:Ppd.Race.Naive g in
+      let indexed = Ppd.Race.detect ~algo:Ppd.Race.Indexed g in
+      assert (naive.Ppd.Race.races = indexed.Ppd.Race.races);
+      let tests =
+        Test.make_grouped ~name:"t5"
+          [
+            Test.make ~name:"naive"
+              (Staged.stage (fun () -> ignore (Ppd.Race.detect ~algo:Ppd.Race.Naive g)));
+            Test.make ~name:"indexed"
+              (Staged.stage (fun () ->
+                   ignore (Ppd.Race.detect ~algo:Ppd.Race.Indexed g)));
+            Test.make ~name:"static"
+              (Staged.stage (fun () ->
+                   ignore (Analysis.Static_race.analyze prog)));
+          ]
+      in
+      let results = measure_tests ~quota:0.25 tests in
+      row "%-12s %8d %12d %12s %12d %12s %14s\n"
+        (Printf.sprintf "%d workers" workers)
+        (Array.length g.Ppd.Pardyn.iedges)
+        naive.Ppd.Race.pairs_examined
+        (fmt_ns (time_of results "t5/naive"))
+        indexed.Ppd.Race.pairs_examined
+        (fmt_ns (time_of results "t5/indexed"))
+        (fmt_ns (time_of results "t5/static")))
+    [ 2; 4; 8; 16 ];
+  print_endline
+    "(static = text-only lockset analysis: schedule-independent, \
+     over-approximate)"
+
+(* ------------------------------------------------------------------ *)
+(* T6: debugging-phase query cost (§3.1, §5.3).                         *)
+(* ------------------------------------------------------------------ *)
+
+let t6 () =
+  header "T6  Flowback query cost: intervals emulated vs total";
+  row "%-16s %10s %10s %12s %14s %12s\n" "workload" "intervals" "replayed"
+    "replay steps" "trace events" "replayed %";
+  List.iter
+    (fun (name, src, query_all) ->
+      let eb, _halt, log, tr, _m = logged_artifacts src in
+      let ctl = Ppd.Controller.start eb log in
+      (match Ppd.Controller.last_event_node ctl ~pid:0 with
+      | Some root ->
+        if query_all then ignore (Ppd.Flowback.backward_slice ctl root)
+        else ignore (Ppd.Flowback.dependences ctl root)
+      | None -> ());
+      let st = Ppd.Controller.stats ctl in
+      row "%-16s %10d %10d %12d %14d %11.0f%%\n" name
+        st.Ppd.Controller.intervals_total st.Ppd.Controller.replays
+        st.Ppd.Controller.replay_steps
+        (Trace.Full_trace.nevents tr)
+        (100.
+        *. float_of_int st.Ppd.Controller.replays
+        /. float_of_int (max 1 st.Ppd.Controller.intervals_total)))
+    [
+      ("fig41/shallow", Workloads.fig41, false);
+      ("fig41/slice", Workloads.fig41, true);
+      ("deep-24/shallow", Workloads.deep_calls ~depth:24, false);
+      ("deep-24/slice", Workloads.deep_calls ~depth:24, true);
+      ("fib-10/shallow", Workloads.fib 10, false);
+      ("branchy/slice", Workloads.branchy ~rounds:60, true);
+    ];
+  print_endline
+    "(shallow queries touch few intervals; whole-slice queries expand on demand)"
+
+(* ------------------------------------------------------------------ *)
+(* T7: state restoration (§5.7).                                        *)
+(* ------------------------------------------------------------------ *)
+
+let t7 () =
+  header "T7  State restoration from postlogs vs re-execution";
+  let src = Workloads.counter ~workers:4 ~incs:40 ~mutex:true in
+  let eb, _halt, log, _tr, m = logged_artifacts src in
+  let prog = eb.Analysis.Eblock.prog in
+  let total_steps = Runtime.Machine.nsteps m in
+  row "%-14s %14s %16s %18s\n" "restore to" "log entries" "re-exec steps"
+    "restored count";
+  List.iter
+    (fun frac ->
+      let step = total_steps * frac / 100 in
+      let snap = Ppd.Restore.shared_at prog log ~step in
+      row "%13d%% %14d %16d %18s\n" frac snap.Ppd.Restore.entries_scanned step
+        (Runtime.Value.to_string snap.Ppd.Restore.globals.(0)))
+    [ 25; 50; 75; 100 ];
+  let tests =
+    Test.make_grouped ~name:"t7"
+      [
+        Test.make ~name:"restore"
+          (Staged.stage (fun () ->
+               ignore (Ppd.Restore.shared_at prog log ~step:(total_steps / 2))));
+        Test.make ~name:"re-execute"
+          (Staged.stage (fun () -> run_bare prog));
+      ]
+  in
+  let results = measure_tests ~quota:0.3 tests in
+  row "restore %s vs full re-execution %s\n"
+    (fmt_ns (time_of results "t7/restore"))
+    (fmt_ns (time_of results "t7/re-execute"))
+
+(* ------------------------------------------------------------------ *)
+(* Figures.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let f41 () =
+  header "Figure 4.1  Dynamic program dependence graph (SubD fragment)";
+  let prog = compile Workloads.fig41 in
+  let eb = Analysis.Eblock.analyze prog in
+  let logger = Trace.Logger.create eb in
+  let m =
+    Runtime.Machine.create ~sched ~hooks:(Trace.Logger.factory logger) prog
+  in
+  ignore (Runtime.Machine.run m);
+  let log = Trace.Logger.finish logger in
+  let ctl = Ppd.Controller.start eb log in
+  ignore (Ppd.Controller.last_event_node ctl ~pid:0);
+  Format.printf "%a@." Ppd.Dyn_graph.pp (Ppd.Controller.graph ctl)
+
+let f53 () =
+  header "Figure 5.3  Simplified static graph and synchronization units (foo3)";
+  let prog = compile Workloads.foo3 in
+  let f = Option.get (Lang.Prog.find_func prog "foo3") in
+  let cfg = Analysis.Cfg.build prog f in
+  Format.printf "%a@." (Analysis.Simplified.pp prog) (Analysis.Simplified.build prog cfg)
+
+let f61 () =
+  header "Figure 6.1  Parallel dynamic graph (three processes, blocking send)";
+  let prog = compile Workloads.fig61 in
+  let obs = Ppd.Pardyn.observer prog in
+  let m = Runtime.Machine.create ~sched ~hooks:(Ppd.Pardyn.factory obs) prog in
+  ignore (Runtime.Machine.run m);
+  Format.printf "%a@." Ppd.Pardyn.pp (Ppd.Pardyn.finish obs)
+
+(* ------------------------------------------------------------------ *)
+(* Driver.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("f41", f41);
+    ("f53", f53);
+    ("f61", f61);
+    ("t1", t1);
+    ("t2", t2);
+    ("t3", t3);
+    ("t4", t4);
+    ("t5", t5);
+    ("t6", t6);
+    ("t7", t7);
+  ]
+
+let () =
+  let requested =
+    Sys.argv |> Array.to_list |> List.tl
+    |> List.map String.lowercase_ascii
+    |> List.filter (fun a -> a <> "--")
+  in
+  let selected =
+    if requested = [] then experiments
+    else
+      List.filter (fun (name, _) -> List.mem name requested) experiments
+  in
+  if selected = [] then begin
+    Printf.eprintf "unknown experiment; available: %s\n"
+      (String.concat ", " (List.map fst experiments));
+    exit 1
+  end;
+  print_endline "PPD benchmark harness (Miller & Choi, PLDI 1988)";
+  List.iter (fun (_, f) -> f ()) selected

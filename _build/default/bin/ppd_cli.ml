@@ -1,0 +1,520 @@
+(* ppd — command-line front end for the Parallel Program Debugger.
+
+   Subcommands cover the three phases of the paper: `check`/`analyze`
+   (preparatory), `run`/`log` (execution), and `flowback`/`race`/
+   `deadlock`/`restore` (debugging). *)
+
+open Cmdliner
+
+let read_source path =
+  if path = "-" then In_channel.input_all In_channel.stdin
+  else In_channel.with_open_text path In_channel.input_all
+
+let compile_or_die src =
+  match Lang.Compile.compile_result src with
+  | Ok p -> p
+  | Error (loc, msg) ->
+    Format.eprintf "%a@." Lang.Diag.pp_error (loc, msg);
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"MPL source file ('-' for stdin).")
+
+let sched_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "rr"; q ] -> (
+      match int_of_string_opt q with
+      | Some q when q > 0 -> Ok (Runtime.Sched.Round_robin q)
+      | _ -> Error (`Msg "rr quantum must be a positive integer"))
+    | [ "random"; seed ] -> (
+      match int_of_string_opt seed with
+      | Some seed -> Ok (Runtime.Sched.Random_seed seed)
+      | None -> Error (`Msg "random seed must be an integer"))
+    | _ -> Error (`Msg "expected rr:<quantum> or random:<seed>")
+  in
+  let print ppf = function
+    | Runtime.Sched.Round_robin q -> Format.fprintf ppf "rr:%d" q
+    | Runtime.Sched.Random_seed s -> Format.fprintf ppf "random:%d" s
+    | Runtime.Sched.Scripted _ -> Format.fprintf ppf "scripted"
+  in
+  Arg.conv (parse, print)
+
+let sched_arg =
+  Arg.(
+    value
+    & opt sched_conv Runtime.Sched.default
+    & info [ "sched" ] ~docv:"POLICY"
+        ~doc:"Scheduler: rr:<quantum> or random:<seed>.")
+
+let steps_arg =
+  Arg.(
+    value
+    & opt int 1_000_000
+    & info [ "max-steps" ] ~docv:"N" ~doc:"Execution step budget.")
+
+let inline_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "inline-leaves" ] ~docv:"N"
+        ~doc:
+          "Leaf functions with at most N statements are inlined into \
+           their callers' e-blocks (\u{00A7}5.4).")
+
+let loops_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "loop-blocks" ] ~docv:"N"
+        ~doc:
+          "While loops spanning at least N statements become their own \
+           e-blocks (\u{00A7}5.4); 0 disables.")
+
+let policy_of ?(loops = 0) inline =
+  { Analysis.Eblock.leaf_inline_max_stmts = inline; loop_block_min_body = loops }
+
+let break_arg =
+  Arg.(
+    value
+    & opt_all int []
+    & info [ "break" ] ~docv:"SID"
+        ~doc:
+          "Halt after statement SID executes (repeatable); use `ppd \
+           analyze --show cfg` to find statement ids.")
+
+let session_of ?loops ?(breakpoints = []) file sched steps inline =
+  let src = read_source file in
+  let prog = compile_or_die src in
+  Ppd.Session.of_program ~sched ~max_steps:steps
+    ~policy:(policy_of ?loops inline)
+    ~breakpoints prog
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_cmd =
+  let run file =
+    match Lang.Diag.protect (fun () -> Lang.Parser.parse_program (read_source file)) with
+    | Error (loc, msg) ->
+      Format.eprintf "%a@." Lang.Diag.pp_error (loc, msg);
+      exit 1
+    | Ok ast -> print_string (Lang.Pp_ast.program_to_string ast)
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse an MPL file and pretty-print it back.")
+    Term.(const run $ file_arg)
+
+let check_cmd =
+  let run file =
+    let p = compile_or_die (read_source file) in
+    Printf.printf
+      "ok: %d function(s), %d statement(s), %d variable(s), %d shared, %d \
+       semaphore(s), %d channel(s)\n"
+      (Array.length p.Lang.Prog.funcs)
+      (Array.length p.stmts) p.nvars
+      (Array.length p.globals) (Array.length p.sems) (Array.length p.chans)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Compile (parse, resolve, type-check) an MPL file.")
+    Term.(const run $ file_arg)
+
+let analyze_cmd =
+  let func_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "func" ] ~docv:"NAME" ~doc:"Restrict output to one function.")
+  in
+  let what_arg =
+    Arg.(
+      value
+      & opt (enum [ ("cfg", `Cfg); ("pdg", `Pdg); ("simplified", `Simplified);
+                    ("eblocks", `Eblocks); ("modref", `Modref) ])
+          `Eblocks
+      & info [ "show" ] ~docv:"WHAT"
+          ~doc:"What to print: cfg, pdg, simplified, eblocks or modref.")
+  in
+  let run file func what inline =
+    let p = compile_or_die (read_source file) in
+    let eb = Analysis.Eblock.analyze ~policy:(policy_of inline) p in
+    let selected (f : Lang.Prog.func) =
+      match func with None -> true | Some n -> String.equal n f.fname
+    in
+    match what with
+    | `Eblocks -> Format.printf "%a@." Analysis.Eblock.pp_summary eb
+    | `Cfg ->
+      Array.iter
+        (fun f ->
+          if selected f then
+            Format.printf "%a@." Analysis.Cfg.pp eb.Analysis.Eblock.cfgs.(f.fid))
+        p.funcs
+    | `Pdg ->
+      let pdgs = Analysis.Static_pdg.build_program p in
+      Array.iter
+        (fun (f : Lang.Prog.func) ->
+          if selected f then
+            Format.printf "%a@."
+              (Analysis.Static_pdg.pp p)
+              pdgs.Analysis.Static_pdg.pdgs.(f.fid))
+        p.funcs
+    | `Simplified ->
+      Array.iter
+        (fun (f : Lang.Prog.func) ->
+          if selected f then
+            Format.printf "%a@."
+              (Analysis.Simplified.pp p)
+              eb.Analysis.Eblock.simplified.(f.fid))
+        p.funcs
+    | `Modref ->
+      Array.iter
+        (fun (f : Lang.Prog.func) ->
+          if selected f then
+            Format.printf "%s: GMOD=%a GREF=%a@." f.fname
+              (Analysis.Varset.pp_named p)
+              eb.Analysis.Eblock.summary.Analysis.Interproc.gmod.(f.fid)
+              (Analysis.Varset.pp_named p)
+              eb.Analysis.Eblock.summary.Analysis.Interproc.gref.(f.fid))
+        p.funcs
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Print the preparatory-phase analyses (static graphs, e-blocks).")
+    Term.(const run $ file_arg $ func_arg $ what_arg $ inline_arg)
+
+let run_cmd =
+  let run file sched steps =
+    let p = compile_or_die (read_source file) in
+    let m = Runtime.Machine.create ~sched ~max_steps:steps p in
+    let halt = Runtime.Machine.run m in
+    print_string (Runtime.Machine.output m);
+    (match halt with
+    | Runtime.Machine.Finished -> ()
+    | h ->
+      Format.eprintf "%s@."
+        (match h with
+        | Runtime.Machine.Finished -> assert false
+        | Runtime.Machine.Out_of_fuel -> "stopped: step budget exhausted"
+        | Runtime.Machine.Breakpoint { pid; sid } ->
+          Printf.sprintf "breakpoint in process %d at s%d" pid sid
+        | Runtime.Machine.Deadlock _ -> "stopped: deadlock (try `ppd deadlock`)"
+        | Runtime.Machine.Fault { pid; msg; _ } ->
+          Printf.sprintf "fault in process %d: %s" pid msg);
+      exit 2)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute an MPL program without instrumentation.")
+    Term.(const run $ file_arg $ sched_arg $ steps_arg)
+
+let log_cmd =
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"PATH" ~doc:"Also save the log to PATH.")
+  in
+  let run file sched steps inline loops save =
+    let s = session_of ~loops file sched steps inline in
+    print_endline (Ppd.Session.explain_halt s);
+    let log = Ppd.Session.log s in
+    Format.printf "%a@." (Trace.Log.pp (Ppd.Session.prog s)) log;
+    Printf.printf "%d entries, %d bytes serialized\n"
+      (Trace.Log.entry_count log) (Trace.Log_io.measure log);
+    match save with
+    | None -> ()
+    | Some path ->
+      Trace.Log_io.save path log;
+      Printf.printf "saved to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "log"
+       ~doc:"Run with incremental-tracing instrumentation and dump the log.")
+    Term.(
+      const run $ file_arg $ sched_arg $ steps_arg $ inline_arg $ loops_arg
+      $ save_arg)
+
+let flowback_cmd =
+  let depth_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "depth" ] ~docv:"N" ~doc:"Dependence tree depth.")
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"PATH"
+          ~doc:"Write the dynamic graph as Graphviz dot to PATH.")
+  in
+  let run file sched steps inline loops depth dot =
+    let s = session_of ~loops file sched steps inline in
+    print_endline (Ppd.Session.explain_halt s);
+    match Ppd.Session.error_node s with
+    | None -> print_endline "no events to debug"
+    | Some root ->
+      let ctl = Ppd.Session.controller s in
+      Format.printf "%a@." (Ppd.Flowback.pp_explain ~max_depth:depth ctl) root;
+      let st = Ppd.Controller.stats ctl in
+      Printf.printf "emulated %d of %d log intervals (%d replay steps)\n"
+        st.Ppd.Controller.replays st.Ppd.Controller.intervals_total
+        st.Ppd.Controller.replay_steps;
+      (match dot with
+      | None -> ()
+      | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc
+              (Ppd.Dyn_graph.to_dot (Ppd.Controller.graph ctl)));
+        Printf.printf "dynamic graph written to %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "flowback"
+       ~doc:
+         "Run the program, then explain the halt by flowback analysis \
+          over the dynamic dependence graph.")
+    Term.(
+      const run $ file_arg $ sched_arg $ steps_arg $ inline_arg $ loops_arg
+      $ depth_arg $ dot_arg)
+
+let race_cmd =
+  let algo_arg =
+    Arg.(
+      value
+      & opt (enum [ ("naive", Ppd.Race.Naive); ("indexed", Ppd.Race.Indexed) ])
+          Ppd.Race.Indexed
+      & info [ "algo" ] ~docv:"ALGO" ~doc:"naive or indexed detector.")
+  in
+  let static_arg =
+    Arg.(
+      value & flag
+      & info [ "static" ]
+          ~doc:
+            "Report potential races from the program text (lockset \
+             analysis) instead of executing.")
+  in
+  let run file sched steps algo static =
+    if static then begin
+      let p = compile_or_die (read_source file) in
+      let reports = Analysis.Static_race.analyze p in
+      Format.printf "%a@." (Analysis.Static_race.pp_report p) reports;
+      if reports <> [] then exit 3
+    end
+    else begin
+      let s = session_of file sched steps 0 in
+      print_endline (Ppd.Session.explain_halt s);
+      let pd = Ppd.Session.pardyn s in
+      let stats = Ppd.Race.detect ~algo pd in
+      Format.printf "%a@." (Ppd.Race.pp_report pd) stats.Ppd.Race.races;
+      Printf.printf "(%d edge pairs examined)\n" stats.Ppd.Race.pairs_examined;
+      if stats.Ppd.Race.races <> [] then exit 3
+    end
+  in
+  Cmd.v
+    (Cmd.info "race"
+       ~doc:
+         "Detect data races: dynamically over one execution \
+          (\u{00A7}6.4) or statically from the text (--static, \
+          \u{00A7}7).")
+    Term.(const run $ file_arg $ sched_arg $ steps_arg $ algo_arg $ static_arg)
+
+let deadlock_cmd =
+  let run file sched steps =
+    let s = session_of file sched steps 0 in
+    print_endline (Ppd.Session.explain_halt s);
+    let a = Ppd.Session.deadlock s in
+    Format.printf "%a@." (Ppd.Deadlock.pp (Ppd.Session.prog s)) a;
+    if Ppd.Deadlock.is_deadlocked a then exit 4
+  in
+  Cmd.v
+    (Cmd.info "deadlock" ~doc:"Run the program and analyze deadlock causes.")
+    Term.(const run $ file_arg $ sched_arg $ steps_arg)
+
+let restore_cmd =
+  let step_arg =
+    Arg.(
+      value & opt int max_int
+      & info [ "at-step" ] ~docv:"N"
+          ~doc:"Machine step to restore to (default: end of execution).")
+  in
+  let run file sched steps at_step =
+    let s = session_of file sched steps 0 in
+    print_endline (Ppd.Session.explain_halt s);
+    let p = Ppd.Session.prog s in
+    let snap = Ppd.Restore.shared_at p (Ppd.Session.log s) ~step:at_step in
+    Printf.printf "shared store at step %s:\n"
+      (if at_step = max_int then "end" else string_of_int at_step);
+    Array.iteri
+      (fun slot v ->
+        Printf.printf "  %s = %s\n" p.Lang.Prog.globals.(slot).vname
+          (Runtime.Value.to_string v))
+      snap.Ppd.Restore.globals
+  in
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:"Reconstruct the shared store from postlogs (\u{00A7}5.7).")
+    Term.(const run $ file_arg $ sched_arg $ steps_arg $ step_arg)
+
+let whatif_cmd =
+  let pid_arg =
+    Arg.(value & opt int 0 & info [ "pid" ] ~docv:"PID" ~doc:"Process id.")
+  in
+  let iv_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "interval" ] ~docv:"N"
+          ~doc:"Log interval id (default: the process's root block).")
+  in
+  let set_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string int) []
+      & info [ "set" ] ~docv:"VAR=N"
+          ~doc:"Force a variable to a value at the restored prelog state \
+                (repeatable).")
+  in
+  let run file sched steps pid iv sets =
+    let s = session_of file sched steps 0 in
+    print_endline (Ppd.Session.explain_halt s);
+    let iv_id =
+      if iv >= 0 then iv
+      else
+        let ivs = Trace.Log.intervals (Ppd.Session.log s) ~pid in
+        (Array.to_list ivs
+        |> List.find (fun i -> i.Trace.Log.iv_parent = None))
+          .Trace.Log.iv_id
+    in
+    match Ppd.Session.what_if s ~pid ~iv_id ~overrides:sets with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok o ->
+      Printf.printf "what-if replay of process %d interval %d with %s:\n" pid
+        iv_id
+        (if sets = [] then "no changes"
+         else
+           String.concat ", "
+             (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) sets));
+      (match o.Ppd.Emulator.fault with
+      | Some f -> Printf.printf "  halted: %s\n" f
+      | None -> Printf.printf "  completed (%d events)\n"
+          (List.length o.Ppd.Emulator.events));
+      if o.Ppd.Emulator.output <> "" then
+        Printf.printf "  output:\n%s"
+          (String.concat ""
+             (List.map (fun l -> "    " ^ l ^ "\n")
+                (String.split_on_char '\n'
+                   (String.trim o.Ppd.Emulator.output))))
+  in
+  Cmd.v
+    (Cmd.info "whatif"
+       ~doc:
+         "Re-execute one log interval with modified values (\u{00A7}5.7's \
+          experiment) and report the divergent behaviour.")
+    Term.(const run $ file_arg $ sched_arg $ steps_arg $ pid_arg $ iv_arg $ set_arg)
+
+let debug_cmd =
+  let script_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"PATH"
+          ~doc:"Read debugger commands from PATH instead of stdin.")
+  in
+  let run file sched steps inline loops breakpoints script =
+    let s = session_of ~loops ~breakpoints file sched steps inline in
+    print_endline (Ppd.Session.explain_halt s);
+    let dbg = Ppd.Debugger.create s in
+    print_endline (Ppd.Debugger.eval dbg "where");
+    let input =
+      match script with
+      | Some path -> In_channel.with_open_text path In_channel.input_lines
+      | None ->
+        print_endline "(type `help` for commands, `quit` to leave)";
+        []
+    in
+    let interactive = script = None in
+    let rec loop lines =
+      let line =
+        match lines with
+        | l :: _ -> Some l
+        | [] ->
+          if interactive then begin
+            print_string "ppd> ";
+            In_channel.input_line In_channel.stdin
+          end
+          else None
+      in
+      match line with
+      | None -> ()
+      | Some l ->
+        if Ppd.Debugger.is_quit l then print_endline "bye"
+        else begin
+          (if not interactive then Printf.printf "ppd> %s\n" l);
+          print_endline (Ppd.Debugger.eval dbg l);
+          loop (match lines with _ :: rest -> rest | [] -> [])
+        end
+    in
+    loop input
+  in
+  Cmd.v
+    (Cmd.info "debug"
+       ~doc:
+         "Run the program, then debug it interactively with flowback \
+          queries over the log (the \u{00A7}3.2.3 loop).")
+    Term.(
+      const run $ file_arg $ sched_arg $ steps_arg $ inline_arg $ loops_arg
+      $ break_arg $ script_arg)
+
+let examples_cmd =
+  let run () =
+    print_endline "bundled example programs (print with `ppd example NAME`):";
+    List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Workloads.all_fixed
+  in
+  Cmd.v (Cmd.info "examples" ~doc:"List bundled example programs.")
+    Term.(const run $ const ())
+
+let example_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Example name.")
+  in
+  let run name =
+    match List.assoc_opt name Workloads.all_fixed with
+    | Some src -> print_string src
+    | None ->
+      Printf.eprintf "unknown example %s\n" name;
+      exit 1
+  in
+  Cmd.v (Cmd.info "example" ~doc:"Print a bundled example program.")
+    Term.(const run $ name_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "ppd" ~version:"1.0.0"
+       ~doc:
+         "Parallel Program Debugger: flowback analysis with incremental \
+          tracing (Miller & Choi, PLDI 1988).")
+    [
+      parse_cmd;
+      check_cmd;
+      analyze_cmd;
+      run_cmd;
+      log_cmd;
+      flowback_cmd;
+      race_cmd;
+      deadlock_cmd;
+      restore_cmd;
+      whatif_cmd;
+      debug_cmd;
+      examples_cmd;
+      example_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

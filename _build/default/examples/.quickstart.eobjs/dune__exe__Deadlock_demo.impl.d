@@ -1,0 +1,1 @@
+examples/deadlock_demo.ml: Format Ppd Printf Runtime Workloads

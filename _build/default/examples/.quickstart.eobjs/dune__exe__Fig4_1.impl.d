@@ -1,0 +1,1 @@
+examples/fig4_1.ml: Format Ppd Printf Workloads

@@ -1,0 +1,1 @@
+examples/pipeline.ml: Array Format Lang List Option Ppd Printf Runtime Workloads

@@ -1,0 +1,1 @@
+examples/restore_demo.ml: Array Lang List Ppd Printf Runtime Trace Workloads

@@ -1,0 +1,1 @@
+examples/restore_demo.mli:

@@ -1,0 +1,1 @@
+examples/whatif_demo.ml: Array Lang List Ppd Printf Runtime Trace

@@ -1,0 +1,51 @@
+(* Quickstart: compile an MPL program, run it under the PPD logger, and
+   use flowback analysis to explain the error — without re-executing the
+   program.
+
+   The program computes min3(7, 3, 5) and asserts a wrong expectation,
+   so execution faults at the assert; flowback walks the causal chain
+   from the failed assert back through the call to the inputs. *)
+
+let src = Workloads.buggy_min
+
+let () =
+  print_endline "=== source ===";
+  print_string src;
+
+  (* Phases 1+2: preparatory (compile + analyses) and execution (logged
+     run). The Session module packages §3.2's pipeline. *)
+  let session = Ppd.Session.run src in
+  Printf.printf "\n=== execution ===\n%s\n" (Ppd.Session.explain_halt session);
+
+  (* How little was traced: the log vs the events that actually ran. *)
+  let log = Ppd.Session.log session in
+  Printf.printf "log entries: %d (every other event will be regenerated \
+                 on demand)\n"
+    (Trace.Log.entry_count log);
+
+  (* Phase 3: debugging. The controller builds the dynamic dependence
+     graph incrementally, starting at the last executed statement. *)
+  let ctl = Ppd.Session.controller session in
+  match Ppd.Session.error_node session with
+  | None -> print_endline "nothing to debug"
+  | Some root ->
+    print_endline "\n=== flowback ===";
+    Format.printf "%a@." (Ppd.Flowback.pp_explain ~max_depth:3 ctl) root;
+
+    (* Expand the min3 sub-graph node to see inside the call. *)
+    let g = Ppd.Controller.graph ctl in
+    let subgraphs = ref [] in
+    for i = 0 to Ppd.Dyn_graph.nnodes g - 1 do
+      match (Ppd.Dyn_graph.node g i).Ppd.Dyn_graph.nd_kind with
+      | Ppd.Dyn_graph.N_subgraph _ -> subgraphs := i :: !subgraphs
+      | _ -> ()
+    done;
+    List.iter (fun n -> ignore (Ppd.Controller.expand_subgraph ctl n)) !subgraphs;
+    print_endline "=== flowback after expanding the call ===";
+    Format.printf "%a@." (Ppd.Flowback.pp_explain ~max_depth:5 ctl) root;
+
+    let st = Ppd.Controller.stats ctl in
+    Printf.printf
+      "incremental tracing: emulated %d of %d log intervals (%d steps)\n"
+      st.Ppd.Controller.replays st.Ppd.Controller.intervals_total
+      st.Ppd.Controller.replay_steps

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Array Int Lang List

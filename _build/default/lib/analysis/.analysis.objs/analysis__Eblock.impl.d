@@ -1,0 +1,1 @@
+lib/analysis/eblock.ml: Array Callgraph Cfg Format Hashtbl Int Interproc Lang List Live Simplified Use_def Varset

@@ -1,0 +1,1 @@
+lib/analysis/eblock.mli: Callgraph Cfg Format Hashtbl Interproc Lang Simplified Varset

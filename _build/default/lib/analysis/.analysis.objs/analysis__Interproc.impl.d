@@ -1,0 +1,1 @@
+lib/analysis/interproc.ml: Array Callgraph Lang List Use_def Varset

@@ -1,0 +1,1 @@
+lib/analysis/live.ml: Array Bitset Cfg Dataflow Lang List Use_def Varset

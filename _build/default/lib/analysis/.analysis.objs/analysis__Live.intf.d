@@ -1,0 +1,1 @@
+lib/analysis/live.mli: Bitset Cfg Lang Varset

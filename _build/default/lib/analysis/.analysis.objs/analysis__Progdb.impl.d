@@ -1,0 +1,1 @@
+lib/analysis/progdb.ml: Array Callgraph Format Interproc Lang List Printf String Use_def

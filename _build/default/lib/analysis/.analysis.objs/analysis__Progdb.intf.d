@@ -1,0 +1,1 @@
+lib/analysis/progdb.mli: Callgraph Format Interproc Lang

@@ -1,0 +1,1 @@
+lib/analysis/reaching_defs.ml: Array Bitset Cfg Dataflow Int Interproc Lang List Use_def

@@ -1,0 +1,1 @@
+lib/analysis/reaching_defs.mli: Bitset Cfg Interproc Lang

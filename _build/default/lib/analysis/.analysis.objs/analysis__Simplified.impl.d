@@ -1,0 +1,1 @@
+lib/analysis/simplified.ml: Array Cfg Format Hashtbl Lang List Printf String Use_def Varset

@@ -1,0 +1,1 @@
+lib/analysis/simplified.mli: Cfg Format Hashtbl Lang Varset

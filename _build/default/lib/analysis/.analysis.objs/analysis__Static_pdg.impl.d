@@ -1,0 +1,1 @@
+lib/analysis/static_pdg.ml: Array Cfg Dominance Format Interproc Lang List Reaching_defs

@@ -1,0 +1,1 @@
+lib/analysis/static_pdg.mli: Cfg Dominance Format Interproc Lang Reaching_defs

@@ -1,0 +1,1 @@
+lib/analysis/static_race.ml: Array Bitset Callgraph Cfg Dataflow Format Fun Hashtbl Lang List Printf String Use_def

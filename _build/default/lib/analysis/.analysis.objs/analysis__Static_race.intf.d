@@ -1,0 +1,1 @@
+lib/analysis/static_race.mli: Cfg Format Lang

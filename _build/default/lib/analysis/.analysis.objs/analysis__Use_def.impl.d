@@ -1,0 +1,1 @@
+lib/analysis/use_def.ml: Lang List

@@ -1,0 +1,1 @@
+lib/analysis/varset.ml: Array Bitset Format Int Lang List

@@ -1,0 +1,1 @@
+lib/analysis/varset.mli: Format Lang

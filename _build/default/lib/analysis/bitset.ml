@@ -1,0 +1,127 @@
+type t = { n : int; words : int array }
+
+let word_bits = Sys.int_size (* 63 on 64-bit systems *)
+
+let nwords n = (n + word_bits - 1) / word_bits
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { n; words = Array.make (nwords n) 0 }
+
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of universe %d" i t.n)
+
+let add t i =
+  check t i;
+  t.words.(i / word_bits) <- t.words.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+let remove t i =
+  check t i;
+  t.words.(i / word_bits) <-
+    t.words.(i / word_bits) land lnot (1 lsl (i mod word_bits))
+
+let mem t i =
+  check t i;
+  t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w lsr 1) (acc + (w land 1)) in
+  go w 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let copy t = { n = t.n; words = Array.copy t.words }
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let same_universe a b =
+  if a.n <> b.n then invalid_arg "Bitset: universe mismatch"
+
+let union_into ~dst src =
+  same_universe dst src;
+  let changed = ref false in
+  for i = 0 to Array.length dst.words - 1 do
+    let w = dst.words.(i) lor src.words.(i) in
+    if w <> dst.words.(i) then begin
+      dst.words.(i) <- w;
+      changed := true
+    end
+  done;
+  !changed
+
+let inter_into ~dst src =
+  same_universe dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land src.words.(i)
+  done
+
+let diff_into ~dst src =
+  same_universe dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land lnot src.words.(i)
+  done
+
+let union a b =
+  let r = copy a in
+  ignore (union_into ~dst:r b);
+  r
+
+let inter a b =
+  let r = copy a in
+  inter_into ~dst:r b;
+  r
+
+let diff a b =
+  let r = copy a in
+  diff_into ~dst:r b;
+  r
+
+let equal a b = a.n = b.n && a.words = b.words
+
+let subset a b =
+  same_universe a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land lnot b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let disjoint a b =
+  same_universe a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    if t.words.(w) <> 0 then
+      for b = 0 to word_bits - 1 do
+        if t.words.(w) land (1 lsl b) <> 0 then f ((w * word_bits) + b)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n l =
+  let t = create n in
+  List.iter (add t) l;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (elements t)

@@ -1,0 +1,96 @@
+module P = Lang.Prog
+
+type t = {
+  calls : int list array;
+  spawns : int list array;
+  callers : int list array;
+  call_sites : (int * int) list array;
+}
+
+let compute (p : P.t) =
+  let n = Array.length p.funcs in
+  let calls = Array.make n [] in
+  let spawns = Array.make n [] in
+  let call_sites = Array.make n [] in
+  Array.iter
+    (fun (f : P.func) ->
+      P.iter_stmts
+        (fun s ->
+          match s.desc with
+          | P.Scall (_, c) ->
+            calls.(f.fid) <- c.callee :: calls.(f.fid);
+            call_sites.(f.fid) <- (s.sid, c.callee) :: call_sites.(f.fid)
+          | P.Sspawn (_, c) -> spawns.(f.fid) <- c.callee :: spawns.(f.fid)
+          | P.Sassign _ | P.Sjoin _ | P.Sif _ | P.Swhile _ | P.Sreturn _
+          | P.Sp _ | P.Sv _ | P.Ssend _ | P.Srecv _ | P.Sprint _ | P.Sassert _
+            ->
+            ())
+        f.body)
+    p.funcs;
+  let dedup l = List.sort_uniq Int.compare l in
+  let calls = Array.map dedup calls in
+  let spawns = Array.map dedup spawns in
+  let callers = Array.make n [] in
+  Array.iteri
+    (fun f cs -> List.iter (fun g -> callers.(g) <- f :: callers.(g)) cs)
+    calls;
+  { calls; spawns; callers; call_sites }
+
+let is_leaf t fid = t.calls.(fid) = []
+
+(* Tarjan's SCC algorithm, iterative-enough for our sizes (recursion
+   depth is bounded by the call-graph size). *)
+let sccs t =
+  let n = Array.length t.calls in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let comp = Array.make n (-1) in
+  let comps = ref [] in
+  let ncomps = ref 0 in
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      t.calls.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> assert false
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          comp.(w) <- !ncomps;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      let members = pop [] in
+      incr ncomps;
+      comps := members :: !comps
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  (* Tarjan emits components in reverse topological order already
+     (a component is finished only after everything it reaches);
+     [comps] was accumulated by prepending, so reverse it back. *)
+  (comp, List.rev !comps)
+
+let is_recursive t fid =
+  List.mem fid t.calls.(fid)
+  ||
+  let comp, comps = sccs t in
+  List.exists
+    (fun members -> List.length members > 1 && comp.(fid) = comp.(List.hd members))
+    comps

@@ -1,0 +1,30 @@
+(** Call graph over MPL functions.
+
+    [call] edges come from [x = f(..)] / [f(..);] statements; [spawn]
+    edges from process creation. The two are kept apart because a
+    spawned function runs in a {e different process}: its effects on
+    shared variables are not part of the caller's e-block (they are
+    ordered by synchronization edges instead, §6). *)
+
+type t = {
+  calls : int list array;  (** fid -> callee fids (deduplicated) *)
+  spawns : int list array;  (** fid -> spawned fids (deduplicated) *)
+  callers : int list array;  (** fid -> caller fids via [calls] *)
+  call_sites : (int * int) list array;
+      (** fid -> (sid, callee) for every call statement *)
+}
+
+val compute : Lang.Prog.t -> t
+
+val is_leaf : t -> int -> bool
+(** A leaf makes no calls (spawns permitted): candidate for the paper's
+    §5.4 "don't make e-blocks out of small leaf subroutines" policy. *)
+
+val sccs : t -> int array * int list list
+(** Tarjan strongly-connected components over [calls] edges. Returns
+    [(comp, comps)] where [comp.(fid)] is the component index and
+    [comps] lists components in reverse topological order (callees
+    before callers), each as its member fids. *)
+
+val is_recursive : t -> int -> bool
+(** Member of a non-trivial SCC, or directly self-recursive. *)

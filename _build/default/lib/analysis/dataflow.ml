@@ -1,0 +1,49 @@
+type direction = Forward | Backward
+
+type result = {
+  live_in : Bitset.t array;
+  live_out : Bitset.t array;
+  iterations : int;
+}
+
+let solve ~nnodes ~preds ~succs ~direction ~gen ~kill ~universe ~boundary =
+  (* Normalise to a forward problem over [flow_preds]/[flow_succs]. *)
+  let flow_preds, flow_succs =
+    match direction with Forward -> (preds, succs) | Backward -> (succs, preds)
+  in
+  let in_ = Array.init nnodes (fun _ -> Bitset.create universe) in
+  let out = Array.init nnodes (fun _ -> Bitset.create universe) in
+  List.iter (fun (n, fact) -> ignore (Bitset.union_into ~dst:in_.(n) fact)) boundary;
+  (* Simple worklist: push all nodes, recompute until stable. *)
+  let queue = Queue.create () in
+  let queued = Array.make nnodes false in
+  let push n =
+    if not queued.(n) then begin
+      queued.(n) <- true;
+      Queue.add n queue
+    end
+  in
+  for n = 0 to nnodes - 1 do
+    push n
+  done;
+  let iterations = ref 0 in
+  while not (Queue.is_empty queue) do
+    let n = Queue.take queue in
+    queued.(n) <- false;
+    incr iterations;
+    (* in(n) = ∪ out(flow_pred) joined with any boundary seed already
+       stored in in_(n). *)
+    List.iter
+      (fun p -> ignore (Bitset.union_into ~dst:in_.(n) out.(p)))
+      (flow_preds n);
+    let fresh = Bitset.copy in_.(n) in
+    Bitset.diff_into ~dst:fresh (kill n);
+    ignore (Bitset.union_into ~dst:fresh (gen n));
+    if not (Bitset.equal fresh out.(n)) then begin
+      ignore (Bitset.union_into ~dst:out.(n) fresh);
+      List.iter push (flow_succs n)
+    end
+  done;
+  match direction with
+  | Forward -> { live_in = in_; live_out = out; iterations = !iterations }
+  | Backward -> { live_in = out; live_out = in_; iterations = !iterations }

@@ -1,0 +1,29 @@
+(** Iterative bit-vector dataflow framework.
+
+    Solves gen/kill problems with union as the join, in either
+    direction, using a FIFO worklist. This is the engine behind
+    {!Reaching_defs} and {!Live} (the "data flow analysis commonly used
+    in optimizing compilers" the paper leans on, §1/§3.1). *)
+
+type direction = Forward | Backward
+
+type result = {
+  live_in : Bitset.t array;  (** fact at node entry (forward: join of preds) *)
+  live_out : Bitset.t array;  (** fact at node exit *)
+  iterations : int;  (** node visits until fixpoint, for benchmarks *)
+}
+
+val solve :
+  nnodes:int ->
+  preds:(int -> int list) ->
+  succs:(int -> int list) ->
+  direction:direction ->
+  gen:(int -> Bitset.t) ->
+  kill:(int -> Bitset.t) ->
+  universe:int ->
+  boundary:(int * Bitset.t) list ->
+  result
+(** [solve ...] computes the maximal-fixpoint solution of
+    [out(n) = gen(n) ∪ (in(n) \ kill(n))] with
+    [in(n) = ⋃ out(pred n)] (direction-adjusted). [boundary] seeds the
+    in-fact of the given nodes (e.g. ENTRY for forward problems). *)

@@ -1,0 +1,113 @@
+type t = { idom : int array; root : int; order : int array }
+
+(* Reverse postorder of the subgraph reachable from [root]. *)
+let rev_postorder ~nnodes ~succs ~root =
+  let visited = Array.make nnodes false in
+  let out = ref [] in
+  (* Iterative DFS with an explicit stack of (node, remaining succs). *)
+  let rec visit n =
+    if not visited.(n) then begin
+      visited.(n) <- true;
+      List.iter visit (succs n);
+      out := n :: !out
+    end
+  in
+  visit root;
+  Array.of_list !out
+
+let compute ~nnodes ~succs ~root =
+  let rpo = rev_postorder ~nnodes ~succs ~root in
+  let order = Array.make nnodes (-1) in
+  Array.iteri (fun rank n -> order.(n) <- rank) rpo;
+  (* Predecessor lists restricted to reachable nodes. *)
+  let preds = Array.make nnodes [] in
+  Array.iter
+    (fun n ->
+      List.iter
+        (fun s -> if order.(s) >= 0 then preds.(s) <- n :: preds.(s))
+        (succs n))
+    rpo;
+  let idom = Array.make nnodes (-1) in
+  idom.(root) <- root;
+  let rec intersect a b =
+    if a = b then a
+    else if order.(a) > order.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun n ->
+        if n <> root then begin
+          let new_idom =
+            List.fold_left
+              (fun acc p ->
+                if idom.(p) = -1 then acc
+                else match acc with
+                  | None -> Some p
+                  | Some a -> Some (intersect a p))
+              None preds.(n)
+          in
+          match new_idom with
+          | None -> ()
+          | Some d ->
+            if idom.(n) <> d then begin
+              idom.(n) <- d;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  { idom; root; order }
+
+let dominates t a b =
+  if t.idom.(b) = -1 || t.idom.(a) = -1 then false
+  else begin
+    let rec up n = if n = a then true else if n = t.root then false else up t.idom.(n) in
+    up b
+  end
+
+let children t =
+  let kids = Array.make (Array.length t.idom) [] in
+  Array.iteri
+    (fun n d -> if d >= 0 && n <> t.root then kids.(d) <- n :: kids.(d))
+    t.idom;
+  kids
+
+let dominators (cfg : Cfg.t) =
+  compute ~nnodes:(Cfg.nnodes cfg) ~succs:(Cfg.succ_ids cfg) ~root:cfg.entry
+
+let postdominators (cfg : Cfg.t) =
+  compute ~nnodes:(Cfg.nnodes cfg) ~succs:(Cfg.pred_ids cfg) ~root:cfg.exit
+
+let control_deps (cfg : Cfg.t) (pdom : t) =
+  let deps = Array.make (Cfg.nnodes cfg) [] in
+  Array.iteri
+    (fun u out ->
+      List.iter
+        (fun (v, label) ->
+          (* Skip edges whose endpoints can't reach EXIT. *)
+          if pdom.idom.(u) >= 0 && pdom.idom.(v) >= 0 then
+            if not (dominates pdom v u) then begin
+              let stop = pdom.idom.(u) in
+              let rec walk w =
+                if w <> stop then begin
+                  deps.(w) <- (u, label) :: deps.(w);
+                  if w <> pdom.root then walk pdom.idom.(w)
+                end
+              in
+              walk v
+            end)
+        out)
+    cfg.succs;
+  (* Statements governed by no branch are control dependent on ENTRY. *)
+  let reach = Cfg.reachable cfg in
+  Array.iteri
+    (fun n k ->
+      match k with
+      | Cfg.Stmt _ when deps.(n) = [] && Bitset.mem reach n ->
+        deps.(n) <- [ (cfg.entry, Cfg.Seq) ]
+      | Cfg.Stmt _ | Cfg.Entry | Cfg.Exit -> ())
+    cfg.kinds;
+  deps

@@ -1,0 +1,36 @@
+(** Dominator trees via the Cooper–Harvey–Kennedy algorithm.
+
+    Generic over any rooted digraph given as successor lists, so the
+    same code computes dominators (over the CFG from ENTRY) and
+    postdominators (over the reversed CFG from EXIT). Nodes unreachable
+    from the root get [idom = -1] and are ignored. *)
+
+type t = {
+  idom : int array;  (** immediate dominator; root maps to itself, unreachable nodes to [-1] *)
+  root : int;
+  order : int array;  (** reverse-postorder rank; [-1] if unreachable *)
+}
+
+val compute : nnodes:int -> succs:(int -> int list) -> root:int -> t
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does [a] dominate [b] (reflexively)? *)
+
+val children : t -> int list array
+(** Dominator-tree children. *)
+
+val postdominators : Cfg.t -> t
+(** Postdominator tree of a CFG (dominators of the reverse graph rooted
+    at EXIT). Nodes that cannot reach EXIT (e.g. bodies of infinite
+    loops) are unreachable here and get [-1]. *)
+
+val dominators : Cfg.t -> t
+
+val control_deps : Cfg.t -> t -> (int * Cfg.edge_label) list array
+(** [control_deps cfg pdom] computes, per CFG node, the list of nodes it
+    is directly control dependent on, labelled with the branch edge that
+    decides it (Ferrante–Ottenstein–Warren construction: for each CFG
+    edge [(u,v)] where [v] does not postdominate [u], every node on the
+    postdominator-tree path from [v] up to, but excluding, [ipdom(u)] is
+    control dependent on [u]). Statements not governed by any branch are
+    control dependent on ENTRY. *)

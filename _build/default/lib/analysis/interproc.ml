@@ -1,0 +1,64 @@
+module P = Lang.Prog
+
+module Make (VS : Varset.S) = struct
+  type t = { gmod : VS.t array; gref : VS.t array; iterations : int }
+
+  let compute (p : P.t) =
+    let nf = Array.length p.funcs in
+    let n = p.nvars in
+    let globals_only vars =
+      List.filter_map
+        (fun (v : P.var) -> if P.is_global v then Some v.vid else None)
+        vars
+    in
+    (* Direct per-function global effects. *)
+    let dmod =
+      Array.map (fun f -> VS.of_list n (globals_only (Use_def.func_defs f))) p.funcs
+    in
+    let dref =
+      Array.map (fun f -> VS.of_list n (globals_only (Use_def.func_uses f))) p.funcs
+    in
+    let cg = Callgraph.compute p in
+    let gmod = Array.map (fun s -> s) dmod in
+    let gref = Array.map (fun s -> s) dref in
+    (* Round-robin fixpoint; converges in O(depth of call graph) rounds
+       and handles recursion without explicit SCC ordering. *)
+    let iterations = ref 0 in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      incr iterations;
+      for f = 0 to nf - 1 do
+        List.iter
+          (fun g ->
+            let m = VS.union gmod.(f) gmod.(g) in
+            if not (VS.equal m gmod.(f)) then begin
+              gmod.(f) <- m;
+              changed := true
+            end;
+            let r = VS.union gref.(f) gref.(g) in
+            if not (VS.equal r gref.(f)) then begin
+              gref.(f) <- r;
+              changed := true
+            end)
+          cg.Callgraph.calls.(f)
+      done
+    done;
+    { gmod; gref; iterations = !iterations }
+end
+
+module Default = Make (Varset.Bits)
+
+type t = Default.t = {
+  gmod : Varset.t array;
+  gref : Varset.t array;
+  iterations : int;
+}
+
+let compute = Default.compute
+
+let to_vars (p : P.t) set = List.map (fun vid -> p.vars.(vid)) (Varset.elements set)
+
+let gmod_vars p (t : t) fid = to_vars p t.gmod.(fid)
+
+let gref_vars p (t : t) fid = to_vars p t.gref.(fid)

@@ -1,0 +1,37 @@
+(** Interprocedural MOD/REF analysis over shared (global) variables.
+
+    Following the flow-insensitive side-effect analyses the paper cites
+    (Banning '79, Cooper–Kennedy–Torczon '86): [gmod f] is the set of
+    globals possibly written during an invocation of [f], including its
+    transitive callees; [gref f] the globals possibly read. Spawned
+    functions are excluded — they execute in another process and their
+    shared accesses belong to that process's own e-blocks.
+
+    The computation is a fixpoint over the call graph (round-robin over
+    SCCs handles recursion). It is functorised over the set
+    representation to support the paper's §7 bitmask-vs-list ablation
+    (benchmark T4). *)
+
+module Make (VS : Varset.S) : sig
+  type t = {
+    gmod : VS.t array;  (** fid -> globals possibly written *)
+    gref : VS.t array;  (** fid -> globals possibly read *)
+    iterations : int;  (** fixpoint rounds, for benchmarks *)
+  }
+
+  val compute : Lang.Prog.t -> t
+end
+
+type t = {
+  gmod : Varset.t array;
+  gref : Varset.t array;
+  iterations : int;
+}
+
+val compute : Lang.Prog.t -> t
+(** Default (bitmask) instantiation. *)
+
+val gmod_vars : Lang.Prog.t -> t -> int -> Lang.Prog.var list
+(** [gmod_vars p s fid]: {!t.gmod} of [fid] as variable records. *)
+
+val gref_vars : Lang.Prog.t -> t -> int -> Lang.Prog.var list

@@ -1,0 +1,56 @@
+module P = Lang.Prog
+
+type result = {
+  at_entry : Varset.t;
+  live_in : Bitset.t array;
+  iterations : int;
+}
+
+let solve ~exit_uses_globals ?(call_uses = fun _ -> []) ?(call_defs = fun _ -> [])
+    (p : P.t) (cfg : Cfg.t) =
+  let nnodes = Cfg.nnodes cfg in
+  let universe = p.nvars in
+  let empty = Bitset.create universe in
+  let gen = Array.make nnodes empty in
+  let kill = Array.make nnodes empty in
+  let set_of vars =
+    let s = Bitset.create universe in
+    List.iter (fun (v : P.var) -> Bitset.add s v.vid) vars;
+    s
+  in
+  for node = 0 to nnodes - 1 do
+    match Cfg.kind cfg node with
+    | Cfg.Entry -> ()
+    | Cfg.Exit ->
+      if exit_uses_globals then
+        gen.(node) <- set_of (Array.to_list p.globals)
+    | Cfg.Stmt s ->
+      let uses = Use_def.direct_uses s in
+      let uses =
+        match s.desc with
+        | P.Scall (_, c) -> uses @ call_uses c.callee
+        | _ -> uses
+      in
+      (* Call defs are may-writes: they never kill upward exposure. *)
+      ignore call_defs;
+      gen.(node) <- set_of uses;
+      kill.(node) <- set_of (Use_def.definite_defs s)
+  done;
+  let result =
+    Dataflow.solve ~nnodes ~preds:(Cfg.pred_ids cfg) ~succs:(Cfg.succ_ids cfg)
+      ~direction:Dataflow.Backward
+      ~gen:(fun n -> gen.(n))
+      ~kill:(fun n -> kill.(n))
+      ~universe ~boundary:[]
+  in
+  let live_in = result.Dataflow.live_in in
+  let at_entry =
+    Varset.of_list universe (Bitset.elements live_in.(cfg.entry))
+  in
+  { at_entry; live_in; iterations = result.Dataflow.iterations }
+
+let upward_exposed ?call_uses ?call_defs p cfg =
+  solve ~exit_uses_globals:false ?call_uses ?call_defs p cfg
+
+let liveness ?call_uses ?call_defs p cfg =
+  solve ~exit_uses_globals:true ?call_uses ?call_defs p cfg

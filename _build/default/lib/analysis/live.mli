@@ -1,0 +1,40 @@
+(** Backward dataflow over variables: liveness and upward-exposed uses.
+
+    Upward-exposed uses are the heart of prelog minimisation (§5.1): a
+    variable belongs in an e-block's prelog exactly when some execution
+    path can read it before the block itself writes it. That is a
+    liveness-style analysis whose kills are restricted to {e definite}
+    writes ({!Use_def.definite_defs}).
+
+    The per-call-node effects are parameterised so {!Eblock} can treat
+    calls to functions that are themselves e-blocks as opaque (their
+    reads are satisfied by their own prelogs and their writes by their
+    postlogs during emulation). *)
+
+type result = {
+  at_entry : Varset.t;  (** fact at function ENTRY *)
+  live_in : Bitset.t array;  (** per CFG node (universe: vids) *)
+  iterations : int;
+}
+
+val upward_exposed :
+  ?call_uses:(int -> Lang.Prog.var list) ->
+  ?call_defs:(int -> Lang.Prog.var list) ->
+  Lang.Prog.t ->
+  Cfg.t ->
+  result
+(** [upward_exposed p cfg] computes, per node, the variables that may be
+    read below this point before being definitely written.
+    [call_uses fid] / [call_defs fid] supply the extra effects of a call
+    to [fid] (default: none); call defs never kill. *)
+
+val liveness :
+  ?call_uses:(int -> Lang.Prog.var list) ->
+  ?call_defs:(int -> Lang.Prog.var list) ->
+  Lang.Prog.t ->
+  Cfg.t ->
+  result
+(** Classic liveness (same equations; exposed for tests and the program
+    database). For MPL the two differ only in boundary conditions:
+    liveness treats EXIT as using every global (they outlive the call),
+    upward-exposed treats EXIT as using nothing. *)

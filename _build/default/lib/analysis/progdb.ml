@@ -1,0 +1,90 @@
+module P = Lang.Prog
+
+type t = {
+  prog : P.t;
+  def_sites : int list array;
+  use_sites : int list array;
+  parent : int array;
+  summary : Interproc.t;
+  callgraph : Callgraph.t;
+}
+
+let build ?summary (p : P.t) =
+  let summary = match summary with Some s -> s | None -> Interproc.compute p in
+  let callgraph = Callgraph.compute p in
+  let def_sites = Array.make p.nvars [] in
+  let use_sites = Array.make p.nvars [] in
+  let nstmts = Array.length p.stmts in
+  let parent = Array.make nstmts (-1) in
+  Array.iter
+    (fun (f : P.func) ->
+      let rec walk parent_sid stmts =
+        List.iter
+          (fun (s : P.stmt) ->
+            parent.(s.sid) <- parent_sid;
+            List.iter
+              (fun (v : P.var) ->
+                def_sites.(v.vid) <- s.sid :: def_sites.(v.vid))
+              (Use_def.direct_defs s);
+            List.iter
+              (fun (v : P.var) ->
+                use_sites.(v.vid) <- s.sid :: use_sites.(v.vid))
+              (Use_def.direct_uses s);
+            match s.desc with
+            | P.Sif (_, t, e) ->
+              walk s.sid t;
+              walk s.sid e
+            | P.Swhile (_, b) -> walk s.sid b
+            | P.Sassign _ | P.Scall _ | P.Sspawn _ | P.Sjoin _ | P.Sreturn _
+            | P.Sp _ | P.Sv _ | P.Ssend _ | P.Srecv _ | P.Sprint _
+            | P.Sassert _ ->
+              ())
+          stmts
+      in
+      walk (-1) f.body)
+    p.funcs;
+  let def_sites = Array.map List.rev def_sites in
+  let use_sites = Array.map List.rev use_sites in
+  { prog = p; def_sites; use_sites; parent; summary; callgraph }
+
+let lookup_var t name =
+  Array.to_list t.prog.vars
+  |> List.filter (fun (v : P.var) -> String.equal v.vname name)
+
+let defining_functions t ~vid =
+  let v = t.prog.vars.(vid) in
+  if P.is_global v then
+    Array.to_list t.prog.funcs
+    |> List.filter_map (fun (f : P.func) ->
+           let direct =
+             List.exists
+               (fun sid -> t.prog.stmt_fid.(sid) = f.fid)
+               t.def_sites.(vid)
+           in
+           if direct then Some f.fid else None)
+  else [ v.vfid ]
+
+let pp_var_report t ppf name =
+  match lookup_var t name with
+  | [] -> Format.fprintf ppf "no variable named '%s'" name
+  | vars ->
+    Format.fprintf ppf "@[<v>";
+    List.iteri
+      (fun i (v : P.var) ->
+        if i > 0 then Format.fprintf ppf "@,";
+        let where =
+          match v.vscope with
+          | P.Global _ -> "shared global"
+          | P.Local _ ->
+            Printf.sprintf "local of %s" t.prog.funcs.(v.vfid).fname
+        in
+        let sids l =
+          String.concat ", "
+            (List.map (fun sid -> "s" ^ string_of_int sid) l)
+        in
+        Format.fprintf ppf "%s (vid %d, %s)@,  defined at: %s@,  used at: %s"
+          v.vname v.vid where
+          (sids t.def_sites.(v.vid))
+          (sids t.use_sites.(v.vid)))
+      vars;
+    Format.fprintf ppf "@]"

@@ -1,0 +1,32 @@
+(** The program database (§3.2.1, §4.1): "information on the program
+    text such as the places where an identifier is defined or used",
+    plus the semantic-analysis results other phases consult — the
+    MOD/REF summaries and call sites.
+
+    Used by the PPD controller to locate the log intervals whose traces
+    can define a requested variable, and by the CLI to answer
+    [defs]/[uses] queries. *)
+
+type t = {
+  prog : Lang.Prog.t;
+  def_sites : int list array;  (** vid -> sids that may write it *)
+  use_sites : int list array;  (** vid -> sids that may read it *)
+  parent : int array;  (** sid -> enclosing structured stmt's sid, or -1 *)
+  summary : Interproc.t;
+  callgraph : Callgraph.t;
+}
+
+val build : ?summary:Interproc.t -> Lang.Prog.t -> t
+
+val lookup_var : t -> string -> Lang.Prog.var list
+(** All variables with this name (a global, or one local per function
+    using the name). *)
+
+val defining_functions : t -> vid:int -> int list
+(** Functions containing a statement that may write [vid]; for globals
+    this consults GMOD so callers of writers are excluded (they log the
+    write in the callee's own interval). *)
+
+val pp_var_report : t -> Format.formatter -> string -> unit
+(** Human-readable listing of where a name is declared, defined and
+    used. *)

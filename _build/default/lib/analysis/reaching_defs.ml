@@ -1,0 +1,136 @@
+module P = Lang.Prog
+
+type def_site = { def_id : int; def_node : int; def_var : P.var }
+
+type t = {
+  cfg : Cfg.t;
+  sites : def_site array;
+  sites_of_var : int list array;
+  reach_in : Bitset.t array;
+  iterations : int;
+  node_uses : P.var list array;  (* per node, incl. callee GREF *)
+  node_defs : P.var list array;  (* per node, incl. callee GMOD *)
+  node_definite : P.var list array;
+}
+
+let visible_vars (p : P.t) (f : P.func) =
+  Array.to_list p.globals @ f.locals
+
+let node_effects ?summary (p : P.t) (cfg : Cfg.t) =
+  let n = Cfg.nnodes cfg in
+  let uses = Array.make n [] in
+  let defs = Array.make n [] in
+  let definite = Array.make n [] in
+  let callee_mod fid =
+    match summary with
+    | None -> []
+    | Some s -> Interproc.gmod_vars p s fid
+  in
+  let callee_ref fid =
+    match summary with
+    | None -> []
+    | Some s -> Interproc.gref_vars p s fid
+  in
+  for node = 0 to n - 1 do
+    match Cfg.kind cfg node with
+    | Cfg.Entry ->
+      (* ENTRY defines everything visible (definitely). *)
+      let vs = visible_vars p cfg.func in
+      defs.(node) <- vs;
+      definite.(node) <- vs
+    | Cfg.Exit -> ()
+    | Cfg.Stmt s ->
+      let u = Use_def.direct_uses s in
+      let d = Use_def.direct_defs s in
+      let dd = Use_def.definite_defs s in
+      (match s.desc with
+      | P.Scall (_, c) ->
+        uses.(node) <- u @ callee_ref c.callee;
+        defs.(node) <- d @ callee_mod c.callee;
+        (* callee effects are may-defs: keep only the direct definite *)
+        definite.(node) <- dd
+      | _ ->
+        uses.(node) <- u;
+        defs.(node) <- d;
+        definite.(node) <- dd)
+  done;
+  (uses, defs, definite)
+
+let compute ?summary (p : P.t) (cfg : Cfg.t) =
+  let nnodes = Cfg.nnodes cfg in
+  let node_uses, node_defs, node_definite = node_effects ?summary p cfg in
+  (* Enumerate definition sites. *)
+  let sites_rev = ref [] in
+  let nsites = ref 0 in
+  let sites_at = Array.make nnodes [] in
+  for node = 0 to nnodes - 1 do
+    List.iter
+      (fun v ->
+        let site = { def_id = !nsites; def_node = node; def_var = v } in
+        incr nsites;
+        sites_rev := site :: !sites_rev;
+        sites_at.(node) <- site :: sites_at.(node))
+      (List.sort_uniq
+         (fun (a : P.var) b -> Int.compare a.vid b.vid)
+         node_defs.(node))
+  done;
+  let sites = Array.of_list (List.rev !sites_rev) in
+  let universe = !nsites in
+  let sites_of_var = Array.make p.nvars [] in
+  Array.iter
+    (fun s -> sites_of_var.(s.def_var.vid) <- s.def_id :: sites_of_var.(s.def_var.vid))
+    sites;
+  let gen = Array.make nnodes (Bitset.create universe) in
+  let kill = Array.make nnodes (Bitset.create universe) in
+  for node = 0 to nnodes - 1 do
+    let g = Bitset.create universe in
+    List.iter (fun s -> Bitset.add g s.def_id) sites_at.(node);
+    gen.(node) <- g;
+    let k = Bitset.create universe in
+    List.iter
+      (fun (v : P.var) ->
+        List.iter (fun id -> Bitset.add k id) sites_of_var.(v.vid))
+      node_definite.(node);
+    (* a definite def kills other sites but generates its own *)
+    Bitset.diff_into ~dst:k g;
+    kill.(node) <- k
+  done;
+  let result =
+    Dataflow.solve ~nnodes ~preds:(Cfg.pred_ids cfg) ~succs:(Cfg.succ_ids cfg)
+      ~direction:Dataflow.Forward
+      ~gen:(fun n -> gen.(n))
+      ~kill:(fun n -> kill.(n))
+      ~universe ~boundary:[]
+  in
+  {
+    cfg;
+    sites;
+    sites_of_var;
+    reach_in = result.Dataflow.live_in;
+    iterations = result.Dataflow.iterations;
+    node_uses;
+    node_defs;
+    node_definite;
+  }
+
+let reaching t ~node ~vid =
+  List.filter_map
+    (fun id -> if Bitset.mem t.reach_in.(node) id then Some t.sites.(id) else None)
+    t.sites_of_var.(vid)
+
+let du_edges t =
+  let edges = ref [] in
+  for node = 0 to Cfg.nnodes t.cfg - 1 do
+    let used =
+      List.sort_uniq
+        (fun (a : P.var) b -> Int.compare a.vid b.vid)
+        t.node_uses.(node)
+    in
+    List.iter
+      (fun (v : P.var) ->
+        List.iter
+          (fun site -> edges := (site.def_node, node, v) :: !edges)
+          (reaching t ~node ~vid:v.vid))
+      used
+  done;
+  List.rev !edges

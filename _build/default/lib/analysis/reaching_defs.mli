@@ -1,0 +1,38 @@
+(** Reaching definitions and def-use chains over a function CFG.
+
+    Definition sites are (node, variable) pairs; ENTRY is a definition
+    site for every variable visible in the function (parameters receive
+    their argument values, globals their pre-invocation values, locals
+    are "defined" as uninitialised), so every use has at least one
+    reaching definition and ENTRY-reaching uses are exactly the values a
+    prelog must capture.
+
+    Call statements additionally define their callee's GMOD globals and
+    use its GREF globals when a summary is supplied — these are may
+    definitions and never kill. *)
+
+type def_site = { def_id : int; def_node : int; def_var : Lang.Prog.var }
+
+type t = {
+  cfg : Cfg.t;
+  sites : def_site array;  (** indexed by [def_id] *)
+  sites_of_var : int list array;  (** vid -> def_ids defining it *)
+  reach_in : Bitset.t array;  (** node -> def_ids reaching its entry *)
+  iterations : int;
+  node_uses : Lang.Prog.var list array;
+      (** per-node uses including callee GREF globals *)
+  node_defs : Lang.Prog.var list array;
+      (** per-node defs including callee GMOD globals *)
+  node_definite : Lang.Prog.var list array;  (** killing defs only *)
+}
+
+val compute : ?summary:Interproc.t -> Lang.Prog.t -> Cfg.t -> t
+
+val reaching : t -> node:int -> vid:int -> def_site list
+(** Definitions of [vid] reaching the entry of [node]. *)
+
+val du_edges : t -> (int * int * Lang.Prog.var) list
+(** All def-use chains as [(def_node, use_node, var)] triples, the data
+    dependence edges of the static PDG. Uses at a node are its
+    {!Use_def.direct_uses} plus callee GREF globals if a summary was
+    supplied at {!compute} time. *)

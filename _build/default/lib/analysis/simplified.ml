@@ -1,0 +1,199 @@
+module P = Lang.Prog
+
+type node_kind = Entry | Exit | Branch of P.stmt | Op of P.stmt
+
+type edge = {
+  edge_id : int;
+  src : int;
+  label : Cfg.edge_label;
+  chain : P.stmt list;
+  dst : int;
+}
+
+type start_point = At_entry | After_stmt of int
+
+type unit_ = {
+  su_id : int;
+  su_start : start_point;
+  su_edges : int list;
+  su_shared_reads : Varset.t;
+}
+
+type t = {
+  cfg : Cfg.t;
+  kinds : node_kind option array;
+  edges : edge array;
+  out_edges : int list array;
+  units : unit_ array;
+  unit_starting_at : (int, int) Hashtbl.t;
+  entry_unit : int;
+}
+
+let classify (cfg : Cfg.t) node : node_kind option =
+  match Cfg.kind cfg node with
+  | Cfg.Entry -> Some Entry
+  | Cfg.Exit -> Some Exit
+  | Cfg.Stmt s -> (
+    match s.desc with
+    | P.Sif _ | P.Swhile _ -> Some (Branch s)
+    | P.Sp _ | P.Sv _ | P.Ssend _ | P.Srecv _ | P.Sspawn _ | P.Sjoin _
+    | P.Scall _ ->
+      Some (Op s)
+    | P.Sassign _ | P.Sreturn _ | P.Sprint _ | P.Sassert _ -> None)
+
+let shared_reads_of_stmt (s : P.stmt) =
+  List.filter P.is_shared (Use_def.direct_uses s)
+
+let build (p : P.t) (cfg : Cfg.t) =
+  let n = Cfg.nnodes cfg in
+  let kinds = Array.init n (classify cfg) in
+  let interesting node = kinds.(node) <> None in
+  (* Contract chains of ordinary statements. Ordinary nodes have exactly
+     one successor, so each (interesting node, out-cfg-edge) pair yields
+     exactly one simplified edge. *)
+  let edges_rev = ref [] in
+  let nedges = ref 0 in
+  let out_edges = Array.make n [] in
+  for src = 0 to n - 1 do
+    if interesting src then
+      List.iter
+        (fun (first, label) ->
+          let rec walk node chain_rev =
+            if interesting node then
+              let e =
+                {
+                  edge_id = !nedges;
+                  src;
+                  label;
+                  chain = List.rev chain_rev;
+                  dst = node;
+                }
+              in
+              incr nedges;
+              edges_rev := e :: !edges_rev;
+              out_edges.(src) <- e.edge_id :: out_edges.(src)
+            else
+              match (Cfg.kind cfg node, Cfg.succ_ids cfg node) with
+              | Cfg.Stmt s, [ next ] -> walk next (s :: chain_rev)
+              | Cfg.Stmt _, _ -> assert false (* ordinary nodes are linear *)
+              | (Cfg.Entry | Cfg.Exit), _ -> assert false
+          in
+          walk first [])
+        cfg.Cfg.succs.(src)
+  done;
+  let edges = Array.of_list (List.rev !edges_rev) in
+  Array.iteri (fun i e -> assert (e.edge_id = i)) edges;
+  let out_edges = Array.map List.rev out_edges in
+  (* Synchronization units: flood from each non-branching node through
+     branching nodes only. *)
+  let units_rev = ref [] in
+  let nunits = ref 0 in
+  let unit_starting_at = Hashtbl.create 16 in
+  let entry_unit = ref (-1) in
+  let universe = p.P.nvars in
+  for start = 0 to n - 1 do
+    match kinds.(start) with
+    | Some (Entry | Op _) ->
+      let seen_edges = Hashtbl.create 16 in
+      let member_edges = ref [] in
+      let reads = ref [] in
+      let rec flood node =
+        List.iter
+          (fun eid ->
+            if not (Hashtbl.mem seen_edges eid) then begin
+              Hashtbl.add seen_edges eid ();
+              member_edges := eid :: !member_edges;
+              let e = edges.(eid) in
+              List.iter
+                (fun s -> reads := shared_reads_of_stmt s @ !reads)
+                e.chain;
+              match kinds.(e.dst) with
+              | Some (Branch bs) ->
+                reads := shared_reads_of_stmt bs @ !reads;
+                flood e.dst
+              | Some (Op os) ->
+                (* terminal operation: its own reads happen while still
+                   inside this unit *)
+                reads := shared_reads_of_stmt os @ !reads
+              | Some (Entry | Exit) | None -> ()
+            end)
+          out_edges.(node)
+      in
+      flood start;
+      let su_start =
+        match kinds.(start) with
+        | Some Entry -> At_entry
+        | Some (Op s) -> After_stmt s.P.sid
+        | Some (Branch _ | Exit) | None -> assert false
+      in
+      let su =
+        {
+          su_id = !nunits;
+          su_start;
+          su_edges = List.rev !member_edges;
+          su_shared_reads =
+            Varset.of_list universe (List.map (fun v -> v.P.vid) !reads);
+        }
+      in
+      (match su_start with
+      | At_entry -> entry_unit := su.su_id
+      | After_stmt sid -> Hashtbl.replace unit_starting_at sid su.su_id);
+      incr nunits;
+      units_rev := su :: !units_rev
+    | Some (Exit | Branch _) | None -> ()
+  done;
+  let units = Array.of_list (List.rev !units_rev) in
+  assert (!entry_unit >= 0);
+  { cfg; kinds; edges; out_edges; units; unit_starting_at; entry_unit = !entry_unit }
+
+let shared_reads_after t sid =
+  match Hashtbl.find_opt t.unit_starting_at sid with
+  | None -> None
+  | Some uid ->
+    let s = t.units.(uid).su_shared_reads in
+    if Varset.is_empty s then None else Some s
+
+let shared_reads_at_entry t = t.units.(t.entry_unit).su_shared_reads
+
+let pp_kind ppf = function
+  | Entry -> Format.pp_print_string ppf "ENTRY"
+  | Exit -> Format.pp_print_string ppf "EXIT"
+  | Branch s -> Format.fprintf ppf "branch s%d %s" s.P.sid (P.stmt_label s)
+  | Op s -> Format.fprintf ppf "op s%d %s" s.P.sid (P.stmt_label s)
+
+let pp (p : P.t) ppf t =
+  Format.fprintf ppf "@[<v>simplified %s:" t.cfg.Cfg.func.P.fname;
+  Array.iteri
+    (fun node k ->
+      match k with
+      | None -> ()
+      | Some k ->
+        Format.fprintf ppf "@,  n%d: %a" node pp_kind k;
+        List.iter
+          (fun eid ->
+            let e = t.edges.(eid) in
+            let lbl =
+              match e.label with
+              | Cfg.Seq -> ""
+              | Cfg.True -> " [T]"
+              | Cfg.False -> " [F]"
+            in
+            Format.fprintf ppf "@,    e%d%s -> n%d (%d stmt%s)" eid lbl e.dst
+              (List.length e.chain)
+              (if List.length e.chain = 1 then "" else "s"))
+          t.out_edges.(node))
+    t.kinds;
+  Array.iter
+    (fun u ->
+      let start =
+        match u.su_start with
+        | At_entry -> "entry"
+        | After_stmt sid -> Printf.sprintf "after s%d" sid
+      in
+      Format.fprintf ppf "@,  unit %d (%s): edges {%s} shared-reads %a"
+        u.su_id start
+        (String.concat ", "
+           (List.map (fun e -> "e" ^ string_of_int e) u.su_edges))
+        (Varset.pp_named p) u.su_shared_reads)
+    t.units;
+  Format.fprintf ppf "@]"

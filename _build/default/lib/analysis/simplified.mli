@@ -1,0 +1,73 @@
+(** Simplified static program dependence graph and synchronization units
+    (§5.5, Figure 5.3).
+
+    The simplified static graph is the CFG restricted to {e interesting}
+    nodes — ENTRY, EXIT, branching nodes ([if]/[while] predicates), and
+    non-branching operation nodes (synchronization operations [P], [V],
+    [send], [recv], [spawn], [join], and subroutine calls) — with flow
+    edges carrying the contracted chains of ordinary statements between
+    them.
+
+    A {e synchronization unit} (Definition 5.1) is the set of edges
+    reachable from a non-branching node without passing through another
+    non-branching node. The shared variables that may be read inside a
+    unit determine the additional prelog the object code must emit at
+    the unit's beginning so that e-block replay stays faithful for
+    parallel programs. *)
+
+type node_kind =
+  | Entry
+  | Exit
+  | Branch of Lang.Prog.stmt
+  | Op of Lang.Prog.stmt
+      (** non-branching: sync operation or subroutine call *)
+
+type edge = {
+  edge_id : int;
+  src : int;  (** CFG node id *)
+  label : Cfg.edge_label;
+  chain : Lang.Prog.stmt list;  (** contracted ordinary statements *)
+  dst : int;  (** CFG node id *)
+}
+
+(** Where a unit's additional prelog is emitted. *)
+type start_point =
+  | At_entry
+  | After_stmt of int  (** after the sync/call statement with this sid *)
+
+type unit_ = {
+  su_id : int;
+  su_start : start_point;
+  su_edges : int list;  (** edge ids *)
+  su_shared_reads : Varset.t;
+      (** shared (global) variables that may be read inside the unit,
+          including by branch predicates passed through and by the
+          terminating operation nodes themselves *)
+}
+
+type t = {
+  cfg : Cfg.t;
+  kinds : node_kind option array;
+      (** CFG node -> interesting kind, [None] for contracted nodes *)
+  edges : edge array;
+  out_edges : int list array;  (** CFG node -> outgoing edge ids *)
+  units : unit_ array;
+  unit_starting_at : (int, int) Hashtbl.t;
+      (** sid of sync/call stmt -> unit id; ENTRY's unit is
+          [entry_unit] *)
+  entry_unit : int;
+}
+
+val build : Lang.Prog.t -> Cfg.t -> t
+
+val shared_reads_after : t -> int -> Varset.t option
+(** [shared_reads_after t sid]: shared variables needing a prelog right
+    after the sync/call statement [sid] executes, if [sid] starts a
+    unit. [None] when the unit reads no shared variables (no log entry
+    needed, §5.5 last paragraph) or [sid] starts no unit. *)
+
+val shared_reads_at_entry : t -> Varset.t
+(** Shared variables read by the unit beginning at ENTRY. *)
+
+val pp : Lang.Prog.t -> Format.formatter -> t -> unit
+(** Figure-5.3-style dump: nodes, edges and units. *)

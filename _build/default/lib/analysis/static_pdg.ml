@@ -1,0 +1,88 @@
+module P = Lang.Prog
+
+type edge = Control of Cfg.edge_label | Data of P.var
+
+type t = {
+  cfg : Cfg.t;
+  pdom : Dominance.t;
+  preds_of : (int * edge) list array;
+  succs_of : (int * edge) list array;
+  du : Reaching_defs.t;
+}
+
+let build ?summary (p : P.t) (cfg : Cfg.t) =
+  let pdom = Dominance.postdominators cfg in
+  let nnodes = Cfg.nnodes cfg in
+  let preds_of = Array.make nnodes [] in
+  let succs_of = Array.make nnodes [] in
+  let add_edge src dst e =
+    preds_of.(dst) <- (src, e) :: preds_of.(dst);
+    succs_of.(src) <- (dst, e) :: succs_of.(src)
+  in
+  let cdeps = Dominance.control_deps cfg pdom in
+  Array.iteri
+    (fun node deps ->
+      List.iter (fun (src, label) -> add_edge src node (Control label)) deps)
+    cdeps;
+  let du = Reaching_defs.compute ?summary p cfg in
+  List.iter
+    (fun (def_node, use_node, v) -> add_edge def_node use_node (Data v))
+    (Reaching_defs.du_edges du);
+  { cfg; pdom; preds_of; succs_of; du }
+
+let control_parents t node =
+  List.filter_map
+    (fun (src, e) ->
+      match e with Control label -> Some (src, label) | Data _ -> None)
+    t.preds_of.(node)
+
+let data_sources t node ~vid =
+  List.filter_map
+    (fun (src, e) ->
+      match e with
+      | Data v when v.P.vid = vid -> Some src
+      | Data _ | Control _ -> None)
+    t.preds_of.(node)
+
+let pp_node (cfg : Cfg.t) ppf node =
+  match Cfg.kind cfg node with
+  | Cfg.Entry -> Format.pp_print_string ppf "ENTRY"
+  | Cfg.Exit -> Format.pp_print_string ppf "EXIT"
+  | Cfg.Stmt s -> Format.fprintf ppf "s%d" s.P.sid
+
+let pp (_p : P.t) ppf t =
+  Format.fprintf ppf "@[<v>pdg %s:" t.cfg.Cfg.func.P.fname;
+  Array.iteri
+    (fun node incoming ->
+      if incoming <> [] then begin
+        Format.fprintf ppf "@,  %a <-" (pp_node t.cfg) node;
+        List.iter
+          (fun (src, e) ->
+            match e with
+            | Control label ->
+              let l =
+                match label with
+                | Cfg.Seq -> ""
+                | Cfg.True -> "T"
+                | Cfg.False -> "F"
+              in
+              Format.fprintf ppf " ctrl(%a%s)" (pp_node t.cfg) src l
+            | Data v ->
+              Format.fprintf ppf " data(%a,%s)" (pp_node t.cfg) src v.P.vname)
+          (List.rev incoming)
+      end)
+    t.preds_of;
+  Format.fprintf ppf "@]"
+
+type program_pdgs = {
+  prog : P.t;
+  summary : Interproc.t;
+  cfgs : Cfg.t array;
+  pdgs : t array;
+}
+
+let build_program (p : P.t) =
+  let summary = Interproc.compute p in
+  let cfgs = Array.map (fun f -> Cfg.build p f) p.funcs in
+  let pdgs = Array.map (fun cfg -> build ~summary p cfg) cfgs in
+  { prog = p; summary; cfgs; pdgs }

@@ -1,0 +1,42 @@
+(** Static program dependence graphs (§4.1).
+
+    Per function: CFG nodes plus control dependence edges
+    (Ferrante–Ottenstein–Warren over the postdominator tree) and data
+    dependence edges (def-use chains from {!Reaching_defs}). This is the
+    paper's variation of the Kuck program dependence graph: it shows the
+    {e possible} dependences, against which the PPD controller resolves
+    the {e actual} ones when building dynamic graphs. *)
+
+type edge =
+  | Control of Cfg.edge_label  (** which branch arm governs the target *)
+  | Data of Lang.Prog.var
+
+type t = {
+  cfg : Cfg.t;
+  pdom : Dominance.t;
+  preds_of : (int * edge) list array;
+      (** node -> its dependence sources (incoming dependence edges) *)
+  succs_of : (int * edge) list array;
+  du : Reaching_defs.t;
+}
+
+val build : ?summary:Interproc.t -> Lang.Prog.t -> Cfg.t -> t
+
+val control_parents : t -> int -> (int * Cfg.edge_label) list
+(** The nodes this node is directly control dependent on. *)
+
+val data_sources : t -> int -> vid:int -> int list
+(** CFG nodes whose definition of [vid] may reach this node's use. *)
+
+val pp : Lang.Prog.t -> Format.formatter -> t -> unit
+(** Per-node dump of dependences, used in golden tests. *)
+
+type program_pdgs = {
+  prog : Lang.Prog.t;
+  summary : Interproc.t;
+  cfgs : Cfg.t array;  (** per fid *)
+  pdgs : t array;  (** per fid *)
+}
+
+val build_program : Lang.Prog.t -> program_pdgs
+(** Build CFGs + PDGs for every function with a shared MOD/REF summary. *)

@@ -1,0 +1,237 @@
+module P = Lang.Prog
+
+type access = {
+  acc_sid : int;
+  acc_fid : int;
+  acc_var : P.var;
+  acc_write : bool;
+  acc_locks : int list;
+}
+
+type report = {
+  pr_var : P.var;
+  pr_a1 : access;
+  pr_a2 : access;
+  pr_write_write : bool;
+}
+
+(* Must-held locks via the complement trick: compute the MAY-NOT-HELD
+   set with the union-join framework (entry seeded with every
+   semaphore, [V] generates, [P] kills); held = complement. *)
+let may_not_held (p : P.t) (cfg : Cfg.t) =
+  let nsems = Array.length p.sems in
+  let nnodes = Cfg.nnodes cfg in
+  let empty = Bitset.create nsems in
+  let gen = Array.make nnodes empty in
+  let kill = Array.make nnodes empty in
+  for node = 0 to nnodes - 1 do
+    match Cfg.kind cfg node with
+    | Cfg.Stmt { desc = P.Sv sem; _ } ->
+      let g = Bitset.create nsems in
+      Bitset.add g sem.sem_id;
+      gen.(node) <- g
+    | Cfg.Stmt { desc = P.Sp sem; _ } ->
+      let k = Bitset.create nsems in
+      Bitset.add k sem.sem_id;
+      kill.(node) <- k
+    | Cfg.Stmt { desc = P.Scall _; _ } ->
+      (* a callee might release anything: assume all released after a
+         call (conservative for must-held) *)
+      let g = Bitset.create nsems in
+      for s = 0 to nsems - 1 do
+        Bitset.add g s
+      done;
+      gen.(node) <- g
+    | _ -> ()
+  done;
+  let universe_set = Bitset.create nsems in
+  for s = 0 to nsems - 1 do
+    Bitset.add universe_set s
+  done;
+  let result =
+    Dataflow.solve ~nnodes ~preds:(Cfg.pred_ids cfg) ~succs:(Cfg.succ_ids cfg)
+      ~direction:Dataflow.Forward
+      ~gen:(fun n -> gen.(n))
+      ~kill:(fun n -> kill.(n))
+      ~universe:nsems
+      ~boundary:[ (cfg.entry, universe_set) ]
+  in
+  result.Dataflow.live_in
+
+let held_at (p : P.t) (cfg : Cfg.t) node =
+  let nsems = Array.length p.sems in
+  let mnh = (may_not_held p cfg).(node) in
+  List.filter (fun s -> not (Bitset.mem mnh s)) (List.init nsems Fun.id)
+
+let shared_accesses (p : P.t) =
+  let out = ref [] in
+  Array.iter
+    (fun (f : P.func) ->
+      let cfg = Cfg.build p f in
+      let mnh = may_not_held p cfg in
+      let nsems = Array.length p.sems in
+      let locks_at node =
+        List.filter
+          (fun s -> not (Bitset.mem mnh.(node) s))
+          (List.init nsems Fun.id)
+      in
+      P.iter_stmts
+        (fun s ->
+          let node = cfg.Cfg.node_of_sid.(s.sid) in
+          if node >= 0 then begin
+            let locks = locks_at node in
+            let record write (v : P.var) =
+              if P.is_shared v then
+                out :=
+                  {
+                    acc_sid = s.sid;
+                    acc_fid = f.fid;
+                    acc_var = v;
+                    acc_write = write;
+                    acc_locks = locks;
+                  }
+                  :: !out
+            in
+            List.iter (record false) (Use_def.direct_uses s);
+            List.iter (record true) (Use_def.direct_defs s)
+          end)
+        f.body)
+    p.funcs;
+  List.rev !out
+
+(* Functions transitively reachable through calls from [fid]. *)
+let call_closure (cg : Callgraph.t) fid =
+  let n = Array.length cg.Callgraph.calls in
+  let seen = Array.make n false in
+  let rec go f =
+    if not seen.(f) then begin
+      seen.(f) <- true;
+      List.iter go cg.Callgraph.calls.(f)
+    end
+  in
+  go fid;
+  seen
+
+let concurrent_functions (p : P.t) =
+  let cg = Callgraph.compute p in
+  let nf = Array.length p.funcs in
+  (* spawn multiplicity: number of spawn statements per root, with a
+     spawn inside a loop counting as many *)
+  let spawn_count = Array.make nf 0 in
+  Array.iter
+    (fun (f : P.func) ->
+      let rec walk in_loop stmts =
+        List.iter
+          (fun (s : P.stmt) ->
+            match s.desc with
+            | P.Sspawn (_, c) ->
+              spawn_count.(c.callee) <-
+                spawn_count.(c.callee) + if in_loop then 2 else 1
+            | P.Sif (_, t, e) ->
+              walk in_loop t;
+              walk in_loop e
+            | P.Swhile (_, b) -> walk true b
+            | _ -> ())
+          stmts
+      in
+      walk false f.body)
+    p.funcs;
+  let roots =
+    List.filter (fun fid -> spawn_count.(fid) > 0) (List.init nf Fun.id)
+  in
+  let closures = Hashtbl.create 8 in
+  let closure fid =
+    match Hashtbl.find_opt closures fid with
+    | Some c -> c
+    | None ->
+      let c = call_closure cg fid in
+      Hashtbl.replace closures fid c;
+      c
+  in
+  let main_cl = closure p.main_fid in
+  fun f g ->
+    let pairs =
+      List.concat_map
+        (fun r1 ->
+          let c1 = closure r1 in
+          (* against main's process *)
+          ((fun a b -> (c1.(a) && main_cl.(b)) || (c1.(b) && main_cl.(a)))
+          ::
+          (* against itself when spawned more than once *)
+          (if spawn_count.(r1) >= 2 then [ (fun a b -> c1.(a) && c1.(b)) ]
+           else [])
+          @ (* against the other roots *)
+          List.filter_map
+            (fun r2 ->
+              if r2 <= r1 then None
+              else
+                let c2 = closure r2 in
+                Some
+                  (fun a b ->
+                    (c1.(a) && c2.(b)) || (c1.(b) && c2.(a))))
+            roots))
+        roots
+    in
+    List.exists (fun pred -> pred f g) pairs
+
+let analyze (p : P.t) =
+  let accesses = shared_accesses p in
+  let concurrent = concurrent_functions p in
+  let disjoint_locks a b =
+    not (List.exists (fun l -> List.mem l b.acc_locks) a.acc_locks)
+  in
+  let reports = ref [] in
+  let consider a b =
+    if
+      a.acc_var.P.vid = b.acc_var.P.vid
+      && (a.acc_write || b.acc_write)
+      && concurrent a.acc_fid b.acc_fid
+      && disjoint_locks a b
+    then
+      reports :=
+        {
+          pr_var = a.acc_var;
+          pr_a1 = (if a.acc_sid <= b.acc_sid then a else b);
+          pr_a2 = (if a.acc_sid <= b.acc_sid then b else a);
+          pr_write_write = a.acc_write && b.acc_write;
+        }
+        :: !reports
+  in
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+      (* a self-concurrent function (spawned more than once) races one
+         instance's access against the other instance's same access *)
+      consider a a;
+      List.iter (consider a) rest;
+      pairs rest
+  in
+  pairs accesses;
+  List.sort_uniq compare !reports
+
+let pp_report (p : P.t) ppf reports =
+  match reports with
+  | [] ->
+    Format.fprintf ppf
+      "no potential races: every conflicting access pair is ordered or \
+       protected"
+  | _ ->
+    Format.fprintf ppf "@[<v>%d potential race(s):" (List.length reports);
+    List.iter
+      (fun r ->
+        let side a =
+          Printf.sprintf "s%d in %s (%s%s)" a.acc_sid
+            p.funcs.(a.acc_fid).fname
+            (if a.acc_write then "write" else "read")
+            (match a.acc_locks with
+            | [] -> ""
+            | ls ->
+              ", holds "
+              ^ String.concat ","
+                  (List.map (fun s -> p.sems.(s).P.sem_name) ls))
+        in
+        Format.fprintf ppf "@,- '%s': %s vs %s%s" r.pr_var.P.vname
+          (side r.pr_a1) (side r.pr_a2)
+          (if r.pr_write_write then " [write/write]" else ""))
+      reports;
+    Format.fprintf ppf "@]"

@@ -1,0 +1,55 @@
+(** Static potential-race detection (§7: "A second (and major) issue is
+    how to detect all potential race conditions").
+
+    The dynamic detector (Definitions 6.1–6.4, over the parallel dynamic
+    graph) reports races in one execution instance. This complementary
+    analysis inspects the program text: two shared-variable accesses are
+    a {e potential} race when
+
+    - they occur in functions that may execute concurrently (both
+      reachable from spawned process roots, or one from a spawned root
+      and one from [main]; a root spawned more than once — several
+      spawn sites, or a spawn site inside a loop — is concurrent with
+      itself),
+    - at least one is a write, and
+    - no semaphore is {e must-held} around both (an intraprocedural
+      lockset analysis: a semaphore is held at a statement when every
+      CFG path from entry performs [P(s)] without a later [V(s)]).
+
+    Being flow-insensitive about process lifetimes (joins are ignored)
+    and intraprocedural about locks, the analysis over-approximates:
+    every race the dynamic detector can observe in some schedule is
+    flagged (property-tested), alongside possible false positives —
+    the paper's "one cannot tell if a parallel program is race-free
+    unless one considers every possible event". *)
+
+type access = {
+  acc_sid : int;
+  acc_fid : int;
+  acc_var : Lang.Prog.var;
+  acc_write : bool;
+  acc_locks : int list;  (** sem ids must-held at the access *)
+}
+
+type report = {
+  pr_var : Lang.Prog.var;
+  pr_a1 : access;
+  pr_a2 : access;
+  pr_write_write : bool;
+}
+
+val shared_accesses : Lang.Prog.t -> access list
+(** Every shared-variable access in the program with its lockset. *)
+
+val held_at : Lang.Prog.t -> Cfg.t -> int -> int list
+(** Semaphores must-held at the entry of a CFG node (exposed for
+    tests). *)
+
+val concurrent_functions : Lang.Prog.t -> (int -> int -> bool)
+(** May functions [f] and [g] (by fid) run in distinct processes that
+    overlap in time? *)
+
+val analyze : Lang.Prog.t -> report list
+(** All potential races, deduplicated and deterministically ordered. *)
+
+val pp_report : Lang.Prog.t -> Format.formatter -> report list -> unit

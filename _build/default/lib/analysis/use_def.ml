@@ -1,0 +1,49 @@
+module P = Lang.Prog
+
+(* Under the whole-array abstraction an element write is a
+   read-modify-write: the rest of the array flows through, so the array
+   counts as used wherever an element of it is assigned. *)
+let target_uses (l : P.lhs) =
+  match l with
+  | P.Lvar _ -> P.lhs_index_reads l
+  | P.Lidx (v, _) -> v :: P.lhs_index_reads l
+
+let lhs_uses = function None -> [] | Some l -> target_uses l
+
+let lhs_defs = function None -> [] | Some l -> [ P.lhs_writes l ]
+
+let direct_uses (s : P.stmt) =
+  match s.desc with
+  | P.Sassign (l, e) -> P.expr_reads e @ target_uses l
+  | P.Scall (l, c) | P.Sspawn (l, c) ->
+    List.concat_map P.expr_reads c.cargs @ lhs_uses l
+  | P.Sjoin (l, e) -> P.expr_reads e @ lhs_uses l
+  | P.Sif (c, _, _) | P.Swhile (c, _) -> P.expr_reads c
+  | P.Sreturn (Some e) -> P.expr_reads e
+  | P.Sreturn None -> []
+  | P.Sp _ | P.Sv _ -> []
+  | P.Ssend (_, e) -> P.expr_reads e
+  | P.Srecv (_, l) -> target_uses l
+  | P.Sprint e | P.Sassert e -> P.expr_reads e
+
+let direct_defs (s : P.stmt) =
+  match s.desc with
+  | P.Sassign (l, _) | P.Srecv (_, l) -> [ P.lhs_writes l ]
+  | P.Scall (l, _) | P.Sspawn (l, _) | P.Sjoin (l, _) -> lhs_defs l
+  | P.Sif _ | P.Swhile _ | P.Sreturn _ | P.Sp _ | P.Sv _ | P.Ssend _
+  | P.Sprint _ | P.Sassert _ ->
+    []
+
+let definite_defs (s : P.stmt) =
+  List.filter
+    (fun (v : P.var) -> match v.vty with P.Tint -> true | P.Tarr _ -> false)
+    (direct_defs s)
+
+let collect extract (f : P.func) =
+  let acc = ref [] in
+  P.iter_stmts (fun s -> acc := extract s @ !acc) f.body;
+  !acc
+
+let func_uses f = collect direct_uses f
+
+let func_defs f = collect direct_defs f

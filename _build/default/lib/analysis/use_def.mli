@@ -1,0 +1,35 @@
+(** Syntactic per-statement USE and DEF sets.
+
+    These are the building blocks of the paper's USED(i)/DEFINED(i)
+    e-block sets (§5.1): a statement's direct variable reads and writes,
+    before any interprocedural extension. Nested bodies of [if]/[while]
+    are {e not} included — at CFG granularity each nested statement is
+    its own node.
+
+    Array variables are treated as scalars (any element access reads or
+    writes the whole array; the paper defers pointer/alias analysis to
+    future work, §7). Consequently an array-element write is {e not} a
+    definite (killing) definition, and it also counts as a {e use} of
+    the array: under the whole-array abstraction it is a
+    read-modify-write, so the previous array state flows through it
+    (prelogs capture partially-overwritten arrays, and dynamic
+    dependence chains link successive element writes). *)
+
+val direct_uses : Lang.Prog.stmt -> Lang.Prog.var list
+(** Variables read when the statement itself executes: right-hand
+    sides, predicates, indices, arguments, send payloads. Call/spawn
+    statements do {e not} include callee effects (see {!Interproc}). *)
+
+val direct_defs : Lang.Prog.stmt -> Lang.Prog.var list
+(** Variables written by the statement itself: assignment targets,
+    receive targets, call/spawn/join result targets. *)
+
+val definite_defs : Lang.Prog.stmt -> Lang.Prog.var list
+(** The subset of {!direct_defs} guaranteed to overwrite the whole
+    variable (used as dataflow kills): scalar targets only. *)
+
+val func_uses : Lang.Prog.func -> Lang.Prog.var list
+(** Union of {!direct_uses} over every statement of the function
+    (duplicates possible). *)
+
+val func_defs : Lang.Prog.func -> Lang.Prog.var list

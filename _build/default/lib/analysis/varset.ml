@@ -1,0 +1,163 @@
+module type S = sig
+  type t
+
+  val name : string
+
+  val empty : int -> t
+
+  val add : int -> t -> t
+
+  val mem : int -> t -> bool
+
+  val union : t -> t -> t
+
+  val inter : t -> t -> t
+
+  val diff : t -> t -> t
+
+  val equal : t -> t -> bool
+
+  val subset : t -> t -> bool
+
+  val disjoint : t -> t -> bool
+
+  val is_empty : t -> bool
+
+  val cardinal : t -> int
+
+  val elements : t -> int list
+
+  val of_list : int -> int list -> t
+
+  val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Bits : S = struct
+  type t = Bitset.t
+
+  let name = "bitmask"
+
+  let empty n = Bitset.create n
+
+  let add i t =
+    let t' = Bitset.copy t in
+    Bitset.add t' i;
+    t'
+
+  let mem i t = Bitset.mem t i
+
+  let union = Bitset.union
+
+  let inter = Bitset.inter
+
+  let diff = Bitset.diff
+
+  let equal = Bitset.equal
+
+  let subset = Bitset.subset
+
+  let disjoint = Bitset.disjoint
+
+  let is_empty = Bitset.is_empty
+
+  let cardinal = Bitset.cardinal
+
+  let elements = Bitset.elements
+
+  let of_list = Bitset.of_list
+
+  let fold = Bitset.fold
+
+  let pp = Bitset.pp
+end
+
+module Lists : S = struct
+  (* Strictly increasing, duplicate-free int lists. The universe size is
+     irrelevant to the representation but kept out of the type to match
+     the signature; bounds are not checked. *)
+  type t = int list
+
+  let name = "list"
+
+  let empty _n = []
+
+  let rec add i = function
+    | [] -> [ i ]
+    | x :: rest as l ->
+      if i < x then i :: l else if i = x then l else x :: add i rest
+
+  let rec mem i = function
+    | [] -> false
+    | x :: rest -> if x = i then true else if x > i then false else mem i rest
+
+  let rec union a b =
+    match (a, b) with
+    | [], l | l, [] -> l
+    | x :: xs, y :: ys ->
+      if x < y then x :: union xs b
+      else if x > y then y :: union a ys
+      else x :: union xs ys
+
+  let rec inter a b =
+    match (a, b) with
+    | [], _ | _, [] -> []
+    | x :: xs, y :: ys ->
+      if x < y then inter xs b
+      else if x > y then inter a ys
+      else x :: inter xs ys
+
+  let rec diff a b =
+    match (a, b) with
+    | [], _ -> []
+    | l, [] -> l
+    | x :: xs, y :: ys ->
+      if x < y then x :: diff xs b else if x > y then diff a ys else diff xs ys
+
+  let equal = List.equal Int.equal
+
+  let rec subset a b =
+    match (a, b) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys ->
+      if x < y then false else if x > y then subset a ys else subset xs ys
+
+  let rec disjoint a b =
+    match (a, b) with
+    | [], _ | _, [] -> true
+    | x :: xs, y :: ys ->
+      if x < y then disjoint xs b
+      else if x > y then disjoint a ys
+      else false
+
+  let is_empty = function [] -> true | _ :: _ -> false
+
+  let cardinal = List.length
+
+  let elements t = t
+
+  let of_list _n l = List.sort_uniq Int.compare l
+
+  let fold f t init = List.fold_left (fun acc i -> f i acc) init t
+
+  let pp ppf t =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Format.pp_print_int)
+      t
+end
+
+include Bits
+
+let vars n vs = of_list n (List.map (fun v -> v.Lang.Prog.vid) vs)
+
+let pp_named (p : Lang.Prog.t) ppf t =
+  let names = List.map (fun i -> p.vars.(i).vname) (elements t) in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_string)
+    names

@@ -1,0 +1,63 @@
+(** Variable sets with interchangeable representations.
+
+    The paper (§7) observes that "using bit-mask representations for
+    sets of variables (as opposed to a list structure) can have a large
+    payoff" in the debugging-phase algorithms. We provide both behind
+    one (persistent) signature so the interprocedural analysis can be
+    functorised over the representation and benchmarked (table T4).
+
+    Elements are variable ids ([Prog.var.vid]); the universe size is the
+    program's [nvars]. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Representation name shown in benchmark output. *)
+
+  val empty : int -> t
+  (** [empty n] over universe [0..n-1]. *)
+
+  val add : int -> t -> t
+
+  val mem : int -> t -> bool
+
+  val union : t -> t -> t
+
+  val inter : t -> t -> t
+
+  val diff : t -> t -> t
+
+  val equal : t -> t -> bool
+
+  val subset : t -> t -> bool
+
+  val disjoint : t -> t -> bool
+
+  val is_empty : t -> bool
+
+  val cardinal : t -> int
+
+  val elements : t -> int list
+
+  val of_list : int -> int list -> t
+
+  val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Bits : S
+(** Bit-mask representation (copy-on-write over {!Bitset}). *)
+
+module Lists : S
+(** Sorted strictly-increasing int list representation. *)
+
+include S with type t = Bits.t
+(** The default representation used throughout the analyses. *)
+
+val vars : int -> Lang.Prog.var list -> t
+(** [vars n vs] builds the default-representation set of [vs]' ids. *)
+
+val pp_named : Lang.Prog.t -> Format.formatter -> t -> unit
+(** Render using variable names, e.g. ["{a, b, sv}"]. *)

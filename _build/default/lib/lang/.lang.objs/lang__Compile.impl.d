@@ -1,0 +1,1 @@
+lib/lang/compile.ml: Diag Resolve Typecheck

@@ -1,0 +1,1 @@
+lib/lang/pp_ast.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/lang/prog.ml: Array Ast Format List Loc String

@@ -1,0 +1,1 @@
+lib/lang/prog.mli: Ast Format Loc

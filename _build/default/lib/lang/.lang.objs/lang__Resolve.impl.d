@@ -1,0 +1,1 @@
+lib/lang/resolve.ml: Array Ast Diag Hashtbl Int List Loc Map Option Parser Prog String

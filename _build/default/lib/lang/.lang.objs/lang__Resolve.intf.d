@@ -1,0 +1,1 @@
+lib/lang/resolve.mli: Ast Prog

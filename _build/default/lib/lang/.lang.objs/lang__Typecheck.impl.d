@@ -1,0 +1,1 @@
+lib/lang/typecheck.ml: Array Ast Diag Format List Option Prog

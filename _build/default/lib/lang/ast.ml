@@ -1,0 +1,169 @@
+type unop = Neg | Not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Leq
+  | Gt
+  | Geq
+  | And
+  | Or
+
+type expr = { eloc : Loc.t; edesc : expr_desc }
+
+and expr_desc =
+  | Int of int
+  | Bool of bool
+  | Var of string
+  | Index of string * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+type lhs = Lvar of string | Lindex of string * expr
+
+type call = { cname : string; cargs : expr list; cloc : Loc.t }
+
+type stmt = { sloc : Loc.t; sdesc : stmt_desc }
+
+and stmt_desc =
+  | Decl of string * expr option
+  | Decl_array of string * int
+  | Assign of lhs * expr
+  | Call of lhs option * call
+  | Spawn of lhs option * call
+  | Join of lhs option * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt * expr * stmt * stmt list
+  | Return of expr option
+  | Sem_p of string
+  | Sem_v of string
+  | Send of string * expr
+  | Recv of string * lhs
+  | Print of expr
+  | Assert of expr
+
+type global_init = Gscalar of expr option | Garray of int
+
+type topdecl =
+  | Gshared of string * global_init * Loc.t
+  | Gsem of string * int * Loc.t
+  | Gchan of string * int option * Loc.t
+  | Gfunc of func
+
+and func = {
+  fname : string;
+  fparams : string list;
+  fbody : stmt list;
+  floc : Loc.t;
+}
+
+type program = topdecl list
+
+let rec expr_equal a b =
+  match (a.edesc, b.edesc) with
+  | Int x, Int y -> x = y
+  | Bool x, Bool y -> x = y
+  | Var x, Var y -> String.equal x y
+  | Index (x, e), Index (y, f) -> String.equal x y && expr_equal e f
+  | Unop (o, e), Unop (p, f) -> o = p && expr_equal e f
+  | Binop (o, e1, e2), Binop (p, f1, f2) ->
+    o = p && expr_equal e1 f1 && expr_equal e2 f2
+  | (Int _ | Bool _ | Var _ | Index _ | Unop _ | Binop _), _ -> false
+
+let lhs_equal a b =
+  match (a, b) with
+  | Lvar x, Lvar y -> String.equal x y
+  | Lindex (x, e), Lindex (y, f) -> String.equal x y && expr_equal e f
+  | (Lvar _ | Lindex _), _ -> false
+
+let opt_equal eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> eq x y
+  | (None | Some _), _ -> false
+
+let call_equal a b =
+  String.equal a.cname b.cname
+  && List.length a.cargs = List.length b.cargs
+  && List.for_all2 expr_equal a.cargs b.cargs
+
+let rec stmt_equal a b =
+  match (a.sdesc, b.sdesc) with
+  | Decl (x, e), Decl (y, f) -> String.equal x y && opt_equal expr_equal e f
+  | Decl_array (x, n), Decl_array (y, m) -> String.equal x y && n = m
+  | Assign (l, e), Assign (m, f) -> lhs_equal l m && expr_equal e f
+  | Call (l, c), Call (m, d) -> opt_equal lhs_equal l m && call_equal c d
+  | Spawn (l, c), Spawn (m, d) -> opt_equal lhs_equal l m && call_equal c d
+  | Join (l, e), Join (m, f) -> opt_equal lhs_equal l m && expr_equal e f
+  | If (c, t, e), If (d, u, f) ->
+    expr_equal c d && stmts_equal t u && stmts_equal e f
+  | While (c, b1), While (d, b2) -> expr_equal c d && stmts_equal b1 b2
+  | For (i, c, s, b1), For (j, d, t, b2) ->
+    stmt_equal i j && expr_equal c d && stmt_equal s t && stmts_equal b1 b2
+  | Return e, Return f -> opt_equal expr_equal e f
+  | Sem_p x, Sem_p y | Sem_v x, Sem_v y -> String.equal x y
+  | Send (c, e), Send (d, f) -> String.equal c d && expr_equal e f
+  | Recv (c, l), Recv (d, m) -> String.equal c d && lhs_equal l m
+  | Print e, Print f | Assert e, Assert f -> expr_equal e f
+  | ( ( Decl _ | Decl_array _ | Assign _ | Call _ | Spawn _ | Join _ | If _
+      | While _ | For _ | Return _ | Sem_p _ | Sem_v _ | Send _ | Recv _
+      | Print _ | Assert _ ),
+      _ ) ->
+    false
+
+and stmts_equal a b = List.length a = List.length b && List.for_all2 stmt_equal a b
+
+let topdecl_equal a b =
+  match (a, b) with
+  | Gshared (x, Gscalar e, _), Gshared (y, Gscalar f, _) ->
+    String.equal x y && opt_equal expr_equal e f
+  | Gshared (x, Garray n, _), Gshared (y, Garray m, _) ->
+    String.equal x y && n = m
+  | Gsem (x, n, _), Gsem (y, m, _) -> String.equal x y && n = m
+  | Gchan (x, n, _), Gchan (y, m, _) -> String.equal x y && n = m
+  | Gfunc f, Gfunc g ->
+    String.equal f.fname g.fname
+    && f.fparams = g.fparams
+    && stmts_equal f.fbody g.fbody
+  | (Gshared _ | Gsem _ | Gchan _ | Gfunc _), _ -> false
+
+let program_equal a b =
+  List.length a = List.length b && List.for_all2 topdecl_equal a b
+
+let pp_unop ppf = function
+  | Neg -> Format.pp_print_string ppf "-"
+  | Not -> Format.pp_print_string ppf "!"
+
+let pp_binop ppf op =
+  let s =
+    match op with
+    | Add -> "+"
+    | Sub -> "-"
+    | Mul -> "*"
+    | Div -> "/"
+    | Mod -> "%"
+    | Eq -> "=="
+    | Neq -> "!="
+    | Lt -> "<"
+    | Leq -> "<="
+    | Gt -> ">"
+    | Geq -> ">="
+    | And -> "&&"
+    | Or -> "||"
+  in
+  Format.pp_print_string ppf s
+
+let binop_prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Neq -> 3
+  | Lt | Leq | Gt | Geq -> 4
+  | Add | Sub -> 5
+  | Mul | Div | Mod -> 6

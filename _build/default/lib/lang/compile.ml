@@ -1,0 +1,6 @@
+let compile src =
+  let p = Resolve.parse_and_resolve src in
+  Typecheck.check p;
+  p
+
+let compile_result src = Diag.protect (fun () -> compile src)

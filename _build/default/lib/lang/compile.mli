@@ -1,0 +1,7 @@
+(** Front-end driver: source text -> checked {!Prog.t}. *)
+
+val compile : string -> Prog.t
+(** Parse, resolve and type-check. Raises {!Diag.Error} on any failure. *)
+
+val compile_result : string -> (Prog.t, Loc.t * string) result
+(** Like {!compile} but returns diagnostics as a value. *)

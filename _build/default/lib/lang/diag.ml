@@ -1,0 +1,8 @@
+exception Error of Loc.t * string
+
+let error loc fmt = Format.kasprintf (fun msg -> raise (Error (loc, msg))) fmt
+
+let pp_error ppf (loc, msg) = Format.fprintf ppf "error at %a: %s" Loc.pp loc msg
+
+let protect f =
+  match f () with v -> Ok v | exception Error (loc, msg) -> Error (loc, msg)

@@ -1,0 +1,16 @@
+(** Diagnostics shared by the MPL front end.
+
+    All front-end passes (lexer, parser, resolver, type checker) report
+    failures by raising {!Error} with the offending location and a
+    human-readable message. *)
+
+exception Error of Loc.t * string
+
+val error : Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error loc fmt ...] raises {!Error} with a formatted message. *)
+
+val pp_error : Format.formatter -> Loc.t * string -> unit
+(** Renders ["error at LINE:COL: MSG"]. *)
+
+val protect : (unit -> 'a) -> ('a, Loc.t * string) result
+(** [protect f] runs [f], converting a raised {!Error} into [Error]. *)

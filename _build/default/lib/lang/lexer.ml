@@ -1,0 +1,176 @@
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make src = { src; pos = 0; line = 1; col = 1 }
+
+let loc st = Loc.make ~line:st.line ~col:st.col
+
+let at_end st = st.pos >= String.length st.src
+
+let peek st = if at_end st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  if not (at_end st) then begin
+    if st.src.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.col <- 1
+    end
+    else st.col <- st.col + 1;
+    st.pos <- st.pos + 1
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws st =
+  match peek st with
+  | ' ' | '\t' | '\r' | '\n' ->
+    advance st;
+    skip_ws st
+  | '/' when peek2 st = '/' ->
+    let rec to_eol () =
+      if (not (at_end st)) && peek st <> '\n' then begin
+        advance st;
+        to_eol ()
+      end
+    in
+    to_eol ();
+    skip_ws st
+  | '/' when peek2 st = '*' ->
+    let start = loc st in
+    advance st;
+    advance st;
+    let rec to_close () =
+      if at_end st then Diag.error start "unterminated /* comment"
+      else if peek st = '*' && peek2 st = '/' then begin
+        advance st;
+        advance st
+      end
+      else begin
+        advance st;
+        to_close ()
+      end
+    in
+    to_close ();
+    skip_ws st
+  | _ -> ()
+
+let keyword = function
+  | "true" -> Some Token.TRUE
+  | "false" -> Some Token.FALSE
+  | "func" -> Some Token.FUNC
+  | "var" -> Some Token.VAR
+  | "shared" -> Some Token.SHARED
+  | "sem" -> Some Token.SEM
+  | "chan" -> Some Token.CHAN
+  | "if" -> Some Token.IF
+  | "else" -> Some Token.ELSE
+  | "while" -> Some Token.WHILE
+  | "for" -> Some Token.FOR
+  | "return" -> Some Token.RETURN
+  | "spawn" -> Some Token.SPAWN
+  | "join" -> Some Token.JOIN
+  | "P" -> Some Token.PSEM
+  | "V" -> Some Token.VSEM
+  | "send" -> Some Token.SEND
+  | "recv" -> Some Token.RECV
+  | "print" -> Some Token.PRINT
+  | "assert" -> Some Token.ASSERT
+  | "int" -> Some Token.KINT
+  | "bool" -> Some Token.KBOOL
+  | _ -> None
+
+let lex_number st =
+  let start = loc st in
+  let b = Buffer.create 8 in
+  while is_digit (peek st) do
+    Buffer.add_char b (peek st);
+    advance st
+  done;
+  match int_of_string_opt (Buffer.contents b) with
+  | Some n -> Token.INT n
+  | None -> Diag.error start "integer literal %s out of range" (Buffer.contents b)
+
+let lex_ident st =
+  let b = Buffer.create 8 in
+  while is_ident_char (peek st) do
+    Buffer.add_char b (peek st);
+    advance st
+  done;
+  let s = Buffer.contents b in
+  match keyword s with Some t -> t | None -> Token.IDENT s
+
+(* Lex one token; [skip_ws] has already run and input is non-empty. *)
+let lex_token st =
+  let l = loc st in
+  let c = peek st in
+  let single t =
+    advance st;
+    t
+  in
+  let with_eq base eq =
+    advance st;
+    if peek st = '=' then begin
+      advance st;
+      eq
+    end
+    else base
+  in
+  let tok =
+    if is_digit c then lex_number st
+    else if is_ident_start c then lex_ident st
+    else
+      match c with
+      | '(' -> single Token.LPAREN
+      | ')' -> single Token.RPAREN
+      | '{' -> single Token.LBRACE
+      | '}' -> single Token.RBRACE
+      | '[' -> single Token.LBRACKET
+      | ']' -> single Token.RBRACKET
+      | ',' -> single Token.COMMA
+      | ';' -> single Token.SEMI
+      | '+' -> single Token.PLUS
+      | '-' -> single Token.MINUS
+      | '*' -> single Token.STAR
+      | '/' -> single Token.SLASH
+      | '%' -> single Token.PERCENT
+      | '=' -> with_eq Token.ASSIGN Token.EQ
+      | '<' -> with_eq Token.LT Token.LEQ
+      | '>' -> with_eq Token.GT Token.GEQ
+      | '!' -> with_eq Token.BANG Token.NEQ
+      | '&' ->
+        advance st;
+        if peek st = '&' then begin
+          advance st;
+          Token.ANDAND
+        end
+        else Diag.error l "expected '&&'"
+      | '|' ->
+        advance st;
+        if peek st = '|' then begin
+          advance st;
+          Token.OROR
+        end
+        else Diag.error l "expected '||'"
+      | c -> Diag.error l "unexpected character %C" c
+  in
+  (tok, l)
+
+let tokenize src =
+  let st = make src in
+  let rec loop acc =
+    skip_ws st;
+    if at_end st then List.rev ((Token.EOF, loc st) :: acc)
+    else loop (lex_token st :: acc)
+  in
+  loop []

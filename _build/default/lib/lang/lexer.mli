@@ -1,0 +1,9 @@
+(** Hand-written lexer for MPL source text.
+
+    Comments are C++-style ([// ... \n]) and C-style ([/* ... */], no
+    nesting). Raises {!Diag.Error} on malformed input (unterminated
+    comment, stray character, integer overflow). *)
+
+val tokenize : string -> (Token.t * Loc.t) list
+(** [tokenize src] lexes the whole of [src]. The result always ends with
+    a single [(EOF, loc)] pair. *)

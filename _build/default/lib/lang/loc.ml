@@ -1,0 +1,18 @@
+type t = { line : int; col : int }
+
+let none = { line = 0; col = 0 }
+
+let make ~line ~col = { line; col }
+
+let is_none l = l.line = 0
+
+let compare a b =
+  match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf l =
+  if is_none l then Format.pp_print_string ppf "?"
+  else Format.fprintf ppf "%d:%d" l.line l.col
+
+let to_string l = Format.asprintf "%a" pp l

@@ -1,0 +1,23 @@
+(** Source locations for MPL programs.
+
+    A location is a [line]/[column] pair, both 1-based. The distinguished
+    value {!none} marks synthesised program points (e.g. statements created
+    by desugaring) that have no source position. *)
+
+type t = { line : int; col : int }
+
+val none : t
+(** Location of synthesised nodes; prints as ["?"]. *)
+
+val make : line:int -> col:int -> t
+
+val is_none : t -> bool
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** [pp] prints ["line:col"], or ["?"] for {!none}. *)
+
+val to_string : t -> string

@@ -1,0 +1,450 @@
+open Ast
+
+type state = { mutable toks : (Token.t * Loc.t) list }
+
+let peek st = match st.toks with [] -> (Token.EOF, Loc.none) | t :: _ -> t
+
+let peek_tok st = fst (peek st)
+
+let peek2_tok st =
+  match st.toks with _ :: (t, _) :: _ -> t | _ -> Token.EOF
+
+let cur_loc st = snd (peek st)
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  let t, l = peek st in
+  if Token.equal t tok then advance st
+  else
+    Diag.error l "expected %s but found %s" (Token.describe tok)
+      (Token.describe t)
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT s, _ ->
+    advance st;
+    s
+  | t, l -> Diag.error l "expected identifier but found %s" (Token.describe t)
+
+let expect_int st =
+  match peek st with
+  | Token.INT n, _ ->
+    advance st;
+    n
+  | t, l ->
+    Diag.error l "expected integer literal but found %s" (Token.describe t)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let binop_of_token = function
+  | Token.OROR -> Some Or
+  | Token.ANDAND -> Some And
+  | Token.EQ -> Some Eq
+  | Token.NEQ -> Some Neq
+  | Token.LT -> Some Lt
+  | Token.LEQ -> Some Leq
+  | Token.GT -> Some Gt
+  | Token.GEQ -> Some Geq
+  | Token.PLUS -> Some Add
+  | Token.MINUS -> Some Sub
+  | Token.STAR -> Some Mul
+  | Token.SLASH -> Some Div
+  | Token.PERCENT -> Some Mod
+  | _ -> None
+
+let rec parse_expr_prec st min_prec =
+  let lhs = parse_unary st in
+  climb st lhs min_prec
+
+and climb st lhs min_prec =
+  match binop_of_token (peek_tok st) with
+  | Some op when binop_prec op >= min_prec ->
+    let l = cur_loc st in
+    advance st;
+    (* all MPL binary operators are left-associative *)
+    let rhs = parse_expr_prec st (binop_prec op + 1) in
+    climb st { eloc = l; edesc = Binop (op, lhs, rhs) } min_prec
+  | Some _ | None -> lhs
+
+and parse_unary st =
+  match peek st with
+  | Token.MINUS, l ->
+    advance st;
+    let e = parse_unary st in
+    { eloc = l; edesc = Unop (Neg, e) }
+  | Token.BANG, l ->
+    advance st;
+    let e = parse_unary st in
+    { eloc = l; edesc = Unop (Not, e) }
+  | _ -> parse_atom st
+
+and parse_atom st =
+  let t, l = peek st in
+  match t with
+  | Token.INT n ->
+    advance st;
+    { eloc = l; edesc = Int n }
+  | Token.TRUE ->
+    advance st;
+    { eloc = l; edesc = Bool true }
+  | Token.FALSE ->
+    advance st;
+    { eloc = l; edesc = Bool false }
+  | Token.IDENT x ->
+    advance st;
+    if Token.equal (peek_tok st) Token.LBRACKET then begin
+      advance st;
+      let idx = parse_expr_prec st 0 in
+      expect st Token.RBRACKET;
+      { eloc = l; edesc = Index (x, idx) }
+    end
+    else if Token.equal (peek_tok st) Token.LPAREN then
+      Diag.error l
+        "function call '%s(..)' cannot appear inside an expression; calls \
+         are statements: 'x = %s(..);' or '%s(..);'"
+        x x x
+    else { eloc = l; edesc = Var x }
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr_prec st 0 in
+    expect st Token.RPAREN;
+    e
+  | t -> Diag.error l "expected expression but found %s" (Token.describe t)
+
+let parse_expression st = parse_expr_prec st 0
+
+(* ------------------------------------------------------------------ *)
+(* Statements.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_args st =
+  expect st Token.LPAREN;
+  if Token.equal (peek_tok st) Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec loop acc =
+      let e = parse_expression st in
+      if Token.equal (peek_tok st) Token.COMMA then begin
+        advance st;
+        loop (e :: acc)
+      end
+      else begin
+        expect st Token.RPAREN;
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+
+let parse_call st name cloc =
+  let cargs = parse_args st in
+  { cname = name; cargs; cloc }
+
+(* Right-hand side of "lhs = ...": expression, call, spawn or join. *)
+let parse_rhs st lhs sloc =
+  match peek st with
+  | Token.SPAWN, _ ->
+    advance st;
+    let l = cur_loc st in
+    let name = expect_ident st in
+    let c = parse_call st name l in
+    { sloc; sdesc = Spawn (Some lhs, c) }
+  | Token.JOIN, _ ->
+    advance st;
+    expect st Token.LPAREN;
+    let e = parse_expression st in
+    expect st Token.RPAREN;
+    { sloc; sdesc = Join (Some lhs, e) }
+  | Token.IDENT name, _ when Token.equal (peek2_tok st) Token.LPAREN ->
+    let l = cur_loc st in
+    advance st;
+    let c = parse_call st name l in
+    { sloc; sdesc = Call (Some lhs, c) }
+  | _ ->
+    let e = parse_expression st in
+    { sloc; sdesc = Assign (lhs, e) }
+
+(* A "simple" statement usable in for-headers: assignment or call,
+   without the trailing semicolon. *)
+let parse_simple st =
+  let t, sloc = peek st in
+  match t with
+  | Token.IDENT x -> (
+    advance st;
+    match peek_tok st with
+    | Token.ASSIGN ->
+      advance st;
+      parse_rhs st (Lvar x) sloc
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expression st in
+      expect st Token.RBRACKET;
+      expect st Token.ASSIGN;
+      parse_rhs st (Lindex (x, idx)) sloc
+    | Token.LPAREN ->
+      let c = parse_call st x sloc in
+      { sloc; sdesc = Call (None, c) }
+    | t ->
+      Diag.error sloc "expected '=', '[' or '(' after '%s' but found %s" x
+        (Token.describe t))
+  | t -> Diag.error sloc "expected statement but found %s" (Token.describe t)
+
+(* [parse_stmt] returns a list because `var x = f(..);` desugars into a
+   declaration followed by a call statement. *)
+let rec parse_stmt st =
+  let t, sloc = peek st in
+  match t with
+  | Token.VAR -> (
+    advance st;
+    let x = expect_ident st in
+    match peek_tok st with
+    | Token.ASSIGN -> (
+      advance st;
+      match peek_tok st with
+      | Token.SPAWN | Token.JOIN -> decl_with_call st x sloc
+      | Token.IDENT _ when Token.equal (peek2_tok st) Token.LPAREN ->
+        decl_with_call st x sloc
+      | _ ->
+        let e = parse_expression st in
+        expect st Token.SEMI;
+        [ { sloc; sdesc = Decl (x, Some e) } ])
+    | Token.LBRACKET ->
+      advance st;
+      let n = expect_int st in
+      expect st Token.RBRACKET;
+      expect st Token.SEMI;
+      [ { sloc; sdesc = Decl_array (x, n) } ]
+    | _ ->
+      expect st Token.SEMI;
+      [ { sloc; sdesc = Decl (x, None) } ])
+  | Token.IF ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expression st in
+    expect st Token.RPAREN;
+    let then_ = parse_block st in
+    let else_ =
+      if Token.equal (peek_tok st) Token.ELSE then begin
+        advance st;
+        if Token.equal (peek_tok st) Token.IF then parse_stmt st
+        else parse_block st
+      end
+      else []
+    in
+    [ { sloc; sdesc = If (cond, then_, else_) } ]
+  | Token.WHILE ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expression st in
+    expect st Token.RPAREN;
+    let body = parse_block st in
+    [ { sloc; sdesc = While (cond, body) } ]
+  | Token.FOR ->
+    advance st;
+    expect st Token.LPAREN;
+    let init = parse_simple st in
+    expect st Token.SEMI;
+    let cond = parse_expression st in
+    expect st Token.SEMI;
+    let step = parse_simple st in
+    expect st Token.RPAREN;
+    let body = parse_block st in
+    [ { sloc; sdesc = For (init, cond, step, body) } ]
+  | Token.RETURN ->
+    advance st;
+    if Token.equal (peek_tok st) Token.SEMI then begin
+      advance st;
+      [ { sloc; sdesc = Return None } ]
+    end
+    else begin
+      let e = parse_expression st in
+      expect st Token.SEMI;
+      [ { sloc; sdesc = Return (Some e) } ]
+    end
+  | Token.PSEM ->
+    advance st;
+    expect st Token.LPAREN;
+    let s = expect_ident st in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    [ { sloc; sdesc = Sem_p s } ]
+  | Token.VSEM ->
+    advance st;
+    expect st Token.LPAREN;
+    let s = expect_ident st in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    [ { sloc; sdesc = Sem_v s } ]
+  | Token.SEND ->
+    advance st;
+    expect st Token.LPAREN;
+    let c = expect_ident st in
+    expect st Token.COMMA;
+    let e = parse_expression st in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    [ { sloc; sdesc = Send (c, e) } ]
+  | Token.RECV ->
+    advance st;
+    expect st Token.LPAREN;
+    let c = expect_ident st in
+    expect st Token.COMMA;
+    let l = parse_lhs st in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    [ { sloc; sdesc = Recv (c, l) } ]
+  | Token.SPAWN ->
+    advance st;
+    let l = cur_loc st in
+    let name = expect_ident st in
+    let c = parse_call st name l in
+    expect st Token.SEMI;
+    [ { sloc; sdesc = Spawn (None, c) } ]
+  | Token.JOIN ->
+    advance st;
+    expect st Token.LPAREN;
+    let e = parse_expression st in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    [ { sloc; sdesc = Join (None, e) } ]
+  | Token.PRINT ->
+    advance st;
+    expect st Token.LPAREN;
+    let e = parse_expression st in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    [ { sloc; sdesc = Print e } ]
+  | Token.ASSERT ->
+    advance st;
+    expect st Token.LPAREN;
+    let e = parse_expression st in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    [ { sloc; sdesc = Assert e } ]
+  | Token.IDENT _ ->
+    let s = parse_simple st in
+    expect st Token.SEMI;
+    [ s ]
+  | t -> Diag.error sloc "expected statement but found %s" (Token.describe t)
+
+and decl_with_call st x sloc =
+  let decl = { sloc; sdesc = Decl (x, None) } in
+  let call = parse_rhs st (Lvar x) sloc in
+  expect st Token.SEMI;
+  [ decl; call ]
+
+and parse_lhs st =
+  let x = expect_ident st in
+  if Token.equal (peek_tok st) Token.LBRACKET then begin
+    advance st;
+    let idx = parse_expression st in
+    expect st Token.RBRACKET;
+    Lindex (x, idx)
+  end
+  else Lvar x
+
+and parse_block st =
+  expect st Token.LBRACE;
+  let rec loop acc =
+    if Token.equal (peek_tok st) Token.RBRACE then begin
+      advance st;
+      List.concat (List.rev acc)
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Top-level declarations.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_topdecl st =
+  let t, l = peek st in
+  match t with
+  | Token.SHARED -> (
+    advance st;
+    expect st Token.KINT;
+    let x = expect_ident st in
+    match peek_tok st with
+    | Token.ASSIGN ->
+      advance st;
+      let e = parse_expression st in
+      expect st Token.SEMI;
+      Gshared (x, Gscalar (Some e), l)
+    | Token.LBRACKET ->
+      advance st;
+      let n = expect_int st in
+      expect st Token.RBRACKET;
+      expect st Token.SEMI;
+      Gshared (x, Garray n, l)
+    | _ ->
+      expect st Token.SEMI;
+      Gshared (x, Gscalar None, l))
+  | Token.SEM ->
+    advance st;
+    let x = expect_ident st in
+    expect st Token.ASSIGN;
+    let n = expect_int st in
+    expect st Token.SEMI;
+    Gsem (x, n, l)
+  | Token.CHAN ->
+    advance st;
+    let x = expect_ident st in
+    if Token.equal (peek_tok st) Token.LBRACKET then begin
+      advance st;
+      let n = expect_int st in
+      expect st Token.RBRACKET;
+      expect st Token.SEMI;
+      Gchan (x, Some n, l)
+    end
+    else begin
+      expect st Token.SEMI;
+      Gchan (x, None, l)
+    end
+  | Token.FUNC ->
+    advance st;
+    let fname = expect_ident st in
+    expect st Token.LPAREN;
+    let fparams =
+      if Token.equal (peek_tok st) Token.RPAREN then begin
+        advance st;
+        []
+      end
+      else
+        let rec loop acc =
+          let p = expect_ident st in
+          if Token.equal (peek_tok st) Token.COMMA then begin
+            advance st;
+            loop (p :: acc)
+          end
+          else begin
+            expect st Token.RPAREN;
+            List.rev (p :: acc)
+          end
+        in
+        loop []
+    in
+    let fbody = parse_block st in
+    Gfunc { fname; fparams; fbody; floc = l }
+  | t ->
+    Diag.error l
+      "expected top-level declaration (shared, sem, chan, func) but found %s"
+      (Token.describe t)
+
+let parse_program src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop acc =
+    if Token.equal (peek_tok st) Token.EOF then List.rev acc
+    else loop (parse_topdecl st :: acc)
+  in
+  loop []
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expression st in
+  expect st Token.EOF;
+  e

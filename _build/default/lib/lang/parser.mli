@@ -1,0 +1,35 @@
+(** Recursive-descent parser for MPL.
+
+    Grammar sketch (precedence-climbing expressions, C-like statements):
+
+    {v
+    program  ::= topdecl*
+    topdecl  ::= "shared" "int" ident ("=" expr | "[" INT "]")? ";"
+               | "sem" ident "=" INT ";"
+               | "chan" ident ("[" INT "]")? ";"
+               | "func" ident "(" params? ")" block
+    stmt     ::= "var" ident ("=" expr)? ";" | "var" ident "[" INT "]" ";"
+               | lhs "=" rhs ";" | ident "(" args ")" ";"
+               | "if" "(" expr ")" block ("else" (block | if-stmt))?
+               | "while" "(" expr ")" block
+               | "for" "(" simple ";" expr ";" simple ")" block
+               | "return" expr? ";"
+               | "P" "(" ident ")" ";" | "V" "(" ident ")" ";"
+               | "send" "(" ident "," expr ")" ";"
+               | "recv" "(" ident "," lhs ")" ";"
+               | "spawn" ident "(" args ")" ";"
+               | "join" "(" expr ")" ";"
+               | "print" "(" expr ")" ";" | "assert" "(" expr ")" ";"
+    rhs      ::= expr | ident "(" args ")" | "spawn" ident "(" args ")"
+               | "join" "(" expr ")"
+    v}
+
+    Function calls are statements (optionally assigning their result);
+    they cannot be nested inside expressions. Raises {!Diag.Error} on
+    syntax errors. *)
+
+val parse_program : string -> Ast.program
+(** Parse a complete compilation unit from source text. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (used by tests and the CLI). *)

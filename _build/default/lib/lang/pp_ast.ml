@@ -1,0 +1,106 @@
+open Ast
+
+(* Expressions print with minimal parentheses: a subexpression is
+   parenthesised only when its operator binds no tighter than the
+   context requires. All binary operators are left-associative, so the
+   right operand needs one more unit of binding strength. *)
+let rec pp_expr_prec prec ppf e =
+  match e.edesc with
+  | Int n -> if n < 0 then Format.fprintf ppf "(%d)" n else Format.pp_print_int ppf n
+  | Bool true -> Format.pp_print_string ppf "true"
+  | Bool false -> Format.pp_print_string ppf "false"
+  | Var x -> Format.pp_print_string ppf x
+  | Index (x, i) -> Format.fprintf ppf "%s[%a]" x (pp_expr_prec 0) i
+  | Unop (op, e) -> Format.fprintf ppf "%a%a" pp_unop op (pp_expr_prec 7) e
+  | Binop (op, a, b) ->
+    let p = binop_prec op in
+    let open_paren = p < prec in
+    if open_paren then Format.pp_print_char ppf '(';
+    Format.fprintf ppf "%a %a %a" (pp_expr_prec p) a pp_binop op
+      (pp_expr_prec (p + 1)) b;
+    if open_paren then Format.pp_print_char ppf ')'
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let pp_lhs ppf = function
+  | Lvar x -> Format.pp_print_string ppf x
+  | Lindex (x, i) -> Format.fprintf ppf "%s[%a]" x pp_expr i
+
+let pp_call ppf { cname; cargs; _ } =
+  Format.fprintf ppf "%s(%a)" cname
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_expr)
+    cargs
+
+let pp_assign_target ppf = function
+  | None -> ()
+  | Some l -> Format.fprintf ppf "%a = " pp_lhs l
+
+(* Statement form without the trailing ";" (for for-headers). *)
+let rec pp_simple ppf s =
+  match s.sdesc with
+  | Assign (l, e) -> Format.fprintf ppf "%a = %a" pp_lhs l pp_expr e
+  | Call (l, c) -> Format.fprintf ppf "%a%a" pp_assign_target l pp_call c
+  | Spawn (l, c) -> Format.fprintf ppf "%aspawn %a" pp_assign_target l pp_call c
+  | Join (l, e) -> Format.fprintf ppf "%ajoin(%a)" pp_assign_target l pp_expr e
+  | _ -> invalid_arg "Pp_ast.pp_simple: not a simple statement"
+
+and pp_stmt ppf s =
+  match s.sdesc with
+  | Decl (x, None) -> Format.fprintf ppf "var %s;" x
+  | Decl (x, Some e) -> Format.fprintf ppf "var %s = %a;" x pp_expr e
+  | Decl_array (x, n) -> Format.fprintf ppf "var %s[%d];" x n
+  | Assign _ | Call _ | Spawn _ | Join _ -> Format.fprintf ppf "%a;" pp_simple s
+  | If (c, t, []) ->
+    Format.fprintf ppf "@[<v 2>if (%a) {%a@]@,}" pp_expr c pp_body t
+  | If (c, t, [ ({ sdesc = If _; _ } as elif) ]) ->
+    Format.fprintf ppf "@[<v 2>if (%a) {%a@]@,} else %a" pp_expr c pp_body t
+      pp_stmt elif
+  | If (c, t, e) ->
+    Format.fprintf ppf "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}" pp_expr c
+      pp_body t pp_body e
+  | While (c, b) ->
+    Format.fprintf ppf "@[<v 2>while (%a) {%a@]@,}" pp_expr c pp_body b
+  | For (i, c, s, b) ->
+    Format.fprintf ppf "@[<v 2>for (%a; %a; %a) {%a@]@,}" pp_simple i pp_expr c
+      pp_simple s pp_body b
+  | Return None -> Format.pp_print_string ppf "return;"
+  | Return (Some e) -> Format.fprintf ppf "return %a;" pp_expr e
+  | Sem_p s -> Format.fprintf ppf "P(%s);" s
+  | Sem_v s -> Format.fprintf ppf "V(%s);" s
+  | Send (c, e) -> Format.fprintf ppf "send(%s, %a);" c pp_expr e
+  | Recv (c, l) -> Format.fprintf ppf "recv(%s, %a);" c pp_lhs l
+  | Print e -> Format.fprintf ppf "print(%a);" pp_expr e
+  | Assert e -> Format.fprintf ppf "assert(%a);" pp_expr e
+
+and pp_body ppf stmts =
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stmt s) stmts
+
+let pp_topdecl ppf = function
+  | Gshared (x, Gscalar None, _) -> Format.fprintf ppf "shared int %s;" x
+  | Gshared (x, Gscalar (Some e), _) ->
+    Format.fprintf ppf "shared int %s = %a;" x pp_expr e
+  | Gshared (x, Garray n, _) -> Format.fprintf ppf "shared int %s[%d];" x n
+  | Gsem (x, n, _) -> Format.fprintf ppf "sem %s = %d;" x n
+  | Gchan (x, None, _) -> Format.fprintf ppf "chan %s;" x
+  | Gchan (x, Some n, _) -> Format.fprintf ppf "chan %s[%d];" x n
+  | Gfunc { fname; fparams; fbody; _ } ->
+    Format.fprintf ppf "@[<v 2>func %s(%a) {%a@]@,}" fname
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Format.pp_print_string)
+      fparams pp_body fbody
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Format.fprintf ppf "@,@,";
+      pp_topdecl ppf d)
+    p;
+  Format.fprintf ppf "@]"
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+
+let program_to_string p = Format.asprintf "%a@." pp_program p

@@ -1,0 +1,531 @@
+module P = Prog
+module StrMap = Map.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Constant evaluation of global initialisers.                          *)
+(* ------------------------------------------------------------------ *)
+
+type cval = Cint of int | Cbool of bool
+
+let rec const_eval (e : Ast.expr) : cval =
+  let int_of v loc =
+    match v with
+    | Cint n -> n
+    | Cbool _ -> Diag.error loc "expected integer constant"
+  in
+  let bool_of v loc =
+    match v with
+    | Cbool b -> b
+    | Cint _ -> Diag.error loc "expected boolean constant"
+  in
+  match e.edesc with
+  | Ast.Int n -> Cint n
+  | Ast.Bool b -> Cbool b
+  | Ast.Var x ->
+    Diag.error e.eloc "global initialisers must be constant; '%s' is not" x
+  | Ast.Index _ ->
+    Diag.error e.eloc "global initialisers must be constant expressions"
+  | Ast.Unop (Ast.Neg, a) -> Cint (-int_of (const_eval a) a.eloc)
+  | Ast.Unop (Ast.Not, a) -> Cbool (not (bool_of (const_eval a) a.eloc))
+  | Ast.Binop (op, a, b) -> (
+    let va = const_eval a and vb = const_eval b in
+    let ia () = int_of va a.eloc and ib () = int_of vb b.eloc in
+    let ba () = bool_of va a.eloc and bb () = bool_of vb b.eloc in
+    match op with
+    | Ast.Add -> Cint (ia () + ib ())
+    | Ast.Sub -> Cint (ia () - ib ())
+    | Ast.Mul -> Cint (ia () * ib ())
+    | Ast.Div ->
+      if ib () = 0 then Diag.error e.eloc "division by zero in constant"
+      else Cint (ia () / ib ())
+    | Ast.Mod ->
+      if ib () = 0 then Diag.error e.eloc "division by zero in constant"
+      else Cint (ia () mod ib ())
+    | Ast.Eq -> Cbool (ia () = ib ())
+    | Ast.Neq -> Cbool (ia () <> ib ())
+    | Ast.Lt -> Cbool (ia () < ib ())
+    | Ast.Leq -> Cbool (ia () <= ib ())
+    | Ast.Gt -> Cbool (ia () > ib ())
+    | Ast.Geq -> Cbool (ia () >= ib ())
+    | Ast.And -> Cbool (ba () && bb ())
+    | Ast.Or -> Cbool (ba () || bb ()))
+
+(* ------------------------------------------------------------------ *)
+(* Top-level environment.                                               *)
+(* ------------------------------------------------------------------ *)
+
+type top_entry =
+  | Tvar of P.var
+  | Tsem of P.sem
+  | Tchan of P.chan
+  | Tfunc of int (* fid *)
+
+let describe_entry = function
+  | Tvar _ -> "a shared variable"
+  | Tsem _ -> "a semaphore"
+  | Tchan _ -> "a channel"
+  | Tfunc _ -> "a function"
+
+type ctx = {
+  mutable top : top_entry StrMap.t;
+  mutable vars_rev : P.var list;  (* all vars, reversed *)
+  mutable nvars : int;
+  mutable stmts_rev : P.stmt list;  (* all stmts, reversed by sid *)
+  mutable nstmts : int;
+  (* raw function declarations, for arity checks before bodies resolve *)
+  mutable fsigs : (string * int * bool) array;
+      (* name, arity, returns_value -- indexed by fid *)
+}
+
+let fresh_var ctx ~name ~ty ~scope ~fid =
+  let v =
+    { P.vid = ctx.nvars; vname = name; vty = ty; vscope = scope; vfid = fid }
+  in
+  ctx.nvars <- ctx.nvars + 1;
+  ctx.vars_rev <- v :: ctx.vars_rev;
+  v
+
+let fresh_sid ctx =
+  let sid = ctx.nstmts in
+  ctx.nstmts <- ctx.nstmts + 1;
+  sid
+
+let record_stmt ctx s = ctx.stmts_rev <- s :: ctx.stmts_rev
+
+(* ------------------------------------------------------------------ *)
+(* Pre-pass: does a raw function body contain a valued return?          *)
+(* ------------------------------------------------------------------ *)
+
+let rec raw_stmts_return stmts = List.exists raw_stmt_returns stmts
+
+and raw_stmt_returns (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Return (Some _) -> true
+  | Ast.Return None -> false
+  | Ast.If (_, t, e) -> raw_stmts_return t || raw_stmts_return e
+  | Ast.While (_, b) -> raw_stmts_return b
+  | Ast.For (_, _, _, b) -> raw_stmts_return b
+  | Ast.Decl _ | Ast.Decl_array _ | Ast.Assign _ | Ast.Call _ | Ast.Spawn _
+  | Ast.Join _ | Ast.Sem_p _ | Ast.Sem_v _ | Ast.Send _ | Ast.Recv _
+  | Ast.Print _ | Ast.Assert _ ->
+    false
+
+let rec raw_stmts_return_void stmts = List.exists raw_stmt_returns_void stmts
+
+and raw_stmt_returns_void (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Return None -> true
+  | Ast.Return (Some _) -> false
+  | Ast.If (_, t, e) -> raw_stmts_return_void t || raw_stmts_return_void e
+  | Ast.While (_, b) -> raw_stmts_return_void b
+  | Ast.For (_, _, _, b) -> raw_stmts_return_void b
+  | Ast.Decl _ | Ast.Decl_array _ | Ast.Assign _ | Ast.Call _ | Ast.Spawn _
+  | Ast.Join _ | Ast.Sem_p _ | Ast.Sem_v _ | Ast.Send _ | Ast.Recv _
+  | Ast.Print _ | Ast.Assert _ ->
+    false
+
+(* ------------------------------------------------------------------ *)
+(* Per-function resolution.                                             *)
+(* ------------------------------------------------------------------ *)
+
+type fctx = {
+  ctx : ctx;
+  fid : int;
+  mutable slots : int;  (* next free frame slot *)
+  mutable all_locals_rev : P.var list;
+  mutable local_names : unit StrMap.t;  (* every local ever declared *)
+  mutable scope_stack : string list ref list;
+      (* names declared in each open block, innermost first *)
+  mutable visible : P.var StrMap.t;  (* currently visible locals *)
+}
+
+let enter_block fc = fc.scope_stack <- ref [] :: fc.scope_stack
+
+let exit_block fc =
+  match fc.scope_stack with
+  | [] -> assert false
+  | declared :: rest ->
+    List.iter (fun n -> fc.visible <- StrMap.remove n fc.visible) !declared;
+    fc.scope_stack <- rest
+
+let declare_local fc ~loc ~name ~ty =
+  (match StrMap.find_opt name fc.ctx.top with
+  | Some entry ->
+    Diag.error loc "local '%s' shadows %s" name (describe_entry entry)
+  | None -> ());
+  if StrMap.mem name fc.local_names then
+    Diag.error loc "duplicate local variable '%s'" name;
+  let v =
+    fresh_var fc.ctx ~name ~ty ~scope:(P.Local fc.slots) ~fid:fc.fid
+  in
+  fc.slots <- fc.slots + 1;
+  fc.all_locals_rev <- v :: fc.all_locals_rev;
+  fc.local_names <- StrMap.add name () fc.local_names;
+  fc.visible <- StrMap.add name v fc.visible;
+  (match fc.scope_stack with
+  | [] -> assert false
+  | declared :: _ -> declared := name :: !declared);
+  v
+
+let lookup_var fc ~loc name =
+  match StrMap.find_opt name fc.visible with
+  | Some v -> v
+  | None -> (
+    match StrMap.find_opt name fc.ctx.top with
+    | Some (Tvar v) -> v
+    | Some entry ->
+      Diag.error loc "'%s' is %s, not a variable" name (describe_entry entry)
+    | None -> Diag.error loc "unknown variable '%s'" name)
+
+let check_not_local fc ~loc name what =
+  if StrMap.mem name fc.visible then
+    Diag.error loc "'%s' is a variable, not %s" name what
+
+let lookup_sem fc ~loc name =
+  check_not_local fc ~loc name "a semaphore";
+  match StrMap.find_opt name fc.ctx.top with
+  | Some (Tsem s) -> s
+  | Some entry ->
+    Diag.error loc "'%s' is %s, not a semaphore" name (describe_entry entry)
+  | None -> Diag.error loc "unknown semaphore '%s'" name
+
+let lookup_chan fc ~loc name =
+  check_not_local fc ~loc name "a channel";
+  match StrMap.find_opt name fc.ctx.top with
+  | Some (Tchan c) -> c
+  | Some entry ->
+    Diag.error loc "'%s' is %s, not a channel" name (describe_entry entry)
+  | None -> Diag.error loc "unknown channel '%s'" name
+
+let lookup_func fc ~loc name =
+  check_not_local fc ~loc name "a function";
+  match StrMap.find_opt name fc.ctx.top with
+  | Some (Tfunc fid) -> fid
+  | Some entry ->
+    Diag.error loc "'%s' is %s, not a function" name (describe_entry entry)
+  | None -> Diag.error loc "unknown function '%s'" name
+
+let rec resolve_expr fc (e : Ast.expr) : P.expr =
+  match e.edesc with
+  | Ast.Int n -> P.Eint n
+  | Ast.Bool b -> P.Ebool b
+  | Ast.Var x -> P.Evar (lookup_var fc ~loc:e.eloc x)
+  | Ast.Index (x, i) ->
+    P.Eidx (lookup_var fc ~loc:e.eloc x, resolve_expr fc i)
+  | Ast.Unop (op, a) -> P.Eunop (op, resolve_expr fc a)
+  | Ast.Binop (op, a, b) ->
+    P.Ebinop (op, resolve_expr fc a, resolve_expr fc b)
+
+let resolve_lhs fc ~loc (l : Ast.lhs) : P.lhs =
+  match l with
+  | Ast.Lvar x -> P.Lvar (lookup_var fc ~loc x)
+  | Ast.Lindex (x, i) -> P.Lidx (lookup_var fc ~loc x, resolve_expr fc i)
+
+let resolve_call fc (c : Ast.call) : P.call =
+  let fid = lookup_func fc ~loc:c.cloc c.cname in
+  let _, arity, _ = fc.ctx.fsigs.(fid) in
+  let nargs = List.length c.cargs in
+  if nargs <> arity then
+    Diag.error c.cloc "function '%s' expects %d argument(s) but got %d"
+      c.cname arity nargs;
+  { P.callee = fid; cargs = List.map (resolve_expr fc) c.cargs }
+
+let check_call_returns fc (c : Ast.call) =
+  let name, _, returns = fc.ctx.fsigs.(lookup_func fc ~loc:c.cloc c.cname) in
+  if not returns then
+    Diag.error c.cloc
+      "function '%s' does not return a value; it cannot be assigned from"
+      name
+
+(* Resolve one raw statement to zero or more resolved statements. *)
+let rec resolve_stmt fc (s : Ast.stmt) : P.stmt list =
+  let loc = s.sloc in
+  match s.sdesc with
+  | Ast.Decl (x, init) -> (
+    (* Resolve the initialiser before declaring so `var x = x;` errors. *)
+    let init = Option.map (resolve_expr fc) init in
+    let v = declare_local fc ~loc ~name:x ~ty:P.Tint in
+    match init with
+    | None -> []
+    | Some e ->
+      let sid = fresh_sid fc.ctx in
+      let st = { P.sid; loc; desc = P.Sassign (P.Lvar v, e) } in
+      record_stmt fc.ctx st;
+      [ st ])
+  | Ast.Decl_array (x, n) ->
+    if n <= 0 then Diag.error loc "array '%s' must have positive length" x;
+    let _ = declare_local fc ~loc ~name:x ~ty:(P.Tarr n) in
+    []
+  | Ast.Assign (l, e) ->
+    let e = resolve_expr fc e in
+    let l = resolve_lhs fc ~loc l in
+    let sid = fresh_sid fc.ctx in
+    let st = { P.sid; loc; desc = P.Sassign (l, e) } in
+    record_stmt fc.ctx st;
+    [ st ]
+  | Ast.Call (l, c) ->
+    Option.iter (fun _ -> check_call_returns fc c) l;
+    let call = resolve_call fc c in
+    let l = Option.map (resolve_lhs fc ~loc) l in
+    let sid = fresh_sid fc.ctx in
+    let st = { P.sid; loc; desc = P.Scall (l, call) } in
+    record_stmt fc.ctx st;
+    [ st ]
+  | Ast.Spawn (l, c) ->
+    let call = resolve_call fc c in
+    let l = Option.map (resolve_lhs fc ~loc) l in
+    let sid = fresh_sid fc.ctx in
+    let st = { P.sid; loc; desc = P.Sspawn (l, call) } in
+    record_stmt fc.ctx st;
+    [ st ]
+  | Ast.Join (l, e) ->
+    let e = resolve_expr fc e in
+    let l = Option.map (resolve_lhs fc ~loc) l in
+    let sid = fresh_sid fc.ctx in
+    let st = { P.sid; loc; desc = P.Sjoin (l, e) } in
+    record_stmt fc.ctx st;
+    [ st ]
+  | Ast.If (c, t, e) ->
+    let c = resolve_expr fc c in
+    let sid = fresh_sid fc.ctx in
+    let t = resolve_block fc t in
+    let e = resolve_block fc e in
+    let st = { P.sid; loc; desc = P.Sif (c, t, e) } in
+    record_stmt fc.ctx st;
+    [ st ]
+  | Ast.While (c, b) ->
+    let c = resolve_expr fc c in
+    let sid = fresh_sid fc.ctx in
+    let b = resolve_block fc b in
+    let st = { P.sid; loc; desc = P.Swhile (c, b) } in
+    record_stmt fc.ctx st;
+    [ st ]
+  | Ast.For (init, cond, step, body) ->
+    (* for (i; c; s) b  ==>  i; while (c) { b; s } — the loop variable
+       must already be in scope (for-headers cannot declare). *)
+    enter_block fc;
+    let init_stmts = resolve_stmt fc init in
+    let cond = resolve_expr fc cond in
+    let wsid = fresh_sid fc.ctx in
+    enter_block fc;
+    let body = List.concat_map (resolve_stmt fc) body in
+    let step_stmts = resolve_stmt fc step in
+    exit_block fc;
+    let wst = { P.sid = wsid; loc; desc = P.Swhile (cond, body @ step_stmts) } in
+    record_stmt fc.ctx wst;
+    exit_block fc;
+    init_stmts @ [ wst ]
+  | Ast.Return e ->
+    let e = Option.map (resolve_expr fc) e in
+    let sid = fresh_sid fc.ctx in
+    let st = { P.sid; loc; desc = P.Sreturn e } in
+    record_stmt fc.ctx st;
+    [ st ]
+  | Ast.Sem_p x ->
+    let s' = lookup_sem fc ~loc x in
+    let sid = fresh_sid fc.ctx in
+    let st = { P.sid; loc; desc = P.Sp s' } in
+    record_stmt fc.ctx st;
+    [ st ]
+  | Ast.Sem_v x ->
+    let s' = lookup_sem fc ~loc x in
+    let sid = fresh_sid fc.ctx in
+    let st = { P.sid; loc; desc = P.Sv s' } in
+    record_stmt fc.ctx st;
+    [ st ]
+  | Ast.Send (c, e) ->
+    let ch = lookup_chan fc ~loc c in
+    let e = resolve_expr fc e in
+    let sid = fresh_sid fc.ctx in
+    let st = { P.sid; loc; desc = P.Ssend (ch, e) } in
+    record_stmt fc.ctx st;
+    [ st ]
+  | Ast.Recv (c, l) ->
+    let ch = lookup_chan fc ~loc c in
+    let l = resolve_lhs fc ~loc l in
+    let sid = fresh_sid fc.ctx in
+    let st = { P.sid; loc; desc = P.Srecv (ch, l) } in
+    record_stmt fc.ctx st;
+    [ st ]
+  | Ast.Print e ->
+    let e = resolve_expr fc e in
+    let sid = fresh_sid fc.ctx in
+    let st = { P.sid; loc; desc = P.Sprint e } in
+    record_stmt fc.ctx st;
+    [ st ]
+  | Ast.Assert e ->
+    let e = resolve_expr fc e in
+    let sid = fresh_sid fc.ctx in
+    let st = { P.sid; loc; desc = P.Sassert e } in
+    record_stmt fc.ctx st;
+    [ st ]
+
+and resolve_block fc stmts =
+  enter_block fc;
+  let resolved = List.concat_map (resolve_stmt fc) stmts in
+  exit_block fc;
+  resolved
+
+(* ------------------------------------------------------------------ *)
+(* Whole program.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let resolve (prog : Ast.program) : P.t =
+  let ctx =
+    {
+      top = StrMap.empty;
+      vars_rev = [];
+      nvars = 0;
+      stmts_rev = [];
+      nstmts = 0;
+      fsigs = [||];
+    }
+  in
+  let add_top ~loc name entry =
+    (match StrMap.find_opt name ctx.top with
+    | Some prev ->
+      Diag.error loc "'%s' is already declared as %s" name
+        (describe_entry prev)
+    | None -> ());
+    ctx.top <- StrMap.add name entry ctx.top
+  in
+  (* Pass 1: collect top-level names, slots for globals, signatures. *)
+  let globals_rev = ref [] and global_inits_rev = ref [] and nglobals = ref 0 in
+  let sems_rev = ref [] and nsems = ref 0 in
+  let chans_rev = ref [] and nchans = ref 0 in
+  let funcs_raw_rev = ref [] and nfuncs = ref 0 in
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.Gshared (x, init, loc) ->
+        let ty, ginit =
+          match init with
+          | Ast.Gscalar None -> (P.Tint, P.Ginit_int 0)
+          | Ast.Gscalar (Some e) -> (
+            match const_eval e with
+            | Cint n -> (P.Tint, P.Ginit_int n)
+            | Cbool _ ->
+              Diag.error loc "global '%s' must be initialised to an integer" x)
+          | Ast.Garray n ->
+            if n <= 0 then
+              Diag.error loc "array '%s' must have positive length" x;
+            (P.Tarr n, P.Ginit_arr n)
+        in
+        let v =
+          fresh_var ctx ~name:x ~ty ~scope:(P.Global !nglobals) ~fid:(-1)
+        in
+        add_top ~loc x (Tvar v);
+        globals_rev := v :: !globals_rev;
+        global_inits_rev := ginit :: !global_inits_rev;
+        incr nglobals
+      | Ast.Gsem (x, n, loc) ->
+        if n < 0 then
+          Diag.error loc "semaphore '%s' must have non-negative initial value"
+            x;
+        let s = { P.sem_id = !nsems; sem_name = x; sem_init = n } in
+        add_top ~loc x (Tsem s);
+        sems_rev := s :: !sems_rev;
+        incr nsems
+      | Ast.Gchan (x, cap, loc) ->
+        (match cap with
+        | Some n when n < 0 ->
+          Diag.error loc "channel '%s' must have non-negative capacity" x
+        | Some _ | None -> ());
+        let c = { P.ch_id = !nchans; ch_name = x; ch_cap = cap } in
+        add_top ~loc x (Tchan c);
+        chans_rev := c :: !chans_rev;
+        incr nchans
+      | Ast.Gfunc f ->
+        let fid = !nfuncs in
+        add_top ~loc:f.floc f.fname (Tfunc fid);
+        (* duplicate parameter names *)
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun p ->
+            if Hashtbl.mem seen p then
+              Diag.error f.floc "duplicate parameter '%s' in function '%s'" p
+                f.fname;
+            Hashtbl.add seen p ())
+          f.fparams;
+        let has_val = raw_stmts_return f.fbody in
+        if has_val && raw_stmts_return_void f.fbody then
+          Diag.error f.floc
+            "function '%s' mixes 'return;' and 'return expr;'" f.fname;
+        funcs_raw_rev := (fid, f) :: !funcs_raw_rev;
+        incr nfuncs)
+    prog;
+  let funcs_raw = List.rev !funcs_raw_rev in
+  ctx.fsigs <-
+    Array.of_list
+      (List.map
+         (fun (_, (f : Ast.func)) ->
+           (f.fname, List.length f.fparams, raw_stmts_return f.fbody))
+         funcs_raw);
+  (* Pass 2: resolve function bodies. *)
+  let funcs =
+    List.map
+      (fun (fid, (f : Ast.func)) ->
+        let fc =
+          {
+            ctx;
+            fid;
+            slots = 0;
+            all_locals_rev = [];
+            local_names = StrMap.empty;
+            scope_stack = [];
+            visible = StrMap.empty;
+          }
+        in
+        enter_block fc;
+        let params =
+          List.map
+            (fun p -> declare_local fc ~loc:f.floc ~name:p ~ty:P.Tint)
+            f.fparams
+        in
+        let body = List.concat_map (resolve_stmt fc) f.fbody in
+        exit_block fc;
+        {
+          P.fid;
+          fname = f.fname;
+          params;
+          locals = List.rev fc.all_locals_rev;
+          nslots = fc.slots;
+          body;
+          floc = f.floc;
+          returns_value = raw_stmts_return f.fbody;
+        })
+      funcs_raw
+  in
+  let funcs = Array.of_list funcs in
+  let main_fid =
+    match Array.find_opt (fun f -> String.equal f.P.fname "main") funcs with
+    | Some f ->
+      if f.P.params <> [] then
+        Diag.error f.P.floc "main() must take no parameters";
+      f.P.fid
+    | None -> Diag.error Loc.none "program has no 'main' function"
+  in
+  (* Statements are recorded when their record is built (children before
+     parents), so sort the table back into sid order. *)
+  let stmts = Array.of_list ctx.stmts_rev in
+  Array.sort (fun a b -> Int.compare a.P.sid b.P.sid) stmts;
+  Array.iteri (fun i s -> assert (s.P.sid = i)) stmts;
+  let stmt_fid = Array.make (Array.length stmts) (-1) in
+  Array.iter
+    (fun (f : P.func) ->
+      P.iter_stmts (fun s -> stmt_fid.(s.P.sid) <- f.P.fid) f.P.body)
+    funcs;
+  {
+    P.funcs;
+    globals = Array.of_list (List.rev !globals_rev);
+    global_inits = Array.of_list (List.rev !global_inits_rev);
+    sems = Array.of_list (List.rev !sems_rev);
+    chans = Array.of_list (List.rev !chans_rev);
+    main_fid;
+    nvars = ctx.nvars;
+    stmts;
+    stmt_fid;
+    vars = Array.of_list (List.rev ctx.vars_rev);
+  }
+
+let parse_and_resolve src = resolve (Parser.parse_program src)

@@ -1,0 +1,24 @@
+(** Name resolution: raw {!Ast.program} -> resolved {!Prog.t}.
+
+    Responsibilities:
+    - binds every identifier to a variable / semaphore / channel /
+      function, with a single flat namespace for top-level names;
+    - allocates frame slots for locals (parameters first) and shared
+      store slots for globals, and assigns program-wide [vid]s;
+    - assigns pre-order statement ids ([sid]s) and builds the statement
+      table;
+    - desugars [var x = e;] to assignments, [for] to [while], and drops
+      bare declarations;
+    - evaluates global initialisers (constant expressions only);
+    - enforces scoping (declare-before-use, block scope, no shadowing of
+      top-level names, no duplicate locals) and structural rules (arity
+      of calls, [main()] exists and takes no parameters, assigning calls
+      target value-returning functions, returns are all-valued or
+      all-void per function).
+
+    Raises {!Diag.Error} with a source location on any violation. *)
+
+val resolve : Ast.program -> Prog.t
+
+val parse_and_resolve : string -> Prog.t
+(** Convenience: {!Parser.parse_program} followed by {!resolve}. *)

@@ -1,0 +1,109 @@
+type t =
+  | INT of int
+  | IDENT of string
+  | TRUE
+  | FALSE
+  | FUNC
+  | VAR
+  | SHARED
+  | SEM
+  | CHAN
+  | IF
+  | ELSE
+  | WHILE
+  | FOR
+  | RETURN
+  | SPAWN
+  | JOIN
+  | PSEM
+  | VSEM
+  | SEND
+  | RECV
+  | PRINT
+  | ASSERT
+  | KINT
+  | KBOOL
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LEQ
+  | GT
+  | GEQ
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+let describe = function
+  | INT _ -> "integer literal"
+  | IDENT _ -> "identifier"
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | FUNC -> "func"
+  | VAR -> "var"
+  | SHARED -> "shared"
+  | SEM -> "sem"
+  | CHAN -> "chan"
+  | IF -> "if"
+  | ELSE -> "else"
+  | WHILE -> "while"
+  | FOR -> "for"
+  | RETURN -> "return"
+  | SPAWN -> "spawn"
+  | JOIN -> "join"
+  | PSEM -> "P"
+  | VSEM -> "V"
+  | SEND -> "send"
+  | RECV -> "recv"
+  | PRINT -> "print"
+  | ASSERT -> "assert"
+  | KINT -> "int"
+  | KBOOL -> "bool"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQ -> "=="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LEQ -> "<="
+  | GT -> ">"
+  | GEQ -> ">="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | EOF -> "end of input"
+
+let pp ppf t =
+  match t with
+  | INT n -> Format.fprintf ppf "INT(%d)" n
+  | IDENT s -> Format.fprintf ppf "IDENT(%s)" s
+  | other -> Format.pp_print_string ppf (describe other)
+
+let to_string t = Format.asprintf "%a" pp t
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,66 @@
+(** Lexical tokens of MPL. *)
+
+type t =
+  (* literals and identifiers *)
+  | INT of int
+  | IDENT of string
+  | TRUE
+  | FALSE
+  (* keywords *)
+  | FUNC
+  | VAR
+  | SHARED
+  | SEM
+  | CHAN
+  | IF
+  | ELSE
+  | WHILE
+  | FOR
+  | RETURN
+  | SPAWN
+  | JOIN
+  | PSEM (* P *)
+  | VSEM (* V *)
+  | SEND
+  | RECV
+  | PRINT
+  | ASSERT
+  | KINT (* type int *)
+  | KBOOL (* type bool *)
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | ASSIGN
+  (* operators *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LEQ
+  | GT
+  | GEQ
+  | ANDAND
+  | OROR
+  | BANG
+  (* end of input *)
+  | EOF
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val describe : t -> string
+(** Human-friendly name used in parse-error messages, e.g. [")"] or
+    ["identifier"]. *)

@@ -1,0 +1,102 @@
+open Prog
+
+type ety = [ `Int | `Bool ]
+
+let pp_ety ppf = function
+  | `Int -> Format.pp_print_string ppf "int"
+  | `Bool -> Format.pp_print_string ppf "bool"
+
+let rec type_expr loc (e : expr) : ety =
+  match e with
+  | Eint _ -> `Int
+  | Ebool _ -> `Bool
+  | Evar v -> (
+    match v.vty with
+    | Tint -> `Int
+    | Tarr _ ->
+      Diag.error loc "array '%s' cannot be used as a scalar value" v.vname)
+  | Eidx (v, i) -> (
+    expect_int loc i "array index";
+    match v.vty with
+    | Tarr _ -> `Int
+    | Tint -> Diag.error loc "'%s' is a scalar and cannot be indexed" v.vname)
+  | Eunop (Ast.Neg, a) ->
+    expect_int loc a "operand of unary '-'";
+    `Int
+  | Eunop (Ast.Not, a) ->
+    expect_bool loc a "operand of '!'";
+    `Bool
+  | Ebinop (op, a, b) -> (
+    match op with
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+      expect_int loc a "arithmetic operand";
+      expect_int loc b "arithmetic operand";
+      `Int
+    | Ast.Lt | Ast.Leq | Ast.Gt | Ast.Geq ->
+      expect_int loc a "comparison operand";
+      expect_int loc b "comparison operand";
+      `Bool
+    | Ast.Eq | Ast.Neq ->
+      let ta = type_expr loc a and tb = type_expr loc b in
+      if ta <> tb then
+        Diag.error loc "'==' / '!=' compare %a with %a" pp_ety ta pp_ety tb;
+      `Bool
+    | Ast.And | Ast.Or ->
+      expect_bool loc a "logical operand";
+      expect_bool loc b "logical operand";
+      `Bool)
+
+and expect_int loc e what =
+  match type_expr loc e with
+  | `Int -> ()
+  | `Bool -> Diag.error loc "%s must be an integer, found bool" what
+
+and expect_bool loc e what =
+  match type_expr loc e with
+  | `Bool -> ()
+  | `Int -> Diag.error loc "%s must be a boolean, found int" what
+
+let check_lhs loc (l : lhs) =
+  match l with
+  | Lvar v -> (
+    match v.vty with
+    | Tint -> ()
+    | Tarr _ ->
+      Diag.error loc "cannot assign to whole array '%s'; assign elements"
+        v.vname)
+  | Lidx (v, i) -> (
+    expect_int loc i "array index";
+    match v.vty with
+    | Tarr _ -> ()
+    | Tint -> Diag.error loc "'%s' is a scalar and cannot be indexed" v.vname)
+
+let rec check_stmt (s : stmt) =
+  let loc = s.loc in
+  match s.desc with
+  | Sassign (l, e) ->
+    check_lhs loc l;
+    expect_int loc e "assigned value"
+  | Scall (l, c) | Sspawn (l, c) ->
+    Option.iter (check_lhs loc) l;
+    List.iter (fun a -> expect_int loc a "argument") c.cargs
+  | Sjoin (l, e) ->
+    Option.iter (check_lhs loc) l;
+    expect_int loc e "join target (process id)"
+  | Sif (c, t, e) ->
+    expect_bool loc c "if condition";
+    List.iter check_stmt t;
+    List.iter check_stmt e
+  | Swhile (c, b) ->
+    expect_bool loc c "while condition";
+    List.iter check_stmt b
+  | Sreturn None -> ()
+  | Sreturn (Some e) -> expect_int loc e "returned value"
+  | Sp _ | Sv _ -> ()
+  | Ssend (_, e) -> expect_int loc e "message payload"
+  | Srecv (_, l) -> check_lhs loc l
+  | Sprint e -> ignore (type_expr loc e)
+  | Sassert e -> expect_bool loc e "assert condition"
+
+let check (p : t) = Array.iter (fun f -> List.iter check_stmt f.body) p.funcs
+
+let check_expr (_p : t) loc e = type_expr loc e

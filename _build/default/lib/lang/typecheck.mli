@@ -1,0 +1,22 @@
+(** Static type checking of resolved MPL programs.
+
+    MPL storage is monomorphic: every scalar variable holds an integer,
+    arrays hold integers, and booleans exist only transiently inside
+    expressions (comparisons, logical operators, conditions, asserts).
+    The checker enforces:
+
+    - arrays are only used indexed, scalars never indexed;
+    - arithmetic on integers, logic on booleans, comparisons between
+      integers;
+    - conditions of [if]/[while]/[assert] are boolean;
+    - assigned expressions, call/spawn arguments, send payloads and
+      valued returns are integers;
+    - [print] accepts either type.
+
+    Raises {!Diag.Error} on the first violation. *)
+
+val check : Prog.t -> unit
+
+val check_expr : Prog.t -> Loc.t -> Prog.expr -> [ `Int | `Bool ]
+(** Type of a single expression in a context-free setting; exposed for
+    the interactive CLI. *)

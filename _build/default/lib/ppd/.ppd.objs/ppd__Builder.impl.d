@@ -1,0 +1,1 @@
+lib/ppd/builder.ml: Analysis Array Dyn_graph Emulator Hashtbl Lang List Option Printf Runtime Trace

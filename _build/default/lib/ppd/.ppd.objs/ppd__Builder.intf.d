@@ -1,0 +1,1 @@
+lib/ppd/builder.mli: Analysis Dyn_graph Emulator Runtime Trace

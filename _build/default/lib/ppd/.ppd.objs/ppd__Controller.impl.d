@@ -1,0 +1,1 @@
+lib/ppd/controller.ml: Analysis Array Builder Dyn_graph Emulator Hashtbl Int Lang List Option Pardyn Runtime Trace

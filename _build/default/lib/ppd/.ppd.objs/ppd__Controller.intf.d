@@ -1,0 +1,1 @@
+lib/ppd/controller.mli: Analysis Dyn_graph Emulator Lang Pardyn Runtime Trace

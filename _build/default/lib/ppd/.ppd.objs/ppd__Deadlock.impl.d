@@ -1,0 +1,1 @@
+lib/ppd/deadlock.ml: Analysis Array Format Fun Lang List Runtime String

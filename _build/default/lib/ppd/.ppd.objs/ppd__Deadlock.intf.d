@@ -1,0 +1,1 @@
+lib/ppd/deadlock.mli: Format Lang Runtime

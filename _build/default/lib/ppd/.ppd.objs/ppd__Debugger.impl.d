@@ -1,0 +1,1 @@
+lib/ppd/debugger.ml: Analysis Array Controller Deadlock Dyn_graph Emulator Flowback Format Fun Lang List Printf Race Restore Result Runtime Session String Trace

@@ -1,0 +1,1 @@
+lib/ppd/debugger.mli: Session

@@ -1,0 +1,1 @@
+lib/ppd/dyn_graph.ml: Array Buffer Format Hashtbl Lang List Option Printf Runtime String

@@ -1,0 +1,1 @@
+lib/ppd/dyn_graph.mli: Format Lang Runtime

@@ -1,0 +1,1 @@
+lib/ppd/emulator.ml: Analysis Array Buffer Format Lang List Option Printf Restore Runtime Trace

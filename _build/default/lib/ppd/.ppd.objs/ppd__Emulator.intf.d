@@ -1,0 +1,1 @@
+lib/ppd/emulator.mli: Analysis Lang Runtime Trace

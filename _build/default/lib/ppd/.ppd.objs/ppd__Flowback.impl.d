@@ -1,0 +1,1 @@
+lib/ppd/flowback.ml: Controller Dyn_graph Format Hashtbl Lang List Queue Runtime

@@ -1,0 +1,1 @@
+lib/ppd/flowback.mli: Controller Dyn_graph Format

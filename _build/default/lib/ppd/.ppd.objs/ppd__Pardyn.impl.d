@@ -1,0 +1,1 @@
+lib/ppd/pardyn.ml: Analysis Array Format Hashtbl Lang List Option Queue Runtime Trace Vclock

@@ -1,0 +1,1 @@
+lib/ppd/pardyn.mli: Analysis Format Hashtbl Lang Runtime Trace Vclock

@@ -1,0 +1,1 @@
+lib/ppd/race.ml: Analysis Array Format Hashtbl Int Lang List Pardyn Printf Trace

@@ -1,0 +1,1 @@
+lib/ppd/race.mli: Format Lang Pardyn

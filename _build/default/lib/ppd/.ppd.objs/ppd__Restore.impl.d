@@ -1,0 +1,1 @@
+lib/ppd/restore.ml: Array Int Lang List Runtime Trace

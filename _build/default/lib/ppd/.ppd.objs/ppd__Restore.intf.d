@@ -1,0 +1,1 @@
+lib/ppd/restore.mli: Lang Runtime Trace

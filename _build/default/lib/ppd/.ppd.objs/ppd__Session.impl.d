@@ -1,0 +1,1 @@
+lib/ppd/session.ml: Analysis Array Controller Deadlock Emulator Lang List Option Pardyn Printf Race Runtime String Trace

@@ -1,0 +1,1 @@
+lib/ppd/session.mli: Analysis Controller Deadlock Emulator Lang Pardyn Race Runtime Trace

@@ -1,0 +1,1 @@
+lib/ppd/vclock.ml: Array Format

@@ -1,0 +1,1 @@
+lib/ppd/vclock.mli: Format

@@ -1,0 +1,366 @@
+module P = Lang.Prog
+module E = Runtime.Event
+module L = Trace.Log
+
+type t = {
+  eb : Analysis.Eblock.t;
+  pdgs : Analysis.Static_pdg.program_pdgs;
+  db : Analysis.Progdb.t;
+  log : L.t;
+  pd : Pardyn.t;
+  g : Dyn_graph.t;
+  ivs : L.interval array array;  (* per pid *)
+  outcomes : (int * int, Emulator.outcome) Hashtbl.t;
+  mutable pending : (E.eref * int) list;
+  mutable replays : int;
+  mutable replay_steps : int;
+}
+
+type stats = { replays : int; replay_steps : int; intervals_total : int }
+
+let start eb log =
+  let prog = eb.Analysis.Eblock.prog in
+  {
+    eb;
+    pdgs = Analysis.Static_pdg.build_program prog;
+    db = Analysis.Progdb.build ~summary:eb.Analysis.Eblock.summary prog;
+    log;
+    pd = Pardyn.of_log prog log;
+    g = Dyn_graph.create ();
+    ivs =
+      Array.init log.L.nprocs (fun pid ->
+          L.intervals ~stmt_fid:(fun sid -> prog.P.stmt_fid.(sid)) log ~pid);
+    outcomes = Hashtbl.create 16;
+    pending = [];
+    replays = 0;
+    replay_steps = 0;
+  }
+
+let graph t = t.g
+
+let prog t = t.eb.Analysis.Eblock.prog
+
+let pardyn t = t.pd
+
+let intervals t ~pid = t.ivs.(pid)
+
+let retry_pending t =
+  let unresolved = ref [] in
+  List.iter
+    (fun (src, dst) ->
+      match Dyn_graph.find_ref t.g src with
+      | Some n -> Dyn_graph.add_edge t.g ~src:n ~dst ~kind:Dyn_graph.Sync
+      | None -> unresolved := (src, dst) :: !unresolved)
+    t.pending;
+  t.pending <- !unresolved
+
+let build_interval t ~pid ~iv_id =
+  match Hashtbl.find_opt t.outcomes (pid, iv_id) with
+  | Some o -> o
+  | None ->
+    let iv = t.ivs.(pid).(iv_id) in
+    let builder, outcome =
+      Builder.build_interval t.pdgs t.eb t.log t.g ~interval:iv
+    in
+    t.replays <- t.replays + 1;
+    t.replay_steps <- t.replay_steps + outcome.Emulator.steps;
+    t.pending <- Builder.pending_links builder @ t.pending;
+    retry_pending t;
+    Hashtbl.replace t.outcomes (pid, iv_id) outcome;
+    outcome
+
+let enclosing_interval t (r : E.eref) =
+  L.find_enclosing t.ivs.(r.epid) ~seq:r.eseq
+
+let node_of_event t (r : E.eref) =
+  match Dyn_graph.find_ref t.g r with
+  | Some n -> Some n
+  | None -> (
+    match enclosing_interval t r with
+    | None -> None
+    | Some iv ->
+      ignore (build_interval t ~pid:r.epid ~iv_id:iv.L.iv_id);
+      Dyn_graph.find_ref t.g r)
+
+let last_event_node t ~pid =
+  let ivs = t.ivs.(pid) in
+  if Array.length ivs = 0 then None
+  else begin
+    (* the process halted inside the innermost open interval (greatest
+       start among those without a postlog); if every interval closed,
+       it ran to completion and the last event is in its root block *)
+    let better a b =
+      match a with
+      | None -> Some b
+      | Some a' -> if b.L.iv_seq_start > a'.L.iv_seq_start then Some b else a
+    in
+    let open_ =
+      Array.fold_left
+        (fun best iv -> if iv.L.iv_seq_end = None then better best iv else best)
+        None ivs
+    in
+    let last =
+      match open_ with
+      | Some _ as l -> l
+      | None ->
+        Array.fold_left
+          (fun best iv -> if iv.L.iv_parent = None then better best iv else best)
+          None ivs
+    in
+    match last with
+    | None -> None
+    | Some iv ->
+      let outcome = build_interval t ~pid ~iv_id:iv.L.iv_id in
+      let rec last_ref acc = function
+        | [] -> acc
+        | (seq, _) :: rest -> last_ref (Some seq) rest
+      in
+      (match last_ref None outcome.Emulator.events with
+      | None -> None
+      | Some seq -> Dyn_graph.find_ref t.g { E.epid = pid; eseq = seq })
+  end
+
+let expand_subgraph t node_id =
+  let node = Dyn_graph.node t.g node_id in
+  match (node.Dyn_graph.nd_kind, node.Dyn_graph.nd_ref) with
+  | Dyn_graph.N_loop _, Some enter_ref -> (
+    (* loop e-block: the nested interval starts right after the
+       loop-enter event; the fragment's nodes attach to this node *)
+    let child_seq = enter_ref.E.eseq + 1 in
+    match L.find_enclosing t.ivs.(enter_ref.E.epid) ~seq:child_seq with
+    | Some iv
+      when iv.L.iv_seq_start = child_seq
+           && (match iv.L.iv_block with L.Bloop _ -> true | _ -> false) ->
+      if Hashtbl.mem t.outcomes (enter_ref.E.epid, iv.L.iv_id) then None
+      else Some (build_interval t ~pid:enter_ref.E.epid ~iv_id:iv.L.iv_id)
+    | Some _ | None -> None)
+  | Dyn_graph.N_subgraph _, Some call_ref -> (
+    (* the nested interval starts right after the call event *)
+    let child_seq = call_ref.E.eseq + 1 in
+    match
+      L.find_enclosing t.ivs.(call_ref.E.epid) ~seq:child_seq
+    with
+    | Some iv when iv.L.iv_seq_start = child_seq ->
+      if Hashtbl.mem t.outcomes (call_ref.E.epid, iv.L.iv_id) then None
+      else begin
+        let outcome = build_interval t ~pid:call_ref.E.epid ~iv_id:iv.L.iv_id in
+        (* stitch: the call node governs the callee's entry, and the
+           callee's returned value flows back into the sub-graph node
+           (the %0 mapping of §4.2) *)
+        (match
+           Dyn_graph.find_ref t.g
+             { E.epid = call_ref.E.epid; eseq = child_seq }
+         with
+        | Some entry ->
+          Dyn_graph.add_edge t.g ~src:node_id ~dst:entry
+            ~kind:Dyn_graph.Control
+        | None -> ());
+        let return_seq =
+          List.fold_left
+            (fun acc (seq, ev) ->
+              match ev with
+              | E.E_stmt { kind = E.K_return _; _ } -> Some seq
+              | _ -> acc)
+            None outcome.Emulator.events
+        in
+        (match return_seq with
+        | Some seq -> (
+          match
+            Dyn_graph.find_ref t.g { E.epid = call_ref.E.epid; eseq = seq }
+          with
+          | Some ret_node ->
+            Dyn_graph.add_edge t.g ~src:ret_node ~dst:node_id
+              ~kind:(Dyn_graph.Dparam 0)
+          | None -> ())
+        | None -> ());
+        Some outcome
+      end
+    | Some _ | None -> None)
+  | _, _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* External (frontier) resolution.                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Interval that the external node's fragment belongs to: the reading
+   event right after it in the same process. We recover it from the
+   graph: external nodes have no ref, but their successors do. *)
+let interval_of_node t node_id =
+  let rec find_ref n seen =
+    if List.mem n seen then None
+    else
+      match (Dyn_graph.node t.g n).Dyn_graph.nd_ref with
+      | Some r -> Some r
+      | None ->
+        List.fold_left
+          (fun acc (s, _) ->
+            match acc with Some _ -> acc | None -> find_ref s (n :: seen))
+          None
+          (Dyn_graph.succs t.g n)
+  in
+  match find_ref node_id [] with
+  | None -> None
+  | Some r -> Option.map (fun iv -> (r, iv)) (enclosing_interval t r)
+
+let prelog_step t (iv : L.interval) =
+  match t.log.L.entries.(iv.L.iv_pid).(iv.L.iv_prelog) with
+  | L.Prelog { step_at; _ } -> step_at
+  | _ -> 0
+
+(* The moment the value read at [reader_seq] was snapshot: the latest
+   prelog or sync-unit prelog of this process at or before the reading
+   event. *)
+let snapshot_step t ~pid ~reader_seq =
+  Array.fold_left
+    (fun acc e ->
+      match e with
+      | L.Prelog { seq_at; step_at; _ } | L.Sync_prelog { seq_at; step_at; _ }
+        when seq_at <= reader_seq ->
+        max acc step_at
+      | _ -> acc)
+    0
+    t.log.L.entries.(pid)
+
+(* The last node in the (already built) graph writing [vid] within the
+   given interval: scan the builder outcome's events. *)
+let last_write_node t (iv : L.interval) vid =
+  match Hashtbl.find_opt t.outcomes (iv.L.iv_pid, iv.L.iv_id) with
+  | None -> None
+  | Some outcome ->
+    List.fold_left
+      (fun acc (seq, ev) ->
+        match ev with
+        | E.E_stmt { write = Some { var; value }; _ } when var.P.vid = vid ->
+          Some (seq, value)
+        | _ -> acc)
+      None outcome.Emulator.events
+    |> Option.map (fun (seq, value) ->
+           (Dyn_graph.find_ref t.g { E.epid = iv.L.iv_pid; eseq = seq }, value))
+
+(* Resolve a parameter external: the defining event is the caller's
+   call (parent interval) or the spawner's spawn. *)
+let resolve_param t node_id (iv : L.interval) =
+  let pid = iv.L.iv_pid in
+  let link writer =
+    let var =
+      match (Dyn_graph.node t.g node_id).Dyn_graph.nd_kind with
+      | Dyn_graph.N_external v -> v
+      | _ -> assert false
+    in
+    Dyn_graph.add_edge t.g ~src:writer ~dst:node_id ~kind:(Dyn_graph.Data var);
+    Dyn_graph.resolve_external t.g node_id;
+    Some writer
+  in
+  match iv.L.iv_parent with
+  | Some parent_id ->
+    ignore (build_interval t ~pid ~iv_id:parent_id);
+    (* the call event immediately precedes this interval's E_enter *)
+    let call_ref = { E.epid = pid; eseq = iv.L.iv_seq_start - 1 } in
+    (match Dyn_graph.find_ref t.g call_ref with
+    | Some writer -> link writer
+    | None -> None)
+  | None -> (
+    (* process root: find the spawner via the proc-start sync record *)
+    let entries = t.log.L.entries.(pid) in
+    let spawn =
+      if iv.L.iv_prelog > 0 then
+        match entries.(iv.L.iv_prelog - 1) with
+        | L.Sync { data = L.S_proc_start { spawn; _ }; _ } -> spawn
+        | _ -> None
+      else None
+    in
+    match spawn with
+    | None -> None
+    | Some r -> (
+      match node_of_event t r with
+      | Some writer -> link writer
+      | None -> None))
+
+(* Resolve a shared-variable external: emulate candidate intervals
+   (recent first, among those whose function may define the variable)
+   until a fragment's last write matches the observed value. *)
+let resolve_shared t node_id var ~reader (reading_iv : L.interval) =
+  let vid = var.P.vid in
+  let observed = (Dyn_graph.node t.g node_id).Dyn_graph.nd_value in
+  let read_step =
+    snapshot_step t ~pid:reading_iv.L.iv_pid ~reader_seq:reader.Runtime.Event.eseq
+  in
+  let candidates = ref [] in
+  Array.iteri
+    (fun pid ivs ->
+      Array.iter
+        (fun (iv : L.interval) ->
+          let same = pid = reading_iv.L.iv_pid && iv.L.iv_id = reading_iv.L.iv_id in
+          let may_define =
+            match iv.L.iv_block with
+            | L.Bfunc fid ->
+              Analysis.Varset.mem vid t.eb.Analysis.Eblock.defined.(fid)
+            | L.Bloop lsid -> (
+              match Analysis.Eblock.loop_block_vars t.eb ~sid:lsid with
+              | Some (_, post) ->
+                List.exists (fun (v : P.var) -> v.vid = vid) post
+              | None -> false)
+          in
+          (* only blocks that started before the value was snapshot *)
+          if (not same) && may_define && prelog_step t iv <= read_step then
+            candidates := iv :: !candidates)
+        ivs)
+    t.ivs;
+  let candidates =
+    List.sort
+      (fun a b -> Int.compare (prelog_step t b) (prelog_step t a))
+      !candidates
+  in
+  let rec try_candidates = function
+    | [] -> None
+    | iv :: rest -> (
+      ignore (build_interval t ~pid:iv.L.iv_pid ~iv_id:iv.L.iv_id);
+      match last_write_node t iv vid with
+      | Some (Some writer, value)
+        when match observed with
+             | None -> true
+             | Some o -> Runtime.Value.equal o value -> (
+        (* only accept writers not ordered after the read (race-free
+           executions have a unique such maximal writer) *)
+        Dyn_graph.add_edge t.g ~src:writer ~dst:node_id
+          ~kind:(Dyn_graph.Data var);
+        Dyn_graph.resolve_external t.g node_id;
+        match observed with _ -> Some writer)
+      | Some _ | None -> try_candidates rest)
+  in
+  try_candidates candidates
+
+let resolve_external t node_id =
+  let node = Dyn_graph.node t.g node_id in
+  match node.Dyn_graph.nd_kind with
+  | Dyn_graph.N_external var -> (
+    match interval_of_node t node_id with
+    | None -> None
+    | Some (reader, iv) ->
+      if P.is_global var then resolve_shared t node_id var ~reader iv
+      else resolve_param t node_id iv)
+  | _ -> None
+
+let why t node_id =
+  (* build partner fragments for pending sync links into this node *)
+  List.iter
+    (fun (src, dst) -> if dst = node_id then ignore (node_of_event t src))
+    t.pending;
+  retry_pending t;
+  (* resolve external predecessors *)
+  List.iter
+    (fun (p, _) ->
+      match (Dyn_graph.node t.g p).Dyn_graph.nd_kind with
+      | Dyn_graph.N_external _
+        when List.exists (fun (i, _) -> i = p) (Dyn_graph.externals t.g) ->
+        ignore (resolve_external t p)
+      | _ -> ())
+    (Dyn_graph.preds t.g node_id);
+  Dyn_graph.preds t.g node_id
+
+let stats (t : t) =
+  {
+    replays = t.replays;
+    replay_steps = t.replay_steps;
+    intervals_total = Array.fold_left (fun a ivs -> a + Array.length ivs) 0 t.ivs;
+  }

@@ -1,0 +1,70 @@
+(** The PPD Controller (§3.2.3, §5.3, §5.6): owns the debugging phase.
+
+    Starting from the execution log, the controller builds the dynamic
+    program dependence graph {e incrementally}: it emulates only the log
+    intervals needed to answer the user's current question, exactly as
+    the paper prescribes ("since only the portions of the dynamic graph
+    in which the user is interested are generated, this is called
+    incremental tracing").
+
+    Capabilities:
+    - build the fragment for any log interval (once; results are
+      cached);
+    - locate and build the fragment containing an arbitrary event;
+    - expand an unexpanded sub-graph node by emulating the nested
+      e-block's interval (§5.2);
+    - resolve {e external} frontier nodes: a parameter resolves to the
+      caller's call/spawn event (parent interval), a shared variable to
+      the writing interval — found via the program database's DEFINED
+      information, ordered by recency and validated by value (§5.6);
+    - follow synchronization links across processes, building the
+      partner process's interval on demand (§6.3);
+    - answer [why] queries: the immediate dependence predecessors of a
+      node, with all of the above resolution applied. *)
+
+type t
+
+val start : Analysis.Eblock.t -> Trace.Log.t -> t
+
+val graph : t -> Dyn_graph.t
+
+val prog : t -> Lang.Prog.t
+
+val pardyn : t -> Pardyn.t
+
+val intervals : t -> pid:int -> Trace.Log.interval array
+
+val build_interval : t -> pid:int -> iv_id:int -> Emulator.outcome
+(** Emulate the interval (if not already built) and add its fragment to
+    the graph. *)
+
+val node_of_event : t -> Runtime.Event.eref -> int option
+(** Locate the graph node for an event, building its enclosing interval
+    on demand. *)
+
+val last_event_node : t -> pid:int -> int option
+(** The node of the last event process [pid] executed — the root of the
+    inverted tree the debugger first presents (§3.2.3). Builds the
+    process's final (possibly open/faulted) interval. *)
+
+val expand_subgraph : t -> int -> Emulator.outcome option
+(** Emulate the nested interval behind an unexpanded sub-graph node and
+    stitch its detail graph in. [None] if the node is not a sub-graph
+    node or has no nested interval (inlined callees are already
+    expanded). *)
+
+val resolve_external : t -> int -> int option
+(** Find the definition behind a frontier node and link it with a data
+    edge; returns the writer node. *)
+
+val why : t -> int -> (int * Dyn_graph.edge_kind) list
+(** Immediate dependence predecessors (data/control/sync), after
+    resolving this node's external reads and pending sync links. *)
+
+type stats = {
+  replays : int;  (** intervals emulated so far *)
+  replay_steps : int;  (** interpreter steps spent emulating *)
+  intervals_total : int;  (** intervals available in the log *)
+}
+
+val stats : t -> stats

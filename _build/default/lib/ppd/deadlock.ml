@@ -1,0 +1,142 @@
+module P = Lang.Prog
+module M = Runtime.Machine
+
+type analysis = {
+  blocked : (int * M.wait) list;
+  wait_for : (int * int list) list;
+  cycles : int list list;
+  hopeless : int list;
+}
+
+(* Which sync operations each function may (transitively through its
+   calls) perform. *)
+type caps = {
+  may_v : bool array array;  (* fid -> sem_id -> bool *)
+  may_send : bool array array;  (* fid -> chan_id -> bool *)
+  may_recv : bool array array;
+}
+
+let capabilities (p : P.t) =
+  let nf = Array.length p.funcs in
+  let mk () = Array.init nf (fun _ -> Array.make (max 1 (max (Array.length p.sems) (Array.length p.chans))) false) in
+  let may_v = mk () and may_send = mk () and may_recv = mk () in
+  Array.iter
+    (fun (f : P.func) ->
+      P.iter_stmts
+        (fun s ->
+          match s.desc with
+          | P.Sv sem -> may_v.(f.fid).(sem.sem_id) <- true
+          | P.Ssend (c, _) -> may_send.(f.fid).(c.ch_id) <- true
+          | P.Srecv (c, _) -> may_recv.(f.fid).(c.ch_id) <- true
+          | _ -> ())
+        f.body)
+    p.funcs;
+  (* close over calls *)
+  let cg = Analysis.Callgraph.compute p in
+  let changed = ref true in
+  let merge dst src =
+    Array.iteri
+      (fun i b ->
+        if b && not (dst.(i)) then begin
+          dst.(i) <- true;
+          changed := true
+        end)
+      src
+  in
+  while !changed do
+    changed := false;
+    for f = 0 to nf - 1 do
+      List.iter
+        (fun g ->
+          merge may_v.(f) may_v.(g);
+          merge may_send.(f) may_send.(g);
+          merge may_recv.(f) may_recv.(g))
+        cg.Analysis.Callgraph.calls.(f)
+    done
+  done;
+  { may_v; may_send; may_recv }
+
+let analyze m =
+  let p = M.prog m in
+  let caps = capabilities p in
+  let n = M.nprocs m in
+  let blocked = ref [] in
+  for pid = n - 1 downto 0 do
+    match M.blocked_wait m pid with
+    | Some w -> blocked := (pid, w) :: !blocked
+    | None -> ()
+  done;
+  let blocked = !blocked in
+  (* which processes are still live (not Done) and what they could do;
+     a blocked process can still eventually perform its later ops, so
+     blocked processes count as capable *)
+  let live =
+    List.init n (fun pid ->
+        match M.proc_state m pid with
+        | M.Done -> None
+        | M.Ready | M.Blocked _ -> Some pid)
+    |> List.filter_map Fun.id
+  in
+  let helpers (waiter : int) (w : M.wait) =
+    List.filter
+      (fun q ->
+        q <> waiter
+        &&
+        let root = M.proc_root m q in
+        match w with
+        | M.Wjoin target -> q = target
+        | M.Wsem s -> caps.may_v.(root).(s)
+        | M.Wsend c -> caps.may_recv.(root).(c)
+        | M.Wrecv c -> caps.may_send.(root).(c))
+      live
+  in
+  let wait_for = List.map (fun (pid, w) -> (pid, helpers pid w)) blocked in
+  let hopeless =
+    List.filter_map
+      (fun (pid, hs) -> if hs = [] then Some pid else None)
+      wait_for
+  in
+  (* cycles restricted to blocked processes: DFS from each *)
+  let succs pid = try List.assoc pid wait_for with Not_found -> [] in
+  let blocked_pids = List.map fst blocked in
+  let cycles = ref [] in
+  let rec dfs start path node =
+    List.iter
+      (fun next ->
+        if next = start then cycles := List.rev (node :: path) :: !cycles
+        else if (not (List.mem next path)) && List.mem next blocked_pids && next > start
+        then dfs start (node :: path) next)
+      (succs node)
+  in
+  List.iter (fun pid -> dfs pid [] pid) blocked_pids;
+  let cycles = List.sort_uniq compare !cycles in
+  { blocked; wait_for; cycles; hopeless }
+
+let is_deadlocked a = a.cycles <> [] || a.hopeless <> []
+
+let pp_wait (p : P.t) ppf = function
+  | M.Wsem s -> Format.fprintf ppf "P(%s)" p.sems.(s).P.sem_name
+  | M.Wsend c -> Format.fprintf ppf "send(%s, ..)" p.chans.(c).P.ch_name
+  | M.Wrecv c -> Format.fprintf ppf "recv(%s, ..)" p.chans.(c).P.ch_name
+  | M.Wjoin q -> Format.fprintf ppf "join(process %d)" q
+
+let pp (p : P.t) ppf a =
+  Format.fprintf ppf "@[<v>deadlock analysis:";
+  List.iter
+    (fun (pid, w) ->
+      Format.fprintf ppf "@,  process %d blocked in %a, could be unblocked by: %s"
+        pid (pp_wait p) w
+        (match List.assoc pid a.wait_for with
+        | [] -> "nobody (starved)"
+        | hs -> String.concat ", " (List.map (fun q -> "p" ^ string_of_int q) hs)))
+    a.blocked;
+  (match a.cycles with
+  | [] -> Format.fprintf ppf "@,  no wait-for cycle"
+  | cs ->
+    List.iter
+      (fun c ->
+        Format.fprintf ppf "@,  wait-for cycle: %s"
+          (String.concat " -> "
+             (List.map (fun q -> "p" ^ string_of_int q) (c @ [ List.hd c ]))))
+      cs);
+  Format.fprintf ppf "@]"

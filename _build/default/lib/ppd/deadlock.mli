@@ -1,0 +1,25 @@
+(** Deadlock-cause analysis (§6: "the parallel dynamic graph can also
+    help the user analyze the causes of deadlocks").
+
+    When the machine halts in deadlock, every live process is blocked on
+    a semaphore, channel or join. We build a {e wait-for} graph: process
+    [p] waits for process [q] when [q] could in principle perform the
+    operation that would unblock [p] — [q] is the join target, or [q]'s
+    code (transitively through its calls) contains a matching [V] /
+    [send] / [recv]. Cycles in this graph are the deadlock's cause;
+    blocked processes with no candidate helper at all are starved. *)
+
+type analysis = {
+  blocked : (int * Runtime.Machine.wait) list;
+  wait_for : (int * int list) list;
+      (** per blocked pid: the processes that could unblock it *)
+  cycles : int list list;  (** simple cycles found in the wait-for graph *)
+  hopeless : int list;  (** blocked pids no live process can ever unblock *)
+}
+
+val analyze : Runtime.Machine.t -> analysis
+
+val is_deadlocked : analysis -> bool
+(** True when there is a cycle or a hopeless blocked process. *)
+
+val pp : Lang.Prog.t -> Format.formatter -> analysis -> unit

@@ -1,0 +1,239 @@
+module P = Lang.Prog
+
+type node_kind =
+  | N_entry of int
+  | N_exit of int
+  | N_singular of int
+  | N_subgraph of { sid : int; callee : int }
+  | N_loop of int
+  | N_param of int
+  | N_external of P.var
+
+type node = {
+  nd_id : int;
+  nd_ref : Runtime.Event.eref option;
+  nd_kind : node_kind;
+  nd_pid : int;
+  nd_owner : int option;
+  nd_label : string;
+  mutable nd_value : Runtime.Value.t option;
+}
+
+type edge_kind = Flow | Data of P.var | Dparam of int | Control | Sync
+
+type t = {
+  mutable nodes : node array;
+  mutable preds_ : (int * edge_kind) list array;
+  mutable succs_ : (int * edge_kind) list array;
+  mutable n : int;
+  mutable nedges : int;
+  by_ref : (Runtime.Event.eref, int) Hashtbl.t;
+  mutable externals_ : (int * P.var) list;
+}
+
+let create () =
+  {
+    nodes = [||];
+    preds_ = [||];
+    succs_ = [||];
+    n = 0;
+    nedges = 0;
+    by_ref = Hashtbl.create 64;
+    externals_ = [];
+  }
+
+let grow t =
+  let cap = Array.length t.nodes in
+  if t.n >= cap then begin
+    let ncap = max 16 (2 * cap) in
+    let dummy =
+      {
+        nd_id = -1;
+        nd_ref = None;
+        nd_kind = N_entry (-1);
+        nd_pid = -1;
+        nd_owner = None;
+        nd_label = "";
+        nd_value = None;
+      }
+    in
+    let nodes = Array.make ncap dummy in
+    Array.blit t.nodes 0 nodes 0 cap;
+    t.nodes <- nodes;
+    let preds = Array.make ncap [] in
+    Array.blit t.preds_ 0 preds 0 cap;
+    t.preds_ <- preds;
+    let succs = Array.make ncap [] in
+    Array.blit t.succs_ 0 succs 0 cap;
+    t.succs_ <- succs
+  end
+
+let add_node t ?ref_ ?owner ?value ~pid ~kind ~label () =
+  grow t;
+  let id = t.n in
+  t.n <- t.n + 1;
+  t.nodes.(id) <-
+    {
+      nd_id = id;
+      nd_ref = ref_;
+      nd_kind = kind;
+      nd_pid = pid;
+      nd_owner = owner;
+      nd_label = label;
+      nd_value = value;
+    };
+  (match ref_ with Some r -> Hashtbl.replace t.by_ref r id | None -> ());
+  id
+
+let edge_kind_equal a b =
+  match (a, b) with
+  | Flow, Flow | Control, Control | Sync, Sync -> true
+  | Data v, Data w -> v.P.vid = w.P.vid
+  | Dparam i, Dparam j -> i = j
+  | (Flow | Data _ | Dparam _ | Control | Sync), _ -> false
+
+let add_edge t ~src ~dst ~kind =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Dyn_graph.add_edge: bad node id";
+  let dup =
+    List.exists
+      (fun (s, k) -> s = src && edge_kind_equal k kind)
+      t.preds_.(dst)
+  in
+  if not dup then begin
+    t.preds_.(dst) <- (src, kind) :: t.preds_.(dst);
+    t.succs_.(src) <- (dst, kind) :: t.succs_.(src);
+    t.nedges <- t.nedges + 1
+  end
+
+let nnodes t = t.n
+
+let nedges t = t.nedges
+
+let node t i =
+  if i < 0 || i >= t.n then invalid_arg "Dyn_graph.node" else t.nodes.(i)
+
+let preds t i = List.rev t.preds_.(i)
+
+let succs t i = List.rev t.succs_.(i)
+
+let find_ref t r = Hashtbl.find_opt t.by_ref r
+
+let set_value t i v = (node t i).nd_value <- Some v
+
+let members t sub =
+  let out = ref [] in
+  for i = t.n - 1 downto 0 do
+    if t.nodes.(i).nd_owner = Some sub then out := i :: !out
+  done;
+  !out
+
+let externals t = t.externals_
+
+let mark_external t id var = t.externals_ <- (id, var) :: t.externals_
+
+let resolve_external t id =
+  t.externals_ <- List.filter (fun (i, _) -> i <> id) t.externals_
+
+let pp_kind ppf = function
+  | N_entry fid -> Format.fprintf ppf "entry(f%d)" fid
+  | N_exit fid -> Format.fprintf ppf "exit(f%d)" fid
+  | N_singular sid -> Format.fprintf ppf "s%d" sid
+  | N_subgraph { sid; callee } -> Format.fprintf ppf "sub(s%d,f%d)" sid callee
+  | N_loop sid -> Format.fprintf ppf "loop(s%d)" sid
+  | N_param i -> Format.fprintf ppf "%%%d" i
+  | N_external v -> Format.fprintf ppf "ext(%s)" v.P.vname
+
+let pp_node ppf n =
+  Format.fprintf ppf "#%d p%d %a \"%s\"" n.nd_id n.nd_pid pp_kind n.nd_kind
+    n.nd_label;
+  (match n.nd_value with
+  | None -> ()
+  | Some v -> Format.fprintf ppf " = %a" Runtime.Value.pp v);
+  match n.nd_owner with
+  | None -> ()
+  | Some o -> Format.fprintf ppf " in #%d" o
+
+let pp_edge_kind ppf = function
+  | Flow -> Format.pp_print_string ppf "flow"
+  | Data v -> Format.fprintf ppf "data:%s" v.P.vname
+  | Dparam i -> Format.fprintf ppf "param:%%%d" i
+  | Control -> Format.pp_print_string ppf "ctrl"
+  | Sync -> Format.pp_print_string ppf "sync"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>dynamic graph (%d nodes, %d edges):" t.n t.nedges;
+  for i = 0 to t.n - 1 do
+    Format.fprintf ppf "@,%a" pp_node t.nodes.(i);
+    let incoming = preds t i in
+    List.iter
+      (fun (src, k) -> Format.fprintf ppf "@,   <- #%d [%a]" src pp_edge_kind k)
+      incoming
+  done;
+  Format.fprintf ppf "@]"
+
+let dot_escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_dot t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "digraph ppd {\n  rankdir=TB;\n  node [shape=ellipse];\n";
+  (* group nodes by owner for clusters *)
+  let top = ref [] in
+  let by_owner = Hashtbl.create 16 in
+  for i = 0 to t.n - 1 do
+    match t.nodes.(i).nd_owner with
+    | None -> top := i :: !top
+    | Some o ->
+      Hashtbl.replace by_owner o (i :: (Option.value ~default:[] (Hashtbl.find_opt by_owner o)))
+  done;
+  let emit_node i =
+    let n = t.nodes.(i) in
+    let shape =
+      match n.nd_kind with
+      | N_subgraph _ | N_loop _ -> "box"
+      | N_external _ -> "diamond"
+      | N_entry _ | N_exit _ -> "plaintext"
+      | N_singular _ | N_param _ -> "ellipse"
+    in
+    let label =
+      match n.nd_value with
+      | Some v -> Printf.sprintf "%s = %s" n.nd_label (Runtime.Value.to_string v)
+      | None -> n.nd_label
+    in
+    Buffer.add_string b
+      (Printf.sprintf "  n%d [label=\"%s\", shape=%s];\n" i (dot_escape label)
+         shape)
+  in
+  List.iter emit_node (List.rev !top);
+  Hashtbl.iter
+    (fun owner members ->
+      Buffer.add_string b
+        (Printf.sprintf "  subgraph cluster_%d {\n    label=\"%s\";\n" owner
+           (dot_escape t.nodes.(owner).nd_label));
+      List.iter
+        (fun i ->
+          let n = t.nodes.(i) in
+          Buffer.add_string b
+            (Printf.sprintf "    n%d [label=\"%s\"];\n" i (dot_escape n.nd_label)))
+        (List.rev members);
+      Buffer.add_string b "  }\n")
+    by_owner;
+  for dst = 0 to t.n - 1 do
+    List.iter
+      (fun (src, k) ->
+        let style, label =
+          match k with
+          | Flow -> ("dotted", "")
+          | Data v -> ("solid", v.P.vname)
+          | Dparam i -> ("solid", Printf.sprintf "%%%d" i)
+          | Control -> ("dashed", "")
+          | Sync -> ("bold", "sync")
+        in
+        Buffer.add_string b
+          (Printf.sprintf "  n%d -> n%d [style=%s, label=\"%s\"];\n" src dst
+             style (dot_escape label)))
+      (preds t dst)
+  done;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,100 @@
+(** Dynamic program dependence graphs (§4.2).
+
+    Nodes represent {e program events} — one execution of a program
+    component: ENTRY/EXIT of a graph, {e singular} nodes (assignment or
+    control-predicate executions, associated with the assigned value or
+    the predicate outcome), {e sub-graph} nodes encapsulating a
+    subroutine execution (associated with the returned value), the
+    fictional ["%n"] parameter nodes of §4.2, and {e external} nodes —
+    the fragment frontier, standing for values defined outside the part
+    of the graph built so far (a previous log interval or another
+    process; the controller resolves them on demand, §5.3/§5.6).
+
+    Sub-graph nesting is flat: every member node carries the id of its
+    owning sub-graph node ([owner]), so a sub-graph can be rendered
+    collapsed or expanded and dependence edges cross boundaries freely.
+
+    Edges follow §4.2: flow (execution order), data dependence (labelled
+    with the variable, or the parameter index for actual→formal and
+    return-value mapping), control dependence, and synchronization
+    edges between processes. *)
+
+type node_kind =
+  | N_entry of int  (** fid *)
+  | N_exit of int  (** fid *)
+  | N_singular of int  (** sid *)
+  | N_subgraph of { sid : int; callee : int }
+  | N_loop of int
+      (** a loop e-block execution (§5.4): collapsed when the loop was
+          skipped during replay, expandable like a sub-graph node *)
+  | N_param of int  (** parameter index, 1-based; 0 is the return value *)
+  | N_external of Lang.Prog.var
+
+type node = {
+  nd_id : int;
+  nd_ref : Runtime.Event.eref option;
+  nd_kind : node_kind;
+  nd_pid : int;
+  nd_owner : int option;  (** enclosing sub-graph node *)
+  nd_label : string;
+  mutable nd_value : Runtime.Value.t option;
+}
+
+type edge_kind =
+  | Flow
+  | Data of Lang.Prog.var
+  | Dparam of int  (** actual -> formal (index n), or return value (0) *)
+  | Control
+  | Sync
+
+type t
+
+val create : unit -> t
+
+val add_node :
+  t ->
+  ?ref_:Runtime.Event.eref ->
+  ?owner:int ->
+  ?value:Runtime.Value.t ->
+  pid:int ->
+  kind:node_kind ->
+  label:string ->
+  unit ->
+  int
+
+val add_edge : t -> src:int -> dst:int -> kind:edge_kind -> unit
+(** Idempotent: duplicate (src, dst, kind) edges are ignored. *)
+
+val nnodes : t -> int
+
+val nedges : t -> int
+
+val node : t -> int -> node
+
+val preds : t -> int -> (int * edge_kind) list
+(** Incoming dependence edges (the sources this node depends on). *)
+
+val succs : t -> int -> (int * edge_kind) list
+
+val find_ref : t -> Runtime.Event.eref -> int option
+
+val set_value : t -> int -> Runtime.Value.t -> unit
+
+val members : t -> int -> int list
+(** Nodes owned by a sub-graph node. *)
+
+val externals : t -> (int * Lang.Prog.var) list
+(** Unresolved frontier nodes. *)
+
+val mark_external : t -> int -> Lang.Prog.var -> unit
+
+val resolve_external : t -> int -> unit
+(** Remove a node from the frontier once the controller has linked it. *)
+
+val pp_node : Format.formatter -> node -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Deterministic textual dump (golden-tested against Figure 4.1). *)
+
+val to_dot : t -> string
+(** Graphviz rendering with sub-graphs as clusters. *)

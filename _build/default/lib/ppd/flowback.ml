@@ -1,0 +1,84 @@
+type dep = { d_node : int; d_kind : Dyn_graph.edge_kind; d_depth : int }
+
+let causal kind =
+  match (kind : Dyn_graph.edge_kind) with
+  | Dyn_graph.Data _ | Dyn_graph.Dparam _ | Dyn_graph.Control | Dyn_graph.Sync
+    ->
+    true
+  | Dyn_graph.Flow -> false
+
+let dependences ?(expand_loops = false) ctl node =
+  (* slices trace through calls: expand a sub-graph node on first visit.
+     Collapsed loop e-blocks stay collapsed unless asked (the paper's
+     point: the controller re-executes loops only when the user is
+     interested in their details, §5.4) *)
+  (match (Dyn_graph.node (Controller.graph ctl) node).Dyn_graph.nd_kind with
+  | Dyn_graph.N_subgraph _ -> ignore (Controller.expand_subgraph ctl node)
+  | Dyn_graph.N_loop _ when expand_loops ->
+    ignore (Controller.expand_subgraph ctl node)
+  | _ -> ());
+  Controller.why ctl node
+  |> List.filter_map (fun (src, kind) ->
+         if causal kind then Some { d_node = src; d_kind = kind; d_depth = 1 }
+         else None)
+
+let backward_slice ?(max_depth = max_int) ?expand_loops ctl root =
+  let g = Controller.graph ctl in
+  ignore g;
+  let seen = Hashtbl.create 64 in
+  let out = ref [ { d_node = root; d_kind = Dyn_graph.Flow; d_depth = 0 } ] in
+  Hashtbl.add seen root ();
+  let q = Queue.create () in
+  Queue.add (root, 0) q;
+  while not (Queue.is_empty q) do
+    let node, depth = Queue.take q in
+    if depth < max_depth then
+      List.iter
+        (fun d ->
+          if not (Hashtbl.mem seen d.d_node) then begin
+            Hashtbl.add seen d.d_node ();
+            let d = { d with d_depth = depth + 1 } in
+            out := d :: !out;
+            Queue.add (d.d_node, depth + 1) q
+          end)
+        (dependences ?expand_loops ctl node)
+  done;
+  List.rev !out
+
+let pp_edge_kind ppf (k : Dyn_graph.edge_kind) =
+  match k with
+  | Dyn_graph.Data v -> Format.fprintf ppf "data(%s)" v.Lang.Prog.vname
+  | Dyn_graph.Dparam 0 -> Format.pp_print_string ppf "returns"
+  | Dyn_graph.Dparam i -> Format.fprintf ppf "param(%%%d)" i
+  | Dyn_graph.Control -> Format.pp_print_string ppf "control"
+  | Dyn_graph.Sync -> Format.pp_print_string ppf "sync"
+  | Dyn_graph.Flow -> Format.pp_print_string ppf "flow"
+
+let pp_explain ?(max_depth = 3) ctl ppf root =
+  let g = Controller.graph ctl in
+  let seen = Hashtbl.create 64 in
+  let pp_one ppf node =
+    let n = Dyn_graph.node g node in
+    Format.fprintf ppf "[p%d] %s" n.Dyn_graph.nd_pid n.Dyn_graph.nd_label;
+    match n.Dyn_graph.nd_value with
+    | Some v -> Format.fprintf ppf " = %a" Runtime.Value.pp v
+    | None -> ()
+  in
+  let rec go depth prefix node kind =
+    Format.fprintf ppf "@,%s%s%a" prefix
+      (if depth = 0 then ""
+       else Format.asprintf "<- %a " pp_edge_kind kind)
+      pp_one node;
+    if Hashtbl.mem seen node then
+      (if dependences_nonempty node then Format.fprintf ppf " (seen)")
+    else begin
+      Hashtbl.add seen node ();
+      if depth < max_depth then
+        List.iter
+          (fun d -> go (depth + 1) (prefix ^ "  ") d.d_node d.d_kind)
+          (dependences ctl node)
+    end
+  and dependences_nonempty node = dependences ctl node <> [] in
+  Format.fprintf ppf "@[<v>flowback from:";
+  go 0 "  " root Dyn_graph.Flow;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,32 @@
+(** Flowback analysis queries (§1, §4): follow the causal chains behind
+    an observed error backward through the dynamic graph, across
+    subroutine and process boundaries, without re-executing the
+    program (beyond the e-blocks the controller emulates on demand).
+
+    These are the operations the paper's debugger offers the user on the
+    inverted dependence tree rooted at the last executed statement. *)
+
+type dep = {
+  d_node : int;  (** the depended-on node *)
+  d_kind : Dyn_graph.edge_kind;
+  d_depth : int;  (** distance from the query root *)
+}
+
+val dependences : ?expand_loops:bool -> Controller.t -> int -> dep list
+(** Immediate dependence predecessors of a node (data, control, param
+    and sync edges — flow edges are not causal and are excluded),
+    resolving frontier nodes and cross-process links on demand. *)
+
+val backward_slice :
+  ?max_depth:int -> ?expand_loops:bool -> Controller.t -> int -> dep list
+(** Breadth-first transitive closure of {!dependences} — the dynamic
+    slice of the value at the root. Includes the root at depth 0.
+    [max_depth] defaults to unlimited; [expand_loops] (default [false])
+    also re-executes collapsed loop e-blocks the slice traverses — by
+    default they stay collapsed (§5.4). *)
+
+val pp_explain :
+  ?max_depth:int -> Controller.t -> Format.formatter -> int -> unit
+(** Render the dependence tree rooted at a node, one line per node with
+    its label, value and edge kind — the textual form of the graph the
+    PPD controller presents (§3.2.3). *)

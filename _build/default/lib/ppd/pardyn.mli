@@ -1,0 +1,85 @@
+(** The parallel dynamic program dependence graph (§6.1).
+
+    A subset of the dynamic graph abstracting process interactions:
+    one {b synchronization node} per sync event (P, V, send, recv,
+    send-unblock, spawn, join, process start/exit), {b internal edges}
+    chaining each process's consecutive sync nodes (each representing
+    the local events between them — the execution instance of a
+    synchronization unit), and {b synchronization edges} for the causal
+    pairs of §6.2: V→P (token provenance), send→recv,
+    recv→send-unblock (blocking send, Figure 6.1), spawn→process-start
+    and process-exit→join.
+
+    Vector clocks computed over the graph give the partial order "→" of
+    §6.1; internal edges carry the shared-variable READ/WRITE sets of
+    Definition 6.2 when built by the runtime {!observer} (the log-only
+    constructor {!of_log} yields the structure with empty sets, enough
+    for cross-process flowback).
+
+    Attribution of a sync event's own accesses: its reads (send
+    payloads, join pid expressions) happen before its synchronization
+    takes effect and belong to the {e incoming} internal edge; its
+    writes (recv targets, join results) are protected by the incoming
+    synchronization edge and belong to the {e outgoing} internal edge. *)
+
+type eref = Runtime.Event.eref
+
+type node = {
+  n_id : int;
+  n_ref : eref;
+  n_pid : int;
+  n_sid : int option;
+  n_data : Trace.Log.sync_data;
+  mutable n_clock : Vclock.t;
+}
+
+type iedge = {
+  ie_id : int;
+  ie_pid : int;
+  ie_from : int;  (** start node id *)
+  ie_to : int option;  (** end node id; [None] if the process halted mid-edge *)
+  ie_reads : Analysis.Varset.t;  (** shared variables read (Def. 6.2) *)
+  ie_writes : Analysis.Varset.t;
+}
+
+type t = {
+  prog : Lang.Prog.t;
+  nodes : node array;
+  sync_edges : (int * int) array;  (** (from node, to node) *)
+  iedges : iedge array;
+  iedges_of_pid : int list array;
+  succs : int list array;  (** node-level, sync + internal *)
+  preds : int list array;
+  node_of_ref : (eref, int) Hashtbl.t;
+}
+
+val of_log : Lang.Prog.t -> Trace.Log.t -> t
+(** Structure from the execution log (empty access sets). *)
+
+type obs
+(** Runtime observer accumulating sync nodes and per-edge shared
+    access sets. *)
+
+val observer : Lang.Prog.t -> obs
+
+val factory : obs -> Runtime.Hooks.factory
+
+val finish : obs -> t
+
+val node_of : t -> eref -> int option
+
+val node_hb : t -> int -> int -> bool
+(** Reflexive happened-before via vector clocks ("→" on nodes). *)
+
+val node_reaches : t -> int -> int -> bool
+(** Reflexive graph reachability — semantically equal to {!node_hb}
+    (property-tested); exponentially slower, kept as the oracle. *)
+
+val edge_before : t -> iedge -> iedge -> bool
+(** Definition §6.1(2): [e1 → e2] iff [end(e1) → start(e2)]. *)
+
+val simultaneous : t -> iedge -> iedge -> bool
+(** Definition 6.1: neither [e1 → e2] nor [e2 → e1]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Figure-6.1-style dump: per-process node chains plus sync edges. *)

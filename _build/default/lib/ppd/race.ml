@@ -1,0 +1,181 @@
+module P = Lang.Prog
+module VS = Analysis.Varset
+
+type conflict = Write_write | Read_write
+
+type race = {
+  rc_var : P.var;
+  rc_edge1 : int;
+  rc_edge2 : int;
+  rc_kind : conflict;
+}
+
+type stats = { pairs_examined : int; races : race list }
+
+type algo = Naive | Indexed
+
+(* Canonicalise so the two algorithms produce literally equal lists:
+   edge ids ordered within a race, then races sorted. *)
+let norm r =
+  if r.rc_edge1 <= r.rc_edge2 then r
+  else { r with rc_edge1 = r.rc_edge2; rc_edge2 = r.rc_edge1 }
+
+let compare_race a b =
+  match Int.compare a.rc_var.P.vid b.rc_var.P.vid with
+  | 0 -> (
+    match Int.compare a.rc_edge1 b.rc_edge1 with
+    | 0 -> (
+      match Int.compare a.rc_edge2 b.rc_edge2 with
+      | 0 -> compare a.rc_kind b.rc_kind
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let dedup_sort races =
+  List.sort_uniq compare_race (List.map norm races)
+
+(* Conflicts between one ordered pair of edges, as (var, kind). The
+   write/write conflict is reported once; read/write in either
+   direction. *)
+let conflicts (g : Pardyn.t) (e1 : Pardyn.iedge) (e2 : Pardyn.iedge) =
+  let p = g.Pardyn.prog in
+  let ww = VS.inter e1.ie_writes e2.ie_writes in
+  let rw = VS.inter e1.ie_writes e2.ie_reads in
+  let wr = VS.inter e1.ie_reads e2.ie_writes in
+  List.concat
+    [
+      List.map
+        (fun vid ->
+          {
+            rc_var = p.vars.(vid);
+            rc_edge1 = e1.ie_id;
+            rc_edge2 = e2.ie_id;
+            rc_kind = Write_write;
+          })
+        (VS.elements ww);
+      List.map
+        (fun vid ->
+          {
+            rc_var = p.vars.(vid);
+            rc_edge1 = e1.ie_id;
+            rc_edge2 = e2.ie_id;
+            rc_kind = Read_write;
+          })
+        (VS.elements rw);
+      List.map
+        (fun vid ->
+          {
+            rc_var = p.vars.(vid);
+            rc_edge1 = e2.ie_id;
+            rc_edge2 = e1.ie_id;
+            rc_kind = Read_write;
+          })
+        (VS.elements wr);
+    ]
+
+let may_conflict e1 e2 =
+  let open Pardyn in
+  (not (VS.disjoint e1.ie_writes e2.ie_writes))
+  || (not (VS.disjoint e1.ie_writes e2.ie_reads))
+  || not (VS.disjoint e1.ie_reads e2.ie_writes)
+
+let detect_naive (g : Pardyn.t) =
+  let pairs = ref 0 in
+  let races = ref [] in
+  let edges = g.Pardyn.iedges in
+  let n = Array.length edges in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let e1 = edges.(i) and e2 = edges.(j) in
+      (* edges of one process are totally ordered by their chain *)
+      if e1.ie_pid <> e2.ie_pid then begin
+        incr pairs;
+        if Pardyn.simultaneous g e1 e2 && may_conflict e1 e2 then
+          races := conflicts g e1 e2 @ !races
+      end
+    done
+  done;
+  { pairs_examined = !pairs; races = dedup_sort !races }
+
+let detect_indexed (g : Pardyn.t) =
+  let p = g.Pardyn.prog in
+  let edges = g.Pardyn.iedges in
+  (* per shared variable: which edges write / read it *)
+  let writers = Array.make p.nvars [] in
+  let readers = Array.make p.nvars [] in
+  Array.iter
+    (fun (e : Pardyn.iedge) ->
+      List.iter (fun vid -> writers.(vid) <- e.ie_id :: writers.(vid))
+        (VS.elements e.ie_writes);
+      List.iter (fun vid -> readers.(vid) <- e.ie_id :: readers.(vid))
+        (VS.elements e.ie_reads))
+    edges;
+  let pairs = ref 0 in
+  let races = ref [] in
+  let seen = Hashtbl.create 64 in
+  let test vid i j kind =
+    let e1 = edges.(i) and e2 = edges.(j) in
+    if e1.ie_pid <> e2.ie_pid then begin
+      let key = (vid, min i j, max i j, kind) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        incr pairs;
+        if Pardyn.simultaneous g e1 e2 then
+          races :=
+            {
+              rc_var = p.vars.(vid);
+              rc_edge1 = i;
+              rc_edge2 = j;
+              rc_kind = (match kind with `Ww -> Write_write | `Rw -> Read_write);
+            }
+            :: !races
+      end
+    end
+  in
+  for vid = 0 to p.nvars - 1 do
+    let ws = writers.(vid) and rs = readers.(vid) in
+    List.iter
+      (fun i ->
+        List.iter (fun j -> if i < j then test vid i j `Ww) ws;
+        List.iter (fun j -> if i <> j then test vid i j `Rw) rs)
+      ws
+  done;
+  { pairs_examined = !pairs; races = dedup_sort !races }
+
+let detect ?(algo = Indexed) g =
+  match algo with Naive -> detect_naive g | Indexed -> detect_indexed g
+
+let is_race_free g = (detect g).races = []
+
+let pp_conflict ppf = function
+  | Write_write -> Format.pp_print_string ppf "write/write"
+  | Read_write -> Format.pp_print_string ppf "read/write"
+
+let pp_race (_p : P.t) ppf r =
+  Format.fprintf ppf "%a conflict on shared '%s' between edges e%d and e%d"
+    pp_conflict r.rc_kind r.rc_var.P.vname r.rc_edge1 r.rc_edge2
+
+let pp_edge_context (g : Pardyn.t) ppf eid =
+  let e = g.Pardyn.iedges.(eid) in
+  let node i = g.Pardyn.nodes.(i) in
+  let label n =
+    Format.asprintf "%a" Trace.Log.pp_sync_data (node n).Pardyn.n_data
+  in
+  Format.fprintf ppf "e%d (process %d, after %s%s)" eid e.ie_pid
+    (label e.ie_from)
+    (match e.ie_to with
+    | None -> ", open"
+    | Some n -> Printf.sprintf ", before %s" (label n))
+
+let pp_report g ppf races =
+  match races with
+  | [] -> Format.fprintf ppf "no races detected: execution instance is race-free"
+  | _ ->
+    Format.fprintf ppf "@[<v>%d race(s) detected:" (List.length races);
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "@,- %a@,    %a@,    %a"
+          (pp_race g.Pardyn.prog) r (pp_edge_context g) r.rc_edge1
+          (pp_edge_context g) r.rc_edge2)
+      races;
+    Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** Race detection over the parallel dynamic graph (§6.4).
+
+    Definitions 6.1–6.4: two {e simultaneous} (unordered) internal edges
+    race when their shared-variable access sets conflict — a
+    write/write or read/write intersection. An execution instance is
+    race-free when all simultaneous edge pairs are race-free.
+
+    Two algorithms, property-tested to agree (the §7 "we are currently
+    investigating algorithms to reduce the cost" ablation, benchmark
+    T5):
+    - {b naive}: examine every cross-process edge pair;
+    - {b indexed}: per shared variable, examine only pairs drawn from
+      the edges that actually access it (writers × accessors), skipping
+      same-process pairs before the ordering test. *)
+
+type conflict = Write_write | Read_write
+
+type race = {
+  rc_var : Lang.Prog.var;
+  rc_edge1 : int;  (** internal-edge id; [rc_edge1 < rc_edge2] *)
+  rc_edge2 : int;
+  rc_kind : conflict;
+}
+
+type stats = {
+  pairs_examined : int;  (** edge pairs whose ordering was tested *)
+  races : race list;  (** deduplicated, deterministic order *)
+}
+
+type algo = Naive | Indexed
+
+val detect : ?algo:algo -> Pardyn.t -> stats
+
+val is_race_free : Pardyn.t -> bool
+(** Definition 6.4 over the whole execution instance. *)
+
+val pp_race : Lang.Prog.t -> Format.formatter -> race -> unit
+
+val pp_report : Pardyn.t -> Format.formatter -> race list -> unit
+(** Human-readable report with the statements covered by each edge. *)

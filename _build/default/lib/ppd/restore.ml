@@ -1,0 +1,72 @@
+module P = Lang.Prog
+module V = Runtime.Value
+module L = Trace.Log
+
+type snapshot = {
+  at_step : int;
+  globals : V.t array;
+  entries_scanned : int;
+}
+
+let init_globals (p : P.t) =
+  Array.map
+    (function
+      | P.Ginit_int n -> V.Vint n
+      | P.Ginit_arr len -> V.Varr (Array.make len 0))
+    p.global_inits
+
+(* Collect every value-carrying log record as (step, vals), merge-sort
+   by step, and apply in order. *)
+let shared_at (p : P.t) (log : L.t) ~step =
+  let records = ref [] in
+  let scanned = ref 0 in
+  Array.iter
+    (fun entries ->
+      Array.iter
+        (fun e ->
+          incr scanned;
+          match e with
+          | L.Postlog { step_at; vals; _ } when step_at <= step ->
+            records := (step_at, vals) :: !records
+          | L.Sync_prelog { step_at; vals; _ } when step_at <= step ->
+            records := (step_at, vals) :: !records
+          | L.Postlog _ | L.Sync_prelog _ | L.Prelog _ | L.Sync _ -> ())
+        entries)
+    log.L.entries;
+  let records =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) (List.rev !records)
+  in
+  let globals = init_globals p in
+  List.iter
+    (fun (_, vals) ->
+      List.iter
+        (fun (vid, v) ->
+          match p.vars.(vid).vscope with
+          | P.Global slot -> globals.(slot) <- V.copy v
+          | P.Local _ -> ())
+        vals)
+    records;
+  { at_step = step; globals; entries_scanned = !scanned }
+
+let at_interval_end (p : P.t) (log : L.t) (iv : L.interval) =
+  match iv.L.iv_postlog with
+  | None -> invalid_arg "Restore.at_interval_end: interval still open"
+  | Some idx -> (
+    match log.L.entries.(iv.L.iv_pid).(idx) with
+    | L.Postlog { step_at; _ } -> shared_at p log ~step:step_at
+    | _ -> assert false)
+
+let locals_at_interval_end (p : P.t) (log : L.t) (iv : L.interval) =
+  match iv.L.iv_postlog with
+  | None -> []
+  | Some idx -> (
+    match log.L.entries.(iv.L.iv_pid).(idx) with
+    | L.Postlog { vals; _ } ->
+      List.filter_map
+        (fun (vid, v) ->
+          let var = p.vars.(vid) in
+          if P.is_global var then None else Some (var, v))
+        vals
+    | _ -> [])
+
+let final (p : P.t) (log : L.t) = shared_at p log ~step:max_int

@@ -1,0 +1,35 @@
+(** Program-state restoration from postlogs (§5.7).
+
+    "The accumulation of the information carried by all the postlogs
+    from postlog(1) up to postlog(i) is the same as the information
+    carried by the program state at the time postlog(i) is made."
+
+    We restore the shared store by replaying postlog (and sync-prelog)
+    value records in global step order up to the requested moment; a
+    specific process's locals at an e-block boundary come from that
+    block's own postlog. From a restored boundary state, the user can
+    re-start execution — optionally with modified values — to
+    experiment, which also solves the timely-halt problem the paper
+    cites (Miller & Choi '88b): each process can be placed at an
+    interesting e-block boundary cheaply. *)
+
+type snapshot = {
+  at_step : int;
+  globals : Runtime.Value.t array;  (** by global slot *)
+  entries_scanned : int;  (** cost metric for benchmark T7 *)
+}
+
+val shared_at : Lang.Prog.t -> Trace.Log.t -> step:int -> snapshot
+(** Shared store as of machine step [step], accurate at e-block and
+    synchronization-unit boundaries (exact for race-free executions
+    whose writes have been postlogged by [step]). *)
+
+val at_interval_end : Lang.Prog.t -> Trace.Log.t -> Trace.Log.interval -> snapshot
+(** State right after the interval's postlog. *)
+
+val locals_at_interval_end :
+  Lang.Prog.t -> Trace.Log.t -> Trace.Log.interval -> (Lang.Prog.var * Runtime.Value.t) list
+(** The block's own frame variables recorded in its postlog. *)
+
+val final : Lang.Prog.t -> Trace.Log.t -> snapshot
+(** State at the end of the (halted) execution. *)

@@ -1,0 +1,136 @@
+module M = Runtime.Machine
+
+type t = {
+  eb : Analysis.Eblock.t;
+  halt : M.halt;
+  machine : M.t;
+  log : Trace.Log.t;
+  pardyn_rt : Pardyn.t option;
+  mutable ctl : Controller.t option;
+}
+
+let of_program ?sched ?max_steps ?policy ?(race_sets = true) ?breakpoints prog =
+  let eb = Analysis.Eblock.analyze ?policy prog in
+  let logger = Trace.Logger.create eb in
+  let obs = if race_sets then Some (Pardyn.observer prog) else None in
+  let hooks =
+    match obs with
+    | None -> Trace.Logger.factory logger
+    | Some o -> Runtime.Hooks.both (Trace.Logger.factory logger) (Pardyn.factory o)
+  in
+  let machine = M.create ?sched ?max_steps ~hooks ?breakpoints prog in
+  let halt = M.run machine in
+  {
+    eb;
+    halt;
+    machine;
+    log = Trace.Logger.finish logger;
+    pardyn_rt = Option.map Pardyn.finish obs;
+    ctl = None;
+  }
+
+let run ?sched ?max_steps ?policy ?race_sets ?breakpoints src =
+  of_program ?sched ?max_steps ?policy ?race_sets ?breakpoints
+    (Lang.Compile.compile src)
+
+let prog t = t.eb.Analysis.Eblock.prog
+
+let eblocks t = t.eb
+
+let halt t = t.halt
+
+let machine t = t.machine
+
+let output t = M.output t.machine
+
+let log t = t.log
+
+let controller t =
+  match t.ctl with
+  | Some c -> c
+  | None ->
+    let c = Controller.start t.eb t.log in
+    t.ctl <- Some c;
+    c
+
+let pardyn t =
+  match t.pardyn_rt with
+  | Some pd -> pd
+  | None -> Controller.pardyn (controller t)
+
+let races t = (Race.detect (pardyn t)).Race.races
+
+let deadlock t = Deadlock.analyze t.machine
+
+let error_node t =
+  let pid =
+    match t.halt with
+    | M.Fault { pid; _ } | M.Breakpoint { pid; _ } -> pid
+    | M.Finished | M.Deadlock _ | M.Out_of_fuel -> 0
+  in
+  Controller.last_event_node (controller t) ~pid
+
+let what_if t ~pid ~iv_id ~overrides =
+  let p = prog t in
+  let ivs =
+    Trace.Log.intervals
+      ~stmt_fid:(fun sid -> p.Lang.Prog.stmt_fid.(sid))
+      t.log ~pid
+  in
+  if iv_id < 0 || iv_id >= Array.length ivs then
+    Error (Printf.sprintf "process %d has no interval %d" pid iv_id)
+  else begin
+    let iv = ivs.(iv_id) in
+    let fid = iv.Trace.Log.iv_fid in
+    let resolve name =
+      let local =
+        Array.to_list p.Lang.Prog.vars
+        |> List.find_opt (fun (v : Lang.Prog.var) ->
+               v.vname = name && v.vfid = fid)
+      in
+      match local with
+      | Some v -> Ok v
+      | None -> (
+        match
+          Array.to_list p.Lang.Prog.globals
+          |> List.find_opt (fun (v : Lang.Prog.var) -> v.vname = name)
+        with
+        | Some v -> Ok v
+        | None ->
+          Error
+            (Printf.sprintf "no variable '%s' in %s or the globals" name
+               p.Lang.Prog.funcs.(fid).fname))
+    in
+    let rec resolve_all acc = function
+      | [] -> Ok (List.rev acc)
+      | (name, value) :: rest -> (
+        match resolve name with
+        | Ok v -> resolve_all ((v, Runtime.Value.Vint value) :: acc) rest
+        | Error e -> Error e)
+    in
+    match resolve_all [] overrides with
+    | Error e -> Error e
+    | Ok overrides ->
+      Ok (Emulator.replay ~overrides ~validate:false t.eb t.log ~interval:iv)
+  end
+
+let explain_halt t =
+  match t.halt with
+  | M.Finished -> "execution finished normally"
+  | M.Out_of_fuel -> "execution stopped: step budget exhausted"
+  | M.Deadlock blocked ->
+    Printf.sprintf "deadlock: %s"
+      (String.concat "; "
+         (List.map
+            (fun (pid, r) -> Printf.sprintf "process %d blocked in %s" pid r)
+            blocked))
+  | M.Breakpoint { pid; sid } ->
+    Printf.sprintf "breakpoint: process %d stopped after s%d (%s)" pid sid
+      (Lang.Prog.stmt_label (prog t).Lang.Prog.stmts.(sid))
+  | M.Fault { pid; sid; msg } ->
+    Printf.sprintf "fault in process %d%s: %s" pid
+      (match sid with
+      | None -> ""
+      | Some s -> Printf.sprintf " at s%d (%s)" s
+          (Lang.Prog.stmt_label (prog t).Lang.Prog.stmts.(s)))
+      msg

@@ -1,0 +1,78 @@
+(** One-stop debugging sessions: the three phases of §3.2 in one call.
+
+    [run src] performs the preparatory phase (compile + semantic
+    analyses + e-block construction), the execution phase (instrumented
+    run producing the log, and optionally the runtime parallel-dynamic
+    -graph observer with shared access sets), and hands back everything
+    the debugging phase needs: the halt status, the log, a lazily
+    created {!Controller}, race detection and deadlock analysis. *)
+
+type t
+
+val run :
+  ?sched:Runtime.Sched.policy ->
+  ?max_steps:int ->
+  ?policy:Analysis.Eblock.policy ->
+  ?race_sets:bool ->
+  ?breakpoints:int list ->
+  string ->
+  t
+(** Compile and execute MPL source with logging attached.
+    [race_sets] (default [true]) also attaches the {!Pardyn.observer}
+    so races can be detected; switch it off to measure pure logging
+    overhead. Raises {!Lang.Diag.Error} on front-end errors. *)
+
+val of_program :
+  ?sched:Runtime.Sched.policy ->
+  ?max_steps:int ->
+  ?policy:Analysis.Eblock.policy ->
+  ?race_sets:bool ->
+  ?breakpoints:int list ->
+  Lang.Prog.t ->
+  t
+(** [breakpoints] halt the machine after any of the given statements
+    executes (user intervention, §3.2.2); the debugging phase then
+    starts from that event. *)
+
+val prog : t -> Lang.Prog.t
+
+val eblocks : t -> Analysis.Eblock.t
+
+val halt : t -> Runtime.Machine.halt
+
+val machine : t -> Runtime.Machine.t
+
+val output : t -> string
+
+val log : t -> Trace.Log.t
+
+val controller : t -> Controller.t
+(** Created on first use; cached. *)
+
+val pardyn : t -> Pardyn.t
+(** With access sets when [race_sets] was on; otherwise from the log. *)
+
+val races : t -> Race.race list
+
+val deadlock : t -> Deadlock.analysis
+
+val error_node : t -> int option
+(** The dynamic-graph node at which debugging starts: the last event of
+    the faulting process (for faults), or of the main process
+    otherwise. *)
+
+val explain_halt : t -> string
+(** One-paragraph description of why execution stopped. *)
+
+val what_if :
+  t ->
+  pid:int ->
+  iv_id:int ->
+  overrides:(string * int) list ->
+  (Emulator.outcome, string) result
+(** §5.7's experiment: re-execute one log interval from its restored
+    prelog state with some variables forced to new values, and observe
+    the divergent behaviour (output, fault, final values) — without
+    touching the recorded execution. Variable names resolve to the
+    interval's function locals first, then shared globals; unknown
+    names yield [Error]. *)

@@ -1,0 +1,38 @@
+type t = int array
+
+let empty = [||]
+
+let get t pid = if pid < Array.length t then t.(pid) else 0
+
+let tick t ~pid =
+  let n = max (Array.length t) (pid + 1) in
+  Array.init n (fun i -> if i = pid then get t pid + 1 else get t i)
+
+let join a b =
+  let n = max (Array.length a) (Array.length b) in
+  Array.init n (fun i -> max (get a i) (get b i))
+
+let leq a b =
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > get b i then ok := false) a;
+  !ok
+
+let equal a b = leq a b && leq b a
+
+type order = Before | After | Equal | Concurrent
+
+let compare_clocks a b =
+  match (leq a b, leq b a) with
+  | true, true -> Equal
+  | true, false -> Before
+  | false, true -> After
+  | false, false -> Concurrent
+
+let happened_before ~own_pid a b = get a own_pid <= get b own_pid
+
+let pp ppf t =
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (Array.to_list t)

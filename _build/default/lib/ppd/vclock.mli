@@ -1,0 +1,35 @@
+(** Vector clocks implementing the Lamport partial order "->" of §6
+    over synchronization events.
+
+    Clocks are width-polymorphic: comparisons treat missing components
+    as zero, so processes created mid-execution need no global resizing. *)
+
+type t
+
+val empty : t
+
+val get : t -> int -> int
+
+val tick : t -> pid:int -> t
+(** Increment the [pid] component. *)
+
+val join : t -> t -> t
+(** Componentwise maximum. *)
+
+val leq : t -> t -> bool
+(** [leq a b]: every component of [a] <= the corresponding one of [b]. *)
+
+val equal : t -> t -> bool
+
+type order = Before | After | Equal | Concurrent
+
+val compare_clocks : t -> t -> order
+
+val happened_before : own_pid:int -> t -> t -> bool
+(** [happened_before ~own_pid a b] where [a] is the clock of an event of
+    process [own_pid]: the standard O(1) test
+    [a.(own_pid) <= b.(own_pid)] — valid when both clocks come from the
+    same tick discipline (every event ticks its own component). Includes
+    the case [a = b]. *)
+
+val pp : Format.formatter -> t -> unit

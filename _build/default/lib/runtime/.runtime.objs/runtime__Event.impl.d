@@ -1,0 +1,1 @@
+lib/runtime/event.ml: Format Lang List Printf Value

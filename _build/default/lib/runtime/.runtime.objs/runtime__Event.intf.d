@@ -1,0 +1,1 @@
+lib/runtime/event.mli: Format Lang Value

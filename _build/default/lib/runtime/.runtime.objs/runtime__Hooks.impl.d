@@ -1,0 +1,1 @@
+lib/runtime/hooks.ml: Event Lang Value

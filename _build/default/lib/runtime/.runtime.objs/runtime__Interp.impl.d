@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Event Format Lang List Value

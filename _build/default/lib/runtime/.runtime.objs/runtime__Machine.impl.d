@@ -1,0 +1,1 @@
+lib/runtime/machine.ml: Analysis Array Buffer Event Hooks Interp Lang List Printf Queue Sched Value

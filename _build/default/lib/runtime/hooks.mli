@@ -1,0 +1,28 @@
+(** Instrumentation interface between the machine and observers.
+
+    A hooks {e factory} receives a {!port} — callbacks into the running
+    machine for reading variable values and the global step clock — and
+    returns the event consumer. The logger uses the port to snapshot
+    prelog/postlog variable values at e-block boundaries; the full
+    tracer just stores events. *)
+
+type port = {
+  read_var : pid:int -> Lang.Prog.var -> Value.t;
+      (** Current value: globals from the shared store, locals from the
+          process's top frame. *)
+  now : unit -> int;  (** Global machine step counter. *)
+}
+
+type t = { on_event : pid:int -> seq:int -> Event.t -> unit }
+
+type factory = port -> t
+
+val nil : factory
+(** No instrumentation (the bare execution baseline). *)
+
+val both : factory -> factory -> factory
+(** Fan events out to two observers (e.g. logger + full tracer). *)
+
+val collect : (int * int * Event.t) list ref -> factory
+(** Append [(pid, seq, event)] triples to a list (newest first); handy
+    in tests. *)

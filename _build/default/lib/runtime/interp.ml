@@ -1,0 +1,285 @@
+module P = Lang.Prog
+
+exception Fault of string
+
+let fault fmt = Format.kasprintf (fun msg -> raise (Fault msg)) fmt
+
+type work = Wstmt of P.stmt | Wloop of P.stmt
+
+type frame = {
+  ffid : int;
+  slots : Value.t array;
+  mutable work : work list;
+  mutable active_loops : int list;  (* sids of loops being executed, innermost first *)
+  ret_lhs : P.lhs option;
+  call_sid : int option;
+}
+
+type ctx = {
+  prog : P.t;
+  read_global : int -> Value.t;
+  write_global : int -> Value.t -> unit;
+  frame : frame;
+}
+
+let make_frame (p : P.t) ~fid ~args ~ret_lhs ~call_sid =
+  let f = p.funcs.(fid) in
+  let slots = Array.make f.nslots Value.Vundef in
+  List.iter
+    (fun (v : P.var) ->
+      match (v.vscope, v.vty) with
+      | P.Local slot, P.Tarr n -> slots.(slot) <- Value.Varr (Array.make n 0)
+      | P.Local _, P.Tint -> ()
+      | P.Global _, _ -> assert false)
+    f.locals;
+  (try
+     List.iter2
+       (fun (v : P.var) arg ->
+         match v.vscope with
+         | P.Local slot -> slots.(slot) <- arg
+         | P.Global _ -> assert false)
+       f.params args
+   with Invalid_argument _ -> fault "arity mismatch calling %s" f.fname);
+  let work = List.map (fun s -> Wstmt s) f.body in
+  { ffid = fid; slots; work; active_loops = []; ret_lhs; call_sid }
+
+let binds_of_frame (p : P.t) frame =
+  let f = p.funcs.(frame.ffid) in
+  List.map
+    (fun (v : P.var) ->
+      match v.vscope with
+      | P.Local slot -> (v, frame.slots.(slot))
+      | P.Global _ -> assert false)
+    f.params
+
+let read_var ctx (v : P.var) =
+  match v.vscope with
+  | P.Global slot -> ctx.read_global slot
+  | P.Local slot ->
+    if v.vfid <> ctx.frame.ffid then
+      fault "internal: read of %s outside its frame" v.vname
+    else ctx.frame.slots.(slot)
+
+let write_var ctx (v : P.var) value =
+  match v.vscope with
+  | P.Global slot -> ctx.write_global slot value
+  | P.Local slot ->
+    if v.vfid <> ctx.frame.ffid then
+      fault "internal: write of %s outside its frame" v.vname
+    else ctx.frame.slots.(slot) <- value
+
+let read_scalar ctx (v : P.var) =
+  match read_var ctx v with
+  | Value.Vint n -> n
+  | Value.Vundef -> fault "read of uninitialised variable '%s'" v.vname
+  | Value.Varr _ -> fault "array '%s' used as a scalar" v.vname
+
+let read_elem ctx (v : P.var) idx =
+  match read_var ctx v with
+  | Value.Varr a ->
+    if idx < 0 || idx >= Array.length a then
+      fault "index %d out of bounds for '%s' (length %d)" idx v.vname
+        (Array.length a)
+    else a.(idx)
+  | Value.Vint _ | Value.Vundef -> fault "'%s' is not an array" v.vname
+
+type ev = Ei of int | Eb of bool
+
+let as_int = function
+  | Ei n -> n
+  | Eb _ -> fault "internal: boolean where integer expected"
+
+let as_bool = function
+  | Eb b -> b
+  | Ei _ -> fault "internal: integer where boolean expected"
+
+(* Evaluate an expression, accumulating reads (in evaluation order,
+   short-circuit aware) onto [acc] in reverse. *)
+let rec eval ctx acc (e : P.expr) : ev =
+  match e with
+  | P.Eint n -> Ei n
+  | P.Ebool b -> Eb b
+  | P.Evar v ->
+    let n = read_scalar ctx v in
+    acc := { Event.var = v; value = Value.Vint n } :: !acc;
+    Ei n
+  | P.Eidx (v, ie) ->
+    let idx = as_int (eval ctx acc ie) in
+    let n = read_elem ctx v idx in
+    acc := { Event.var = v; value = Value.Vint n } :: !acc;
+    Ei n
+  | P.Eunop (Lang.Ast.Neg, a) -> Ei (-as_int (eval ctx acc a))
+  | P.Eunop (Lang.Ast.Not, a) -> Eb (not (as_bool (eval ctx acc a)))
+  | P.Ebinop (op, a, b) -> (
+    match op with
+    | Lang.Ast.And ->
+      if as_bool (eval ctx acc a) then Eb (as_bool (eval ctx acc b))
+      else Eb false
+    | Lang.Ast.Or ->
+      if as_bool (eval ctx acc a) then Eb true
+      else Eb (as_bool (eval ctx acc b))
+    | Lang.Ast.Add -> arith ctx acc ( + ) a b
+    | Lang.Ast.Sub -> arith ctx acc ( - ) a b
+    | Lang.Ast.Mul -> arith ctx acc ( * ) a b
+    | Lang.Ast.Div ->
+      let x = as_int (eval ctx acc a) and y = as_int (eval ctx acc b) in
+      if y = 0 then fault "division by zero" else Ei (x / y)
+    | Lang.Ast.Mod ->
+      let x = as_int (eval ctx acc a) and y = as_int (eval ctx acc b) in
+      if y = 0 then fault "modulo by zero" else Ei (x mod y)
+    | Lang.Ast.Lt -> cmp ctx acc ( < ) a b
+    | Lang.Ast.Leq -> cmp ctx acc ( <= ) a b
+    | Lang.Ast.Gt -> cmp ctx acc ( > ) a b
+    | Lang.Ast.Geq -> cmp ctx acc ( >= ) a b
+    | Lang.Ast.Eq -> equality ctx acc true a b
+    | Lang.Ast.Neq -> equality ctx acc false a b)
+
+and arith ctx acc op a b =
+  let x = as_int (eval ctx acc a) in
+  let y = as_int (eval ctx acc b) in
+  Ei (op x y)
+
+and cmp ctx acc op a b =
+  let x = as_int (eval ctx acc a) in
+  let y = as_int (eval ctx acc b) in
+  Eb (op x y)
+
+and equality ctx acc positive a b =
+  let va = eval ctx acc a in
+  let vb = eval ctx acc b in
+  let same =
+    match (va, vb) with
+    | Ei x, Ei y -> x = y
+    | Eb x, Eb y -> x = y
+    | (Ei _ | Eb _), _ -> fault "'==' between int and bool"
+  in
+  Eb (if positive then same else not same)
+
+let eval_int ctx e =
+  let acc = ref [] in
+  let n = as_int (eval ctx acc e) in
+  (n, List.rev !acc)
+
+let eval_bool ctx e =
+  let acc = ref [] in
+  let b = as_bool (eval ctx acc e) in
+  (b, List.rev !acc)
+
+let write_lhs ctx (l : P.lhs) value =
+  match l with
+  | P.Lvar v ->
+    write_var ctx v value;
+    ([], { Event.var = v; value })
+  | P.Lidx (v, ie) -> (
+    let acc = ref [] in
+    let idx = as_int (eval ctx acc ie) in
+    match read_var ctx v with
+    | Value.Varr a ->
+      if idx < 0 || idx >= Array.length a then
+        fault "index %d out of bounds for '%s' (length %d)" idx v.vname
+          (Array.length a)
+      else begin
+        let n =
+          match value with
+          | Value.Vint n -> n
+          | Value.Vundef -> fault "storing missing value into array '%s'" v.vname
+          | Value.Varr _ -> fault "storing array into array '%s'" v.vname
+        in
+        (* an element write is a read-modify-write of the whole array
+           under the array-as-scalar abstraction: record the read *)
+        acc := { Event.var = v; value = Value.Vint a.(idx) } :: !acc;
+        (* For globals, write back through the context so overlay stores
+           (copy-on-write emulation) observe the mutation. *)
+        (match v.vscope with
+        | P.Global slot ->
+          a.(idx) <- n;
+          ctx.write_global slot (Value.Varr a)
+        | P.Local _ -> a.(idx) <- n);
+        (List.rev !acc, { Event.var = v; value = Value.Vint n })
+      end
+    | Value.Vint _ | Value.Vundef -> fault "'%s' is not an array" v.vname)
+
+let consume_work frame =
+  match frame.work with
+  | [] -> invalid_arg "Interp.consume_work: empty work list"
+  | _ :: rest -> frame.work <- rest
+
+type local_result =
+  | Event of Event.stmt_event
+  | Driver of P.stmt
+  | Frame_done
+
+let push_stmts frame stmts =
+  frame.work <- List.map (fun s -> Wstmt s) stmts @ frame.work
+
+(* Loop handling is driver-side so the drivers can emit the §5.4 loop
+   e-block boundary events. [loop_entry] converts the head [Wstmt] of a
+   while statement into its [Wloop] retest form; [loop_test] performs
+   one condition test, entering the body or leaving the loop. *)
+let loop_entry frame (s : P.stmt) =
+  match frame.work with
+  | Wstmt s' :: rest when s' == s ->
+    frame.work <- Wloop s :: rest;
+    frame.active_loops <- s.sid :: frame.active_loops
+  | _ -> invalid_arg "Interp.loop_entry: head is not the loop statement"
+
+let loop_test ctx (s : P.stmt) =
+  match (ctx.frame.work, s.P.desc) with
+  | Wloop s' :: rest, P.Swhile (cond, body) when s' == s ->
+    let b, reads = eval_bool ctx cond in
+    ctx.frame.work <- rest;
+    if b then begin
+      ctx.frame.work <- Wloop s :: ctx.frame.work;
+      push_stmts ctx.frame body
+    end
+    else
+      ctx.frame.active_loops <-
+        (match ctx.frame.active_loops with
+        | l :: ls when l = s.sid -> ls
+        | ls -> ls);
+    ({ Event.sid = s.sid; reads; write = None; kind = Event.K_pred b }, b)
+  | _ -> invalid_arg "Interp.loop_test: head is not the loop retest"
+
+let step_local ctx =
+  let frame = ctx.frame in
+  match frame.work with
+  | [] -> Frame_done
+  | Wloop s :: _ -> Driver s
+  | Wstmt s :: rest -> (
+    match s.P.desc with
+    | P.Sassign (l, e) ->
+      let n, reads = eval_int ctx e in
+      let idx_reads, write = write_lhs ctx l (Value.Vint n) in
+      frame.work <- rest;
+      Event
+        {
+          Event.sid = s.sid;
+          reads = reads @ idx_reads;
+          write = Some write;
+          kind = Event.K_assign;
+        }
+    | P.Sif (cond, then_, else_) ->
+      let b, reads = eval_bool ctx cond in
+      frame.work <- rest;
+      push_stmts frame (if b then then_ else else_);
+      Event { Event.sid = s.sid; reads; write = None; kind = Event.K_pred b }
+    | P.Swhile _ -> Driver s
+    | P.Sprint e ->
+      let acc = ref [] in
+      let v =
+        match eval ctx acc e with
+        | Ei n -> Value.Vint n
+        | Eb b -> Value.Vint (if b then 1 else 0)
+      in
+      let reads = List.rev !acc in
+      frame.work <- rest;
+      Event
+        { Event.sid = s.sid; reads; write = None; kind = Event.K_print { value = v } }
+    | P.Sassert e ->
+      let ok, reads = eval_bool ctx e in
+      frame.work <- rest;
+      Event
+        { Event.sid = s.sid; reads; write = None; kind = Event.K_assert { ok } }
+    | P.Scall _ | P.Sspawn _ | P.Sjoin _ | P.Sreturn _ | P.Sp _ | P.Sv _
+    | P.Ssend _ | P.Srecv _ ->
+      Driver s)

@@ -1,0 +1,674 @@
+module P = Lang.Prog
+
+type halt =
+  | Finished
+  | Deadlock of (int * string) list
+  | Fault of { pid : int; sid : int option; msg : string }
+  | Breakpoint of { pid : int; sid : int }
+  | Out_of_fuel
+
+type proc_state = Ready | Blocked of string | Done
+
+type wait = Wsem of int | Wsend of int | Wrecv of int | Wjoin of int
+
+type block_reason =
+  | Bsem of int
+  | Bsend of int  (** bounded channel full; no send event emitted yet *)
+  | Bsend_ack of int  (** synchronous send emitted, awaiting receive *)
+  | Brecv of int
+  | Bjoin of int
+
+type pending =
+  | Pnone
+  | Precv_value of { value : int; src : Event.eref; sender : int option }
+      (** a synchronous sender handed us this value while we were
+          blocked in recv *)
+  | Punblock of { by : Event.eref }
+      (** our synchronous send was received; emit the unblock event *)
+
+type pstatus = Sready | Sblocked of block_reason | Sdone
+
+type proc = {
+  pid : int;
+  root_fid : int;
+  mutable frames : Interp.frame list;  (** top first; empty iff done *)
+  mutable status : pstatus;
+  mutable pending : pending;
+  mutable seq : int;
+  mutable started : bool;
+  spawn_ref : Event.eref option;
+  mutable exit_info : (Value.t option * Event.eref) option;
+  mutable p_waited : bool;  (** blocked at least once on the current P *)
+}
+
+type sem_state = {
+  tokens : Event.eref option Queue.t;
+  sem_waiters : int Queue.t;
+}
+
+type chan_state = {
+  cap : int option;
+  buf : (int * Event.eref) Queue.t;
+  sync_senders : (int * int * Event.eref) Queue.t;
+      (** synchronous senders that emitted their send and wait:
+          (pid, value, send event) *)
+  mutable full_senders : int list;  (** bounded-channel senders, FIFO *)
+  mutable recv_waiters : int list;  (** blocked receivers, FIFO *)
+}
+
+type t = {
+  prog : P.t;
+  shared : Value.t array;
+  sems : sem_state array;
+  chans : chan_state array;
+  mutable procs : proc array;
+  sched : Sched.t;
+  mutable hooks : Hooks.t;
+  max_steps : int;
+  mutable steps : int;
+  out : Buffer.t;
+  mutable halted : halt option;
+  mutable current_sid : int option;  (** for fault attribution *)
+  breakpoints : Analysis.Bitset.t option;  (** statement ids that halt the run *)
+}
+
+let prog t = t.prog
+
+let init_shared (p : P.t) =
+  Array.map
+    (function
+      | P.Ginit_int n -> Value.Vint n
+      | P.Ginit_arr len -> Value.Varr (Array.make len 0))
+    p.global_inits
+
+let create ?(sched = Sched.default) ?(max_steps = 1_000_000) ?(hooks = Hooks.nil)
+    ?(breakpoints = []) (p : P.t) =
+  let sems =
+    Array.map
+      (fun (s : P.sem) ->
+        let tokens = Queue.create () in
+        for _ = 1 to s.sem_init do
+          Queue.add None tokens
+        done;
+        { tokens; sem_waiters = Queue.create () })
+      p.sems
+  in
+  let chans =
+    Array.map
+      (fun (c : P.chan) ->
+        {
+          cap = c.ch_cap;
+          buf = Queue.create ();
+          sync_senders = Queue.create ();
+          full_senders = [];
+          recv_waiters = [];
+        })
+      p.chans
+  in
+  let main_frame =
+    Interp.make_frame p ~fid:p.main_fid ~args:[] ~ret_lhs:None ~call_sid:None
+  in
+  let main =
+    {
+      pid = 0;
+      root_fid = p.main_fid;
+      frames = [ main_frame ];
+      status = Sready;
+      pending = Pnone;
+      seq = 0;
+      started = false;
+      spawn_ref = None;
+      exit_info = None;
+      p_waited = false;
+    }
+  in
+  let t =
+    {
+      prog = p;
+      shared = init_shared p;
+      sems;
+      chans;
+      procs = [| main |];
+      sched = Sched.create sched;
+      hooks = Hooks.nil { Hooks.read_var = (fun ~pid:_ _ -> Value.Vundef); now = (fun () -> 0) };
+      max_steps;
+      steps = 0;
+      out = Buffer.create 256;
+      halted = None;
+      current_sid = None;
+      breakpoints =
+        (match breakpoints with
+        | [] -> None
+        | sids ->
+          let b = Analysis.Bitset.create (Array.length p.stmts) in
+          List.iter (Analysis.Bitset.add b) sids;
+          Some b);
+    }
+  in
+  let port =
+    {
+      Hooks.read_var =
+        (fun ~pid (v : P.var) ->
+          match v.vscope with
+          | P.Global slot -> t.shared.(slot)
+          | P.Local slot -> (
+            match t.procs.(pid).frames with
+            | [] -> Value.Vundef
+            | top :: _ -> top.Interp.slots.(slot)));
+      now = (fun () -> t.steps);
+    }
+  in
+  t.hooks <- hooks port;
+  t
+
+let proc t pid =
+  if pid < 0 || pid >= Array.length t.procs then
+    raise (Interp.Fault (Printf.sprintf "no process with id %d" pid))
+  else t.procs.(pid)
+
+let emit t (pr : proc) ev =
+  let r = { Event.epid = pr.pid; eseq = pr.seq } in
+  pr.seq <- pr.seq + 1;
+  t.hooks.Hooks.on_event ~pid:pr.pid ~seq:r.eseq ev;
+  (match (t.breakpoints, Event.sid_of ev) with
+  | Some bps, Some sid when t.halted = None && Analysis.Bitset.mem bps sid ->
+    t.halted <- Some (Breakpoint { pid = pr.pid; sid })
+  | _ -> ());
+  (match ev with
+  | Event.E_stmt { kind = Event.K_print { value }; _ } ->
+    Buffer.add_string t.out (Value.to_string value);
+    Buffer.add_char t.out '\n'
+  | _ -> ());
+  r
+
+let ctx t (pr : proc) =
+  match pr.frames with
+  | [] -> invalid_arg "Machine.ctx: no frame"
+  | top :: _ ->
+    {
+      Interp.prog = t.prog;
+      read_global = (fun slot -> t.shared.(slot));
+      write_global = (fun slot v -> t.shared.(slot) <- v);
+      frame = top;
+    }
+
+let wake t pid =
+  let pr = t.procs.(pid) in
+  match pr.status with Sblocked _ -> pr.status <- Sready | Sready | Sdone -> ()
+
+let wake_joiners t child_pid =
+  Array.iter
+    (fun pr ->
+      match pr.status with
+      | Sblocked (Bjoin q) when q = child_pid -> pr.status <- Sready
+      | _ -> ())
+    t.procs
+
+(* Process termination: emit the exit event while the root frame is
+   still in place (so observers can snapshot its locals for the
+   postlog), then record the result and wake joiners. *)
+let finish_proc t (pr : proc) result =
+  let r = emit t pr (Event.E_proc_exit { fid = pr.root_fid; result }) in
+  pr.exit_info <- Some (result, r);
+  pr.frames <- [];
+  pr.status <- Sdone;
+  wake_joiners t pr.pid
+
+(* Deliver [ret] into the caller frame after a pop: emit the
+   call-return event attributed to the call statement. *)
+let deliver_return t (pr : proc) ~callee ~call_sid ~ret_lhs ret =
+  match call_sid with
+  | None -> assert false
+  | Some sid ->
+    let write =
+      match ret_lhs with
+      | None -> None
+      | Some l ->
+        let c = ctx t pr in
+        let value = match ret with Some v -> v | None -> Value.Vundef in
+        let _idx_reads, w = Interp.write_lhs c l value in
+        Some w
+    in
+    ignore
+      (emit t pr
+         (Event.E_stmt
+            {
+              sid;
+              reads = [];
+              write;
+              kind = Event.K_call_return { callee; ret };
+            }))
+
+(* Pop the top frame with return value [ret] (already evaluated). The
+   root frame emits only E_proc_exit (the process boundary is the
+   e-block boundary); nested frames emit E_leave before popping so the
+   postlog can still read their locals. *)
+let pop_frame t (pr : proc) ret =
+  match pr.frames with
+  | [] -> assert false
+  | [ _root ] -> finish_proc t pr ret
+  | top :: rest ->
+    ignore
+      (emit t pr
+         (Event.E_leave { fid = top.ffid; call_sid = top.call_sid; ret }));
+    pr.frames <- rest;
+    deliver_return t pr ~callee:top.ffid ~call_sid:top.call_sid
+      ~ret_lhs:top.ret_lhs ret
+
+let spawn_proc t ~fid ~args ~spawn_ref =
+  let pid = Array.length t.procs in
+  let frame =
+    Interp.make_frame t.prog ~fid ~args ~ret_lhs:None ~call_sid:None
+  in
+  let pr =
+    {
+      pid;
+      root_fid = fid;
+      frames = [ frame ];
+      status = Sready;
+      pending = Pnone;
+      seq = 0;
+      started = false;
+      spawn_ref = Some spawn_ref;
+      exit_info = None;
+      p_waited = false;
+    }
+  in
+  t.procs <- Array.append t.procs [| pr |];
+  pid
+
+let block pr reason = pr.status <- Sblocked reason
+
+(* ------------------------------------------------------------------ *)
+(* Driver-handled statements.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exec_driver t (pr : proc) (s : P.stmt) =
+  let c = ctx t pr in
+  match s.desc with
+  | P.Sreturn e ->
+    let ret, reads =
+      match e with
+      | None -> (None, [])
+      | Some e ->
+        let n, reads = Interp.eval_int c e in
+        (Some (Value.Vint n), reads)
+    in
+    ignore
+      (emit t pr
+         (Event.E_stmt
+            { sid = s.sid; reads; write = None; kind = Event.K_return { value = ret } }));
+    (* returning unwinds any loops still executing in this frame: close
+       their loop e-blocks (§5.4), then drop the work and leave *)
+    (match pr.frames with
+    | top :: _ ->
+      List.iter
+        (fun sid ->
+          ignore (emit t pr (Event.E_loop_exit { sid; writes = None })))
+        top.Interp.active_loops;
+      top.Interp.active_loops <- [];
+      top.work <- []
+    | [] -> assert false);
+    pop_frame t pr ret
+  | P.Scall (lhs, call) ->
+    let args_rev, reads_rev =
+      List.fold_left
+        (fun (args, reads) a ->
+          let n, r = Interp.eval_int c a in
+          (Value.Vint n :: args, List.rev_append r reads))
+        ([], []) call.cargs
+    in
+    let args = List.rev args_rev and reads = List.rev reads_rev in
+    ignore
+      (emit t pr
+         (Event.E_stmt
+            {
+              sid = s.sid;
+              reads;
+              write = None;
+              kind = Event.K_call { callee = call.callee; args };
+            }));
+    Interp.consume_work (List.hd pr.frames);
+    let frame =
+      Interp.make_frame t.prog ~fid:call.callee ~args ~ret_lhs:lhs
+        ~call_sid:(Some s.sid)
+    in
+    pr.frames <- frame :: pr.frames;
+    ignore
+      (emit t pr
+         (Event.E_enter
+            {
+              fid = call.callee;
+              call_sid = Some s.sid;
+              binds = Interp.binds_of_frame t.prog frame;
+            }))
+  | P.Sspawn (lhs, call) ->
+    let args_rev, reads_rev =
+      List.fold_left
+        (fun (args, reads) a ->
+          let n, r = Interp.eval_int c a in
+          (Value.Vint n :: args, List.rev_append r reads))
+        ([], []) call.cargs
+    in
+    let args = List.rev args_rev and reads = List.rev reads_rev in
+    let child = Array.length t.procs in
+    let write =
+      match lhs with
+      | None -> None
+      | Some l ->
+        let _idx, w = Interp.write_lhs c l (Value.Vint child) in
+        Some w
+    in
+    let r =
+      emit t pr
+        (Event.E_stmt
+           {
+             sid = s.sid;
+             reads;
+             write;
+             kind = Event.K_spawn { child; callee = call.callee; args };
+           })
+    in
+    let child' = spawn_proc t ~fid:call.callee ~args ~spawn_ref:r in
+    assert (child' = child);
+    Interp.consume_work (List.hd pr.frames)
+  | P.Sjoin (lhs, e) ->
+    let q, reads = Interp.eval_int c e in
+    let target = proc t q in
+    if target.pid = pr.pid then raise (Interp.Fault "process joining itself");
+    (match target.exit_info with
+    | Some (result, exit_ref) ->
+      let write =
+        match lhs with
+        | None -> None
+        | Some l ->
+          let value = match result with Some v -> v | None -> Value.Vundef in
+          let _idx, w = Interp.write_lhs c l value in
+          Some w
+      in
+      ignore
+        (emit t pr
+           (Event.E_stmt
+              {
+                sid = s.sid;
+                reads;
+                write;
+                kind = Event.K_join { child = q; result; child_exit = exit_ref };
+              }));
+      Interp.consume_work (List.hd pr.frames)
+    | None -> block pr (Bjoin q))
+  | P.Sp sem ->
+    let st = t.sems.(sem.sem_id) in
+    if Queue.is_empty st.tokens then begin
+      if not (Queue.fold (fun acc p -> acc || p = pr.pid) false st.sem_waiters)
+      then Queue.add pr.pid st.sem_waiters;
+      pr.p_waited <- true;
+      block pr (Bsem sem.sem_id)
+    end
+    else begin
+      let src = Queue.take st.tokens in
+      ignore
+        (emit t pr
+           (Event.E_stmt
+              {
+                sid = s.sid;
+                reads = [];
+                write = None;
+                kind =
+                  Event.K_p { sem = sem.sem_id; src; was_blocked = pr.p_waited };
+              }));
+      pr.p_waited <- false;
+      Interp.consume_work (List.hd pr.frames)
+    end
+  | P.Sv sem ->
+    let st = t.sems.(sem.sem_id) in
+    let r =
+      emit t pr
+        (Event.E_stmt
+           { sid = s.sid; reads = []; write = None; kind = Event.K_v { sem = sem.sem_id } })
+    in
+    Queue.add (Some r) st.tokens;
+    if not (Queue.is_empty st.sem_waiters) then wake t (Queue.take st.sem_waiters);
+    Interp.consume_work (List.hd pr.frames)
+  | P.Ssend (ch, e) -> (
+    let st = t.chans.(ch.ch_id) in
+    match pr.pending with
+    | Punblock { by } ->
+      pr.pending <- Pnone;
+      ignore
+        (emit t pr
+           (Event.E_stmt
+              {
+                sid = s.sid;
+                reads = [];
+                write = None;
+                kind = Event.K_send_unblocked { chan = ch.ch_id; by };
+              }));
+      Interp.consume_work (List.hd pr.frames)
+    | Precv_value _ -> assert false
+    | Pnone -> (
+      match st.cap with
+      | Some 0 -> (
+        (* synchronous: emit send, then block awaiting the receive *)
+        let value, reads = Interp.eval_int c e in
+        let r =
+          emit t pr
+            (Event.E_stmt
+               {
+                 sid = s.sid;
+                 reads;
+                 write = None;
+                 kind = Event.K_send { chan = ch.ch_id; value };
+               })
+        in
+        match st.recv_waiters with
+        | rcv :: rest ->
+          st.recv_waiters <- rest;
+          let receiver = t.procs.(rcv) in
+          receiver.pending <-
+            Precv_value { value; src = r; sender = Some pr.pid };
+          wake t rcv;
+          block pr (Bsend_ack ch.ch_id)
+        | [] ->
+          Queue.add (pr.pid, value, r) st.sync_senders;
+          block pr (Bsend_ack ch.ch_id))
+      | Some cap when Queue.length st.buf >= cap ->
+        if not (List.mem pr.pid st.full_senders) then
+          st.full_senders <- st.full_senders @ [ pr.pid ];
+        block pr (Bsend ch.ch_id)
+      | Some _ | None ->
+        let value, reads = Interp.eval_int c e in
+        let r =
+          emit t pr
+            (Event.E_stmt
+               {
+                 sid = s.sid;
+                 reads;
+                 write = None;
+                 kind = Event.K_send { chan = ch.ch_id; value };
+               })
+        in
+        Queue.add (value, r) st.buf;
+        (match st.recv_waiters with
+        | rcv :: rest ->
+          st.recv_waiters <- rest;
+          wake t rcv
+        | [] -> ());
+        Interp.consume_work (List.hd pr.frames)))
+  | P.Srecv (ch, lhs) -> (
+    let st = t.chans.(ch.ch_id) in
+    let complete value src sender =
+      let idx_reads, w = Interp.write_lhs c lhs (Value.Vint value) in
+      let r =
+        emit t pr
+          (Event.E_stmt
+             {
+               sid = s.sid;
+               reads = idx_reads;
+               write = Some w;
+               kind = Event.K_recv { chan = ch.ch_id; value; src };
+             })
+      in
+      Interp.consume_work (List.hd pr.frames);
+      match sender with
+      | Some sp ->
+        let sender = t.procs.(sp) in
+        sender.pending <- Punblock { by = r };
+        wake t sp
+      | None -> ()
+    in
+    match pr.pending with
+    | Precv_value { value; src; sender } ->
+      pr.pending <- Pnone;
+      complete value src sender
+    | Punblock _ -> assert false
+    | Pnone ->
+      if not (Queue.is_empty st.buf) then begin
+        let value, src = Queue.take st.buf in
+        complete value src None;
+        (* a slot freed: let a blocked bounded-channel sender retry *)
+        match st.full_senders with
+        | sp :: rest ->
+          st.full_senders <- rest;
+          wake t sp
+        | [] -> ()
+      end
+      else if not (Queue.is_empty st.sync_senders) then begin
+        let sp, value, src = Queue.take st.sync_senders in
+        complete value src (Some sp)
+      end
+      else begin
+        if not (List.mem pr.pid st.recv_waiters) then
+          st.recv_waiters <- st.recv_waiters @ [ pr.pid ];
+        block pr (Brecv ch.ch_id)
+      end)
+  | P.Swhile _ -> (
+    let top = List.hd pr.frames in
+    match top.Interp.work with
+    | Interp.Wstmt _ :: _ ->
+      (* loop e-block boundary: enter before the first condition test *)
+      ignore (emit t pr (Event.E_loop_enter { sid = s.sid }));
+      Interp.loop_entry top s
+    | Interp.Wloop _ :: _ ->
+      let ev, continued = Interp.loop_test c s in
+      ignore (emit t pr (Event.E_stmt ev));
+      if not continued then
+        ignore (emit t pr (Event.E_loop_exit { sid = s.sid; writes = None }))
+    | [] -> assert false)
+  | P.Sassign _ | P.Sif _ | P.Sprint _ | P.Sassert _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Stepping and the run loop.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let step_proc t (pr : proc) =
+  if not pr.started then begin
+    pr.started <- true;
+    let binds =
+      match pr.frames with
+      | top :: _ -> Interp.binds_of_frame t.prog top
+      | [] -> []
+    in
+    ignore
+      (emit t pr
+         (Event.E_proc_start { fid = pr.root_fid; binds; spawn = pr.spawn_ref }))
+  end
+  else
+    match pr.frames with
+    | [] -> assert false
+    | _ :: _ -> (
+      let c = ctx t pr in
+      (* remember the sid for fault attribution *)
+      (match (List.hd pr.frames).Interp.work with
+      | Interp.Wstmt s :: _ | Interp.Wloop s :: _ ->
+        t.current_sid <- Some s.P.sid
+      | [] -> t.current_sid <- None);
+      match Interp.step_local c with
+      | Interp.Event ev ->
+        ignore (emit t pr (Event.E_stmt ev));
+        (match ev.kind with
+        | Event.K_assert { ok = false } ->
+          raise (Interp.Fault "assertion failed")
+        | _ -> ())
+      | Interp.Frame_done -> pop_frame t pr None
+      | Interp.Driver s -> exec_driver t pr s)
+
+let runnable t =
+  Array.to_list t.procs
+  |> List.filter_map (fun pr ->
+         match pr.status with
+         | Sready -> Some pr.pid
+         | Sblocked _ | Sdone -> None)
+
+let describe_block = function
+  | Bsem s -> Printf.sprintf "P on semaphore %d" s
+  | Bsend c -> Printf.sprintf "send on full channel %d" c
+  | Bsend_ack c -> Printf.sprintf "synchronous send on channel %d awaiting receive" c
+  | Brecv c -> Printf.sprintf "recv on empty channel %d" c
+  | Bjoin p -> Printf.sprintf "join of process %d" p
+
+let step_one t =
+  match t.halted with
+  | Some _ -> false
+  | None -> (
+    match runnable t with
+    | [] ->
+      let blocked =
+        Array.to_list t.procs
+        |> List.filter_map (fun pr ->
+               match pr.status with
+               | Sblocked r -> Some (pr.pid, describe_block r)
+               | Sready | Sdone -> None)
+      in
+      t.halted <- Some (if blocked = [] then Finished else Deadlock blocked);
+      false
+    | pids ->
+      if t.steps >= t.max_steps then begin
+        t.halted <- Some Out_of_fuel;
+        false
+      end
+      else begin
+        let pid = Sched.pick t.sched ~runnable:pids in
+        t.steps <- t.steps + 1;
+        (try step_proc t t.procs.(pid)
+         with Interp.Fault msg ->
+           t.halted <- Some (Fault { pid; sid = t.current_sid; msg }));
+        true
+      end)
+
+let run t =
+  while step_one t do
+    ()
+  done;
+  match t.halted with Some h -> h | None -> assert false
+
+let status t = t.halted
+
+let output t = Buffer.contents t.out
+
+let nsteps t = t.steps
+
+let nprocs t = Array.length t.procs
+
+let proc_state t pid =
+  match t.procs.(pid).status with
+  | Sready -> Ready
+  | Sblocked r -> Blocked (describe_block r)
+  | Sdone -> Done
+
+let blocked_wait t pid =
+  match t.procs.(pid).status with
+  | Sready | Sdone -> None
+  | Sblocked r ->
+    Some
+      (match r with
+      | Bsem s -> Wsem s
+      | Bsend c | Bsend_ack c -> Wsend c
+      | Brecv c -> Wrecv c
+      | Bjoin p -> Wjoin p)
+
+let proc_seq t pid = t.procs.(pid).seq
+
+let proc_root t pid = t.procs.(pid).root_fid
+
+let read_global t slot = t.shared.(slot)

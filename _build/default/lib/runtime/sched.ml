@@ -1,0 +1,59 @@
+type policy = Round_robin of int | Random_seed of int | Scripted of int list
+
+type t = {
+  policy : policy;
+  mutable rr_current : int;
+  mutable rr_left : int;
+  rng : Random.State.t;
+  mutable script : int list;
+}
+
+let create policy =
+  {
+    policy;
+    rr_current = -1;
+    rr_left = 0;
+    rng =
+      (match policy with
+      | Random_seed seed -> Random.State.make [| seed |]
+      | Round_robin _ | Scripted _ -> Random.State.make [| 0 |]);
+    script = (match policy with Scripted s -> s | _ -> []);
+  }
+
+let round_robin t ~runnable quantum =
+  if t.rr_left > 0 && List.mem t.rr_current runnable then begin
+    t.rr_left <- t.rr_left - 1;
+    t.rr_current
+  end
+  else begin
+    (* next runnable pid strictly greater than the current one, wrapping *)
+    let next =
+      match List.find_opt (fun p -> p > t.rr_current) runnable with
+      | Some p -> p
+      | None -> List.hd runnable
+    in
+    t.rr_current <- next;
+    t.rr_left <- quantum - 1;
+    next
+  end
+
+let pick t ~runnable =
+  match runnable with
+  | [] -> invalid_arg "Sched.pick: no runnable process"
+  | _ -> (
+    match t.policy with
+    | Round_robin quantum -> round_robin t ~runnable quantum
+    | Random_seed _ ->
+      List.nth runnable (Random.State.int t.rng (List.length runnable))
+    | Scripted _ -> (
+      (* skip script entries that are not currently runnable *)
+      let rec next_scripted () =
+        match t.script with
+        | [] -> round_robin t ~runnable 1
+        | p :: rest ->
+          t.script <- rest;
+          if List.mem p runnable then p else next_scripted ()
+      in
+      next_scripted ()))
+
+let default = Round_robin 3

@@ -1,0 +1,26 @@
+(** Process schedulers for the simulated shared-memory multiprocessor.
+
+    The debugger never relies on scheduling reproducibility (that is the
+    point of the paper), but seeded schedulers let the test suite
+    quantify over many interleavings deterministically. *)
+
+type policy =
+  | Round_robin of int
+      (** quantum: steps a process runs before yielding *)
+  | Random_seed of int
+      (** uniformly random runnable process each step *)
+  | Scripted of int list
+      (** follow the given pid script while possible (skipping
+          non-runnable entries), then fall back to round-robin — used to
+          force specific interleavings in tests *)
+
+type t
+
+val create : policy -> t
+
+val pick : t -> runnable:int list -> int
+(** Choose the next process to step. [runnable] is non-empty and
+    sorted. *)
+
+val default : policy
+(** [Round_robin 3]. *)

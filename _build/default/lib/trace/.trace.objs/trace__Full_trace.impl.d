@@ -1,0 +1,1 @@
+lib/trace/full_trace.ml: Array List Runtime

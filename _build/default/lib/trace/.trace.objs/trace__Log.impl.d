@@ -1,0 +1,1 @@
+lib/trace/log.ml: Array Format Int Lang List Printf Runtime

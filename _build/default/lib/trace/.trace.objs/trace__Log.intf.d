@@ -1,0 +1,1 @@
+lib/trace/log.mli: Format Lang Runtime

@@ -1,0 +1,1 @@
+lib/trace/log_io.ml: Array Filename Full_trace Fun Log Marshal Printf String

@@ -1,0 +1,1 @@
+lib/trace/log_io.mli: Full_trace Log

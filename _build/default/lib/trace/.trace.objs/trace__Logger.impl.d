@@ -1,0 +1,1 @@
+lib/trace/logger.ml: Analysis Array Lang List Log Runtime

@@ -1,0 +1,1 @@
+lib/trace/logger.mli: Analysis Log Runtime

@@ -1,0 +1,39 @@
+let magic = "PPDLOG1\n"
+
+let save path (log : Log.t) =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc log [])
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let hdr = really_input_string ic (String.length magic) in
+      if not (String.equal hdr magic) then
+        failwith (path ^ ": not a PPD log file (bad magic)");
+      (Marshal.from_channel ic : Log.t))
+
+let save_per_process ~dir ~basename (log : Log.t) =
+  Array.to_list
+    (Array.mapi
+       (fun pid entries ->
+         let path = Filename.concat dir (Printf.sprintf "%s.%d.log" basename pid) in
+         let one =
+           {
+             Log.nprocs = 1;
+             entries = [| entries |];
+             stops = [| log.Log.stops.(pid) |];
+           }
+         in
+         save path one;
+         path)
+       log.Log.entries)
+
+let measure (log : Log.t) = String.length (Marshal.to_string log [])
+
+let measure_trace (tr : Full_trace.t) = String.length (Marshal.to_string tr [])

@@ -1,0 +1,21 @@
+(** Log persistence: "there is one log file for each process" (§5.6).
+
+    Logs are saved with OCaml's [Marshal] under a small versioned
+    header; [measure] reports serialized sizes for the log-volume
+    benchmarks without touching the filesystem. *)
+
+val save : string -> Log.t -> unit
+(** Write one file containing every process's log. *)
+
+val load : string -> Log.t
+(** @raise Failure on version or format mismatch. *)
+
+val save_per_process : dir:string -> basename:string -> Log.t -> string list
+(** Write [basename.pid.log] per process (the paper's layout); returns
+    the paths. *)
+
+val measure : Log.t -> int
+(** Serialized size in bytes. *)
+
+val measure_trace : Full_trace.t -> int
+(** Serialized size of a full trace, for comparison. *)

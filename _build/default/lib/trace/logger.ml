@@ -1,0 +1,223 @@
+module P = Lang.Prog
+module E = Runtime.Event
+
+type t = {
+  eb : Analysis.Eblock.t;
+  mutable port : Runtime.Hooks.port option;
+  mutable logs : Log.entry list ref array;  (* per pid, reversed *)
+  mutable pending_return : Runtime.Value.t option option array;
+      (* per pid: a return is unwinding; loop postlogs record it *)
+  mutable seq_high : int array;  (* per pid: events emitted so far *)
+  (* precomputed instrumentation tables: consulting the analyses on
+     every event would dominate the execution-phase overhead (T1) *)
+  sync_vars_after : Lang.Prog.var list array;  (* by sid *)
+  entry_sync_vars : Lang.Prog.var list array;  (* by fid, inlined callees *)
+  loop_vars : (Lang.Prog.var list * Lang.Prog.var list) option array;  (* by sid *)
+}
+
+let create eb =
+  let prog = eb.Analysis.Eblock.prog in
+  let nstmts = Array.length prog.Lang.Prog.stmts in
+  let sync_vars_after =
+    Array.init nstmts (fun sid ->
+        let fid = prog.Lang.Prog.stmt_fid.(sid) in
+        Analysis.Eblock.sync_prelog_vars_after eb ~fid ~sid)
+  in
+  let entry_sync_vars =
+    Array.init
+      (Array.length prog.Lang.Prog.funcs)
+      (fun fid ->
+        if eb.Analysis.Eblock.is_eblock.(fid) then []
+        else Analysis.Eblock.sync_prelog_vars_at_entry eb ~fid)
+  in
+  let loop_vars =
+    Array.init nstmts (fun sid -> Analysis.Eblock.loop_block_vars eb ~sid)
+  in
+  {
+    eb;
+    port = None;
+    logs = [| ref [] |];
+    pending_return = [| None |];
+    seq_high = [| 0 |];
+    sync_vars_after;
+    entry_sync_vars;
+    loop_vars;
+  }
+
+let ensure_pid t pid =
+  let n = Array.length t.logs in
+  if pid >= n then begin
+    t.logs <-
+      Array.init (pid + 1) (fun i -> if i < n then t.logs.(i) else ref []);
+    t.pending_return <-
+      Array.init (pid + 1) (fun i ->
+          if i < n then t.pending_return.(i) else None);
+    t.seq_high <-
+      Array.init (pid + 1) (fun i -> if i < n then t.seq_high.(i) else 0)
+  end
+
+let push t pid entry =
+  let cell = t.logs.(pid) in
+  cell := entry :: !cell
+
+let snapshot t pid vars =
+  match t.port with
+  | None -> []
+  | Some port ->
+    List.map
+      (fun (v : P.var) ->
+        (v.vid, Runtime.Value.copy (port.Runtime.Hooks.read_var ~pid v)))
+      vars
+
+let now t =
+  match t.port with None -> 0 | Some port -> port.Runtime.Hooks.now ()
+
+(* Sync-unit prelog for the unit starting right after [sid] (§5.5). *)
+let sync_unit_prelog t pid ~seq ~sid =
+  match t.sync_vars_after.(sid) with
+  | [] -> ()
+  | vars ->
+    push t pid
+      (Log.Sync_prelog
+         {
+           point = Log.After_sync sid;
+           seq_at = seq + 1;
+           step_at = now t;
+           vals = snapshot t pid vars;
+         })
+
+let on_event t ~pid ~seq (ev : E.t) =
+  ensure_pid t pid;
+  t.seq_high.(pid) <- seq + 1;
+  match ev with
+  | E.E_proc_start { fid; spawn; _ } ->
+    push t pid
+      (Log.Sync
+         { sid = None; seq; step_at = now t; data = Log.S_proc_start { fid; spawn } });
+    push t pid
+      (Log.Prelog
+         {
+           block = Log.Bfunc fid;
+           caller_sid = None;
+           seq_at = seq;
+           step_at = now t;
+           vals = snapshot t pid t.eb.Analysis.Eblock.prelog_vars.(fid);
+         })
+  | E.E_proc_exit { fid; result } ->
+    push t pid
+      (Log.Sync
+         { sid = None; seq; step_at = now t; data = Log.S_proc_exit { fid; result } });
+    push t pid
+      (Log.Postlog
+         {
+           block = Log.Bfunc fid;
+           seq_at = seq + 1;
+           step_at = now t;
+           vals = snapshot t pid t.eb.Analysis.Eblock.postlog_vars.(fid);
+           ret = result;
+           via_return = None;
+         })
+  | E.E_enter { fid; call_sid; _ } ->
+    if t.eb.Analysis.Eblock.is_eblock.(fid) then
+      push t pid
+        (Log.Prelog
+           {
+             block = Log.Bfunc fid;
+             caller_sid = call_sid;
+             seq_at = seq;
+             step_at = now t;
+             vals = snapshot t pid t.eb.Analysis.Eblock.prelog_vars.(fid);
+           })
+    else begin
+      (* inlined callee: cover its entry synchronization unit *)
+      match t.entry_sync_vars.(fid) with
+      | [] -> ()
+      | vars ->
+        push t pid
+          (Log.Sync_prelog
+             {
+               point = Log.At_inlined_entry fid;
+               seq_at = seq;
+               step_at = now t;
+               vals = snapshot t pid vars;
+             })
+    end
+  | E.E_leave { fid; ret; _ } ->
+    if t.eb.Analysis.Eblock.is_eblock.(fid) then
+      push t pid
+        (Log.Postlog
+           {
+             block = Log.Bfunc fid;
+             seq_at = seq + 1;
+             step_at = now t;
+             vals = snapshot t pid t.eb.Analysis.Eblock.postlog_vars.(fid);
+             ret;
+             via_return = None;
+           })
+  | E.E_loop_enter { sid } -> (
+    match t.loop_vars.(sid) with
+    | None -> ()
+    | Some (pre, _post) ->
+      push t pid
+        (Log.Prelog
+           {
+             block = Log.Bloop sid;
+             caller_sid = None;
+             seq_at = seq + 1;
+             step_at = now t;
+             vals = snapshot t pid pre;
+           }))
+  | E.E_loop_exit { sid; _ } -> (
+    match t.loop_vars.(sid) with
+    | None -> ()
+    | Some (_pre, post) ->
+      push t pid
+        (Log.Postlog
+           {
+             block = Log.Bloop sid;
+             seq_at = seq;
+             step_at = now t;
+             vals = snapshot t pid post;
+             ret = None;
+             via_return = t.pending_return.(pid);
+           }))
+  | E.E_stmt { sid; kind; _ } -> (
+    (* track whether a return is currently unwinding active loops *)
+    (match kind with
+    | E.K_return { value } -> t.pending_return.(pid) <- Some value
+    | E.K_call_return _ | E.K_assign | E.K_pred _ | E.K_call _ | E.K_p _
+    | E.K_v _ | E.K_send _ | E.K_send_unblocked _ | E.K_recv _ | E.K_spawn _
+    | E.K_join _ | E.K_print _ | E.K_assert _ ->
+      if t.pending_return.(pid) <> None then t.pending_return.(pid) <- None);
+    match kind with
+    | E.K_p _ | E.K_v _ | E.K_send _ | E.K_send_unblocked _ | E.K_recv _
+    | E.K_spawn _ | E.K_join _ ->
+      push t pid
+        (Log.Sync { sid = Some sid; seq; step_at = now t; data = Log.S_kind kind });
+      sync_unit_prelog t pid ~seq ~sid
+    | E.K_call_return _ ->
+      (* control resumes after the call site: new unit begins *)
+      sync_unit_prelog t pid ~seq ~sid
+    | E.K_assign | E.K_pred _ | E.K_call _ | E.K_return _ | E.K_print _
+    | E.K_assert _ ->
+      ())
+
+let factory t port =
+  t.port <- Some port;
+  { Runtime.Hooks.on_event = (fun ~pid ~seq ev -> on_event t ~pid ~seq ev) }
+
+let finish t =
+  {
+    Log.nprocs = Array.length t.logs;
+    entries = Array.map (fun cell -> Array.of_list (List.rev !cell)) t.logs;
+    stops = Array.copy t.seq_high;
+  }
+
+let run_logged ?sched ?max_steps ?(extra_hooks = Runtime.Hooks.nil) eb =
+  let logger = create eb in
+  let hooks = Runtime.Hooks.both (factory logger) extra_hooks in
+  let m =
+    Runtime.Machine.create ?sched ?max_steps ~hooks eb.Analysis.Eblock.prog
+  in
+  let halt = Runtime.Machine.run m in
+  (halt, finish logger, m)

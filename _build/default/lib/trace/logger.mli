@@ -1,0 +1,38 @@
+(** The logging instrumentation — the paper's "object code" side of
+    incremental tracing (§5.1, §5.5, §5.6).
+
+    Given the e-block analysis, the logger observes machine events and
+    emits per-process log entries:
+    - [E_proc_start] / [E_enter] of an e-block -> prelog (snapshotting
+      the block's upward-exposed variables through the port);
+    - [E_leave] of an e-block / [E_proc_exit] -> postlog;
+    - [E_enter] of an inlined function -> sync-unit prelog for the
+      callee's entry unit (shared variables only);
+    - sync statement events -> a sync record, followed by the
+      sync-unit prelog of the unit starting after the operation;
+    - [K_call_return] -> the sync-unit prelog of the unit resuming
+      after the call site.
+
+    Everything is deep-copied at snapshot time, so logs stay valid as
+    execution proceeds. *)
+
+type t
+
+val create : Analysis.Eblock.t -> t
+
+val factory : t -> Runtime.Hooks.factory
+(** Pass to {!Runtime.Machine.create}; combine with other observers via
+    {!Runtime.Hooks.both}. *)
+
+val finish : t -> Log.t
+(** Snapshot the accumulated log (callable once the run halts). *)
+
+val run_logged :
+  ?sched:Runtime.Sched.policy ->
+  ?max_steps:int ->
+  ?extra_hooks:Runtime.Hooks.factory ->
+  Analysis.Eblock.t ->
+  (Runtime.Machine.halt * Log.t * Runtime.Machine.t)
+(** Convenience: create a machine over the analysed program with logging
+    attached, run it, and return the halt status, the log and the
+    machine (for output/global inspection). *)

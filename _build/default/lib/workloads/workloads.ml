@@ -1,0 +1,501 @@
+(* Replace every occurrence of [pat] in [s] by [sub]. *)
+let replace_all s pat sub =
+  let plen = String.length pat in
+  let b = Buffer.create (String.length s) in
+  let i = ref 0 in
+  while !i <= String.length s - plen do
+    if String.sub s !i plen = pat then begin
+      Buffer.add_string b sub;
+      i := !i + plen
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.add_substring b s !i (String.length s - !i);
+  Buffer.contents b
+
+let fig41 =
+  {|
+func subd(a, b, x) {
+  return a * b - x;
+}
+
+func isqrt(n) {
+  var r = 0;
+  while ((r + 1) * (r + 1) <= n) {
+    r = r + 1;
+  }
+  return r;
+}
+
+func main() {
+  var a = 1;
+  var b = 2;
+  var c = 3;
+  var d = subd(a, b, a + b + c);
+  var sq = 0;
+  if (d > 0) {
+    sq = isqrt(d);
+  } else {
+    sq = isqrt(-d);
+  }
+  a = a + sq;
+  assert(a == 99);
+}
+|}
+
+let foo3 =
+  {|
+shared int SV = 0;
+
+func foo3(p, q) {
+  var a = 1;
+  var b = 2;
+  var c = 0;
+  if (p == 1) {
+    if (q == 1) {
+      c = a;
+    } else {
+      c = b;
+    }
+  } else {
+    SV = a + b + SV;
+    c = 3;
+  }
+  return c;
+}
+
+func main() {
+  var r = foo3(0, 1);
+  print(SV);
+  print(r);
+}
+|}
+
+let fig61 =
+  {|
+chan c12[0];
+chan c23[0];
+
+func p2() {
+  var x = 0;
+  recv(c12, x);
+  send(c23, x + 1);
+}
+
+func p3() {
+  var y = 0;
+  recv(c23, y);
+  print(y);
+}
+
+func main() {
+  var a = spawn p2();
+  var b = spawn p3();
+  send(c12, 41);
+  join(a);
+  join(b);
+}
+|}
+
+let racy_bank =
+  {|
+shared int balance = 100;
+
+func withdraw(n) {
+  var tmp = balance;
+  tmp = tmp - n;
+  balance = tmp;
+}
+
+func main() {
+  var p1 = spawn withdraw(30);
+  var p2 = spawn withdraw(50);
+  join(p1);
+  join(p2);
+  print(balance);
+}
+|}
+
+let fixed_bank =
+  {|
+shared int balance = 100;
+sem mutex = 1;
+
+func withdraw(n) {
+  P(mutex);
+  var tmp = balance;
+  tmp = tmp - n;
+  balance = tmp;
+  V(mutex);
+}
+
+func main() {
+  var p1 = spawn withdraw(30);
+  var p2 = spawn withdraw(50);
+  join(p1);
+  join(p2);
+  print(balance);
+}
+|}
+
+let sv_race =
+  {|
+shared int SV = 0;
+
+func writer1() {
+  SV = 1;
+}
+
+func writer2() {
+  SV = 2;
+}
+
+func reader() {
+  var x = SV;
+  print(x);
+}
+
+func main() {
+  var p1 = spawn writer1();
+  var p2 = spawn writer2();
+  var p3 = spawn reader();
+  join(p1);
+  join(p2);
+  join(p3);
+}
+|}
+
+let deadlock_ab =
+  {|
+sem a = 1;
+sem b = 1;
+
+func left() {
+  P(a);
+  P(b);
+  V(b);
+  V(a);
+}
+
+func right() {
+  P(b);
+  P(a);
+  V(a);
+  V(b);
+}
+
+func main() {
+  var p1 = spawn left();
+  var p2 = spawn right();
+  join(p1);
+  join(p2);
+}
+|}
+
+let buggy_min =
+  {|
+func min3(x, y, z) {
+  var m = x;
+  if (y < m) {
+    m = y;
+  }
+  if (z < m) {
+    m = z;  // bug would be: m = y;
+  }
+  return m;
+}
+
+func main() {
+  var a = 7;
+  var b = 3;
+  var c = 5;
+  var m = min3(a, b, c);
+  // deliberately wrong expectation so flowback has an error to explain
+  assert(m == 2);
+}
+|}
+
+(* §6.2.3: RPC realised as two synchronous channels (call + reply):
+   "we can treat the remote procedure call in a similar way as we do the
+   rendezvous using two synchronization edges, one for calling to, and
+   another for returning from the RPC". *)
+let rpc =
+  {|
+chan call[0];
+chan reply[0];
+
+func server() {
+  var req = 0;
+  recv(call, req);
+  send(reply, req * req);
+}
+
+func main() {
+  var srv = spawn server();
+  send(call, 7);
+  var result = 0;
+  recv(reply, result);
+  print(result);
+  join(srv);
+}
+|}
+
+let all_fixed =
+  [
+    ("fig41", fig41);
+    ("foo3", foo3);
+    ("fig61", fig61);
+    ("racy_bank", racy_bank);
+    ("fixed_bank", fixed_bank);
+    ("sv_race", sv_race);
+    ("deadlock_ab", deadlock_ab);
+    ("rpc", rpc);
+    ("buggy_min", buggy_min);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Parameterised generators.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let matmul n =
+  Printf.sprintf
+    {|
+func main() {
+  var a[%d];
+  var b[%d];
+  var c[%d];
+  var i = 0;
+  var j = 0;
+  var k = 0;
+  for (i = 0; i < %d; i = i + 1) {
+    for (j = 0; j < %d; j = j + 1) {
+      a[i * %d + j] = i + j;
+      b[i * %d + j] = i - j;
+      c[i * %d + j] = 0;
+    }
+  }
+  for (i = 0; i < %d; i = i + 1) {
+    for (j = 0; j < %d; j = j + 1) {
+      var s = 0;
+      for (k = 0; k < %d; k = k + 1) {
+        s = s + a[i * %d + k] * b[k * %d + j];
+      }
+      c[i * %d + j] = s;
+    }
+  }
+  var sum = 0;
+  for (i = 0; i < %d; i = i + 1) {
+    sum = sum + c[i * %d + i];
+  }
+  print(sum);
+}
+|}
+    (n * n) (n * n) (n * n) n n n n n n n n n n n n n
+
+let counter ~workers ~incs ~mutex =
+  let body =
+    if mutex then
+      {|
+  var i = 0;
+  for (i = 0; i < INCS; i = i + 1) {
+    P(lock);
+    count = count + 1;
+    V(lock);
+  }
+|}
+    else
+      (* read and write split across statements so interleavings can
+         lose updates (a single-statement increment is one atomic event
+         in the simulator) *)
+      {|
+  var i = 0;
+  for (i = 0; i < INCS; i = i + 1) {
+    var t = count;
+    count = t + 1;
+  }
+|}
+  in
+  let spawns =
+    String.concat "\n"
+      (List.init workers (fun i ->
+           Printf.sprintf "  var p%d = spawn worker();" i))
+  in
+  let joins =
+    String.concat "\n"
+      (List.init workers (fun i -> Printf.sprintf "  join(p%d);" i))
+  in
+  let src =
+    Printf.sprintf
+      {|
+shared int count = 0;
+%s
+
+func worker() {
+%s}
+
+func main() {
+%s
+%s
+  print(count);
+}
+|}
+      (if mutex then "sem lock = 1;" else "")
+      body spawns joins
+  in
+  replace_all src "INCS" (string_of_int incs)
+
+let producer_consumer ~items ~cap =
+  Printf.sprintf
+    {|
+chan buf[%d];
+
+func producer(n) {
+  var i = 0;
+  for (i = 1; i <= n; i = i + 1) {
+    send(buf, i);
+  }
+}
+
+func consumer(n) {
+  var sum = 0;
+  var i = 0;
+  var x = 0;
+  for (i = 0; i < n; i = i + 1) {
+    recv(buf, x);
+    sum = sum + x;
+  }
+  return sum;
+}
+
+func main() {
+  var p = spawn producer(%d);
+  var c = spawn consumer(%d);
+  join(p);
+  var total = join(c);
+  assert(total == %d * (%d + 1) / 2);
+  print(total);
+}
+|}
+    cap items items items items
+
+let token_ring ~procs ~rounds =
+  let b = Buffer.create 512 in
+  for i = 0 to procs - 1 do
+    Buffer.add_string b (Printf.sprintf "chan ring%d[0];\n" i)
+  done;
+  for i = 0 to procs - 1 do
+    let next = (i + 1) mod procs in
+    Buffer.add_string b
+      (Printf.sprintf
+         {|
+func node%d() {
+  var r = 0;
+  var t = 0;
+  for (r = 0; r < %d; r = r + 1) {
+    recv(ring%d, t);
+    send(ring%d, t + 1);
+  }
+}
+|}
+         i rounds i next)
+  done;
+  Buffer.add_string b "\nfunc main() {\n";
+  for i = 1 to procs - 1 do
+    Buffer.add_string b (Printf.sprintf "  var p%d = spawn node%d();\n" i i)
+  done;
+  (* main plays node0: inject the token, run its rounds, collect it *)
+  Buffer.add_string b
+    (Printf.sprintf
+       {|  var t = 0;
+  var r = 0;
+  send(ring1, 1);
+  for (r = 0; r < %d; r = r + 1) {
+    recv(ring0, t);
+    if (r < %d) {
+      send(ring1, t + 1);
+    }
+  }
+|}
+       rounds (rounds - 1));
+  for i = 1 to procs - 1 do
+    Buffer.add_string b (Printf.sprintf "  join(p%d);\n" i)
+  done;
+  Buffer.add_string b "  print(t);\n}\n";
+  Buffer.contents b
+
+let deep_calls ~depth =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "func f0(x) {\n  return x + 1;\n}\n";
+  for i = 1 to depth - 1 do
+    Buffer.add_string b
+      (Printf.sprintf
+         "func f%d(x) {\n  var y = f%d(x + 1);\n  return y * 1;\n}\n" i (i - 1))
+  done;
+  (* f0(x) = x+1 and f_i(x) = f_(i-1)(x+1), so f_(depth-1)(0) = depth *)
+  Buffer.add_string b
+    (Printf.sprintf
+       "func main() {\n  var r = f%d(0);\n  print(r);\n  assert(r == %d);\n}\n"
+       (depth - 1) depth);
+  Buffer.contents b
+
+let fib n =
+  Printf.sprintf
+    {|
+func fib(n) {
+  if (n < 2) {
+    return n;
+  }
+  var a = fib(n - 1);
+  var b = fib(n - 2);
+  return a + b;
+}
+
+func main() {
+  var r = fib(%d);
+  print(r);
+}
+|}
+    n
+
+let branchy ~rounds =
+  Printf.sprintf
+    {|
+func classify(x) {
+  var r = 0;
+  if (x %% 2 == 0) {
+    if (x %% 3 == 0) {
+      r = 6;
+    } else {
+      r = 2;
+    }
+  } else {
+    if (x %% 3 == 0) {
+      r = 3;
+    } else {
+      if (x %% 5 == 0) {
+        r = 5;
+      } else {
+        r = 1;
+      }
+    }
+  }
+  return r;
+}
+
+func main() {
+  var i = 0;
+  var acc = 0;
+  for (i = 0; i < %d; i = i + 1) {
+    var c = classify(i);
+    while (c > 0) {
+      acc = acc + 1;
+      c = c - 1;
+    }
+  }
+  print(acc);
+}
+|}
+    rounds

@@ -1,0 +1,70 @@
+(** MPL program corpus shared by the examples, tests and benchmarks.
+
+    Fixed programs transliterate the paper's figures; the parameterised
+    generators produce the scalable workloads behind the overhead,
+    log-size and race-detection benchmarks (tables T1/T2/T3/T5/T6 in
+    EXPERIMENTS.md). *)
+
+val fig41 : string
+(** The C fragment of Figure 4.1 ([d = SubD(a, b, a+b+c)]; [sqrt]
+    realised as an integer square root), ending in a failing assert so
+    flowback has an error to chase. *)
+
+val foo3 : string
+(** The subroutine of Figure 5.3: nested branches around an access to a
+    shared variable [SV], plus a driver. *)
+
+val fig61 : string
+(** Three processes connected by synchronous channels, reproducing the
+    blocking-send / receive / unblock pattern of Figure 6.1. *)
+
+val racy_bank : string
+(** Two unsynchronised withdrawals from a shared balance — the classic
+    read/write and write/write races of §6.3. *)
+
+val fixed_bank : string
+(** The same program protected by a semaphore; race-free. *)
+
+val sv_race : string
+(** §6.3's scenario: SV written in two edges and read in a third. *)
+
+val deadlock_ab : string
+(** Two processes taking two semaphores in opposite orders. *)
+
+val rpc : string
+(** §6.2.3's remote procedure call: two synchronous channels form the
+    call and return synchronization edges of an RPC/rendezvous. *)
+
+val buggy_min : string
+(** A sequential program with a wrong-branch bug caught by an assert;
+    quickstart material. *)
+
+val all_fixed : (string * string) list
+(** Name/source pairs of every fixed program above (all compile). *)
+
+(* Parameterised generators. *)
+
+val matmul : int -> string
+(** [matmul n]: n×n integer matrix product with a checksum assert;
+    loop- and array-heavy, single process. *)
+
+val counter : workers:int -> incs:int -> mutex:bool -> string
+(** Shared counter incremented [incs] times by each of [workers]
+    processes, optionally under a semaphore. *)
+
+val producer_consumer : items:int -> cap:int -> string
+(** One producer, one consumer over a bounded channel. *)
+
+val token_ring : procs:int -> rounds:int -> string
+(** [procs] processes passing an incrementing token around a ring of
+    synchronous channels. *)
+
+val deep_calls : depth:int -> string
+(** A chain of [depth] single-call functions; the flowback query cost
+    benchmark (T6). *)
+
+val fib : int -> string
+(** Recursive Fibonacci — many nested e-block intervals. *)
+
+val branchy : rounds:int -> string
+(** Dense structured control flow, single process. *)

@@ -1,0 +1,29 @@
+  $ ppd example buggy_min > buggy.mpl
+  $ ppd example racy_bank > racy.mpl
+  $ ppd example fixed_bank > fixed.mpl
+  $ ppd example fig61 > fig61.mpl
+  $ ppd check buggy.mpl
+  $ ppd run fig61.mpl
+  $ ppd run buggy.mpl
+  $ echo 'func main() { print(nope); }' > bad.mpl
+  $ ppd check bad.mpl
+  $ ppd analyze fixed.mpl --show modref
+  $ ppd flowback buggy.mpl --depth 2
+  $ ppd race racy.mpl
+  $ ppd race fixed.mpl
+  $ ppd race racy.mpl --static
+  $ cat > limit.mpl <<'MPL'
+  > shared int limit = 10;
+  > func main() {
+  >   var i = 0;
+  >   var n = 0;
+  >   while (i < limit) { n = n + i; i = i + 1; }
+  >   print(n);
+  > }
+  > MPL
+  $ ppd run limit.mpl
+  $ ppd whatif limit.mpl --set limit=3
+  $ printf 'why\nstats\nquit\n' > script.txt
+  $ ppd debug buggy.mpl --script script.txt
+  $ ppd log fig61.mpl --save run.log > /dev/null
+  $ test -f run.log && echo saved

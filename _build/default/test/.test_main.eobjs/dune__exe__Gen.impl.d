@@ -1,0 +1,1 @@
+test/gen.ml: Buffer Lang List Printf Random String

@@ -1,0 +1,1 @@
+test/test_breakpoint.ml: Alcotest Array Lang List Ppd Runtime Util Workloads

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Analysis Array Bitset Cfg Dominance Lang List Option Util

@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Analysis Array Bitset Cfg Interproc Lang List Live Option Reaching_defs String Util Varset

@@ -1,0 +1,1 @@
+test/test_deadlock.ml: Alcotest List Ppd Runtime Util Workloads

@@ -1,0 +1,1 @@
+test/test_debugger.ml: Alcotest List Ppd String Util Workloads

@@ -1,0 +1,1 @@
+test/test_eblock.ml: Alcotest Analysis Array Eblock Lang List Option Printf Use_def Util Varset Workloads

@@ -1,0 +1,1 @@
+test/test_emulator.ml: Alcotest Analysis Array Gen List Ppd QCheck2 Runtime Trace Util Workloads

@@ -1,0 +1,1 @@
+test/test_flowback.ml: Alcotest Array Format Lang List Option Ppd Runtime Util Workloads

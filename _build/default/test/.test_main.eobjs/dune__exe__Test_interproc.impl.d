@@ -1,0 +1,1 @@
+test/test_interproc.ml: Alcotest Analysis Array Callgraph Gen Interproc Lang List Option QCheck2 Util Varset

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Diag Lang Lexer List Loc Token Util

@@ -1,0 +1,1 @@
+test/test_log.ml: Alcotest Array Filename Fun Gen List Out_channel Printf QCheck2 Runtime Sys Trace Util Workloads

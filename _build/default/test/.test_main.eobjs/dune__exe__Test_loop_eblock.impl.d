@@ -1,0 +1,1 @@
+test/test_loop_eblock.ml: Alcotest Analysis Array Gen Lang List Option Ppd Printf QCheck2 Runtime Trace Util Workloads

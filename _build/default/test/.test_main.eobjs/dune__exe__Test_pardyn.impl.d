@@ -1,0 +1,1 @@
+test/test_pardyn.ml: Alcotest Analysis Array Gen Lang List Ppd QCheck2 Runtime Trace Util Workloads

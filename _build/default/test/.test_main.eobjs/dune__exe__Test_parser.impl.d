@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Diag Lang Parser Pp_ast QCheck2 String Util

@@ -1,0 +1,1 @@
+test/test_race.ml: Alcotest Gen Lang List Ppd Printf QCheck2 Runtime Util Workloads

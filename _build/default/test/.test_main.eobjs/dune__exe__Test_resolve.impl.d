@@ -1,0 +1,1 @@
+test/test_resolve.ml: Alcotest Array Lang List Option Prog Util Workloads

@@ -1,0 +1,1 @@
+test/test_restore.ml: Alcotest Analysis Array Gen Lang List Ppd Printf QCheck2 Runtime Trace Util Workloads

@@ -1,0 +1,1 @@
+test/test_roundtrip.ml: Alcotest Ast Diag Gen Lang List Loc Parser Pp_ast QCheck2 String Util Workloads

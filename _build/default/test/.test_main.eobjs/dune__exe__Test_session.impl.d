@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Analysis Array Gen Hashtbl Lang List Option Ppd QCheck2 Runtime Trace Util Workloads

@@ -1,0 +1,1 @@
+test/test_sets.ml: Alcotest Analysis Bitset QCheck2 Util Varset

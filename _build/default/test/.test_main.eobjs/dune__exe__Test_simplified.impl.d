@@ -1,0 +1,1 @@
+test/test_simplified.ml: Alcotest Analysis Array Cfg Lang List Option Simplified Util Varset Workloads

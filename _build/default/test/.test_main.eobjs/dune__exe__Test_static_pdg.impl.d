@@ -1,0 +1,1 @@
+test/test_static_pdg.ml: Alcotest Analysis Array Cfg Format Lang List Option Ppd Printf Progdb Static_pdg Util Workloads

@@ -1,0 +1,1 @@
+test/test_static_race.ml: Alcotest Analysis Array Cfg Format Gen Lang List Ppd QCheck2 Runtime Static_race Util Workloads

@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Array Lang List Ppd Runtime Util

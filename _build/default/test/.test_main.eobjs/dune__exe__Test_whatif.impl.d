@@ -1,0 +1,1 @@
+test/test_whatif.ml: Alcotest Array Gen Lang List Ppd QCheck2 Runtime Trace Util Workloads

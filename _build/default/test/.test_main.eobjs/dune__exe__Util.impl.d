@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Analysis Array Format Lang List Ppd Printf QCheck2 QCheck_alcotest Runtime String Trace

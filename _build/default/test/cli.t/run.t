@@ -1,0 +1,109 @@
+The ppd command line, end to end. First, materialise some programs.
+
+  $ ppd example buggy_min > buggy.mpl
+  $ ppd example racy_bank > racy.mpl
+  $ ppd example fixed_bank > fixed.mpl
+  $ ppd example fig61 > fig61.mpl
+
+Compiling and running:
+
+  $ ppd check buggy.mpl
+  ok: 2 function(s), 11 statement(s), 8 variable(s), 0 shared, 0 semaphore(s), 0 channel(s)
+  $ ppd run fig61.mpl
+  42
+  $ ppd run buggy.mpl
+  fault in process 0: assertion failed
+  [2]
+
+Front-end errors are reported with positions:
+
+  $ echo 'func main() { print(nope); }' > bad.mpl
+  $ ppd check bad.mpl
+  error at 1:21: unknown variable 'nope'
+  [1]
+
+The preparatory-phase analyses:
+
+  $ ppd analyze fixed.mpl --show modref
+  withdraw: GMOD={balance} GREF={balance}
+  main: GMOD={} GREF={balance}
+
+Execution under the logger, and the debugging phase:
+
+  $ ppd flowback buggy.mpl --depth 2
+  fault in process 0 at s10 (assert(m == 2)): assertion failed
+  flowback from:
+    [p0] assert(m == 2) = 0
+      <- data(m) [p0] m = call#0(a, b, c) = 3
+        <- data(a) [p0] a = 7 = 7
+        <- data(b) [p0] b = 3 = 3
+        <- data(c) [p0] c = 5 = 5
+        <- control [p0] ENTRY main
+        <- returns [p0] return m = 3
+      <- control [p0] ENTRY main
+  emulated 2 of 2 log intervals (10 replay steps)
+
+Race detection, dynamic and static (exit code 3 when races are found):
+
+  $ ppd race racy.mpl
+  execution finished normally
+  2 race(s) detected:
+  - write/write conflict on shared 'balance' between edges e5 and e6
+      e5 (process 1, after proc-start f0 by p0:1, before proc-exit f0 result=-)
+      e6 (process 2, after proc-start f0 by p0:2, before proc-exit f0 result=-)
+  - read/write conflict on shared 'balance' between edges e5 and e6
+      e5 (process 1, after proc-start f0 by p0:1, before proc-exit f0 result=-)
+      e6 (process 2, after proc-start f0 by p0:2, before proc-exit f0 result=-)
+  (4 edge pairs examined)
+  [3]
+  $ ppd race fixed.mpl
+  execution finished normally
+  no races detected: execution instance is race-free
+  (4 edge pairs examined)
+  $ ppd race racy.mpl --static
+  3 potential race(s):
+  - 'balance': s0 in withdraw (read) vs s2 in withdraw (write)
+  - 'balance': s2 in withdraw (write) vs s2 in withdraw (write) [write/write]
+  - 'balance': s2 in withdraw (write) vs s7 in main (read)
+  [3]
+
+What-if experiments (§5.7):
+
+  $ cat > limit.mpl <<'MPL'
+  > shared int limit = 10;
+  > func main() {
+  >   var i = 0;
+  >   var n = 0;
+  >   while (i < limit) { n = n + i; i = i + 1; }
+  >   print(n);
+  > }
+  > MPL
+  $ ppd run limit.mpl
+  45
+  $ ppd whatif limit.mpl --set limit=3
+  execution finished normally
+  what-if replay of process 0 interval 0 with limit=3:
+    completed (17 events)
+    output:
+      3
+
+The scripted debugger:
+
+  $ printf 'why\nstats\nquit\n' > script.txt
+  $ ppd debug buggy.mpl --script script.txt
+  fault in process 0 at s10 (assert(m == 2)): assertion failed
+  fault in process 0 at s10 (assert(m == 2)): assertion failed
+  focus: #5 p0 s10 "assert(m == 2)" = 0
+  ppd> why
+  #5 p0 s10 "assert(m == 2)" = 0
+    <- data:m #4 m = call#0(a, b, c)
+    <- ctrl #0 ENTRY main
+  ppd> stats
+  emulated 1 of 2 intervals (5 replay steps)
+  bye
+
+Logs persist and reload:
+
+  $ ppd log fig61.mpl --save run.log > /dev/null
+  $ test -f run.log && echo saved
+  saved

@@ -1,0 +1,213 @@
+(* Random MPL program generation for property-based tests.
+
+   Programs are generated as source text and are correct by
+   construction: every variable is initialised at declaration, loops
+   are bounded by reserved counters the loop body cannot touch,
+   division is never generated, recursion is impossible (functions only
+   call earlier functions), and the parallel generator can protect all
+   shared accesses with one semaphore (race-free mode) or leave them
+   unprotected (racy mode). *)
+
+type ctx = {
+  rng : Random.State.t;
+  buf : Buffer.t;
+  mutable locals : string list;  (* initialised, assignable *)
+  mutable fresh : int;
+  funcs : (string * int) list;  (* callable earlier functions: name, arity *)
+  shared : string list;  (* shared globals usable in this body *)
+  protect : [ `Always | `Never | `Sometimes ];
+  mutable budget : int;  (* remaining statements to emit *)
+}
+
+let rand ctx n = Random.State.int ctx.rng n
+
+let pick ctx l = List.nth l (rand ctx (List.length l))
+
+let fresh ctx prefix =
+  let n = ctx.fresh in
+  ctx.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let add ctx fmt = Printf.ksprintf (fun s -> Buffer.add_string ctx.buf s) fmt
+
+let indent depth = String.make (2 * depth) ' '
+
+(* Integer expressions over initialised locals; no division, depth
+   bounded. *)
+let rec gen_expr ctx depth =
+  if depth = 0 || ctx.locals = [] then
+    match rand ctx 3 with
+    | 0 | 1 when ctx.locals <> [] -> pick ctx ctx.locals
+    | _ -> string_of_int (rand ctx 10)
+  else
+    match rand ctx 5 with
+    | 0 -> Printf.sprintf "(%s + %s)" (gen_expr ctx (depth - 1)) (gen_expr ctx (depth - 1))
+    | 1 -> Printf.sprintf "(%s - %s)" (gen_expr ctx (depth - 1)) (gen_expr ctx (depth - 1))
+    | 2 -> Printf.sprintf "(%s * %s)" (gen_expr ctx (depth - 1)) (string_of_int (1 + rand ctx 4))
+    | 3 -> Printf.sprintf "(-%s)" (gen_expr ctx (depth - 1))
+    | _ -> ( match ctx.locals with [] -> "1" | l -> pick ctx l)
+
+let gen_cond ctx depth =
+  let cmp = pick ctx [ "<"; "<="; ">"; ">="; "=="; "!=" ] in
+  let base () =
+    Printf.sprintf "%s %s %s" (gen_expr ctx depth) cmp (gen_expr ctx depth)
+  in
+  match rand ctx 4 with
+  | 0 when depth > 0 ->
+    Printf.sprintf "(%s && %s)" (base ()) (base ())
+  | 1 when depth > 0 -> Printf.sprintf "(%s || !(%s))" (base ()) (base ())
+  | _ -> base ()
+
+let gen_call ctx depth =
+  match ctx.funcs with
+  | [] -> None
+  | fs ->
+    let name, arity = pick ctx fs in
+    let args = List.init arity (fun _ -> gen_expr ctx depth) in
+    Some (Printf.sprintf "%s(%s)" name (String.concat ", " args))
+
+let rec gen_stmt ctx depth =
+  if ctx.budget <= 0 then ()
+  else begin
+    ctx.budget <- ctx.budget - 1;
+    match rand ctx 10 with
+    | 0 | 1 ->
+      (* declaration *)
+      let x = fresh ctx "v" in
+      add ctx "%svar %s = %s;\n" (indent depth) x (gen_expr ctx 2);
+      ctx.locals <- x :: ctx.locals
+    | 2 | 3 | 4 ->
+      if ctx.locals <> [] then
+        add ctx "%s%s = %s;\n" (indent depth) (pick ctx ctx.locals)
+          (gen_expr ctx 2)
+    | 5 ->
+      add ctx "%sif (%s) {\n" (indent depth) (gen_cond ctx 1);
+      let saved = ctx.locals in
+      gen_stmts ctx (depth + 1) (1 + rand ctx 2);
+      ctx.locals <- saved;
+      if rand ctx 2 = 0 then begin
+        add ctx "%s} else {\n" (indent depth);
+        gen_stmts ctx (depth + 1) (1 + rand ctx 2);
+        ctx.locals <- saved
+      end;
+      add ctx "%s}\n" (indent depth)
+    | 6 ->
+      (* bounded loop with a reserved counter (declared outside, so it
+         stays in scope; body-local declarations must not leak) *)
+      let i = fresh ctx "lc" in
+      let bound = 1 + rand ctx 3 in
+      add ctx "%svar %s = 0;\n" (indent depth) i;
+      add ctx "%swhile (%s < %d) {\n" (indent depth) i bound;
+      let saved = ctx.locals in
+      gen_stmts ctx (depth + 1) (1 + rand ctx 2);
+      ctx.locals <- saved;
+      add ctx "%s%s = %s + 1;\n" (indent (depth + 1)) i i;
+      add ctx "%s}\n" (indent depth)
+    | 7 -> (
+      match gen_call ctx 1 with
+      | Some call ->
+        let x = fresh ctx "r" in
+        add ctx "%svar %s = %s;\n" (indent depth) x call;
+        ctx.locals <- x :: ctx.locals
+      | None ->
+        if ctx.locals <> [] then
+          add ctx "%s%s = %s;\n" (indent depth) (pick ctx ctx.locals)
+            (gen_expr ctx 2))
+    | 8 when ctx.shared <> [] ->
+      (* shared access, optionally protected *)
+      let g = pick ctx ctx.shared in
+      let protected_ =
+        match ctx.protect with
+        | `Always -> true
+        | `Never -> false
+        | `Sometimes -> rand ctx 2 = 0
+      in
+      if protected_ then add ctx "%sP(gmutex);\n" (indent depth);
+      (match rand ctx 2 with
+      | 0 -> add ctx "%s%s = %s + %s;\n" (indent depth) g g (gen_expr ctx 1)
+      | _ ->
+        let x = fresh ctx "s" in
+        add ctx "%svar %s = %s;\n" (indent depth) x g;
+        ctx.locals <- x :: ctx.locals);
+      if protected_ then add ctx "%sV(gmutex);\n" (indent depth)
+    | _ ->
+      if ctx.locals <> [] then
+        add ctx "%sprint(%s);\n" (indent depth) (pick ctx ctx.locals)
+  end
+
+and gen_stmts ctx depth n =
+  for _ = 1 to n do
+    gen_stmt ctx depth
+  done
+
+let gen_func rng buf ~name ~arity ~funcs ~shared ~protect ~budget ~returns =
+  let params = List.init arity (fun i -> Printf.sprintf "p%d" i) in
+  Buffer.add_string buf
+    (Printf.sprintf "func %s(%s) {\n" name (String.concat ", " params));
+  let ctx =
+    {
+      rng;
+      buf;
+      locals = params;
+      fresh = 0;
+      funcs;
+      shared;
+      protect;
+      budget;
+    }
+  in
+  gen_stmts ctx 1 budget;
+  if returns then
+    Buffer.add_string buf (Printf.sprintf "  return %s;\n" (gen_expr ctx 2));
+  Buffer.add_string buf "}\n\n"
+
+(* A random sequential program: a few helper functions plus main. *)
+let sequential ?(nfuncs = 3) ?(budget = 8) seed =
+  let rng = Random.State.make [| seed |] in
+  let buf = Buffer.create 1024 in
+  let funcs = ref [] in
+  for i = 0 to nfuncs - 1 do
+    let name = Printf.sprintf "f%d" i in
+    let arity = 1 + Random.State.int rng 2 in
+    gen_func rng buf ~name ~arity ~funcs:!funcs ~shared:[] ~protect:`Never
+      ~budget ~returns:true;
+    funcs := (name, arity) :: !funcs
+  done;
+  gen_func rng buf ~name:"main" ~arity:0 ~funcs:!funcs ~shared:[]
+    ~protect:`Never ~budget:(budget * 2) ~returns:false;
+  Buffer.contents buf
+
+(* A random parallel program: shared globals, one mutex, worker
+   processes spawned and joined by main. [protect] controls whether
+   shared accesses are always, never, or sometimes guarded. *)
+let parallel ?(workers = 3) ?(budget = 6) ~protect seed =
+  let rng = Random.State.make [| seed |] in
+  let buf = Buffer.create 1024 in
+  let shared = [ "g0"; "g1" ] in
+  List.iter
+    (fun g -> Buffer.add_string buf (Printf.sprintf "shared int %s = 0;\n" g))
+    shared;
+  Buffer.add_string buf "sem gmutex = 1;\n\n";
+  let funcs = ref [] in
+  for i = 0 to workers - 1 do
+    let name = Printf.sprintf "w%d" i in
+    gen_func rng buf ~name ~arity:1 ~funcs:[] ~shared ~protect ~budget
+      ~returns:true;
+    funcs := (name, 1) :: !funcs
+  done;
+  (* main spawns every worker, then joins *)
+  Buffer.add_string buf "func main() {\n";
+  List.iteri
+    (fun i (name, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  var pid%d = spawn %s(%d);\n" i name i))
+    !funcs;
+  List.iteri
+    (fun i _ -> Buffer.add_string buf (Printf.sprintf "  join(pid%d);\n" i))
+    !funcs;
+  Buffer.add_string buf "  print(g0);\n  print(g1);\n}\n";
+  Buffer.contents buf
+
+(* Random raw ASTs for pretty-printer round-trips are easier to derive
+   from the source generators: parse the generated text. *)
+let sequential_ast seed = Lang.Parser.parse_program (sequential seed)

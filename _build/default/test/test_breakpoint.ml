@@ -1,0 +1,168 @@
+(* Breakpoints: halting by user intervention (§3.2.2) and the §5.7
+   timely-halt story — from a breakpoint, every other process's state is
+   available at its own last e-block boundary via the postlogs. *)
+
+module M = Runtime.Machine
+
+let counter_sid src pred =
+  let p = Util.compile src in
+  let s = ref (-1) in
+  Array.iter
+    (fun (st : Lang.Prog.stmt) -> if pred st then s := st.sid)
+    p.stmts;
+  !s
+
+let test_halt_at_statement () =
+  let src = Workloads.foo3 in
+  let p = Util.compile src in
+  (* break at the first print in main *)
+  let print_sid =
+    let s = ref (-1) in
+    Array.iter
+      (fun (st : Lang.Prog.stmt) ->
+        match st.desc with
+        | Lang.Prog.Sprint _ when !s = -1 -> s := st.sid
+        | _ -> ())
+      p.stmts;
+    !s
+  in
+  let m = M.create ~breakpoints:[ print_sid ] p in
+  (match M.run m with
+  | M.Breakpoint { pid; sid } ->
+    Alcotest.(check int) "main" 0 pid;
+    Alcotest.(check int) "at the print" print_sid sid
+  | h -> Alcotest.failf "expected breakpoint, got %s" (Util.halt_name h));
+  (* only the first print ran *)
+  Alcotest.(check string) "partial output" "3\n" (M.output m)
+
+let test_flowback_from_breakpoint () =
+  let src = Workloads.fig41 in
+  let p = Util.compile src in
+  (* break at `a = a + sq` — the exact moment Figure 4.1 is drawn *)
+  let sid =
+    counter_sid src (fun st -> Lang.Prog.stmt_label st = "a = a + sq")
+  in
+  let s = Ppd.Session.run ~breakpoints:[ sid ] src in
+  ignore p;
+  (match Ppd.Session.halt s with
+  | M.Breakpoint _ -> ()
+  | h -> Alcotest.failf "expected breakpoint, got %s" (Util.halt_name h));
+  Alcotest.(check bool) "explained" true
+    (Util.contains ~sub:"breakpoint" (Ppd.Session.explain_halt s));
+  match Ppd.Session.error_node s with
+  | None -> Alcotest.fail "no node at breakpoint"
+  | Some root ->
+    let ctl = Ppd.Session.controller s in
+    let g = Ppd.Controller.graph ctl in
+    Alcotest.(check string) "focus is s6" "a = a + sq"
+      (Ppd.Dyn_graph.node g root).Ppd.Dyn_graph.nd_label;
+    (* the assert after the breakpoint never executed *)
+    let labels =
+      List.init (Ppd.Dyn_graph.nnodes g) (fun i ->
+          (Ppd.Dyn_graph.node g i).Ppd.Dyn_graph.nd_label)
+    in
+    Alcotest.(check bool) "assert not reached" false
+      (List.mem "assert(a == 99)" labels)
+
+let test_other_processes_restorable () =
+  (* break in one worker; the other processes' shared contributions are
+     reconstructible from their postlogs (§5.7's timely halt) *)
+  let src = Workloads.counter ~workers:2 ~incs:5 ~mutex:true in
+  let p = Util.compile src in
+  let print_sid =
+    let s = ref (-1) in
+    Array.iter
+      (fun (st : Lang.Prog.stmt) ->
+        match st.desc with Lang.Prog.Sprint _ -> s := st.sid | _ -> ())
+      p.stmts;
+    !s
+  in
+  let s = Ppd.Session.run ~breakpoints:[ print_sid ] src in
+  (match Ppd.Session.halt s with
+  | M.Breakpoint _ -> ()
+  | h -> Alcotest.failf "expected breakpoint, got %s" (Util.halt_name h));
+  (* at the final print both workers have finished: restoration agrees
+     with the live store *)
+  let snap = Ppd.Restore.final (Ppd.Session.prog s) (Ppd.Session.log s) in
+  Alcotest.(check bool) "count restored" true
+    (Runtime.Value.equal snap.Ppd.Restore.globals.(0)
+       (M.read_global (Ppd.Session.machine s) 0))
+
+let test_breakpoint_beats_fault () =
+  (* the breakpoint statement executes before the program would fault *)
+  let src = "func main() { var x = 1; print(x); var y = 0; print(1 / y); }" in
+  let sid = counter_sid src (fun st -> Lang.Prog.stmt_label st = "print(x)") in
+  let halt, out = ((fun s -> (Ppd.Session.halt s, Ppd.Session.output s))
+                     (Ppd.Session.run ~breakpoints:[ sid ] src)) in
+  (match halt with
+  | M.Breakpoint _ -> ()
+  | h -> Alcotest.failf "expected breakpoint, got %s" (Util.halt_name h));
+  Alcotest.(check string) "stopped before the fault" "1\n" out
+
+let test_debugger_over_breakpoint () =
+  let src = Workloads.fig41 in
+  let sid =
+    counter_sid src (fun st -> Lang.Prog.stmt_label st = "a = a + sq")
+  in
+  let d = Ppd.Debugger.create (Ppd.Session.run ~breakpoints:[ sid ] src) in
+  let why = Ppd.Debugger.eval d "why" in
+  Alcotest.(check bool) "sq dependence visible" true
+    (Util.contains ~sub:"data:sq" why)
+
+let test_blocked_process_replay () =
+  (* regression: the open interval of a process blocked at halt time
+     replays up to exactly its last real event — no phantom events, no
+     "log exhausted" crash *)
+  let sched = Runtime.Sched.Scripted [ 0; 0; 0; 1; 1; 2; 2; 1; 2 ] in
+  let eb, halt, log, tr, _m =
+    Util.run_instrumented ~sched Workloads.deadlock_ab
+  in
+  (match halt with
+  | M.Deadlock _ -> ()
+  | h -> Alcotest.failf "expected deadlock, got %s" (Util.halt_name h));
+  let n = Util.check_replay_equivalence eb log tr in
+  Alcotest.(check bool) "all open intervals replayed" true (n >= 3)
+
+let test_preempted_process_replay () =
+  (* a fault in one process halts the machine while others are mid-block *)
+  let src =
+    {|
+    shared int g = 0;
+    func spinner() {
+      var i = 0;
+      while (i < 1000) {
+        g = g + 1;
+        i = i + 1;
+      }
+    }
+    func main() {
+      spawn spinner();
+      var x = 0;
+      print(1 / x);
+    }
+    |}
+  in
+  let eb, halt, log, tr, _m =
+    Util.run_instrumented ~sched:(Runtime.Sched.Round_robin 3) src
+  in
+  (match halt with
+  | M.Fault _ -> ()
+  | h -> Alcotest.failf "expected fault, got %s" (Util.halt_name h));
+  ignore (Util.check_replay_equivalence eb log tr)
+
+let suite =
+  ( "breakpoint",
+    [
+      Alcotest.test_case "halt at statement" `Quick test_halt_at_statement;
+      Alcotest.test_case "flowback from breakpoint" `Quick
+        test_flowback_from_breakpoint;
+      Alcotest.test_case "other processes restorable" `Quick
+        test_other_processes_restorable;
+      Alcotest.test_case "breakpoint beats fault" `Quick test_breakpoint_beats_fault;
+      Alcotest.test_case "debugger over breakpoint" `Quick
+        test_debugger_over_breakpoint;
+      Alcotest.test_case "blocked process replay" `Quick
+        test_blocked_process_replay;
+      Alcotest.test_case "preempted process replay" `Quick
+        test_preempted_process_replay;
+    ] )

@@ -1,0 +1,112 @@
+(* CFG construction, dominators/postdominators and the FOW control
+   dependence computation. *)
+
+open Analysis
+module P = Lang.Prog
+
+let cfg_of src fname =
+  let p = Util.compile src in
+  let f = Option.get (P.find_func p fname) in
+  (p, Cfg.build p f)
+
+let node_of (cfg : Cfg.t) sid = cfg.node_of_sid.(sid)
+
+let test_linear () =
+  let _, cfg = cfg_of "func main() { var a = 1; var b = 2; print(a + b); }" "main" in
+  (* entry -> s0 -> s1 -> s2 -> exit *)
+  Alcotest.(check int) "nodes" 5 (Cfg.nnodes cfg);
+  Alcotest.(check (list int)) "entry succ" [ node_of cfg 0 ] (Cfg.succ_ids cfg cfg.entry);
+  Alcotest.(check (list int)) "s2 succ" [ cfg.exit ] (Cfg.succ_ids cfg (node_of cfg 2))
+
+let test_if_shape () =
+  let _, cfg =
+    cfg_of "func main() { var x = 1; if (x > 0) { x = 2; } else { x = 3; } print(x); }" "main"
+  in
+  let cond = node_of cfg 1 in
+  let succs = cfg.succs.(cond) in
+  Alcotest.(check int) "two branch successors" 2 (List.length succs);
+  let labels = List.map snd succs |> List.sort compare in
+  Alcotest.(check bool) "labels T/F" true (labels = [ Cfg.True; Cfg.False ]);
+  (* both branch statements flow to print *)
+  Alcotest.(check (list int)) "then joins" [ node_of cfg 4 ] (Cfg.succ_ids cfg (node_of cfg 2));
+  Alcotest.(check (list int)) "else joins" [ node_of cfg 4 ] (Cfg.succ_ids cfg (node_of cfg 3))
+
+let test_while_backedge () =
+  let _, cfg =
+    cfg_of "func main() { var i = 0; while (i < 3) { i = i + 1; } print(i); }" "main"
+  in
+  let head = node_of cfg 1 in
+  let body = node_of cfg 2 in
+  Alcotest.(check (list int)) "body loops back" [ head ] (Cfg.succ_ids cfg body);
+  Alcotest.(check bool) "head branches" true (Cfg.is_branch cfg head)
+
+let test_return_exits () =
+  let _, cfg =
+    cfg_of "func f(c) { if (c > 0) { return 1; } return 2; } func main() { }" "f"
+  in
+  let r1 = node_of cfg 1 and r2 = node_of cfg 2 in
+  Alcotest.(check (list int)) "return 1 -> exit" [ cfg.exit ] (Cfg.succ_ids cfg r1);
+  Alcotest.(check (list int)) "return 2 -> exit" [ cfg.exit ] (Cfg.succ_ids cfg r2)
+
+let test_dominators () =
+  let _, cfg =
+    cfg_of "func main() { var x = 1; if (x > 0) { x = 2; } else { x = 3; } print(x); }" "main"
+  in
+  let dom = Dominance.dominators cfg in
+  let cond = node_of cfg 1 and then_ = node_of cfg 2 and print_ = node_of cfg 4 in
+  Alcotest.(check bool) "cond dominates then" true (Dominance.dominates dom cond then_);
+  Alcotest.(check bool) "cond dominates print" true (Dominance.dominates dom cond print_);
+  Alcotest.(check bool) "then does not dominate print" false
+    (Dominance.dominates dom then_ print_);
+  Alcotest.(check int) "idom of then = cond" cond dom.idom.(then_)
+
+let test_postdominators () =
+  let _, cfg =
+    cfg_of "func main() { var x = 1; if (x > 0) { x = 2; } else { x = 3; } print(x); }" "main"
+  in
+  let pdom = Dominance.postdominators cfg in
+  let cond = node_of cfg 1 and then_ = node_of cfg 2 and print_ = node_of cfg 4 in
+  Alcotest.(check bool) "print postdominates cond" true
+    (Dominance.dominates pdom print_ cond);
+  Alcotest.(check bool) "then does not postdominate cond" false
+    (Dominance.dominates pdom then_ cond)
+
+let test_control_deps () =
+  let _, cfg =
+    cfg_of
+      "func main() { var x = 1; if (x > 0) { x = 2; } else { x = 3; } print(x); while (x > 0) { x = x - 1; } }"
+      "main"
+  in
+  let pdom = Dominance.postdominators cfg in
+  let deps = Dominance.control_deps cfg pdom in
+  let cond = node_of cfg 1 in
+  let then_ = node_of cfg 2 and else_ = node_of cfg 3 and print_ = node_of cfg 4 in
+  let loop = node_of cfg 5 and body = node_of cfg 6 in
+  let dep_srcs n = List.map fst deps.(n) |> List.sort compare in
+  Alcotest.(check (list int)) "then dep on cond" [ cond ] (dep_srcs then_);
+  Alcotest.(check (list int)) "else dep on cond" [ cond ] (dep_srcs else_);
+  Alcotest.(check (list int)) "print depends on entry" [ cfg.entry ] (dep_srcs print_);
+  Alcotest.(check (list int)) "body dep on loop head" [ loop ] (dep_srcs body);
+  (* the loop predicate is control dependent on itself *)
+  Alcotest.(check bool) "loop self-dependence" true (List.mem loop (dep_srcs loop))
+
+let test_unreachable_code () =
+  let _, cfg =
+    cfg_of "func f() { return 1; print(99); } func main() { }" "f"
+  in
+  let reach = Cfg.reachable cfg in
+  let dead = node_of cfg 1 in
+  Alcotest.(check bool) "print unreachable" false (Bitset.mem reach dead)
+
+let suite =
+  ( "cfg+dominance",
+    [
+      Alcotest.test_case "linear chain" `Quick test_linear;
+      Alcotest.test_case "if diamond" `Quick test_if_shape;
+      Alcotest.test_case "while back edge" `Quick test_while_backedge;
+      Alcotest.test_case "returns exit" `Quick test_return_exits;
+      Alcotest.test_case "dominators" `Quick test_dominators;
+      Alcotest.test_case "postdominators" `Quick test_postdominators;
+      Alcotest.test_case "control dependences" `Quick test_control_deps;
+      Alcotest.test_case "unreachable code" `Quick test_unreachable_code;
+    ] )

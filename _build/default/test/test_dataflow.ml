@@ -1,0 +1,156 @@
+(* Reaching definitions, liveness and upward-exposed uses. *)
+
+open Analysis
+module P = Lang.Prog
+
+let setup src fname =
+  let p = Util.compile src in
+  let f = Option.get (P.find_func p fname) in
+  let cfg = Cfg.build p f in
+  (p, f, cfg)
+
+let vid_of (p : P.t) name fid =
+  (Array.to_list p.vars
+  |> List.find (fun (v : P.var) ->
+         String.equal v.vname name && (v.vfid = fid || P.is_global v)))
+    .vid
+
+let test_reaching_straightline () =
+  let p, f, cfg =
+    setup "func main() { var x = 1; x = 2; print(x); }" "main"
+  in
+  let rd = Reaching_defs.compute p cfg in
+  let x = vid_of p "x" f.fid in
+  let print_node = cfg.node_of_sid.(2) in
+  let defs = Reaching_defs.reaching rd ~node:print_node ~vid:x in
+  (* only the second assignment reaches the print *)
+  Alcotest.(check int) "one def" 1 (List.length defs);
+  match defs with
+  | [ d ] -> Alcotest.(check int) "def node" cfg.node_of_sid.(1) d.def_node
+  | _ -> assert false
+
+let test_reaching_branch_merge () =
+  let p, f, cfg =
+    setup
+      "func main() { var x = 0; if (x == 0) { x = 1; } else { x = 2; } print(x); }"
+      "main"
+  in
+  let rd = Reaching_defs.compute p cfg in
+  let x = vid_of p "x" f.fid in
+  let print_node = cfg.node_of_sid.(4) in
+  let defs = Reaching_defs.reaching rd ~node:print_node ~vid:x in
+  Alcotest.(check int) "two defs merge" 2 (List.length defs)
+
+let test_reaching_loop () =
+  let p, f, cfg =
+    setup
+      "func main() { var i = 0; while (i < 3) { i = i + 1; } print(i); }" "main"
+  in
+  let rd = Reaching_defs.compute p cfg in
+  let i = vid_of p "i" f.fid in
+  (* at the loop head both the init and the increment reach *)
+  let head = cfg.node_of_sid.(1) in
+  let defs = Reaching_defs.reaching rd ~node:head ~vid:i in
+  Alcotest.(check int) "init + increment" 2 (List.length defs)
+
+let test_entry_defines () =
+  let p, f, cfg = setup "func f(a) { return a; } func main() { }" "f" in
+  let rd = Reaching_defs.compute p cfg in
+  let a = vid_of p "a" f.fid in
+  let ret = cfg.node_of_sid.(0) in
+  match Reaching_defs.reaching rd ~node:ret ~vid:a with
+  | [ d ] -> Alcotest.(check int) "param defined at entry" cfg.entry d.def_node
+  | l -> Alcotest.failf "expected 1 entry def, got %d" (List.length l)
+
+let test_array_defs_accumulate () =
+  let p, f, cfg =
+    setup "func main() { var a[2]; a[0] = 1; a[1] = 2; print(a[0]); }" "main"
+  in
+  let rd = Reaching_defs.compute p cfg in
+  let a = vid_of p "a" f.fid in
+  let print_node = cfg.node_of_sid.(2) in
+  (* array writes are not killing: entry + both element writes reach *)
+  Alcotest.(check int) "three defs" 3
+    (List.length (Reaching_defs.reaching rd ~node:print_node ~vid:a))
+
+let test_call_mod_defs () =
+  let src =
+    "shared int g = 0; func set() { g = 1; } func main() { g = 5; set(); print(g); }"
+  in
+  let p = Util.compile src in
+  let summary = Interproc.compute p in
+  let f = Option.get (P.find_func p "main") in
+  let cfg = Cfg.build p f in
+  let rd = Reaching_defs.compute ~summary p cfg in
+  let g = vid_of p "g" (-1) in
+  let print_node = cfg.node_of_sid.(3) in
+  let defs = Reaching_defs.reaching rd ~node:print_node ~vid:g in
+  (* the call may define g (no kill), the direct assignment too *)
+  Alcotest.(check int) "assign + call defs" 2 (List.length defs)
+
+let test_upward_exposed () =
+  let p, f, cfg =
+    setup
+      "shared int g = 1; func main() { var x = 0; var y = x + g; if (y > 0) { x = 1; } print(x); }"
+      "main"
+  in
+  let ue = Live.upward_exposed p cfg in
+  let at_entry = ue.Live.at_entry in
+  let g = vid_of p "g" (-1) in
+  let x = vid_of p "x" f.fid in
+  Alcotest.(check bool) "g upward exposed" true (Varset.mem g at_entry);
+  (* x is written before any read on every path *)
+  Alcotest.(check bool) "x covered by write" false (Varset.mem x at_entry)
+
+let test_upward_exposed_conditional_write () =
+  let p, f, cfg =
+    setup
+      "func main() { var x = 0; var c = 0; if (c > 0) { x = 1; } print(x); }"
+      "main"
+  in
+  ignore f;
+  let ue = Live.upward_exposed p cfg in
+  (* both x and c are definitely initialised first: nothing exposed *)
+  Alcotest.(check int) "nothing exposed" 0 (Varset.cardinal ue.Live.at_entry)
+
+let test_upward_exposed_param () =
+  let p, f, cfg = setup "func f(a, b) { return a; } func main() { }" "f" in
+  let ue = Live.upward_exposed p cfg in
+  let a = vid_of p "a" f.fid in
+  let b = vid_of p "b" f.fid in
+  Alcotest.(check bool) "used param exposed" true (Varset.mem a ue.Live.at_entry);
+  Alcotest.(check bool) "unused param not exposed" false
+    (Varset.mem b ue.Live.at_entry)
+
+let test_liveness_globals_at_exit () =
+  let p, _f, cfg =
+    setup "shared int g = 0; func main() { g = 1; var x = 2; print(x); }" "main"
+  in
+  let live = Live.liveness p cfg in
+  let ue = Live.upward_exposed p cfg in
+  let g = vid_of p "g" (-1) in
+  (* liveness keeps globals alive through EXIT (they outlive the call),
+     so g is live after its write; upward-exposure ignores EXIT *)
+  Alcotest.(check bool) "g live before print" true
+    (Bitset.mem live.Live.live_in.(cfg.node_of_sid.(2)) g);
+  Alcotest.(check bool) "g dead before its own write" false
+    (Bitset.mem live.Live.live_in.(cfg.node_of_sid.(0)) g);
+  Alcotest.(check bool) "g not upward exposed" false (Varset.mem g ue.Live.at_entry)
+
+let suite =
+  ( "dataflow",
+    [
+      Alcotest.test_case "reaching: straight line" `Quick test_reaching_straightline;
+      Alcotest.test_case "reaching: branch merge" `Quick test_reaching_branch_merge;
+      Alcotest.test_case "reaching: loop" `Quick test_reaching_loop;
+      Alcotest.test_case "reaching: entry defines params" `Quick test_entry_defines;
+      Alcotest.test_case "reaching: array writes accumulate" `Quick
+        test_array_defs_accumulate;
+      Alcotest.test_case "reaching: call MOD" `Quick test_call_mod_defs;
+      Alcotest.test_case "upward exposed basics" `Quick test_upward_exposed;
+      Alcotest.test_case "upward exposed: definite writes kill" `Quick
+        test_upward_exposed_conditional_write;
+      Alcotest.test_case "upward exposed: params" `Quick test_upward_exposed_param;
+      Alcotest.test_case "liveness vs upward-exposure at exit" `Quick
+        test_liveness_globals_at_exit;
+    ] )

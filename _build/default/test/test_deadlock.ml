@@ -1,0 +1,72 @@
+(* Deadlock-cause analysis. *)
+
+module M = Runtime.Machine
+
+let analyze ?sched src =
+  let prog = Util.compile src in
+  let m = M.create ?sched prog in
+  let halt = M.run m in
+  (halt, m, Ppd.Deadlock.analyze m)
+
+let test_ab_cycle () =
+  let sched = Runtime.Sched.Scripted [ 0; 0; 0; 1; 1; 2; 2; 1; 2 ] in
+  let halt, _m, a = analyze ~sched Workloads.deadlock_ab in
+  (match halt with
+  | M.Deadlock _ -> ()
+  | h -> Alcotest.failf "expected deadlock, got %s" (Util.halt_name h));
+  Alcotest.(check bool) "deadlocked" true (Ppd.Deadlock.is_deadlocked a);
+  Alcotest.(check (list (list int))) "the p1<->p2 cycle" [ [ 1; 2 ] ] a.cycles;
+  (* main waits for p1 but is not part of the cycle *)
+  Alcotest.(check bool) "main blocked on join" true
+    (List.mem_assoc 0 a.wait_for)
+
+let test_self_starvation () =
+  let halt, _m, a = analyze "sem s = 0; func main() { P(s); }" in
+  (match halt with M.Deadlock _ -> () | h -> Alcotest.failf "%s" (Util.halt_name h));
+  Alcotest.(check (list int)) "hopeless" [ 0 ] a.hopeless;
+  Alcotest.(check bool) "deadlocked" true (Ppd.Deadlock.is_deadlocked a);
+  Alcotest.(check (list (list int))) "no cycle" [] a.cycles
+
+let test_missing_sender () =
+  let halt, _m, a = analyze "chan c; func main() { var x = 0; recv(c, x); }" in
+  (match halt with M.Deadlock _ -> () | h -> Alcotest.failf "%s" (Util.halt_name h));
+  Alcotest.(check (list int)) "nobody can send" [ 0 ] a.hopeless
+
+let test_potential_helper_not_starved () =
+  (* the consumer waits for a producer that exists but is blocked too:
+     there is a helper, and the helper chain is a cycle *)
+  let src =
+    {|
+    chan a[0];
+    chan b[0];
+    func w() { var x = 0; recv(b, x); send(a, x); }
+    func main() {
+      var p = spawn w();
+      var y = 0;
+      recv(a, y);   // waits for w, which waits for us
+      send(b, 1);
+      join(p);
+    }
+    |}
+  in
+  let halt, _m, a = analyze src in
+  (match halt with M.Deadlock _ -> () | h -> Alcotest.failf "%s" (Util.halt_name h));
+  Alcotest.(check bool) "cycle found" true (a.cycles <> []);
+  Alcotest.(check (list int)) "nobody hopeless" [] a.hopeless
+
+let test_no_deadlock_analysis_clean () =
+  let halt, _m, a = analyze Workloads.fixed_bank in
+  (match halt with M.Finished -> () | h -> Alcotest.failf "%s" (Util.halt_name h));
+  Alcotest.(check bool) "nothing blocked" true (a.blocked = []);
+  Alcotest.(check bool) "not deadlocked" false (Ppd.Deadlock.is_deadlocked a)
+
+let suite =
+  ( "deadlock",
+    [
+      Alcotest.test_case "AB/BA cycle" `Quick test_ab_cycle;
+      Alcotest.test_case "starvation (no V anywhere)" `Quick test_self_starvation;
+      Alcotest.test_case "missing sender" `Quick test_missing_sender;
+      Alcotest.test_case "recv/recv cycle" `Quick test_potential_helper_not_starved;
+      Alcotest.test_case "clean run analyzes clean" `Quick
+        test_no_deadlock_analysis_clean;
+    ] )

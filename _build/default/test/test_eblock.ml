@@ -1,0 +1,127 @@
+(* E-block partitioning, prelog/postlog variable sets and the §5.4
+   leaf-inlining policy. *)
+
+open Analysis
+module P = Lang.Prog
+
+let fid p name = (Option.get (P.find_func p name)).P.fid
+
+let names (_p : P.t) vars = List.map (fun (v : P.var) -> v.vname) vars
+
+let test_default_everything_is_eblock () =
+  let p = Util.compile Workloads.fig41 in
+  let eb = Eblock.analyze p in
+  Array.iter
+    (fun (f : P.func) ->
+      Alcotest.(check bool) f.fname true eb.is_eblock.(f.fid))
+    p.funcs
+
+let test_prelog_is_upward_exposed () =
+  let p = Util.compile Workloads.fig41 in
+  let eb = Eblock.analyze p in
+  (* subd(a, b, x) reads all three params before writing anything *)
+  Alcotest.(check (list string)) "subd prelog" [ "a"; "b"; "x" ]
+    (names p eb.prelog_vars.(fid p "subd"));
+  (* subd writes nothing: empty postlog (the return value is recorded
+     separately) *)
+  Alcotest.(check (list string)) "subd postlog" []
+    (names p eb.postlog_vars.(fid p "subd"));
+  (* isqrt(n): reads n, writes r (and its loop tests read r) *)
+  Alcotest.(check (list string)) "isqrt prelog" [ "n" ]
+    (names p eb.prelog_vars.(fid p "isqrt"));
+  Alcotest.(check (list string)) "isqrt postlog" [ "r" ]
+    (names p eb.postlog_vars.(fid p "isqrt"))
+
+let test_shared_in_sets () =
+  let p = Util.compile Workloads.racy_bank in
+  let eb = Eblock.analyze p in
+  let w = fid p "withdraw" in
+  Alcotest.(check bool) "withdraw prelog snapshots balance" true
+    (List.mem "balance" (names p eb.prelog_vars.(w)));
+  Alcotest.(check bool) "withdraw postlog includes balance" true
+    (List.mem "balance" (names p eb.postlog_vars.(w)))
+
+let test_leaf_inlining () =
+  let src =
+    {|
+    shared int g = 0;
+    func tiny(x) { g = g + x; return g; }
+    func big(x) {
+      var acc = 0;
+      var i = 0;
+      while (i < x) { acc = acc + i; i = i + 1; }
+      var t = tiny(acc);
+      return t;
+    }
+    func main() { var r = big(5); print(r); }
+    |}
+  in
+  let p = Util.compile src in
+  (* default: tiny is its own e-block *)
+  let eb0 = Eblock.analyze p in
+  Alcotest.(check bool) "tiny e-block by default" true eb0.is_eblock.(fid p "tiny");
+  (* inlining threshold 5: tiny (2 stmts) is inlined, big keeps block
+     status (it is not a leaf) *)
+  let eb =
+    Eblock.analyze ~policy:{ Eblock.leaf_inline_max_stmts = 5; loop_block_min_body = 0 } p
+  in
+  Alcotest.(check bool) "tiny inlined" false eb.is_eblock.(fid p "tiny");
+  Alcotest.(check bool) "big still e-block" true eb.is_eblock.(fid p "big");
+  Alcotest.(check bool) "main always e-block" true eb.is_eblock.(fid p "main");
+  (* big inherits tiny's global effects (§5.4: ancestors inherit the
+     USED and DEFINED sets of inlined leaves) *)
+  Alcotest.(check bool) "big prelog snapshots g" true
+    (List.mem "g" (names p eb.prelog_vars.(fid p "big")));
+  Alcotest.(check bool) "big postlog includes g" true
+    (List.mem "g" (names p eb.postlog_vars.(fid p "big")))
+
+let test_spawned_never_inlined () =
+  let src =
+    {|
+    func w() { print(1); }
+    func main() { var p = spawn w(); join(p); }
+    |}
+  in
+  let p = Util.compile src in
+  let eb = Eblock.analyze ~policy:{ Eblock.leaf_inline_max_stmts = 100; loop_block_min_body = 0 } p in
+  Alcotest.(check bool) "process roots stay e-blocks" true
+    (eb.is_eblock.(fid p "w"))
+
+let test_used_defined_are_supersets () =
+  (* static USED/DEFINED must cover the syntactic per-statement sets *)
+  let p = Util.compile Workloads.foo3 in
+  let eb = Eblock.analyze p in
+  Array.iter
+    (fun (f : P.func) ->
+      P.iter_stmts
+        (fun s ->
+          List.iter
+            (fun (v : P.var) ->
+              if P.is_global v || v.vfid = f.fid then
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s used in %s" v.vname f.fname)
+                  true
+                  (Varset.mem v.vid eb.used.(f.fid)))
+            (Use_def.direct_uses s);
+          List.iter
+            (fun (v : P.var) ->
+              if P.is_global v || v.vfid = f.fid then
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s defined in %s" v.vname f.fname)
+                  true
+                  (Varset.mem v.vid eb.defined.(f.fid)))
+            (Use_def.direct_defs s))
+        f.body)
+    p.funcs
+
+let suite =
+  ( "eblock",
+    [
+      Alcotest.test_case "default partition" `Quick test_default_everything_is_eblock;
+      Alcotest.test_case "prelog = upward exposed" `Quick test_prelog_is_upward_exposed;
+      Alcotest.test_case "shared variables in sets" `Quick test_shared_in_sets;
+      Alcotest.test_case "leaf inlining (§5.4)" `Quick test_leaf_inlining;
+      Alcotest.test_case "spawned functions stay e-blocks" `Quick
+        test_spawned_never_inlined;
+      Alcotest.test_case "USED/DEFINED supersets" `Quick test_used_defined_are_supersets;
+    ] )

@@ -1,0 +1,74 @@
+(* The interpreter's expression evaluator: values AND the recorded read
+   sets (their order and short-circuit behaviour feed the dynamic
+   dependence graph, so they are load-bearing). *)
+
+module I = Runtime.Interp
+module P = Lang.Prog
+
+(* Evaluate [expr] in a tiny program where locals a, b, c = 10, 0, -3
+   and shared g = 7. *)
+let eval_in expr_src =
+  let src =
+    Printf.sprintf
+      "shared int g = 7;\nfunc main() {\n  var a = 10;\n  var b = 0;\n  var c = -3;\n  var arr[3];\n  arr[1] = 5;\n  print(%s);\n}\n"
+      expr_src
+  in
+  let p = Util.compile src in
+  (* run the machine up to the print and capture its event *)
+  let acc = ref [] in
+  let m = Runtime.Machine.create ~hooks:(Runtime.Hooks.collect acc) p in
+  (match Runtime.Machine.run m with
+  | Runtime.Machine.Finished -> ()
+  | h -> Alcotest.failf "eval run failed: %s" (Util.halt_name h));
+  let print_event =
+    List.rev !acc
+    |> List.find_map (fun (_, _, ev) ->
+           match ev with
+           | Runtime.Event.E_stmt
+               { kind = Runtime.Event.K_print { value }; reads; _ } ->
+             Some (value, reads)
+           | _ -> None)
+  in
+  match print_event with
+  | Some (value, reads) ->
+    ( value,
+      List.map
+        (fun (rw : Runtime.Event.rw) ->
+          (rw.var.P.vname, Runtime.Value.to_string rw.value))
+        reads )
+  | None -> Alcotest.fail "no print event"
+
+let check_eval name expr expected_value expected_reads =
+  Alcotest.test_case name `Quick (fun () ->
+      let v, reads = eval_in expr in
+      Alcotest.(check string) (name ^ " value") expected_value
+        (Runtime.Value.to_string v);
+      Alcotest.(check (list (pair string string))) (name ^ " reads")
+        expected_reads reads)
+
+let suite =
+  ( "interp-eval",
+    [
+      check_eval "literal" "42" "42" [];
+      check_eval "variable" "a" "10" [ ("a", "10") ];
+      check_eval "shared" "g" "7" [ ("g", "7") ];
+      check_eval "left-to-right reads" "a - c" "13" [ ("a", "10"); ("c", "-3") ];
+      check_eval "nested reads in order" "(a + g) * (c + 1)" "-34"
+        [ ("a", "10"); ("g", "7"); ("c", "-3") ];
+      check_eval "repeat reads repeat" "a + a" "20" [ ("a", "10"); ("a", "10") ];
+      check_eval "unary" "-(a)" "-10" [ ("a", "10") ];
+      check_eval "division truncates" "a / c" "-3" [ ("a", "10"); ("c", "-3") ];
+      check_eval "mod sign" "c % 2" "-1" [ ("c", "-3") ];
+      check_eval "array element" "arr[1]" "5" [ ("arr", "5") ];
+      check_eval "index expression reads first" "arr[b + 1]" "5"
+        [ ("b", "0"); ("arr", "5") ];
+      (* short-circuit: the unevaluated side leaves no reads *)
+      check_eval "and short-circuits" "b > 0 && a / b > 0" "0" [ ("b", "0") ];
+      check_eval "and evaluates both when needed" "a > 0 && c < 0" "1"
+        [ ("a", "10"); ("c", "-3") ];
+      check_eval "or short-circuits" "a > 0 || a / b > 0" "1" [ ("a", "10") ];
+      check_eval "or falls through" "b > 0 || c < 0" "1"
+        [ ("b", "0"); ("c", "-3") ];
+      check_eval "comparison chain via parens" "(a > b) == (c < b)" "1"
+        [ ("a", "10"); ("b", "0"); ("c", "-3"); ("b", "0") ];
+    ] )

@@ -1,0 +1,142 @@
+(* Call graph (SCCs, leaves) and interprocedural MOD/REF. *)
+
+open Analysis
+module P = Lang.Prog
+
+let fid p name = (Option.get (P.find_func p name)).P.fid
+
+let gvid (p : P.t) name =
+  (Array.to_list p.globals |> List.find (fun (v : P.var) -> v.vname = name)).vid
+
+let test_callgraph () =
+  let p =
+    Util.compile
+      {|
+      func leaf() { return 1; }
+      func mid() { var x = leaf(); return x; }
+      func top() { var a = mid(); var b = leaf(); return a + b; }
+      func worker() { return 0; }
+      func main() { var t = top(); spawn worker(); print(t); }
+      |}
+  in
+  let cg = Callgraph.compute p in
+  Alcotest.(check (list int)) "top calls" [ fid p "leaf"; fid p "mid" ]
+    (List.sort compare cg.calls.(fid p "top"));
+  Alcotest.(check bool) "leaf is leaf" true (Callgraph.is_leaf cg (fid p "leaf"));
+  Alcotest.(check bool) "mid not leaf" false (Callgraph.is_leaf cg (fid p "mid"));
+  Alcotest.(check (list int)) "spawn edge separate" [ fid p "worker" ]
+    cg.spawns.(fid p "main");
+  Alcotest.(check bool) "spawn target is not a callee" true
+    (not (List.mem (fid p "worker") cg.calls.(fid p "main")));
+  Alcotest.(check (list int)) "leaf callers" [ fid p "mid"; fid p "top" ]
+    (List.sort compare cg.callers.(fid p "leaf"))
+
+let test_scc_recursion () =
+  let p =
+    Util.compile
+      {|
+      func even(n) { if (n == 0) { return 1; } var r = odd(n - 1); return r; }
+      func odd(n) { if (n == 0) { return 0; } var r = even(n - 1); return r; }
+      func solo() { return 3; }
+      func main() { var e = even(4); print(e); solo(); }
+      |}
+  in
+  let cg = Callgraph.compute p in
+  let comp, comps = Callgraph.sccs cg in
+  Alcotest.(check int) "even and odd share a component" comp.(fid p "even")
+    comp.(fid p "odd");
+  Alcotest.(check bool) "solo alone" true (comp.(fid p "solo") <> comp.(fid p "even"));
+  Alcotest.(check bool) "mutual recursion detected" true
+    (Callgraph.is_recursive cg (fid p "even"));
+  Alcotest.(check bool) "solo not recursive" false
+    (Callgraph.is_recursive cg (fid p "solo"));
+  (* reverse topological: the even/odd component precedes main's *)
+  let pos f =
+    let rec go i = function
+      | [] -> -1
+      | members :: rest -> if List.mem f members then i else go (i + 1) rest
+    in
+    go 0 comps
+  in
+  Alcotest.(check bool) "callees before callers" true
+    (pos (fid p "even") < pos (fid p "main"))
+
+let test_modref () =
+  let p =
+    Util.compile
+      {|
+      shared int g1 = 0;
+      shared int g2 = 0;
+      shared int g3 = 0;
+      func reader() { var x = g1; return x; }
+      func writer() { g2 = 1; return 0; }
+      func both() { var a = reader(); var b = writer(); g3 = g3 + 1; return a + b; }
+      func main() { var r = both(); print(r); }
+      |}
+  in
+  let s = Interproc.compute p in
+  let check_set name set expected =
+    Alcotest.(check (list int)) name (List.sort compare expected) (Varset.elements set)
+  in
+  check_set "reader REF" s.gref.(fid p "reader") [ gvid p "g1" ];
+  check_set "reader MOD" s.gmod.(fid p "reader") [];
+  check_set "writer MOD" s.gmod.(fid p "writer") [ gvid p "g2" ];
+  check_set "both MOD transitively" s.gmod.(fid p "both")
+    [ gvid p "g2"; gvid p "g3" ];
+  check_set "both REF transitively" s.gref.(fid p "both")
+    [ gvid p "g1"; gvid p "g3" ];
+  check_set "main inherits" s.gmod.(fid p "main") [ gvid p "g2"; gvid p "g3" ]
+
+let test_modref_recursion () =
+  let p =
+    Util.compile
+      {|
+      shared int acc = 0;
+      func walk(n) { if (n > 0) { acc = acc + n; walk(n - 1); } }
+      func main() { walk(3); print(acc); }
+      |}
+  in
+  let s = Interproc.compute p in
+  Alcotest.(check (list int)) "recursive MOD converges" [ gvid p "acc" ]
+    (Varset.elements s.gmod.(fid p "walk"))
+
+let test_modref_excludes_spawn () =
+  let p =
+    Util.compile
+      {|
+      shared int g = 0;
+      func w() { g = 1; }
+      func main() { var pid = spawn w(); join(pid); print(g); }
+      |}
+  in
+  let s = Interproc.compute p in
+  (* the spawned writer's effects are not main's own block effects *)
+  Alcotest.(check (list int)) "spawn excluded" []
+    (Varset.elements s.gmod.(fid p "main"))
+
+(* Agreement of the two Varset representations on real fixpoints. *)
+let modref_repr_agree =
+  Util.qtest ~count:30 "Interproc(Bits) = Interproc(Lists)"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let p = Util.compile (Gen.parallel ~protect:`Always seed) in
+      let module B = Interproc.Make (Varset.Bits) in
+      let module L = Interproc.Make (Varset.Lists) in
+      let sb = B.compute p and sl = L.compute p in
+      Array.for_all2
+        (fun a b -> Varset.Bits.elements a = Varset.Lists.elements b)
+        sb.B.gmod sl.L.gmod
+      && Array.for_all2
+           (fun a b -> Varset.Bits.elements a = Varset.Lists.elements b)
+           sb.B.gref sl.L.gref)
+
+let suite =
+  ( "interproc",
+    [
+      Alcotest.test_case "call graph" `Quick test_callgraph;
+      Alcotest.test_case "SCCs and recursion" `Quick test_scc_recursion;
+      Alcotest.test_case "MOD/REF" `Quick test_modref;
+      Alcotest.test_case "MOD/REF with recursion" `Quick test_modref_recursion;
+      Alcotest.test_case "MOD/REF excludes spawns" `Quick test_modref_excludes_spawn;
+      modref_repr_agree;
+    ] )

@@ -1,0 +1,68 @@
+open Lang
+
+let toks src = List.map fst (Lexer.tokenize src)
+
+let check_toks name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check (list string))
+        name
+        (expected @ [ "end of input" ])
+        (List.map Token.describe (toks src)))
+
+let lex_error name src fragment =
+  Alcotest.test_case name `Quick (fun () ->
+      match Lexer.tokenize src with
+      | exception Diag.Error (_, msg) ->
+        if not (Util.contains ~sub:fragment msg) then
+          Alcotest.failf "error %S does not mention %S" msg fragment
+      | _ -> Alcotest.fail "expected a lexer error")
+
+let test_positions () =
+  let toks = Lexer.tokenize "x =\n  42;" in
+  match toks with
+  | [ (Token.IDENT "x", l1); (Token.ASSIGN, l2); (Token.INT 42, l3);
+      (Token.SEMI, _); (Token.EOF, _) ] ->
+    Alcotest.(check int) "x line" 1 l1.Loc.line;
+    Alcotest.(check int) "x col" 1 l1.Loc.col;
+    Alcotest.(check int) "= col" 3 l2.Loc.col;
+    Alcotest.(check int) "42 line" 2 l3.Loc.line;
+    Alcotest.(check int) "42 col" 3 l3.Loc.col
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_comments () =
+  Alcotest.(check int)
+    "both comment styles vanish" 3
+    (List.length (toks "a // line\n/* block\nmore */ b"))
+
+let test_keywords_vs_idents () =
+  match toks "if iff P Px send sends" with
+  | [ Token.IF; Token.IDENT "iff"; Token.PSEM; Token.IDENT "Px"; Token.SEND;
+      Token.IDENT "sends"; Token.EOF ] ->
+    ()
+  | _ -> Alcotest.fail "keyword/identifier split wrong"
+
+let test_operators () =
+  match toks "<= < == = != ! && ||" with
+  | [ Token.LEQ; Token.LT; Token.EQ; Token.ASSIGN; Token.NEQ; Token.BANG;
+      Token.ANDAND; Token.OROR; Token.EOF ] ->
+    ()
+  | _ -> Alcotest.fail "operator lexing wrong"
+
+let suite =
+  ( "lexer",
+    [
+      check_toks "simple program" "func f() { return 1; }"
+        [ "func"; "identifier"; "("; ")"; "{"; "return"; "integer literal"; ";"; "}" ];
+      check_toks "brackets and commas" "a[1], b[i]"
+        [ "identifier"; "["; "integer literal"; "]"; ",";
+          "identifier"; "["; "identifier"; "]" ];
+      Alcotest.test_case "positions" `Quick test_positions;
+      Alcotest.test_case "comments" `Quick test_comments;
+      Alcotest.test_case "keywords vs identifiers" `Quick test_keywords_vs_idents;
+      Alcotest.test_case "operators" `Quick test_operators;
+      lex_error "unterminated comment" "/* oops" "unterminated";
+      lex_error "stray character" "a # b" "unexpected character";
+      lex_error "lonely ampersand" "a & b" "&&";
+      lex_error "lonely pipe" "a | b" "||";
+      lex_error "huge literal" "999999999999999999999999" "out of range";
+    ] )

@@ -1,0 +1,143 @@
+open Lang
+
+let parse = Parser.parse_program
+
+let parse_expr = Parser.parse_expr
+
+let expr_str e = Pp_ast.expr_to_string e
+
+let check_expr name src normalised =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name normalised (expr_str (parse_expr src)))
+
+let parse_error name src fragment =
+  Alcotest.test_case name `Quick (fun () ->
+      match parse src with
+      | exception Diag.Error (_, msg) ->
+        if not (Util.contains ~sub:fragment msg) then
+          Alcotest.failf "error %S does not mention %S" msg fragment
+      | _ -> Alcotest.fail "expected a parse error")
+
+let ok name src =
+  Alcotest.test_case name `Quick (fun () -> ignore (parse src))
+
+let test_precedence () =
+  (* * binds tighter than +, comparisons over arithmetic, && over || *)
+  Alcotest.(check string) "mul/add" "1 + 2 * 3" (expr_str (parse_expr "1 + 2 * 3"));
+  Alcotest.(check string)
+    "parens preserved where needed" "(1 + 2) * 3"
+    (expr_str (parse_expr "(1 + 2) * 3"));
+  Alcotest.(check string)
+    "cmp over arith" "a + 1 < b * 2"
+    (expr_str (parse_expr "a + 1 < b * 2"));
+  Alcotest.(check string)
+    "and over or" "a < 1 || b < 2 && c < 3"
+    (expr_str (parse_expr "a < 1 || (b < 2 && c < 3)"))
+
+let test_left_assoc () =
+  (* 1 - 2 - 3 = (1 - 2) - 3 *)
+  match (parse_expr "1 - 2 - 3").edesc with
+  | Ast.Binop (Ast.Sub, { edesc = Ast.Binop (Ast.Sub, _, _); _ }, _) -> ()
+  | _ -> Alcotest.fail "subtraction must be left-associative"
+
+let test_unary () =
+  match (parse_expr "--x").edesc with
+  | Ast.Unop (Ast.Neg, { edesc = Ast.Unop (Ast.Neg, _); _ }) -> ()
+  | _ -> Alcotest.fail "double negation"
+
+let test_call_decl_desugar () =
+  (* `var x = f(1);` becomes declaration + call statement *)
+  match parse "func f(a) { return a; } func main() { var x = f(1); }" with
+  | [ _; Ast.Gfunc { fbody = [ { sdesc = Ast.Decl ("x", None); _ };
+                               { sdesc = Ast.Call (Some (Ast.Lvar "x"), _); _ } ];
+                     _ } ] ->
+    ()
+  | _ -> Alcotest.fail "call initialiser not desugared"
+
+let test_else_if () =
+  match parse "func main() { if (true) {} else if (false) {} else {} }" with
+  | [ Ast.Gfunc { fbody = [ { sdesc = Ast.If (_, [], [ { sdesc = Ast.If _; _ } ]); _ } ]; _ } ]
+    ->
+    ()
+  | _ -> Alcotest.fail "else-if chain shape"
+
+let test_for_shape () =
+  match parse "func main() { var i = 0; for (i = 0; i < 3; i = i + 1) { print(i); } }" with
+  | [ Ast.Gfunc { fbody = [ _; { sdesc = Ast.For (_, _, _, [ _ ]); _ } ]; _ } ] ->
+    ()
+  | _ -> Alcotest.fail "for shape"
+
+(* Robustness: arbitrary input never escapes the Diag.Error protocol. *)
+let fuzz_no_crash =
+  Util.qtest ~count:300 "lexer/parser never crash"
+    QCheck2.Gen.(string_size ~gen:(char_range ' ' '~') (int_range 0 80))
+    (fun s ->
+      match Lang.Compile.compile_result s with
+      | Ok _ | Error _ -> true)
+
+let fuzz_token_soup =
+  Util.qtest ~count:200 "token soup never crashes"
+    QCheck2.Gen.(
+      list_size (int_range 0 40)
+        (oneofl
+           [ "func"; "main"; "("; ")"; "{"; "}"; "var"; "="; ";"; "if";
+             "while"; "+"; "-"; "x"; "1"; "P"; "V"; "send"; "recv"; "spawn";
+             "join"; "["; "]"; ","; "shared"; "int"; "sem"; "chan"; "return" ]))
+    (fun toks ->
+      let s = String.concat " " toks in
+      match Lang.Compile.compile_result s with Ok _ | Error _ -> true)
+
+let suite =
+  ( "parser",
+    [
+      check_expr "flat arith" "1+2*3" "1 + 2 * 3";
+      check_expr "index" "a[i+1]" "a[i + 1]";
+      check_expr "logic" "!(a<b)&&c==d" "!(a < b) && c == d";
+      Alcotest.test_case "precedence" `Quick test_precedence;
+      Alcotest.test_case "left associativity" `Quick test_left_assoc;
+      Alcotest.test_case "unary nesting" `Quick test_unary;
+      Alcotest.test_case "var x = f(..) desugar" `Quick test_call_decl_desugar;
+      Alcotest.test_case "else if" `Quick test_else_if;
+      Alcotest.test_case "for statement" `Quick test_for_shape;
+      ok "all statement forms"
+        {|
+        shared int g = 1;
+        shared int arr[4];
+        sem s = 1;
+        chan c;
+        chan cs[0];
+        chan cb[3];
+        func f(a, b) { return a + b; }
+        func main() {
+          var x;
+          var y = 1;
+          var a[3];
+          x = 2;
+          a[0] = x;
+          x = f(1, 2);
+          f(1, 2);
+          var p = spawn f(1, 2);
+          spawn f(3, 4);
+          join(p);
+          var r = join(p);
+          P(s); V(s);
+          send(c, 1);
+          recv(c, x);
+          recv(c, a[1]);
+          print(x);
+          assert(x > 0);
+          if (x > 0) { x = 1; } else { x = 2; }
+          while (x > 0) { x = x - 1; }
+          for (y = 0; y < 2; y = y + 1) { print(y); }
+          return;
+        }
+        |};
+      parse_error "call in expression" "func main() { var x = 1 + f(2); }"
+        "cannot appear inside an expression";
+      parse_error "missing semicolon" "func main() { var x = 1 }" "expected ;";
+      parse_error "bad toplevel" "int x;" "top-level";
+      parse_error "unclosed brace" "func main() { " "expected statement";
+      parse_error "garbage statement" "func main() { 42; }" "expected statement";
+      fuzz_no_crash;
+      fuzz_token_soup;
+    ] )

@@ -1,0 +1,149 @@
+(* Race detection: Definitions 6.1–6.4 plus the naive/indexed agreement
+   ablation (§7). *)
+
+let detect ?sched src =
+  let prog = Util.compile src in
+  let obs = Ppd.Pardyn.observer prog in
+  let m = Runtime.Machine.create ?sched ~hooks:(Ppd.Pardyn.factory obs) prog in
+  ignore (Runtime.Machine.run m);
+  let g = Ppd.Pardyn.finish obs in
+  (g, Ppd.Race.detect ~algo:Ppd.Race.Naive g, Ppd.Race.detect ~algo:Ppd.Race.Indexed g)
+
+let var_names races =
+  List.map (fun r -> r.Ppd.Race.rc_var.Lang.Prog.vname) races
+  |> List.sort_uniq compare
+
+let test_racy_bank () =
+  let g, naive, indexed = detect Workloads.racy_bank in
+  Alcotest.(check bool) "races found" true (naive.Ppd.Race.races <> []);
+  Alcotest.(check bool) "algorithms agree" true
+    (naive.Ppd.Race.races = indexed.Ppd.Race.races);
+  Alcotest.(check (list string)) "on balance" [ "balance" ]
+    (var_names naive.Ppd.Race.races);
+  Alcotest.(check bool) "both conflict kinds present" true
+    (List.exists (fun r -> r.Ppd.Race.rc_kind = Ppd.Race.Write_write) naive.races
+    && List.exists (fun r -> r.Ppd.Race.rc_kind = Ppd.Race.Read_write) naive.races);
+  Alcotest.(check bool) "not race free" false (Ppd.Race.is_race_free g)
+
+let test_fixed_bank () =
+  let g, naive, indexed = detect Workloads.fixed_bank in
+  Alcotest.(check (list string)) "no races" [] (var_names naive.Ppd.Race.races);
+  Alcotest.(check bool) "agree" true (naive.Ppd.Race.races = indexed.Ppd.Race.races);
+  Alcotest.(check bool) "race free" true (Ppd.Race.is_race_free g)
+
+let test_sv_race_section_6_3 () =
+  (* two writers and one reader, all concurrent: W/W between writers,
+     R/W between the reader and each writer *)
+  let _g, naive, _ = detect Workloads.sv_race in
+  let ww =
+    List.filter (fun r -> r.Ppd.Race.rc_kind = Ppd.Race.Write_write) naive.races
+  in
+  let rw =
+    List.filter (fun r -> r.Ppd.Race.rc_kind = Ppd.Race.Read_write) naive.races
+  in
+  Alcotest.(check int) "one W/W race" 1 (List.length ww);
+  Alcotest.(check int) "two R/W races" 2 (List.length rw)
+
+let test_join_removes_race () =
+  (* joining the writer before reading orders the accesses *)
+  let src =
+    {|
+    shared int g = 0;
+    func w() { g = 1; }
+    func main() {
+      var p = spawn w();
+      join(p);
+      print(g);
+    }
+    |}
+  in
+  let _g, naive, _ = detect src in
+  Alcotest.(check (list string)) "no race through join" [] (var_names naive.races)
+
+let test_message_removes_race () =
+  (* the send->recv edge orders the write before the read *)
+  let src =
+    {|
+    shared int g = 0;
+    chan c[0];
+    func w() { g = 5; send(c, 1); }
+    func main() {
+      var p = spawn w();
+      var x = 0;
+      recv(c, x);
+      print(g);
+      join(p);
+    }
+    |}
+  in
+  let _g, naive, _ = detect src in
+  Alcotest.(check (list string)) "no race through message" []
+    (var_names naive.races)
+
+let test_read_read_not_a_race () =
+  let src =
+    {|
+    shared int g = 7;
+    func r() { var x = g; return x; }
+    func main() {
+      var p1 = spawn r();
+      var p2 = spawn r();
+      join(p1); join(p2);
+    }
+    |}
+  in
+  let _g, naive, _ = detect src in
+  Alcotest.(check (list string)) "read/read is fine" [] (var_names naive.races)
+
+let test_counter_scaling_agreement () =
+  List.iter
+    (fun workers ->
+      let _g, naive, indexed =
+        detect (Workloads.counter ~workers ~incs:3 ~mutex:false)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d workers agree" workers)
+        true
+        (naive.Ppd.Race.races = indexed.Ppd.Race.races);
+      Alcotest.(check bool)
+        (Printf.sprintf "%d workers race" workers)
+        true (naive.Ppd.Race.races <> []);
+      Alcotest.(check bool) "indexed examines fewer pairs" true
+        (indexed.Ppd.Race.pairs_examined <= naive.Ppd.Race.pairs_examined))
+    [ 2; 3; 4; 5 ]
+
+let naive_indexed_agree =
+  Util.qtest ~count:30 "naive = indexed on random programs"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 1_000))
+    (fun (seed, sseed) ->
+      let _g, naive, indexed =
+        detect
+          ~sched:(Runtime.Sched.Random_seed sseed)
+          (Gen.parallel ~protect:`Sometimes seed)
+      in
+      naive.Ppd.Race.races = indexed.Ppd.Race.races)
+
+let protected_is_race_free =
+  Util.qtest ~count:30 "fully protected programs are race-free"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 1_000))
+    (fun (seed, sseed) ->
+      let g, _, _ =
+        detect
+          ~sched:(Runtime.Sched.Random_seed sseed)
+          (Gen.parallel ~protect:`Always seed)
+      in
+      Ppd.Race.is_race_free g)
+
+let suite =
+  ( "race",
+    [
+      Alcotest.test_case "racy bank" `Quick test_racy_bank;
+      Alcotest.test_case "fixed bank" `Quick test_fixed_bank;
+      Alcotest.test_case "§6.3 scenario" `Quick test_sv_race_section_6_3;
+      Alcotest.test_case "join orders" `Quick test_join_removes_race;
+      Alcotest.test_case "message orders" `Quick test_message_removes_race;
+      Alcotest.test_case "read/read ok" `Quick test_read_read_not_a_race;
+      Alcotest.test_case "scaling agreement" `Quick test_counter_scaling_agreement;
+      naive_indexed_agree;
+      protected_is_race_free;
+    ] )

@@ -1,0 +1,118 @@
+open Lang
+
+let resolve_err name src fragment =
+  Alcotest.test_case name `Quick (fun () ->
+      match Util.compile_err src with
+      | Some msg ->
+        if not (Util.contains ~sub:fragment msg) then
+          Alcotest.failf "error %S does not mention %S" msg fragment
+      | None -> Alcotest.fail "expected a resolution error")
+
+let resolve_ok name src =
+  Alcotest.test_case name `Quick (fun () -> ignore (Util.compile src))
+
+let test_sids_preorder () =
+  let p = Util.compile Workloads.fig41 in
+  Array.iteri
+    (fun i (s : Prog.stmt) -> Alcotest.(check int) "sid" i s.sid)
+    p.stmts;
+  (* every statement is attributed to a function *)
+  Array.iter (fun fid -> Alcotest.(check bool) "fid" true (fid >= 0)) p.stmt_fid
+
+let test_vids_unique () =
+  let p = Util.compile Workloads.racy_bank in
+  Array.iteri (fun i (v : Prog.var) -> Alcotest.(check int) "vid" i v.vid) p.vars;
+  (* globals come first and carry Global scope *)
+  Array.iteri
+    (fun slot (v : Prog.var) ->
+      match v.vscope with
+      | Prog.Global s -> Alcotest.(check int) "slot" slot s
+      | Prog.Local _ -> Alcotest.fail "global with local scope")
+    p.globals
+
+let test_for_desugar () =
+  let p =
+    Util.compile
+      "func main() { var i = 0; var s = 0; for (i = 0; i < 3; i = i + 1) { s = s + i; } print(s); }"
+  in
+  (* no Sfor remains; a while with the step appended exists *)
+  let found = ref false in
+  Array.iter
+    (fun (s : Prog.stmt) ->
+      match s.desc with
+      | Prog.Swhile (_, body) ->
+        found := true;
+        (match List.rev body with
+        | { desc = Prog.Sassign (Prog.Lvar v, _); _ } :: _ ->
+          Alcotest.(check string) "step var" "i" v.vname
+        | _ -> Alcotest.fail "step statement not last in loop body")
+      | _ -> ())
+    p.stmts;
+  Alcotest.(check bool) "while exists" true !found
+
+let test_decl_init_desugar () =
+  let p = Util.compile "func main() { var x = 1 + 2; print(x); }" in
+  match p.funcs.(p.main_fid).body with
+  | [ { desc = Prog.Sassign (Prog.Lvar v, _); _ }; _ ] ->
+    Alcotest.(check string) "decl name" "x" v.vname
+  | _ -> Alcotest.fail "decl with init should become an assignment"
+
+let test_returns_value_flag () =
+  let p =
+    Util.compile "func f() { return 1; } func g() { return; } func main() { var x = f(); print(x); g(); }"
+  in
+  let f = Option.get (Prog.find_func p "f") in
+  let g = Option.get (Prog.find_func p "g") in
+  Alcotest.(check bool) "f returns" true f.returns_value;
+  Alcotest.(check bool) "g void" false g.returns_value
+
+let suite =
+  ( "resolve",
+    [
+      Alcotest.test_case "sids are pre-order" `Quick test_sids_preorder;
+      Alcotest.test_case "vids are dense" `Quick test_vids_unique;
+      Alcotest.test_case "for desugars to while" `Quick test_for_desugar;
+      Alcotest.test_case "var x = e desugars" `Quick test_decl_init_desugar;
+      Alcotest.test_case "returns_value" `Quick test_returns_value_flag;
+      resolve_ok "block scoping allows reuse after block"
+        "func main() { if (true) { var x = 1; print(x); } var y = 2; print(y); }";
+      resolve_err "unknown variable" "func main() { print(nope); }" "unknown variable";
+      resolve_err "use before declaration" "func main() { x = 1; var x = 2; }"
+        "unknown variable";
+      resolve_err "out-of-scope after block"
+        "func main() { if (true) { var x = 1; } print(x); }" "unknown variable";
+      resolve_err "duplicate local" "func main() { var x = 1; var x = 2; }"
+        "duplicate local";
+      resolve_err "self-referential init" "func main() { var x = x; }"
+        "unknown variable";
+      resolve_err "shadowing a global"
+        "shared int g = 0; func main() { var g = 1; }" "shadows";
+      resolve_err "duplicate top-level" "sem a = 1; chan a;" "already declared";
+      resolve_err "duplicate parameter" "func f(a, a) { return a; } func main() { }"
+        "duplicate parameter";
+      resolve_err "missing main" "func f() { return 1; }" "no 'main'";
+      resolve_err "main with params" "func main(x) { print(x); }"
+        "must take no parameters";
+      resolve_err "arity mismatch" "func f(a) { return a; } func main() { f(1, 2); }"
+        "expects 1 argument";
+      resolve_err "call of non-function" "shared int g = 0; func main() { g(1); }"
+        "not a function";
+      resolve_err "P on non-semaphore" "chan c; func main() { P(c); }"
+        "not a semaphore";
+      resolve_err "send on semaphore" "sem s = 1; func main() { send(s, 1); }"
+        "not a channel";
+      resolve_err "variable as function" "func main() { var x = 1; x(2); }"
+        "is a variable, not a function";
+      resolve_err "semaphore as variable" "sem s = 1; func main() { print(s); }"
+        "not a variable";
+      resolve_err "assigning void call"
+        "func g() { return; } func main() { var x = g(); }"
+        "does not return a value";
+      resolve_err "mixed returns" "func f(c) { if (c > 0) { return 1; } return; } func main() { }"
+        "mixes";
+      resolve_err "non-constant global" "shared int g = 1 + x; func main() { }"
+        "constant";
+      resolve_err "zero-length array" "func main() { var a[0]; }" "positive length";
+      resolve_err "negative semaphore" "sem s = -1; func main() { }"
+        "expected integer literal";
+    ] )

@@ -1,0 +1,101 @@
+(* State restoration from postlogs (§5.7). *)
+
+let test_final_agrees_with_machine () =
+  let src = Workloads.counter ~workers:3 ~incs:7 ~mutex:true in
+  let eb, _h, log, _tr, m = Util.run_instrumented src in
+  let p = eb.Analysis.Eblock.prog in
+  let snap = Ppd.Restore.final p log in
+  Array.iteri
+    (fun slot v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "global %d" slot)
+        true
+        (Runtime.Value.equal v (Runtime.Machine.read_global m slot)))
+    snap.Ppd.Restore.globals
+
+let test_monotone_progress () =
+  (* with a mutex-protected counter, restored values at successive
+     boundaries never decrease *)
+  let src = Workloads.counter ~workers:2 ~incs:5 ~mutex:true in
+  let eb, _h, log, _tr, _m = Util.run_instrumented src in
+  let p = eb.Analysis.Eblock.prog in
+  let steps = List.init 30 (fun i -> i * 10) in
+  let _ =
+    List.fold_left
+      (fun prev step ->
+        let snap = Ppd.Restore.shared_at p log ~step in
+        let v =
+          match snap.Ppd.Restore.globals.(0) with
+          | Runtime.Value.Vint n -> n
+          | _ -> Alcotest.fail "int expected"
+        in
+        Alcotest.(check bool) "monotone" true (v >= prev);
+        v)
+      (-1) steps
+  in
+  ()
+
+let test_initial_state () =
+  let src = "shared int g = 42; func main() { g = 1; }" in
+  let eb, _h, log, _tr, _m = Util.run_instrumented src in
+  let p = eb.Analysis.Eblock.prog in
+  (* before anything postlogs, the initial value stands *)
+  let snap = Ppd.Restore.shared_at p log ~step:0 in
+  Alcotest.(check bool) "initial value" true
+    (Runtime.Value.equal snap.Ppd.Restore.globals.(0) (Runtime.Value.Vint 42))
+
+let test_arrays_restored () =
+  let src =
+    "shared int a[3]; func main() { a[0] = 1; a[1] = 2; a[2] = a[0] + a[1]; }"
+  in
+  let eb, _h, log, _tr, m = Util.run_instrumented src in
+  let p = eb.Analysis.Eblock.prog in
+  let snap = Ppd.Restore.final p log in
+  Alcotest.(check bool) "array contents" true
+    (Runtime.Value.equal snap.Ppd.Restore.globals.(0)
+       (Runtime.Machine.read_global m 0))
+
+let test_interval_end_and_locals () =
+  let src = Workloads.fig61 in
+  let eb, _h, log, _tr, _m = Util.run_instrumented src in
+  let p = eb.Analysis.Eblock.prog in
+  let ivs = Trace.Log.intervals log ~pid:1 in
+  let iv = ivs.(0) in
+  let snap = Ppd.Restore.at_interval_end p log iv in
+  Alcotest.(check bool) "snapshot exists" true (snap.Ppd.Restore.at_step >= 0);
+  let locals = Ppd.Restore.locals_at_interval_end p log iv in
+  (* p2's x received 41 *)
+  Alcotest.(check bool) "x = 41 restored" true
+    (List.exists
+       (fun ((v : Lang.Prog.var), value) ->
+         v.vname = "x" && Runtime.Value.equal value (Runtime.Value.Vint 41))
+       locals)
+
+let restore_equals_machine_prop =
+  Util.qtest ~count:30 "restoration agrees with the machine (random)"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 1_000))
+    (fun (seed, sseed) ->
+      let src = Gen.parallel ~protect:`Always seed in
+      let eb, _h, log, _tr, m =
+        Util.run_instrumented ~sched:(Runtime.Sched.Random_seed sseed) src
+      in
+      let p = eb.Analysis.Eblock.prog in
+      let snap = Ppd.Restore.final p log in
+      let ok = ref true in
+      Array.iteri
+        (fun slot v ->
+          if not (Runtime.Value.equal v (Runtime.Machine.read_global m slot))
+          then ok := false)
+        snap.Ppd.Restore.globals;
+      !ok)
+
+let suite =
+  ( "restore",
+    [
+      Alcotest.test_case "final state agrees" `Quick test_final_agrees_with_machine;
+      Alcotest.test_case "monotone counter" `Quick test_monotone_progress;
+      Alcotest.test_case "initial state" `Quick test_initial_state;
+      Alcotest.test_case "arrays" `Quick test_arrays_restored;
+      Alcotest.test_case "interval end + locals" `Quick test_interval_end_and_locals;
+      restore_equals_machine_prop;
+    ] )

@@ -1,0 +1,52 @@
+(* Pretty-printer / parser round trips: parse (print (parse src)) must
+   equal parse src, structurally, for fixed programs and for randomly
+   generated ones. *)
+
+open Lang
+
+let roundtrip_ok ast =
+  let printed = Pp_ast.program_to_string ast in
+  match Parser.parse_program printed with
+  | reparsed -> Ast.program_equal ast reparsed
+  | exception Diag.Error (loc, msg) ->
+    QCheck2.Test.fail_reportf "re-parse failed at %s: %s\n%s"
+      (Loc.to_string loc) msg printed
+
+let fixed name src =
+  Alcotest.test_case name `Quick (fun () ->
+      let ast = Parser.parse_program src in
+      if not (roundtrip_ok ast) then
+        Alcotest.failf "round trip changed the program:\n%s"
+          (Pp_ast.program_to_string ast))
+
+let random_roundtrip =
+  Util.qtest ~count:100 "random program round trip"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed -> roundtrip_ok (Gen.sequential_ast seed))
+
+let random_parallel_roundtrip =
+  Util.qtest ~count:60 "random parallel program round trip"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      roundtrip_ok (Parser.parse_program (Gen.parallel ~protect:`Sometimes seed)))
+
+let idempotent =
+  Util.qtest ~count:60 "printing is idempotent"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let ast = Gen.sequential_ast seed in
+      let once = Pp_ast.program_to_string ast in
+      let twice = Pp_ast.program_to_string (Parser.parse_program once) in
+      String.equal once twice)
+
+let suite =
+  ( "roundtrip",
+    (List.map (fun (n, s) -> fixed n s) Workloads.all_fixed)
+    @ [
+        fixed "matmul" (Workloads.matmul 3);
+        fixed "token ring" (Workloads.token_ring ~procs:3 ~rounds:2);
+        fixed "producer consumer" (Workloads.producer_consumer ~items:4 ~cap:2);
+        random_roundtrip;
+        random_parallel_roundtrip;
+        idempotent;
+      ] )

@@ -1,0 +1,84 @@
+(* Bitset and Varset: unit behaviour plus the agreement between the
+   bitmask and sorted-list representations (the §7 ablation pair). *)
+
+open Analysis
+
+let test_bitset_basics () =
+  let s = Bitset.create 100 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal s);
+  Alcotest.(check (list int)) "elements" [ 0; 63; 64; 99 ] (Bitset.elements s);
+  Bitset.remove s 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 63);
+  Alcotest.(check bool) "kept" true (Bitset.mem s 64)
+
+let test_bitset_ops () =
+  let a = Bitset.of_list 10 [ 1; 2; 3 ] in
+  let b = Bitset.of_list 10 [ 3; 4 ] in
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ] (Bitset.elements (Bitset.union a b));
+  Alcotest.(check (list int)) "inter" [ 3 ] (Bitset.elements (Bitset.inter a b));
+  Alcotest.(check (list int)) "diff" [ 1; 2 ] (Bitset.elements (Bitset.diff a b));
+  Alcotest.(check bool) "subset" true (Bitset.subset (Bitset.of_list 10 [ 1; 3 ]) a);
+  Alcotest.(check bool) "not subset" false (Bitset.subset b a);
+  Alcotest.(check bool) "disjoint" true
+    (Bitset.disjoint a (Bitset.of_list 10 [ 5; 6 ]));
+  let dst = Bitset.copy a in
+  Alcotest.(check bool) "union_into changes" true (Bitset.union_into ~dst b);
+  Alcotest.(check bool) "union_into stable" false (Bitset.union_into ~dst b)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 4 in
+  Alcotest.check_raises "oob add" (Invalid_argument "Bitset: index 4 out of universe 4")
+    (fun () -> Bitset.add s 4);
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index -1 out of universe 4")
+    (fun () -> Bitset.mem s (-1) |> ignore)
+
+(* Random small sets as (universe, elements). *)
+let set_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 80 in
+    let* xs = list_size (int_range 0 30) (int_range 0 (n - 1)) in
+    let* ys = list_size (int_range 0 30) (int_range 0 (n - 1)) in
+    return (n, xs, ys))
+
+let agree name op_bits op_lists =
+  Util.qtest ~count:200 name set_gen (fun (n, xs, ys) ->
+      let ba = Varset.Bits.of_list n xs and bb = Varset.Bits.of_list n ys in
+      let la = Varset.Lists.of_list n xs and lb = Varset.Lists.of_list n ys in
+      Varset.Bits.elements (op_bits ba bb) = Varset.Lists.elements (op_lists la lb))
+
+let agree_bool name op_bits op_lists =
+  Util.qtest ~count:200 name set_gen (fun (n, xs, ys) ->
+      let ba = Varset.Bits.of_list n xs and bb = Varset.Bits.of_list n ys in
+      let la = Varset.Lists.of_list n xs and lb = Varset.Lists.of_list n ys in
+      op_bits ba bb = op_lists la lb)
+
+let prop_union_commutes =
+  Util.qtest ~count:200 "bitset union commutes" set_gen (fun (n, xs, ys) ->
+      let a = Bitset.of_list n xs and b = Bitset.of_list n ys in
+      Bitset.equal (Bitset.union a b) (Bitset.union b a))
+
+let prop_diff_inter =
+  Util.qtest ~count:200 "a = (a\\b) ∪ (a∩b)" set_gen (fun (n, xs, ys) ->
+      let a = Bitset.of_list n xs and b = Bitset.of_list n ys in
+      Bitset.equal a (Bitset.union (Bitset.diff a b) (Bitset.inter a b)))
+
+let suite =
+  ( "sets",
+    [
+      Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
+      Alcotest.test_case "bitset ops" `Quick test_bitset_ops;
+      Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
+      agree "bits/lists union agree" Varset.Bits.union Varset.Lists.union;
+      agree "bits/lists inter agree" Varset.Bits.inter Varset.Lists.inter;
+      agree "bits/lists diff agree" Varset.Bits.diff Varset.Lists.diff;
+      agree_bool "bits/lists subset agree" Varset.Bits.subset Varset.Lists.subset;
+      agree_bool "bits/lists disjoint agree" Varset.Bits.disjoint Varset.Lists.disjoint;
+      agree_bool "bits/lists equal agree" Varset.Bits.equal Varset.Lists.equal;
+      prop_union_commutes;
+      prop_diff_inter;
+    ] )

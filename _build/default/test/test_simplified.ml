@@ -1,0 +1,176 @@
+(* Simplified static graph and synchronization units (§5.5, Fig 5.3). *)
+
+open Analysis
+module P = Lang.Prog
+
+let build src fname =
+  let p = Util.compile src in
+  let f = Option.get (P.find_func p fname) in
+  let cfg = Cfg.build p f in
+  (p, Simplified.build p cfg)
+
+let gvid (p : P.t) name =
+  (Array.to_list p.globals |> List.find (fun (v : P.var) -> v.vname = name)).vid
+
+let count_kind t pred =
+  Array.to_list t.Simplified.kinds
+  |> List.filter (fun k -> match k with Some k -> pred k | None -> false)
+  |> List.length
+
+let test_foo3_structure () =
+  (* Figure 5.3: foo3 has branching nodes for the two predicates, no
+     sync operations, and its only unit starts at ENTRY. *)
+  let _p, t = build Workloads.foo3 "foo3" in
+  Alcotest.(check int) "branching nodes" 2
+    (count_kind t (function Simplified.Branch _ -> true | _ -> false));
+  Alcotest.(check int) "operation nodes" 0
+    (count_kind t (function Simplified.Op _ -> true | _ -> false));
+  Alcotest.(check int) "one unit" 1 (Array.length t.units);
+  Alcotest.(check bool) "unit starts at entry" true
+    (t.units.(0).su_start = Simplified.At_entry)
+
+let test_foo3_shared_reads () =
+  let p, t = build Workloads.foo3 "foo3" in
+  (* the entry unit may read SV (on the else path) *)
+  Alcotest.(check (list int)) "SV read in entry unit" [ gvid p "SV" ]
+    (Varset.elements (Simplified.shared_reads_at_entry t))
+
+let test_units_partition_by_sync () =
+  let src =
+    {|
+    shared int g = 0;
+    sem m = 1;
+    func main() {
+      var x = g;      // unit 0 (entry): reads g
+      P(m);
+      x = x + g;      // unit after P: reads g
+      V(m);
+      print(x);       // unit after V: no shared reads
+    }
+    |}
+  in
+  let p, t = build src "main" in
+  (* units: entry, after P, after V *)
+  Alcotest.(check int) "three units" 3 (Array.length t.units);
+  let psid, vsid =
+    let ps = ref (-1) and vs = ref (-1) in
+    Array.iter
+      (fun (s : P.stmt) ->
+        match s.desc with
+        | P.Sp _ -> ps := s.sid
+        | P.Sv _ -> vs := s.sid
+        | _ -> ())
+      p.stmts;
+    (!ps, !vs)
+  in
+  Alcotest.(check bool) "g needed after P" true
+    (Simplified.shared_reads_after t psid <> None);
+  Alcotest.(check bool) "nothing needed after V" true
+    (Simplified.shared_reads_after t vsid = None);
+  Alcotest.(check (list int)) "entry unit reads g" [ gvid p "g" ]
+    (Varset.elements (Simplified.shared_reads_at_entry t))
+
+let test_send_payload_attribution () =
+  (* a send's own payload read happens inside the unit that ENDS at the
+     send, so the entry unit must cover it *)
+  let src =
+    {|
+    shared int g = 7;
+    chan c;
+    func main() {
+      send(c, g + 1);
+      var x = 0;
+      recv(c, x);
+      print(x);
+    }
+    |}
+  in
+  let p, t = build src "main" in
+  Alcotest.(check (list int)) "payload read in entry unit" [ gvid p "g" ]
+    (Varset.elements (Simplified.shared_reads_at_entry t));
+  (* after the send, no shared reads remain *)
+  let send_sid =
+    let s = ref (-1) in
+    Array.iter
+      (fun (st : P.stmt) ->
+        match st.desc with P.Ssend _ -> s := st.sid | _ -> ())
+      p.stmts;
+    !s
+  in
+  Alcotest.(check bool) "after send: none" true
+    (Simplified.shared_reads_after t send_sid = None)
+
+let test_calls_bound_units () =
+  let src =
+    {|
+    shared int g = 1;
+    func helper() { return 2; }
+    func main() {
+      var a = g;        // entry unit reads g
+      var b = helper(); // call is a unit boundary
+      var c = g + b;    // unit after the call reads g again
+      print(a + c);
+    }
+    |}
+  in
+  let p, t = build src "main" in
+  let call_sid =
+    let s = ref (-1) in
+    Array.iter
+      (fun (st : P.stmt) ->
+        match st.desc with P.Scall _ -> s := st.sid | _ -> ())
+      p.stmts;
+    !s
+  in
+  (match Simplified.shared_reads_after t call_sid with
+  | Some set ->
+    Alcotest.(check (list int)) "g re-snapshot after call" [ gvid p "g" ]
+      (Varset.elements set)
+  | None -> Alcotest.fail "expected a unit after the call");
+  Alcotest.(check int) "two units" 2 (Array.length t.units)
+
+let test_loop_units () =
+  (* a sync op inside a loop: the unit after it flows around the back
+     edge and through the loop exit *)
+  let src =
+    {|
+    shared int g = 0;
+    sem m = 1;
+    func main() {
+      var i = 0;
+      var x = 0;
+      while (i < 3) {
+        P(m);
+        x = x + g;
+        i = i + 1;
+      }
+      print(x);
+    }
+    |}
+  in
+  let p, t = build src "main" in
+  let psid =
+    let s = ref (-1) in
+    Array.iter
+      (fun (st : P.stmt) -> match st.desc with P.Sp _ -> s := st.sid | _ -> ())
+      p.stmts;
+    !s
+  in
+  match Simplified.shared_reads_after t psid with
+  | Some set ->
+    Alcotest.(check bool) "g read in P's unit" true
+      (Varset.mem (gvid p "g") set)
+  | None -> Alcotest.fail "expected shared reads after P"
+
+let suite =
+  ( "simplified",
+    [
+      Alcotest.test_case "foo3 structure (Fig 5.3)" `Quick test_foo3_structure;
+      Alcotest.test_case "foo3 shared reads" `Quick test_foo3_shared_reads;
+      Alcotest.test_case "units partitioned by sync ops" `Quick
+        test_units_partition_by_sync;
+      Alcotest.test_case "send payload attribution" `Quick
+        test_send_payload_attribution;
+      Alcotest.test_case "calls bound units" `Quick test_calls_bound_units;
+      Alcotest.test_case "sync inside loop" `Quick test_loop_units;
+    ] )

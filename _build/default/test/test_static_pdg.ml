@@ -1,0 +1,150 @@
+(* Static program dependence graphs (§4.1) and the program database. *)
+
+open Analysis
+module P = Lang.Prog
+
+let build src fname =
+  let p = Util.compile src in
+  let pdgs = Static_pdg.build_program p in
+  let f = Option.get (P.find_func p fname) in
+  (p, pdgs.Static_pdg.cfgs.(f.fid), pdgs.Static_pdg.pdgs.(f.fid))
+
+let test_data_edges () =
+  let _p, cfg, pdg =
+    build "func main() { var x = 1; var y = x + 2; print(y); }" "main"
+  in
+  let n_x = cfg.Cfg.node_of_sid.(0) in
+  let n_y = cfg.Cfg.node_of_sid.(1) in
+  let n_print = cfg.Cfg.node_of_sid.(2) in
+  Alcotest.(check (list int)) "y's x comes from s0"
+    [ n_x ]
+    (Static_pdg.data_sources pdg n_y
+       ~vid:
+         (let v =
+            List.find
+              (fun (v : P.var) -> v.vname = "x")
+              (Array.to_list _p.vars)
+          in
+          v.vid));
+  (* print(y) depends on y's definition *)
+  let y_vid =
+    (List.find (fun (v : P.var) -> v.vname = "y") (Array.to_list _p.vars)).vid
+  in
+  Alcotest.(check (list int)) "print's y" [ n_y ]
+    (Static_pdg.data_sources pdg n_print ~vid:y_vid)
+
+let test_control_edges () =
+  let _p, cfg, pdg =
+    build "func main() { var c = 1; if (c > 0) { print(1); } else { print(2); } }" "main"
+  in
+  let cond = cfg.Cfg.node_of_sid.(1) in
+  let t = cfg.Cfg.node_of_sid.(2) and e = cfg.Cfg.node_of_sid.(3) in
+  Alcotest.(check (list (pair int string))) "then arm"
+    [ (cond, "T") ]
+    (List.map
+       (fun (s, l) ->
+         (s, match l with Cfg.True -> "T" | Cfg.False -> "F" | Cfg.Seq -> "S"))
+       (Static_pdg.control_parents pdg t));
+  Alcotest.(check (list (pair int string))) "else arm"
+    [ (cond, "F") ]
+    (List.map
+       (fun (s, l) ->
+         (s, match l with Cfg.True -> "T" | Cfg.False -> "F" | Cfg.Seq -> "S"))
+       (Static_pdg.control_parents pdg e))
+
+let test_pdg_matches_dynamic_on_straightline () =
+  (* every data dependence the dynamic builder finds must be licensed by
+     the static graph (static = superset of dynamic) on a branchy
+     program *)
+  let src = Workloads.foo3 in
+  let s = Ppd.Session.run src in
+  let ctl = Ppd.Session.controller s in
+  ignore (Ppd.Session.error_node s);
+  let g = Ppd.Controller.graph ctl in
+  let p = Ppd.Session.prog s in
+  let pdgs = Static_pdg.build_program p in
+  let sid_of_node n =
+    match (Ppd.Dyn_graph.node g n).Ppd.Dyn_graph.nd_kind with
+    | Ppd.Dyn_graph.N_singular sid -> Some sid
+    | _ -> None
+  in
+  for dst = 0 to Ppd.Dyn_graph.nnodes g - 1 do
+    List.iter
+      (fun (src_node, kind) ->
+        match (kind, sid_of_node src_node, sid_of_node dst) with
+        | Ppd.Dyn_graph.Data v, Some src_sid, Some dst_sid ->
+          let fid = p.stmt_fid.(dst_sid) in
+          if p.stmt_fid.(src_sid) = fid then begin
+            let cfg = pdgs.Static_pdg.cfgs.(fid) in
+            let pdg = pdgs.Static_pdg.pdgs.(fid) in
+            let statically_allowed =
+              List.mem
+                cfg.Cfg.node_of_sid.(src_sid)
+                (Static_pdg.data_sources pdg cfg.Cfg.node_of_sid.(dst_sid)
+                   ~vid:v.P.vid)
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "dynamic edge s%d->s%d (%s) licensed" src_sid
+                 dst_sid v.vname)
+              true statically_allowed
+          end
+        | _ -> ())
+      (Ppd.Dyn_graph.preds g dst)
+  done
+
+let test_progdb_sites () =
+  let p = Util.compile Workloads.racy_bank in
+  let db = Progdb.build p in
+  let balance =
+    (List.find (fun (v : P.var) -> v.vname = "balance") (Array.to_list p.vars)).vid
+  in
+  (* defined in withdraw (balance = tmp) and used in withdraw + main *)
+  Alcotest.(check int) "one def site" 1 (List.length db.def_sites.(balance));
+  Alcotest.(check int) "two use sites" 2 (List.length db.use_sites.(balance));
+  let defining = Progdb.defining_functions db ~vid:balance in
+  let w = Option.get (P.find_func p "withdraw") in
+  Alcotest.(check (list int)) "withdraw defines it" [ w.fid ] defining
+
+let test_progdb_report () =
+  let p = Util.compile Workloads.racy_bank in
+  let db = Progdb.build p in
+  let report = Format.asprintf "%a" (Progdb.pp_var_report db) "balance" in
+  Alcotest.(check bool) "scope" true (Util.contains ~sub:"shared global" report);
+  Alcotest.(check bool) "unknown" true
+    (Util.contains ~sub:"no variable"
+       (Format.asprintf "%a" (Progdb.pp_var_report db) "zzz"))
+
+let test_progdb_parent () =
+  let p =
+    Util.compile
+      "func main() { var i = 0; while (i < 2) { if (i > 0) { print(i); } i = i + 1; } }"
+  in
+  let db = Progdb.build p in
+  (* print(i) is inside the if, which is inside the while *)
+  let print_sid =
+    let s = ref (-1) in
+    Array.iter
+      (fun (st : P.stmt) ->
+        match st.desc with P.Sprint _ -> s := st.sid | _ -> ())
+      p.stmts;
+    !s
+  in
+  let if_sid = db.parent.(print_sid) in
+  Alcotest.(check bool) "print inside if" true
+    (match p.stmts.(if_sid).desc with P.Sif _ -> true | _ -> false);
+  let while_sid = db.parent.(if_sid) in
+  Alcotest.(check bool) "if inside while" true
+    (match p.stmts.(while_sid).desc with P.Swhile _ -> true | _ -> false);
+  Alcotest.(check int) "while is top level" (-1) db.parent.(while_sid)
+
+let suite =
+  ( "static-pdg",
+    [
+      Alcotest.test_case "data edges" `Quick test_data_edges;
+      Alcotest.test_case "control edges" `Quick test_control_edges;
+      Alcotest.test_case "dynamic edges licensed statically" `Quick
+        test_pdg_matches_dynamic_on_straightline;
+      Alcotest.test_case "progdb def/use sites" `Quick test_progdb_sites;
+      Alcotest.test_case "progdb report" `Quick test_progdb_report;
+      Alcotest.test_case "progdb nesting" `Quick test_progdb_parent;
+    ] )

@@ -1,0 +1,44 @@
+let type_err name src fragment =
+  Alcotest.test_case name `Quick (fun () ->
+      match Util.compile_err src with
+      | Some msg ->
+        if not (Util.contains ~sub:fragment msg) then
+          Alcotest.failf "error %S does not mention %S" msg fragment
+      | None -> Alcotest.fail "expected a type error")
+
+let type_ok name src =
+  Alcotest.test_case name `Quick (fun () -> ignore (Util.compile src))
+
+let suite =
+  ( "typecheck",
+    [
+      type_ok "print accepts bool" "func main() { print(1 < 2); }";
+      type_ok "print accepts int" "func main() { print(42); }";
+      type_ok "equality on bools" "func main() { assert((1 < 2) == (3 < 4)); }";
+      type_ok "arrays indexed" "func main() { var a[2]; a[0] = 1; print(a[0] + a[1]); }";
+      type_err "bool stored" "func main() { var x = 1 < 2; }" "must be an integer";
+      type_err "int condition" "func main() { if (1) { } }" "must be a boolean";
+      type_err "int while" "func main() { while (0) { } }" "must be a boolean";
+      type_err "assert int" "func main() { assert(1); }" "must be a boolean";
+      type_err "arith on bool" "func main() { print((1 < 2) + 1); }"
+        "must be an integer";
+      type_err "not on int" "func main() { print(!1); }" "must be a boolean";
+      type_err "neg on bool" "func main() { print(-(1 < 2)); }" "must be an integer";
+      type_err "mixed equality" "func main() { assert(1 == (2 < 3)); }" "compare";
+      type_err "array as scalar" "func main() { var a[2]; print(a); }"
+        "cannot be used as a scalar";
+      type_err "scalar indexed" "func main() { var x = 1; print(x[0]); }"
+        "cannot be indexed";
+      type_err "assign whole array" "func main() { var a[2]; a = 1; }"
+        "whole array";
+      type_err "bool index" "func main() { var a[2]; print(a[1 < 2]); }"
+        "array index must be an integer";
+      type_err "bool argument" "func f(x) { return x; } func main() { f(1 < 2); }"
+        "argument must be an integer";
+      type_err "bool return" "func f() { return 1 < 2; } func main() { var x = f(); print(x); }"
+        "returned value must be an integer";
+      type_err "bool send" "chan c; func main() { send(c, 1 < 2); }"
+        "message payload";
+      type_err "bool join target" "func f() { return; } func main() { var p = spawn f(); join(p > 0); }"
+        "join target";
+    ] )

@@ -1,0 +1,98 @@
+(* The workload generators the benchmarks rely on: their outputs must
+   match the closed forms, across parameters and schedules. *)
+
+let out ?sched src = Util.run_output ?sched src
+
+let test_counter_formula () =
+  List.iter
+    (fun (workers, incs) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%dx%d" workers incs)
+        (Printf.sprintf "%d\n" (workers * incs))
+        (out (Workloads.counter ~workers ~incs ~mutex:true)))
+    [ (1, 1); (2, 7); (5, 10) ]
+
+let test_prodcons_formula () =
+  List.iter
+    (fun (items, cap) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%d items cap %d" items cap)
+        (Printf.sprintf "%d\n" (items * (items + 1) / 2))
+        (out (Workloads.producer_consumer ~items ~cap)))
+    [ (1, 0); (10, 0); (10, 1); (25, 4); (25, 100) ]
+
+let test_token_ring_formula () =
+  (* the token is incremented once per hop: procs * rounds hops *)
+  List.iter
+    (fun (procs, rounds) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%d procs %d rounds" procs rounds)
+        (Printf.sprintf "%d\n" (procs * rounds))
+        (out (Workloads.token_ring ~procs ~rounds)))
+    [ (2, 1); (3, 4); (6, 2) ]
+
+let test_token_ring_schedule_independent () =
+  (* deterministic result under any interleaving: fully synchronized *)
+  let src = Workloads.token_ring ~procs:4 ~rounds:3 in
+  List.iter
+    (fun seed ->
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d" seed)
+        "12\n"
+        (out ~sched:(Runtime.Sched.Random_seed seed) src))
+    [ 3; 17; 91 ]
+
+let test_deep_calls_formula () =
+  List.iter
+    (fun depth ->
+      Alcotest.(check string)
+        (Printf.sprintf "depth %d" depth)
+        (Printf.sprintf "%d\n" depth)
+        (out (Workloads.deep_calls ~depth)))
+    [ 1; 2; 7; 30 ]
+
+let test_fib_values () =
+  List.iter
+    (fun (n, f) ->
+      Alcotest.(check string)
+        (Printf.sprintf "fib %d" n)
+        (Printf.sprintf "%d\n" f)
+        (out (Workloads.fib n)))
+    [ (0, 0); (1, 1); (2, 1); (7, 13); (13, 233) ]
+
+let test_matmul_checksum () =
+  (* trace(A*B) with A = i+j, B = i-j has the closed form
+     sum_i sum_k (i+k)(k-i) = sum_i sum_k (k^2 - i^2) = 0 *)
+  List.iter
+    (fun n ->
+      Alcotest.(check string)
+        (Printf.sprintf "matmul %d" n)
+        "0\n"
+        (out (Workloads.matmul n)))
+    [ 2; 5; 9 ]
+
+let test_all_fixed_compile () =
+  List.iter
+    (fun (name, src) ->
+      match Lang.Compile.compile_result src with
+      | Ok _ -> ()
+      | Error (_, msg) -> Alcotest.failf "%s does not compile: %s" name msg)
+    Workloads.all_fixed
+
+let test_rpc_output () =
+  Alcotest.(check string) "49" "49\n" (out Workloads.rpc)
+
+let suite =
+  ( "workloads",
+    [
+      Alcotest.test_case "counter formula" `Quick test_counter_formula;
+      Alcotest.test_case "producer/consumer formula" `Quick test_prodcons_formula;
+      Alcotest.test_case "token ring formula" `Quick test_token_ring_formula;
+      Alcotest.test_case "token ring schedule-independent" `Quick
+        test_token_ring_schedule_independent;
+      Alcotest.test_case "deep calls formula" `Quick test_deep_calls_formula;
+      Alcotest.test_case "fib values" `Quick test_fib_values;
+      Alcotest.test_case "matmul checksum" `Quick test_matmul_checksum;
+      Alcotest.test_case "fixed corpus compiles" `Quick test_all_fixed_compile;
+      Alcotest.test_case "rpc output" `Quick test_rpc_output;
+    ] )
