@@ -457,6 +457,61 @@ let t7 () =
     (fmt_ns (time_of results "t7/re-execute"))
 
 (* ------------------------------------------------------------------ *)
+(* T8: statement-level MHP — analysis cost and sync-unit prelog         *)
+(* pruning (fewer log entries, same replay fidelity).                   *)
+(* ------------------------------------------------------------------ *)
+
+let t8 () =
+  header "T8  Statement-level MHP: lint cost and sync-unit prelog pruning";
+  let suite =
+    workloads
+    @ [ ("config-4x40", Workloads.config_pipeline ~workers:4 ~rounds:40) ]
+  in
+  let sync_prelog_stats (log : Trace.Log.t) =
+    Array.fold_left
+      (Array.fold_left (fun (n, vars) entry ->
+           match entry with
+           | Trace.Log.Sync_prelog { vals; _ } ->
+             (n + 1, vars + List.length vals)
+           | _ -> (n, vars)))
+      (0, 0) log.Trace.Log.entries
+  in
+  row "%-14s %10s %10s %10s %10s %9s\n" "workload" "entries" "pruned"
+    "vars" "pruned" "Δvars";
+  List.iter
+    (fun (name, src) ->
+      let prog = compile src in
+      let eb_raw = Analysis.Eblock.analyze ~prune_sync_prelogs:false prog in
+      let eb = Analysis.Eblock.analyze prog in
+      let _, raw_log, _ = Trace.Logger.run_logged ~sched eb_raw in
+      let _, log, _ = Trace.Logger.run_logged ~sched eb in
+      let n0, v0 = sync_prelog_stats raw_log in
+      let n1, v1 = sync_prelog_stats log in
+      row "%-14s %10d %10d %10d %10d %9s\n" name n0 n1 v0 v1
+        (if v0 = 0 then "n/a"
+         else pct (float_of_int v0) (float_of_int v1)))
+    suite;
+  let cfg_prog =
+    compile (Workloads.config_pipeline ~workers:4 ~rounds:40)
+  in
+  let tests =
+    Test.make_grouped ~name:"t8"
+      [
+        Test.make ~name:"mhp"
+          (Staged.stage (fun () -> ignore (Analysis.Mhp.compute cfg_prog)));
+        Test.make ~name:"lint"
+          (Staged.stage (fun () -> ignore (Analysis.Lint.run cfg_prog)));
+        Test.make ~name:"eblock+prune"
+          (Staged.stage (fun () -> ignore (Analysis.Eblock.analyze cfg_prog)));
+      ]
+  in
+  let results = measure_tests ~quota:0.3 tests in
+  row "mhp %s   lint (all passes) %s   eblock analysis with pruning %s\n"
+    (fmt_ns (time_of results "t8/mhp"))
+    (fmt_ns (time_of results "t8/lint"))
+    (fmt_ns (time_of results "t8/eblock+prune"))
+
+(* ------------------------------------------------------------------ *)
 (* Figures.                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -505,6 +560,7 @@ let experiments =
     ("t5", t5);
     ("t6", t6);
     ("t7", t7);
+    ("t8", t8);
   ]
 
 let () =

@@ -138,10 +138,10 @@ let analyze_cmd =
     Arg.(
       value
       & opt (enum [ ("cfg", `Cfg); ("pdg", `Pdg); ("simplified", `Simplified);
-                    ("eblocks", `Eblocks); ("modref", `Modref) ])
+                    ("eblocks", `Eblocks); ("modref", `Modref); ("mhp", `Mhp) ])
           `Eblocks
       & info [ "show" ] ~docv:"WHAT"
-          ~doc:"What to print: cfg, pdg, simplified, eblocks or modref.")
+          ~doc:"What to print: cfg, pdg, simplified, eblocks, modref or mhp.")
   in
   let run file func what inline =
     let p = compile_or_die (read_source file) in
@@ -184,6 +184,7 @@ let analyze_cmd =
               (Analysis.Varset.pp_named p)
               eb.Analysis.Eblock.summary.Analysis.Interproc.gref.(f.fid))
         p.funcs
+    | `Mhp -> Format.printf "%a@." Analysis.Mhp.pp eb.Analysis.Eblock.mhp
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -283,6 +284,12 @@ let flowback_cmd =
       const run $ file_arg $ sched_arg $ steps_arg $ inline_arg $ loops_arg
       $ depth_arg $ dot_arg)
 
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: human or json.")
+
 let race_cmd =
   let algo_arg =
     Arg.(
@@ -299,21 +306,49 @@ let race_cmd =
             "Report potential races from the program text (lockset \
              analysis) instead of executing.")
   in
-  let run file sched steps algo static =
+  let run file sched steps algo static format =
     if static then begin
       let p = compile_or_die (read_source file) in
-      let reports = Analysis.Static_race.analyze p in
-      Format.printf "%a@." (Analysis.Static_race.pp_report p) reports;
-      if reports <> [] then exit 3
+      (match format with
+      | `Human ->
+        let reports = Analysis.Static_race.analyze p in
+        Format.printf "%a@." (Analysis.Static_race.pp_report p) reports;
+        if reports <> [] then exit 3
+      | `Json ->
+        let diags = Analysis.Lint.run ~only:[ "races" ] p in
+        print_endline (Lang.Diag.json_of_diagnostics diags);
+        if diags <> [] then exit 3)
     end
     else begin
       let s = session_of file sched steps 0 in
-      print_endline (Ppd.Session.explain_halt s);
       let pd = Ppd.Session.pardyn s in
       let stats = Ppd.Race.detect ~algo pd in
-      Format.printf "%a@." (Ppd.Race.pp_report pd) stats.Ppd.Race.races;
-      Printf.printf "(%d edge pairs examined)\n" stats.Ppd.Race.pairs_examined;
-      if stats.Ppd.Race.races <> [] then exit 3
+      match format with
+      | `Human ->
+        print_endline (Ppd.Session.explain_halt s);
+        Format.printf "%a@." (Ppd.Race.pp_report pd) stats.Ppd.Race.races;
+        Printf.printf "(%d edge pairs examined)\n"
+          stats.Ppd.Race.pairs_examined;
+        if stats.Ppd.Race.races <> [] then exit 3
+      | `Json ->
+        let p = Ppd.Session.prog s in
+        let diags =
+          List.map
+            (fun (r : Ppd.Race.race) ->
+              {
+                Lang.Diag.d_code =
+                  (match r.rc_kind with
+                  | Ppd.Race.Write_write -> "PPD011"
+                  | Ppd.Race.Read_write -> "PPD010");
+                d_severity = Lang.Diag.Sev_warning;
+                d_loc = Lang.Loc.none;
+                d_message = Format.asprintf "%a" (Ppd.Race.pp_race p) r;
+                d_related = [];
+              })
+            stats.Ppd.Race.races
+        in
+        print_endline (Lang.Diag.json_of_diagnostics diags);
+        if diags <> [] then exit 3
     end
   in
   Cmd.v
@@ -322,7 +357,77 @@ let race_cmd =
          "Detect data races: dynamically over one execution \
           (\u{00A7}6.4) or statically from the text (--static, \
           \u{00A7}7).")
-    Term.(const run $ file_arg $ sched_arg $ steps_arg $ algo_arg $ static_arg)
+    Term.(
+      const run $ file_arg $ sched_arg $ steps_arg $ algo_arg $ static_arg
+      $ format_arg)
+
+let lint_cmd =
+  let passes_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "pass" ] ~docv:"NAME"
+          ~doc:
+            "Run only this pass (repeatable); see --list-passes for the \
+             registry.")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list-passes" ] ~doc:"List the registered lint passes.")
+  in
+  let opt_file_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"MPL source file ('-' for stdin); optional with --list-passes.")
+  in
+  let run file format only list_passes =
+    if list_passes then
+      List.iter
+        (fun (q : Analysis.Lint.pass) ->
+          Printf.printf "%-12s %s\n" q.pass_name q.pass_doc)
+        Analysis.Lint.passes
+    else begin
+      let file =
+        match file with
+        | Some f -> f
+        | None ->
+          Format.eprintf "lint: a FILE is required unless --list-passes@.";
+          exit 124
+      in
+      let only = match only with [] -> None | names -> Some names in
+      match Lang.Compile.compile_result (read_source file) with
+      | Error e ->
+        (* front-end failures are findings too: PPD001 *)
+        (match format with
+        | `Human ->
+          Format.printf "%a@." Lang.Diag.pp_human [ Lang.Diag.of_error e ]
+        | `Json ->
+          print_endline
+            (Lang.Diag.json_of_diagnostics [ Lang.Diag.of_error e ]));
+        exit 1
+      | Ok p -> (
+        match Analysis.Lint.run ?only p with
+        | diags ->
+          (match format with
+          | `Human -> Format.printf "%a@." Lang.Diag.pp_human diags
+          | `Json -> print_endline (Lang.Diag.json_of_diagnostics diags));
+          if diags <> [] then exit 5
+        | exception Analysis.Lint.Unknown_pass n ->
+          Format.eprintf "unknown lint pass '%s'; available: %s@." n
+            (String.concat ", " Analysis.Lint.pass_names);
+          exit 124)
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static diagnostic passes (MHP-refined races, deadlock \
+          candidates, unreachable code, uninitialised reads) without \
+          executing; exit 5 when there are findings.")
+    Term.(const run $ opt_file_arg $ format_arg $ passes_arg $ list_arg)
 
 let deadlock_cmd =
   let run file sched steps =
@@ -509,6 +614,7 @@ let main_cmd =
       log_cmd;
       flowback_cmd;
       race_cmd;
+      lint_cmd;
       deadlock_cmd;
       restore_cmd;
       whatif_cmd;

@@ -12,6 +12,7 @@ type t = {
   summary : Interproc.t;
   callgraph : Callgraph.t;
   cfgs : Cfg.t array;
+  mhp : Mhp.t;
   simplified : Simplified.t array;
   is_eblock : bool array;
   used : Varset.t array;
@@ -28,12 +29,21 @@ let stmt_count (f : P.func) =
 let sort_vars vs =
   List.sort_uniq (fun (a : P.var) b -> Int.compare a.vid b.vid) vs
 
-let analyze ?(policy = default_policy) (p : P.t) =
+let analyze ?(policy = default_policy) ?(prune_sync_prelogs = true) (p : P.t) =
   let nf = Array.length p.funcs in
   let summary = Interproc.compute p in
   let cg = Callgraph.compute p in
   let cfgs = Array.map (fun f -> Cfg.build p f) p.funcs in
-  let simplified = Array.map (fun cfg -> Simplified.build p cfg) cfgs in
+  let mhp = Mhp.compute ~cfgs p in
+  (* Sync-unit prelogs only need shared reads some unordered foreign
+     write can feed; everything else replays correctly from the e-block
+     entry prelog plus sequential re-execution (see Mhp.prelog_required). *)
+  let keep =
+    if prune_sync_prelogs then fun ~read_sid (v : P.var) ->
+      Mhp.prelog_required mhp ~read_sid ~vid:v.vid
+    else fun ~read_sid:_ _ -> true
+  in
+  let simplified = Array.map (fun cfg -> Simplified.build ~keep p cfg) cfgs in
   (* Spawned functions must be e-blocks. *)
   let spawned = Array.make nf false in
   Array.iter (List.iter (fun g -> spawned.(g) <- true)) cg.Callgraph.spawns;
@@ -131,6 +141,7 @@ let analyze ?(policy = default_policy) (p : P.t) =
     summary;
     callgraph = cg;
     cfgs;
+    mhp;
     simplified;
     is_eblock;
     used;

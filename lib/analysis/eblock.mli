@@ -44,6 +44,9 @@ type t = {
   summary : Interproc.t;
   callgraph : Callgraph.t;
   cfgs : Cfg.t array;  (** per fid *)
+  mhp : Mhp.t;
+      (** statement-level MHP facts used to prune sync-unit prelogs;
+          shared with any later analyses over the same program *)
   simplified : Simplified.t array;  (** per fid *)
   is_eblock : bool array;  (** per fid *)
   used : Varset.t array;
@@ -55,7 +58,12 @@ type t = {
   postlog_vars : Lang.Prog.var list array;
 }
 
-val analyze : ?policy:policy -> Lang.Prog.t -> t
+val analyze : ?policy:policy -> ?prune_sync_prelogs:bool -> Lang.Prog.t -> t
+(** [prune_sync_prelogs] (default [true]) drops shared reads from the
+    synchronization-unit prelog sets when {!Mhp.prelog_required} proves
+    every write feeding them is same-process, after the read, or before
+    every spawn of the reader — fewer log entries, identical replay.
+    Pass [false] to size the unpruned sets (benchmark ablation). *)
 
 val loop_block_vars :
   t -> sid:int -> (Lang.Prog.var list * Lang.Prog.var list) option

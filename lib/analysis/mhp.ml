@@ -1,0 +1,597 @@
+module P = Lang.Prog
+
+(* A spawn site: one [spawn] statement, matched to the [join]s that are
+   guaranteed to wait for the process it creates. *)
+type site = {
+  site_sid : int;
+  site_fid : int;  (* owner function *)
+  site_node : int;  (* CFG node in the owner *)
+  site_callee : int;
+  site_joins : int list;  (* owner CFG nodes of matched joins *)
+  site_in_loop : bool;
+  site_self_seq : bool;
+      (* spawn in a loop, but every cycle back to it passes a matched
+         join: at most one instance is alive at a time *)
+}
+
+(* A thread class: [main]'s process, or the processes created by one
+   spawn site. *)
+type cls = {
+  cls_id : int;
+  cls_site : site option;  (* [None] for main *)
+  cls_invoc : int array;
+      (* per fid: 0 = never runs in this class, 1 = at most once per
+         instance, 2 = possibly many times per instance *)
+  mutable cls_live : bool;
+  mutable cls_multi : bool;  (* may several instances be alive at once *)
+}
+
+(* A must-ordering chain: everything completing before [pre] in
+   [pre_fid] happens-before everything dominated by [post] in
+   [post_fid]. Built from unique-site send->recv and V->P pairs,
+   closed under composition. *)
+type chain = {
+  ch_pre_fid : int;
+  ch_pre_node : int;
+  ch_post_fid : int;
+  ch_post_node : int;
+}
+
+type t = {
+  prog : P.t;
+  cfgs : Cfg.t array;
+  doms : Dominance.t array;
+  classes : cls array;
+  procs : cls list array;  (* fid -> live classes that may run it *)
+  chains : chain list;
+  shared_writes : int list array;  (* vid -> sids of live shared writes *)
+  reach_memo : (int, Bitset.t) Hashtbl.t array;  (* per fid: node -> reach *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Intra-function ordering primitives.                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Nodes reachable from [node] via at least one edge (memoized). *)
+let reach_from t fid node =
+  let memo = t.reach_memo.(fid) in
+  match Hashtbl.find_opt memo node with
+  | Some b -> b
+  | None ->
+    let cfg = t.cfgs.(fid) in
+    let b = Bitset.create (Cfg.nnodes cfg) in
+    let q = Queue.create () in
+    let push m =
+      if not (Bitset.mem b m) then begin
+        Bitset.add b m;
+        Queue.add m q
+      end
+    in
+    List.iter push (Cfg.succ_ids cfg node);
+    while not (Queue.is_empty q) do
+      List.iter push (Cfg.succ_ids cfg (Queue.pop q))
+    done;
+    Hashtbl.replace memo node b;
+    b
+
+(* Within a single invocation of [fid]: does every execution of [node]
+   complete before any execution of [anchor] begins? True when [anchor]
+   cannot flow back to [node]; the anchor itself counts (its reads and
+   writes are part of the anchoring event). *)
+let before_anchor t fid ~anchor node =
+  node = anchor || not (Bitset.mem (reach_from t fid anchor) node)
+
+(* Within a single invocation of [fid]: does every execution of [node]
+   begin only after the last execution of [anchor] completed? True when
+   [anchor] dominates [node] and [node] cannot flow back to [anchor]. *)
+let after_anchor t fid ~anchor node =
+  node = anchor
+  || Dominance.dominates t.doms.(fid) anchor node
+     && not (Bitset.mem (reach_from t fid node) anchor)
+
+let node_of t sid =
+  let fid = t.prog.P.stmt_fid.(sid) in
+  (fid, t.cfgs.(fid).Cfg.node_of_sid.(sid))
+
+(* The unique executor of [fid], when there is exactly one live class
+   running it, at most one instance at a time, at most one invocation
+   per instance. Only then does single-invocation CFG reasoning about
+   statements of [fid] extend to whole-execution claims. *)
+let solo t fid =
+  match t.procs.(fid) with
+  | [ c ] when (not c.cls_multi) && c.cls_invoc.(fid) = 1 -> Some c
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Construction.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-instance invocation multiplicity of every function reachable
+   from [root] through calls: 0 / 1 / many(2). A call site in a loop,
+   a caller that itself runs many times, several call sites, or
+   recursion all saturate to many. *)
+let invocations (p : P.t) (cg : Callgraph.t) ~in_loop root =
+  let nf = Array.length p.funcs in
+  let count = Array.make nf 0 in
+  count.(root) <- 1;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let total = Array.make nf 0 in
+    total.(root) <- 1;
+    for g = 0 to nf - 1 do
+      if count.(g) > 0 then
+        List.iter
+          (fun (sid, callee) ->
+            let k = if count.(g) >= 2 || in_loop.(sid) then 2 else 1 in
+            total.(callee) <- min 2 (total.(callee) + k))
+          cg.Callgraph.call_sites.(g)
+    done;
+    for f = 0 to nf - 1 do
+      if total.(f) > count.(f) then begin
+        count.(f) <- total.(f);
+        changed := true
+      end
+    done
+  done;
+  count
+
+let collect_sites (p : P.t) cfgs =
+  let sites = ref [] in
+  Array.iter
+    (fun (f : P.func) ->
+      let cfg = cfgs.(f.P.fid) in
+      let spawns = ref [] and joins = ref [] in
+      let rec walk in_loop stmts =
+        List.iter
+          (fun (s : P.stmt) ->
+            (match s.desc with
+            | P.Sspawn (target, c) -> spawns := (s, target, c, in_loop) :: !spawns
+            | P.Sjoin (_, h) -> joins := (s, h) :: !joins
+            | _ -> ());
+            match s.desc with
+            | P.Sif (_, a, b) ->
+              walk in_loop a;
+              walk in_loop b
+            | P.Swhile (_, b) -> walk true b
+            | _ -> ())
+          stmts
+      in
+      walk false f.body;
+      if !spawns <> [] then begin
+        let rd = Reaching_defs.compute p cfg in
+        List.iter
+          (fun ((s : P.stmt), target, (c : P.call), in_loop) ->
+            let snode = cfg.Cfg.node_of_sid.(s.sid) in
+            (* joins whose handle is, at the join, defined only by this
+               spawn *)
+            let matched =
+              match target with
+              | Some (P.Lvar v) when v.P.vty = P.Tint ->
+                List.filter_map
+                  (fun ((j : P.stmt), h) ->
+                    match h with
+                    | P.Evar hv when hv.P.vid = v.P.vid -> (
+                      let jnode = cfg.Cfg.node_of_sid.(j.sid) in
+                      match
+                        Reaching_defs.reaching rd ~node:jnode ~vid:v.P.vid
+                      with
+                      | [ d ] when d.Reaching_defs.def_node = snode ->
+                        Some jnode
+                      | _ -> None)
+                    | _ -> None)
+                  !joins
+              | _ -> []
+            in
+            (* in a loop: is every cycle spawn -> spawn cut by a matched
+               join? *)
+            let self_seq =
+              in_loop && matched <> []
+              && begin
+                   let n = Cfg.nnodes cfg in
+                   let seen = Array.make n false in
+                   let q = Queue.create () in
+                   let back = ref false in
+                   let push m =
+                     if m = snode then back := true
+                     else if (not seen.(m)) && not (List.mem m matched) then begin
+                       seen.(m) <- true;
+                       Queue.add m q
+                     end
+                   in
+                   List.iter push (Cfg.succ_ids cfg snode);
+                   while not (Queue.is_empty q) do
+                     List.iter push (Cfg.succ_ids cfg (Queue.pop q))
+                   done;
+                   not !back
+                 end
+            in
+            sites :=
+              {
+                site_sid = s.sid;
+                site_fid = f.P.fid;
+                site_node = snode;
+                site_callee = c.P.callee;
+                site_joins = matched;
+                site_in_loop = in_loop;
+                site_self_seq = self_seq;
+              }
+              :: !sites)
+          !spawns
+      end)
+    p.funcs;
+  List.sort (fun a b -> Int.compare a.site_sid b.site_sid) !sites
+
+let compute ?cfgs (p : P.t) =
+  let cfgs =
+    match cfgs with
+    | Some c -> c
+    | None -> Array.map (fun f -> Cfg.build p f) p.funcs
+  in
+  let doms = Array.map Dominance.dominators cfgs in
+  let nf = Array.length p.funcs in
+  (* statements lexically inside a [while] body *)
+  let in_loop = Array.make (Array.length p.stmts) false in
+  Array.iter
+    (fun (f : P.func) ->
+      let rec walk inl stmts =
+        List.iter
+          (fun (s : P.stmt) ->
+            if inl then in_loop.(s.sid) <- true;
+            match s.desc with
+            | P.Sif (_, a, b) ->
+              walk inl a;
+              walk inl b
+            | P.Swhile (_, b) -> walk true b
+            | _ -> ())
+          stmts
+      in
+      walk false f.body)
+    p.funcs;
+  let cg = Callgraph.compute p in
+  let sites = collect_sites p cfgs in
+  let classes =
+    Array.of_list
+      ({
+         cls_id = 0;
+         cls_site = None;
+         cls_invoc = invocations p cg ~in_loop p.main_fid;
+         cls_live = true;
+         cls_multi = false;
+       }
+      :: List.mapi
+           (fun i s ->
+             {
+               cls_id = i + 1;
+               cls_site = Some s;
+               cls_invoc = invocations p cg ~in_loop s.site_callee;
+               cls_live = false;
+               cls_multi = false;
+             })
+           sites)
+  in
+  (* liveness and multiplicity fixpoint *)
+  let reachable = Array.map Cfg.reachable cfgs in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun c ->
+        match c.cls_site with
+        | None -> ()
+        | Some s ->
+          let owners =
+            Array.to_list classes
+            |> List.filter (fun o -> o.cls_live && o.cls_invoc.(s.site_fid) > 0)
+          in
+          let live =
+            owners <> [] && Bitset.mem reachable.(s.site_fid) s.site_node
+          in
+          (* how many times may the site itself execute, over all alive
+             owner instances and invocations? *)
+          let slots =
+            List.fold_left
+              (fun acc o ->
+                acc
+                + (if o.cls_multi || o.cls_invoc.(s.site_fid) >= 2 then 2 else 1))
+              0 owners
+          in
+          let multi = (s.site_in_loop && not s.site_self_seq) || slots > 1 in
+          if live <> c.cls_live || multi <> c.cls_multi then begin
+            c.cls_live <- live;
+            c.cls_multi <- multi;
+            changed := true
+          end)
+      classes
+  done;
+  let procs =
+    Array.init nf (fun fid ->
+        Array.to_list classes
+        |> List.filter (fun c -> c.cls_live && c.cls_invoc.(fid) > 0))
+  in
+  let shared_writes = Array.make p.nvars [] in
+  Array.iter
+    (fun (s : P.stmt) ->
+      if procs.(p.stmt_fid.(s.sid)) <> [] then
+        List.iter
+          (fun (v : P.var) ->
+            if P.is_shared v then
+              shared_writes.(v.vid) <- s.sid :: shared_writes.(v.vid))
+          (Use_def.direct_defs s))
+    p.stmts;
+  Array.iteri (fun i l -> shared_writes.(i) <- List.rev l) shared_writes;
+  let t0 =
+    {
+      prog = p;
+      cfgs;
+      doms;
+      classes;
+      procs;
+      chains = [];
+      shared_writes;
+      reach_memo = Array.init nf (fun _ -> Hashtbl.create 8);
+    }
+  in
+  (* base chains: channels with a unique send and recv site; semaphores
+     initialised to 0 with a unique V and P site *)
+  let nchans = Array.length p.chans and nsems = Array.length p.sems in
+  let ch_send = Array.make nchans [] and ch_recv = Array.make nchans [] in
+  let sem_v = Array.make nsems [] and sem_p = Array.make nsems [] in
+  Array.iter
+    (fun (s : P.stmt) ->
+      let fid = p.stmt_fid.(s.sid) in
+      let here = (fid, cfgs.(fid).Cfg.node_of_sid.(s.sid)) in
+      match s.desc with
+      | P.Ssend (c, _) -> ch_send.(c.ch_id) <- here :: ch_send.(c.ch_id)
+      | P.Srecv (c, _) -> ch_recv.(c.ch_id) <- here :: ch_recv.(c.ch_id)
+      | P.Sv sem -> sem_v.(sem.sem_id) <- here :: sem_v.(sem.sem_id)
+      | P.Sp sem -> sem_p.(sem.sem_id) <- here :: sem_p.(sem.sem_id)
+      | _ -> ())
+    p.stmts;
+  let base = ref [] in
+  let pair pre post =
+    match (pre, post) with
+    | [ (pre_fid, pre_node) ], [ (post_fid, post_node) ]
+      when solo t0 pre_fid <> None && solo t0 post_fid <> None ->
+      base :=
+        {
+          ch_pre_fid = pre_fid;
+          ch_pre_node = pre_node;
+          ch_post_fid = post_fid;
+          ch_post_node = post_node;
+        }
+        :: !base
+    | _ -> ()
+  in
+  for c = 0 to nchans - 1 do
+    pair ch_send.(c) ch_recv.(c)
+  done;
+  for s = 0 to nsems - 1 do
+    if p.sems.(s).P.sem_init = 0 then pair sem_v.(s) sem_p.(s)
+  done;
+  (* transitive composition through intermediate processes: the second
+     chain's pre must be fully after the first chain's post *)
+  let seen = Hashtbl.create 16 in
+  let key c = (c.ch_pre_fid, c.ch_pre_node, c.ch_post_fid, c.ch_post_node) in
+  let all = ref [] in
+  List.iter
+    (fun c ->
+      if not (Hashtbl.mem seen (key c)) then begin
+        Hashtbl.add seen (key c) ();
+        all := c :: !all
+      end)
+    !base;
+  let grew = ref true in
+  while !grew do
+    grew := false;
+    let cur = !all in
+    List.iter
+      (fun c1 ->
+        List.iter
+          (fun c2 ->
+            if
+              c1.ch_post_fid = c2.ch_pre_fid
+              && after_anchor t0 c1.ch_post_fid ~anchor:c1.ch_post_node
+                   c2.ch_pre_node
+            then begin
+              let c =
+                {
+                  ch_pre_fid = c1.ch_pre_fid;
+                  ch_pre_node = c1.ch_pre_node;
+                  ch_post_fid = c2.ch_post_fid;
+                  ch_post_node = c2.ch_post_node;
+                }
+              in
+              if not (Hashtbl.mem seen (key c)) then begin
+                Hashtbl.add seen (key c) ();
+                all := c :: !all;
+                grew := true
+              end
+            end)
+          cur)
+      cur
+  done;
+  { t0 with chains = !all }
+
+(* ------------------------------------------------------------------ *)
+(* Queries.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let function_live t fid = t.procs.(fid) <> []
+
+let nclasses t =
+  Array.fold_left (fun n c -> if c.cls_live then n + 1 else n) 0 t.classes
+
+(* Everything before [sa] (inclusive) happens-before everything after
+   some chain's post anchor that dominates [sb]. *)
+let chain_hb t sa sb =
+  let fa, na = node_of t sa and fb, nb = node_of t sb in
+  List.exists
+    (fun c ->
+      c.ch_pre_fid = fa
+      && c.ch_post_fid = fb
+      && before_anchor t fa ~anchor:c.ch_pre_node na
+      && after_anchor t fb ~anchor:c.ch_post_node nb)
+    t.chains
+
+(* Every CFG path from [site]'s spawn to [target] passes a matched
+   join: any instance spawned before [target] runs has been joined by
+   then. Only meaningful for non-multiple classes — with several
+   instances alive, one join execution collects only the newest. *)
+let joins_cut t fid ~(site : site) target =
+  site.site_joins <> []
+  && begin
+       let cfg = t.cfgs.(fid) in
+       let seen = Array.make (Cfg.nnodes cfg) false in
+       let q = Queue.create () in
+       let reached = ref false in
+       let push m =
+         if m = target then reached := true
+         else if (not seen.(m)) && not (List.mem m site.site_joins) then begin
+           seen.(m) <- true;
+           Queue.add m q
+         end
+       in
+       List.iter push (Cfg.succ_ids cfg site.site_node);
+       while not (Queue.is_empty q) do
+         List.iter push (Cfg.succ_ids cfg (Queue.pop q))
+       done;
+       not !reached
+     end
+
+(* Is statement [s] ordered against the whole of class [other] because
+   [other] is spawned (and joined) inside [s]'s own function, whose
+   sole executor runs it once? Either [s] precedes every spawn, or
+   every spawn-to-[s] path passes a matched join — instances created
+   after [s] cannot overlap it either way. *)
+let class_shielded t s other =
+  let fs, ns = node_of t s in
+  match other.cls_site with
+  | Some site
+    when site.site_fid = fs && solo t fs <> None && not other.cls_multi ->
+    before_anchor t fs ~anchor:site.site_node ns
+    || joins_cut t fs ~site ns
+  | _ -> false
+
+(* Two spawned classes whose sites share a solo home function, with one
+   joined before the other is spawned, can never overlap. *)
+let classes_disjoint t c1 c2 =
+  match (c1.cls_site, c2.cls_site) with
+  | Some s1, Some s2 when s1.site_fid = s2.site_fid && solo t s1.site_fid <> None
+    ->
+    let h = s1.site_fid in
+    List.exists (fun j -> after_anchor t h ~anchor:j s2.site_node) s1.site_joins
+    || List.exists
+         (fun j -> after_anchor t h ~anchor:j s1.site_node)
+         s2.site_joins
+  | _ -> false
+
+let may_parallel t sa sb =
+  let fa = t.prog.P.stmt_fid.(sa) and fb = t.prog.P.stmt_fid.(sb) in
+  t.procs.(fa) <> []
+  && t.procs.(fb) <> []
+  && (not (chain_hb t sa sb))
+  && (not (chain_hb t sb sa))
+  && List.exists
+       (fun c1 ->
+         List.exists
+           (fun c2 ->
+             if c1.cls_id = c2.cls_id then c1.cls_multi
+             else
+               (not (classes_disjoint t c1 c2))
+               && (not (class_shielded t sa c2))
+               && not (class_shielded t sb c1))
+           t.procs.(fb))
+       t.procs.(fa)
+
+let same_sequential t sa sb =
+  match
+    (t.procs.(t.prog.P.stmt_fid.(sa)), t.procs.(t.prog.P.stmt_fid.(sb)))
+  with
+  | [ c1 ], [ c2 ] -> c1.cls_id = c2.cls_id && not c1.cls_multi
+  | _ -> false
+
+(* Every live class running [target_fid] is spawned, inside [stmt]'s
+   own (solo) function, strictly after [stmt] completes. *)
+let all_spawned_after t ~stmt ~target_fid =
+  let fs, ns = node_of t stmt in
+  t.procs.(target_fid) <> []
+  && List.for_all
+       (fun c ->
+         match c.cls_site with
+         | Some site ->
+           site.site_fid = fs && solo t fs <> None
+           && before_anchor t fs ~anchor:site.site_node ns
+         | None -> false)
+       t.procs.(target_fid)
+
+(* Every live class running [target_fid] is joined, inside [stmt]'s own
+   (solo) function, before [stmt] begins. Beyond [joins_cut] (every
+   spawned instance is joined on the way to [stmt]), the spawn must not
+   be reachable from [stmt] — a later spawn would run after it. *)
+let all_joined_before t ~target_fid ~stmt =
+  let fs, ns = node_of t stmt in
+  t.procs.(target_fid) <> []
+  && List.for_all
+       (fun c ->
+         match c.cls_site with
+         | Some site ->
+           site.site_fid = fs && solo t fs <> None && (not c.cls_multi)
+           && joins_cut t fs ~site ns
+           && not (Bitset.mem (reach_from t fs ns) site.site_node)
+         | None -> false)
+       t.procs.(target_fid)
+
+let ordered_before t sa sb =
+  chain_hb t sa sb
+  || all_spawned_after t ~stmt:sa ~target_fid:(t.prog.P.stmt_fid.(sb))
+  || all_joined_before t ~target_fid:(t.prog.P.stmt_fid.(sa)) ~stmt:sb
+
+(* A write is harmless for the sync-unit prelog of [read_sid] when it
+   is confined to the same single process (sequential replay already
+   orders it), provably after the read, or provably before every spawn
+   of the reader's process (the e-block entry prelogs of that process
+   are taken after the write, so they already carry its value). *)
+let prelog_required t ~read_sid ~vid =
+  let fr = t.prog.P.stmt_fid.(read_sid) in
+  t.procs.(fr) <> []
+  && List.exists
+       (fun w ->
+         (not (same_sequential t w read_sid))
+         && (not (ordered_before t read_sid w))
+         && not (all_spawned_after t ~stmt:w ~target_fid:fr))
+       t.shared_writes.(vid)
+
+let pp ppf t =
+  let p = t.prog in
+  Format.fprintf ppf "@[<v>mhp: %d live class(es)" (nclasses t);
+  Array.iter
+    (fun c ->
+      if c.cls_live then
+        match c.cls_site with
+        | None ->
+          Format.fprintf ppf "@,  #0 main (%s)" p.funcs.(p.main_fid).P.fname
+        | Some s ->
+          let joins =
+            match s.site_joins with
+            | [] -> ""
+            | js ->
+              " joined@"
+              ^ String.concat ","
+                  (List.map (fun n -> "n" ^ string_of_int n) js)
+          in
+          Format.fprintf ppf "@,  #%d spawn s%d in %s -> %s%s%s%s" c.cls_id
+            s.site_sid
+            p.funcs.(s.site_fid).P.fname
+            p.funcs.(s.site_callee).P.fname
+            (if c.cls_multi then " [many]" else "")
+            joins
+            (if s.site_self_seq then " [self-seq]" else ""))
+    t.classes;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@,  chain: %s/n%d -> %s/n%d"
+        p.funcs.(c.ch_pre_fid).P.fname c.ch_pre_node
+        p.funcs.(c.ch_post_fid).P.fname c.ch_post_node)
+    t.chains;
+  Format.fprintf ppf "@]"

@@ -44,7 +44,10 @@ let classify (cfg : Cfg.t) node : node_kind option =
 let shared_reads_of_stmt (s : P.stmt) =
   List.filter P.is_shared (Use_def.direct_uses s)
 
-let build (p : P.t) (cfg : Cfg.t) =
+let build ?(keep = fun ~read_sid:_ _ -> true) (p : P.t) (cfg : Cfg.t) =
+  let shared_reads_of_stmt s =
+    List.filter (fun v -> keep ~read_sid:s.P.sid v) (shared_reads_of_stmt s)
+  in
   let n = Cfg.nnodes cfg in
   let kinds = Array.init n (classify cfg) in
   let interesting node = kinds.(node) <> None in

@@ -58,7 +58,14 @@ type t = {
   entry_unit : int;
 }
 
-val build : Lang.Prog.t -> Cfg.t -> t
+val build :
+  ?keep:(read_sid:int -> Lang.Prog.var -> bool) -> Lang.Prog.t -> Cfg.t -> t
+(** [keep ~read_sid v] filters the shared reads collected into
+    [su_shared_reads]: return [false] to exclude the read of [v] at
+    statement [read_sid] from prelog sizing (used with
+    {!Mhp.prelog_required} to drop reads whose every writer is ordered
+    or same-process). Defaults to keeping everything. The graph and
+    unit structure are unaffected. *)
 
 val shared_reads_after : t -> int -> Varset.t option
 (** [shared_reads_after t sid]: shared variables needing a prelog right

@@ -174,9 +174,9 @@ let concurrent_functions (p : P.t) =
     in
     List.exists (fun pred -> pred f g) pairs
 
-let analyze (p : P.t) =
+let analyze ?mhp (p : P.t) =
   let accesses = shared_accesses p in
-  let concurrent = concurrent_functions p in
+  let mhp = match mhp with Some m -> m | None -> Mhp.compute p in
   let disjoint_locks a b =
     not (List.exists (fun l -> List.mem l b.acc_locks) a.acc_locks)
   in
@@ -185,7 +185,7 @@ let analyze (p : P.t) =
     if
       a.acc_var.P.vid = b.acc_var.P.vid
       && (a.acc_write || b.acc_write)
-      && concurrent a.acc_fid b.acc_fid
+      && Mhp.may_parallel mhp a.acc_sid b.acc_sid
       && disjoint_locks a b
     then
       reports :=

@@ -6,22 +6,21 @@
     analysis inspects the program text: two shared-variable accesses are
     a {e potential} race when
 
-    - they occur in functions that may execute concurrently (both
-      reachable from spawned process roots, or one from a spawned root
-      and one from [main]; a root spawned more than once — several
-      spawn sites, or a spawn site inside a loop — is concurrent with
-      itself),
+    - the statements may happen in parallel per {!Mhp} (spawn/join
+      structure, matched send/recv pairs and must-ordered V→P edges all
+      discharge pairs the old function-granular
+      {!concurrent_functions} closure had to keep),
     - at least one is a write, and
     - no semaphore is {e must-held} around both (an intraprocedural
       lockset analysis: a semaphore is held at a statement when every
       CFG path from entry performs [P(s)] without a later [V(s)]).
 
-    Being flow-insensitive about process lifetimes (joins are ignored)
-    and intraprocedural about locks, the analysis over-approximates:
-    every race the dynamic detector can observe in some schedule is
-    flagged (property-tested), alongside possible false positives —
-    the paper's "one cannot tell if a parallel program is race-free
-    unless one considers every possible event". *)
+    Everything {!Mhp} cannot prove ordered stays flagged, so the
+    analysis over-approximates: every race the dynamic detector can
+    observe in some schedule is reported (property-tested), alongside
+    possible false positives — the paper's "one cannot tell if a
+    parallel program is race-free unless one considers every possible
+    event". *)
 
 type access = {
   acc_sid : int;
@@ -46,10 +45,12 @@ val held_at : Lang.Prog.t -> Cfg.t -> int -> int list
     tests). *)
 
 val concurrent_functions : Lang.Prog.t -> (int -> int -> bool)
-(** May functions [f] and [g] (by fid) run in distinct processes that
-    overlap in time? *)
+(** Legacy function-granular view: may functions [f] and [g] (by fid)
+    run in distinct processes that overlap in time? Kept for comparison
+    and the benchmark ablation; {!analyze} now uses {!Mhp} instead. *)
 
-val analyze : Lang.Prog.t -> report list
-(** All potential races, deduplicated and deterministically ordered. *)
+val analyze : ?mhp:Mhp.t -> Lang.Prog.t -> report list
+(** All potential races, deduplicated and deterministically ordered.
+    [mhp] avoids recomputing an {!Mhp.t} the caller already has. *)
 
 val pp_report : Lang.Prog.t -> Format.formatter -> report list -> unit

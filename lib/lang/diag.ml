@@ -6,3 +6,135 @@ let pp_error ppf (loc, msg) = Format.fprintf ppf "error at %a: %s" Loc.pp loc ms
 
 let protect f =
   match f () with v -> Ok v | exception Error (loc, msg) -> Error (loc, msg)
+
+(* ------------------------------------------------------------------ *)
+(* Accumulating diagnostics.                                            *)
+(* ------------------------------------------------------------------ *)
+
+type severity = Sev_error | Sev_warning | Sev_note
+
+type diagnostic = {
+  d_code : string;
+  d_severity : severity;
+  d_loc : Loc.t;
+  d_message : string;
+  d_related : (Loc.t * string) list;
+}
+
+type collector = { mutable diags : diagnostic list }
+
+let severity_label = function
+  | Sev_error -> "error"
+  | Sev_warning -> "warning"
+  | Sev_note -> "note"
+
+let pp_severity ppf s = Format.pp_print_string ppf (severity_label s)
+
+let create () = { diags = [] }
+
+let emit c ?(related = []) ~code ~severity loc fmt =
+  Format.kasprintf
+    (fun msg ->
+      c.diags <-
+        {
+          d_code = code;
+          d_severity = severity;
+          d_loc = loc;
+          d_message = msg;
+          d_related = related;
+        }
+        :: c.diags)
+    fmt
+
+let of_error (loc, msg) =
+  {
+    d_code = "PPD001";
+    d_severity = Sev_error;
+    d_loc = loc;
+    d_message = msg;
+    d_related = [];
+  }
+
+(* Stable report order: code, then location, then message — diagnostics
+   from independent passes interleave deterministically. *)
+let diagnostics c =
+  List.sort_uniq
+    (fun a b ->
+      let r = String.compare a.d_code b.d_code in
+      if r <> 0 then r
+      else
+        let r = Loc.compare a.d_loc b.d_loc in
+        if r <> 0 then r else compare a b)
+    c.diags
+
+let count c severity =
+  List.length (List.filter (fun d -> d.d_severity = severity) c.diags)
+
+let is_empty c = c.diags = []
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "@[<v2>%s %a at %a: %s" d.d_code pp_severity d.d_severity
+    Loc.pp d.d_loc d.d_message;
+  List.iter
+    (fun (loc, msg) -> Format.fprintf ppf "@,- at %a: %s" Loc.pp loc msg)
+    d.d_related;
+  Format.fprintf ppf "@]"
+
+let pp_human ppf diags =
+  match diags with
+  | [] -> Format.fprintf ppf "no findings"
+  | _ ->
+    let n_of s = List.length (List.filter (fun d -> d.d_severity = s) diags) in
+    Format.fprintf ppf "@[<v>";
+    Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_diagnostic ppf diags;
+    Format.fprintf ppf
+      "@,%d finding(s): %d error(s), %d warning(s), %d note(s)@]"
+      (List.length diags) (n_of Sev_error) (n_of Sev_warning) (n_of Sev_note)
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering (hand-rolled: no JSON dependency).                    *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_loc (l : Loc.t) =
+  if Loc.is_none l then "null"
+  else Printf.sprintf "{\"line\":%d,\"col\":%d}" l.line l.col
+
+let json_of_diagnostic d =
+  let related =
+    match d.d_related with
+    | [] -> ""
+    | rs ->
+      Printf.sprintf ",\"related\":[%s]"
+        (String.concat ","
+           (List.map
+              (fun (loc, msg) ->
+                Printf.sprintf "{\"loc\":%s,\"message\":\"%s\"}" (json_loc loc)
+                  (json_escape msg))
+              rs))
+  in
+  Printf.sprintf
+    "{\"code\":\"%s\",\"severity\":\"%s\",\"loc\":%s,\"message\":\"%s\"%s}"
+    (json_escape d.d_code)
+    (severity_label d.d_severity)
+    (json_loc d.d_loc) (json_escape d.d_message) related
+
+let json_of_diagnostics diags =
+  Printf.sprintf "{\"findings\":[%s],\"count\":%d}"
+    (String.concat "," (List.map json_of_diagnostic diags))
+    (List.length diags)

@@ -26,6 +26,7 @@ let help_text =
       "  intervals [<pid>]      list log intervals";
       "  log [<pid>]            dump log entries";
       "  races [static]         race detection report (dynamic or static)";
+      "  lint [<pass> ...]      static diagnostics (races, deadlocks, ...)";
       "  deadlock               wait-for analysis";
       "  restore <step>         shared store at a machine step";
       "  whatif [p<pid>#<iv>] x=1 ...   what-if replay with overrides";
@@ -219,6 +220,14 @@ let eval t line =
     | "races" :: "static" :: _ ->
       let p = Session.prog t.session in
       fmt "%a" (Analysis.Static_race.pp_report p) (Analysis.Static_race.analyze p)
+    | "lint" :: rest ->
+      let p = Session.prog t.session in
+      let only = match rest with [] -> None | names -> Some names in
+      (match Analysis.Lint.run ?only p with
+      | diags -> fmt "%a" Lang.Diag.pp_human diags
+      | exception Analysis.Lint.Unknown_pass n ->
+        Printf.sprintf "unknown lint pass '%s'; available: %s" n
+          (String.concat ", " Analysis.Lint.pass_names))
     | "races" :: _ ->
       let pd = Session.pardyn t.session in
       fmt "%a" (Race.pp_report pd) (Session.races t.session)

@@ -28,6 +28,7 @@ val eval : t -> string -> string
     intervals [<pid>]     list log intervals
     log [<pid>]           dump the log entries
     races                 run race detection
+    lint [<pass> ...]     static diagnostics with PPD0xx codes
     deadlock              wait-for analysis
     restore <step>        shared store reconstructed at a machine step
     whatif [p<pid>#<iv>] x=1 y=2   re-execute with overrides

@@ -499,3 +499,45 @@ func main() {
 }
 |}
     rounds
+
+let config_pipeline ~workers ~rounds =
+  (* configuration globals are written by main strictly before any
+     spawn: statement-level MHP proves the workers' reads of them need
+     no sync-unit prelog (the e-block entry prelogs already carry the
+     values), while the lock-protected accumulator still does *)
+  let spawns =
+    String.concat "\n"
+      (List.init workers (fun i ->
+           Printf.sprintf "  var p%d = spawn worker(%d);" i rounds))
+  in
+  let joins =
+    String.concat "\n"
+      (List.init workers (fun i -> Printf.sprintf "  join(p%d);" i))
+  in
+  Printf.sprintf
+    {|
+shared int cfg_scale = 0;
+shared int cfg_bias = 0;
+shared int total = 0;
+sem lock = 1;
+
+func worker(n) {
+  var i = 0;
+  var acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    P(lock);
+    total = total + acc;
+    V(lock);
+    acc = acc + i * cfg_scale + cfg_bias;
+  }
+}
+
+func main() {
+  cfg_scale = 3;
+  cfg_bias = 2;
+%s
+%s
+  print(total);
+}
+|}
+    spawns joins

@@ -68,3 +68,9 @@ val fib : int -> string
 
 val branchy : rounds:int -> string
 (** Dense structured control flow, single process. *)
+
+val config_pipeline : workers:int -> rounds:int -> string
+(** [workers] processes accumulate into a lock-protected total while
+    reading configuration globals that [main] wrote before spawning
+    anything — the showcase for MHP-pruned synchronization-unit
+    prelogs (only the accumulator still needs entries). *)

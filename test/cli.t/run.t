@@ -27,6 +27,11 @@ The preparatory-phase analyses:
   $ ppd analyze fixed.mpl --show modref
   withdraw: GMOD={balance} GREF={balance}
   main: GMOD={} GREF={balance}
+  $ ppd analyze fixed.mpl --show mhp
+  mhp: 3 live class(es)
+    #0 main (main)
+    #1 spawn s5 in main -> withdraw joined@n4
+    #2 spawn s6 in main -> withdraw joined@n5
 
 Execution under the logger, and the debugging phase:
 
@@ -61,11 +66,47 @@ Race detection, dynamic and static (exit code 3 when races are found):
   no races detected: execution instance is race-free
   (4 edge pairs examined)
   $ ppd race racy.mpl --static
-  3 potential race(s):
+  2 potential race(s):
   - 'balance': s0 in withdraw (read) vs s2 in withdraw (write)
   - 'balance': s2 in withdraw (write) vs s2 in withdraw (write) [write/write]
-  - 'balance': s2 in withdraw (write) vs s7 in main (read)
   [3]
+  $ ppd race racy.mpl --static --format=json
+  {"findings":[{"code":"PPD010","severity":"warning","loc":{"line":5,"col":3},"message":"potential read/write race on shared 'balance': read of 'balance' at s0 in withdraw may happen in parallel with write of 'balance' at s2 in withdraw","related":[{"loc":{"line":7,"col":3},"message":"write of 'balance' at s2 in withdraw"}]},{"code":"PPD011","severity":"warning","loc":{"line":7,"col":3},"message":"potential write/write race on shared 'balance': write of 'balance' at s2 in withdraw may happen in parallel with write of 'balance' at s2 in withdraw","related":[{"loc":{"line":7,"col":3},"message":"write of 'balance' at s2 in withdraw"}]}],"count":2}
+  [3]
+
+The unified lint driver (exit code 5 when there are findings):
+
+  $ ppd lint --list-passes
+  races        MHP-refined potential data races (PPD010, PPD011)
+  deadlocks    lock-order cycles over must-held semaphores (PPD020)
+  unreachable  unreachable statements and dead functions (PPD030, PPD031)
+  uninit       possibly-uninitialised local reads (PPD040)
+  $ ppd lint racy.mpl
+  PPD010 warning at 5:3: potential read/write race on shared 'balance': read of 'balance' at s0 in withdraw may happen in parallel with write of 'balance' at s2 in withdraw
+    - at 7:3: write of 'balance' at s2 in withdraw
+  PPD011 warning at 7:3: potential write/write race on shared 'balance': write of 'balance' at s2 in withdraw may happen in parallel with write of 'balance' at s2 in withdraw
+    - at 7:3: write of 'balance' at s2 in withdraw
+  2 finding(s): 0 error(s), 2 warning(s), 0 note(s)
+  [5]
+  $ ppd lint fixed.mpl
+  no findings
+  $ ppd lint racy.mpl --pass deadlocks
+  no findings
+  $ ppd example deadlock_ab > dl.mpl
+  $ ppd lint dl.mpl
+  PPD020 warning at 7:3: potential deadlock: lock-order cycle between 'a' and 'b' (P on 'b' while holding 'a' at s1 in left can run in parallel with the reverse order)
+    - at 14:3: P on 'a' while holding 'b' at s5 in right
+  1 finding(s): 0 error(s), 1 warning(s), 0 note(s)
+  [5]
+  $ ppd lint fixed.mpl --format=json
+  {"findings":[],"count":0}
+  $ ppd lint bad.mpl
+  PPD001 error at 1:21: unknown variable 'nope'
+  1 finding(s): 1 error(s), 0 warning(s), 0 note(s)
+  [1]
+  $ ppd lint racy.mpl --pass nosuch
+  unknown lint pass 'nosuch'; available: races, deadlocks, unreachable, uninit
+  [124]
 
 What-if experiments (§5.7):
 

@@ -1,0 +1,199 @@
+(* The unified lint driver: every PPD0xx code fires on a witness
+   program, clean programs stay clean, ordering is stable, and the JSON
+   encoder matches the documented shape. *)
+
+open Analysis
+module D = Lang.Diag
+
+let lint ?only src = Lint.run ?only (Util.compile src)
+
+let codes diags = List.map (fun d -> d.D.d_code) diags |> List.sort_uniq compare
+
+let has_code c diags = List.mem c (codes diags)
+
+let test_racy_bank_codes () =
+  let diags = lint Workloads.racy_bank in
+  Alcotest.(check bool) "PPD010 read/write race" true (has_code "PPD010" diags);
+  Alcotest.(check bool) "PPD011 write/write race" true (has_code "PPD011" diags);
+  (* each race finding names the other access as a related location *)
+  List.iter
+    (fun d ->
+      if d.D.d_code = "PPD010" || d.D.d_code = "PPD011" then
+        Alcotest.(check bool) "race has related access" true
+          (d.D.d_related <> []))
+    diags
+
+let test_fixed_bank_clean () =
+  Alcotest.(check (list string)) "fixed bank lint-clean" []
+    (codes (lint Workloads.fixed_bank))
+
+let test_deadlock_candidate () =
+  let diags = lint Workloads.deadlock_ab in
+  Alcotest.(check bool) "PPD020 lock-order cycle" true (has_code "PPD020" diags)
+
+let test_self_deadlock () =
+  let src =
+    {|
+    sem m = 1;
+    func main() {
+      P(m);
+      P(m);
+    }
+    |}
+  in
+  Alcotest.(check bool) "PPD020 self-deadlock" true
+    (has_code "PPD020" (lint src))
+
+let test_unreachable_and_dead () =
+  let src =
+    {|
+    shared int g = 0;
+    func orphan() { g = 3; }
+    func f() {
+      g = 1;
+      return;
+      g = 2;
+    }
+    func main() {
+      f();
+      print(g);
+    }
+    |}
+  in
+  let diags = lint src in
+  Alcotest.(check bool) "PPD030 unreachable statement" true
+    (has_code "PPD030" diags);
+  Alcotest.(check bool) "PPD031 dead function" true (has_code "PPD031" diags)
+
+let test_uninit_read () =
+  let src =
+    {|
+    func main() {
+      var x;
+      print(x);
+    }
+    |}
+  in
+  Alcotest.(check bool) "PPD040 uninitialised read" true
+    (has_code "PPD040" (lint src));
+  let clean =
+    {|
+    func main() {
+      var x = 1;
+      print(x);
+    }
+    |}
+  in
+  Alcotest.(check bool) "initialised local clean" false
+    (has_code "PPD040" (lint clean))
+
+let test_pass_selection () =
+  (* only the requested pass runs *)
+  let diags = lint ~only:[ "deadlocks" ] Workloads.racy_bank in
+  Alcotest.(check (list string)) "races suppressed" [] (codes diags);
+  (match lint ~only:[ "nosuch" ] Workloads.racy_bank with
+  | _ -> Alcotest.fail "expected Unknown_pass"
+  | exception Lint.Unknown_pass n ->
+    Alcotest.(check string) "pass name reported" "nosuch" n);
+  Alcotest.(check (list string)) "registry names"
+    [ "races"; "deadlocks"; "unreachable"; "uninit" ]
+    Lint.pass_names
+
+let test_stable_order () =
+  let d1 = lint Workloads.racy_bank and d2 = lint Workloads.racy_bank in
+  Alcotest.(check int) "same cardinality" (List.length d1) (List.length d2);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "same code" a.D.d_code b.D.d_code;
+      Alcotest.(check string) "same message" a.D.d_message b.D.d_message)
+    d1 d2;
+  (* sorted by code first *)
+  let cs = List.map (fun d -> d.D.d_code) d1 in
+  Alcotest.(check (list string)) "codes ascending" (List.sort compare cs) cs
+
+let test_json_shape () =
+  let diags = lint Workloads.racy_bank in
+  let js = D.json_of_diagnostics diags in
+  Alcotest.(check bool) "findings key" true (Util.contains ~sub:"\"findings\":[" js);
+  Alcotest.(check bool) "count key" true
+    (Util.contains ~sub:(Printf.sprintf "\"count\":%d" (List.length diags)) js);
+  Alcotest.(check bool) "code field" true
+    (Util.contains ~sub:"\"code\":\"PPD010\"" js);
+  Alcotest.(check bool) "severity field" true
+    (Util.contains ~sub:"\"severity\":\"warning\"" js);
+  (* empty report *)
+  Alcotest.(check string) "empty report" "{\"findings\":[],\"count\":0}"
+    (D.json_of_diagnostics []);
+  (* a Loc.none renders as null, and escaping keeps the JSON well formed *)
+  let d =
+    {
+      D.d_code = "PPD010";
+      d_severity = D.Sev_warning;
+      d_loc = Lang.Loc.none;
+      d_message = "quote \" and backslash \\";
+      d_related = [];
+    }
+  in
+  let js = D.json_of_diagnostic d in
+  Alcotest.(check bool) "null loc" true (Util.contains ~sub:"\"loc\":null" js);
+  Alcotest.(check bool) "escaped quote" true
+    (Util.contains ~sub:"quote \\\" and backslash \\\\" js)
+
+let test_front_end_error_diag () =
+  match Lang.Compile.compile_result "func main( {" with
+  | Ok _ -> Alcotest.fail "expected a front-end error"
+  | Error err ->
+    let d = D.of_error err in
+    Alcotest.(check string) "PPD001" "PPD001" d.D.d_code;
+    Alcotest.(check bool) "severity error" true (d.D.d_severity = D.Sev_error)
+
+let test_regressions_lint_clean_races () =
+  (* the ISSUE regressions, through the lint driver this time *)
+  let join_ordered =
+    {|
+    shared int g = 0;
+    func w() { g = g + 1; }
+    func main() {
+      var p = spawn w();
+      join(p);
+      print(g);
+    }
+    |}
+  and msg_ordered =
+    {|
+    shared int g = 0;
+    chan c[0];
+    func w() { g = 5; send(c, 1); }
+    func main() {
+      var p = spawn w();
+      var x = 0;
+      recv(c, x);
+      print(g);
+      join(p);
+    }
+    |}
+  in
+  Alcotest.(check (list string)) "join-ordered: no race findings" []
+    (codes (lint ~only:[ "races" ] join_ordered));
+  Alcotest.(check (list string)) "send/recv-ordered: no race findings" []
+    (codes (lint ~only:[ "races" ] msg_ordered))
+
+let suite =
+  ( "lint",
+    [
+      Alcotest.test_case "racy bank: PPD010/PPD011" `Quick test_racy_bank_codes;
+      Alcotest.test_case "fixed bank clean" `Quick test_fixed_bank_clean;
+      Alcotest.test_case "deadlock candidate: PPD020" `Quick
+        test_deadlock_candidate;
+      Alcotest.test_case "self-deadlock: PPD020" `Quick test_self_deadlock;
+      Alcotest.test_case "unreachable/dead: PPD030/031" `Quick
+        test_unreachable_and_dead;
+      Alcotest.test_case "uninitialised read: PPD040" `Quick test_uninit_read;
+      Alcotest.test_case "pass selection" `Quick test_pass_selection;
+      Alcotest.test_case "stable order" `Quick test_stable_order;
+      Alcotest.test_case "JSON shape" `Quick test_json_shape;
+      Alcotest.test_case "front-end error: PPD001" `Quick
+        test_front_end_error_diag;
+      Alcotest.test_case "ordered regressions lint clean" `Quick
+        test_regressions_lint_clean_races;
+    ] )

@@ -1,0 +1,297 @@
+(* Statement-level may-happen-in-parallel analysis: the ordering
+   regressions the function-granular detector could not pass (join- and
+   message-ordered programs must report no race), plus direct unit tests
+   of the MHP queries and the sync-prelog pruning predicate. *)
+
+open Analysis
+module P = Lang.Prog
+
+let race_vars src =
+  Static_race.analyze (Util.compile src)
+  |> List.map (fun r -> r.Static_race.pr_var.P.vname)
+  |> List.sort_uniq compare
+
+let find_stmt p fname pred =
+  match P.find_func p fname with
+  | None -> Alcotest.failf "no function %s" fname
+  | Some f ->
+    let found = ref None in
+    P.iter_stmts
+      (fun s -> if !found = None && pred s then found := Some s.P.sid)
+      f.P.body;
+    (match !found with
+    | Some sid -> sid
+    | None -> Alcotest.failf "no matching statement in %s" fname)
+
+let print_sid p fname =
+  find_stmt p fname (fun s ->
+      match s.P.desc with P.Sprint _ -> true | _ -> false)
+
+let write_sid p fname vname =
+  find_stmt p fname (fun s ->
+      match s.P.desc with
+      | P.Sassign (lhs, _) -> (P.lhs_writes lhs).P.vname = vname
+      | _ -> false)
+
+let vid p vname =
+  let v =
+    Array.to_list p.P.vars |> List.find (fun v -> v.P.vname = vname)
+  in
+  v.P.vid
+
+(* --- the two ISSUE regressions ------------------------------------- *)
+
+let join_ordered =
+  {|
+  shared int g = 0;
+  func w() { g = g + 1; }
+  func main() {
+    var p = spawn w();
+    join(p);
+    print(g);
+  }
+  |}
+
+let test_join_ordered_no_race () =
+  (* spawn -> join -> access: the child is provably finished when main
+     reads g, so nothing may race *)
+  Alcotest.(check (list string)) "join-ordered clean" [] (race_vars join_ordered);
+  let p = Util.compile join_ordered in
+  let m = Mhp.compute p in
+  let w_write = write_sid p "w" "g" and m_print = print_sid p "main" in
+  Alcotest.(check bool) "write || print" false (Mhp.may_parallel m w_write m_print);
+  Alcotest.(check bool) "write before print" true
+    (Mhp.ordered_before m w_write m_print);
+  Alcotest.(check bool) "print not before write" false
+    (Mhp.ordered_before m m_print w_write)
+
+let msg_ordered =
+  {|
+  shared int g = 0;
+  chan c[0];
+  func w() { g = 5; send(c, 1); }
+  func main() {
+    var p = spawn w();
+    var x = 0;
+    recv(c, x);
+    print(g);
+    join(p);
+  }
+  |}
+
+let test_send_recv_ordered_no_race () =
+  (* the read sits after the recv, the write before the send; the join
+     comes too late to help, so the sync chain must do the ordering *)
+  Alcotest.(check (list string)) "message-ordered clean" []
+    (race_vars msg_ordered);
+  let p = Util.compile msg_ordered in
+  let m = Mhp.compute p in
+  Alcotest.(check bool) "write chained before print" true
+    (Mhp.ordered_before m (write_sid p "w" "g") (print_sid p "main"))
+
+(* --- more orderings ------------------------------------------------ *)
+
+let test_vp_ordered_no_race () =
+  let src =
+    {|
+    shared int g = 0;
+    sem s = 0;
+    func w() { g = 7; V(s); }
+    func main() {
+      var p = spawn w();
+      P(s);
+      print(g);
+      join(p);
+    }
+    |}
+  in
+  Alcotest.(check (list string)) "V/P token passing clean" [] (race_vars src)
+
+let test_write_after_send_still_races () =
+  (* soundness: moving the write past the send breaks the ordering *)
+  let src =
+    {|
+    shared int g = 0;
+    chan c[0];
+    func w() { send(c, 1); g = 5; }
+    func main() {
+      var p = spawn w();
+      var x = 0;
+      recv(c, x);
+      print(g);
+      join(p);
+    }
+    |}
+  in
+  Alcotest.(check (list string)) "late write flagged" [ "g" ] (race_vars src)
+
+let test_conditional_spawn_join_shields () =
+  (* the join does not dominate the print (the spawn may not run), yet
+     every spawned instance is joined on the way there *)
+  let src =
+    {|
+    shared int g = 0;
+    shared int flag = 0;
+    func w() { g = 1; }
+    func main() {
+      if (flag > 0) {
+        var p = spawn w();
+        join(p);
+      }
+      print(g);
+    }
+    |}
+  in
+  Alcotest.(check (list string)) "conditional spawn/join clean" []
+    (race_vars src)
+
+let test_loop_spawn_join_each_iteration () =
+  (* one instance at a time, each joined before the next spawn and
+     before the final read: self-sequential, nothing races *)
+  let src =
+    {|
+    shared int g = 0;
+    func w() { g = g + 1; }
+    func main() {
+      var i = 0;
+      while (i < 3) {
+        var p = spawn w();
+        join(p);
+        i = i + 1;
+      }
+      print(g);
+    }
+    |}
+  in
+  Alcotest.(check (list string)) "looped spawn+join clean" [] (race_vars src)
+
+let test_loop_spawn_without_join_self_parallel () =
+  let src =
+    {|
+    shared int g = 0;
+    func w() { g = g + 1; }
+    func main() {
+      var i = 0;
+      while (i < 3) {
+        spawn w();
+        i = i + 1;
+      }
+    }
+    |}
+  in
+  Alcotest.(check (list string)) "unjoined loop spawn races" [ "g" ]
+    (race_vars src);
+  let p = Util.compile src in
+  let m = Mhp.compute p in
+  let w_write = write_sid p "w" "g" in
+  Alcotest.(check bool) "instance may race with itself" true
+    (Mhp.may_parallel m w_write w_write)
+
+(* --- query units --------------------------------------------------- *)
+
+let test_same_sequential () =
+  let p = Util.compile join_ordered in
+  let m = Mhp.compute p in
+  let m_print = print_sid p "main" and w_write = write_sid p "w" "g" in
+  Alcotest.(check bool) "main with itself" true
+    (Mhp.same_sequential m m_print m_print);
+  Alcotest.(check bool) "main vs child" false
+    (Mhp.same_sequential m m_print w_write)
+
+let test_function_live_and_classes () =
+  let src =
+    {|
+    shared int g = 0;
+    func dead() { g = 9; }
+    func w() { g = g + 1; }
+    func main() { var p = spawn w(); join(p); }
+    |}
+  in
+  let p = Util.compile src in
+  let m = Mhp.compute p in
+  let fid name = (Option.get (P.find_func p name)).P.fid in
+  Alcotest.(check bool) "main live" true (Mhp.function_live m (fid "main"));
+  Alcotest.(check bool) "w live" true (Mhp.function_live m (fid "w"));
+  Alcotest.(check bool) "dead not live" false (Mhp.function_live m (fid "dead"));
+  Alcotest.(check int) "main + one spawn class" 2 (Mhp.nclasses m);
+  (* dead code must not contribute races *)
+  Alcotest.(check (list string)) "dead writer ignored" [] (race_vars src)
+
+(* --- prelog pruning ------------------------------------------------ *)
+
+let test_prelog_required () =
+  (* a child's write flowing into main's later read still needs the
+     sync-unit prelog: sequential replay of main never executes it *)
+  let p = Util.compile join_ordered in
+  let m = Mhp.compute p in
+  Alcotest.(check bool) "joined child write still needs prelog" true
+    (Mhp.prelog_required m ~read_sid:(print_sid p "main") ~vid:(vid p "g"));
+  (* a config written only before every spawn is covered by the
+     e-block entry prelogs: prune it *)
+  let cfg_src =
+    {|
+    shared int cfg = 0;
+    func w() { print(cfg); }
+    func main() {
+      cfg = 41;
+      var p = spawn w();
+      join(p);
+    }
+    |}
+  in
+  let p = Util.compile cfg_src in
+  let m = Mhp.compute p in
+  Alcotest.(check bool) "pre-spawn config needs no prelog" false
+    (Mhp.prelog_required m ~read_sid:(print_sid p "w") ~vid:(vid p "cfg"))
+
+let test_pruning_drops_entries_on_config_pipeline () =
+  let src = Workloads.config_pipeline ~workers:3 ~rounds:5 in
+  let p = Util.compile src in
+  let sync_vars prune =
+    let eb = Eblock.analyze ~prune_sync_prelogs:prune p in
+    let _, log, _ = Trace.Logger.run_logged eb in
+    Array.to_seq log.Trace.Log.entries
+    |> Seq.fold_left
+         (fun acc entries ->
+           Array.fold_left
+             (fun acc e ->
+               match e with
+               | Trace.Log.Sync_prelog { vals; _ } -> acc + List.length vals
+               | _ -> acc)
+             acc entries)
+         0
+  in
+  let unpruned = sync_vars false and pruned = sync_vars true in
+  Alcotest.(check bool)
+    (Printf.sprintf "pruned %d < unpruned %d" pruned unpruned)
+    true
+    (pruned < unpruned);
+  (* and the pruned trace still replays faithfully: the round-trip
+     oracle diffs every interval's emulation against the full trace *)
+  let eb, _halt, log, tr, _m = Util.run_instrumented src in
+  let checked = Util.check_replay_equivalence eb log tr in
+  Alcotest.(check bool) "intervals replayed" true (checked > 0)
+
+let suite =
+  ( "mhp",
+    [
+      Alcotest.test_case "join-ordered: no race" `Quick
+        test_join_ordered_no_race;
+      Alcotest.test_case "send/recv-ordered: no race" `Quick
+        test_send_recv_ordered_no_race;
+      Alcotest.test_case "V/P-ordered: no race" `Quick test_vp_ordered_no_race;
+      Alcotest.test_case "write after send races" `Quick
+        test_write_after_send_still_races;
+      Alcotest.test_case "conditional spawn+join shields" `Quick
+        test_conditional_spawn_join_shields;
+      Alcotest.test_case "loop spawn+join sequential" `Quick
+        test_loop_spawn_join_each_iteration;
+      Alcotest.test_case "loop spawn unjoined self-races" `Quick
+        test_loop_spawn_without_join_self_parallel;
+      Alcotest.test_case "same_sequential" `Quick test_same_sequential;
+      Alcotest.test_case "liveness and classes" `Quick
+        test_function_live_and_classes;
+      Alcotest.test_case "prelog_required" `Quick test_prelog_required;
+      Alcotest.test_case "pruning shrinks config prelogs" `Quick
+        test_pruning_drops_entries_on_config_pipeline;
+    ] )
