@@ -512,6 +512,63 @@ let t8 () =
     (fmt_ns (time_of results "t8/eblock+prune"))
 
 (* ------------------------------------------------------------------ *)
+(* T9: durable store — v1 Marshal blob vs v2 segmented format.          *)
+(* ------------------------------------------------------------------ *)
+
+let t9 () =
+  header "T9  Durable store: v1 (Marshal) vs v2 (CRC-framed segments)";
+  row "%-14s %8s %9s %9s %7s %11s %11s %11s %11s %11s\n" "workload"
+    "entries" "v1 bytes" "v2 bytes" "v2/v1" "v1 save" "v1 load" "v2 save"
+    "v2 load" "v2 open";
+  List.iter
+    (fun (name, src) ->
+      let prog = compile src in
+      let eb = Analysis.Eblock.analyze prog in
+      let _, log, _ = Trace.Logger.run_logged ~sched eb in
+      let v1b = Trace.Log_io.measure log in
+      let v2b = Store.Segment.encoded_size log in
+      let path = Filename.temp_file "ppd_bench" ".log" in
+      let path1 = Filename.temp_file "ppd_bench_v1" ".log" in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove path;
+          Sys.remove path1)
+        (fun () ->
+          Trace.Log_io.save path1 log;
+          let tests =
+            Test.make_grouped ~name:"t9"
+              [
+                Test.make ~name:"v1save"
+                  (Staged.stage (fun () -> Trace.Log_io.save path1 log));
+                Test.make ~name:"v1load"
+                  (Staged.stage (fun () ->
+                       ignore (Trace.Log_io.load path1)));
+                Test.make ~name:"save"
+                  (Staged.stage (fun () ->
+                       Store.Segment.save path log));
+                Test.make ~name:"load"
+                  (Staged.stage (fun () ->
+                       ignore (Store.Segment.load path)));
+                (* open = trailer + footer only: what the demand-paged
+                   controller pays before the first query *)
+                Test.make ~name:"open"
+                  (Staged.stage (fun () ->
+                       ignore (Store.Segment.open_file path)));
+              ]
+          in
+          let results = measure_tests ~quota:0.3 tests in
+          row "%-14s %8d %9d %9d %6.2fx %11s %11s %11s %11s %11s\n" name
+            (Trace.Log.entry_count log)
+            v1b v2b
+            (float_of_int v2b /. float_of_int (max 1 v1b))
+            (fmt_ns (time_of results "t9/v1save"))
+            (fmt_ns (time_of results "t9/v1load"))
+            (fmt_ns (time_of results "t9/save"))
+            (fmt_ns (time_of results "t9/load"))
+            (fmt_ns (time_of results "t9/open"))))
+    workloads
+
+(* ------------------------------------------------------------------ *)
 (* Figures.                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -561,6 +618,7 @@ let experiments =
     ("t6", t6);
     ("t7", t7);
     ("t8", t8);
+    ("t9", t9);
   ]
 
 let () =

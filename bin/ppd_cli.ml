@@ -215,32 +215,142 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute an MPL program without instrumentation.")
     Term.(const run $ file_arg $ sched_arg $ steps_arg)
 
+(* Render PPD050 and exit 6: the file is not a readable log. *)
+let die_unreadable ~path ~reason =
+  Format.eprintf "%a@." Lang.Diag.pp_human
+    [ Trace.Log_io.ppd050 ~path ~reason ];
+  exit 6
+
+let log_path_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"LOG" ~doc:"Saved log file (v1 or v2).")
+
 let log_cmd =
   let save_arg =
     Arg.(
       value
       & opt (some string) None
-      & info [ "save" ] ~docv:"PATH" ~doc:"Also save the log to PATH.")
+      & info [ "save" ] ~docv:"PATH"
+          ~doc:
+            "Stream the log to PATH as a durable v2 segment while the \
+             program runs (records are flushed as e-blocks close).")
   in
-  let run file sched steps inline loops save =
-    let s = session_of ~loops file sched steps inline in
+  let v1_arg =
+    Arg.(
+      value & flag
+      & info [ "v1" ] ~doc:"With --save, write the legacy v1 marshal format.")
+  in
+  let run file sched steps inline loops save v1 =
+    let src = read_source file in
+    let prog = compile_or_die src in
+    let writer =
+      match save with
+      | Some path when not v1 -> Some (Store.Segment.Writer.to_file path)
+      | Some _ | None -> None
+    in
+    let s =
+      Ppd.Session.of_program ~sched ~max_steps:steps
+        ~policy:(policy_of ~loops inline)
+        ?log_sink:(Option.map Store.Segment.Writer.sink writer)
+        prog
+    in
     print_endline (Ppd.Session.explain_halt s);
     let log = Ppd.Session.log s in
     Format.printf "%a@." (Trace.Log.pp (Ppd.Session.prog s)) log;
-    Printf.printf "%d entries, %d bytes serialized\n"
-      (Trace.Log.entry_count log) (Trace.Log_io.measure log);
+    Printf.printf "%d entries, %d bytes serialized (v2; %d as v1)\n"
+      (Trace.Log.entry_count log)
+      (Store.Segment.encoded_size log)
+      (Trace.Log_io.measure log);
     match save with
     | None -> ()
     | Some path ->
-      Trace.Log_io.save path log;
+      (match writer with
+      | Some w -> Store.Segment.Writer.close w
+      | None -> Trace.Log_io.save path log);
       Printf.printf "saved to %s\n" path
   in
-  Cmd.v
-    (Cmd.info "log"
-       ~doc:"Run with incremental-tracing instrumentation and dump the log.")
+  let stats_cmd =
+    let run path =
+      match Store.Segment.open_file path with
+      | r ->
+        let stmt_fid _ = -1 in
+        let ivs = ref 0 in
+        for pid = 0 to Store.Segment.nprocs r - 1 do
+          ivs :=
+            !ivs + Array.length (Store.Segment.intervals r ~stmt_fid ~pid)
+        done;
+        Printf.printf "%s: v%d, %d bytes, %s\n" path (Store.Segment.version r)
+          (Store.Segment.file_bytes r)
+          (if Store.Segment.version r = 1 then "marshal blob"
+           else if Store.Segment.is_indexed r then "interval index intact"
+           else "recovered by salvage scan");
+        Printf.printf "%d process(es), %d record(s), %d interval(s)\n"
+          (Store.Segment.nprocs r)
+          (Store.Segment.entry_count r)
+          !ivs;
+        List.iter
+          (fun d ->
+            Printf.printf "damage at byte %d: %s\n"
+              d.Store.Segment.dmg_offset d.Store.Segment.dmg_reason)
+          (Store.Segment.damage r)
+      | exception Trace.Log_io.Unreadable { path; reason } ->
+        die_unreadable ~path ~reason
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"Describe a saved log file (format, size, index, damage).")
+      Term.(const run $ log_path_arg)
+  in
+  let run_term =
     Term.(
       const run $ file_arg $ sched_arg $ steps_arg $ inline_arg $ loops_arg
-      $ save_arg)
+      $ save_arg $ v1_arg)
+  in
+  Cmd.group ~default:run_term
+    (Cmd.info "log"
+       ~doc:
+         "Run with incremental-tracing instrumentation and dump the log; \
+          `ppd log stats` describes a saved log file.")
+    [
+      Cmd.v
+        (Cmd.info "run"
+           ~doc:"Run with instrumentation and dump the log (the default).")
+        run_term;
+      stats_cmd;
+    ]
+
+let verify_log_cmd =
+  let run path =
+    match Store.Segment.verify path with
+    | rp ->
+      Printf.printf "%s: v%d, %d bytes, %d record(s)%s%s\n" path
+        rp.Store.Segment.vr_version rp.Store.Segment.vr_bytes
+        rp.Store.Segment.vr_records
+        (if rp.Store.Segment.vr_version = 1 then ""
+         else Printf.sprintf " in %d page(s)" rp.Store.Segment.vr_pages)
+        (if rp.Store.Segment.vr_version = 1 then ""
+         else if rp.Store.Segment.vr_indexed then ", index intact"
+         else ", index unusable");
+      (match rp.Store.Segment.vr_damage with
+      | [] -> print_endline "no damage detected"
+      | dmg ->
+        List.iter
+          (fun d ->
+            Printf.printf "damage at byte %d: %s\n" d.Store.Segment.dmg_offset
+              d.Store.Segment.dmg_reason)
+          dmg;
+        exit 4)
+    | exception Trace.Log_io.Unreadable { path; reason } ->
+      die_unreadable ~path ~reason
+  in
+  Cmd.v
+    (Cmd.info "verify-log"
+       ~doc:
+         "Walk every record frame of a saved log, checking CRCs, the \
+          footer index and the trailer; exit 4 when damage is found.")
+    Term.(const run $ log_path_arg)
 
 let flowback_cmd =
   let depth_arg =
@@ -612,6 +722,7 @@ let main_cmd =
       analyze_cmd;
       run_cmd;
       log_cmd;
+      verify_log_cmd;
       flowback_cmd;
       race_cmd;
       lint_cmd;
@@ -623,4 +734,18 @@ let main_cmd =
       example_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* cmdliner group dispatch treats the first positional as a sub-command
+   name, so `ppd log prog.mpl` is rewritten to `ppd log run prog.mpl`
+   unless a real sub-command was named. *)
+let argv =
+  let a = Sys.argv in
+  if
+    Array.length a >= 2
+    && a.(1) = "log"
+    && (Array.length a = 2 || (a.(2) <> "stats" && a.(2) <> "run"))
+  then
+    Array.concat
+      [ Array.sub a 0 2; [| "run" |]; Array.sub a 2 (Array.length a - 2) ]
+  else a
+
+let () = exit (Cmd.eval ~argv main_cmd)

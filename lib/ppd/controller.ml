@@ -2,12 +2,17 @@ module P = Lang.Prog
 module E = Runtime.Event
 module L = Trace.Log
 
+(* Where the entries come from: a whole in-memory log, or an open
+   segment file that is decoded interval by interval as queries touch
+   it (the demand-paged debugging phase). *)
+type source = S_mem of L.t | S_paged of Store.Segment.reader
+
 type t = {
   eb : Analysis.Eblock.t;
   pdgs : Analysis.Static_pdg.program_pdgs;
   db : Analysis.Progdb.t;
-  log : L.t;
-  pd : Pardyn.t;
+  src : source;
+  pd : Pardyn.t Lazy.t;  (* race queries force a full decode *)
   g : Dyn_graph.t;
   ivs : L.interval array array;  (* per pid *)
   outcomes : (int * int, Emulator.outcome) Hashtbl.t;
@@ -18,29 +23,58 @@ type t = {
 
 type stats = { replays : int; replay_steps : int; intervals_total : int }
 
-let start eb log =
+let make eb src =
   let prog = eb.Analysis.Eblock.prog in
+  let stmt_fid sid = prog.P.stmt_fid.(sid) in
+  let ivs, pd =
+    match src with
+    | S_mem log ->
+      ( Array.init log.L.nprocs (fun pid -> L.intervals ~stmt_fid log ~pid),
+        lazy (Pardyn.of_log prog log) )
+    | S_paged r ->
+      ( Array.init (Store.Segment.nprocs r) (fun pid ->
+            Store.Segment.intervals r ~stmt_fid ~pid),
+        lazy (Pardyn.of_log prog (Store.Segment.to_log r)) )
+  in
   {
     eb;
     pdgs = Analysis.Static_pdg.build_program prog;
     db = Analysis.Progdb.build ~summary:eb.Analysis.Eblock.summary prog;
-    log;
-    pd = Pardyn.of_log prog log;
+    src;
+    pd;
     g = Dyn_graph.create ();
-    ivs =
-      Array.init log.L.nprocs (fun pid ->
-          L.intervals ~stmt_fid:(fun sid -> prog.P.stmt_fid.(sid)) log ~pid);
+    ivs;
     outcomes = Hashtbl.create 16;
     pending = [];
     replays = 0;
     replay_steps = 0;
   }
 
+let start eb log = make eb (S_mem log)
+
+let start_paged eb reader = make eb (S_paged reader)
+
+(* The log slice an interval's emulation touches: entries
+   [iv_prelog - 1 .. iv_postlog] (the preceding sync record through the
+   closing postlog, or the process's end for open intervals). A paged
+   source decodes exactly that window. *)
+let interval_log t (iv : L.interval) =
+  match t.src with
+  | S_mem log -> log
+  | S_paged r ->
+    let pid = iv.L.iv_pid in
+    let hi =
+      match iv.L.iv_postlog with
+      | Some p -> p
+      | None -> Store.Segment.pid_entry_count r ~pid - 1
+    in
+    Store.Segment.window r ~pid ~lo:(iv.L.iv_prelog - 1) ~hi
+
 let graph t = t.g
 
 let prog t = t.eb.Analysis.Eblock.prog
 
-let pardyn t = t.pd
+let pardyn t = Lazy.force t.pd
 
 let intervals t ~pid = t.ivs.(pid)
 
@@ -60,7 +94,7 @@ let build_interval t ~pid ~iv_id =
   | None ->
     let iv = t.ivs.(pid).(iv_id) in
     let builder, outcome =
-      Builder.build_interval t.pdgs t.eb t.log t.g ~interval:iv
+      Builder.build_interval t.pdgs t.eb (interval_log t iv) t.g ~interval:iv
     in
     t.replays <- t.replays + 1;
     t.replay_steps <- t.replay_steps + outcome.Emulator.steps;
@@ -203,23 +237,29 @@ let interval_of_node t node_id =
   | Some r -> Option.map (fun iv -> (r, iv)) (enclosing_interval t r)
 
 let prelog_step t (iv : L.interval) =
-  match t.log.L.entries.(iv.L.iv_pid).(iv.L.iv_prelog) with
-  | L.Prelog { step_at; _ } -> step_at
-  | _ -> 0
+  match t.src with
+  | S_paged r -> Store.Segment.interval_step r iv
+  | S_mem log -> (
+    match log.L.entries.(iv.L.iv_pid).(iv.L.iv_prelog) with
+    | L.Prelog { step_at; _ } -> step_at
+    | _ -> 0)
 
 (* The moment the value read at [reader_seq] was snapshot: the latest
    prelog or sync-unit prelog of this process at or before the reading
-   event. *)
+   event. Paged sources answer from the footer's snapshot table. *)
 let snapshot_step t ~pid ~reader_seq =
-  Array.fold_left
-    (fun acc e ->
-      match e with
-      | L.Prelog { seq_at; step_at; _ } | L.Sync_prelog { seq_at; step_at; _ }
-        when seq_at <= reader_seq ->
-        max acc step_at
-      | _ -> acc)
-    0
-    t.log.L.entries.(pid)
+  match t.src with
+  | S_paged r -> Store.Segment.snapshot_step r ~pid ~reader_seq
+  | S_mem log ->
+    Array.fold_left
+      (fun acc e ->
+        match e with
+        | L.Prelog { seq_at; step_at; _ } | L.Sync_prelog { seq_at; step_at; _ }
+          when seq_at <= reader_seq ->
+          max acc step_at
+        | _ -> acc)
+      0
+      log.L.entries.(pid)
 
 (* The last node in the (already built) graph writing [vid] within the
    given interval: scan the builder outcome's events. *)
@@ -260,11 +300,15 @@ let resolve_param t node_id (iv : L.interval) =
     | Some writer -> link writer
     | None -> None)
   | None -> (
-    (* process root: find the spawner via the proc-start sync record *)
-    let entries = t.log.L.entries.(pid) in
+    (* process root: find the spawner via the proc-start sync record
+       (a single-record seek on a paged source) *)
     let spawn =
       if iv.L.iv_prelog > 0 then
-        match entries.(iv.L.iv_prelog - 1) with
+        match
+          (match t.src with
+          | S_mem log -> log.L.entries.(pid).(iv.L.iv_prelog - 1)
+          | S_paged r -> Store.Segment.entry r ~pid ~idx:(iv.L.iv_prelog - 1))
+        with
         | L.Sync { data = L.S_proc_start { spawn; _ }; _ } -> spawn
         | _ -> None
       else None

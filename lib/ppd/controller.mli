@@ -25,6 +25,13 @@
 type t
 
 val start : Analysis.Eblock.t -> Trace.Log.t -> t
+(** Debug over a whole in-memory log. *)
+
+val start_paged : Analysis.Eblock.t -> Store.Segment.reader -> t
+(** Debug over an open segment file: interval structure comes from the
+    footer index, and only the intervals a query touches are ever
+    decoded (through the reader's window LRU). Flowback answers are
+    identical to {!start} on the same execution. *)
 
 val graph : t -> Dyn_graph.t
 

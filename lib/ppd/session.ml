@@ -9,9 +9,10 @@ type t = {
   mutable ctl : Controller.t option;
 }
 
-let of_program ?sched ?max_steps ?policy ?(race_sets = true) ?breakpoints prog =
+let of_program ?sched ?max_steps ?policy ?(race_sets = true) ?breakpoints
+    ?log_sink prog =
   let eb = Analysis.Eblock.analyze ?policy prog in
-  let logger = Trace.Logger.create eb in
+  let logger = Trace.Logger.create ?sink:log_sink eb in
   let obs = if race_sets then Some (Pardyn.observer prog) else None in
   let hooks =
     match obs with
@@ -29,8 +30,8 @@ let of_program ?sched ?max_steps ?policy ?(race_sets = true) ?breakpoints prog =
     ctl = None;
   }
 
-let run ?sched ?max_steps ?policy ?race_sets ?breakpoints src =
-  of_program ?sched ?max_steps ?policy ?race_sets ?breakpoints
+let run ?sched ?max_steps ?policy ?race_sets ?breakpoints ?log_sink src =
+  of_program ?sched ?max_steps ?policy ?race_sets ?breakpoints ?log_sink
     (Lang.Compile.compile src)
 
 let prog t = t.eb.Analysis.Eblock.prog

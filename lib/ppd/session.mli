@@ -15,12 +15,15 @@ val run :
   ?policy:Analysis.Eblock.policy ->
   ?race_sets:bool ->
   ?breakpoints:int list ->
+  ?log_sink:Trace.Logger.sink ->
   string ->
   t
 (** Compile and execute MPL source with logging attached.
     [race_sets] (default [true]) also attaches the {!Pardyn.observer}
     so races can be detected; switch it off to measure pure logging
-    overhead. Raises {!Lang.Diag.Error} on front-end errors. *)
+    overhead. [log_sink] additionally streams every log entry out as it
+    is produced (e.g. a {!Store.Segment.Writer} appending the durable
+    segment file). Raises {!Lang.Diag.Error} on front-end errors. *)
 
 val of_program :
   ?sched:Runtime.Sched.policy ->
@@ -28,6 +31,7 @@ val of_program :
   ?policy:Analysis.Eblock.policy ->
   ?race_sets:bool ->
   ?breakpoints:int list ->
+  ?log_sink:Trace.Logger.sink ->
   Lang.Prog.t ->
   t
 (** [breakpoints] halt the machine after any of the given statements

@@ -1,0 +1,880 @@
+module L = Trace.Log
+module E = Runtime.Event
+
+let magic = "PPDLOG2\n"
+
+let trailer_magic = "PPDEND2\n"
+
+let trailer_len = 16 (* u64-le footer offset + trailer magic *)
+
+(* Entries are batched into page records so the framing (tag, length,
+   CRC-32) amortises over ~4 KiB of payload instead of taxing every
+   entry; a page is also the demand-paging unit the reader decodes and
+   caches. *)
+let page_threshold = 4096
+
+let unreadable path fmt =
+  Printf.ksprintf
+    (fun reason -> raise (Trace.Log_io.Unreadable { path; reason }))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-width little-endian scalars (CRCs and the trailer pointer).    *)
+(* ------------------------------------------------------------------ *)
+
+let add_u32_le buf v =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let add_u64_le buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let get_u32_le s pos =
+  let b i = Char.code s.[pos + i] in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let get_u64_le s pos =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code s.[pos + i]
+  done;
+  !v
+
+(* Never read by the emulator: a window's out-of-range slots hold this. *)
+let filler_entry =
+  L.Sync { sid = None; seq = 0; step_at = 0; data = L.S_kind E.K_assign }
+
+(* The writer keeps a skeleton of every entry (positions and counters,
+   no snapshots) so closing can run [Log.intervals] for the footer index
+   without holding the real log in memory. *)
+let strip = function
+  | L.Prelog { block; seq_at; step_at; _ } ->
+    L.Prelog { block; caller_sid = None; seq_at; step_at; vals = [] }
+  | L.Postlog { block; seq_at; step_at; _ } ->
+    L.Postlog
+      { block; seq_at; step_at; vals = []; ret = None; via_return = None }
+  | L.Sync_prelog { point; seq_at; step_at; _ } ->
+    L.Sync_prelog { point; seq_at; step_at; vals = [] }
+  | L.Sync { sid; seq; step_at; _ } ->
+    L.Sync { sid; seq; step_at; data = L.S_kind E.K_assign }
+
+type damage = { dmg_offset : int; dmg_reason : string }
+
+(* ------------------------------------------------------------------ *)
+(* Writer.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Writer = struct
+  type dest = D_channel of out_channel | D_buffer of Buffer.t
+
+  (* Per-process state: the open page plus the footer bookkeeping. *)
+  type pidw = {
+    pbuf : Buffer.t;  (* encoded entries of the open page *)
+    mutable pcount : int;
+    mutable pctx : Wire.ctx;
+    mutable depth : int;  (* open interval nesting *)
+    mutable pages : (int * int) list;  (* (offset, count), reversed *)
+    mutable skel : L.entry list;  (* stripped, reversed *)
+  }
+
+  type t = {
+    dest : dest;
+    mutable pos : int;
+    mutable pids : pidw array;
+    mutable finalized : bool;
+    mutable closed : bool;
+  }
+
+  let emit w s =
+    (match w.dest with
+    | D_channel oc -> output_string oc s
+    | D_buffer b -> Buffer.add_string b s);
+    w.pos <- w.pos + String.length s
+
+  let make dest =
+    let w = { dest; pos = 0; pids = [||]; finalized = false; closed = false } in
+    emit w magic;
+    w
+
+  let to_file path = make (D_channel (open_out_bin path))
+
+  let to_buffer buf = make (D_buffer buf)
+
+  let ensure_pid w pid =
+    let n = Array.length w.pids in
+    if pid >= n then
+      w.pids <-
+        Array.init (pid + 1) (fun i ->
+            if i < n then w.pids.(i)
+            else
+              {
+                pbuf = Buffer.create 256;
+                pcount = 0;
+                pctx = Wire.ctx ();
+                depth = 0;
+                pages = [];
+                skel = [];
+              })
+
+  let flush_page w ~pid pw =
+    if pw.pcount > 0 then begin
+      let payload = Buffer.create (Buffer.length pw.pbuf + 8) in
+      Varint.write payload pid;
+      Varint.write payload pw.pcount;
+      Buffer.add_buffer payload pw.pbuf;
+      let p = Buffer.contents payload in
+      let frame = Buffer.create (String.length p + 10) in
+      Buffer.add_char frame '\001';
+      Varint.write frame (String.length p);
+      Buffer.add_string frame p;
+      add_u32_le frame (Crc32.digest p);
+      pw.pages <- (w.pos, pw.pcount) :: pw.pages;
+      emit w (Buffer.contents frame);
+      Buffer.clear pw.pbuf;
+      pw.pcount <- 0;
+      pw.pctx <- Wire.ctx ();
+      match w.dest with D_channel oc -> flush oc | D_buffer _ -> ()
+    end
+
+  let append w ~pid entry =
+    if w.finalized then invalid_arg "Segment.Writer.append: writer is closed";
+    ensure_pid w pid;
+    let pw = w.pids.(pid) in
+    Wire.encode_entry pw.pbuf pw.pctx entry;
+    pw.pcount <- pw.pcount + 1;
+    pw.skel <- strip entry :: pw.skel;
+    (match entry with
+    | L.Prelog _ -> pw.depth <- pw.depth + 1
+    | L.Postlog _ -> pw.depth <- pw.depth - 1
+    | L.Sync_prelog _ | L.Sync _ -> ());
+    (* durability points: the page is full, or a top-level e-block of
+       this process just closed (§5.6) *)
+    if Buffer.length pw.pbuf >= page_threshold then flush_page w ~pid pw
+    else
+      match entry with
+      | L.Postlog _ when pw.depth <= 0 -> flush_page w ~pid pw
+      | _ -> ()
+
+  let skeleton_log w ~stops =
+    {
+      L.nprocs = Array.length w.pids;
+      entries = Array.map (fun pw -> Array.of_list (List.rev pw.skel)) w.pids;
+      stops;
+    }
+
+  (* Stops when the run died before [finish]: everything we saw. *)
+  let default_stops w =
+    Array.map
+      (fun pw ->
+        List.fold_left (fun acc e -> max acc (L.entry_seq_at e + 1)) 0 pw.skel)
+      w.pids
+
+  let encode_footer w ~stops =
+    let log = skeleton_log w ~stops in
+    let buf = Buffer.create 256 in
+    Varint.write buf log.L.nprocs;
+    for pid = 0 to log.L.nprocs - 1 do
+      let pw = w.pids.(pid) in
+      let entries = log.L.entries.(pid) in
+      Varint.write buf stops.(pid);
+      (* page table: (offset delta, entry count) per page *)
+      let pages = Array.of_list (List.rev pw.pages) in
+      Varint.write buf (Array.length pages);
+      let prev = ref 0 in
+      Array.iter
+        (fun (off, count) ->
+          Varint.write buf (off - !prev);
+          prev := off;
+          Varint.write buf count)
+        pages;
+      (* interval table: rows in iv_id (= prelog) order. The fid is not
+         stored — it derives from the block and the reader's stmt_fid
+         map, exactly as [Log.intervals] computes it. Each row doubles
+         as the prelog's restore-snapshot coordinate (seq_start, step),
+         so no separate snapshot table is needed for prelogs. *)
+      let ivs = L.intervals log ~pid in
+      Varint.write buf (Array.length ivs);
+      let prev_prelog = ref 0 and prev_seq = ref 0 and prev_step = ref 0 in
+      Array.iteri
+        (fun i (iv : L.interval) ->
+          Wire.put_block buf iv.L.iv_block;
+          Varint.write buf (iv.L.iv_prelog - !prev_prelog);
+          prev_prelog := iv.L.iv_prelog;
+          Varint.write buf
+            (match iv.L.iv_postlog with
+            | None -> 0
+            | Some p -> p - iv.L.iv_prelog);
+          Varint.write_signed buf (iv.L.iv_seq_start - !prev_seq);
+          prev_seq := iv.L.iv_seq_start;
+          Varint.write buf
+            (match iv.L.iv_seq_end with
+            | None -> 0
+            | Some e -> e - iv.L.iv_seq_start + 1);
+          Varint.write buf
+            (match iv.L.iv_parent with None -> 0 | Some p -> i - p);
+          let step =
+            match entries.(iv.L.iv_prelog) with
+            | L.Prelog { step_at; _ } -> step_at
+            | _ -> 0
+          in
+          Varint.write_signed buf (step - !prev_step);
+          prev_step := step)
+        ivs;
+      (* sync-unit prelogs also carry restore snapshots (§6.2) *)
+      let snaps =
+        Array.to_list entries
+        |> List.filter_map (function
+             | L.Sync_prelog { seq_at; step_at; _ } -> Some (seq_at, step_at)
+             | L.Prelog _ | L.Postlog _ | L.Sync _ -> None)
+      in
+      Varint.write buf (List.length snaps);
+      let prev_seq = ref 0 and prev_step = ref 0 in
+      List.iter
+        (fun (seq, step) ->
+          Varint.write_signed buf (seq - !prev_seq);
+          prev_seq := seq;
+          Varint.write_signed buf (step - !prev_step);
+          prev_step := step)
+        snaps
+    done;
+    buf
+
+  let finalize w ~stops =
+    if not w.finalized then begin
+      Array.iteri (fun pid pw -> flush_page w ~pid pw) w.pids;
+      w.finalized <- true;
+      let fpayload = Buffer.contents (encode_footer w ~stops) in
+      let footer_pos = w.pos in
+      let tail = Buffer.create (String.length fpayload + 24) in
+      Buffer.add_char tail '\002';
+      Varint.write tail (String.length fpayload);
+      Buffer.add_string tail fpayload;
+      add_u32_le tail (Crc32.digest fpayload);
+      add_u64_le tail footer_pos;
+      Buffer.add_string tail trailer_magic;
+      emit w (Buffer.contents tail);
+      match w.dest with D_channel oc -> flush oc | D_buffer _ -> ()
+    end
+
+  let sink w =
+    {
+      Trace.Logger.sink_entry = (fun ~pid entry -> append w ~pid entry);
+      sink_close = (fun ~stops -> finalize w ~stops);
+    }
+
+  let close w =
+    if not w.closed then begin
+      w.closed <- true;
+      if not w.finalized then finalize w ~stops:(default_stops w);
+      match w.dest with D_channel oc -> close_out oc | D_buffer _ -> ()
+    end
+
+  let bytes_written w = w.pos
+end
+
+let write_log w (log : L.t) =
+  Array.iteri
+    (fun pid entries -> Array.iter (fun e -> Writer.append w ~pid e) entries)
+    log.L.entries;
+  Writer.finalize w ~stops:log.L.stops
+
+let save path (log : L.t) =
+  let w = Writer.to_file path in
+  Fun.protect ~finally:(fun () -> Writer.close w) (fun () -> write_log w log)
+
+let encoded_size (log : L.t) =
+  let buf = Buffer.create 4096 in
+  let w = Writer.to_buffer buf in
+  write_log w log;
+  Writer.bytes_written w
+
+(* ------------------------------------------------------------------ *)
+(* Frame and footer parsing.                                            *)
+(* ------------------------------------------------------------------ *)
+
+type frame =
+  | F_page of { fpid : int; fentries : L.entry array; fnext : int }
+  | F_footer of { fpayload : string; fnext : int }
+
+let parse_frame raw off =
+  let file_len = String.length raw in
+  try
+    if off >= file_len then raise (Varint.Corrupt "unexpected end of file");
+    let tag = raw.[off] in
+    if tag <> '\001' && tag <> '\002' then
+      raise
+        (Varint.Corrupt
+           (Printf.sprintf "unknown frame type 0x%02x" (Char.code tag)));
+    let d = Varint.decoder ~pos:(off + 1) raw in
+    let plen = Varint.read d in
+    let ppos = d.Varint.pos in
+    if plen > file_len - ppos - 4 then
+      raise (Varint.Corrupt "frame extends past the end of the file");
+    if Crc32.digest ~pos:ppos ~len:plen raw <> get_u32_le raw (ppos + plen)
+    then raise (Varint.Corrupt "payload fails its CRC-32 check");
+    let fnext = ppos + plen + 4 in
+    if tag = '\001' then begin
+      let pd = Varint.decoder ~pos:ppos ~limit:(ppos + plen) raw in
+      let fpid = Varint.read pd in
+      let count = Varint.read pd in
+      if count > plen then
+        raise (Varint.Corrupt "page claims more entries than it has bytes");
+      let ctx = Wire.ctx () in
+      let fentries = Array.init count (fun _ -> Wire.decode_entry pd ctx) in
+      if not (Varint.at_end pd) then
+        raise (Varint.Corrupt "trailing bytes inside a page frame");
+      Ok (F_page { fpid; fentries; fnext })
+    end
+    else Ok (F_footer { fpayload = String.sub raw ppos plen; fnext })
+  with Varint.Corrupt m -> Error m
+
+(* The decoded footer: page table plus raw interval rows per process.
+   Interval rows materialise into {!Trace.Log.interval} values only when
+   queried, because the fid of a loop block needs the caller's
+   [stmt_fid] map. *)
+type pid_index = {
+  px_stop : int;
+  px_pages : (int * int) array;  (* (file offset, entry count) per page *)
+  px_first : int array;  (* first entry index per page *)
+  px_count : int;  (* total entries *)
+  px_blocks : L.block array;
+  px_prelog : int array;
+  px_postlog : int array;  (* -1 = still open *)
+  px_seq_start : int array;
+  px_seq_end : int array;  (* -1 = still open *)
+  px_parent : int array;  (* -1 = root *)
+  px_iv_steps : int array;  (* prelog step_at per interval *)
+  px_snaps : (int * int) array;  (* sync-prelog (seq_at, step_at) *)
+}
+
+let parse_footer payload =
+  let d = Varint.decoder payload in
+  let nprocs = Varint.read d in
+  if nprocs > 65_536 then raise (Varint.Corrupt "unreasonable process count");
+  let index =
+    Array.init nprocs (fun _ ->
+        let px_stop = Varint.read d in
+        let npages = Varint.read d in
+        if npages > 100_000_000 then
+          raise (Varint.Corrupt "unreasonable page count");
+        let prev = ref 0 in
+        let px_pages =
+          Array.init npages (fun _ ->
+              let off = !prev + Varint.read d in
+              prev := off;
+              let count = Varint.read d in
+              if count > 100_000_000 then
+                raise (Varint.Corrupt "unreasonable page entry count");
+              (off, count))
+        in
+        let px_first = Array.make npages 0 in
+        let total = ref 0 in
+        Array.iteri
+          (fun i (_, count) ->
+            px_first.(i) <- !total;
+            total := !total + count)
+          px_pages;
+        let px_count = !total in
+        let nivs = Varint.read d in
+        if nivs > px_count then
+          raise (Varint.Corrupt "interval table larger than the entry count");
+        let px_blocks = Array.make nivs (L.Bfunc 0) in
+        let px_prelog = Array.make nivs 0 in
+        let px_postlog = Array.make nivs (-1) in
+        let px_seq_start = Array.make nivs 0 in
+        let px_seq_end = Array.make nivs (-1) in
+        let px_parent = Array.make nivs (-1) in
+        let px_iv_steps = Array.make nivs 0 in
+        let prev_prelog = ref 0 and prev_seq = ref 0 and prev_step = ref 0 in
+        for i = 0 to nivs - 1 do
+          px_blocks.(i) <- Wire.get_block d;
+          let prelog = !prev_prelog + Varint.read d in
+          if i > 0 && prelog <= !prev_prelog then
+            raise (Varint.Corrupt "interval prelogs out of order");
+          if prelog >= px_count then
+            raise (Varint.Corrupt "interval prelog beyond the entry count");
+          prev_prelog := prelog;
+          px_prelog.(i) <- prelog;
+          (match Varint.read d with
+          | 0 -> ()
+          | k ->
+            if prelog + k >= px_count then
+              raise (Varint.Corrupt "interval postlog beyond the entry count");
+            px_postlog.(i) <- prelog + k);
+          let seq_start = !prev_seq + Varint.read_signed d in
+          prev_seq := seq_start;
+          px_seq_start.(i) <- seq_start;
+          (match Varint.read d with
+          | 0 -> ()
+          | k -> px_seq_end.(i) <- seq_start + k - 1);
+          (match Varint.read d with
+          | 0 -> ()
+          | dist ->
+            if dist > i then
+              raise (Varint.Corrupt "interval parent points forward");
+            px_parent.(i) <- i - dist);
+          let step = !prev_step + Varint.read_signed d in
+          prev_step := step;
+          px_iv_steps.(i) <- step
+        done;
+        let nsnaps = Varint.read d in
+        if nsnaps > px_count then
+          raise (Varint.Corrupt "snapshot table larger than the entry count");
+        let prev_seq = ref 0 and prev_step = ref 0 in
+        let px_snaps =
+          Array.init nsnaps (fun _ ->
+              let seq = !prev_seq + Varint.read_signed d in
+              prev_seq := seq;
+              let step = !prev_step + Varint.read_signed d in
+              prev_step := step;
+              (seq, step))
+        in
+        {
+          px_stop;
+          px_pages;
+          px_first;
+          px_count;
+          px_blocks;
+          px_prelog;
+          px_postlog;
+          px_seq_start;
+          px_seq_end;
+          px_parent;
+          px_iv_steps;
+          px_snaps;
+        })
+  in
+  if not (Varint.at_end d) then
+    raise (Varint.Corrupt "trailing bytes after the footer tables");
+  index
+
+(* Materialise [Log.interval] values from the raw rows; children rebuild
+   from the parent pointers (nesting is a stack discipline, so
+   increasing id order is chronological order). *)
+let materialize_intervals px ~stmt_fid ~pid =
+  let n = Array.length px.px_blocks in
+  let kids = Array.make n [] in
+  for i = n - 1 downto 0 do
+    let p = px.px_parent.(i) in
+    if p >= 0 then kids.(p) <- i :: kids.(p)
+  done;
+  Array.init n (fun i ->
+      {
+        L.iv_id = i;
+        iv_pid = pid;
+        iv_block = px.px_blocks.(i);
+        iv_fid =
+          (match px.px_blocks.(i) with
+          | L.Bfunc fid -> fid
+          | L.Bloop sid -> stmt_fid sid);
+        iv_prelog = px.px_prelog.(i);
+        iv_postlog =
+          (if px.px_postlog.(i) < 0 then None else Some px.px_postlog.(i));
+        iv_seq_start = px.px_seq_start.(i);
+        iv_seq_end =
+          (if px.px_seq_end.(i) < 0 then None else Some px.px_seq_end.(i));
+        iv_parent = (if px.px_parent.(i) < 0 then None else Some px.px_parent.(i));
+        iv_children = kids.(i);
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Salvage scan: walk frames forward, keep the longest valid prefix.    *)
+(* ------------------------------------------------------------------ *)
+
+type scan_result = {
+  sc_entries : (int * L.entry array) list;  (* pages, in file order *)
+  sc_pages : int;
+  sc_nentries : int;
+  sc_index : pid_index array option;  (* the footer, when intact *)
+  sc_damage : damage list;
+}
+
+let scan raw =
+  let len = String.length raw in
+  let pages = ref [] in
+  let npages = ref 0 in
+  let nentries = ref 0 in
+  let damage = ref [] in
+  let findex = ref None in
+  let add off reason =
+    damage := { dmg_offset = off; dmg_reason = reason } :: !damage
+  in
+  let pos = ref (String.length magic) in
+  let stop = ref false in
+  while (not !stop) && !pos < len do
+    let off = !pos in
+    match parse_frame raw off with
+    | Ok (F_page { fpid; fentries; fnext }) ->
+      incr npages;
+      nentries := !nentries + Array.length fentries;
+      pages := (fpid, fentries) :: !pages;
+      pos := fnext
+    | Ok (F_footer { fpayload; fnext }) ->
+      (match parse_footer fpayload with
+      | idx -> findex := Some idx
+      | exception Varint.Corrupt m -> add off ("footer: " ^ m));
+      (if len - fnext <> trailer_len then
+         add fnext
+           (Printf.sprintf
+              "expected the 16-byte trailer after the footer, found %d \
+               byte(s)"
+              (len - fnext))
+       else if not (String.equal (String.sub raw (len - 8) 8) trailer_magic)
+       then add (len - 8) "trailer magic missing"
+       else if get_u64_le raw fnext <> off then
+         add fnext
+           (Printf.sprintf "trailer points at byte %d, the footer is at %d"
+              (get_u64_le raw fnext) off));
+      stop := true
+    | Error reason ->
+      add off reason;
+      stop := true
+  done;
+  if not !stop then add len "file ends without a footer frame";
+  {
+    sc_entries = List.rev !pages;
+    sc_pages = !npages;
+    sc_nentries = !nentries;
+    sc_index = !findex;
+    sc_damage = List.rev !damage;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reader.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type indexed = {
+  ix_path : string;
+  ix_raw : string;
+  ix_index : pid_index array;
+  mutable ix_cache : ((int * int) * L.entry array) list;
+      (* (pid, page) -> decoded entries, recent first *)
+}
+
+type mem = {
+  bm_log : L.t;
+  bm_damage : damage list;
+  bm_ivs : L.interval array option array;  (* lazy per pid *)
+}
+
+type backing = B_indexed of indexed | B_mem of mem
+
+type reader = {
+  r_path : string;
+  r_version : int;
+  r_bytes : int;
+  r_backing : backing;
+}
+
+let page_cache_cap = 16
+
+let read_file path =
+  try In_channel.with_open_bin path In_channel.input_all
+  with Sys_error m ->
+    raise (Trace.Log_io.Unreadable { path; reason = m })
+
+(* Returns the format version; raises on anything we cannot read. *)
+let check_magic path raw =
+  if String.length raw < 8 then
+    unreadable path "file shorter than the 8-byte magic"
+  else
+    let hdr = String.sub raw 0 8 in
+    if String.equal hdr magic then 2
+    else if String.equal hdr Trace.Log_io.magic then 1
+    else if String.equal (String.sub hdr 0 6) "PPDLOG" then
+      unreadable path
+        "unsupported log format version '%c' (this build reads v1 and v2)"
+        hdr.[6]
+    else unreadable path "not a PPD log file (bad magic)"
+
+let mem_backing ?(dmg = []) log =
+  B_mem
+    { bm_log = log; bm_damage = dmg; bm_ivs = Array.make log.L.nprocs None }
+
+let salvage raw =
+  let sc = scan raw in
+  let nprocs =
+    List.fold_left
+      (fun a (pid, _) -> max a (pid + 1))
+      (match sc.sc_index with Some ix -> Array.length ix | None -> 0)
+      sc.sc_entries
+  in
+  let per = Array.init nprocs (fun _ -> ref []) in
+  List.iter (fun (pid, page) -> per.(pid) := page :: !(per.(pid))) sc.sc_entries;
+  let entries =
+    Array.map (fun c -> Array.concat (List.rev !c)) per
+  in
+  let stops =
+    match sc.sc_index with
+    | Some ix when Array.length ix = nprocs ->
+      Array.map (fun px -> px.px_stop) ix
+    | _ ->
+      Array.map
+        (fun es ->
+          Array.fold_left (fun a e -> max a (L.entry_seq_at e + 1)) 0 es)
+        entries
+  in
+  mem_backing ~dmg:sc.sc_damage { L.nprocs; entries; stops }
+
+(* Fast path: intact trailer -> footer -> index; no page is decoded. *)
+let indexed_backing path raw =
+  let len = String.length raw in
+  if len < String.length magic + trailer_len then None
+  else if not (String.equal (String.sub raw (len - 8) 8) trailer_magic) then
+    None
+  else
+    let footer_pos = get_u64_le raw (len - trailer_len) in
+    if footer_pos < String.length magic || footer_pos >= len - trailer_len
+    then None
+    else
+      match parse_frame raw footer_pos with
+      | Ok (F_footer { fpayload; fnext }) when fnext = len - trailer_len -> (
+        match parse_footer fpayload with
+        | index ->
+          Some
+            (B_indexed
+               { ix_path = path; ix_raw = raw; ix_index = index; ix_cache = [] })
+        | exception Varint.Corrupt _ -> None)
+      | Ok _ | Error _ -> None
+
+let open_file path =
+  let raw = read_file path in
+  match check_magic path raw with
+  | 1 ->
+    {
+      r_path = path;
+      r_version = 1;
+      r_bytes = String.length raw;
+      r_backing = mem_backing (Trace.Log_io.load path);
+    }
+  | _ ->
+    let backing =
+      match indexed_backing path raw with Some b -> b | None -> salvage raw
+    in
+    {
+      r_path = path;
+      r_version = 2;
+      r_bytes = String.length raw;
+      r_backing = backing;
+    }
+
+let version r = r.r_version
+
+let file_bytes r = r.r_bytes
+
+let is_indexed r =
+  match r.r_backing with B_indexed _ -> true | B_mem _ -> false
+
+let damage r =
+  match r.r_backing with B_indexed _ -> [] | B_mem m -> m.bm_damage
+
+let nprocs r =
+  match r.r_backing with
+  | B_indexed ix -> Array.length ix.ix_index
+  | B_mem m -> m.bm_log.L.nprocs
+
+let stops r =
+  match r.r_backing with
+  | B_indexed ix -> Array.map (fun px -> px.px_stop) ix.ix_index
+  | B_mem m -> Array.copy m.bm_log.L.stops
+
+let pid_entry_count r ~pid =
+  match r.r_backing with
+  | B_indexed ix -> ix.ix_index.(pid).px_count
+  | B_mem m -> Array.length m.bm_log.L.entries.(pid)
+
+let entry_count r =
+  match r.r_backing with
+  | B_indexed ix -> Array.fold_left (fun a px -> a + px.px_count) 0 ix.ix_index
+  | B_mem m -> L.entry_count m.bm_log
+
+(* The page holding entry [idx]: greatest p with px_first.(p) <= idx. *)
+let find_page px ~idx =
+  let lo = ref 0 and hi = ref (Array.length px.px_first - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if px.px_first.(mid) <= idx then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+(* Decode one page through the LRU cache. *)
+let decode_page ix ~pid ~page =
+  let key = (pid, page) in
+  match List.assoc_opt key ix.ix_cache with
+  | Some entries ->
+    ix.ix_cache <- (key, entries) :: List.remove_assoc key ix.ix_cache;
+    entries
+  | None -> (
+    let px = ix.ix_index.(pid) in
+    let off, count = px.px_pages.(page) in
+    match parse_frame ix.ix_raw off with
+    | Ok (F_page { fpid; fentries; _ })
+      when fpid = pid && Array.length fentries = count ->
+      ix.ix_cache <-
+        (key, fentries)
+        :: (if List.length ix.ix_cache >= page_cache_cap then
+              List.filteri (fun i _ -> i < page_cache_cap - 1) ix.ix_cache
+            else ix.ix_cache);
+      fentries
+    | Ok (F_page { fpid; fentries; _ }) ->
+      unreadable ix.ix_path
+        "page at byte %d holds %d entries of process %d, the index says %d \
+         of process %d"
+        off (Array.length fentries) fpid count pid
+    | Ok (F_footer _) ->
+      unreadable ix.ix_path "index points at the footer (byte %d)" off
+    | Error reason -> unreadable ix.ix_path "page at byte %d: %s" off reason)
+
+let intervals r ~stmt_fid ~pid =
+  match r.r_backing with
+  | B_indexed ix -> materialize_intervals ix.ix_index.(pid) ~stmt_fid ~pid
+  | B_mem m -> (
+    match m.bm_ivs.(pid) with
+    | Some ivs -> ivs
+    | None ->
+      let ivs = L.intervals ~stmt_fid m.bm_log ~pid in
+      m.bm_ivs.(pid) <- Some ivs;
+      ivs)
+
+let interval_step r (iv : L.interval) =
+  match r.r_backing with
+  | B_indexed ix -> ix.ix_index.(iv.L.iv_pid).px_iv_steps.(iv.L.iv_id)
+  | B_mem m -> (
+    match m.bm_log.L.entries.(iv.L.iv_pid).(iv.L.iv_prelog) with
+    | L.Prelog { step_at; _ } -> step_at
+    | _ -> 0)
+
+let snapshot_step r ~pid ~reader_seq =
+  match r.r_backing with
+  | B_indexed ix ->
+    let px = ix.ix_index.(pid) in
+    let acc = ref 0 in
+    Array.iteri
+      (fun i seq ->
+        if seq <= reader_seq then acc := max !acc px.px_iv_steps.(i))
+      px.px_seq_start;
+    Array.iter
+      (fun (seq, step) -> if seq <= reader_seq then acc := max !acc step)
+      px.px_snaps;
+    !acc
+  | B_mem m ->
+    Array.fold_left
+      (fun acc e ->
+        match e with
+        | L.Prelog { seq_at; step_at; _ } | L.Sync_prelog { seq_at; step_at; _ }
+          when seq_at <= reader_seq ->
+          max acc step_at
+        | _ -> acc)
+      0 m.bm_log.L.entries.(pid)
+
+let entry r ~pid ~idx =
+  match r.r_backing with
+  | B_indexed ix ->
+    let px = ix.ix_index.(pid) in
+    let page = find_page px ~idx in
+    (decode_page ix ~pid ~page).(idx - px.px_first.(page))
+  | B_mem m -> m.bm_log.L.entries.(pid).(idx)
+
+let window r ~pid ~lo ~hi =
+  match r.r_backing with
+  | B_mem m -> m.bm_log
+  | B_indexed ix ->
+    let px = ix.ix_index.(pid) in
+    let count = px.px_count in
+    let arr = Array.make count filler_entry in
+    (if count > 0 && lo < count && hi >= 0 then begin
+       let first = find_page px ~idx:(max 0 lo) in
+       let last = find_page px ~idx:(min hi (count - 1)) in
+       for page = first to last do
+         let entries = decode_page ix ~pid ~page in
+         Array.blit entries 0 arr px.px_first.(page) (Array.length entries)
+       done
+     end);
+    {
+      L.nprocs = Array.length ix.ix_index;
+      entries =
+        Array.mapi (fun p _ -> if p = pid then arr else [||]) ix.ix_index;
+      stops = Array.map (fun px -> px.px_stop) ix.ix_index;
+    }
+
+let to_log r =
+  match r.r_backing with
+  | B_mem m -> m.bm_log
+  | B_indexed ix ->
+    {
+      L.nprocs = Array.length ix.ix_index;
+      entries =
+        Array.mapi
+          (fun pid px ->
+            Array.concat
+              (List.init (Array.length px.px_pages) (fun page ->
+                   decode_page ix ~pid ~page)))
+          ix.ix_index;
+      stops = Array.map (fun px -> px.px_stop) ix.ix_index;
+    }
+
+let load path =
+  let r = open_file path in
+  match to_log r with
+  | log -> log
+  | exception Trace.Log_io.Unreadable _ when is_indexed r ->
+    (* the index survived but some page did not: fall back to the
+       forward scan and keep the longest valid prefix *)
+    let r = { r with r_backing = salvage (read_file path) } in
+    to_log r
+
+(* ------------------------------------------------------------------ *)
+(* Verification.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  vr_version : int;
+  vr_bytes : int;
+  vr_pages : int;
+  vr_records : int;
+  vr_indexed : bool;
+  vr_damage : damage list;
+}
+
+let verify path =
+  let raw = read_file path in
+  match check_magic path raw with
+  | 1 -> (
+    match Trace.Log_io.load path with
+    | log ->
+      {
+        vr_version = 1;
+        vr_bytes = String.length raw;
+        vr_pages = 0;
+        vr_records = L.entry_count log;
+        vr_indexed = false;
+        vr_damage = [];
+      }
+    | exception Trace.Log_io.Unreadable { reason; _ } ->
+      {
+        vr_version = 1;
+        vr_bytes = String.length raw;
+        vr_pages = 0;
+        vr_records = 0;
+        vr_indexed = false;
+        vr_damage =
+          [
+            {
+              dmg_offset = String.length Trace.Log_io.magic;
+              dmg_reason = reason;
+            };
+          ];
+      })
+  | _ ->
+    let sc = scan raw in
+    {
+      vr_version = 2;
+      vr_bytes = String.length raw;
+      vr_pages = sc.sc_pages;
+      vr_records = sc.sc_nentries;
+      vr_indexed = sc.sc_index <> None;
+      vr_damage = sc.sc_damage;
+    }

@@ -1,0 +1,157 @@
+(** The durable segmented log store — the v2 on-disk format.
+
+    A segment file replaces the v1 [Marshal] blob with a stream of
+    CRC-framed binary pages that the logger appends {e as the execution
+    runs} (one flush per ~4 KiB of payload or per closing top-level
+    e-block), so a crash loses at most the open tail, never the whole
+    log.
+
+    Layout (DESIGN.md §9):
+    {v
+    "PPDLOG2\n"                                   8-byte magic
+    repeat: 0x01 · varint len · payload · crc32   page frames
+            payload = varint pid · varint count · count entries
+    once:   0x02 · varint len · footer  · crc32   footer frame
+    trailer: u64-le footer offset · "PPDEND2\n"   last 16 bytes
+    v}
+
+    The footer is an interval index: per process it stores the stop
+    sequence number, the page table (offset and entry count of every
+    page frame), and the delta-coded interval table — block, prelog and
+    postlog positions, reader-sequence span, parent link, and the
+    prelog's [step_at] (which doubles as the restore-snapshot
+    coordinate) — plus the sync-unit prelog snapshots. That is
+    everything the debugging-phase controller needs to answer queries
+    without decoding a single page, until an interval is actually
+    emulated.
+
+    Reading degrades gracefully: an intact trailer gives O(1) seeks to
+    the pages covering any interval; a truncated or damaged file falls
+    back to a forward scan that salvages the longest valid page prefix
+    and reports what was lost. *)
+
+val magic : string
+(** ["PPDLOG2\n"]. *)
+
+val trailer_magic : string
+(** ["PPDEND2\n"], the final 8 bytes of a complete segment. *)
+
+type damage = {
+  dmg_offset : int;  (** byte offset where the problem was found *)
+  dmg_reason : string;
+}
+
+(** Streaming segment writer: plug {!Writer.sink} into
+    {!Trace.Logger.create} and pages hit the disk as the traced
+    program runs. *)
+module Writer : sig
+  type t
+
+  val to_file : string -> t
+  (** Open a segment at the path and write the magic. *)
+
+  val to_buffer : Buffer.t -> t
+  (** Same, into a buffer — used to measure encoded sizes. *)
+
+  val sink : t -> Trace.Logger.sink
+  (** The logger-facing streaming interface; its [sink_close] writes
+      the footer and trailer. *)
+
+  val finalize : t -> stops:int array -> unit
+  (** Flush open pages, then write the footer and trailer (idempotent;
+      [sink_close] calls this). *)
+
+  val close : t -> unit
+  (** Flush and close. If the footer was never written (the run died
+      before [finish]), writes it with best-effort stop counts first.
+      Idempotent. *)
+
+  val bytes_written : t -> int
+end
+
+type reader
+(** An open segment. Indexed readers keep the raw bytes plus the footer
+    tables and decode pages lazily, CRC-checked per frame, through a
+    small LRU of decoded pages; salvaged readers hold the recovered
+    prefix in memory. *)
+
+val open_file : string -> reader
+(** Open any log file: a v2 segment (indexed when the trailer and
+    footer are intact, salvaged otherwise) or a v1 marshal blob (loaded
+    whole). @raise Trace.Log_io.Unreadable on a foreign or hopeless
+    file. *)
+
+val version : reader -> int
+(** 1 or 2. *)
+
+val file_bytes : reader -> int
+(** On-disk size of the file that was opened. *)
+
+val is_indexed : reader -> bool
+(** True when the footer index is driving reads (no salvage needed). *)
+
+val damage : reader -> damage list
+(** What the salvage scan found; [[]] for an intact file. *)
+
+val nprocs : reader -> int
+
+val stops : reader -> int array
+
+val entry_count : reader -> int
+
+val pid_entry_count : reader -> pid:int -> int
+
+val intervals :
+  reader -> stmt_fid:(int -> int) -> pid:int -> Trace.Log.interval array
+(** The process's interval tree — materialised from the footer table
+    (no page decoding) when indexed, recomputed from the salvaged
+    entries otherwise. [stmt_fid] supplies the fid of loop blocks,
+    which the footer does not store. *)
+
+val interval_step : reader -> Trace.Log.interval -> int
+(** The interval's prelog [step_at], from the index when possible. *)
+
+val snapshot_step : reader -> pid:int -> reader_seq:int -> int
+(** The latest prelog/sync-prelog [step_at] at or before [reader_seq]
+    (the controller's snapshot-moment query), index-only when
+    possible. *)
+
+val entry : reader -> pid:int -> idx:int -> Trace.Log.entry
+(** Decode the page holding one entry and return it. @raise
+    Trace.Log_io.Unreadable if the page is damaged. *)
+
+val window : reader -> pid:int -> lo:int -> hi:int -> Trace.Log.t
+(** A demand-paged view: a log whose [pid] entry array has at least the
+    entries [lo..hi] decoded in place (slots outside the touched pages
+    hold an inert filler, other processes are empty) but whose
+    [nprocs]/[stops] are real, so the emulator's absolute indexing
+    works unchanged. Decoded pages are cached in an LRU keyed by
+    [(pid, page)].
+    @raise Trace.Log_io.Unreadable if a page in range is damaged. *)
+
+val to_log : reader -> Trace.Log.t
+(** Decode everything. *)
+
+val save : string -> Trace.Log.t -> unit
+(** Write an in-memory log as a complete v2 segment. *)
+
+val load : string -> Trace.Log.t
+(** Load any log file (v1 or v2); a damaged v2 file yields the salvaged
+    prefix. @raise Trace.Log_io.Unreadable when nothing can be read. *)
+
+val encoded_size : Trace.Log.t -> int
+(** Exact v2 on-disk size in bytes, without touching the filesystem. *)
+
+type report = {
+  vr_version : int;  (** 1 or 2 *)
+  vr_bytes : int;
+  vr_pages : int;  (** intact page frames (0 for v1) *)
+  vr_records : int;  (** intact entry records inside those pages *)
+  vr_indexed : bool;  (** the footer index is usable *)
+  vr_damage : damage list;  (** empty iff the file is clean *)
+}
+
+val verify : string -> report
+(** Walk every frame of the file (CRC and structural checks, trailer
+    and footer validation) and report all damage found. @raise
+    Trace.Log_io.Unreadable only when the magic itself is foreign. *)

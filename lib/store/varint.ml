@@ -1,0 +1,55 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+let write buf n =
+  if n < 0 then invalid_arg "Varint.write: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+(* zigzag: 0,-1,1,-2,... -> 0,1,2,3,... *)
+let write_signed buf n = write buf ((n lsl 1) lxor (n asr 62))
+
+type decoder = { src : string; mutable pos : int; limit : int }
+
+let decoder ?(pos = 0) ?limit src =
+  let limit = match limit with Some l -> l | None -> String.length src in
+  { src; pos; limit }
+
+let read_byte d =
+  if d.pos >= d.limit then corrupt "unexpected end of input at offset %d" d.pos
+  else begin
+    let b = Char.code d.src.[d.pos] in
+    d.pos <- d.pos + 1;
+    b
+  end
+
+let read d =
+  let rec go shift acc =
+    if shift > 62 then corrupt "varint wider than 63 bits at offset %d" d.pos;
+    let b = read_byte d in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_signed d =
+  let u = read d in
+  (u lsr 1) lxor (-(u land 1))
+
+let read_bytes d n =
+  if n < 0 || d.pos + n > d.limit then
+    corrupt "unexpected end of input reading %d bytes at offset %d" n d.pos
+  else begin
+    let s = String.sub d.src d.pos n in
+    d.pos <- d.pos + n;
+    s
+  end
+
+let at_end d = d.pos >= d.limit

@@ -1,0 +1,32 @@
+(** The v2 entry codec: one {!Trace.Log.entry} to/from compact bytes.
+
+    Encoding conventions (DESIGN.md §9):
+    - all integers are LEB128 varints; signed fields go through zigzag;
+    - [seq_at] and [step_at] are zigzag deltas against the previous
+      entry of the same page, carried in a {!ctx} that resets at page
+      boundaries (both counters advance slowly between consecutive
+      entries of one process, so the deltas stay tiny);
+    - a postlog's rare [via_return] field is folded into the entry tag;
+    - snapshot value lists delta-encode their variable ids against the
+      previous id in the list, and array values delta-encode elements;
+    - options are a 0/1 tag byte followed by the payload.
+
+    A page is self-contained: decoding needs no state from neighbouring
+    pages, which is what makes page-granular seeks and crash recovery
+    possible. *)
+
+type ctx
+(** Delta context threaded through the entries of one page. *)
+
+val ctx : unit -> ctx
+(** A fresh context — one per page, on both sides. *)
+
+val encode_entry : Buffer.t -> ctx -> Trace.Log.entry -> unit
+
+val decode_entry : Varint.decoder -> ctx -> Trace.Log.entry
+(** @raise Varint.Corrupt on any malformed encoding. *)
+
+val put_block : Buffer.t -> Trace.Log.block -> unit
+(** Also used by the segment footer's interval table. *)
+
+val get_block : Varint.decoder -> Trace.Log.block

@@ -1,5 +1,19 @@
 let magic = "PPDLOG1\n"
 
+exception Unreadable of { path : string; reason : string }
+
+let unreadable path fmt =
+  Printf.ksprintf (fun reason -> raise (Unreadable { path; reason })) fmt
+
+let ppd050 ~path ~reason =
+  {
+    Lang.Diag.d_code = "PPD050";
+    d_severity = Lang.Diag.Sev_error;
+    d_loc = Lang.Loc.none;
+    d_message = Printf.sprintf "unreadable log %s: %s" path reason;
+    d_related = [];
+  }
+
 let save path (log : Log.t) =
   let oc = open_out_bin path in
   Fun.protect
@@ -13,10 +27,20 @@ let load path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let hdr = really_input_string ic (String.length magic) in
+      let hdr =
+        try really_input_string ic (String.length magic)
+        with End_of_file ->
+          unreadable path "file shorter than the 8-byte magic"
+      in
       if not (String.equal hdr magic) then
-        failwith (path ^ ": not a PPD log file (bad magic)");
-      (Marshal.from_channel ic : Log.t))
+        if String.length hdr >= 6 && String.equal (String.sub hdr 0 6) "PPDLOG"
+        then
+          unreadable path "unsupported log format version '%c' (this build reads v1 and v2)"
+            hdr.[6]
+        else unreadable path "not a PPD log file (bad magic)";
+      try (Marshal.from_channel ic : Log.t)
+      with End_of_file | Failure _ ->
+        unreadable path "truncated or corrupt v1 marshal payload")
 
 let save_per_process ~dir ~basename (log : Log.t) =
   Array.to_list
@@ -34,6 +58,10 @@ let save_per_process ~dir ~basename (log : Log.t) =
          path)
        log.Log.entries)
 
-let measure (log : Log.t) = String.length (Marshal.to_string log [])
+(* Honest persisted sizes: what [save] actually writes, magic included
+   (the bench log-size columns and `ppd log` report these). *)
+let measure (log : Log.t) =
+  String.length magic + String.length (Marshal.to_string log [])
 
-let measure_trace (tr : Full_trace.t) = String.length (Marshal.to_string tr [])
+let measure_trace (tr : Full_trace.t) =
+  String.length magic + String.length (Marshal.to_string tr [])

@@ -1,21 +1,39 @@
-(** Log persistence: "there is one log file for each process" (§5.6).
+(** Legacy (v1) log persistence: "there is one log file for each
+    process" (§5.6).
 
-    Logs are saved with OCaml's [Marshal] under a small versioned
-    header; [measure] reports serialized sizes for the log-volume
-    benchmarks without touching the filesystem. *)
+    v1 files are OCaml [Marshal] blobs under an 8-byte magic. The
+    durable segmented v2 format lives in [Store.Segment]; its loader is
+    the format-version switch and delegates v1 files here, so old logs
+    stay readable.
+
+    All failure modes of [load] — wrong magic, wrong version, truncated
+    or corrupt payload — raise {!Unreadable} instead of leaking raw
+    [Failure]/[End_of_file]; {!ppd050} turns that into the diagnostic
+    the CLI renders. *)
+
+exception Unreadable of { path : string; reason : string }
+(** The file is not a readable log. *)
+
+val magic : string
+(** The 8-byte v1 magic, ["PPDLOG1\n"]. *)
+
+val ppd050 : path:string -> reason:string -> Lang.Diag.diagnostic
+(** The [PPD050] "unreadable log" diagnostic for an {!Unreadable}. *)
 
 val save : string -> Log.t -> unit
-(** Write one file containing every process's log. *)
+(** Write one v1 file containing every process's log. *)
 
 val load : string -> Log.t
-(** @raise Failure on version or format mismatch. *)
+(** Read a v1 file. @raise Unreadable on any format problem (including
+    a v2 magic: open those through [Store.Segment]). *)
 
 val save_per_process : dir:string -> basename:string -> Log.t -> string list
 (** Write [basename.pid.log] per process (the paper's layout); returns
     the paths. *)
 
 val measure : Log.t -> int
-(** Serialized size in bytes. *)
+(** Exact v1 on-disk size in bytes (magic + marshalled payload), without
+    touching the filesystem. *)
 
 val measure_trace : Full_trace.t -> int
-(** Serialized size of a full trace, for comparison. *)
+(** v1 on-disk size a full trace would occupy, for comparison. *)

@@ -1,8 +1,14 @@
 module P = Lang.Prog
 module E = Runtime.Event
 
+type sink = {
+  sink_entry : pid:int -> Log.entry -> unit;
+  sink_close : stops:int array -> unit;
+}
+
 type t = {
   eb : Analysis.Eblock.t;
+  sink : sink option;
   mutable port : Runtime.Hooks.port option;
   mutable logs : Log.entry list ref array;  (* per pid, reversed *)
   mutable pending_return : Runtime.Value.t option option array;
@@ -15,7 +21,7 @@ type t = {
   loop_vars : (Lang.Prog.var list * Lang.Prog.var list) option array;  (* by sid *)
 }
 
-let create eb =
+let create ?sink eb =
   let prog = eb.Analysis.Eblock.prog in
   let nstmts = Array.length prog.Lang.Prog.stmts in
   let sync_vars_after =
@@ -35,6 +41,7 @@ let create eb =
   in
   {
     eb;
+    sink;
     port = None;
     logs = [| ref [] |];
     pending_return = [| None |];
@@ -56,9 +63,15 @@ let ensure_pid t pid =
       Array.init (pid + 1) (fun i -> if i < n then t.seq_high.(i) else 0)
   end
 
+(* Entries stream out to the sink the moment they are produced — the
+   durable store appends them as the execution phase runs instead of
+   dumping the whole log at exit (§5.6). *)
 let push t pid entry =
   let cell = t.logs.(pid) in
-  cell := entry :: !cell
+  cell := entry :: !cell;
+  match t.sink with
+  | None -> ()
+  | Some s -> s.sink_entry ~pid entry
 
 let snapshot t pid vars =
   match t.port with
@@ -207,14 +220,17 @@ let factory t port =
   { Runtime.Hooks.on_event = (fun ~pid ~seq ev -> on_event t ~pid ~seq ev) }
 
 let finish t =
+  (match t.sink with
+  | None -> ()
+  | Some s -> s.sink_close ~stops:(Array.copy t.seq_high));
   {
     Log.nprocs = Array.length t.logs;
     entries = Array.map (fun cell -> Array.of_list (List.rev !cell)) t.logs;
     stops = Array.copy t.seq_high;
   }
 
-let run_logged ?sched ?max_steps ?(extra_hooks = Runtime.Hooks.nil) eb =
-  let logger = create eb in
+let run_logged ?sched ?max_steps ?(extra_hooks = Runtime.Hooks.nil) ?sink eb =
+  let logger = create ?sink eb in
   let hooks = Runtime.Hooks.both (factory logger) extra_hooks in
   let m =
     Runtime.Machine.create ?sched ?max_steps ~hooks eb.Analysis.Eblock.prog

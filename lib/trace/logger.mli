@@ -18,7 +18,20 @@
 
 type t
 
-val create : Analysis.Eblock.t -> t
+type sink = {
+  sink_entry : pid:int -> Log.entry -> unit;
+      (** Called for every log entry the moment it is produced, in
+          per-process chronological order (processes interleave). The
+          durable store uses this to append records streamingly instead
+          of marshalling the whole log at exit. *)
+  sink_close : stops:int array -> unit;
+      (** Called once by {!finish} with the final per-process stop
+          sequence numbers; the store writes its footer index here. *)
+}
+(** A streaming consumer of log entries (dependency inversion: [trace]
+    cannot depend on the store, so the store plugs in here). *)
+
+val create : ?sink:sink -> Analysis.Eblock.t -> t
 
 val factory : t -> Runtime.Hooks.factory
 (** Pass to {!Runtime.Machine.create}; combine with other observers via
@@ -31,6 +44,7 @@ val run_logged :
   ?sched:Runtime.Sched.policy ->
   ?max_steps:int ->
   ?extra_hooks:Runtime.Hooks.factory ->
+  ?sink:sink ->
   Analysis.Eblock.t ->
   (Runtime.Machine.halt * Log.t * Runtime.Machine.t)
 (** Convenience: create a machine over the analysed program with logging

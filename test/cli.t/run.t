@@ -148,3 +148,47 @@ Logs persist and reload:
   $ ppd log fig61.mpl --save run.log > /dev/null
   $ test -f run.log && echo saved
   saved
+
+The durable segmented store (v2) is the default save format; stats
+inspects a file without replaying anything:
+
+  $ ppd log stats run.log
+  run.log: v2, 289 bytes, interval index intact
+  3 process(es), 22 record(s), 3 interval(s)
+  $ ppd verify-log run.log
+  run.log: v2, 289 bytes, 22 record(s) in 3 page(s), index intact
+  no damage detected
+
+Crash recovery: truncate the file mid-page, as if the machine died
+while the logger was appending. Verification pinpoints the damage
+(exit code 4), and loading salvages every complete page before the
+cut — 12 of the original 22 records:
+
+  $ head -c 150 run.log > cut.log
+  $ ppd verify-log cut.log
+  cut.log: v2, 150 bytes, 12 record(s) in 2 page(s), index unusable
+  damage at byte 127: frame extends past the end of the file
+  [4]
+  $ ppd log stats cut.log
+  cut.log: v2, 150 bytes, recovered by salvage scan
+  3 process(es), 12 record(s), 2 interval(s)
+  damage at byte 127: frame extends past the end of the file
+
+Legacy v1 (Marshal) files are still written on request and readable
+through the same commands:
+
+  $ ppd log fig61.mpl --save old.log --v1 > /dev/null
+  $ ppd log stats old.log
+  old.log: v1, 263 bytes, marshal blob
+  3 process(es), 22 record(s), 3 interval(s)
+  $ ppd verify-log old.log
+  old.log: v1, 263 bytes, 22 record(s)
+  no damage detected
+
+A file that is not a log at all is refused with PPD050 (exit code 6):
+
+  $ echo garbage > bad.log
+  $ ppd verify-log bad.log
+  PPD050 error at ?: unreadable log bad.log: not a PPD log file (bad magic)
+  1 finding(s): 1 error(s), 0 warning(s), 0 note(s)
+  [6]

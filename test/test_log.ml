@@ -87,9 +87,10 @@ let test_io_bad_magic () =
     (fun () ->
       Out_channel.with_open_bin path (fun oc -> output_string oc "not a log");
       match Trace.Log_io.load path with
-      | exception Failure msg ->
-        Alcotest.(check bool) "mentions magic" true (Util.contains ~sub:"magic" msg)
-      | _ -> Alcotest.fail "expected failure on bad magic")
+      | exception Trace.Log_io.Unreadable { reason; _ } ->
+        Alcotest.(check bool) "mentions magic" true
+          (Util.contains ~sub:"magic" reason)
+      | _ -> Alcotest.fail "expected Unreadable on bad magic")
 
 let test_per_process_files () =
   let _eb, _h, log, _tr, _m = Util.run_instrumented Workloads.fig61 in
