@@ -515,12 +515,20 @@ let t8 () =
 (* T9: durable store — v1 Marshal blob vs v2 segmented format.          *)
 (* ------------------------------------------------------------------ *)
 
-let t9 () =
-  header "T9  Durable store: v1 (Marshal) vs v2 (CRC-framed segments)";
-  row "%-14s %8s %9s %9s %7s %11s %11s %11s %11s %11s\n" "workload"
-    "entries" "v1 bytes" "v2 bytes" "v2/v1" "v1 save" "v1 load" "v2 save"
-    "v2 load" "v2 open";
-  List.iter
+type t9_row = {
+  t9_name : string;
+  t9_entries : int;
+  t9_v1_bytes : int;
+  t9_v2_bytes : int;
+  t9_v1_save_ns : float;
+  t9_v1_load_ns : float;
+  t9_v2_save_ns : float;
+  t9_v2_load_ns : float;
+  t9_v2_open_ns : float;
+}
+
+let t9_rows () =
+  List.map
     (fun (name, src) ->
       let prog = compile src in
       let eb = Analysis.Eblock.analyze prog in
@@ -557,16 +565,182 @@ let t9 () =
               ]
           in
           let results = measure_tests ~quota:0.3 tests in
-          row "%-14s %8d %9d %9d %6.2fx %11s %11s %11s %11s %11s\n" name
-            (Trace.Log.entry_count log)
-            v1b v2b
-            (float_of_int v2b /. float_of_int (max 1 v1b))
-            (fmt_ns (time_of results "t9/v1save"))
-            (fmt_ns (time_of results "t9/v1load"))
-            (fmt_ns (time_of results "t9/save"))
-            (fmt_ns (time_of results "t9/load"))
-            (fmt_ns (time_of results "t9/open"))))
+          {
+            t9_name = name;
+            t9_entries = Trace.Log.entry_count log;
+            t9_v1_bytes = v1b;
+            t9_v2_bytes = v2b;
+            t9_v1_save_ns = time_of results "t9/v1save";
+            t9_v1_load_ns = time_of results "t9/v1load";
+            t9_v2_save_ns = time_of results "t9/save";
+            t9_v2_load_ns = time_of results "t9/load";
+            t9_v2_open_ns = time_of results "t9/open";
+          }))
     workloads
+
+let t9 () =
+  header "T9  Durable store: v1 (Marshal) vs v2 (CRC-framed segments)";
+  row "%-14s %8s %9s %9s %7s %11s %11s %11s %11s %11s\n" "workload"
+    "entries" "v1 bytes" "v2 bytes" "v2/v1" "v1 save" "v1 load" "v2 save"
+    "v2 load" "v2 open";
+  List.iter
+    (fun r ->
+      row "%-14s %8d %9d %9d %6.2fx %11s %11s %11s %11s %11s\n" r.t9_name
+        r.t9_entries r.t9_v1_bytes r.t9_v2_bytes
+        (float_of_int r.t9_v2_bytes /. float_of_int (max 1 r.t9_v1_bytes))
+        (fmt_ns r.t9_v1_save_ns) (fmt_ns r.t9_v1_load_ns)
+        (fmt_ns r.t9_v2_save_ns) (fmt_ns r.t9_v2_load_ns)
+        (fmt_ns r.t9_v2_open_ns))
+    (t9_rows ())
+
+(* ------------------------------------------------------------------ *)
+(* T10: parallel emulation — domain-pool batch replay vs serial.        *)
+(* ------------------------------------------------------------------ *)
+
+(* Bechamel drives the closure many times inside one measurement, which
+   is wrong for a stage that spawns domains and mutates a controller;
+   T10 times whole batch replays by wall clock instead (best of
+   [t10_repeats]). *)
+let t10_repeats = 3
+
+let t10_jobs = [ 1; 2; 4; 8 ]
+
+let t10_workloads =
+  [
+    ("config-8x300", Workloads.config_pipeline ~workers:8 ~rounds:300);
+    ("config-4x600", Workloads.config_pipeline ~workers:4 ~rounds:600);
+  ]
+
+type t10_run = { tr_jobs : int; tr_domains : int; tr_seconds : float }
+
+type t10_row = {
+  tn_name : string;
+  tn_intervals : int;
+  tn_runs : t10_run list;
+  tn_identical : bool;  (* every pool size built the same graph *)
+}
+
+let t10_rows () =
+  List.map
+    (fun (name, src) ->
+      let prog = compile src in
+      let eb = Analysis.Eblock.analyze prog in
+      let _, log, _ = Trace.Logger.run_logged ~sched eb in
+      let all_keys ctl =
+        List.concat
+          (List.init log.Trace.Log.nprocs (fun pid ->
+               List.init
+                 (Array.length (Ppd.Controller.intervals ctl ~pid))
+                 (fun iv_id -> (pid, iv_id))))
+      in
+      let replay_once jobs =
+        let pool = if jobs > 1 then Some (Exec.Pool.create ~jobs ()) else None in
+        let ctl = Ppd.Controller.start ?pool eb log in
+        let keys = all_keys ctl in
+        let t0 = Unix.gettimeofday () in
+        Ppd.Controller.build_intervals_par ctl keys;
+        let dt = Unix.gettimeofday () -. t0 in
+        Option.iter Exec.Pool.shutdown pool;
+        let dump =
+          Format.asprintf "%a" Ppd.Dyn_graph.pp (Ppd.Controller.graph ctl)
+        in
+        let domains = match pool with Some p -> Exec.Pool.jobs p | None -> 1 in
+        (dt, dump, domains, List.length keys)
+      in
+      let intervals = ref 0 in
+      let baseline = ref "" in
+      let identical = ref true in
+      let runs =
+        List.map
+          (fun jobs ->
+            let best = ref infinity and doms = ref 1 in
+            for _ = 1 to t10_repeats do
+              let dt, dump, domains, nkeys = replay_once jobs in
+              if dt < !best then best := dt;
+              doms := domains;
+              intervals := nkeys;
+              if jobs = 1 && !baseline = "" then baseline := dump
+              else if dump <> !baseline then identical := false
+            done;
+            { tr_jobs = jobs; tr_domains = !doms; tr_seconds = !best })
+          t10_jobs
+      in
+      {
+        tn_name = name;
+        tn_intervals = !intervals;
+        tn_runs = runs;
+        tn_identical = !identical;
+      })
+    t10_workloads
+
+let t10 () =
+  header
+    "T10  Parallel emulation: domain-pool batch replay vs -j1 (serial)";
+  Printf.printf "(host reports %d core(s); pool sizes above that are clamped)\n"
+    (Exec.Pool.default_jobs ());
+  row "%-14s %10s" "workload" "intervals";
+  List.iter (fun j -> row " %9s" (Printf.sprintf "-j%d" j)) t10_jobs;
+  row " %9s %10s\n" "speedup4" "identical";
+  List.iter
+    (fun r ->
+      row "%-14s %10d" r.tn_name r.tn_intervals;
+      List.iter
+        (fun tr -> row " %9s" (fmt_ns (tr.tr_seconds *. 1e9)))
+        r.tn_runs;
+      let time_at j =
+        List.find_opt (fun tr -> tr.tr_jobs = j) r.tn_runs
+        |> Option.map (fun tr -> tr.tr_seconds)
+      in
+      (match (time_at 1, time_at 4) with
+      | Some s1, Some s4 when s4 > 0. -> row " %8.2fx" (s1 /. s4)
+      | _ -> row " %9s" "n/a");
+      row " %10s\n" (if r.tn_identical then "yes" else "NO"))
+    (t10_rows ());
+  print_endline
+    "(e-block intervals replay independently from their prelogs, so the\n\
+    \      debugging phase parallelises; graph assembly stays serial and\n\
+    \      deterministic — 'identical' checks the full graph dump)"
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission (for the CI perf gate; no external JSON dependency).   *)
+(* ------------------------------------------------------------------ *)
+
+let jfloat f = if Float.is_nan f then "null" else Printf.sprintf "%.9g" f
+
+let t9_json () =
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             "{\"workload\":%S,\"entries\":%d,\"v1_bytes\":%d,\"v2_bytes\":%d,\
+              \"v1_save_ns\":%s,\"v1_load_ns\":%s,\"v2_save_ns\":%s,\
+              \"v2_load_ns\":%s,\"v2_open_ns\":%s}"
+             r.t9_name r.t9_entries r.t9_v1_bytes r.t9_v2_bytes
+             (jfloat r.t9_v1_save_ns) (jfloat r.t9_v1_load_ns)
+             (jfloat r.t9_v2_save_ns) (jfloat r.t9_v2_load_ns)
+             (jfloat r.t9_v2_open_ns))
+         (t9_rows ()))
+  ^ "]"
+
+let t10_json () =
+  let rows = t10_rows () in
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             "{\"workload\":%S,\"intervals\":%d,\"identical\":%b,\"runs\":[%s]}"
+             r.tn_name r.tn_intervals r.tn_identical
+             (String.concat ","
+                (List.map
+                   (fun tr ->
+                     Printf.sprintf
+                       "{\"jobs\":%d,\"domains\":%d,\"seconds\":%s}" tr.tr_jobs
+                       tr.tr_domains (jfloat tr.tr_seconds))
+                   r.tn_runs)))
+         rows)
+  ^ "]"
 
 (* ------------------------------------------------------------------ *)
 (* Figures.                                                             *)
@@ -619,23 +793,61 @@ let experiments =
     ("t7", t7);
     ("t8", t8);
     ("t9", t9);
+    ("t10", t10);
   ]
 
+(* Tables with a machine-readable emitter (`bench -- --json t9 t10`):
+   one top-level object, a field per table, plus the host core count so
+   downstream gates can tell whether a speedup was even possible. *)
+let json_experiments = [ ("t9", t9_json); ("t10", t10_json) ]
+
 let () =
+  let args =
+    Sys.argv |> Array.to_list |> List.tl |> List.filter (fun a -> a <> "--")
+  in
+  let json_mode = List.mem "--json" args in
   let requested =
-    Sys.argv |> Array.to_list |> List.tl
+    args
+    |> List.filter (fun a -> a <> "--json")
     |> List.map String.lowercase_ascii
-    |> List.filter (fun a -> a <> "--")
   in
-  let selected =
-    if requested = [] then experiments
-    else
-      List.filter (fun (name, _) -> List.mem name requested) experiments
-  in
-  if selected = [] then begin
-    Printf.eprintf "unknown experiment; available: %s\n"
-      (String.concat ", " (List.map fst experiments));
+  let available = List.map fst experiments in
+  (* a misspelled table must not silently pass (previously `bench -- t99`
+     ran nothing and exited 0) *)
+  let unknown = List.filter (fun r -> not (List.mem r available)) requested in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown experiment(s): %s\navailable: %s\n"
+      (String.concat ", " unknown)
+      (String.concat ", " available);
     exit 1
   end;
-  print_endline "PPD benchmark harness (Miller & Choi, PLDI 1988)";
-  List.iter (fun (_, f) -> f ()) selected
+  if json_mode then begin
+    let requested =
+      if requested = [] then List.map fst json_experiments else requested
+    in
+    let no_json =
+      List.filter (fun r -> not (List.mem_assoc r json_experiments)) requested
+    in
+    if no_json <> [] then begin
+      Printf.eprintf "no JSON emitter for: %s\nJSON-capable: %s\n"
+        (String.concat ", " no_json)
+        (String.concat ", " (List.map fst json_experiments));
+      exit 1
+    end;
+    let fields =
+      List.map
+        (fun r -> Printf.sprintf "%S:%s" r ((List.assoc r json_experiments) ()))
+        requested
+    in
+    Printf.printf "{\"host_cores\":%d,%s}\n"
+      (Exec.Pool.default_jobs ())
+      (String.concat "," fields)
+  end
+  else begin
+    let selected =
+      if requested = [] then experiments
+      else List.filter (fun (name, _) -> List.mem name requested) experiments
+    in
+    print_endline "PPD benchmark harness (Miller & Choi, PLDI 1988)";
+    List.iter (fun (_, f) -> f ()) selected
+  end

@@ -90,12 +90,26 @@ let break_arg =
           "Halt after statement SID executes (repeatable); use `ppd \
            analyze --show cfg` to find statement ids.")
 
-let session_of ?loops ?(breakpoints = []) file sched steps inline =
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Size of the domain pool the debugging phase replays log \
+           intervals on (default: the machine's core count). $(b,-j 1) \
+           is the serial path; every pool size produces byte-identical \
+           output.")
+
+(* 0 (the cmdliner default) means "the machine decides". *)
+let resolve_jobs j = if j <= 0 then Exec.Pool.default_jobs () else j
+
+let session_of ?loops ?(breakpoints = []) ?jobs file sched steps inline =
   let src = read_source file in
   let prog = compile_or_die src in
   Ppd.Session.of_program ~sched ~max_steps:steps
     ~policy:(policy_of ?loops inline)
-    ~breakpoints prog
+    ~breakpoints ?jobs prog
 
 (* ------------------------------------------------------------------ *)
 (* Subcommands.                                                         *)
@@ -365,13 +379,17 @@ let flowback_cmd =
       & info [ "dot" ] ~docv:"PATH"
           ~doc:"Write the dynamic graph as Graphviz dot to PATH.")
   in
-  let run file sched steps inline loops depth dot =
-    let s = session_of ~loops file sched steps inline in
+  let run file sched steps inline loops depth dot jobs =
+    let s = session_of ~loops ~jobs:(resolve_jobs jobs) file sched steps inline in
     print_endline (Ppd.Session.explain_halt s);
-    match Ppd.Session.error_node s with
+    (match Ppd.Session.error_node s with
     | None -> print_endline "no events to debug"
     | Some root ->
       let ctl = Ppd.Session.controller s in
+      (* eager mode: the query pinned the halt interval; speculatively
+         replay its dependence frontier on the idle pool domains while
+         the explanation walks the graph (a no-op at -j1) *)
+      ignore (Ppd.Controller.prefetch ctl);
       Format.printf "%a@." (Ppd.Flowback.pp_explain ~max_depth:depth ctl) root;
       let st = Ppd.Controller.stats ctl in
       Printf.printf "emulated %d of %d log intervals (%d replay steps)\n"
@@ -383,7 +401,8 @@ let flowback_cmd =
         Out_channel.with_open_text path (fun oc ->
             Out_channel.output_string oc
               (Ppd.Dyn_graph.to_dot (Ppd.Controller.graph ctl)));
-        Printf.printf "dynamic graph written to %s\n" path)
+        Printf.printf "dynamic graph written to %s\n" path));
+    Ppd.Session.shutdown s
   in
   Cmd.v
     (Cmd.info "flowback"
@@ -392,7 +411,49 @@ let flowback_cmd =
           over the dynamic dependence graph.")
     Term.(
       const run $ file_arg $ sched_arg $ steps_arg $ inline_arg $ loops_arg
-      $ depth_arg $ dot_arg)
+      $ depth_arg $ dot_arg $ jobs_arg)
+
+let replay_cmd =
+  let dump_arg =
+    Arg.(
+      value & flag
+      & info [ "dump" ]
+          ~doc:"Print the assembled dynamic graph (deterministic dump).")
+  in
+  let run file sched steps inline loops jobs dump =
+    let s = session_of ~loops ~jobs:(resolve_jobs jobs) file sched steps inline in
+    print_endline (Ppd.Session.explain_halt s);
+    let ctl = Ppd.Session.controller s in
+    let log = Ppd.Session.log s in
+    let keys =
+      List.concat
+        (List.init log.Trace.Log.nprocs (fun pid ->
+             List.init
+               (Array.length (Ppd.Controller.intervals ctl ~pid))
+               (fun iv_id -> (pid, iv_id))))
+    in
+    Ppd.Controller.build_intervals_par ctl keys;
+    let st = Ppd.Controller.stats ctl in
+    let g = Ppd.Controller.graph ctl in
+    Printf.printf
+      "replayed %d of %d log intervals (%d replay steps); graph: %d nodes, \
+       %d edges\n"
+      st.Ppd.Controller.replays st.Ppd.Controller.intervals_total
+      st.Ppd.Controller.replay_steps (Ppd.Dyn_graph.nnodes g)
+      (Ppd.Dyn_graph.nedges g);
+    if dump then Format.printf "%a@." Ppd.Dyn_graph.pp g;
+    Ppd.Session.shutdown s
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Run the program, then batch-emulate every log interval \
+          (across the domain pool with -j > 1) and assemble the full \
+          dynamic dependence graph. Output is byte-identical for every \
+          -j value.")
+    Term.(
+      const run $ file_arg $ sched_arg $ steps_arg $ inline_arg $ loops_arg
+      $ jobs_arg $ dump_arg)
 
 let format_arg =
   Arg.(
@@ -724,6 +785,7 @@ let main_cmd =
       log_cmd;
       verify_log_cmd;
       flowback_cmd;
+      replay_cmd;
       race_cmd;
       lint_cmd;
       deadlock_cmd;

@@ -1,0 +1,20 @@
+
+func min3(x, y, z) {
+  var m = x;
+  if (y < m) {
+    m = y;
+  }
+  if (z < m) {
+    m = z;  // bug would be: m = y;
+  }
+  return m;
+}
+
+func main() {
+  var a = 7;
+  var b = 3;
+  var c = 5;
+  var m = min3(a, b, c);
+  // deliberately wrong expectation so flowback has an error to explain
+  assert(m == 2);
+}

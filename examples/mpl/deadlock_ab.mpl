@@ -1,0 +1,24 @@
+
+sem a = 1;
+sem b = 1;
+
+func left() {
+  P(a);
+  P(b);
+  V(b);
+  V(a);
+}
+
+func right() {
+  P(b);
+  P(a);
+  V(a);
+  V(b);
+}
+
+func main() {
+  var p1 = spawn left();
+  var p2 = spawn right();
+  join(p1);
+  join(p2);
+}

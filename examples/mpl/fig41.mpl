@@ -1,0 +1,27 @@
+
+func subd(a, b, x) {
+  return a * b - x;
+}
+
+func isqrt(n) {
+  var r = 0;
+  while ((r + 1) * (r + 1) <= n) {
+    r = r + 1;
+  }
+  return r;
+}
+
+func main() {
+  var a = 1;
+  var b = 2;
+  var c = 3;
+  var d = subd(a, b, a + b + c);
+  var sq = 0;
+  if (d > 0) {
+    sq = isqrt(d);
+  } else {
+    sq = isqrt(-d);
+  }
+  a = a + sq;
+  assert(a == 99);
+}

@@ -1,0 +1,23 @@
+
+chan c12[0];
+chan c23[0];
+
+func p2() {
+  var x = 0;
+  recv(c12, x);
+  send(c23, x + 1);
+}
+
+func p3() {
+  var y = 0;
+  recv(c23, y);
+  print(y);
+}
+
+func main() {
+  var a = spawn p2();
+  var b = spawn p3();
+  send(c12, 41);
+  join(a);
+  join(b);
+}

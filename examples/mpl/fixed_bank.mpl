@@ -1,0 +1,19 @@
+
+shared int balance = 100;
+sem mutex = 1;
+
+func withdraw(n) {
+  P(mutex);
+  var tmp = balance;
+  tmp = tmp - n;
+  balance = tmp;
+  V(mutex);
+}
+
+func main() {
+  var p1 = spawn withdraw(30);
+  var p2 = spawn withdraw(50);
+  join(p1);
+  join(p2);
+  print(balance);
+}

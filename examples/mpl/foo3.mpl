@@ -1,0 +1,25 @@
+
+shared int SV = 0;
+
+func foo3(p, q) {
+  var a = 1;
+  var b = 2;
+  var c = 0;
+  if (p == 1) {
+    if (q == 1) {
+      c = a;
+    } else {
+      c = b;
+    }
+  } else {
+    SV = a + b + SV;
+    c = 3;
+  }
+  return c;
+}
+
+func main() {
+  var r = foo3(0, 1);
+  print(SV);
+  print(r);
+}

@@ -1,0 +1,16 @@
+
+shared int balance = 100;
+
+func withdraw(n) {
+  var tmp = balance;
+  tmp = tmp - n;
+  balance = tmp;
+}
+
+func main() {
+  var p1 = spawn withdraw(30);
+  var p2 = spawn withdraw(50);
+  join(p1);
+  join(p2);
+  print(balance);
+}

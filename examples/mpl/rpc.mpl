@@ -1,0 +1,18 @@
+
+chan call[0];
+chan reply[0];
+
+func server() {
+  var req = 0;
+  recv(call, req);
+  send(reply, req * req);
+}
+
+func main() {
+  var srv = spawn server();
+  send(call, 7);
+  var result = 0;
+  recv(reply, result);
+  print(result);
+  join(srv);
+}

@@ -1,0 +1,24 @@
+
+shared int SV = 0;
+
+func writer1() {
+  SV = 1;
+}
+
+func writer2() {
+  SV = 2;
+}
+
+func reader() {
+  var x = SV;
+  print(x);
+}
+
+func main() {
+  var p1 = spawn writer1();
+  var p2 = spawn writer2();
+  var p3 = spawn reader();
+  join(p1);
+  join(p2);
+  join(p3);
+}

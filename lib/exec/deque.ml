@@ -1,0 +1,63 @@
+(* Ring buffer with [top] (steal end) and [bottom] (owner end) cursors;
+   grows by doubling when full. A single mutex serialises all three
+   operations — see the .mli for why that is the right trade here. *)
+
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable top : int;  (* next index to steal from *)
+  mutable bottom : int;  (* next index to push at *)
+  m : Mutex.t;
+}
+
+let create () =
+  { buf = Array.make 64 None; top = 0; bottom = 0; m = Mutex.create () }
+
+let size t = t.bottom - t.top
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (2 * cap) None in
+  for i = t.top to t.bottom - 1 do
+    buf.(i land (2 * cap - 1)) <- t.buf.(i land (cap - 1))
+  done;
+  t.buf <- buf
+
+let with_lock t f =
+  Mutex.lock t.m;
+  match f () with
+  | v ->
+    Mutex.unlock t.m;
+    v
+  | exception e ->
+    Mutex.unlock t.m;
+    raise e
+
+let push t x =
+  with_lock t (fun () ->
+      if size t = Array.length t.buf then grow t;
+      t.buf.(t.bottom land (Array.length t.buf - 1)) <- Some x;
+      t.bottom <- t.bottom + 1)
+
+let pop t =
+  with_lock t (fun () ->
+      if size t = 0 then None
+      else begin
+        t.bottom <- t.bottom - 1;
+        let i = t.bottom land (Array.length t.buf - 1) in
+        let x = t.buf.(i) in
+        t.buf.(i) <- None;
+        x
+      end)
+
+let steal t =
+  with_lock t (fun () ->
+      if size t = 0 then None
+      else begin
+        let i = t.top land (Array.length t.buf - 1) in
+        let x = t.buf.(i) in
+        t.buf.(i) <- None;
+        t.top <- t.top + 1;
+        x
+      end)
+
+let length t = with_lock t (fun () -> size t)

@@ -1,0 +1,29 @@
+(** A work-stealing double-ended queue (Arora/Blumofe/Plaxton shape).
+
+    The owning worker pushes and pops at the {e bottom} (LIFO, so the
+    hottest task — the one whose inputs are still in cache — runs
+    first); thieves steal from the {e top} (FIFO, so they take the
+    oldest, typically largest remaining unit of work). Operations are
+    serialised by a per-deque mutex: the tasks this repository schedules
+    are whole e-block replays (micro- to milliseconds each), so a
+    lock-free Chase–Lev implementation would buy nothing measurable
+    while adding memory-model risk; the deque {e discipline} (owner
+    LIFO / thief FIFO) is what matters for locality and steal balance.
+
+    All operations are safe from any domain. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Add a task at the bottom (owner end). *)
+
+val pop : 'a t -> 'a option
+(** Take the most recently pushed task (owner end); [None] when empty. *)
+
+val steal : 'a t -> 'a option
+(** Take the oldest task (thief end); [None] when empty. *)
+
+val length : 'a t -> int
+(** Instantaneous size (racy by nature; for load estimates only). *)

@@ -1,0 +1,134 @@
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable fstate : 'a state;
+}
+
+type t = {
+  deques : (unit -> unit) Deque.t array;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  work_available : Condition.t;
+  mutable outstanding : int;  (* queued tasks not yet taken by a worker *)
+  mutable closing : bool;
+  mutable next : int;  (* round-robin submit cursor *)
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let fill fut st =
+  Mutex.lock fut.fm;
+  fut.fstate <- st;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+(* Own deque first (LIFO: best locality), then steal from the others in
+   ring order (FIFO: oldest work first). *)
+let find_task pool i =
+  let n = Array.length pool.deques in
+  match Deque.pop pool.deques.(i) with
+  | Some _ as t -> t
+  | None ->
+    let rec try_steal k =
+      if k >= n then None
+      else
+        match Deque.steal pool.deques.((i + k) mod n) with
+        | Some _ as t -> t
+        | None -> try_steal (k + 1)
+    in
+    try_steal 1
+
+let rec worker pool i =
+  match find_task pool i with
+  | Some task ->
+    Mutex.lock pool.m;
+    pool.outstanding <- pool.outstanding - 1;
+    Mutex.unlock pool.m;
+    task ();
+    worker pool i
+  | None ->
+    Mutex.lock pool.m;
+    while pool.outstanding <= 0 && not pool.closing do
+      Condition.wait pool.work_available pool.m
+    done;
+    let stop = pool.closing && pool.outstanding <= 0 in
+    Mutex.unlock pool.m;
+    if not stop then worker pool i
+
+let create ?jobs () =
+  let jobs =
+    let requested = match jobs with Some j -> j | None -> default_jobs () in
+    max 1 (min requested (4 * default_jobs ()))
+  in
+  let pool =
+    {
+      deques = Array.init jobs (fun _ -> Deque.create ());
+      workers = [||];
+      m = Mutex.create ();
+      work_available = Condition.create ();
+      outstanding = 0;
+      closing = false;
+      next = 0;
+    }
+  in
+  pool.workers <- Array.init jobs (fun i -> Domain.spawn (fun () -> worker pool i));
+  pool
+
+let jobs pool = Array.length pool.deques
+
+let submit pool f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); fstate = Pending } in
+  let task () =
+    match f () with
+    | v -> fill fut (Done v)
+    | exception e -> fill fut (Failed (e, Printexc.get_raw_backtrace ()))
+  in
+  Mutex.lock pool.m;
+  if pool.closing then begin
+    Mutex.unlock pool.m;
+    invalid_arg "Exec.Pool.submit: pool is shut down"
+  end;
+  Deque.push pool.deques.(pool.next) task;
+  pool.next <- (pool.next + 1) mod Array.length pool.deques;
+  pool.outstanding <- pool.outstanding + 1;
+  Condition.signal pool.work_available;
+  Mutex.unlock pool.m;
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  while fut.fstate = Pending do
+    Condition.wait fut.fc fut.fm
+  done;
+  let st = fut.fstate in
+  Mutex.unlock fut.fm;
+  match st with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let peek fut =
+  Mutex.lock fut.fm;
+  let st = fut.fstate in
+  Mutex.unlock fut.fm;
+  match st with
+  | Pending -> None
+  | Done v -> Some v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  let was_closing = pool.closing in
+  pool.closing <- true;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.m;
+  if not was_closing then Array.iter Domain.join pool.workers
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

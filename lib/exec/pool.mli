@@ -1,0 +1,57 @@
+(** A fixed-size pool of OCaml 5 domains with futures — the parallel
+    emulation engine's scheduler.
+
+    The paper's §5/§7 observation is that e-block replay is
+    embarrassingly parallel: every log interval re-executes from its own
+    prelog with no shared mutable state, so a batch of intervals can be
+    emulated on as many domains as the hardware offers. The pool gives
+    that shape a home: [submit] hands a closure to one of [jobs]
+    worker domains (each owning a {!Deque.t}; idle workers steal from
+    their neighbours) and returns a future that [await] blocks on.
+
+    Exceptions raised by a task are captured in its future and re-raised
+    (with the original backtrace) by [await]; the worker that ran the
+    task survives and keeps draining the queue, so one faulting replay
+    cannot deadlock or poison the pool.
+
+    [await] must not be called from inside a pool task: tasks never
+    block on other tasks here (interval replays are independent), and
+    keeping that rule makes the pool trivially deadlock-free.
+
+    Pools are small, long-lived objects: create one per session or
+    benchmark level and [shutdown] it when done ([shutdown] drains all
+    queued work first, then joins the domains). *)
+
+type t
+
+type 'a future
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the [--jobs] default. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn the worker domains. [jobs] defaults to {!default_jobs} and is
+    clamped to at least 1; values beyond 4× the recommended count are
+    clamped down (oversubscription only adds scheduling noise). *)
+
+val jobs : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task (round-robin across worker deques) and return its
+    future. @raise Invalid_argument after [shutdown]. *)
+
+val await : 'a future -> 'a
+(** Block until the task finished; re-raises the task's exception with
+    its original backtrace if it failed. *)
+
+val peek : 'a future -> 'a option
+(** [Some v] if the task already completed successfully, [None] while
+    pending; re-raises its exception if it failed. *)
+
+val shutdown : t -> unit
+(** Drain every queued task, then stop and join the workers.
+    Idempotent. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)

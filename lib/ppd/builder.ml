@@ -362,12 +362,13 @@ let feed t ~seq (ev : E.t) =
       sync_link t ~src:child_exit ~dst:node;
       record_write t node write)
 
-let build_interval pdgs eb log g ~interval =
+(* A builder with its scope seeded for the interval: a loop e-block
+   interval replays without an opening enter event, so its nodes hang
+   off the loop node of the parent fragment when it exists, or a fresh
+   collapsed loop node otherwise. *)
+let prepare pdgs g ~interval =
   let pid = interval.Trace.Log.iv_pid in
   let t = create pdgs g ~pid in
-  (* a loop e-block interval replays without an opening enter event, so
-     seed the scope: its nodes hang off the loop node of the parent
-     fragment when it exists, or a fresh collapsed loop node otherwise *)
   (match interval.Trace.Log.iv_block with
   | Trace.Log.Bfunc _ -> ()
   | Trace.Log.Bloop sid ->
@@ -388,8 +389,18 @@ let build_interval pdgs eb log g ~interval =
     in
     open_scope t ~fid ~owner:(Some entry) ~entry ~binds:[] ~from_sub:None;
     t.last <- Some entry);
-  let outcome =
-    Emulator.replay ~on_event:(fun ~seq ev -> feed t ~seq ev) eb log ~interval
-  in
+  t
+
+let build_from_outcome pdgs g ~interval (outcome : Emulator.outcome) =
+  let t = prepare pdgs g ~interval in
+  List.iter (fun (seq, ev) -> feed t ~seq ev) outcome.Emulator.events;
   resolve_links t;
-  (t, outcome)
+  t
+
+let build_interval pdgs eb log g ~interval =
+  (* replay first, assemble after: the emulation does not read the
+     graph, so feeding the finished event list yields the same graph as
+     feeding during replay — and lets the replay run on another domain
+     (Controller.build_intervals_par) while assembly stays serial *)
+  let outcome = Emulator.replay eb log ~interval in
+  (build_from_outcome pdgs g ~interval outcome, outcome)

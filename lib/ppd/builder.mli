@@ -39,6 +39,19 @@ val pending_links : t -> (Runtime.Event.eref * int) list
 val resolve_links : t -> unit
 (** Connect any pending links whose source has appeared since. *)
 
+val build_from_outcome :
+  Analysis.Static_pdg.program_pdgs ->
+  Dyn_graph.t ->
+  interval:Trace.Log.interval ->
+  Emulator.outcome ->
+  t
+(** Assemble the fragment for an interval from an already-computed
+    replay outcome (possibly produced on another domain): seed the
+    scope, feed every event, resolve pending sync links. Equivalent to
+    the feeding {!build_interval} performs — replay never reads the
+    graph, so replay-then-feed and feed-during-replay build identical
+    graphs. *)
+
 val build_interval :
   Analysis.Static_pdg.program_pdgs ->
   Analysis.Eblock.t ->

@@ -16,14 +16,30 @@ type t = {
   g : Dyn_graph.t;
   ivs : L.interval array array;  (* per pid *)
   outcomes : (int * int, Emulator.outcome) Hashtbl.t;
+      (* intervals whose fragment is in the graph *)
+  pool : Exec.Pool.t option;  (* None = the bit-identical serial path *)
+  frag_lock : Mutex.t;
+  frags : (int * int, Emulator.outcome) Hashtbl.t;
+      (* raw replay outcomes produced by pool workers (batch or
+         speculative), not yet assembled into the graph; every access
+         goes through [frag_lock] *)
+  inflight : (int * int, Emulator.outcome Exec.Pool.future) Hashtbl.t;
+      (* submitted to the pool, result not yet collected; main-domain
+         state, so no lock *)
   mutable pending : (E.eref * int) list;
   mutable replays : int;
   mutable replay_steps : int;
+  mutable prefetched : int;
 }
 
-type stats = { replays : int; replay_steps : int; intervals_total : int }
+type stats = {
+  replays : int;
+  replay_steps : int;
+  intervals_total : int;
+  prefetched : int;
+}
 
-let make eb src =
+let make ?pool eb src =
   let prog = eb.Analysis.Eblock.prog in
   let stmt_fid sid = prog.P.stmt_fid.(sid) in
   let ivs, pd =
@@ -45,14 +61,19 @@ let make eb src =
     g = Dyn_graph.create ();
     ivs;
     outcomes = Hashtbl.create 16;
+    pool;
+    frag_lock = Mutex.create ();
+    frags = Hashtbl.create 16;
+    inflight = Hashtbl.create 16;
     pending = [];
     replays = 0;
     replay_steps = 0;
+    prefetched = 0;
   }
 
-let start eb log = make eb (S_mem log)
+let start ?pool eb log = make ?pool eb (S_mem log)
 
-let start_paged eb reader = make eb (S_paged reader)
+let start_paged ?pool eb reader = make ?pool eb (S_paged reader)
 
 (* The log slice an interval's emulation touches: entries
    [iv_prelog - 1 .. iv_postlog] (the preceding sync record through the
@@ -88,20 +109,95 @@ let retry_pending t =
     t.pending;
   t.pending <- !unresolved
 
+(* Replay an interval on the calling domain. Safe on a pool worker:
+   the emulator touches only its own state, and a paged source's page
+   cache is sharded per domain ({!Store.Segment}). *)
+let replay_outcome t (iv : L.interval) =
+  Emulator.replay t.eb (interval_log t iv) ~interval:iv
+
+(* Fetch (and drop) a worker-produced fragment, if one landed. *)
+let take_frag t key =
+  Mutex.lock t.frag_lock;
+  let o = Hashtbl.find_opt t.frags key in
+  if o <> None then Hashtbl.remove t.frags key;
+  Mutex.unlock t.frag_lock;
+  o
+
+(* Speculatively replay [iv] on the pool; the raw outcome lands in the
+   lock-protected fragment cache. Returns whether a task was submitted
+   (false without a pool, or when the interval is already assembled,
+   cached, or in flight). *)
+let submit_replay t (iv : L.interval) =
+  match t.pool with
+  | None -> false
+  | Some pool ->
+    let key = (iv.L.iv_pid, iv.L.iv_id) in
+    let cached =
+      Mutex.lock t.frag_lock;
+      let c = Hashtbl.mem t.frags key in
+      Mutex.unlock t.frag_lock;
+      c
+    in
+    if Hashtbl.mem t.outcomes key || Hashtbl.mem t.inflight key || cached then
+      false
+    else begin
+      let fut =
+        Exec.Pool.submit pool (fun () ->
+            let o = replay_outcome t iv in
+            Mutex.lock t.frag_lock;
+            Hashtbl.replace t.frags key o;
+            Mutex.unlock t.frag_lock;
+            o)
+      in
+      Hashtbl.replace t.inflight key fut;
+      true
+    end
+
 let build_interval t ~pid ~iv_id =
-  match Hashtbl.find_opt t.outcomes (pid, iv_id) with
+  let key = (pid, iv_id) in
+  match Hashtbl.find_opt t.outcomes key with
   | Some o -> o
   | None ->
     let iv = t.ivs.(pid).(iv_id) in
-    let builder, outcome =
-      Builder.build_interval t.pdgs t.eb (interval_log t iv) t.g ~interval:iv
+    let outcome =
+      match take_frag t key with
+      | Some o -> o
+      | None -> (
+        match Hashtbl.find_opt t.inflight key with
+        | Some fut ->
+          let o = Exec.Pool.await fut in
+          ignore (take_frag t key);
+          o
+        | None -> replay_outcome t iv)
     in
+    Hashtbl.remove t.inflight key;
+    (* Graph assembly always happens here, on the querying domain, in
+       query order: replay never reads the graph, so feeding a
+       worker-produced outcome builds the same fragment a serial replay
+       would, and parallel and serial runs yield identical graphs. The
+       counters are bumped the same way on every path, so [-jN]
+       statistics match [-j1] byte for byte. *)
+    let builder = Builder.build_from_outcome t.pdgs t.g ~interval:iv outcome in
     t.replays <- t.replays + 1;
     t.replay_steps <- t.replay_steps + outcome.Emulator.steps;
     t.pending <- Builder.pending_links builder @ t.pending;
     retry_pending t;
-    Hashtbl.replace t.outcomes (pid, iv_id) outcome;
+    Hashtbl.replace t.outcomes key outcome;
     outcome
+
+(* Batch-emulate a set of intervals: submit every missing one to the
+   pool, then assemble in list order on this domain. Without a pool
+   this degenerates to the serial loop and builds the same graph. *)
+let build_intervals_par t keys =
+  (match t.pool with
+  | None -> ()
+  | Some _ ->
+    List.iter
+      (fun (pid, iv_id) ->
+        if not (Hashtbl.mem t.outcomes (pid, iv_id)) then
+          ignore (submit_replay t t.ivs.(pid).(iv_id)))
+      keys);
+  List.iter (fun (pid, iv_id) -> ignore (build_interval t ~pid ~iv_id)) keys
 
 let enclosing_interval t (r : E.eref) =
   L.find_enclosing t.ivs.(r.epid) ~seq:r.eseq
@@ -277,6 +373,21 @@ let last_write_node t (iv : L.interval) vid =
     |> Option.map (fun (seq, value) ->
            (Dyn_graph.find_ref t.g { E.epid = iv.L.iv_pid; eseq = seq }, value))
 
+(* The spawn event of a process-root interval, from the proc-start
+   sync record just before its prelog (a single-record seek on a paged
+   source). *)
+let spawner_ref t (iv : L.interval) =
+  if iv.L.iv_prelog > 0 then
+    match
+      (match t.src with
+      | S_mem log -> log.L.entries.(iv.L.iv_pid).(iv.L.iv_prelog - 1)
+      | S_paged r ->
+        Store.Segment.entry r ~pid:iv.L.iv_pid ~idx:(iv.L.iv_prelog - 1))
+    with
+    | L.Sync { data = L.S_proc_start { spawn; _ }; _ } -> spawn
+    | _ -> None
+  else None
+
 (* Resolve a parameter external: the defining event is the caller's
    call (parent interval) or the spawner's spawn. *)
 let resolve_param t node_id (iv : L.interval) =
@@ -300,35 +411,19 @@ let resolve_param t node_id (iv : L.interval) =
     | Some writer -> link writer
     | None -> None)
   | None -> (
-    (* process root: find the spawner via the proc-start sync record
-       (a single-record seek on a paged source) *)
-    let spawn =
-      if iv.L.iv_prelog > 0 then
-        match
-          (match t.src with
-          | S_mem log -> log.L.entries.(pid).(iv.L.iv_prelog - 1)
-          | S_paged r -> Store.Segment.entry r ~pid ~idx:(iv.L.iv_prelog - 1))
-        with
-        | L.Sync { data = L.S_proc_start { spawn; _ }; _ } -> spawn
-        | _ -> None
-      else None
-    in
-    match spawn with
+    (* process root: the spawner wrote the parameter *)
+    match spawner_ref t iv with
     | None -> None
     | Some r -> (
       match node_of_event t r with
       | Some writer -> link writer
       | None -> None))
 
-(* Resolve a shared-variable external: emulate candidate intervals
-   (recent first, among those whose function may define the variable)
-   until a fragment's last write matches the observed value. *)
-let resolve_shared t node_id var ~reader (reading_iv : L.interval) =
-  let vid = var.P.vid in
-  let observed = (Dyn_graph.node t.g node_id).Dyn_graph.nd_value in
-  let read_step =
-    snapshot_step t ~pid:reading_iv.L.iv_pid ~reader_seq:reader.Runtime.Event.eseq
-  in
+(* Intervals that may have produced the value of shared [vid] read at
+   [read_step]: blocks whose function may define it (the DEFINED sets,
+   or a loop block's post variables) that started before the value was
+   snapshot — most recent first, the order resolution tries them in. *)
+let shared_write_candidates t ~vid ~read_step ~(reading_iv : L.interval) =
   let candidates = ref [] in
   Array.iteri
     (fun pid ivs ->
@@ -345,16 +440,24 @@ let resolve_shared t node_id var ~reader (reading_iv : L.interval) =
                 List.exists (fun (v : P.var) -> v.vid = vid) post
               | None -> false)
           in
-          (* only blocks that started before the value was snapshot *)
           if (not same) && may_define && prelog_step t iv <= read_step then
             candidates := iv :: !candidates)
         ivs)
     t.ivs;
-  let candidates =
-    List.sort
-      (fun a b -> Int.compare (prelog_step t b) (prelog_step t a))
-      !candidates
+  List.sort
+    (fun a b -> Int.compare (prelog_step t b) (prelog_step t a))
+    !candidates
+
+(* Resolve a shared-variable external: emulate candidate intervals
+   (recent first, among those whose function may define the variable)
+   until a fragment's last write matches the observed value. *)
+let resolve_shared t node_id var ~reader (reading_iv : L.interval) =
+  let vid = var.P.vid in
+  let observed = (Dyn_graph.node t.g node_id).Dyn_graph.nd_value in
+  let read_step =
+    snapshot_step t ~pid:reading_iv.L.iv_pid ~reader_seq:reader.Runtime.Event.eseq
   in
+  let candidates = shared_write_candidates t ~vid ~read_step ~reading_iv in
   let rec try_candidates = function
     | [] -> None
     | iv :: rest -> (
@@ -385,6 +488,56 @@ let resolve_external t node_id =
       else resolve_param t node_id iv)
   | _ -> None
 
+(* Eager mode: after a query pins an interval, speculatively emulate
+   its dependence frontier on idle domains — the source intervals of
+   pending sync links (the partner fragments a [why] on a sync node
+   will need), and for each unresolved external the intervals its
+   resolution would emulate: parent or spawner for parameters, the
+   DEFINED-set shared-write candidates (§6.3) for globals, most recent
+   first. Purely speculative: only raw outcomes are produced, into the
+   fragment cache; the graph is untouched, so query results stay
+   deterministic. Returns the number of replays submitted. *)
+let prefetch ?(max_candidates = 8) t =
+  match t.pool with
+  | None -> 0
+  | Some _ ->
+    let n = ref 0 in
+    let spec iv = if submit_replay t iv then incr n in
+    List.iter
+      (fun ((src : E.eref), _) ->
+        match enclosing_interval t src with
+        | Some iv -> spec iv
+        | None -> ())
+      t.pending;
+    List.iter
+      (fun (node_id, (var : P.var)) ->
+        match interval_of_node t node_id with
+        | None -> ()
+        | Some (reader, iv) ->
+          if P.is_global var then begin
+            let read_step =
+              snapshot_step t ~pid:iv.L.iv_pid ~reader_seq:reader.E.eseq
+            in
+            let cands =
+              shared_write_candidates t ~vid:var.P.vid ~read_step
+                ~reading_iv:iv
+            in
+            List.iteri (fun i c -> if i < max_candidates then spec c) cands
+          end
+          else
+            (match iv.L.iv_parent with
+            | Some parent_id -> spec t.ivs.(iv.L.iv_pid).(parent_id)
+            | None -> (
+              match spawner_ref t iv with
+              | Some r -> (
+                match enclosing_interval t r with
+                | Some siv -> spec siv
+                | None -> ())
+              | None -> ())))
+      (Dyn_graph.externals t.g);
+    t.prefetched <- t.prefetched + !n;
+    !n
+
 let why t node_id =
   (* build partner fragments for pending sync links into this node *)
   List.iter
@@ -407,4 +560,5 @@ let stats (t : t) =
     replays = t.replays;
     replay_steps = t.replay_steps;
     intervals_total = Array.fold_left (fun a ivs -> a + Array.length ivs) 0 t.ivs;
+    prefetched = t.prefetched;
   }

@@ -24,10 +24,13 @@
 
 type t
 
-val start : Analysis.Eblock.t -> Trace.Log.t -> t
-(** Debug over a whole in-memory log. *)
+val start : ?pool:Exec.Pool.t -> Analysis.Eblock.t -> Trace.Log.t -> t
+(** Debug over a whole in-memory log. With [pool], interval emulation
+    can run on the pool's domains ({!build_intervals_par},
+    {!prefetch}); graph assembly stays on the querying domain, so the
+    resulting graph is byte-identical to the serial one. *)
 
-val start_paged : Analysis.Eblock.t -> Store.Segment.reader -> t
+val start_paged : ?pool:Exec.Pool.t -> Analysis.Eblock.t -> Store.Segment.reader -> t
 (** Debug over an open segment file: interval structure comes from the
     footer index, and only the intervals a query touches are ever
     decoded (through the reader's window LRU). Flowback answers are
@@ -43,7 +46,25 @@ val intervals : t -> pid:int -> Trace.Log.interval array
 
 val build_interval : t -> pid:int -> iv_id:int -> Emulator.outcome
 (** Emulate the interval (if not already built) and add its fragment to
-    the graph. *)
+    the graph. Consumes a pool-produced fragment when one is cached or
+    in flight instead of replaying again. *)
+
+val build_intervals_par : t -> (int * int) list -> unit
+(** Batch-emulate a set of [(pid, iv_id)] intervals: every missing
+    replay is submitted to the pool (if any), then the fragments are
+    assembled into the graph in list order on the calling domain — so
+    the graph equals the one a serial [build_interval] loop over the
+    same list would build. *)
+
+val prefetch : ?max_candidates:int -> t -> int
+(** Eager mode: speculatively emulate the dependence frontier of what
+    is built so far on idle pool domains — pending sync-link partner
+    intervals and, per unresolved external, the intervals resolution
+    would try (parent/spawner for parameters; up to [max_candidates]
+    DEFINED-set shared-write candidates for globals, default 8). Only
+    raw outcomes are produced, never graph nodes, so queries stay
+    deterministic. Returns the number of replays submitted; [0]
+    without a pool. *)
 
 val node_of_event : t -> Runtime.Event.eref -> int option
 (** Locate the graph node for an event, building its enclosing interval
@@ -69,9 +90,10 @@ val why : t -> int -> (int * Dyn_graph.edge_kind) list
     resolving this node's external reads and pending sync links. *)
 
 type stats = {
-  replays : int;  (** intervals emulated so far *)
+  replays : int;  (** intervals assembled into the graph so far *)
   replay_steps : int;  (** interpreter steps spent emulating *)
   intervals_total : int;  (** intervals available in the log *)
+  prefetched : int;  (** speculative replays submitted by {!prefetch} *)
 }
 
 val stats : t -> stats

@@ -6,11 +6,13 @@ type t = {
   machine : M.t;
   log : Trace.Log.t;
   pardyn_rt : Pardyn.t option;
+  jobs : int;
+  mutable pool : Exec.Pool.t option;
   mutable ctl : Controller.t option;
 }
 
 let of_program ?sched ?max_steps ?policy ?(race_sets = true) ?breakpoints
-    ?log_sink prog =
+    ?log_sink ?(jobs = 1) prog =
   let eb = Analysis.Eblock.analyze ?policy prog in
   let logger = Trace.Logger.create ?sink:log_sink eb in
   let obs = if race_sets then Some (Pardyn.observer prog) else None in
@@ -27,11 +29,13 @@ let of_program ?sched ?max_steps ?policy ?(race_sets = true) ?breakpoints
     machine;
     log = Trace.Logger.finish logger;
     pardyn_rt = Option.map Pardyn.finish obs;
+    jobs = max 1 jobs;
+    pool = None;
     ctl = None;
   }
 
-let run ?sched ?max_steps ?policy ?race_sets ?breakpoints ?log_sink src =
-  of_program ?sched ?max_steps ?policy ?race_sets ?breakpoints ?log_sink
+let run ?sched ?max_steps ?policy ?race_sets ?breakpoints ?log_sink ?jobs src =
+  of_program ?sched ?max_steps ?policy ?race_sets ?breakpoints ?log_sink ?jobs
     (Lang.Compile.compile src)
 
 let prog t = t.eb.Analysis.Eblock.prog
@@ -50,9 +54,21 @@ let controller t =
   match t.ctl with
   | Some c -> c
   | None ->
-    let c = Controller.start t.eb t.log in
+    let pool =
+      if t.jobs > 1 then begin
+        let p = Exec.Pool.create ~jobs:t.jobs () in
+        t.pool <- Some p;
+        Some p
+      end
+      else None
+    in
+    let c = Controller.start ?pool t.eb t.log in
     t.ctl <- Some c;
     c
+
+let shutdown t =
+  (match t.pool with Some p -> Exec.Pool.shutdown p | None -> ());
+  t.pool <- None
 
 let pardyn t =
   match t.pardyn_rt with

@@ -16,6 +16,7 @@ val run :
   ?race_sets:bool ->
   ?breakpoints:int list ->
   ?log_sink:Trace.Logger.sink ->
+  ?jobs:int ->
   string ->
   t
 (** Compile and execute MPL source with logging attached.
@@ -23,7 +24,10 @@ val run :
     so races can be detected; switch it off to measure pure logging
     overhead. [log_sink] additionally streams every log entry out as it
     is produced (e.g. a {!Store.Segment.Writer} appending the durable
-    segment file). Raises {!Lang.Diag.Error} on front-end errors. *)
+    segment file). [jobs] (default [1]) sets the size of the domain
+    pool the debugging phase may replay intervals on; [1] is the
+    serial path and both build byte-identical graphs. Raises
+    {!Lang.Diag.Error} on front-end errors. *)
 
 val of_program :
   ?sched:Runtime.Sched.policy ->
@@ -32,6 +36,7 @@ val of_program :
   ?race_sets:bool ->
   ?breakpoints:int list ->
   ?log_sink:Trace.Logger.sink ->
+  ?jobs:int ->
   Lang.Prog.t ->
   t
 (** [breakpoints] halt the machine after any of the given statements
@@ -51,7 +56,13 @@ val output : t -> string
 val log : t -> Trace.Log.t
 
 val controller : t -> Controller.t
-(** Created on first use; cached. *)
+(** Created on first use; cached. When the session was created with
+    [jobs > 1], the controller gets a domain pool of that size. *)
+
+val shutdown : t -> unit
+(** Join the session's pool domains, if a pool was created. Safe to
+    call more than once; the controller keeps answering queries (on
+    the serial path) afterwards. *)
 
 val pardyn : t -> Pardyn.t
 (** With access sets when [race_sets] was on; otherwise from the log. *)

@@ -546,12 +546,21 @@ let scan raw =
 (* Reader.                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* One shard of the page cache: an assoc-list LRU under its own lock,
+   so domains decoding different pages rarely contend. Everything else
+   in an indexed reader ([ix_raw], the index arrays) is immutable after
+   [open_file], hence safe to share without locks. *)
+type page_shard = {
+  ps_lock : Mutex.t;
+  mutable ps_cache : ((int * int) * L.entry array) list;
+      (* (pid, page) -> decoded entries, recent first *)
+}
+
 type indexed = {
   ix_path : string;
   ix_raw : string;
   ix_index : pid_index array;
-  mutable ix_cache : ((int * int) * L.entry array) list;
-      (* (pid, page) -> decoded entries, recent first *)
+  ix_shards : page_shard array;
 }
 
 type mem = {
@@ -569,7 +578,12 @@ type reader = {
   r_backing : backing;
 }
 
-let page_cache_cap = 16
+let page_shards = 8
+
+let page_cache_cap = 16 (* per shard *)
+
+let fresh_shards () =
+  Array.init page_shards (fun _ -> { ps_lock = Mutex.create (); ps_cache = [] })
 
 let read_file path =
   try In_channel.with_open_bin path In_channel.input_all
@@ -636,7 +650,12 @@ let indexed_backing path raw =
         | index ->
           Some
             (B_indexed
-               { ix_path = path; ix_raw = raw; ix_index = index; ix_cache = [] })
+               {
+                 ix_path = path;
+                 ix_raw = raw;
+                 ix_index = index;
+                 ix_shards = fresh_shards ();
+               })
         | exception Varint.Corrupt _ -> None)
       | Ok _ | Error _ -> None
 
@@ -700,24 +719,39 @@ let find_page px ~idx =
   done;
   !lo
 
-(* Decode one page through the LRU cache. *)
+(* Decode one page through the sharded LRU cache. The frame is parsed
+   outside the shard lock, so concurrent demand-paging domains only
+   serialize on the (cheap) cache lookup and insert; two domains racing
+   on the same cold page may both decode it, which is harmless — pages
+   are immutable. *)
 let decode_page ix ~pid ~page =
   let key = (pid, page) in
-  match List.assoc_opt key ix.ix_cache with
+  let shard = ix.ix_shards.((pid + page) mod page_shards) in
+  Mutex.lock shard.ps_lock;
+  let hit = List.assoc_opt key shard.ps_cache in
+  (match hit with
   | Some entries ->
-    ix.ix_cache <- (key, entries) :: List.remove_assoc key ix.ix_cache;
-    entries
+    shard.ps_cache <- (key, entries) :: List.remove_assoc key shard.ps_cache
+  | None -> ());
+  Mutex.unlock shard.ps_lock;
+  match hit with
+  | Some entries -> entries
   | None -> (
     let px = ix.ix_index.(pid) in
     let off, count = px.px_pages.(page) in
     match parse_frame ix.ix_raw off with
     | Ok (F_page { fpid; fentries; _ })
       when fpid = pid && Array.length fentries = count ->
-      ix.ix_cache <-
-        (key, fentries)
-        :: (if List.length ix.ix_cache >= page_cache_cap then
-              List.filteri (fun i _ -> i < page_cache_cap - 1) ix.ix_cache
-            else ix.ix_cache);
+      Mutex.lock shard.ps_lock;
+      (if not (List.mem_assoc key shard.ps_cache) then
+         shard.ps_cache <-
+           (key, fentries)
+           :: (if List.length shard.ps_cache >= page_cache_cap then
+                 List.filteri
+                   (fun i _ -> i < page_cache_cap - 1)
+                   shard.ps_cache
+               else shard.ps_cache));
+      Mutex.unlock shard.ps_lock;
       fentries
     | Ok (F_page { fpid; fentries; _ }) ->
       unreadable ix.ix_path

@@ -73,7 +73,9 @@ type reader
 (** An open segment. Indexed readers keep the raw bytes plus the footer
     tables and decode pages lazily, CRC-checked per frame, through a
     small LRU of decoded pages; salvaged readers hold the recovered
-    prefix in memory. *)
+    prefix in memory. The page LRU is sharded with a lock per shard, so
+    several domains may demand-page through one reader concurrently
+    (the index tables and raw bytes are immutable after open). *)
 
 val open_file : string -> reader
 (** Open any log file: a v2 segment (indexed when the trailer and
@@ -125,8 +127,9 @@ val window : reader -> pid:int -> lo:int -> hi:int -> Trace.Log.t
     entries [lo..hi] decoded in place (slots outside the touched pages
     hold an inert filler, other processes are empty) but whose
     [nprocs]/[stops] are real, so the emulator's absolute indexing
-    works unchanged. Decoded pages are cached in an LRU keyed by
-    [(pid, page)].
+    works unchanged. Decoded pages are cached in a sharded,
+    lock-protected LRU keyed by [(pid, page)]; safe to call from pool
+    domains.
     @raise Trace.Log_io.Unreadable if a page in range is damaged. *)
 
 val to_log : reader -> Trace.Log.t

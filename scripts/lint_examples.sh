@@ -1,0 +1,38 @@
+#!/bin/sh
+# Lint every bundled MPL example and compare the JSON diagnostics
+# against the golden file. Any unexpected PPD0xx finding (or a missing
+# expected one) fails the run. Used by the CI lint-examples job;
+# regenerate the golden with scripts/lint_examples.sh --update after
+# an intentional diagnostics change.
+set -eu
+
+PPD=${PPD:-_build/default/bin/ppd_cli.exe}
+GOLDEN=${GOLDEN:-test/lint_examples.golden}
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+for f in examples/mpl/*.mpl; do
+  set +e
+  json=$("$PPD" lint --format=json "$f")
+  code=$?
+  set -e
+  # lint exits 0 (clean) or 5 (findings); anything else is a crash
+  if [ "$code" -ne 0 ] && [ "$code" -ne 5 ]; then
+    echo "lint-examples: $f: ppd lint exited $code" >&2
+    exit 1
+  fi
+  printf '%s exit=%d %s\n' "$(basename "$f")" "$code" "$json" >>"$out"
+done
+
+if [ "${1:-}" = "--update" ]; then
+  cp "$out" "$GOLDEN"
+  echo "lint-examples: golden updated ($GOLDEN)"
+  exit 0
+fi
+
+if ! diff -u "$GOLDEN" "$out"; then
+  echo "lint-examples: diagnostics differ from $GOLDEN (run scripts/lint_examples.sh --update if intended)" >&2
+  exit 1
+fi
+echo "lint-examples: $(wc -l <"$out" | tr -d ' ') example(s) match the golden diagnostics"

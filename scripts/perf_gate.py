@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""CI perf gate over the bench JSON (dune exec bench/main.exe -- --json t9 t10).
+
+Two checks on the T10 (parallel replay) table:
+
+1. Determinism — every workload's parallel runs must have produced a
+   graph byte-identical to the serial (-j1) one. Enforced everywhere.
+2. Speedup — the -j4 run must beat -j1 by a sanity margin (default
+   1.4x; the paper-level target is ~2x). Only enforced when the host
+   reports at least MIN_CORES cores: a 1- or 2-core runner physically
+   cannot show the speedup, so the gate prints the numbers and skips
+   the margin there instead of failing spuriously.
+
+Usage: perf_gate.py BENCH_JSON [MARGIN]
+"""
+
+import json
+import sys
+
+MIN_CORES = 4
+
+
+def fail(msg):
+    print(f"perf-gate: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench.json"
+    margin = float(sys.argv[2]) if len(sys.argv) > 2 else 1.4
+    with open(path) as f:
+        data = json.load(f)
+
+    rows = data.get("t10")
+    if not rows:
+        fail(f"no t10 table in {path}")
+    cores = int(data.get("host_cores", 0))
+    enforce = cores >= MIN_CORES
+
+    failures = []
+    for row in rows:
+        name = row["workload"]
+        if not row.get("identical", False):
+            failures.append(f"{name}: parallel graph differs from serial")
+            continue
+        runs = {r["jobs"]: r for r in row["runs"]}
+        if 1 not in runs or 4 not in runs:
+            failures.append(f"{name}: missing -j1/-j4 runs")
+            continue
+        s1 = runs[1]["seconds"]
+        s4 = runs[4]["seconds"]
+        speedup = s1 / s4 if s4 > 0 else float("inf")
+        print(
+            f"perf-gate: {name}: {row['intervals']} interval(s), "
+            f"-j1 {s1:.4f}s, -j4 {s4:.4f}s "
+            f"({runs[4]['domains']} domain(s)) -> {speedup:.2f}x"
+        )
+        if enforce and speedup < margin:
+            failures.append(
+                f"{name}: -j4 speedup {speedup:.2f}x below the "
+                f"{margin:.2f}x margin"
+            )
+
+    if not enforce:
+        print(
+            f"perf-gate: host has {cores} core(s) (< {MIN_CORES}); "
+            f"determinism checked, speedup margin skipped"
+        )
+    if failures:
+        fail("; ".join(failures))
+    print(f"perf-gate: OK ({len(rows)} workload(s), host_cores={cores})")
+
+
+if __name__ == "__main__":
+    main()

@@ -192,3 +192,23 @@ A file that is not a log at all is refused with PPD050 (exit code 6):
   PPD050 error at ?: unreadable log bad.log: not a PPD log file (bad magic)
   1 finding(s): 1 error(s), 0 warning(s), 0 note(s)
   [6]
+
+The debugging phase parallelises over a domain pool (-j/--jobs).
+Every pool size produces byte-identical output; -j 1 is the plain
+serial path:
+
+  $ ppd flowback buggy.mpl --depth 2 -j 1 > serial.out
+  $ ppd flowback buggy.mpl --depth 2 -j 4 > pooled.out
+  $ cmp serial.out pooled.out && echo identical
+  identical
+
+Batch replay of every interval agrees with the serial path as well,
+down to the full graph dump:
+
+  $ ppd replay fig61.mpl -j 1
+  execution finished normally
+  replayed 3 of 3 log intervals (14 replay steps); graph: 19 nodes, 41 edges
+  $ ppd replay fig61.mpl -j 1 --dump > serial.dump
+  $ ppd replay fig61.mpl -j 4 --dump > pooled.dump
+  $ cmp serial.dump pooled.dump && echo identical
+  identical
