@@ -637,9 +637,12 @@ let t10_rows () =
         let pool = if jobs > 1 then Some (Exec.Pool.create ~jobs ()) else None in
         let ctl = Ppd.Controller.start ?pool eb log in
         let keys = all_keys ctl in
-        let t0 = Unix.gettimeofday () in
+        (* monotonic, not wall-clock: gettimeofday is subject to NTP
+           slews/steps, which on a long batch replay can shrink or
+           stretch a measurement and flip the CI speedup gate *)
+        let t0 = Obs.now_ns () in
         Ppd.Controller.build_intervals_par ctl keys;
-        let dt = Unix.gettimeofday () -. t0 in
+        let dt = float_of_int (Obs.now_ns () - t0) /. 1e9 in
         Option.iter Exec.Pool.shutdown pool;
         let dump =
           Format.asprintf "%a" Ppd.Dyn_graph.pp (Ppd.Controller.graph ctl)
@@ -702,6 +705,95 @@ let t10 () =
     \      deterministic — 'identical' checks the full graph dump)"
 
 (* ------------------------------------------------------------------ *)
+(* T11: overhead of the observability layer itself.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The layer's contract is "free when disabled": every counter and span
+   operation reads one atomic boolean and returns. T11 measures the
+   instrumented T1 logging path (which now carries obs calls) with
+   collection off and on, plus the raw per-call cost of one disabled
+   counter operation — the quantity the perf gate bounds, since it is
+   what every hot path pays when nobody is profiling. *)
+
+let t11_workloads =
+  List.filter (fun (n, _) -> n = "counter-4x50" || n = "branchy-150") workloads
+
+type t11_row = {
+  te_name : string;
+  te_bare_ns : float;
+  te_off_ns : float;
+  te_on_ns : float;
+}
+
+let t11_disabled_op_ns () =
+  Obs.disable ();
+  let c = Obs.counter "bench.t11.disabled_op" in
+  let iters = 20_000_000 in
+  let t0 = Obs.now_ns () in
+  for _ = 1 to iters do
+    Obs.incr c
+  done;
+  float_of_int (Obs.now_ns () - t0) /. float_of_int iters
+
+let t11_rows () =
+  List.map
+    (fun (name, src) ->
+      let prog = compile src in
+      let eb = Analysis.Eblock.analyze prog in
+      (* bare and obs-off share one measurement batch; obs-on runs in a
+         second batch so the enabled flag never leaks into the others.
+         The per-run [reset] keeps the recorded-span list from growing
+         across bechamel iterations (and is itself part of the enabled
+         cost, which only makes the "on" column conservative). *)
+      let off =
+        measure_tests ~quota:0.4
+          (Test.make_grouped ~name:"t11"
+             [
+               Test.make ~name:(name ^ "/bare")
+                 (Staged.stage (fun () -> run_bare prog));
+               Test.make ~name:(name ^ "/off")
+                 (Staged.stage (fun () -> run_logged eb));
+             ])
+      in
+      Obs.enable ();
+      let on =
+        measure_tests ~quota:0.4
+          (Test.make_grouped ~name:"t11"
+             [
+               Test.make ~name:(name ^ "/on")
+                 (Staged.stage (fun () ->
+                      Obs.reset ();
+                      run_logged eb));
+             ])
+      in
+      Obs.disable ();
+      Obs.reset ();
+      {
+        te_name = name;
+        te_bare_ns = time_of off ("t11/" ^ name ^ "/bare");
+        te_off_ns = time_of off ("t11/" ^ name ^ "/off");
+        te_on_ns = time_of on ("t11/" ^ name ^ "/on");
+      })
+    t11_workloads
+
+let t11 () =
+  header "T11  Observability-layer overhead (disabled must be free)";
+  Printf.printf "disabled counter op: %.2f ns/call\n" (t11_disabled_op_ns ());
+  row "%-14s %11s %11s %9s %11s %9s\n" "workload" "bare" "obs-off" "ovh"
+    "obs-on" "ovh(on)";
+  List.iter
+    (fun r ->
+      row "%-14s %11s %11s %9s %11s %9s\n" r.te_name (fmt_ns r.te_bare_ns)
+        (fmt_ns r.te_off_ns)
+        (pct r.te_bare_ns r.te_off_ns)
+        (fmt_ns r.te_on_ns)
+        (pct r.te_off_ns r.te_on_ns))
+    (t11_rows ());
+  print_endline
+    "(obs-off vs bare is the T1 logging overhead; ovh(on) is what enabling\n\
+    \      collection adds on top of it — profiling is pay-as-you-go)"
+
+(* ------------------------------------------------------------------ *)
 (* JSON emission (for the CI perf gate; no external JSON dependency).   *)
 (* ------------------------------------------------------------------ *)
 
@@ -741,6 +833,18 @@ let t10_json () =
                    r.tn_runs)))
          rows)
   ^ "]"
+
+let t11_json () =
+  Printf.sprintf "{\"disabled_op_ns\":%s,\"rows\":[%s]}"
+    (jfloat (t11_disabled_op_ns ()))
+    (String.concat ","
+       (List.map
+          (fun r ->
+            Printf.sprintf
+              "{\"workload\":%S,\"bare_ns\":%s,\"off_ns\":%s,\"on_ns\":%s}"
+              r.te_name (jfloat r.te_bare_ns) (jfloat r.te_off_ns)
+              (jfloat r.te_on_ns))
+          (t11_rows ())))
 
 (* ------------------------------------------------------------------ *)
 (* Figures.                                                             *)
@@ -794,12 +898,14 @@ let experiments =
     ("t8", t8);
     ("t9", t9);
     ("t10", t10);
+    ("t11", t11);
   ]
 
 (* Tables with a machine-readable emitter (`bench -- --json t9 t10`):
    one top-level object, a field per table, plus the host core count so
    downstream gates can tell whether a speedup was even possible. *)
-let json_experiments = [ ("t9", t9_json); ("t10", t10_json) ]
+let json_experiments =
+  [ ("t9", t9_json); ("t10", t10_json); ("t11", t11_json) ]
 
 let () =
   let args =

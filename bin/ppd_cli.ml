@@ -104,6 +104,45 @@ let jobs_arg =
 (* 0 (the cmdliner default) means "the machine decides". *)
 let resolve_jobs j = if j <= 0 then Exec.Pool.default_jobs () else j
 
+(* Profiling flags shared by the instrumented commands. Either flag
+   turns the observability layer on for the whole invocation; the
+   profile is written after the command's normal output, so the
+   deterministic stdout (-j1 vs -jN byte-identity) is untouched. *)
+let profile_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable instrumentation and write the profile (phase spans, \
+           per-replay timings, subsystem counters) as JSON to FILE \
+           ('-' for stdout).")
+
+let profile_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable instrumentation and write a Chrome trace_event file \
+           (load in chrome://tracing or Perfetto) to FILE.")
+
+let profile_setup pout ptrace =
+  if pout <> None || ptrace <> None then Obs.enable ()
+
+let profile_write pout ptrace =
+  (match pout with
+  | Some "-" -> print_string (Obs.to_json ())
+  | Some path ->
+    Obs.write_json path;
+    Printf.printf "profile written to %s\n" path
+  | None -> ());
+  match ptrace with
+  | Some path ->
+    Obs.write_chrome_trace path;
+    Printf.printf "trace written to %s\n" path
+  | None -> ()
+
 let session_of ?loops ?(breakpoints = []) ?jobs file sched steps inline =
   let src = read_source file in
   let prog = compile_or_die src in
@@ -256,7 +295,8 @@ let log_cmd =
       value & flag
       & info [ "v1" ] ~doc:"With --save, write the legacy v1 marshal format.")
   in
-  let run file sched steps inline loops save v1 =
+  let run file sched steps inline loops save v1 pout ptrace =
+    profile_setup pout ptrace;
     let src = read_source file in
     let prog = compile_or_die src in
     let writer =
@@ -277,13 +317,14 @@ let log_cmd =
       (Trace.Log.entry_count log)
       (Store.Segment.encoded_size log)
       (Trace.Log_io.measure log);
-    match save with
+    (match save with
     | None -> ()
     | Some path ->
       (match writer with
       | Some w -> Store.Segment.Writer.close w
       | None -> Trace.Log_io.save path log);
-      Printf.printf "saved to %s\n" path
+      Printf.printf "saved to %s\n" path);
+    profile_write pout ptrace
   in
   let stats_cmd =
     let run path =
@@ -320,7 +361,7 @@ let log_cmd =
   let run_term =
     Term.(
       const run $ file_arg $ sched_arg $ steps_arg $ inline_arg $ loops_arg
-      $ save_arg $ v1_arg)
+      $ save_arg $ v1_arg $ profile_out_arg $ profile_trace_arg)
   in
   Cmd.group ~default:run_term
     (Cmd.info "log"
@@ -379,30 +420,33 @@ let flowback_cmd =
       & info [ "dot" ] ~docv:"PATH"
           ~doc:"Write the dynamic graph as Graphviz dot to PATH.")
   in
-  let run file sched steps inline loops depth dot jobs =
+  let run file sched steps inline loops depth dot jobs pout ptrace =
+    profile_setup pout ptrace;
     let s = session_of ~loops ~jobs:(resolve_jobs jobs) file sched steps inline in
     print_endline (Ppd.Session.explain_halt s);
-    (match Ppd.Session.error_node s with
-    | None -> print_endline "no events to debug"
-    | Some root ->
-      let ctl = Ppd.Session.controller s in
-      (* eager mode: the query pinned the halt interval; speculatively
-         replay its dependence frontier on the idle pool domains while
-         the explanation walks the graph (a no-op at -j1) *)
-      ignore (Ppd.Controller.prefetch ctl);
-      Format.printf "%a@." (Ppd.Flowback.pp_explain ~max_depth:depth ctl) root;
-      let st = Ppd.Controller.stats ctl in
-      Printf.printf "emulated %d of %d log intervals (%d replay steps)\n"
-        st.Ppd.Controller.replays st.Ppd.Controller.intervals_total
-        st.Ppd.Controller.replay_steps;
-      (match dot with
-      | None -> ()
-      | Some path ->
-        Out_channel.with_open_text path (fun oc ->
-            Out_channel.output_string oc
-              (Ppd.Dyn_graph.to_dot (Ppd.Controller.graph ctl)));
-        Printf.printf "dynamic graph written to %s\n" path));
-    Ppd.Session.shutdown s
+    Obs.phase "debugging" (fun () ->
+        match Ppd.Session.error_node s with
+        | None -> print_endline "no events to debug"
+        | Some root ->
+          let ctl = Ppd.Session.controller s in
+          (* eager mode: the query pinned the halt interval; speculatively
+             replay its dependence frontier on the idle pool domains while
+             the explanation walks the graph (a no-op at -j1) *)
+          ignore (Ppd.Controller.prefetch ctl);
+          Format.printf "%a@." (Ppd.Flowback.pp_explain ~max_depth:depth ctl) root;
+          let st = Ppd.Controller.stats ctl in
+          Printf.printf "emulated %d of %d log intervals (%d replay steps)\n"
+            st.Ppd.Controller.replays st.Ppd.Controller.intervals_total
+            st.Ppd.Controller.replay_steps;
+          (match dot with
+          | None -> ()
+          | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc
+                  (Ppd.Dyn_graph.to_dot (Ppd.Controller.graph ctl)));
+            Printf.printf "dynamic graph written to %s\n" path));
+    Ppd.Session.shutdown s;
+    profile_write pout ptrace
   in
   Cmd.v
     (Cmd.info "flowback"
@@ -411,7 +455,7 @@ let flowback_cmd =
           over the dynamic dependence graph.")
     Term.(
       const run $ file_arg $ sched_arg $ steps_arg $ inline_arg $ loops_arg
-      $ depth_arg $ dot_arg $ jobs_arg)
+      $ depth_arg $ dot_arg $ jobs_arg $ profile_out_arg $ profile_trace_arg)
 
 let replay_cmd =
   let dump_arg =
@@ -420,29 +464,32 @@ let replay_cmd =
       & info [ "dump" ]
           ~doc:"Print the assembled dynamic graph (deterministic dump).")
   in
-  let run file sched steps inline loops jobs dump =
+  let run file sched steps inline loops jobs dump pout ptrace =
+    profile_setup pout ptrace;
     let s = session_of ~loops ~jobs:(resolve_jobs jobs) file sched steps inline in
     print_endline (Ppd.Session.explain_halt s);
-    let ctl = Ppd.Session.controller s in
-    let log = Ppd.Session.log s in
-    let keys =
-      List.concat
-        (List.init log.Trace.Log.nprocs (fun pid ->
-             List.init
-               (Array.length (Ppd.Controller.intervals ctl ~pid))
-               (fun iv_id -> (pid, iv_id))))
-    in
-    Ppd.Controller.build_intervals_par ctl keys;
-    let st = Ppd.Controller.stats ctl in
-    let g = Ppd.Controller.graph ctl in
-    Printf.printf
-      "replayed %d of %d log intervals (%d replay steps); graph: %d nodes, \
-       %d edges\n"
-      st.Ppd.Controller.replays st.Ppd.Controller.intervals_total
-      st.Ppd.Controller.replay_steps (Ppd.Dyn_graph.nnodes g)
-      (Ppd.Dyn_graph.nedges g);
-    if dump then Format.printf "%a@." Ppd.Dyn_graph.pp g;
-    Ppd.Session.shutdown s
+    Obs.phase "debugging" (fun () ->
+        let ctl = Ppd.Session.controller s in
+        let log = Ppd.Session.log s in
+        let keys =
+          List.concat
+            (List.init log.Trace.Log.nprocs (fun pid ->
+                 List.init
+                   (Array.length (Ppd.Controller.intervals ctl ~pid))
+                   (fun iv_id -> (pid, iv_id))))
+        in
+        Ppd.Controller.build_intervals_par ctl keys;
+        let st = Ppd.Controller.stats ctl in
+        let g = Ppd.Controller.graph ctl in
+        Printf.printf
+          "replayed %d of %d log intervals (%d replay steps); graph: %d \
+           nodes, %d edges\n"
+          st.Ppd.Controller.replays st.Ppd.Controller.intervals_total
+          st.Ppd.Controller.replay_steps (Ppd.Dyn_graph.nnodes g)
+          (Ppd.Dyn_graph.nedges g);
+        if dump then Format.printf "%a@." Ppd.Dyn_graph.pp g);
+    Ppd.Session.shutdown s;
+    profile_write pout ptrace
   in
   Cmd.v
     (Cmd.info "replay"
@@ -453,7 +500,7 @@ let replay_cmd =
           -j value.")
     Term.(
       const run $ file_arg $ sched_arg $ steps_arg $ inline_arg $ loops_arg
-      $ jobs_arg $ dump_arg)
+      $ jobs_arg $ dump_arg $ profile_out_arg $ profile_trace_arg)
 
 let format_arg =
   Arg.(
@@ -771,6 +818,26 @@ let example_cmd =
   Cmd.v (Cmd.info "example" ~doc:"Print a bundled example program.")
     Term.(const run $ name_arg)
 
+(* `ppd profile …` is dispatched by hand before cmdliner runs (it must
+   wrap an arbitrary inner command line); this stub only provides the
+   `ppd --help` listing and a usage message for malformed invocations
+   that slip through. *)
+let profile_usage = "usage: ppd profile [-o FILE] [--trace FILE] COMMAND [ARG]…"
+
+let profile_cmd =
+  let run () =
+    prerr_endline profile_usage;
+    exit 124
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run any ppd command with the observability layer enabled and \
+          export the profile: $(b,-o FILE) writes counters and spans as \
+          JSON ('-' for stdout, the default), $(b,--trace FILE) writes \
+          Chrome trace_event JSON for chrome://tracing or Perfetto.")
+    Term.(const run $ const ())
+
 let main_cmd =
   Cmd.group
     (Cmd.info "ppd" ~version:"1.0.0"
@@ -794,13 +861,13 @@ let main_cmd =
       debug_cmd;
       examples_cmd;
       example_cmd;
+      profile_cmd;
     ]
 
 (* cmdliner group dispatch treats the first positional as a sub-command
    name, so `ppd log prog.mpl` is rewritten to `ppd log run prog.mpl`
    unless a real sub-command was named. *)
-let argv =
-  let a = Sys.argv in
+let rewrite_log a =
   if
     Array.length a >= 2
     && a.(1) = "log"
@@ -810,4 +877,50 @@ let argv =
       [ Array.sub a 0 2; [| "run" |]; Array.sub a 2 (Array.length a - 2) ]
   else a
 
-let () = exit (Cmd.eval ~argv main_cmd)
+(* `ppd profile [-o FILE] [--trace FILE] CMD ARG…` enables collection,
+   evaluates the inner command line, then exports — so any command can
+   be profiled, not just the ones carrying --profile-out flags. *)
+let () =
+  let a = Sys.argv in
+  if Array.length a >= 2 && a.(1) = "profile" then begin
+    let out = ref None and trc = ref None in
+    let rec parse_opts i =
+      if i >= Array.length a then i
+      else
+        match a.(i) with
+        | ("-o" | "--out") when i + 1 < Array.length a ->
+          out := Some a.(i + 1);
+          parse_opts (i + 2)
+        | "--trace" when i + 1 < Array.length a ->
+          trc := Some a.(i + 1);
+          parse_opts (i + 2)
+        | "--help" ->
+          exit (Cmd.eval ~argv:[| a.(0); "profile"; "--help" |] main_cmd)
+        | _ -> i
+    in
+    let rest = parse_opts 2 in
+    if rest >= Array.length a then begin
+      prerr_endline profile_usage;
+      exit 124
+    end;
+    if !out = None && !trc = None then out := Some "-";
+    Obs.enable ();
+    let inner =
+      rewrite_log
+        (Array.append [| a.(0) |] (Array.sub a rest (Array.length a - rest)))
+    in
+    let code = Cmd.eval ~argv:inner main_cmd in
+    (match !out with
+    | Some "-" -> print_string (Obs.to_json ())
+    | Some path ->
+      Obs.write_json path;
+      Printf.printf "profile written to %s\n" path
+    | None -> ());
+    (match !trc with
+    | Some path ->
+      Obs.write_chrome_trace path;
+      Printf.printf "trace written to %s\n" path
+    | None -> ());
+    exit code
+  end
+  else exit (Cmd.eval ~argv:(rewrite_log a) main_cmd)

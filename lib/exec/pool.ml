@@ -14,10 +14,21 @@ type t = {
   mutable workers : unit Domain.t array;
   m : Mutex.t;
   work_available : Condition.t;
+  all_joined : Condition.t;  (* signalled once the workers are joined *)
   mutable outstanding : int;  (* queued tasks not yet taken by a worker *)
   mutable closing : bool;
+  mutable joined : bool;  (* worker domains fully joined; under [m] *)
   mutable next : int;  (* round-robin submit cursor *)
 }
+
+(* Scheduler counters (no-ops until [Obs.enable]): total tasks, how
+   many were taken by theft rather than from the owner's deque, and the
+   high-watermark of queued-but-untaken tasks. *)
+let c_tasks = Obs.counter "exec.pool.tasks"
+
+let c_steals = Obs.counter "exec.pool.steals"
+
+let c_queue_max = Obs.gauge_max "exec.pool.queue_depth_max"
 
 let default_jobs () = Domain.recommended_domain_count ()
 
@@ -38,7 +49,9 @@ let find_task pool i =
       if k >= n then None
       else
         match Deque.steal pool.deques.((i + k) mod n) with
-        | Some _ as t -> t
+        | Some _ as t ->
+          Obs.incr c_steals;
+          t
         | None -> try_steal (k + 1)
     in
     try_steal 1
@@ -71,8 +84,10 @@ let create ?jobs () =
       workers = [||];
       m = Mutex.create ();
       work_available = Condition.create ();
+      all_joined = Condition.create ();
       outstanding = 0;
       closing = false;
+      joined = false;
       next = 0;
     }
   in
@@ -96,6 +111,8 @@ let submit pool f =
   Deque.push pool.deques.(pool.next) task;
   pool.next <- (pool.next + 1) mod Array.length pool.deques;
   pool.outstanding <- pool.outstanding + 1;
+  Obs.incr c_tasks;
+  Obs.observe c_queue_max pool.outstanding;
   Condition.signal pool.work_available;
   Mutex.unlock pool.m;
   fut
@@ -112,22 +129,38 @@ let await fut =
   | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
   | Pending -> assert false
 
+(* Non-blocking status probe. Reports a [Failed] state instead of
+   re-raising: a poll must not blow up an unrelated caller every time
+   it looks (the exception still surfaces exactly once, via [await]). *)
 let peek fut =
   Mutex.lock fut.fm;
   let st = fut.fstate in
   Mutex.unlock fut.fm;
-  match st with
-  | Pending -> None
-  | Done v -> Some v
-  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  st
 
+(* Every caller — not just the first — blocks until the worker domains
+   are joined. The first closer performs the joins outside the lock;
+   latecomers wait on [all_joined] for the [joined] flag, so no caller
+   can return while a worker domain is still running. *)
 let shutdown pool =
   Mutex.lock pool.m;
   let was_closing = pool.closing in
   pool.closing <- true;
   Condition.broadcast pool.work_available;
-  Mutex.unlock pool.m;
-  if not was_closing then Array.iter Domain.join pool.workers
+  if was_closing then begin
+    while not pool.joined do
+      Condition.wait pool.all_joined pool.m
+    done;
+    Mutex.unlock pool.m
+  end
+  else begin
+    Mutex.unlock pool.m;
+    Array.iter Domain.join pool.workers;
+    Mutex.lock pool.m;
+    pool.joined <- true;
+    Condition.broadcast pool.all_joined;
+    Mutex.unlock pool.m
+  end
 
 let with_pool ?jobs f =
   let pool = create ?jobs () in

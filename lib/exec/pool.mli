@@ -26,6 +26,12 @@ type t
 
 type 'a future
 
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+      (** Status of a future as reported by {!peek}. *)
+
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the [--jobs] default. *)
 
@@ -45,13 +51,15 @@ val await : 'a future -> 'a
 (** Block until the task finished; re-raises the task's exception with
     its original backtrace if it failed. *)
 
-val peek : 'a future -> 'a option
-(** [Some v] if the task already completed successfully, [None] while
-    pending; re-raises its exception if it failed. *)
+val peek : 'a future -> 'a state
+(** Non-blocking status probe. Never raises: a failed task is reported
+    as [Failed] (its exception is re-raised, once, by {!await}). *)
 
 val shutdown : t -> unit
 (** Drain every queued task, then stop and join the workers.
-    Idempotent. *)
+    Idempotent, and safe to call from several domains at once: every
+    caller blocks until the join has completed, so no caller can
+    observe worker domains still running after [shutdown] returns. *)
 
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [create], run, [shutdown] (also on exception). *)

@@ -39,6 +39,23 @@ type stats = {
   prefetched : int;
 }
 
+(* Debugging-phase counters (no-ops until [Obs.enable]). A cache
+   "lookup" is one [build_interval] assembly request; it "hits" when
+   the outcome already exists (assembled, speculative fragment, or in
+   flight on the pool) and "misses" when a serial replay is forced —
+   exactly one of the two per lookup, so hits + misses = lookups. *)
+let c_replays = Obs.counter "ppd.controller.replays"
+
+let c_replay_steps = Obs.counter "ppd.controller.replay_steps"
+
+let c_prefetched = Obs.counter "ppd.controller.prefetched"
+
+let c_lookups = Obs.counter "ppd.controller.cache.lookups"
+
+let c_hits = Obs.counter "ppd.controller.cache.hits"
+
+let c_misses = Obs.counter "ppd.controller.cache.misses"
+
 let make ?pool eb src =
   let prog = eb.Analysis.Eblock.prog in
   let stmt_fid sid = prog.P.stmt_fid.(sid) in
@@ -155,20 +172,28 @@ let submit_replay t (iv : L.interval) =
 
 let build_interval t ~pid ~iv_id =
   let key = (pid, iv_id) in
+  Obs.incr c_lookups;
   match Hashtbl.find_opt t.outcomes key with
-  | Some o -> o
+  | Some o ->
+    Obs.incr c_hits;
+    o
   | None ->
     let iv = t.ivs.(pid).(iv_id) in
     let outcome =
       match take_frag t key with
-      | Some o -> o
+      | Some o ->
+        Obs.incr c_hits;
+        o
       | None -> (
         match Hashtbl.find_opt t.inflight key with
         | Some fut ->
+          Obs.incr c_hits;
           let o = Exec.Pool.await fut in
           ignore (take_frag t key);
           o
-        | None -> replay_outcome t iv)
+        | None ->
+          Obs.incr c_misses;
+          replay_outcome t iv)
     in
     Hashtbl.remove t.inflight key;
     (* Graph assembly always happens here, on the querying domain, in
@@ -180,6 +205,8 @@ let build_interval t ~pid ~iv_id =
     let builder = Builder.build_from_outcome t.pdgs t.g ~interval:iv outcome in
     t.replays <- t.replays + 1;
     t.replay_steps <- t.replay_steps + outcome.Emulator.steps;
+    Obs.incr c_replays;
+    Obs.add c_replay_steps outcome.Emulator.steps;
     t.pending <- Builder.pending_links builder @ t.pending;
     retry_pending t;
     Hashtbl.replace t.outcomes key outcome;
@@ -536,6 +563,7 @@ let prefetch ?(max_candidates = 8) t =
               | None -> ())))
       (Dyn_graph.externals t.g);
     t.prefetched <- t.prefetched + !n;
+    Obs.add c_prefetched !n;
     !n
 
 let why t node_id =

@@ -605,9 +605,19 @@ let check_postlog st ~single_process =
         vals
     | _ -> [])
 
+(* Every interval emulation, whether demanded by a query or speculated
+   by the prefetcher — so this is always ≥ the controller's assembled
+   replay count. *)
+let c_replays = Obs.counter "ppd.emulator.replays"
+
 let replay ?(on_event = fun ~seq:_ _ -> ()) ?(max_steps = 1_000_000)
     ?(overrides = []) ?(validate = true) eb (log : L.t)
     ~(interval : L.interval) =
+  Obs.incr c_replays;
+  Obs.with_span ~cat:"replay"
+    ~arg:(Printf.sprintf "p%d#%d" interval.L.iv_pid interval.L.iv_id)
+    "replay"
+  @@ fun () ->
   let prog = eb.Analysis.Eblock.prog in
   let pid = interval.L.iv_pid in
   let entries = log.L.entries.(pid) in

@@ -22,7 +22,7 @@ let of_program ?sched ?max_steps ?policy ?(race_sets = true) ?breakpoints
     | Some o -> Runtime.Hooks.both (Trace.Logger.factory logger) (Pardyn.factory o)
   in
   let machine = M.create ?sched ?max_steps ~hooks ?breakpoints prog in
-  let halt = M.run machine in
+  let halt = Obs.phase "execution" (fun () -> M.run machine) in
   {
     eb;
     halt;

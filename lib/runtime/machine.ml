@@ -636,10 +636,16 @@ let step_one t =
         true
       end)
 
+(* Execution-phase step counter (a no-op until [Obs.enable]): bumped
+   once per [run], not per step, so the hot loop stays untouched. *)
+let c_steps = Obs.counter "runtime.machine_steps"
+
 let run t =
+  let before = t.steps in
   while step_one t do
     ()
   done;
+  Obs.add c_steps (t.steps - before);
   match t.halted with Some h -> h | None -> assert false
 
 let status t = t.halted

@@ -26,7 +26,12 @@ let round_robin t ~runnable quantum =
     t.rr_current
   end
   else begin
-    (* next runnable pid strictly greater than the current one, wrapping *)
+    (* "next runnable pid strictly greater than the current one,
+       wrapping" is only the *smallest* such pid when the list is
+       sorted; callers other than the machine may pass any order, so
+       sort defensively (cheap: runnable lists are process-count
+       sized) rather than mis-rotate the quantum *)
+    let runnable = List.sort_uniq Int.compare runnable in
     let next =
       match List.find_opt (fun p -> p > t.rr_current) runnable with
       | Some p -> p

@@ -582,6 +582,24 @@ let page_shards = 8
 
 let page_cache_cap = 16 (* per shard *)
 
+(* Demand-paging counters (no-ops until [Obs.enable]): cache hits,
+   faults (page decoded from the raw segment), and LRU evictions —
+   as totals plus a per-shard breakdown, so a skewed (pid, page)
+   distribution overloading one shard is visible in a profile. *)
+let c_page_hits = Obs.counter "store.segment.page_hits"
+
+let c_page_faults = Obs.counter "store.segment.page_faults"
+
+let c_evictions = Obs.counter "store.segment.lru_evictions"
+
+let c_shard_faults =
+  Array.init page_shards (fun i ->
+      Obs.counter (Printf.sprintf "store.segment.shard%d.page_faults" i))
+
+let c_shard_evictions =
+  Array.init page_shards (fun i ->
+      Obs.counter (Printf.sprintf "store.segment.shard%d.lru_evictions" i))
+
 let fresh_shards () =
   Array.init page_shards (fun _ -> { ps_lock = Mutex.create (); ps_cache = [] })
 
@@ -726,7 +744,8 @@ let find_page px ~idx =
    are immutable. *)
 let decode_page ix ~pid ~page =
   let key = (pid, page) in
-  let shard = ix.ix_shards.((pid + page) mod page_shards) in
+  let shard_i = (pid + page) mod page_shards in
+  let shard = ix.ix_shards.(shard_i) in
   Mutex.lock shard.ps_lock;
   let hit = List.assoc_opt key shard.ps_cache in
   (match hit with
@@ -735,22 +754,31 @@ let decode_page ix ~pid ~page =
   | None -> ());
   Mutex.unlock shard.ps_lock;
   match hit with
-  | Some entries -> entries
+  | Some entries ->
+    Obs.incr c_page_hits;
+    entries
   | None -> (
+    Obs.incr c_page_faults;
+    Obs.incr c_shard_faults.(shard_i);
     let px = ix.ix_index.(pid) in
     let off, count = px.px_pages.(page) in
     match parse_frame ix.ix_raw off with
     | Ok (F_page { fpid; fentries; _ })
       when fpid = pid && Array.length fentries = count ->
       Mutex.lock shard.ps_lock;
-      (if not (List.mem_assoc key shard.ps_cache) then
+      (if not (List.mem_assoc key shard.ps_cache) then begin
+         (if List.length shard.ps_cache >= page_cache_cap then begin
+            Obs.incr c_evictions;
+            Obs.incr c_shard_evictions.(shard_i)
+          end);
          shard.ps_cache <-
            (key, fentries)
            :: (if List.length shard.ps_cache >= page_cache_cap then
                  List.filteri
                    (fun i _ -> i < page_cache_cap - 1)
                    shard.ps_cache
-               else shard.ps_cache));
+               else shard.ps_cache)
+       end);
       Mutex.unlock shard.ps_lock;
       fentries
     | Ok (F_page { fpid; fentries; _ }) ->

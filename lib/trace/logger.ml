@@ -1,6 +1,16 @@
 module P = Lang.Prog
 module E = Runtime.Event
 
+(* Execution-phase counters (no-ops until [Obs.enable]): how many
+   entries the incremental trace produced, how many variable values the
+   prelog/postlog snapshots copied, and how often the per-pid tables
+   had to regrow (geometric, so O(log pids) for any spawn pattern). *)
+let c_entries = Obs.counter "trace.log_entries"
+
+let c_snapshot_vals = Obs.counter "trace.snapshot_values"
+
+let c_regrowths = Obs.counter "trace.pid_regrowths"
+
 type sink = {
   sink_entry : pid:int -> Log.entry -> unit;
   sink_close : stops:int array -> unit;
@@ -10,6 +20,7 @@ type t = {
   eb : Analysis.Eblock.t;
   sink : sink option;
   mutable port : Runtime.Hooks.port option;
+  mutable nprocs : int;  (* pids seen; the arrays below may be larger *)
   mutable logs : Log.entry list ref array;  (* per pid, reversed *)
   mutable pending_return : Runtime.Value.t option option array;
       (* per pid: a return is unwinding; loop postlogs record it *)
@@ -43,6 +54,7 @@ let create ?sink eb =
     eb;
     sink;
     port = None;
+    nprocs = 1;
     logs = [| ref [] |];
     pending_return = [| None |];
     seq_high = [| 0 |];
@@ -51,22 +63,28 @@ let create ?sink eb =
     loop_vars;
   }
 
+(* Grow geometrically: doubling keeps heavy spawners at O(pids) total
+   copying (the previous exact-fit growth re-copied all three arrays on
+   every single new pid — O(pids²) across an execution). [t.nprocs]
+   tracks the logical count; [finish] trims the slack. *)
 let ensure_pid t pid =
+  if pid >= t.nprocs then t.nprocs <- pid + 1;
   let n = Array.length t.logs in
   if pid >= n then begin
-    t.logs <-
-      Array.init (pid + 1) (fun i -> if i < n then t.logs.(i) else ref []);
+    Obs.incr c_regrowths;
+    let cap = max (pid + 1) (2 * n) in
+    t.logs <- Array.init cap (fun i -> if i < n then t.logs.(i) else ref []);
     t.pending_return <-
-      Array.init (pid + 1) (fun i ->
-          if i < n then t.pending_return.(i) else None);
+      Array.init cap (fun i -> if i < n then t.pending_return.(i) else None);
     t.seq_high <-
-      Array.init (pid + 1) (fun i -> if i < n then t.seq_high.(i) else 0)
+      Array.init cap (fun i -> if i < n then t.seq_high.(i) else 0)
   end
 
 (* Entries stream out to the sink the moment they are produced — the
    durable store appends them as the execution phase runs instead of
    dumping the whole log at exit (§5.6). *)
 let push t pid entry =
+  Obs.incr c_entries;
   let cell = t.logs.(pid) in
   cell := entry :: !cell;
   match t.sink with
@@ -77,6 +95,7 @@ let snapshot t pid vars =
   match t.port with
   | None -> []
   | Some port ->
+    if Obs.enabled () then Obs.add c_snapshot_vals (List.length vars);
     List.map
       (fun (v : P.var) ->
         (v.vid, Runtime.Value.copy (port.Runtime.Hooks.read_var ~pid v)))
@@ -220,14 +239,27 @@ let factory t port =
   { Runtime.Hooks.on_event = (fun ~pid ~seq ev -> on_event t ~pid ~seq ev) }
 
 let finish t =
+  (* the arrays may carry geometric-growth slack past [t.nprocs]: trim
+     it here so neither the in-memory log nor the durable store ever
+     sees phantom processes *)
+  let stops = Array.sub t.seq_high 0 t.nprocs in
   (match t.sink with
   | None -> ()
-  | Some s -> s.sink_close ~stops:(Array.copy t.seq_high));
-  {
-    Log.nprocs = Array.length t.logs;
-    entries = Array.map (fun cell -> Array.of_list (List.rev !cell)) t.logs;
-    stops = Array.copy t.seq_high;
-  }
+  | Some s -> s.sink_close ~stops:(Array.copy stops));
+  let entries =
+    Array.init t.nprocs (fun pid -> Array.of_list (List.rev !(t.logs.(pid))))
+  in
+  if Obs.enabled () then
+    Array.iteri
+      (fun pid es ->
+        Obs.add
+          (Obs.counter (Printf.sprintf "trace.pid%d.entries" pid))
+          (Array.length es);
+        Obs.add
+          (Obs.counter (Printf.sprintf "trace.pid%d.log_bytes" pid))
+          (String.length (Marshal.to_string es [])))
+      entries;
+  { Log.nprocs = t.nprocs; entries; stops }
 
 let run_logged ?sched ?max_steps ?(extra_hooks = Runtime.Hooks.nil) ?sink eb =
   let logger = create ?sink eb in

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""CI perf gate over the bench JSON (dune exec bench/main.exe -- --json t9 t10).
+"""CI perf gate over the bench JSON (dune exec bench/main.exe -- --json t9 t10 t11)
+and, optionally, a ppd profile JSON (--profile FILE).
 
-Two checks on the T10 (parallel replay) table:
+Checks on the T10 (parallel replay) table:
 
 1. Determinism — every workload's parallel runs must have produced a
    graph byte-identical to the serial (-j1) one. Enforced everywhere.
@@ -11,13 +12,33 @@ Two checks on the T10 (parallel replay) table:
    cannot show the speedup, so the gate prints the numbers and skips
    the margin there instead of failing spuriously.
 
-Usage: perf_gate.py BENCH_JSON [MARGIN]
+Checks on the T11 (observability overhead) table, when present:
+
+3. A disabled counter operation must cost under DISABLED_OP_MAX_NS —
+   the "free when off" contract of lib/obs (one atomic load). This is
+   the machine-independent form of "instrumentation off stays within
+   2% of the uninstrumented baseline": the absolute per-op bound holds
+   on any runner, where a wall-clock ratio between two CI runs would
+   be noise.
+4. The obs-on run must not be absurdly slower than obs-off (> 2x means
+   a hot path is doing real work when it should be gated).
+
+Checks on the profile JSON (--profile FILE), when given:
+
+5. Counter coherence — cache hits + misses == lookups; the emulator's
+   replay count >= the controller's assembled replays (speculation can
+   only add); assembled replays <= lookups; at least one phase span
+   of each of "execution" and "debugging" was recorded.
+
+Usage: perf_gate.py BENCH_JSON [MARGIN] [--profile PROFILE_JSON]
 """
 
 import json
 import sys
 
 MIN_CORES = 4
+DISABLED_OP_MAX_NS = 25.0
+ON_OFF_MAX_RATIO = 2.0
 
 
 def fail(msg):
@@ -25,19 +46,13 @@ def fail(msg):
     sys.exit(1)
 
 
-def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "bench.json"
-    margin = float(sys.argv[2]) if len(sys.argv) > 2 else 1.4
-    with open(path) as f:
-        data = json.load(f)
-
+def check_t10(data, margin, failures):
     rows = data.get("t10")
     if not rows:
-        fail(f"no t10 table in {path}")
+        fail("no t10 table in the bench JSON")
     cores = int(data.get("host_cores", 0))
     enforce = cores >= MIN_CORES
 
-    failures = []
     for row in rows:
         name = row["workload"]
         if not row.get("identical", False):
@@ -66,9 +81,103 @@ def main():
             f"perf-gate: host has {cores} core(s) (< {MIN_CORES}); "
             f"determinism checked, speedup margin skipped"
         )
+    return len(rows)
+
+
+def check_t11(data, failures):
+    t11 = data.get("t11")
+    if not t11:
+        return
+    op = t11.get("disabled_op_ns")
+    if op is None:
+        failures.append("t11: no disabled_op_ns measurement")
+    else:
+        print(f"perf-gate: t11: disabled counter op {op:.2f} ns/call")
+        if op > DISABLED_OP_MAX_NS:
+            failures.append(
+                f"t11: disabled counter op {op:.2f} ns exceeds the "
+                f"{DISABLED_OP_MAX_NS:.0f} ns bound — instrumentation "
+                f"is not free when off"
+            )
+    for row in t11.get("rows", []):
+        name, off, on = row["workload"], row["off_ns"], row["on_ns"]
+        if not off or not on:
+            failures.append(f"t11/{name}: missing off/on timing")
+            continue
+        ratio = on / off
+        print(f"perf-gate: t11/{name}: obs-on/obs-off = {ratio:.3f}x")
+        if ratio > ON_OFF_MAX_RATIO:
+            failures.append(
+                f"t11/{name}: enabling collection costs {ratio:.2f}x "
+                f"(> {ON_OFF_MAX_RATIO:.1f}x) — a hot path is doing "
+                f"ungated work"
+            )
+
+
+def check_profile(path, failures):
+    with open(path) as f:
+        prof = json.load(f)
+    c = prof.get("counters", {})
+
+    def cnt(name):
+        return int(c.get(name, 0))
+
+    lookups = cnt("ppd.controller.cache.lookups")
+    hits = cnt("ppd.controller.cache.hits")
+    misses = cnt("ppd.controller.cache.misses")
+    ctl_replays = cnt("ppd.controller.replays")
+    emu_replays = cnt("ppd.emulator.replays")
+    print(
+        f"perf-gate: profile: {lookups} lookup(s) = {hits} hit(s) + "
+        f"{misses} miss(es); {ctl_replays} assembled replay(s), "
+        f"{emu_replays} emulator replay(s)"
+    )
+    if hits + misses != lookups:
+        failures.append(
+            f"profile: cache hits ({hits}) + misses ({misses}) != "
+            f"lookups ({lookups})"
+        )
+    if lookups == 0:
+        failures.append("profile: no interval-cache lookups recorded")
+    if emu_replays < ctl_replays:
+        failures.append(
+            f"profile: emulator replays ({emu_replays}) < assembled "
+            f"replays ({ctl_replays}) — speculation can only add"
+        )
+    if ctl_replays > lookups:
+        failures.append(
+            f"profile: assembled replays ({ctl_replays}) > lookups "
+            f"({lookups})"
+        )
+    phases = {
+        s["name"] for s in prof.get("spans", []) if s.get("cat") == "phase"
+    }
+    for want in ("execution", "debugging"):
+        if want not in phases:
+            failures.append(f"profile: no '{want}' phase span recorded")
+
+
+def main():
+    args = sys.argv[1:]
+    profile = None
+    if "--profile" in args:
+        i = args.index("--profile")
+        profile = args[i + 1]
+        del args[i : i + 2]
+    path = args[0] if args else "bench.json"
+    margin = float(args[1]) if len(args) > 1 else 1.4
+    with open(path) as f:
+        data = json.load(f)
+
+    failures = []
+    nrows = check_t10(data, margin, failures)
+    check_t11(data, failures)
+    if profile:
+        check_profile(profile, failures)
     if failures:
         fail("; ".join(failures))
-    print(f"perf-gate: OK ({len(rows)} workload(s), host_cores={cores})")
+    cores = int(data.get("host_cores", 0))
+    print(f"perf-gate: OK ({nrows} workload(s), host_cores={cores})")
 
 
 if __name__ == "__main__":

@@ -212,3 +212,39 @@ down to the full graph dump:
   $ ppd replay fig61.mpl -j 4 --dump > pooled.dump
   $ cmp serial.dump pooled.dump && echo identical
   identical
+
+Profiling: --profile-out writes a machine-readable JSON profile after
+the normal output. The counters must be coherent — every interval
+cache lookup is either a hit or a miss, and the emulator replays at
+least as many intervals as the controller asks for:
+
+  $ ppd flowback buggy.mpl --depth 2 --profile-out prof.json > /dev/null
+  $ python3 -m json.tool prof.json > /dev/null && echo valid
+  valid
+  $ python3 - prof.json <<'PY'
+  > import json, sys
+  > p = json.load(open(sys.argv[1]))
+  > names = [s["name"] for s in p["spans"]]
+  > assert "execution" in names and "debugging" in names, names
+  > c = p["counters"]
+  > assert c["ppd.controller.cache.hits"] + c["ppd.controller.cache.misses"] \
+  >        == c["ppd.controller.cache.lookups"]
+  > assert c["ppd.emulator.replays"] >= c["ppd.controller.replays"]
+  > print("profile coherent")
+  > PY
+  profile coherent
+
+`ppd profile` wraps any subcommand, and --trace emits a Chrome
+trace_event file (load it at chrome://tracing):
+
+  $ ppd profile -o prof2.json --trace trace.json replay fig61.mpl -j 2 > /dev/null
+  $ python3 - trace.json <<'PY'
+  > import json, sys
+  > events = json.load(open(sys.argv[1]))
+  > assert events and all(e["ph"] in ("X", "C") for e in events)
+  > complete = [e for e in events if e["ph"] == "X"]
+  > assert complete and all(
+  >     k in e for e in complete for k in ("name", "cat", "ts", "dur", "pid", "tid"))
+  > print("trace well-formed")
+  > PY
+  trace well-formed

@@ -98,6 +98,76 @@ let test_pool_shutdown_drains () =
   | _ -> Alcotest.fail "submit after shutdown must be rejected"
   | exception Invalid_argument _ -> ()
 
+(* The regression: a second concurrent [shutdown] caller used to see
+   [closing = true] and return immediately, while the first caller was
+   still joining the worker domains — so the late caller could observe
+   queued tasks mid-flight. Now every caller blocks until the join
+   completes: the moment any closer's [shutdown] returns, all queued
+   work has fully finished. *)
+let test_pool_concurrent_shutdown () =
+  for _ = 1 to 25 do
+    let pool = Exec.Pool.create ~jobs:2 () in
+    let futs =
+      List.init 32 (fun i ->
+          Exec.Pool.submit pool (fun () ->
+              let s = ref 0 in
+              for j = 1 to 1_000 do
+                s := !s + (i * j)
+              done;
+              !s))
+    in
+    let closer () =
+      Domain.spawn (fun () ->
+          Exec.Pool.shutdown pool;
+          List.for_all
+            (fun f ->
+              match Exec.Pool.peek f with
+              | Exec.Pool.Done _ -> true
+              | Exec.Pool.Pending | Exec.Pool.Failed _ -> false)
+            futs)
+    in
+    let d1 = closer () in
+    let d2 = closer () in
+    let ok1 = Domain.join d1 in
+    let ok2 = Domain.join d2 in
+    Alcotest.(check bool)
+      "every shutdown caller returned only after the queue drained" true
+      (ok1 && ok2)
+  done
+
+(* The regression: [peek] used to re-raise a failed task's exception on
+   every call; a status poll must report the failure without raising
+   (the exception surfaces exactly once, via [await]). *)
+let test_pool_peek_no_raise () =
+  Exec.Pool.with_pool ~jobs:1 (fun pool ->
+      let ok = Exec.Pool.submit pool (fun () -> 42) in
+      Alcotest.(check int) "await ok" 42 (Exec.Pool.await ok);
+      (match Exec.Pool.peek ok with
+      | Exec.Pool.Done v -> Alcotest.(check int) "peek done" 42 v
+      | Exec.Pool.Pending | Exec.Pool.Failed _ ->
+        Alcotest.fail "awaited future must peek as Done");
+      let bad = Exec.Pool.submit pool (fun () -> failwith "peeked") in
+      let rec settle () =
+        match Exec.Pool.peek bad with
+        | Exec.Pool.Pending ->
+          Domain.cpu_relax ();
+          settle ()
+        | st -> st
+      in
+      (match settle () with
+      | Exec.Pool.Failed (Failure m, _) ->
+        Alcotest.(check string) "failure captured" "peeked" m
+      | Exec.Pool.Failed _ -> Alcotest.fail "wrong exception in Failed"
+      | Exec.Pool.Done _ -> Alcotest.fail "task should have failed"
+      | Exec.Pool.Pending -> assert false);
+      (* repeated peeks still do not raise *)
+      (match Exec.Pool.peek bad with
+      | Exec.Pool.Failed _ -> ()
+      | _ -> Alcotest.fail "state must remain Failed");
+      match Exec.Pool.await bad with
+      | _ -> Alcotest.fail "await of a failed task must raise"
+      | exception Failure m -> Alcotest.(check string) "await raises" "peeked" m)
+
 (* ------------------------------------------------------------------ *)
 (* Parallel = serial graph construction.                                *)
 (* ------------------------------------------------------------------ *)
@@ -260,6 +330,10 @@ let suite =
         test_pool_survives_exception;
       Alcotest.test_case "pool shutdown drains queue" `Quick
         test_pool_shutdown_drains;
+      Alcotest.test_case "concurrent shutdown blocks until joined" `Quick
+        test_pool_concurrent_shutdown;
+      Alcotest.test_case "peek reports failure without raising" `Quick
+        test_pool_peek_no_raise;
       Alcotest.test_case "parallel = serial (fixed corpus)" `Quick
         test_par_eq_serial_fixed;
       Alcotest.test_case "parallel = serial (flowback slice)" `Quick

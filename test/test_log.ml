@@ -164,6 +164,45 @@ let interval_wellformed_prop =
       done;
       !ok)
 
+(* The regression: the logger's per-pid tables used to regrow by exactly
+   one slot per new pid (O(pids²) copying overall). Growth is geometric
+   now — O(log pids) regrowths, counted by the obs layer — and [finish]
+   trims the slack, so the emitted log never reports phantom
+   processes. *)
+let test_logger_geometric_growth () =
+  Obs.enable ();
+  Obs.reset ();
+  let _eb, halt, log, _tr, _m =
+    Util.run_instrumented (Workloads.token_ring ~procs:12 ~rounds:2)
+  in
+  let regrowths = List.assoc "trace.pid_regrowths" (Obs.counters ()) in
+  Obs.disable ();
+  Obs.reset ();
+  (match halt with
+  | Runtime.Machine.Finished -> ()
+  | h -> Alcotest.failf "expected finish, got %s" (Util.halt_name h));
+  (* 11 spawned nodes plus main *)
+  Alcotest.(check int) "many processes spawned" 12 log.L.nprocs;
+  Alcotest.(check int) "entry rows match the logical process count"
+    log.L.nprocs
+    (Array.length log.L.entries);
+  Alcotest.(check int) "stop marks match the logical process count"
+    log.L.nprocs
+    (Array.length log.L.stops);
+  Array.iteri
+    (fun pid entries ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pid %d actually logged" pid)
+        true
+        (Array.length entries > 0))
+    log.L.entries;
+  (* doubling from the initial single slot: 1→2→4→8→16 covers twelve
+     pids in four regrowths; the old exact-fit growth needed eleven *)
+  Alcotest.(check bool)
+    (Printf.sprintf "regrowth count %d is logarithmic" regrowths)
+    true
+    (regrowths >= 1 && regrowths <= 5)
+
 let suite =
   ( "log",
     [
@@ -176,5 +215,7 @@ let suite =
       Alcotest.test_case "bad magic rejected" `Quick test_io_bad_magic;
       Alcotest.test_case "per-process files" `Quick test_per_process_files;
       Alcotest.test_case "sync records present" `Quick test_sync_records_present;
+      Alcotest.test_case "geometric pid-table growth, exact nprocs" `Quick
+        test_logger_geometric_growth;
       interval_wellformed_prop;
     ] )

@@ -59,6 +59,30 @@ let test_sched_round_robin () =
   let p = Runtime.Sched.pick s ~runnable:[ 1 ] in
   Alcotest.(check int) "skips blocked" 1 p
 
+(* The regression: [round_robin] used to trust the runnable list to be
+   sorted (taking the first pid greater than the current one), so a
+   shuffled list mis-rotated — the schedule must be a function of the
+   runnable *set*, not its order. *)
+let test_sched_round_robin_unsorted () =
+  let picks order =
+    let s = Runtime.Sched.create (Runtime.Sched.Round_robin 1) in
+    List.init 8 (fun _ -> Runtime.Sched.pick s ~runnable:order)
+  in
+  let sorted = picks [ 0; 1; 2; 3 ] in
+  Alcotest.(check (list int))
+    "sorted baseline" [ 0; 1; 2; 3; 0; 1; 2; 3 ] sorted;
+  List.iter
+    (fun order ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "order %s"
+           (String.concat "," (List.map string_of_int order)))
+        sorted (picks order))
+    [ [ 3; 2; 1; 0 ]; [ 2; 0; 3; 1 ]; [ 1; 3; 0; 2 ]; [ 0; 2; 1; 3 ] ];
+  (* duplicates in the runnable list must not extend the rotation *)
+  Alcotest.(check (list int))
+    "duplicates collapse" [ 0; 1; 2; 3; 0; 1; 2; 3 ]
+    (picks [ 2; 0; 2; 3; 1; 0 ])
+
 let test_sched_random_deterministic () =
   let run () =
     let s = Runtime.Sched.create (Runtime.Sched.Random_seed 5) in
@@ -152,6 +176,8 @@ let suite =
       Alcotest.test_case "values" `Quick test_value;
       Alcotest.test_case "tokens" `Quick test_token_describe;
       Alcotest.test_case "round robin" `Quick test_sched_round_robin;
+      Alcotest.test_case "round robin on unsorted runnable lists" `Quick
+        test_sched_round_robin_unsorted;
       Alcotest.test_case "random scheduler determinism" `Quick
         test_sched_random_deterministic;
       Alcotest.test_case "scripted scheduler" `Quick test_sched_scripted;
