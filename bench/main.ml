@@ -794,6 +794,95 @@ let t11 () =
     \      collection adds on top of it — profiling is pay-as-you-go)"
 
 (* ------------------------------------------------------------------ *)
+(* T12: overhead of the fault-injection layer itself.                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Same contract as T11: a disarmed check site is one atomic load, so
+   the layer can stay compiled into every I/O and execution edge. T12
+   bounds the raw per-call cost of a disarmed [Fault.fire], then times
+   a full log-and-flowback pass disarmed vs armed with a plan entry
+   that never matches — the worst armed case that still injects
+   nothing, so every check pays the full plan lookup. *)
+
+let t12_site = Fault.site "bench.t12.point"
+
+let t12_disabled_op_ns () =
+  Fault.disarm ();
+  let iters = 20_000_000 in
+  let t0 = Obs.now_ns () in
+  for _ = 1 to iters do
+    ignore (Fault.fire t12_site)
+  done;
+  float_of_int (Obs.now_ns () - t0) /. float_of_int iters
+
+let t12_workloads = t11_workloads
+
+type t12_row = { tf_name : string; tf_off_ns : float; tf_armed_ns : float }
+
+let t12_rows () =
+  List.map
+    (fun (name, src) ->
+      let prog = compile src in
+      let eb = Analysis.Eblock.analyze prog in
+      (* one closure covers both phases the layer instruments: the
+         logged execution (sink/segment sites) and the serial interval
+         replay of the debugging phase (pool/emulator sites) *)
+      let flow () =
+        let logger = Trace.Logger.create eb in
+        let m =
+          Runtime.Machine.create ~sched ~max_steps:5_000_000
+            ~hooks:(Trace.Logger.factory logger) prog
+        in
+        ignore (Runtime.Machine.run m);
+        let log = Trace.Logger.finish logger in
+        let ctl = Ppd.Controller.start eb log in
+        let keys =
+          List.concat
+            (List.init log.Trace.Log.nprocs (fun pid ->
+                 List.init
+                   (Array.length (Ppd.Controller.intervals ctl ~pid))
+                   (fun iv_id -> (pid, iv_id))))
+        in
+        Ppd.Controller.build_intervals_par ctl keys
+      in
+      Fault.disarm ();
+      let off =
+        measure_tests ~quota:0.4
+          (Test.make_grouped ~name:"t12"
+             [ Test.make ~name:(name ^ "/off") (Staged.stage flow) ])
+      in
+      (match Fault.arm "bench.t12.point:1000000000" with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      let armed =
+        measure_tests ~quota:0.4
+          (Test.make_grouped ~name:"t12"
+             [ Test.make ~name:(name ^ "/armed") (Staged.stage flow) ])
+      in
+      Fault.disarm ();
+      {
+        tf_name = name;
+        tf_off_ns = time_of off ("t12/" ^ name ^ "/off");
+        tf_armed_ns = time_of armed ("t12/" ^ name ^ "/armed");
+      })
+    t12_workloads
+
+let t12 () =
+  header "T12  Fault-injection layer overhead (disarmed must be free)";
+  Printf.printf "disarmed check op: %.2f ns/call\n" (t12_disabled_op_ns ());
+  row "%-14s %11s %11s %9s\n" "workload" "disarmed" "armed" "ovh";
+  List.iter
+    (fun r ->
+      row "%-14s %11s %11s %9s\n" r.tf_name (fmt_ns r.tf_off_ns)
+        (fmt_ns r.tf_armed_ns)
+        (pct r.tf_off_ns r.tf_armed_ns))
+    (t12_rows ());
+  print_endline
+    "(both columns run the full log-and-flowback pass; the armed plan\n\
+    \      entry never matches, so the delta is pure bookkeeping — the CI\n\
+    \      gate bounds the disarmed per-check cost)"
+
+(* ------------------------------------------------------------------ *)
 (* JSON emission (for the CI perf gate; no external JSON dependency).   *)
 (* ------------------------------------------------------------------ *)
 
@@ -845,6 +934,16 @@ let t11_json () =
               r.te_name (jfloat r.te_bare_ns) (jfloat r.te_off_ns)
               (jfloat r.te_on_ns))
           (t11_rows ())))
+
+let t12_json () =
+  Printf.sprintf "{\"disabled_op_ns\":%s,\"rows\":[%s]}"
+    (jfloat (t12_disabled_op_ns ()))
+    (String.concat ","
+       (List.map
+          (fun r ->
+            Printf.sprintf "{\"workload\":%S,\"off_ns\":%s,\"armed_ns\":%s}"
+              r.tf_name (jfloat r.tf_off_ns) (jfloat r.tf_armed_ns))
+          (t12_rows ())))
 
 (* ------------------------------------------------------------------ *)
 (* Figures.                                                             *)
@@ -899,13 +998,14 @@ let experiments =
     ("t9", t9);
     ("t10", t10);
     ("t11", t11);
+    ("t12", t12);
   ]
 
 (* Tables with a machine-readable emitter (`bench -- --json t9 t10`):
    one top-level object, a field per table, plus the host core count so
    downstream gates can tell whether a speedup was even possible. *)
 let json_experiments =
-  [ ("t9", t9_json); ("t10", t10_json); ("t11", t11_json) ]
+  [ ("t9", t9_json); ("t10", t10_json); ("t11", t11_json); ("t12", t12_json) ]
 
 let () =
   let args =

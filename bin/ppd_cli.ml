@@ -130,6 +130,72 @@ let profile_trace_arg =
 let profile_setup pout ptrace =
   if pout <> None || ptrace <> None then Obs.enable ()
 
+(* Fault-injection and degraded-mode flags (DESIGN \u{00A7}12). *)
+
+let fault_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "Arm deterministic fault injection (repeatable, or \
+           comma-separated): $(i,POINT:N[:KIND]). Points: trace.sink \
+           (N = byte offset to crash the log sink at), \
+           store.segment.write, store.segment.read, exec.pool.task, \
+           ppd.emulator.replay (N = 1-based arrival). Kinds: crash, \
+           torn, short, flip, enospc, transient, budget (each point \
+           has a sensible default).")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:
+          "Seed for injected corruption (which bit a flip fault \
+           touches); the same seed reproduces the same damage.")
+
+let arm_faults specs seed =
+  match specs with
+  | [] -> ()
+  | specs -> (
+    match Fault.arm ~seed (String.concat "," specs) with
+    | Ok () -> ()
+    | Error e ->
+      Format.eprintf "ppd: --fault: %s@." e;
+      exit 124)
+
+let degraded_arg =
+  Arg.(
+    value & flag
+    & info [ "degraded" ]
+        ~doc:
+          "Degrade instead of aborting: a damaged or unreplayable log \
+           interval becomes an explicit hole node in the dynamic \
+           graph, and flowback answers report the unavailable history \
+           instead of failing.")
+
+let replay_steps_arg =
+  Arg.(
+    value
+    & opt int Ppd.Controller.default_config.Ppd.Controller.max_replay_steps
+    & info [ "max-replay-steps" ] ~docv:"N"
+        ~doc:
+          "Watchdog budget per replayed interval: a replay exceeding N \
+           steps is PPD060 (exit 7), or a hole under $(b,--degraded).")
+
+let load_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load" ] ~docv:"LOG"
+        ~doc:
+          "Skip the execution phase: debug over the saved log LOG \
+           (demand-paged for v2 segments), with FILE supplying the \
+           program for the preparatory analyses.")
+
+let ctl_config_of degraded max_replay_steps =
+  { Ppd.Controller.default_config with degraded; max_replay_steps }
+
 let profile_write pout ptrace =
   (match pout with
   | Some "-" -> print_string (Obs.to_json ())
@@ -143,12 +209,13 @@ let profile_write pout ptrace =
     Printf.printf "trace written to %s\n" path
   | None -> ()
 
-let session_of ?loops ?(breakpoints = []) ?jobs file sched steps inline =
+let session_of ?loops ?(breakpoints = []) ?jobs ?ctl_config file sched steps
+    inline =
   let src = read_source file in
   let prog = compile_or_die src in
   Ppd.Session.of_program ~sched ~max_steps:steps
     ~policy:(policy_of ?loops inline)
-    ~breakpoints ?jobs prog
+    ~breakpoints ?jobs ?ctl_config prog
 
 (* ------------------------------------------------------------------ *)
 (* Subcommands.                                                         *)
@@ -274,6 +341,46 @@ let die_unreadable ~path ~reason =
     [ Trace.Log_io.ppd050 ~path ~reason ];
   exit 6
 
+(* Render PPD060 and exit 7: the replay watchdog fired. *)
+let die_overrun ~pid ~iv_id ~budget =
+  Format.eprintf "%a@." Lang.Diag.pp_human
+    [
+      {
+        Lang.Diag.d_code = "PPD060";
+        d_severity = Lang.Diag.Sev_error;
+        d_loc = Lang.Loc.none;
+        d_message =
+          Printf.sprintf
+            "replay watchdog: process %d interval %d exhausted the %d-step \
+             budget (raise --max-replay-steps, or --degraded to debug \
+             around it)"
+            pid iv_id budget;
+        d_related = [];
+      };
+    ];
+  exit 7
+
+(* Run the debugging phase with the robustness contract applied: the
+   watchdog is PPD060/exit 7, a damaged log is PPD050/exit 6 and an
+   injected fault that survives the retry budget is a run fault
+   (exit 2) — never a bare uncaught exception. [cleanup] joins any
+   pool domains before the process exits. *)
+let debugging ~cleanup f =
+  match Obs.phase "debugging" f with
+  | v -> v
+  | exception Ppd.Controller.Replay_overrun { pid; iv_id; budget } ->
+    cleanup ();
+    die_overrun ~pid ~iv_id ~budget
+  | exception Trace.Log_io.Unreadable { path; reason } ->
+    cleanup ();
+    die_unreadable ~path ~reason
+  | exception Fault.Injected { site; kind } ->
+    cleanup ();
+    Format.eprintf "ppd: injected %s fault at %s aborted the debugging phase \
+                    (use --degraded to continue around it)@."
+      (Fault.kind_to_string kind) site;
+    exit 2
+
 let log_path_arg =
   Arg.(
     required
@@ -295,8 +402,9 @@ let log_cmd =
       value & flag
       & info [ "v1" ] ~doc:"With --save, write the legacy v1 marshal format.")
   in
-  let run file sched steps inline loops save v1 pout ptrace =
+  let run file sched steps inline loops save v1 faults fseed pout ptrace =
     profile_setup pout ptrace;
+    arm_faults faults fseed;
     let src = read_source file in
     let prog = compile_or_die src in
     let writer =
@@ -323,7 +431,14 @@ let log_cmd =
       (match writer with
       | Some w -> Store.Segment.Writer.close w
       | None -> Trace.Log_io.save path log);
-      Printf.printf "saved to %s\n" path);
+      Printf.printf "saved to %s\n" path;
+      match Option.bind writer Store.Segment.Writer.failure with
+      | None -> ()
+      | Some reason ->
+        Printf.printf
+          "log sink died: %s; only the durable prefix reached disk (see \
+           `ppd fsck %s`)\n"
+          reason path);
     profile_write pout ptrace
   in
   let stats_cmd =
@@ -361,7 +476,8 @@ let log_cmd =
   let run_term =
     Term.(
       const run $ file_arg $ sched_arg $ steps_arg $ inline_arg $ loops_arg
-      $ save_arg $ v1_arg $ profile_out_arg $ profile_trace_arg)
+      $ save_arg $ v1_arg $ fault_arg $ fault_seed_arg $ profile_out_arg
+      $ profile_trace_arg)
   in
   Cmd.group ~default:run_term
     (Cmd.info "log"
@@ -407,6 +523,79 @@ let verify_log_cmd =
           footer index and the trailer; exit 4 when damage is found.")
     Term.(const run $ log_path_arg)
 
+let fsck_cmd =
+  let json_str s =
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  in
+  let run path =
+    match Store.Segment.fsck path with
+    | exception Trace.Log_io.Unreadable { path; reason } ->
+      die_unreadable ~path ~reason
+    | rp ->
+      let page (p : Store.Segment.fsck_page) =
+        Printf.sprintf
+          "    {\"pid\": %d, \"page\": %d, \"offset\": %d, \"count\": %d, \
+           \"error\": %s}"
+          p.Store.Segment.fp_pid p.Store.Segment.fp_page
+          p.Store.Segment.fp_offset p.Store.Segment.fp_count
+          (match p.Store.Segment.fp_error with
+          | None -> "null"
+          | Some e -> json_str e)
+      in
+      let dmg (d : Store.Segment.damage) =
+        Printf.sprintf "    {\"offset\": %d, \"reason\": %s}"
+          d.Store.Segment.dmg_offset
+          (json_str d.Store.Segment.dmg_reason)
+      in
+      let arr = function
+        | [] -> "[]"
+        | rows -> "[\n" ^ String.concat ",\n" rows ^ "\n  ]"
+      in
+      Printf.printf
+        "{\n\
+        \  \"path\": %s,\n\
+        \  \"version\": %d,\n\
+        \  \"bytes\": %d,\n\
+        \  \"indexed\": %b,\n\
+        \  \"clean\": %b,\n\
+        \  \"procs\": %d,\n\
+        \  \"records\": %d,\n\
+        \  \"intervals\": %d,\n\
+        \  \"pages\": %s,\n\
+        \  \"damage\": %s\n\
+         }\n"
+        (json_str path) rp.Store.Segment.fk_version rp.Store.Segment.fk_bytes
+        rp.Store.Segment.fk_indexed rp.Store.Segment.fk_clean
+        rp.Store.Segment.fk_procs rp.Store.Segment.fk_records
+        rp.Store.Segment.fk_intervals
+        (arr (List.map page rp.Store.Segment.fk_pages))
+        (arr (List.map dmg rp.Store.Segment.fk_damage));
+      if not rp.Store.Segment.fk_clean then exit 4
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Check every page of a saved log — not just the prefix \
+          $(b,verify-log) walks — and print a machine-readable JSON \
+          damage report: per-page CRC failures with byte offsets, plus \
+          a salvage summary (how many processes, records and intervals \
+          survive). Exit 0 when clean, 4 when damaged, 6 when the file \
+          is not a log at all.")
+    Term.(const run $ log_path_arg)
+
 let flowback_cmd =
   let depth_arg =
     Arg.(
@@ -420,42 +609,91 @@ let flowback_cmd =
       & info [ "dot" ] ~docv:"PATH"
           ~doc:"Write the dynamic graph as Graphviz dot to PATH.")
   in
-  let run file sched steps inline loops depth dot jobs pout ptrace =
+  (* The post-query report shared by the run and --load paths: tree
+     already printed; holes, stats line and the optional dot dump. *)
+  let report ~depth ~dot ctl root =
+    (match root with
+    | None -> print_endline "no events to debug"
+    | Some root ->
+      Format.printf "%a@." (Ppd.Flowback.pp_explain ~max_depth:depth ctl) root);
+    let st = Ppd.Controller.stats ctl in
+    (* a rootless clean run keeps its historical one-line output; once
+       there is a root or a hole, the full report follows *)
+    if root <> None || st.Ppd.Controller.holes > 0 then begin
+      Ppd.Flowback.pp_holes ctl Format.std_formatter;
+      Printf.printf "emulated %d of %d log intervals (%d replay steps)%s\n"
+        st.Ppd.Controller.replays st.Ppd.Controller.intervals_total
+        st.Ppd.Controller.replay_steps
+        (if st.Ppd.Controller.holes > 0 then
+           Printf.sprintf ", %d hole(s)" st.Ppd.Controller.holes
+         else "")
+    end;
+    match dot with
+    | None -> ()
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc
+            (Ppd.Dyn_graph.to_dot (Ppd.Controller.graph ctl)));
+      Printf.printf "dynamic graph written to %s\n" path
+  in
+  let run file sched steps inline loops depth dot jobs degraded max_rs faults
+      fseed load pout ptrace =
     profile_setup pout ptrace;
-    let s = session_of ~loops ~jobs:(resolve_jobs jobs) file sched steps inline in
-    print_endline (Ppd.Session.explain_halt s);
-    Obs.phase "debugging" (fun () ->
-        match Ppd.Session.error_node s with
-        | None -> print_endline "no events to debug"
-        | Some root ->
+    arm_faults faults fseed;
+    let config = ctl_config_of degraded max_rs in
+    (match load with
+    | None ->
+      let s =
+        session_of ~loops ~jobs:(resolve_jobs jobs) ~ctl_config:config file
+          sched steps inline
+      in
+      print_endline (Ppd.Session.explain_halt s);
+      debugging
+        ~cleanup:(fun () -> Ppd.Session.shutdown s)
+        (fun () ->
+          let root = Ppd.Session.error_node s in
           let ctl = Ppd.Session.controller s in
           (* eager mode: the query pinned the halt interval; speculatively
              replay its dependence frontier on the idle pool domains while
              the explanation walks the graph (a no-op at -j1) *)
-          ignore (Ppd.Controller.prefetch ctl);
-          Format.printf "%a@." (Ppd.Flowback.pp_explain ~max_depth:depth ctl) root;
-          let st = Ppd.Controller.stats ctl in
-          Printf.printf "emulated %d of %d log intervals (%d replay steps)\n"
-            st.Ppd.Controller.replays st.Ppd.Controller.intervals_total
-            st.Ppd.Controller.replay_steps;
-          (match dot with
-          | None -> ()
-          | Some path ->
-            Out_channel.with_open_text path (fun oc ->
-                Out_channel.output_string oc
-                  (Ppd.Dyn_graph.to_dot (Ppd.Controller.graph ctl)));
-            Printf.printf "dynamic graph written to %s\n" path));
-    Ppd.Session.shutdown s;
+          if root <> None then ignore (Ppd.Controller.prefetch ctl);
+          report ~depth ~dot ctl root);
+      Ppd.Session.shutdown s
+    | Some logpath -> (
+      let prog = compile_or_die (read_source file) in
+      let eb = Analysis.Eblock.analyze ~policy:(policy_of ~loops inline) prog in
+      match Store.Segment.open_file logpath with
+      | exception Trace.Log_io.Unreadable { path; reason } ->
+        die_unreadable ~path ~reason
+      | r ->
+        Printf.printf "debugging saved log %s (v%d, %d process(es))\n" logpath
+          (Store.Segment.version r) (Store.Segment.nprocs r);
+        let jobs = resolve_jobs jobs in
+        let pool = if jobs > 1 then Some (Exec.Pool.create ~jobs ()) else None in
+        let cleanup () =
+          match pool with Some p -> Exec.Pool.shutdown p | None -> ()
+        in
+        let ctl = Ppd.Controller.start_paged ?pool ~config eb r in
+        debugging ~cleanup (fun () ->
+            let root =
+              if Store.Segment.nprocs r = 0 then None
+              else Ppd.Controller.last_event_node ctl ~pid:0
+            in
+            report ~depth ~dot ctl root);
+        cleanup ()));
     profile_write pout ptrace
   in
   Cmd.v
     (Cmd.info "flowback"
        ~doc:
-         "Run the program, then explain the halt by flowback analysis \
-          over the dynamic dependence graph.")
+         "Run the program (or $(b,--load) a saved log), then explain \
+          the halt by flowback analysis over the dynamic dependence \
+          graph.")
     Term.(
       const run $ file_arg $ sched_arg $ steps_arg $ inline_arg $ loops_arg
-      $ depth_arg $ dot_arg $ jobs_arg $ profile_out_arg $ profile_trace_arg)
+      $ depth_arg $ dot_arg $ jobs_arg $ degraded_arg $ replay_steps_arg
+      $ fault_arg $ fault_seed_arg $ load_arg $ profile_out_arg
+      $ profile_trace_arg)
 
 let replay_cmd =
   let dump_arg =
@@ -464,43 +702,81 @@ let replay_cmd =
       & info [ "dump" ]
           ~doc:"Print the assembled dynamic graph (deterministic dump).")
   in
-  let run file sched steps inline loops jobs dump pout ptrace =
+  (* Batch-build every interval of every process and report the graph;
+     shared by the run and --load paths. *)
+  let rebuild ~dump ~nprocs ctl =
+    let keys =
+      List.concat
+        (List.init nprocs (fun pid ->
+             List.init
+               (Array.length (Ppd.Controller.intervals ctl ~pid))
+               (fun iv_id -> (pid, iv_id))))
+    in
+    Ppd.Controller.build_intervals_par ctl keys;
+    let st = Ppd.Controller.stats ctl in
+    let g = Ppd.Controller.graph ctl in
+    Printf.printf
+      "replayed %d of %d log intervals (%d replay steps); graph: %d nodes, \
+       %d edges%s\n"
+      st.Ppd.Controller.replays st.Ppd.Controller.intervals_total
+      st.Ppd.Controller.replay_steps (Ppd.Dyn_graph.nnodes g)
+      (Ppd.Dyn_graph.nedges g)
+      (if st.Ppd.Controller.holes > 0 then
+         Printf.sprintf ", %d hole(s)" st.Ppd.Controller.holes
+       else "");
+    Ppd.Flowback.pp_holes ctl Format.std_formatter;
+    if dump then Format.printf "%a@." Ppd.Dyn_graph.pp g
+  in
+  let run file sched steps inline loops jobs dump degraded max_rs faults fseed
+      load pout ptrace =
     profile_setup pout ptrace;
-    let s = session_of ~loops ~jobs:(resolve_jobs jobs) file sched steps inline in
-    print_endline (Ppd.Session.explain_halt s);
-    Obs.phase "debugging" (fun () ->
-        let ctl = Ppd.Session.controller s in
-        let log = Ppd.Session.log s in
-        let keys =
-          List.concat
-            (List.init log.Trace.Log.nprocs (fun pid ->
-                 List.init
-                   (Array.length (Ppd.Controller.intervals ctl ~pid))
-                   (fun iv_id -> (pid, iv_id))))
+    arm_faults faults fseed;
+    let config = ctl_config_of degraded max_rs in
+    (match load with
+    | None ->
+      let s =
+        session_of ~loops ~jobs:(resolve_jobs jobs) ~ctl_config:config file
+          sched steps inline
+      in
+      print_endline (Ppd.Session.explain_halt s);
+      debugging
+        ~cleanup:(fun () -> Ppd.Session.shutdown s)
+        (fun () ->
+          let ctl = Ppd.Session.controller s in
+          let log = Ppd.Session.log s in
+          rebuild ~dump ~nprocs:log.Trace.Log.nprocs ctl);
+      Ppd.Session.shutdown s
+    | Some logpath -> (
+      let prog = compile_or_die (read_source file) in
+      let eb = Analysis.Eblock.analyze ~policy:(policy_of ~loops inline) prog in
+      match Store.Segment.open_file logpath with
+      | exception Trace.Log_io.Unreadable { path; reason } ->
+        die_unreadable ~path ~reason
+      | r ->
+        Printf.printf "debugging saved log %s (v%d, %d process(es))\n" logpath
+          (Store.Segment.version r) (Store.Segment.nprocs r);
+        let jobs = resolve_jobs jobs in
+        let pool = if jobs > 1 then Some (Exec.Pool.create ~jobs ()) else None in
+        let cleanup () =
+          match pool with Some p -> Exec.Pool.shutdown p | None -> ()
         in
-        Ppd.Controller.build_intervals_par ctl keys;
-        let st = Ppd.Controller.stats ctl in
-        let g = Ppd.Controller.graph ctl in
-        Printf.printf
-          "replayed %d of %d log intervals (%d replay steps); graph: %d \
-           nodes, %d edges\n"
-          st.Ppd.Controller.replays st.Ppd.Controller.intervals_total
-          st.Ppd.Controller.replay_steps (Ppd.Dyn_graph.nnodes g)
-          (Ppd.Dyn_graph.nedges g);
-        if dump then Format.printf "%a@." Ppd.Dyn_graph.pp g);
-    Ppd.Session.shutdown s;
+        let ctl = Ppd.Controller.start_paged ?pool ~config eb r in
+        debugging ~cleanup (fun () ->
+            rebuild ~dump ~nprocs:(Store.Segment.nprocs r) ctl);
+        cleanup ()));
     profile_write pout ptrace
   in
   Cmd.v
     (Cmd.info "replay"
        ~doc:
-         "Run the program, then batch-emulate every log interval \
-          (across the domain pool with -j > 1) and assemble the full \
-          dynamic dependence graph. Output is byte-identical for every \
-          -j value.")
+         "Run the program (or $(b,--load) a saved log), then \
+          batch-emulate every log interval (across the domain pool \
+          with -j > 1) and assemble the full dynamic dependence graph. \
+          Output is byte-identical for every -j value.")
     Term.(
       const run $ file_arg $ sched_arg $ steps_arg $ inline_arg $ loops_arg
-      $ jobs_arg $ dump_arg $ profile_out_arg $ profile_trace_arg)
+      $ jobs_arg $ dump_arg $ degraded_arg $ replay_steps_arg $ fault_arg
+      $ fault_seed_arg $ load_arg $ profile_out_arg $ profile_trace_arg)
 
 let format_arg =
   Arg.(
@@ -851,6 +1127,7 @@ let main_cmd =
       run_cmd;
       log_cmd;
       verify_log_cmd;
+      fsck_cmd;
       flowback_cmd;
       replay_cmd;
       race_cmd;

@@ -30,6 +30,15 @@ let c_steals = Obs.counter "exec.pool.steals"
 
 let c_queue_max = Obs.gauge_max "exec.pool.queue_depth_max"
 
+(* Chaos site: the Nth submitted task dies with [Fault.Injected] when a
+   plan is armed (lib/fault), modelling a transient worker failure. The
+   exception travels through the future like any task exception. *)
+let f_task = Fault.site "exec.pool.task"
+
+(* True on worker domains; [await] consults it to catch the documented
+   "no await inside a task" rule at runtime instead of deadlocking. *)
+let in_worker = Domain.DLS.new_key (fun () -> ref false)
+
 let default_jobs () = Domain.recommended_domain_count ()
 
 let fill fut st =
@@ -91,7 +100,11 @@ let create ?jobs () =
       next = 0;
     }
   in
-  pool.workers <- Array.init jobs (fun i -> Domain.spawn (fun () -> worker pool i));
+  pool.workers <-
+    Array.init jobs (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.get in_worker := true;
+            worker pool i));
   pool
 
 let jobs pool = Array.length pool.deques
@@ -99,7 +112,11 @@ let jobs pool = Array.length pool.deques
 let submit pool f =
   let fut = { fm = Mutex.create (); fc = Condition.create (); fstate = Pending } in
   let task () =
-    match f () with
+    match
+      match Fault.fire f_task with
+      | Some kind -> raise (Fault.Injected { site = "exec.pool.task"; kind })
+      | None -> f ()
+    with
     | v -> fill fut (Done v)
     | exception e -> fill fut (Failed (e, Printexc.get_raw_backtrace ()))
   in
@@ -118,6 +135,9 @@ let submit pool f =
   fut
 
 let await fut =
+  if !(Domain.DLS.get in_worker) then
+    invalid_arg
+      "Exec.Pool.await: called from inside a pool task (deadlock risk)";
   Mutex.lock fut.fm;
   while fut.fstate = Pending do
     Condition.wait fut.fc fut.fm

@@ -49,7 +49,9 @@ val submit : t -> (unit -> 'a) -> 'a future
 
 val await : 'a future -> 'a
 (** Block until the task finished; re-raises the task's exception with
-    its original backtrace if it failed. *)
+    its original backtrace if it failed. @raise Invalid_argument
+    immediately when called from inside a pool task (detected via a
+    worker-domain flag) instead of silently risking deadlock. *)
 
 val peek : 'a future -> 'a state
 (** Non-blocking status probe. Never raises: a failed task is reported

@@ -1,0 +1,183 @@
+(* Mirrors the Obs design: one global plan, because a process runs one
+   chaos experiment at a time (the CLI arms it before the session
+   starts). The disarmed fast path is a single atomic load so the
+   check sites can stay compiled into release binaries. *)
+
+type kind = Crash | Torn | Short | Flip | Enospc | Transient | Budget
+
+let kind_to_string = function
+  | Crash -> "crash"
+  | Torn -> "torn"
+  | Short -> "short"
+  | Flip -> "flip"
+  | Enospc -> "enospc"
+  | Transient -> "transient"
+  | Budget -> "budget"
+
+let kind_of_string = function
+  | "crash" -> Some Crash
+  | "torn" -> Some Torn
+  | "short" -> Some Short
+  | "flip" -> Some Flip
+  | "enospc" -> Some Enospc
+  | "transient" -> Some Transient
+  | "budget" -> Some Budget
+  | _ -> None
+
+exception Injected of { site : string; kind : kind }
+
+(* An arrival counter per site: entries in the plan say "the Nth time
+   this point is reached". The counter is atomic because pool workers
+   reach sites concurrently. *)
+type site = { s_name : string; s_arrivals : int Atomic.t }
+
+let is_armed = Atomic.make false
+
+type spec = {
+  sp_site : string;
+  sp_n : int; (* 1-based arrival, or byte threshold for fire_at *)
+  sp_kind : kind;
+  sp_fired : bool Atomic.t;
+}
+
+(* Written only by [arm]/[disarm] before/after the run; published to
+   other domains by the release store to [is_armed]. *)
+let plan : spec list ref = ref []
+
+let the_seed = ref 0
+
+let c_injected = Obs.counter "fault.injected"
+
+let reg_lock = Mutex.create ()
+
+let sites : (string, site) Hashtbl.t = Hashtbl.create 16
+
+let site name =
+  Mutex.lock reg_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock reg_lock)
+    (fun () ->
+      match Hashtbl.find_opt sites name with
+      | Some s -> s
+      | None ->
+        let s = { s_name = name; s_arrivals = Atomic.make 0 } in
+        Hashtbl.add sites name s;
+        s)
+
+(* Each point injects something sensible when the spec names no kind:
+   the sink crashes, writes tear, reads and pool tasks fail
+   transiently, replays blow their budget. *)
+let default_kind point =
+  if point = "trace.sink" then Crash
+  else if point = "store.segment.write" then Torn
+  else if point = "ppd.emulator.replay" then Budget
+  else Transient
+
+let parse_entry entry =
+  match String.split_on_char ':' (String.trim entry) with
+  | [ point; n ] | [ point; n; "" ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 0 ->
+      Ok
+        {
+          sp_site = point;
+          sp_n = n;
+          sp_kind = default_kind point;
+          sp_fired = Atomic.make false;
+        }
+    | _ -> Error (Printf.sprintf "bad arrival count %S in fault spec" n))
+  | [ point; n; kind ] -> (
+    match (int_of_string_opt n, kind_of_string kind) with
+    | Some n, Some k when n >= 0 ->
+      Ok { sp_site = point; sp_n = n; sp_kind = k; sp_fired = Atomic.make false }
+    | _, None ->
+      Error
+        (Printf.sprintf
+           "unknown fault kind %S (expected \
+            crash|torn|short|flip|enospc|transient|budget)"
+           kind)
+    | _, Some _ -> Error (Printf.sprintf "bad arrival count %S in fault spec" n))
+  | _ ->
+    Error
+      (Printf.sprintf "malformed fault spec entry %S (expected POINT:N[:KIND])"
+         entry)
+
+let arm ?(seed = 0) spec_string =
+  let entries =
+    String.split_on_char ',' spec_string
+    |> List.filter (fun s -> String.trim s <> "")
+  in
+  if entries = [] then Error "empty fault spec"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | e :: rest -> (
+        match parse_entry e with
+        | Ok sp -> go (sp :: acc) rest
+        | Error _ as err -> err)
+    in
+    match go [] entries with
+    | Error _ as err -> err
+    | Ok specs ->
+      the_seed := seed;
+      plan := specs;
+      (* each arm is a fresh experiment: arrival counts restart so the
+         same spec means the same injection point on every run *)
+      Mutex.lock reg_lock;
+      Hashtbl.iter (fun _ s -> Atomic.set s.s_arrivals 0) sites;
+      Mutex.unlock reg_lock;
+      Atomic.set is_armed true;
+      Ok ()
+
+let disarm () =
+  Atomic.set is_armed false;
+  plan := []
+
+let armed () = Atomic.get is_armed
+
+let hit sp =
+  if Atomic.compare_and_set sp.sp_fired false true then begin
+    Obs.incr c_injected;
+    true
+  end
+  else false
+
+let fire site =
+  if not (Atomic.get is_armed) then None
+  else
+    let n = 1 + Atomic.fetch_and_add site.s_arrivals 1 in
+    let rec scan = function
+      | [] -> None
+      | sp :: rest ->
+        if sp.sp_site = site.s_name && sp.sp_n = n && hit sp then
+          Some sp.sp_kind
+        else scan rest
+    in
+    scan !plan
+
+let fire_at site ~pos =
+  if not (Atomic.get is_armed) then None
+  else
+    let rec scan = function
+      | [] -> None
+      | sp :: rest ->
+        if sp.sp_site = site.s_name && pos >= sp.sp_n && hit sp then
+          Some (sp.sp_kind, sp.sp_n)
+        else scan rest
+    in
+    scan !plan
+
+(* splitmix64-style finalizer over (seed, site, salt); good enough to
+   scatter flipped bits and entirely deterministic. *)
+let mix site salt =
+  let h = ref (!the_seed * 0x9e3779b9 + salt) in
+  String.iter (fun c -> h := (!h * 31) + Char.code c) site.s_name;
+  let z = ref !h in
+  z := (!z lxor (!z lsr 30)) * 0x4e5b94d049bb1331;
+  z := (!z lxor (!z lsr 27)) * 0x1ce4e5b9bf58476d;
+  !z lxor (!z lsr 31) land max_int
+
+let fired_count () =
+  List.fold_left
+    (fun acc sp -> if Atomic.get sp.sp_fired then acc + 1 else acc)
+    0 !plan

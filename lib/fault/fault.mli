@@ -1,0 +1,73 @@
+(** Deterministic fault injection.
+
+    A chaos harness in the style of {!Obs}: subsystems declare named
+    injection points ({!site}) at module-load time and consult them on
+    every I/O or execution edge ({!fire} / {!fire_at}). With no fault
+    plan armed, a check is a single atomic load — cheap enough to leave
+    compiled into production paths (bench T12 pins the bound).
+
+    A plan is parsed from a spec string of comma-separated entries
+
+    {v POINT:N[:KIND] v}
+
+    where [POINT] names a registered site, [N] is the 1-based arrival
+    at which the fault fires (for byte-positioned sites such as the
+    logger sink, the byte offset at which to crash), and [KIND] is one
+    of [crash], [torn], [short], [flip], [enospc], [transient] or
+    [budget], defaulting per site. Each entry fires exactly once, even
+    when the site is reached concurrently from several domains; all
+    randomness (e.g. which bit a [flip] damages) derives from the seed
+    given to {!arm}, so a failing chaos run replays exactly. *)
+
+type kind =
+  | Crash  (** kill the writer mid-stream; bytes after the cut are lost *)
+  | Torn  (** a partial page reaches disk, then the writer dies *)
+  | Short  (** the final byte of a write is silently dropped *)
+  | Flip  (** one seeded bit of the written chunk is inverted *)
+  | Enospc  (** the device refuses the write (out of space) *)
+  | Transient  (** a retryable failure (pool task dies once) *)
+  | Budget  (** replay step budget collapses to zero *)
+
+val kind_to_string : kind -> string
+
+(** Raised by execution-edge sites (e.g. a pool task) when a fault
+    fires. I/O sites do not raise; they corrupt state in kind-specific
+    ways and let the normal damage-detection machinery find it. *)
+exception Injected of { site : string; kind : kind }
+
+type site
+
+val site : string -> site
+(** [site name] interns the injection point [name]. Call once at
+    module-load time and keep the handle. *)
+
+val arm : ?seed:int -> string -> (unit, string) result
+(** [arm ?seed spec] parses [spec] and arms the plan, resetting every
+    site's arrival count — each arm is a fresh experiment, so the same
+    spec always names the same injection point. [Error msg] on a
+    malformed spec (nothing is armed). [seed] (default 0) drives all
+    fault-local randomness. *)
+
+val disarm : unit -> unit
+(** Disarm and forget the current plan. *)
+
+val armed : unit -> bool
+
+val fire : site -> kind option
+(** [fire s] counts one arrival at [s] and returns the kind to inject
+    if a plan entry matches this arrival. [None] when disarmed (the
+    fast path: one atomic load). *)
+
+val fire_at : site -> pos:int -> (kind * int) option
+(** [fire_at s ~pos] is {!fire} for byte-positioned sites: fires the
+    first time [pos] reaches an entry's threshold [N], returning the
+    kind and the exact threshold so the caller can cut precisely at
+    byte [N]. Does not count as an arrival for {!fire}. *)
+
+val mix : site -> int -> int
+(** [mix s salt] is a non-negative deterministic hash of the armed
+    seed, the site name and [salt] — use it to pick which byte/bit a
+    [Flip] damages. *)
+
+val fired_count : unit -> int
+(** Number of plan entries that have fired so far. *)

@@ -7,6 +7,27 @@ module L = Trace.Log
    it (the demand-paged debugging phase). *)
 type source = S_mem of L.t | S_paged of Store.Segment.reader
 
+(* Degraded-mode policy (DESIGN §12). [degraded] turns damaged or
+   unreplayable intervals into explicit hole nodes instead of letting
+   the exception abort the query; [retries] bounds how many times a
+   transiently-failed pool replay is re-attempted (serially, on the
+   querying domain, so -jN output stays identical to -j1) before a hole
+   is declared; [max_replay_steps] is the runaway-replay watchdog fed
+   to {!Emulator.replay}. *)
+type config = { degraded : bool; retries : int; max_replay_steps : int }
+
+let default_config = { degraded = false; retries = 2; max_replay_steps = 1_000_000 }
+
+exception Replay_overrun of { pid : int; iv_id : int; budget : int }
+
+type hole = {
+  h_pid : int;
+  h_iv_id : int;
+  h_seq_lo : int;
+  h_seq_hi : int;
+  h_reason : string;
+}
+
 type t = {
   eb : Analysis.Eblock.t;
   pdgs : Analysis.Static_pdg.program_pdgs;
@@ -30,6 +51,9 @@ type t = {
   mutable replays : int;
   mutable replay_steps : int;
   mutable prefetched : int;
+  config : config;
+  mutable holes_rev : hole list;
+  mutable retried : int;
 }
 
 type stats = {
@@ -37,6 +61,8 @@ type stats = {
   replay_steps : int;
   intervals_total : int;
   prefetched : int;
+  holes : int;
+  retried : int;
 }
 
 (* Debugging-phase counters (no-ops until [Obs.enable]). A cache
@@ -56,7 +82,11 @@ let c_hits = Obs.counter "ppd.controller.cache.hits"
 
 let c_misses = Obs.counter "ppd.controller.cache.misses"
 
-let make ?pool eb src =
+let c_holes = Obs.counter "ctl.holes"
+
+let c_retries = Obs.counter "ctl.retries"
+
+let make ?pool ?(config = default_config) eb src =
   let prog = eb.Analysis.Eblock.prog in
   let stmt_fid sid = prog.P.stmt_fid.(sid) in
   let ivs, pd =
@@ -86,11 +116,14 @@ let make ?pool eb src =
     replays = 0;
     replay_steps = 0;
     prefetched = 0;
+    config;
+    holes_rev = [];
+    retried = 0;
   }
 
-let start ?pool eb log = make ?pool eb (S_mem log)
+let start ?pool ?config eb log = make ?pool ?config eb (S_mem log)
 
-let start_paged ?pool eb reader = make ?pool eb (S_paged reader)
+let start_paged ?pool ?config eb reader = make ?pool ?config eb (S_paged reader)
 
 (* The log slice an interval's emulation touches: entries
    [iv_prelog - 1 .. iv_postlog] (the preceding sync record through the
@@ -130,7 +163,8 @@ let retry_pending t =
    the emulator touches only its own state, and a paged source's page
    cache is sharded per domain ({!Store.Segment}). *)
 let replay_outcome t (iv : L.interval) =
-  Emulator.replay t.eb (interval_log t iv) ~interval:iv
+  Emulator.replay ~max_steps:t.config.max_replay_steps t.eb (interval_log t iv)
+    ~interval:iv
 
 (* Fetch (and drop) a worker-produced fragment, if one landed. *)
 let take_frag t key =
@@ -170,6 +204,75 @@ let submit_replay t (iv : L.interval) =
       true
     end
 
+let pid_stop t pid =
+  match t.src with
+  | S_mem log -> log.L.stops.(pid)
+  | S_paged r -> (Store.Segment.stops r).(pid)
+
+(* An inert outcome standing in for an interval we could not replay:
+   no events means no nodes, so downstream resolution simply fails to
+   find writers there and moves on. *)
+let hole_outcome reason =
+  {
+    Emulator.events = [];
+    steps = 0;
+    output = "";
+    fault = Some reason;
+    overrun = false;
+    postlog_mismatches = [];
+  }
+
+(* Degraded mode's answer to a damaged or unreplayable interval: an
+   explicit hole node in the graph (flowback annotates it instead of
+   raising), recorded in assembly order on the querying domain, so
+   -jN output stays identical to -j1. *)
+let declare_hole t ~pid ~(iv : L.interval) reason =
+  let lo = iv.L.iv_seq_start in
+  let hi =
+    match iv.L.iv_seq_end with
+    | Some e -> e
+    | None -> max lo (pid_stop t pid - 1)
+  in
+  let label =
+    Printf.sprintf "history unavailable for p%d steps %d-%d (%s)" pid lo hi
+      reason
+  in
+  ignore
+    (Dyn_graph.add_node t.g ~pid
+       ~kind:(Dyn_graph.N_hole { hole_lo = lo; hole_hi = hi })
+       ~label ());
+  t.holes_rev <-
+    { h_pid = pid; h_iv_id = iv.L.iv_id; h_seq_lo = lo; h_seq_hi = hi;
+      h_reason = reason }
+    :: t.holes_rev;
+  Obs.incr c_holes;
+  hole_outcome reason
+
+let holes t = List.rev t.holes_rev
+
+(* Retry a transiently-failed replay up to the configured budget. The
+   first attempt may have run on a pool worker; every retry runs
+   serially right here, which both sidesteps the flaky worker and keeps
+   graph assembly order deterministic. *)
+let with_retries t (iv : L.interval) first =
+  let rec go attempt thunk =
+    match thunk () with
+    | o -> o
+    | exception Fault.Injected _ when attempt < t.config.retries ->
+      t.retried <- t.retried + 1;
+      Obs.incr c_retries;
+      go (attempt + 1) (fun () -> replay_outcome t iv)
+  in
+  go 0 first
+
+let reason_of_failure = function
+  | Fault.Injected { site; kind } ->
+    Printf.sprintf "injected %s fault at %s" (Fault.kind_to_string kind) site
+  | Trace.Log_io.Unreadable { reason; _ } ->
+    Printf.sprintf "log page damaged: %s" reason
+  | Emulator.Replay_mismatch m -> Printf.sprintf "replay diverged: %s" m
+  | e -> Printexc.to_string e
+
 let build_interval t ~pid ~iv_id =
   let key = (pid, iv_id) in
   Obs.incr c_lookups;
@@ -179,7 +282,7 @@ let build_interval t ~pid ~iv_id =
     o
   | None ->
     let iv = t.ivs.(pid).(iv_id) in
-    let outcome =
+    let acquire () =
       match take_frag t key with
       | Some o ->
         Obs.incr c_hits;
@@ -195,22 +298,49 @@ let build_interval t ~pid ~iv_id =
           Obs.incr c_misses;
           replay_outcome t iv)
     in
+    let is_hole = ref false in
+    let hole reason =
+      is_hole := true;
+      declare_hole t ~pid ~iv reason
+    in
+    let outcome =
+      match with_retries t iv acquire with
+      | o ->
+        if o.Emulator.overrun then
+          if t.config.degraded then hole "replay step budget exhausted"
+          else
+            raise
+              (Replay_overrun { pid; iv_id; budget = t.config.max_replay_steps })
+        else o
+      | exception
+          ((Fault.Injected _ | Trace.Log_io.Unreadable _
+           | Emulator.Replay_mismatch _) as e)
+        when t.config.degraded ->
+        hole (reason_of_failure e)
+    in
     Hashtbl.remove t.inflight key;
-    (* Graph assembly always happens here, on the querying domain, in
-       query order: replay never reads the graph, so feeding a
-       worker-produced outcome builds the same fragment a serial replay
-       would, and parallel and serial runs yield identical graphs. The
-       counters are bumped the same way on every path, so [-jN]
-       statistics match [-j1] byte for byte. *)
-    let builder = Builder.build_from_outcome t.pdgs t.g ~interval:iv outcome in
-    t.replays <- t.replays + 1;
-    t.replay_steps <- t.replay_steps + outcome.Emulator.steps;
-    Obs.incr c_replays;
-    Obs.add c_replay_steps outcome.Emulator.steps;
-    t.pending <- Builder.pending_links builder @ t.pending;
-    retry_pending t;
-    Hashtbl.replace t.outcomes key outcome;
-    outcome
+    if !is_hole then begin
+      (* a hole: nothing to assemble, and it does not count as a replay *)
+      Hashtbl.replace t.outcomes key outcome;
+      outcome
+    end
+    else begin
+      (* Graph assembly always happens here, on the querying domain, in
+         query order: replay never reads the graph, so feeding a
+         worker-produced outcome builds the same fragment a serial replay
+         would, and parallel and serial runs yield identical graphs. The
+         counters are bumped the same way on every path, so [-jN]
+         statistics match [-j1] byte for byte. *)
+      let builder = Builder.build_from_outcome t.pdgs t.g ~interval:iv outcome in
+      t.replays <- t.replays + 1;
+      t.replay_steps <- t.replay_steps + outcome.Emulator.steps;
+      Obs.incr c_replays;
+      Obs.add c_replay_steps outcome.Emulator.steps;
+      t.pending <- Builder.pending_links builder @ t.pending;
+      retry_pending t;
+      Hashtbl.replace t.outcomes key outcome;
+      outcome
+    end
 
 (* Batch-emulate a set of intervals: submit every missing one to the
    pool, then assemble in list order on this domain. Without a pool
@@ -413,6 +543,10 @@ let spawner_ref t (iv : L.interval) =
     with
     | L.Sync { data = L.S_proc_start { spawn; _ }; _ } -> spawn
     | _ -> None
+    | exception Trace.Log_io.Unreadable _ when t.config.degraded ->
+      (* the sync record sits in a damaged page: the spawn link is lost,
+         which degraded resolution treats like any other missing writer *)
+      None
   else None
 
 (* Resolve a parameter external: the defining event is the caller's
@@ -589,4 +723,6 @@ let stats (t : t) =
     replay_steps = t.replay_steps;
     intervals_total = Array.fold_left (fun a ivs -> a + Array.length ivs) 0 t.ivs;
     prefetched = t.prefetched;
+    holes = List.length t.holes_rev;
+    retried = t.retried;
   }

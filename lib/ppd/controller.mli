@@ -24,17 +24,56 @@
 
 type t
 
-val start : ?pool:Exec.Pool.t -> Analysis.Eblock.t -> Trace.Log.t -> t
+(** Degraded-mode policy (DESIGN §12). *)
+type config = {
+  degraded : bool;
+      (** map damaged/unreplayable intervals to explicit hole nodes
+          instead of raising *)
+  retries : int;
+      (** serial re-attempts of a transiently-failed pool replay before
+          a hole is declared (default 2) *)
+  max_replay_steps : int;
+      (** the runaway-replay watchdog budget per interval (default
+          1_000_000) *)
+}
+
+val default_config : config
+
+exception Replay_overrun of { pid : int; iv_id : int; budget : int }
+(** Raised (outside degraded mode) when an interval replay exhausts
+    [max_replay_steps] — surfaced by the CLI as PPD060/exit 7. *)
+
+(** A damaged or unreplayable interval that degraded mode mapped to an
+    explicit hole node. *)
+type hole = {
+  h_pid : int;
+  h_iv_id : int;
+  h_seq_lo : int;
+  h_seq_hi : int;
+  h_reason : string;
+}
+
+val start :
+  ?pool:Exec.Pool.t -> ?config:config -> Analysis.Eblock.t -> Trace.Log.t -> t
 (** Debug over a whole in-memory log. With [pool], interval emulation
     can run on the pool's domains ({!build_intervals_par},
     {!prefetch}); graph assembly stays on the querying domain, so the
     resulting graph is byte-identical to the serial one. *)
 
-val start_paged : ?pool:Exec.Pool.t -> Analysis.Eblock.t -> Store.Segment.reader -> t
+val start_paged :
+  ?pool:Exec.Pool.t ->
+  ?config:config ->
+  Analysis.Eblock.t ->
+  Store.Segment.reader ->
+  t
 (** Debug over an open segment file: interval structure comes from the
     footer index, and only the intervals a query touches are ever
     decoded (through the reader's window LRU). Flowback answers are
     identical to {!start} on the same execution. *)
+
+val holes : t -> hole list
+(** Holes declared so far, in assembly order (deterministic across
+    [-jN]). Empty unless running with [config.degraded]. *)
 
 val graph : t -> Dyn_graph.t
 
@@ -94,6 +133,8 @@ type stats = {
   replay_steps : int;  (** interpreter steps spent emulating *)
   intervals_total : int;  (** intervals available in the log *)
   prefetched : int;  (** speculative replays submitted by {!prefetch} *)
+  holes : int;  (** degraded-mode holes declared *)
+  retried : int;  (** transient replay failures retried *)
 }
 
 val stats : t -> stats

@@ -251,7 +251,10 @@ let eval t line =
       fmt "%a" (Analysis.Progdb.pp_var_report db) name
     | "stats" :: _ ->
       let st = Controller.stats (Session.controller t.session) in
-      Printf.sprintf "emulated %d of %d intervals (%d replay steps)"
+      Printf.sprintf "emulated %d of %d intervals (%d replay steps)%s"
         st.Controller.replays st.Controller.intervals_total
         st.Controller.replay_steps
+        (if st.Controller.holes > 0 then
+           Printf.sprintf ", %d hole(s)" st.Controller.holes
+         else "")
     | cmd :: _ -> Printf.sprintf "unknown command %s\n%s" cmd help_text

@@ -8,6 +8,7 @@ type node_kind =
   | N_loop of int
   | N_param of int
   | N_external of P.var
+  | N_hole of { hole_lo : int; hole_hi : int }
 
 type node = {
   nd_id : int;
@@ -143,6 +144,8 @@ let pp_kind ppf = function
   | N_loop sid -> Format.fprintf ppf "loop(s%d)" sid
   | N_param i -> Format.fprintf ppf "%%%d" i
   | N_external v -> Format.fprintf ppf "ext(%s)" v.P.vname
+  | N_hole { hole_lo; hole_hi } ->
+    Format.fprintf ppf "hole(%d-%d)" hole_lo hole_hi
 
 let pp_node ppf n =
   Format.fprintf ppf "#%d p%d %a \"%s\"" n.nd_id n.nd_pid pp_kind n.nd_kind
@@ -193,6 +196,7 @@ let to_dot t =
       match n.nd_kind with
       | N_subgraph _ | N_loop _ -> "box"
       | N_external _ -> "diamond"
+      | N_hole _ -> "octagon"
       | N_entry _ | N_exit _ -> "plaintext"
       | N_singular _ | N_param _ -> "ellipse"
     in

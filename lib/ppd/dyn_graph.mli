@@ -29,6 +29,9 @@ type node_kind =
           skipped during replay, expandable like a sub-graph node *)
   | N_param of int  (** parameter index, 1-based; 0 is the return value *)
   | N_external of Lang.Prog.var
+  | N_hole of { hole_lo : int; hole_hi : int }
+      (** a damaged or unreplayable interval, degraded mode's explicit
+          "history unavailable" marker (seq range [lo..hi]) *)
 
 type node = {
   nd_id : int;

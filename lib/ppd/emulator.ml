@@ -13,6 +13,7 @@ type outcome = {
   steps : int;
   output : string;
   fault : string option;
+  overrun : bool;
   postlog_mismatches : string list;
 }
 
@@ -610,10 +611,18 @@ let check_postlog st ~single_process =
    replay count. *)
 let c_replays = Obs.counter "ppd.emulator.replays"
 
+(* Chaos site: when armed with kind [budget] the Nth replay's step
+   budget collapses to zero, which exercises the same overrun path a
+   genuinely runaway replay would take. *)
+let f_replay = Fault.site "ppd.emulator.replay"
+
 let replay ?(on_event = fun ~seq:_ _ -> ()) ?(max_steps = 1_000_000)
     ?(overrides = []) ?(validate = true) eb (log : L.t)
     ~(interval : L.interval) =
   Obs.incr c_replays;
+  let max_steps =
+    match Fault.fire f_replay with Some _ -> 0 | None -> max_steps
+  in
   Obs.with_span ~cat:"replay"
     ~arg:(Printf.sprintf "p%d#%d" interval.L.iv_pid interval.L.iv_id)
     "replay"
@@ -719,8 +728,8 @@ let replay ?(on_event = fun ~seq:_ _ -> ()) ?(max_steps = 1_000_000)
   | I.Fault msg -> fault := Some msg
   | Replay_mismatch msg when not validate ->
     fault := Some ("what-if divergence: " ^ msg));
-  if (not st.finished) && !fault = None && st.steps >= max_steps then
-    fault := Some "replay step budget exhausted";
+  let overrun = (not st.finished) && !fault = None && st.steps >= max_steps in
+  if overrun then fault := Some "replay step budget exhausted";
   let postlog_mismatches =
     if st.finished && st.validate then
       check_postlog st ~single_process:(log.L.nprocs = 1)
@@ -731,5 +740,6 @@ let replay ?(on_event = fun ~seq:_ _ -> ()) ?(max_steps = 1_000_000)
     steps = st.steps;
     output = Buffer.contents st.out;
     fault = !fault;
+    overrun;
     postlog_mismatches;
   }

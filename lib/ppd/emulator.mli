@@ -31,6 +31,9 @@ type outcome = {
   output : string;  (** re-generated [print] output *)
   fault : string option;
       (** the runtime fault reproduced, for intervals that crashed *)
+  overrun : bool;
+      (** true iff the replay hit its step budget before reaching the
+          interval's end — a runaway replay, not a reproduced fault *)
   postlog_mismatches : string list;
       (** non-empty when regenerated final values differ from the
           recorded postlog (races or analysis bugs) *)

@@ -82,3 +82,15 @@ let pp_explain ?(max_depth = 3) ctl ppf root =
   Format.fprintf ppf "@[<v>flowback from:";
   go 0 "  " root Dyn_graph.Flow;
   Format.fprintf ppf "@]"
+
+(* Degraded-mode postscript: one line per hole the query ran into, so a
+   flowback answer never silently pretends a damaged interval was
+   empty. Prints nothing on a clean run — output stays byte-identical
+   to a build without holes. *)
+let pp_holes ctl ppf =
+  List.iter
+    (fun (h : Controller.hole) ->
+      Format.fprintf ppf "history unavailable for p%d steps %d-%d (%s)@."
+        h.Controller.h_pid h.Controller.h_seq_lo h.Controller.h_seq_hi
+        h.Controller.h_reason)
+    (Controller.holes ctl)

@@ -30,3 +30,8 @@ val pp_explain :
 (** Render the dependence tree rooted at a node, one line per node with
     its label, value and edge kind — the textual form of the graph the
     PPD controller presents (§3.2.3). *)
+
+val pp_holes : Controller.t -> Format.formatter -> unit
+(** One ["history unavailable for pN steps A-B (reason)"] line per
+    degraded-mode hole the queries declared, in assembly order; prints
+    nothing on a clean run. *)

@@ -7,12 +7,13 @@ type t = {
   log : Trace.Log.t;
   pardyn_rt : Pardyn.t option;
   jobs : int;
+  ctl_config : Controller.config option;
   mutable pool : Exec.Pool.t option;
   mutable ctl : Controller.t option;
 }
 
 let of_program ?sched ?max_steps ?policy ?(race_sets = true) ?breakpoints
-    ?log_sink ?(jobs = 1) prog =
+    ?log_sink ?(jobs = 1) ?ctl_config prog =
   let eb = Analysis.Eblock.analyze ?policy prog in
   let logger = Trace.Logger.create ?sink:log_sink eb in
   let obs = if race_sets then Some (Pardyn.observer prog) else None in
@@ -30,13 +31,15 @@ let of_program ?sched ?max_steps ?policy ?(race_sets = true) ?breakpoints
     log = Trace.Logger.finish logger;
     pardyn_rt = Option.map Pardyn.finish obs;
     jobs = max 1 jobs;
+    ctl_config;
     pool = None;
     ctl = None;
   }
 
-let run ?sched ?max_steps ?policy ?race_sets ?breakpoints ?log_sink ?jobs src =
+let run ?sched ?max_steps ?policy ?race_sets ?breakpoints ?log_sink ?jobs
+    ?ctl_config src =
   of_program ?sched ?max_steps ?policy ?race_sets ?breakpoints ?log_sink ?jobs
-    (Lang.Compile.compile src)
+    ?ctl_config (Lang.Compile.compile src)
 
 let prog t = t.eb.Analysis.Eblock.prog
 
@@ -62,7 +65,7 @@ let controller t =
       end
       else None
     in
-    let c = Controller.start ?pool t.eb t.log in
+    let c = Controller.start ?pool ?config:t.ctl_config t.eb t.log in
     t.ctl <- Some c;
     c
 

@@ -17,6 +17,7 @@ val run :
   ?breakpoints:int list ->
   ?log_sink:Trace.Logger.sink ->
   ?jobs:int ->
+  ?ctl_config:Controller.config ->
   string ->
   t
 (** Compile and execute MPL source with logging attached.
@@ -26,7 +27,9 @@ val run :
     is produced (e.g. a {!Store.Segment.Writer} appending the durable
     segment file). [jobs] (default [1]) sets the size of the domain
     pool the debugging phase may replay intervals on; [1] is the
-    serial path and both build byte-identical graphs. Raises
+    serial path and both build byte-identical graphs. [ctl_config]
+    sets the controller's degraded-mode policy (retries, watchdog,
+    hole declaration — see {!Controller.config}). Raises
     {!Lang.Diag.Error} on front-end errors. *)
 
 val of_program :
@@ -37,6 +40,7 @@ val of_program :
   ?breakpoints:int list ->
   ?log_sink:Trace.Logger.sink ->
   ?jobs:int ->
+  ?ctl_config:Controller.config ->
   Lang.Prog.t ->
   t
 (** [breakpoints] halt the machine after any of the given statements

@@ -63,6 +63,16 @@ let strip = function
 
 type damage = { dmg_offset : int; dmg_reason : string }
 
+(* Chaos sites (no-ops until a plan is armed, see lib/fault). The sink
+   site models the traced process dying at an exact byte offset of the
+   log; the write site models storage misbehaving on the Nth write; the
+   read site models a page read failing under the demand pager. *)
+let f_sink = Fault.site "trace.sink"
+
+let f_write = Fault.site "store.segment.write"
+
+let f_read = Fault.site "store.segment.read"
+
 (* ------------------------------------------------------------------ *)
 (* Writer.                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -86,16 +96,65 @@ module Writer = struct
     mutable pids : pidw array;
     mutable finalized : bool;
     mutable closed : bool;
+    mutable dead : string option;
+        (* an injected fault killed the stream: swallow further writes,
+           as a killed process would, leaving the durable prefix *)
   }
 
+  (* Apply an armed fault plan to one write: returns the bytes that
+     actually reach the destination and, for fatal kinds, the reason
+     the writer dies afterwards. *)
+  let injected w s =
+    match Fault.fire_at f_sink ~pos:(w.pos + String.length s) with
+    | Some (_, cut) ->
+      ( String.sub s 0 (min (String.length s) (max 0 (cut - w.pos))),
+        Some (Printf.sprintf "injected crash in the log sink at byte %d" cut) )
+    | None -> (
+      match Fault.fire f_write with
+      | None -> (s, None)
+      | Some Fault.Flip ->
+        let b = Bytes.of_string s in
+        if Bytes.length b > 0 then begin
+          let i = Fault.mix f_write w.pos mod Bytes.length b in
+          let bit = Fault.mix f_write (w.pos + 1) mod 8 in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)))
+        end;
+        (Bytes.to_string b, None)
+      | Some Fault.Torn ->
+        (String.sub s 0 (String.length s / 2), Some "injected torn write")
+      | Some Fault.Short ->
+        ( String.sub s 0 (max 0 (String.length s - 1)),
+          Some "injected short write" )
+      | Some Fault.Enospc -> ("", Some "injected ENOSPC")
+      | Some (Fault.Crash | Fault.Transient | Fault.Budget) ->
+        ("", Some "injected crash in the log writer"))
+
   let emit w s =
-    (match w.dest with
-    | D_channel oc -> output_string oc s
-    | D_buffer b -> Buffer.add_string b s);
-    w.pos <- w.pos + String.length s
+    match w.dead with
+    | Some _ -> ()
+    | None ->
+      let s, death = injected w s in
+      (match w.dest with
+      | D_channel oc -> output_string oc s
+      | D_buffer b -> Buffer.add_string b s);
+      w.pos <- w.pos + String.length s;
+      (match death with
+      | None -> ()
+      | Some reason ->
+        w.dead <- Some reason;
+        (match w.dest with D_channel oc -> flush oc | D_buffer _ -> ()))
 
   let make dest =
-    let w = { dest; pos = 0; pids = [||]; finalized = false; closed = false } in
+    let w =
+      {
+        dest;
+        pos = 0;
+        pids = [||];
+        finalized = false;
+        closed = false;
+        dead = None;
+      }
+    in
     emit w magic;
     w
 
@@ -273,6 +332,8 @@ module Writer = struct
     end
 
   let bytes_written w = w.pos
+
+  let failure w = w.dead
 end
 
 let write_log w (log : L.t) =
@@ -743,6 +804,11 @@ let find_page px ~idx =
    on the same cold page may both decode it, which is harmless — pages
    are immutable. *)
 let decode_page ix ~pid ~page =
+  (match Fault.fire f_read with
+  | None -> ()
+  | Some _ ->
+    unreadable ix.ix_path "injected read fault at page %d of process %d" page
+      pid);
   let key = (pid, page) in
   let shard_i = (pid + page) mod page_shards in
   let shard = ix.ix_shards.(shard_i) in
@@ -940,3 +1006,173 @@ let verify path =
       vr_indexed = sc.sc_index <> None;
       vr_damage = sc.sc_damage;
     }
+
+(* ------------------------------------------------------------------ *)
+(* fsck: exhaustive per-page damage report.                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [verify] reuses the salvage scan, which stops at the first bad
+   frame; fsck instead checks *every* page the footer index knows
+   about, so a single flipped bit mid-file still yields a complete
+   per-page report with the offsets of all damage, plus a summary of
+   what a salvage would recover. *)
+
+type fsck_page = {
+  fp_pid : int;
+  fp_page : int;  (* ordinal within the process *)
+  fp_offset : int;
+  fp_count : int;  (* entries the index (or frame) claims *)
+  fp_error : string option;
+}
+
+type fsck_report = {
+  fk_version : int;
+  fk_bytes : int;
+  fk_indexed : bool;
+  fk_pages : fsck_page list;
+  fk_damage : damage list;
+  fk_procs : int;
+  fk_records : int;  (* records in intact pages *)
+  fk_intervals : int;  (* intervals known (index) or salvaged (scan) *)
+  fk_clean : bool;
+}
+
+let fsck path =
+  let raw = read_file path in
+  let bytes = String.length raw in
+  match check_magic path raw with
+  | 1 -> (
+    match Trace.Log_io.load path with
+    | log ->
+      let intervals = ref 0 in
+      for pid = 0 to log.L.nprocs - 1 do
+        intervals := !intervals + Array.length (L.intervals log ~pid)
+      done;
+      {
+        fk_version = 1;
+        fk_bytes = bytes;
+        fk_indexed = false;
+        fk_pages = [];
+        fk_damage = [];
+        fk_procs = log.L.nprocs;
+        fk_records = L.entry_count log;
+        fk_intervals = !intervals;
+        fk_clean = true;
+      }
+    | exception Trace.Log_io.Unreadable { reason; _ } ->
+      {
+        fk_version = 1;
+        fk_bytes = bytes;
+        fk_indexed = false;
+        fk_pages = [];
+        fk_damage =
+          [
+            {
+              dmg_offset = String.length Trace.Log_io.magic;
+              dmg_reason = reason;
+            };
+          ];
+        fk_procs = 0;
+        fk_records = 0;
+        fk_intervals = 0;
+        fk_clean = false;
+      })
+  | _ -> (
+    match indexed_backing path raw with
+    | Some (B_indexed ix) ->
+      (* index intact: check each indexed page individually *)
+      let pages = ref [] in
+      let bad = ref 0 in
+      let good_records = ref 0 in
+      Array.iteri
+        (fun pid px ->
+          Array.iteri
+            (fun page (off, count) ->
+              let error =
+                match parse_frame raw off with
+                | Ok (F_page { fpid; fentries; _ })
+                  when fpid = pid && Array.length fentries = count ->
+                  None
+                | Ok (F_page { fpid; fentries; _ }) ->
+                  Some
+                    (Printf.sprintf
+                       "holds %d entries of process %d, the index says %d of \
+                        process %d"
+                       (Array.length fentries) fpid count pid)
+                | Ok (F_footer _) -> Some "index points at the footer"
+                | Error reason -> Some reason
+              in
+              (match error with
+              | None -> good_records := !good_records + count
+              | Some _ -> incr bad);
+              pages :=
+                {
+                  fp_pid = pid;
+                  fp_page = page;
+                  fp_offset = off;
+                  fp_count = count;
+                  fp_error = error;
+                }
+                :: !pages)
+            px.px_pages)
+        ix.ix_index;
+      {
+        fk_version = 2;
+        fk_bytes = bytes;
+        fk_indexed = true;
+        fk_pages = List.rev !pages;
+        fk_damage = [];
+        fk_procs = Array.length ix.ix_index;
+        fk_records = !good_records;
+        fk_intervals =
+          Array.fold_left
+            (fun a px -> a + Array.length px.px_blocks)
+            0 ix.ix_index;
+        fk_clean = !bad = 0;
+      }
+    | Some (B_mem _) | None ->
+      (* no usable index: the valid prefix is all we can vouch for *)
+      let sc = scan raw in
+      let pages = ref [] in
+      let per_pid = Hashtbl.create 8 in
+      let pos = ref (String.length magic) in
+      let stop = ref false in
+      while (not !stop) && !pos < bytes do
+        match parse_frame raw !pos with
+        | Ok (F_page { fpid; fentries; fnext }) ->
+          let ord =
+            match Hashtbl.find_opt per_pid fpid with Some n -> n | None -> 0
+          in
+          Hashtbl.replace per_pid fpid (ord + 1);
+          pages :=
+            {
+              fp_pid = fpid;
+              fp_page = ord;
+              fp_offset = !pos;
+              fp_count = Array.length fentries;
+              fp_error = None;
+            }
+            :: !pages;
+          pos := fnext
+        | Ok (F_footer _) | Error _ -> stop := true
+      done;
+      let log =
+        match salvage raw with
+        | B_mem m -> m.bm_log
+        | B_indexed _ -> assert false
+      in
+      let intervals = ref 0 in
+      for pid = 0 to log.L.nprocs - 1 do
+        intervals := !intervals + Array.length (L.intervals log ~pid)
+      done;
+      {
+        fk_version = 2;
+        fk_bytes = bytes;
+        fk_indexed = false;
+        fk_pages = List.rev !pages;
+        fk_damage = sc.sc_damage;
+        fk_procs = log.L.nprocs;
+        fk_records = sc.sc_nentries;
+        fk_intervals = !intervals;
+        fk_clean = sc.sc_damage = [];
+      })

@@ -67,6 +67,11 @@ module Writer : sig
       Idempotent. *)
 
   val bytes_written : t -> int
+
+  val failure : t -> string option
+  (** [Some reason] once an injected fault (lib/fault) has killed the
+      stream: the writer silently swallows everything after the durable
+      prefix, like a process that was kill -9'd mid-log. *)
 end
 
 type reader
@@ -158,3 +163,31 @@ val verify : string -> report
 (** Walk every frame of the file (CRC and structural checks, trailer
     and footer validation) and report all damage found. @raise
     Trace.Log_io.Unreadable only when the magic itself is foreign. *)
+
+type fsck_page = {
+  fp_pid : int;
+  fp_page : int;  (** page ordinal within the process *)
+  fp_offset : int;  (** byte offset of the page frame *)
+  fp_count : int;  (** entries the index (or the frame) claims *)
+  fp_error : string option;  (** [None] iff the page checks out *)
+}
+
+type fsck_report = {
+  fk_version : int;
+  fk_bytes : int;
+  fk_indexed : bool;  (** trailer and footer index intact *)
+  fk_pages : fsck_page list;  (** one row per page, all of them checked *)
+  fk_damage : damage list;  (** structural damage (scan path only) *)
+  fk_procs : int;
+  fk_records : int;  (** records in intact pages *)
+  fk_intervals : int;  (** intervals known (index) or salvaged (scan) *)
+  fk_clean : bool;
+}
+
+val fsck : string -> fsck_report
+(** Exhaustive damage report. Unlike {!verify}, whose forward scan
+    stops at the first bad frame, [fsck] checks {e every} page the
+    footer index names, so damage in the middle of an otherwise-intact
+    file is reported per page with offsets; without a usable index it
+    reports the salvageable prefix. @raise Trace.Log_io.Unreadable only
+    when the magic itself is foreign. *)

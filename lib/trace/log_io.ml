@@ -38,9 +38,12 @@ let load path =
           unreadable path "unsupported log format version '%c' (this build reads v1 and v2)"
             hdr.[6]
         else unreadable path "not a PPD log file (bad magic)";
+      (* Marshal's failure mode depends on *where* the bytes are bad:
+         truncation raises End_of_file or Failure, but garbage can also
+         surface as Invalid_argument and friends. All of them mean the
+         same thing to a caller: PPD050. *)
       try (Marshal.from_channel ic : Log.t)
-      with End_of_file | Failure _ ->
-        unreadable path "truncated or corrupt v1 marshal payload")
+      with _ -> unreadable path "truncated or corrupt v1 marshal payload")
 
 let save_per_process ~dir ~basename (log : Log.t) =
   Array.to_list

@@ -1,0 +1,156 @@
+#!/bin/sh
+# Chaos sweep: prove the degraded-mode contract under every crash and
+# fault shape the injection substrate can produce.
+#
+#  1. Truncate a saved v2 segment at EVERY byte offset: fsck and
+#     `log stats` must exit 0/4/6 (never crash), and a --degraded
+#     --load flowback over the remains must exit 0.
+#  2. Kill the streaming log sink at every byte offset (injected crash
+#     in the writer): exactly that many bytes reach disk, and the
+#     durable prefix always recovers.
+#  3. A seeded fault matrix over the other injection points: bit flips
+#     are caught by fsck, read faults and replay-budget exhaustion
+#     degrade to holes, and a transient pool fault leaves -j4 output
+#     byte-identical to a clean -j1 run.
+set -eu
+
+PPD=${PPD:-_build/default/bin/ppd_cli.exe}
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+"$PPD" example fig61 >"$dir/fig61.mpl"
+"$PPD" log "$dir/fig61.mpl" --save "$dir/run.log" >/dev/null
+size=$(wc -c <"$dir/run.log")
+
+# -------------------------------------------------------------------
+# 1. Exhaustive truncation sweep.
+# -------------------------------------------------------------------
+k=0
+while [ "$k" -lt "$size" ]; do
+  head -c "$k" "$dir/run.log" >"$dir/cut.log"
+
+  set +e
+  "$PPD" fsck "$dir/cut.log" >/dev/null 2>&1
+  fsck_code=$?
+  "$PPD" log stats "$dir/cut.log" >/dev/null 2>&1
+  stats_code=$?
+  "$PPD" flowback "$dir/fig61.mpl" --load "$dir/cut.log" --degraded \
+    >/dev/null 2>&1
+  flow_code=$?
+  set -e
+
+  case "$fsck_code" in
+  0 | 4 | 6) ;;
+  *)
+    echo "chaos: fsck exited $fsck_code on a $k-byte truncation" >&2
+    exit 1
+    ;;
+  esac
+  case "$stats_code" in
+  0 | 4 | 6) ;;
+  *)
+    echo "chaos: log stats exited $stats_code on a $k-byte truncation" >&2
+    exit 1
+    ;;
+  esac
+  # a full v2 magic means the salvage path must carry flowback to a
+  # clean exit; shorter prefixes are PPD050 (exit 6)
+  if [ "$k" -ge 8 ]; then
+    if [ "$flow_code" -ne 0 ]; then
+      echo "chaos: degraded flowback exited $flow_code on a $k-byte truncation" >&2
+      exit 1
+    fi
+  elif [ "$flow_code" -ne 6 ]; then
+    echo "chaos: expected PPD050 (exit 6) on a $k-byte file, got $flow_code" >&2
+    exit 1
+  fi
+
+  k=$((k + 1))
+done
+echo "chaos: truncation sweep ok ($size cut points)"
+
+# -------------------------------------------------------------------
+# 2. Sink-crash sweep: kill the logger mid-write at every byte.
+# -------------------------------------------------------------------
+k=9
+while [ "$k" -lt "$size" ]; do
+  "$PPD" log "$dir/fig61.mpl" --save "$dir/crash.log" \
+    --fault "trace.sink:$k" >/dev/null
+  got=$(wc -c <"$dir/crash.log")
+  if [ "$got" -ne "$k" ]; then
+    echo "chaos: sink crash at byte $k left $got bytes on disk" >&2
+    exit 1
+  fi
+  set +e
+  "$PPD" fsck "$dir/crash.log" >/dev/null
+  fsck_code=$?
+  "$PPD" flowback "$dir/fig61.mpl" --load "$dir/crash.log" --degraded \
+    >/dev/null
+  flow_code=$?
+  set -e
+  if [ "$fsck_code" -ne 4 ] && [ "$fsck_code" -ne 0 ]; then
+    echo "chaos: fsck exited $fsck_code after a sink crash at byte $k" >&2
+    exit 1
+  fi
+  if [ "$flow_code" -ne 0 ]; then
+    echo "chaos: degraded flowback exited $flow_code after a sink crash at byte $k" >&2
+    exit 1
+  fi
+  # sweep every offset for small logs; stride for big ones to bound CI time
+  k=$((k + 7))
+done
+echo "chaos: sink-crash sweep ok"
+
+# -------------------------------------------------------------------
+# 3. Seeded fault matrix.
+# -------------------------------------------------------------------
+
+# a flipped bit in a page payload must be caught by fsck (exit 4)
+"$PPD" log "$dir/fig61.mpl" --save "$dir/flip.log" \
+  --fault store.segment.write:2:flip --fault-seed 7 >/dev/null
+set +e
+"$PPD" fsck "$dir/flip.log" >/dev/null
+code=$?
+set -e
+if [ "$code" -ne 4 ]; then
+  echo "chaos: fsck missed an injected bit flip (exit $code)" >&2
+  exit 1
+fi
+
+# a damaged page read degrades to an explicit hole, never a crash
+"$PPD" flowback "$dir/fig61.mpl" --load "$dir/run.log" --degraded \
+  --fault store.segment.read:1 >"$dir/holes.out"
+grep -q "history unavailable" "$dir/holes.out" || {
+  echo "chaos: degraded flowback did not report the hole" >&2
+  exit 1
+}
+
+# replay-budget exhaustion degrades to a hole too
+"$PPD" flowback "$dir/fig61.mpl" --degraded --max-replay-steps 1 \
+  >"$dir/budget.out"
+grep -q "history unavailable" "$dir/budget.out" || {
+  echo "chaos: watchdog hole missing from degraded flowback" >&2
+  exit 1
+}
+
+# ... and is PPD060 (exit 7) outside degraded mode
+set +e
+"$PPD" flowback "$dir/fig61.mpl" --max-replay-steps 1 >/dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 7 ]; then
+  echo "chaos: expected PPD060/exit 7 from the watchdog, got $code" >&2
+  exit 1
+fi
+
+# a transient pool fault is retried: -j4 under fault == clean -j1
+"$PPD" flowback "$dir/fig61.mpl" --depth 2 -j 1 >"$dir/clean.out"
+"$PPD" flowback "$dir/fig61.mpl" --depth 2 -j 4 \
+  --fault exec.pool.task:1 >"$dir/faulted.out"
+cmp "$dir/clean.out" "$dir/faulted.out" || {
+  echo "chaos: transient pool fault changed the flowback output" >&2
+  exit 1
+}
+
+echo "chaos: fault matrix ok (flip, read, budget, transient)"

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""CI perf gate over the bench JSON (dune exec bench/main.exe -- --json t9 t10 t11)
+"""CI perf gate over the bench JSON (dune exec bench/main.exe -- --json t9 t10 t11 t12)
 and, optionally, a ppd profile JSON (--profile FILE).
 
 Checks on the T10 (parallel replay) table:
@@ -23,9 +23,17 @@ Checks on the T11 (observability overhead) table, when present:
 4. The obs-on run must not be absurdly slower than obs-off (> 2x means
    a hot path is doing real work when it should be gated).
 
+Checks on the T12 (fault-injection overhead) table, when present:
+
+5. A disarmed fault check must cost under DISABLED_OP_MAX_NS — the
+   same "free when off" contract as T11, for the chaos layer that is
+   compiled into every I/O and execution edge.
+6. Arming a plan whose entries never match must not slow the full
+   log-and-flowback pass by more than 2x.
+
 Checks on the profile JSON (--profile FILE), when given:
 
-5. Counter coherence — cache hits + misses == lookups; the emulator's
+7. Counter coherence — cache hits + misses == lookups; the emulator's
    replay count >= the controller's assembled replays (speculation can
    only add); assembled replays <= lookups; at least one phase span
    of each of "execution" and "debugging" was recorded.
@@ -114,6 +122,36 @@ def check_t11(data, failures):
             )
 
 
+def check_t12(data, failures):
+    t12 = data.get("t12")
+    if not t12:
+        return
+    op = t12.get("disabled_op_ns")
+    if op is None:
+        failures.append("t12: no disabled_op_ns measurement")
+    else:
+        print(f"perf-gate: t12: disarmed fault check {op:.2f} ns/call")
+        if op > DISABLED_OP_MAX_NS:
+            failures.append(
+                f"t12: disarmed fault check {op:.2f} ns exceeds the "
+                f"{DISABLED_OP_MAX_NS:.0f} ns bound — fault injection "
+                f"is not free when off"
+            )
+    for row in t12.get("rows", []):
+        name, off, armed = row["workload"], row["off_ns"], row["armed_ns"]
+        if not off or not armed:
+            failures.append(f"t12/{name}: missing off/armed timing")
+            continue
+        ratio = armed / off
+        print(f"perf-gate: t12/{name}: armed/disarmed = {ratio:.3f}x")
+        if ratio > ON_OFF_MAX_RATIO:
+            failures.append(
+                f"t12/{name}: an armed-but-inert plan costs {ratio:.2f}x "
+                f"(> {ON_OFF_MAX_RATIO:.1f}x) — a check site is doing "
+                f"ungated work"
+            )
+
+
 def check_profile(path, failures):
     with open(path) as f:
         prof = json.load(f)
@@ -172,6 +210,7 @@ def main():
     failures = []
     nrows = check_t10(data, margin, failures)
     check_t11(data, failures)
+    check_t12(data, failures)
     if profile:
         check_profile(profile, failures)
     if failures:

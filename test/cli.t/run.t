@@ -248,3 +248,121 @@ trace_event file (load it at chrome://tracing):
   > print("trace well-formed")
   > PY
   trace well-formed
+
+Edge cases of the log-file contract: a 0-byte file and a directory are
+PPD050 (exit 6); a file holding only the v2 magic is structural damage
+(exit 4), though stats still salvages the (empty) prefix; a bare v1
+magic with no payload is damage too:
+
+  $ : > empty.log
+  $ ppd verify-log empty.log
+  PPD050 error at ?: unreadable log empty.log: file shorter than the 8-byte magic
+  1 finding(s): 1 error(s), 0 warning(s), 0 note(s)
+  [6]
+  $ ppd log stats empty.log
+  PPD050 error at ?: unreadable log empty.log: file shorter than the 8-byte magic
+  1 finding(s): 1 error(s), 0 warning(s), 0 note(s)
+  [6]
+  $ mkdir dirlog
+  $ ppd log stats dirlog
+  PPD050 error at ?: unreadable log dirlog: Is a directory
+  1 finding(s): 1 error(s), 0 warning(s), 0 note(s)
+  [6]
+  $ printf 'PPDLOG2\n' > v2empty.log
+  $ ppd verify-log v2empty.log
+  v2empty.log: v2, 8 bytes, 0 record(s) in 0 page(s), index unusable
+  damage at byte 8: file ends without a footer frame
+  [4]
+  $ ppd log stats v2empty.log
+  v2empty.log: v2, 8 bytes, recovered by salvage scan
+  0 process(es), 0 record(s), 0 interval(s)
+  damage at byte 8: file ends without a footer frame
+  $ printf 'PPDLOG1\n' > v1empty.log
+  $ ppd verify-log v1empty.log
+  v1empty.log: v1, 8 bytes, 0 record(s)
+  damage at byte 8: truncated or corrupt v1 marshal payload
+  [4]
+
+`ppd fsck` checks every page the footer index names — not just the
+prefix verify-log walks — and emits a machine-readable damage report:
+
+  $ ppd fsck run.log
+  {
+    "path": "run.log",
+    "version": 2,
+    "bytes": 289,
+    "indexed": true,
+    "clean": true,
+    "procs": 3,
+    "records": 22,
+    "intervals": 3,
+    "pages": [
+      {"pid": 0, "page": 0, "offset": 127, "count": 10, "error": null},
+      {"pid": 1, "page": 0, "offset": 59, "count": 7, "error": null},
+      {"pid": 2, "page": 0, "offset": 8, "count": 5, "error": null}
+    ],
+    "damage": []
+  }
+  $ ppd fsck cut.log > cut.json
+  [4]
+  $ python3 -m json.tool cut.json > /dev/null && echo valid
+  valid
+
+Deterministic fault injection (--fault POINT:N[:KIND]): crash the log
+sink at byte 100 and exactly 100 bytes reach disk — the durable
+prefix — while the run itself completes; fsck then reports what
+survived:
+
+  $ ppd log fig61.mpl --save crash.log --fault trace.sink:100 | tail -n 2
+  saved to crash.log
+  log sink died: injected crash in the log sink at byte 100; only the durable prefix reached disk (see `ppd fsck crash.log`)
+  $ wc -c < crash.log
+  100
+  $ ppd fsck crash.log > crash.json
+  [4]
+
+A malformed spec is a usage error:
+
+  $ ppd flowback fig61.mpl --fault nope
+  ppd: --fault: malformed fault spec entry "nope" (expected POINT:N[:KIND])
+  [124]
+
+Flowback can skip the execution phase and debug a saved log directly
+(--load, demand-paged). On a damaged or fault-ridden log, --degraded
+turns unreplayable history into explicit holes instead of crashing:
+
+  $ ppd flowback fig61.mpl --load run.log --depth 2
+  debugging saved log run.log (v2, 3 process(es))
+  flowback from:
+    [p0] EXIT main
+  emulated 1 of 3 log intervals (6 replay steps)
+  $ ppd flowback fig61.mpl --load run.log --degraded --fault store.segment.read:1
+  debugging saved log run.log (v2, 3 process(es))
+  no events to debug
+  history unavailable for p0 steps 0-8 (log page damaged: injected read fault at page 0 of process 0)
+  emulated 0 of 3 log intervals (0 replay steps), 1 hole(s)
+  $ ppd replay fig61.mpl --load cut.log --degraded
+  debugging saved log cut.log (v2, 3 process(es))
+  replayed 2 of 2 log intervals (8 replay steps); graph: 11 nodes, 20 edges
+
+The replay watchdog bounds runaway replays: PPD060 (exit 7) by
+default, a hole under --degraded:
+
+  $ ppd flowback fig61.mpl --max-replay-steps 1
+  execution finished normally
+  PPD060 error at ?: replay watchdog: process 0 interval 0 exhausted the 1-step budget (raise --max-replay-steps, or --degraded to debug around it)
+  1 finding(s): 1 error(s), 0 warning(s), 0 note(s)
+  [7]
+  $ ppd flowback fig61.mpl --max-replay-steps 1 --degraded
+  execution finished normally
+  no events to debug
+  history unavailable for p0 steps 0-8 (replay step budget exhausted)
+  emulated 0 of 3 log intervals (0 replay steps), 1 hole(s)
+
+A transient fault in a pooled replay is retried serially, so -j4
+output under injected faults stays byte-identical to a clean -j1 run:
+
+  $ ppd flowback fig61.mpl --depth 2 -j 1 > clean.out
+  $ ppd flowback fig61.mpl --depth 2 -j 4 --fault exec.pool.task:1 > faulted.out
+  $ cmp clean.out faulted.out && echo identical
+  identical

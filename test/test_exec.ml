@@ -168,6 +168,26 @@ let test_pool_peek_no_raise () =
       | _ -> Alcotest.fail "await of a failed task must raise"
       | exception Failure m -> Alcotest.(check string) "await raises" "peeked" m)
 
+(* The satellite regression: [await] from inside a pool task was
+   documented-forbidden but silently risked deadlock (the worker waits
+   on a future only another — possibly the same — worker can fill).
+   It must now fail fast with Invalid_argument instead. *)
+let test_pool_await_inside_task_rejected () =
+  Exec.Pool.with_pool ~jobs:1 (fun pool ->
+      let inner = Exec.Pool.submit pool (fun () -> 1) in
+      let outer =
+        Exec.Pool.submit pool (fun () -> Exec.Pool.await inner)
+      in
+      (match Exec.Pool.await outer with
+      | _ -> Alcotest.fail "await inside a task must raise"
+      | exception Invalid_argument m ->
+        Alcotest.(check bool) "message names the hazard" true
+          (Util.contains ~sub:"inside a pool task" m));
+      (* the worker survives to run later tasks, and await still works
+         on the caller's domain *)
+      let again = Exec.Pool.submit pool (fun () -> 99) in
+      Alcotest.(check int) "pool alive" 99 (Exec.Pool.await again))
+
 (* ------------------------------------------------------------------ *)
 (* Parallel = serial graph construction.                                *)
 (* ------------------------------------------------------------------ *)
@@ -334,6 +354,8 @@ let suite =
         test_pool_concurrent_shutdown;
       Alcotest.test_case "peek reports failure without raising" `Quick
         test_pool_peek_no_raise;
+      Alcotest.test_case "await inside a task fails fast" `Quick
+        test_pool_await_inside_task_rejected;
       Alcotest.test_case "parallel = serial (fixed corpus)" `Quick
         test_par_eq_serial_fixed;
       Alcotest.test_case "parallel = serial (flowback slice)" `Quick
