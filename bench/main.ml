@@ -883,6 +883,75 @@ let t12 () =
     \      gate bounds the disarmed per-check cost)"
 
 (* ------------------------------------------------------------------ *)
+(* T16: communication-protocol analysis — latency of the product        *)
+(* exploration and the MHP pairs it discharges, as the process count    *)
+(* grows. The gate checks the proto column never falls below the        *)
+(* spawn/join baseline (refinement must only ever add discharge).       *)
+(* ------------------------------------------------------------------ *)
+
+let t16_workloads =
+  [
+    ("pipeline/w2", Workloads.config_pipeline ~workers:2 ~rounds:2);
+    ("pipeline/w3", Workloads.config_pipeline ~workers:3 ~rounds:2);
+    ("pipeline/w4", Workloads.config_pipeline ~workers:4 ~rounds:2);
+    ("ping_pong", Workloads.ping_pong ~rounds:2);
+  ]
+
+type t16_row = {
+  tp_name : string;
+  tp_states : int;
+  tp_analyze_ns : float;
+  tp_conflicting : int;
+  tp_base : int;
+  tp_proto : int;
+}
+
+let t16_rows () =
+  List.map
+    (fun (name, src) ->
+      let prog = compile src in
+      let base = Analysis.Mhp.compute prog in
+      (* warm once (the measured call also produces the result we read) *)
+      ignore (Analysis.Proto.analyze ~mhp:base prog);
+      let iters = 25 in
+      let t0 = Obs.now_ns () in
+      let r = ref (Analysis.Proto.analyze ~mhp:base prog) in
+      for _ = 2 to iters do
+        r := Analysis.Proto.analyze ~mhp:base prog
+      done;
+      let ns = float_of_int (Obs.now_ns () - t0) /. float_of_int iters in
+      let r = !r in
+      let conflicting, d0 = Analysis.Proto.discharged_pairs prog base in
+      let d1 =
+        match r.Analysis.Proto.refined with
+        | Some m -> snd (Analysis.Proto.discharged_pairs prog m)
+        | None -> d0
+      in
+      {
+        tp_name = name;
+        tp_states = r.Analysis.Proto.stats.Analysis.Proto.states_full;
+        tp_analyze_ns = ns;
+        tp_conflicting = conflicting;
+        tp_base = d0;
+        tp_proto = d1;
+      })
+    t16_workloads
+
+let t16 () =
+  header "T16  Protocol analysis: latency and discharged MHP pairs";
+  row "%-14s %8s %11s %12s %10s %10s\n" "workload" "states" "analyze"
+    "conflicting" "base" "proto";
+  List.iter
+    (fun r ->
+      row "%-14s %8d %11s %12d %10d %10d\n" r.tp_name r.tp_states
+        (fmt_ns r.tp_analyze_ns) r.tp_conflicting r.tp_base r.tp_proto)
+    (t16_rows ());
+  print_endline
+    "(base counts pairs discharged by spawn/join structure alone; proto\n\
+    \      adds must-orderings and co-reachability exclusion from the\n\
+    \      synchronous-product exploration — it may never be smaller)"
+
+(* ------------------------------------------------------------------ *)
 (* JSON emission (for the CI perf gate; no external JSON dependency).   *)
 (* ------------------------------------------------------------------ *)
 
@@ -945,6 +1014,21 @@ let t12_json () =
               r.tf_name (jfloat r.tf_off_ns) (jfloat r.tf_armed_ns))
           (t12_rows ())))
 
+let t16_json () =
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             "{\"workload\":%S,\"states\":%d,\"analyze_ns\":%s,\
+              \"conflicting\":%d,\"discharged_base\":%d,\
+              \"discharged_proto\":%d}"
+             r.tp_name r.tp_states
+             (jfloat r.tp_analyze_ns)
+             r.tp_conflicting r.tp_base r.tp_proto)
+         (t16_rows ()))
+  ^ "]"
+
 (* ------------------------------------------------------------------ *)
 (* Figures.                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -999,13 +1083,20 @@ let experiments =
     ("t10", t10);
     ("t11", t11);
     ("t12", t12);
+    ("t16", t16);
   ]
 
 (* Tables with a machine-readable emitter (`bench -- --json t9 t10`):
    one top-level object, a field per table, plus the host core count so
    downstream gates can tell whether a speedup was even possible. *)
 let json_experiments =
-  [ ("t9", t9_json); ("t10", t10_json); ("t11", t11_json); ("t12", t12_json) ]
+  [
+    ("t9", t9_json);
+    ("t10", t10_json);
+    ("t11", t11_json);
+    ("t12", t12_json);
+    ("t16", t16_json);
+  ]
 
 let () =
   let args =

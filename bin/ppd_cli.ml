@@ -44,6 +44,7 @@ let sched_conv =
     | Runtime.Sched.Round_robin q -> Format.fprintf ppf "rr:%d" q
     | Runtime.Sched.Random_seed s -> Format.fprintf ppf "random:%d" s
     | Runtime.Sched.Scripted _ -> Format.fprintf ppf "scripted"
+    | Runtime.Sched.Guided _ -> Format.fprintf ppf "guided"
   in
   Arg.conv (parse, print)
 
@@ -784,6 +785,157 @@ let format_arg =
     & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
     & info [ "format" ] ~docv:"FMT" ~doc:"Output format: human or json.")
 
+let proto_cmd =
+  let dot_arg =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:
+            "Emit the per-process communication automata as Graphviz \
+             instead of exploring the product.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt int 200_000
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Product-state exploration budget (per exploration).")
+  in
+  let bound_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "bound" ] ~docv:"N"
+          ~doc:
+            "Cut unbounded channel buffers and extra semaphore tokens at \
+             N (exceeding it demotes universal claims to 'within budget').")
+  in
+  let no_replay_arg =
+    Arg.(
+      value & flag
+      & info [ "no-replay" ]
+          ~doc:"Skip guided-replay validation of deadlock certificates.")
+  in
+  let json_str s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    "\"" ^ Buffer.contents b ^ "\""
+  in
+  let run file format dot budget bound no_replay =
+    let p = compile_or_die (read_source file) in
+    let r = Analysis.Proto.analyze ~budget ~bound p in
+    if dot then
+      Format.printf "%a@." (Analysis.Effects.dot p) r.Analysis.Proto.effects
+    else begin
+      let certs =
+        match r.Analysis.Proto.verdict with
+        | Analysis.Proto.Deadlocks cs -> cs
+        | _ -> []
+      in
+      let replayed =
+        List.map
+          (fun c ->
+            ( c,
+              if no_replay then None
+              else Some (Runtime.Cert_replay.validate p c) ))
+          certs
+      in
+      (match format with
+      | `Human ->
+        Format.printf "%a@." Analysis.Proto.pp r;
+        List.iteri
+          (fun i (_, res) ->
+            match res with
+            | None -> ()
+            | Some (Runtime.Cert_replay.Confirmed { schedule; _ }) ->
+              Printf.printf
+                "certificate %d: confirmed by guided replay (schedule: %s)\n"
+                (i + 1)
+                (String.concat " " (List.map string_of_int schedule))
+            | Some (Runtime.Cert_replay.Diverged why) ->
+              Printf.printf "certificate %d: unconfirmed candidate (%s)\n"
+                (i + 1) why)
+          replayed
+      | `Json ->
+        let base_c, base_d = Analysis.Proto.discharged_pairs p r.Analysis.Proto.mhp in
+        let ref_d =
+          match r.Analysis.Proto.refined with
+          | None -> base_d
+          | Some m -> snd (Analysis.Proto.discharged_pairs p m)
+        in
+        let cert_json (c, res) =
+          let steps =
+            List.map
+              (fun (s : Analysis.Proto.step) ->
+                Printf.sprintf "{\"cls\":%d,\"sid\":%d,\"act\":%s}"
+                  s.st_cls s.st_sid
+                  (json_str
+                     (Format.asprintf "%a" (Analysis.Proto.pp_step p) s)))
+              c.Analysis.Proto.cert_steps
+          in
+          let confirmed, detail =
+            match res with
+            | None -> ("null", [])
+            | Some (Runtime.Cert_replay.Confirmed { schedule; _ }) ->
+              ( "true",
+                [
+                  Printf.sprintf "\"schedule\":[%s]"
+                    (String.concat ","
+                       (List.map string_of_int schedule));
+                ] )
+            | Some (Runtime.Cert_replay.Diverged why) ->
+              ("false", [ Printf.sprintf "\"diverged\":%s" (json_str why) ])
+          in
+          Printf.sprintf "{%s}"
+            (String.concat ","
+               ([
+                  Printf.sprintf "\"kind\":%s"
+                    (json_str (Analysis.Proto.kind_name c.cert_kind));
+                  Printf.sprintf "\"steps\":[%s]" (String.concat "," steps);
+                  Printf.sprintf "\"confirmed\":%s" confirmed;
+                ]
+               @ detail))
+        in
+        Printf.printf
+          "{\"verdict\":%s,\"states_full\":%d,\"states_reduced\":%d,\
+           \"truncated\":%b,\"certificates\":[%s],\"facts\":%d,\
+           \"orphan_sends\":%d,\"dead_recvs\":%d,\"sem_leaks\":%d,\
+           \"conflicting_pairs\":%d,\"discharged_base\":%d,\
+           \"discharged_proto\":%d}\n"
+          (json_str (Analysis.Proto.verdict_name r.Analysis.Proto.verdict))
+          r.Analysis.Proto.stats.states_full
+          r.Analysis.Proto.stats.states_reduced
+          r.Analysis.Proto.stats.truncated
+          (String.concat "," (List.map cert_json replayed))
+          (List.length r.Analysis.Proto.facts)
+          (List.length r.Analysis.Proto.orphan_sends)
+          (List.length r.Analysis.Proto.dead_recvs)
+          (List.length r.Analysis.Proto.sem_leaks)
+          base_c base_d ref_d);
+      if certs <> [] then exit 5
+    end
+  in
+  Cmd.v
+    (Cmd.info "proto"
+       ~doc:
+         "Analyze the communication protocol: per-process \
+          channel/semaphore automata, a bounded exploration of their \
+          synchronous product, deadlock certificates (replay-validated), \
+          orphan communication and must-ordering facts; exit 5 when a \
+          deadlock certificate is found.")
+    Term.(
+      const run $ file_arg $ format_arg $ dot_arg $ budget_arg $ bound_arg
+      $ no_replay_arg)
+
 let race_cmd =
   let algo_arg =
     Arg.(
@@ -800,16 +952,66 @@ let race_cmd =
             "Report potential races from the program text (lockset \
              analysis) instead of executing.")
   in
-  let run file sched steps algo static format =
+  let proto_arg =
+    Arg.(
+      value & flag
+      & info [ "proto" ]
+          ~doc:
+            "With --static: refine the MHP relation with \
+             communication-protocol facts first (must-orderings and \
+             state exclusion), discharging more pairs.")
+  in
+  let run file sched steps algo static proto format =
     if static then begin
       let p = compile_or_die (read_source file) in
+      let mhp =
+        let base = Analysis.Mhp.compute p in
+        if not proto then base
+        else begin
+          let r = Analysis.Proto.analyze ~mhp:base p in
+          match r.Analysis.Proto.refined with
+          | Some refined ->
+            let _, d0 = Analysis.Proto.discharged_pairs p base in
+            let _, d1 = Analysis.Proto.discharged_pairs p refined in
+            Printf.eprintf
+              "protocol refinement: %d conflicting pair(s) discharged \
+               (vs %d by spawn/join structure alone)\n%!"
+              d1 d0;
+            refined
+          | None ->
+            Printf.eprintf
+              "protocol refinement unavailable (exploration incomplete); \
+               using the base MHP relation\n%!";
+            base
+        end
+      in
       (match format with
       | `Human ->
-        let reports = Analysis.Static_race.analyze p in
+        let reports = Analysis.Static_race.analyze ~mhp p in
         Format.printf "%a@." (Analysis.Static_race.pp_report p) reports;
         if reports <> [] then exit 3
       | `Json ->
-        let diags = Analysis.Lint.run ~only:[ "races" ] p in
+        let diags =
+          if not proto then Analysis.Lint.run ~only:[ "races" ] p
+          else
+            (* the lint pass runs on the base relation; with --proto,
+               rebuild the same diagnostics over the refined one *)
+            List.map
+              (fun (r : Analysis.Static_race.report) ->
+                {
+                  Lang.Diag.d_code =
+                    (if r.pr_write_write then "PPD011" else "PPD010");
+                  d_severity = Lang.Diag.Sev_warning;
+                  d_loc = p.Lang.Prog.stmts.(r.pr_a1.acc_sid).Lang.Prog.loc;
+                  d_message =
+                    Printf.sprintf "potential %s race on shared '%s'"
+                      (if r.pr_write_write then "write/write"
+                       else "read/write")
+                      r.pr_var.Lang.Prog.vname;
+                  d_related = [];
+                })
+              (Analysis.Static_race.analyze ~mhp p)
+        in
         print_endline (Lang.Diag.json_of_diagnostics diags);
         if diags <> [] then exit 3)
     end
@@ -853,7 +1055,7 @@ let race_cmd =
           \u{00A7}7).")
     Term.(
       const run $ file_arg $ sched_arg $ steps_arg $ algo_arg $ static_arg
-      $ format_arg)
+      $ proto_arg $ format_arg)
 
 let lint_cmd =
   let passes_arg =
@@ -1131,6 +1333,7 @@ let main_cmd =
       flowback_cmd;
       replay_cmd;
       race_cmd;
+      proto_cmd;
       lint_cmd;
       deadlock_cmd;
       restore_cmd;

@@ -1,0 +1,38 @@
+// Two-round semaphore alternation over a shared board.
+//
+// The locksets are disjoint (pinger holds only 'ping', ponger only
+// 'pong'), so the lockset analysis alone flags every access pair on
+// 'board' — but the protocol forces strict alternation: P(ping) can
+// only succeed after the ponger's V(ping), so the accesses can never
+// overlap. `ppd race --static --proto` discharges all of them.
+
+sem ping = 1;
+sem pong = 0;
+
+shared int board = 0;
+
+func pinger() {
+  P(ping);
+  board = board + 1;
+  V(pong);
+  P(ping);
+  board = board + 1;
+  V(pong);
+}
+
+func ponger() {
+  P(pong);
+  board = board * 2;
+  V(ping);
+  P(pong);
+  board = board * 2;
+  V(ping);
+}
+
+func main() {
+  var a = spawn pinger();
+  var b = spawn ponger();
+  join(a);
+  join(b);
+  print(board);
+}

@@ -29,12 +29,13 @@ let stmt_count (f : P.func) =
 let sort_vars vs =
   List.sort_uniq (fun (a : P.var) b -> Int.compare a.vid b.vid) vs
 
-let analyze ?(policy = default_policy) ?(prune_sync_prelogs = true) (p : P.t) =
+let analyze ?(policy = default_policy) ?(prune_sync_prelogs = true) ?mhp
+    (p : P.t) =
   let nf = Array.length p.funcs in
   let summary = Interproc.compute p in
   let cg = Callgraph.compute p in
   let cfgs = Array.map (fun f -> Cfg.build p f) p.funcs in
-  let mhp = Mhp.compute ~cfgs p in
+  let mhp = match mhp with Some m -> m | None -> Mhp.compute ~cfgs p in
   (* Sync-unit prelogs only need shared reads some unordered foreign
      write can feed; everything else replays correctly from the e-block
      entry prelog plus sequential re-execution (see Mhp.prelog_required). *)

@@ -58,12 +58,18 @@ type t = {
   postlog_vars : Lang.Prog.var list array;
 }
 
-val analyze : ?policy:policy -> ?prune_sync_prelogs:bool -> Lang.Prog.t -> t
+val analyze :
+  ?policy:policy -> ?prune_sync_prelogs:bool -> ?mhp:Mhp.t -> Lang.Prog.t -> t
 (** [prune_sync_prelogs] (default [true]) drops shared reads from the
     synchronization-unit prelog sets when {!Mhp.prelog_required} proves
     every write feeding them is same-process, after the read, or before
     every spawn of the reader — fewer log entries, identical replay.
-    Pass [false] to size the unpruned sets (benchmark ablation). *)
+    Pass [false] to size the unpruned sets (benchmark ablation).
+    [mhp] substitutes a caller-supplied relation — e.g. one refined
+    with {!Proto} must-ordering chains, whose extra edges let
+    {!Mhp.prelog_required} discharge more prelog reads; only its
+    ordering facts matter here (mutual exclusion alone cannot prune a
+    prelog: an excluded-but-unordered write can still feed the read). *)
 
 val loop_block_vars :
   t -> sid:int -> (Lang.Prog.var list * Lang.Prog.var list) option

@@ -1,7 +1,12 @@
 module P = Lang.Prog
 module D = Lang.Diag
 
-type ctx = { prog : P.t; cfgs : Cfg.t array; mhp : Mhp.t }
+type ctx = {
+  prog : P.t;
+  cfgs : Cfg.t array;
+  mhp : Mhp.t;
+  proto : Proto.t Lazy.t;
+}
 
 type pass = {
   pass_name : string;
@@ -11,7 +16,8 @@ type pass = {
 
 let make_ctx (p : P.t) =
   let cfgs = Array.map (fun f -> Cfg.build p f) p.funcs in
-  { prog = p; cfgs; mhp = Mhp.compute ~cfgs p }
+  let mhp = Mhp.compute ~cfgs p in
+  { prog = p; cfgs; mhp; proto = lazy (Proto.analyze ~mhp p) }
 
 let stmt_loc (p : P.t) sid = p.stmts.(sid).P.loc
 
@@ -50,6 +56,7 @@ let deadlock_diagnostics ctx c =
   let p = ctx.prog in
   let ns = Array.length p.sems in
   if ns > 0 then begin
+    let summaries = Static_race.compute_summaries p in
     (* acquisition edges: P(a) executed while h is must-held *)
     let edges = ref [] in
     Array.iter
@@ -59,7 +66,7 @@ let deadlock_diagnostics ctx c =
           let fid = p.stmt_fid.(s.sid) in
           let cfg = ctx.cfgs.(fid) in
           let node = cfg.Cfg.node_of_sid.(s.sid) in
-          let held = Static_race.held_at p cfg node in
+          let held = Static_race.held_at ~summaries p cfg node in
           if List.mem sem.sem_id held then
             D.emit c ~code:"PPD020" ~severity:D.Sev_warning s.loc
               "self-deadlock: P on '%s' at s%d in %s while '%s' is already \
@@ -185,6 +192,69 @@ let uninit_diagnostics ctx c =
     p.funcs
 
 (* ------------------------------------------------------------------ *)
+(* PPD070 / PPD071 / PPD072: communication-protocol findings.           *)
+(* ------------------------------------------------------------------ *)
+
+let proto_deadlock_diagnostics ctx c =
+  let p = ctx.prog in
+  match (Lazy.force ctx.proto).Proto.verdict with
+  | Proto.Deadlocks certs ->
+    List.iter
+      (fun (cert : Proto.cert) ->
+        match cert.cert_blocked with
+        | [] -> ()
+        | first :: rest ->
+          D.emit c ~code:"PPD070" ~severity:D.Sev_warning
+            (stmt_loc p first.bk_sid)
+            ~related:
+              (List.map (fun (b : Proto.blocked) -> (stmt_loc p b.bk_sid, b.bk_what)) rest)
+            "potential deadlock (%s): %s after %d protocol step(s); run \
+             'ppd proto' for the certificate"
+            (Proto.kind_name cert.cert_kind)
+            first.bk_what
+            (List.length cert.cert_steps))
+      certs
+  | _ -> ()
+
+let orphan_comm_diagnostics ctx c =
+  let p = ctx.prog in
+  let proto = Lazy.force ctx.proto in
+  List.iter
+    (fun (ch, sid) ->
+      if ch >= 0 then
+        D.emit c ~code:"PPD071" ~severity:D.Sev_note (stmt_loc p sid)
+          "orphan send: the message sent on '%s' at s%d in %s may never be \
+           received"
+          p.chans.(ch).P.ch_name sid (fname_of p sid))
+    proto.Proto.orphan_sends;
+  List.iter
+    (fun sid ->
+      D.emit c ~code:"PPD071" ~severity:D.Sev_warning (stmt_loc p sid)
+        "dead receive: the recv at s%d in %s can never be satisfied" sid
+        (fname_of p sid))
+    proto.Proto.dead_recvs
+
+let sem_leak_diagnostics ctx c =
+  let p = ctx.prog in
+  let proto = Lazy.force ctx.proto in
+  List.iter
+    (fun (sem, deficit) ->
+      (* anchor the report at the first P on that semaphore *)
+      let loc =
+        Array.to_seq p.stmts
+        |> Seq.find_map (fun (s : P.stmt) ->
+               match s.desc with
+               | P.Sp q when q.sem_id = sem -> Some s.loc
+               | _ -> None)
+        |> Option.value ~default:p.funcs.(p.main_fid).P.floc
+      in
+      D.emit c ~code:"PPD072" ~severity:D.Sev_warning loc
+        "semaphore leak: '%s' may end the program %d token(s) short of its \
+         initial %d (held at exit)"
+        p.sems.(sem).P.sem_name deficit p.sems.(sem).P.sem_init)
+    proto.Proto.sem_leaks
+
+(* ------------------------------------------------------------------ *)
 (* Registry.                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -209,6 +279,21 @@ let passes =
       pass_name = "uninit";
       pass_doc = "possibly-uninitialised local reads (PPD040)";
       pass_run = uninit_diagnostics;
+    };
+    {
+      pass_name = "proto-deadlock";
+      pass_doc = "communication-protocol deadlock certificates (PPD070)";
+      pass_run = proto_deadlock_diagnostics;
+    };
+    {
+      pass_name = "orphan-comm";
+      pass_doc = "orphaned sends and dead receives (PPD071)";
+      pass_run = orphan_comm_diagnostics;
+    };
+    {
+      pass_name = "sem-leak";
+      pass_doc = "semaphores still held at program exit (PPD072)";
+      pass_run = sem_leak_diagnostics;
     };
   ]
 

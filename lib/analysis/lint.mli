@@ -16,9 +16,25 @@
       CFG-unreachable run inside live functions, [PPD031] for functions
       never called or spawned.
     - [uninit] — [PPD040] when a scalar local's read may see the
-      ENTRY (uninitialised) definition per {!Reaching_defs}. *)
+      ENTRY (uninitialised) definition per {!Reaching_defs}.
+    - [proto-deadlock] — [PPD070] for each {!Proto} deadlock
+      certificate (an abstract interleaving ending in a cyclic wait,
+      orphan receive or semaphore starvation).
+    - [orphan-comm] — [PPD071] for sends whose message can stay
+      buffered past every clean termination and recvs that can never
+      fire.
+    - [sem-leak] — [PPD072] when a semaphore can end the program short
+      of its initial tokens (held at exit).
 
-type ctx = { prog : Lang.Prog.t; cfgs : Cfg.t array; mhp : Mhp.t }
+    The protocol result is computed lazily: only the [proto-*]/
+    [sem-leak] passes pay for the product exploration. *)
+
+type ctx = {
+  prog : Lang.Prog.t;
+  cfgs : Cfg.t array;
+  mhp : Mhp.t;
+  proto : Proto.t Lazy.t;
+}
 
 type pass = {
   pass_name : string;

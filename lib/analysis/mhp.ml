@@ -46,6 +46,9 @@ type t = {
   chains : chain list;
   shared_writes : int list array;  (* vid -> sids of live shared writes *)
   reach_memo : (int, Bitset.t) Hashtbl.t array;  (* per fid: node -> reach *)
+  veto : (int -> int -> bool) option;
+      (* external must-not-parallel oracle (protocol exclusion facts);
+         consulted last in [may_parallel] *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -101,6 +104,52 @@ let solo t fid =
   match t.procs.(fid) with
   | [ c ] when (not c.cls_multi) && c.cls_invoc.(fid) = 1 -> Some c
   | _ -> None
+
+(* Close a chain set under transitive composition through intermediate
+   processes: the second chain's pre must be fully after the first
+   chain's post. *)
+let close_chains t base =
+  let seen = Hashtbl.create 16 in
+  let key c = (c.ch_pre_fid, c.ch_pre_node, c.ch_post_fid, c.ch_post_node) in
+  let all = ref [] in
+  List.iter
+    (fun c ->
+      if not (Hashtbl.mem seen (key c)) then begin
+        Hashtbl.add seen (key c) ();
+        all := c :: !all
+      end)
+    base;
+  let grew = ref true in
+  while !grew do
+    grew := false;
+    let cur = !all in
+    List.iter
+      (fun c1 ->
+        List.iter
+          (fun c2 ->
+            if
+              c1.ch_post_fid = c2.ch_pre_fid
+              && after_anchor t c1.ch_post_fid ~anchor:c1.ch_post_node
+                   c2.ch_pre_node
+            then begin
+              let c =
+                {
+                  ch_pre_fid = c1.ch_pre_fid;
+                  ch_pre_node = c1.ch_pre_node;
+                  ch_post_fid = c2.ch_post_fid;
+                  ch_post_node = c2.ch_post_node;
+                }
+              in
+              if not (Hashtbl.mem seen (key c)) then begin
+                Hashtbl.add seen (key c) ();
+                all := c :: !all;
+                grew := true
+              end
+            end)
+          cur)
+      cur
+  done;
+  !all
 
 (* ------------------------------------------------------------------ *)
 (* Construction.                                                        *)
@@ -330,6 +379,7 @@ let compute ?cfgs (p : P.t) =
       chains = [];
       shared_writes;
       reach_memo = Array.init nf (fun _ -> Hashtbl.create 8);
+      veto = None;
     }
   in
   (* base chains: channels with a unique send and recv site; semaphores
@@ -369,49 +419,7 @@ let compute ?cfgs (p : P.t) =
   for s = 0 to nsems - 1 do
     if p.sems.(s).P.sem_init = 0 then pair sem_v.(s) sem_p.(s)
   done;
-  (* transitive composition through intermediate processes: the second
-     chain's pre must be fully after the first chain's post *)
-  let seen = Hashtbl.create 16 in
-  let key c = (c.ch_pre_fid, c.ch_pre_node, c.ch_post_fid, c.ch_post_node) in
-  let all = ref [] in
-  List.iter
-    (fun c ->
-      if not (Hashtbl.mem seen (key c)) then begin
-        Hashtbl.add seen (key c) ();
-        all := c :: !all
-      end)
-    !base;
-  let grew = ref true in
-  while !grew do
-    grew := false;
-    let cur = !all in
-    List.iter
-      (fun c1 ->
-        List.iter
-          (fun c2 ->
-            if
-              c1.ch_post_fid = c2.ch_pre_fid
-              && after_anchor t0 c1.ch_post_fid ~anchor:c1.ch_post_node
-                   c2.ch_pre_node
-            then begin
-              let c =
-                {
-                  ch_pre_fid = c1.ch_pre_fid;
-                  ch_pre_node = c1.ch_pre_node;
-                  ch_post_fid = c2.ch_post_fid;
-                  ch_post_node = c2.ch_post_node;
-                }
-              in
-              if not (Hashtbl.mem seen (key c)) then begin
-                Hashtbl.add seen (key c) ();
-                all := c :: !all;
-                grew := true
-              end
-            end)
-          cur)
-      cur
-  done;
-  { t0 with chains = !all }
+  { t0 with chains = close_chains t0 !base }
 
 (* ------------------------------------------------------------------ *)
 (* Queries.                                                             *)
@@ -503,6 +511,7 @@ let may_parallel t sa sb =
                && not (class_shielded t sb c1))
            t.procs.(fb))
        t.procs.(fa)
+  && match t.veto with None -> true | Some f -> not (f sa sb)
 
 let same_sequential t sa sb =
   match
@@ -561,6 +570,82 @@ let prelog_required t ~read_sid ~vid =
          && (not (ordered_before t read_sid w))
          && not (all_spawned_after t ~stmt:w ~target_fid:fr))
        t.shared_writes.(vid)
+
+(* ------------------------------------------------------------------ *)
+(* Exposure for the protocol tier (Effects/Proto).                      *)
+(* ------------------------------------------------------------------ *)
+
+type class_view = {
+  cv_id : int;
+  cv_root_fid : int;
+  cv_spawn_sid : int option;  (* None for main *)
+  cv_multi : bool;
+}
+
+let live_classes t =
+  Array.to_list t.classes
+  |> List.filter (fun c -> c.cls_live)
+  |> List.map (fun c ->
+         {
+           cv_id = c.cls_id;
+           cv_root_fid =
+             (match c.cls_site with
+             | None -> t.prog.P.main_fid
+             | Some s -> s.site_callee);
+           cv_spawn_sid = Option.map (fun s -> s.site_sid) c.cls_site;
+           cv_multi = c.cls_multi;
+         })
+
+let class_of_spawn t sid =
+  Array.to_list t.classes
+  |> List.find_map (fun c ->
+         match c.cls_site with
+         | Some s when c.cls_live && s.site_sid = sid -> Some c.cls_id
+         | _ -> None)
+
+(* A join sid belongs to a class when its CFG node is one of the class
+   site's matched joins (site_joins are owner-CFG node ids). *)
+let class_of_join t sid =
+  let fid = t.prog.P.stmt_fid.(sid) in
+  let node = t.cfgs.(fid).Cfg.node_of_sid.(sid) in
+  Array.to_list t.classes
+  |> List.find_map (fun c ->
+         match c.cls_site with
+         | Some s
+           when c.cls_live && s.site_fid = fid && List.mem node s.site_joins ->
+           Some c.cls_id
+         | _ -> None)
+
+let solo_fid t fid = solo t fid <> None
+
+let cfgs t = t.cfgs
+
+let refine ?not_parallel ~chains t =
+  let extra =
+    List.filter_map
+      (fun (pre_sid, post_sid) ->
+        let pre_fid, pre_node = node_of t pre_sid
+        and post_fid, post_node = node_of t post_sid in
+        (* chain semantics only extend to whole-execution claims when
+           each side's function has a unique single-shot executor *)
+        if solo_fid t pre_fid && solo_fid t post_fid then
+          Some
+            {
+              ch_pre_fid = pre_fid;
+              ch_pre_node = pre_node;
+              ch_post_fid = post_fid;
+              ch_post_node = post_node;
+            }
+        else None)
+      chains
+  in
+  let veto =
+    match (not_parallel, t.veto) with
+    | None, v -> v
+    | Some f, None -> Some f
+    | Some f, Some g -> Some (fun a b -> f a b || g a b)
+  in
+  { t with chains = close_chains t (t.chains @ extra); veto }
 
 let pp ppf t =
   let p = t.prog in

@@ -73,6 +73,50 @@ val prelog_required : t -> read_sid:int -> vid:int -> bool
 val nclasses : t -> int
 (** Number of live thread classes, [main] included (for reporting). *)
 
+(** {2 Exposure for the communication-protocol tier}
+
+    {!Effects} builds one action automaton per live class and {!Proto}
+    explores their product; the facts it proves flow back in through
+    {!refine}. *)
+
+type class_view = {
+  cv_id : int;  (** stable class id; 0 is always [main] *)
+  cv_root_fid : int;  (** the function the class's process runs *)
+  cv_spawn_sid : int option;  (** creating spawn statement; [None] = main *)
+  cv_multi : bool;  (** may several instances be alive at once *)
+}
+
+val live_classes : t -> class_view list
+(** Every live thread class, in class-id order. *)
+
+val class_of_spawn : t -> int -> int option
+(** The live class created by the spawn statement [sid], if any. *)
+
+val class_of_join : t -> int -> int option
+(** The live class a [join] at [sid] is matched to (via the unique
+    reaching spawn of its handle), if any. *)
+
+val solo_fid : t -> int -> bool
+(** Is [fid] run by exactly one live class, at most one instance at a
+    time, at most once per instance? Single-invocation CFG reasoning
+    then extends to whole-execution claims. *)
+
+val cfgs : t -> Cfg.t array
+(** The per-fid CFGs the analysis was built over (shared, do not
+    mutate); lets the protocol tier avoid rebuilding them. *)
+
+val refine :
+  ?not_parallel:(int -> int -> bool) -> chains:(int * int) list -> t -> t
+(** [refine ?not_parallel ~chains t] folds protocol facts back in:
+    [chains] are must-ordered (pre_sid, post_sid) pairs — everything
+    before [pre_sid] happens-before everything after [post_sid] — added
+    to the chain set and re-closed under transitive composition (pairs
+    whose functions are not {!solo_fid} are dropped: the chain claim
+    would not extend to the whole execution); [not_parallel sa sb] is a
+    {e must}-exclusion oracle (e.g. product-level co-reachability)
+    consulted as a final veto in {!may_parallel}. Both must be sound
+    must-facts: the result stays an over-approximation. *)
+
 val pp : Format.formatter -> t -> unit
 (** Debug dump: classes with their roots, multiplicity and matched
     joins, plus the sync chains. *)

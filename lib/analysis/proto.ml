@@ -1,0 +1,673 @@
+module P = Lang.Prog
+module E = Effects
+
+type step_act = Act of E.action | Finish
+
+type step = { st_cls : int; st_sid : int; st_act : step_act }
+
+type blocked = { bk_cls : int; bk_sid : int; bk_what : string }
+
+type cert_kind = Cyclic_wait | Orphan_recv | Sem_starvation | Stuck
+
+type cert = {
+  cert_kind : cert_kind;
+  cert_steps : step list;
+  cert_blocked : blocked list;
+}
+
+type verdict =
+  | Deadlock_free
+  | Deadlock_free_bounded
+  | Deadlocks of cert list
+  | Unsupported of string
+
+type fact = {
+  fa_pre_sid : int;
+  fa_post_sid : int;
+  fa_kind : [ `Chan of int | `Sem of int ];
+}
+
+type stats = { states_full : int; states_reduced : int; truncated : bool }
+
+type t = {
+  prog : P.t;
+  mhp : Mhp.t;
+  effects : E.t;
+  verdict : verdict;
+  facts : fact list;
+  orphan_sends : (int * int) list;  (* chan id, buffered send sid *)
+  dead_recvs : int list;  (* recv sids that can never fire *)
+  sem_leaks : (int * int) list;  (* sem id, max token deficit at exit *)
+  stats : stats;
+  refined : Mhp.t option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Product state.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type cstate = Unspawned | At of int | Done
+
+type pstate = {
+  ps_cls : cstate array;  (* indexed by automaton index *)
+  ps_bufs : int list array;  (* chan -> buffered sender sids, oldest first *)
+  ps_sems : int list array;  (* sem -> token providers (-1 = initial credit) *)
+}
+
+type move =
+  | M_act of int * E.trans
+  | M_rendezvous of int * E.trans * int * E.trans  (* sender, recver *)
+  | M_finish of int
+
+let key st = Marshal.to_string st [] [@@inline]
+
+let initial (eff : E.t) (p : P.t) main_idx =
+  {
+    ps_cls =
+      Array.init (Array.length eff.E.auts) (fun i ->
+          if i = main_idx then At eff.E.auts.(i).E.au_init else Unspawned);
+    ps_bufs = Array.make (Array.length p.chans) [];
+    ps_sems =
+      Array.map (fun (s : P.sem) -> List.init s.sem_init (fun _ -> -1)) p.sems;
+  }
+
+(* Enabled moves at [st], in a deterministic order. [bound] caps
+   unbounded channel buffers and semaphore token counts; a move
+   suppressed by the bound sets [truncated] instead of silently
+   vanishing, so completeness claims stay honest. *)
+let enabled_moves (p : P.t) (eff : E.t) ~bound ~idx_of_class st =
+  let moves = ref [] and suppressed = ref false in
+  let add m = moves := m :: !moves in
+  Array.iteri
+    (fun i (a : E.aut) ->
+      match st.ps_cls.(i) with
+      | Unspawned | Done -> ()
+      | At q ->
+        if a.E.au_final.(q) then add (M_finish i);
+        List.iter
+          (fun (tr : E.trans) ->
+            match tr.E.tr_act with
+            | E.Send c -> (
+              match p.chans.(c).P.ch_cap with
+              | Some 0 ->
+                Array.iteri
+                  (fun j (b : E.aut) ->
+                    if j <> i then
+                      match st.ps_cls.(j) with
+                      | At r ->
+                        List.iter
+                          (fun (rtr : E.trans) ->
+                            if rtr.E.tr_act = E.Recv c then
+                              add (M_rendezvous (i, tr, j, rtr)))
+                          b.E.au_out.(r)
+                      | _ -> ())
+                  eff.E.auts
+              | Some k ->
+                if List.length st.ps_bufs.(c) < k then add (M_act (i, tr))
+              | None ->
+                if List.length st.ps_bufs.(c) < bound then add (M_act (i, tr))
+                else suppressed := true)
+            | E.Recv c -> (
+              match p.chans.(c).P.ch_cap with
+              | Some 0 -> ()  (* only as the passive half of a rendezvous *)
+              | _ -> if st.ps_bufs.(c) <> [] then add (M_act (i, tr)))
+            | E.SemP s -> if st.ps_sems.(s) <> [] then add (M_act (i, tr))
+            | E.SemV s ->
+              if List.length st.ps_sems.(s) < p.sems.(s).P.sem_init + bound
+              then add (M_act (i, tr))
+              else suppressed := true
+            | E.Spawn c2 -> (
+              match idx_of_class c2 with
+              | Some j when st.ps_cls.(j) = Unspawned -> add (M_act (i, tr))
+              | Some _ -> suppressed := true  (* re-spawn: multi, unsupported *)
+              | None -> suppressed := true)
+            | E.Join c2 -> (
+              match idx_of_class c2 with
+              | Some j when st.ps_cls.(j) = Done -> add (M_act (i, tr))
+              | _ -> ()))
+          a.E.au_out.(q))
+    eff.E.auts;
+  (List.rev !moves, !suppressed)
+
+(* Apply [move], producing the successor state and its trace step(s).
+   [on_pair] observes recv/P pairings (consumed provider sid, -1 for an
+   initial semaphore credit). *)
+let apply (eff : E.t) ~idx_of_class ~on_pair st move =
+  let cls = Array.copy st.ps_cls in
+  let bufs = Array.copy st.ps_bufs in
+  let sems = Array.copy st.ps_sems in
+  let cid i = eff.E.auts.(i).E.au_cls in
+  let steps =
+    match move with
+    | M_finish i ->
+      cls.(i) <- Done;
+      [ { st_cls = cid i; st_sid = -1; st_act = Finish } ]
+    | M_rendezvous (i, str, j, rtr) ->
+      cls.(i) <- At str.E.tr_dst;
+      cls.(j) <- At rtr.E.tr_dst;
+      on_pair rtr.E.tr_sid str.E.tr_sid;
+      [
+        { st_cls = cid i; st_sid = str.E.tr_sid; st_act = Act str.E.tr_act };
+        { st_cls = cid j; st_sid = rtr.E.tr_sid; st_act = Act rtr.E.tr_act };
+      ]
+    | M_act (i, tr) ->
+      cls.(i) <- At tr.E.tr_dst;
+      (match tr.E.tr_act with
+      | E.Send c -> bufs.(c) <- bufs.(c) @ [ tr.E.tr_sid ]
+      | E.Recv c -> (
+        match bufs.(c) with
+        | src :: rest ->
+          bufs.(c) <- rest;
+          on_pair tr.E.tr_sid src
+        | [] -> assert false)
+      | E.SemP s -> (
+        match sems.(s) with
+        | src :: rest ->
+          sems.(s) <- rest;
+          on_pair tr.E.tr_sid src
+        | [] -> assert false)
+      | E.SemV s -> sems.(s) <- sems.(s) @ [ tr.E.tr_sid ]
+      | E.Spawn c2 -> (
+        match idx_of_class c2 with
+        | Some j -> cls.(j) <- At eff.E.auts.(j).E.au_init
+        | None -> ())
+      | E.Join _ -> ());
+      [ { st_cls = cid i; st_sid = tr.E.tr_sid; st_act = Act tr.E.tr_act } ]
+  in
+  ({ ps_cls = cls; ps_bufs = bufs; ps_sems = sems }, steps)
+
+(* ------------------------------------------------------------------ *)
+(* Exploration.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type explored = {
+  ex_nstates : int;
+  ex_truncated : bool;
+  ex_deadlocks : (pstate * step list) list;  (* state, path from init *)
+  ex_terminals : pstate list;
+  ex_coreach : (int * int * int * int, unit) Hashtbl.t;
+      (* (aut i, state, aut j, state), i < j, simultaneously reachable *)
+  ex_at : (int * int, unit) Hashtbl.t;  (* (aut, state) ever occupied *)
+  ex_fired : (int, unit) Hashtbl.t;  (* transition sids that ever fired *)
+  ex_pairs : (int, int list) Hashtbl.t;  (* recv/P sid -> provider sids *)
+}
+
+(* The one sound reduction we apply in reduced mode: a class sitting in
+   a final state with no outgoing actions can only finish, and nothing
+   any other class can do before that Finish depends on it (Join of the
+   class is disabled until it fires; with non-multiple classes its
+   spawn cannot recur), so exploring the Finish alone is an ample set.
+   Finish is off every cycle, so the cycle proviso holds too. *)
+let ample_finish (eff : E.t) st moves =
+  let rec find = function
+    | M_finish i :: _
+      when (match st.ps_cls.(i) with
+           | At q -> eff.E.auts.(i).E.au_out.(q) = []
+           | _ -> false) ->
+      Some (M_finish i)
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find moves
+
+let explore ?(reduce = false) (p : P.t) (eff : E.t) ~bound ~budget
+    ~idx_of_class ~main_idx =
+  let coreach = Hashtbl.create 256 in
+  let at = Hashtbl.create 64 in
+  let fired = Hashtbl.create 64 in
+  let pairs = Hashtbl.create 64 in
+  let on_pair sid src =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt pairs sid) in
+    if not (List.mem src cur) then Hashtbl.replace pairs sid (src :: cur)
+  in
+  let visited = Hashtbl.create 1024 in
+  let q = Queue.create () in
+  let truncated = ref false in
+  let deadlocks = ref [] in
+  let terminals = ref [] in
+  let init = initial eff p main_idx in
+  Hashtbl.replace visited (key init) ();
+  Queue.add (init, []) q;
+  let n = ref 1 in
+  while not (Queue.is_empty q) do
+    let st, rpath = Queue.pop q in
+    (* occupancy and co-reachability facts *)
+    Array.iteri
+      (fun i ci ->
+        match ci with
+        | At qi ->
+          Hashtbl.replace at (i, qi) ();
+          for j = i + 1 to Array.length st.ps_cls - 1 do
+            match st.ps_cls.(j) with
+            | At qj -> Hashtbl.replace coreach (i, qi, j, qj) ()
+            | _ -> ()
+          done
+        | _ -> ())
+      st.ps_cls;
+    let moves, suppressed = enabled_moves p eff ~bound ~idx_of_class st in
+    if suppressed then truncated := true;
+    let moves =
+      if reduce then
+        match ample_finish eff st moves with
+        | Some m -> [ m ]
+        | None -> moves
+      else moves
+    in
+    if moves = [] then begin
+      let any_at = Array.exists (function At _ -> true | _ -> false) st.ps_cls
+      in
+      if any_at && not suppressed then deadlocks := (st, List.rev rpath) :: !deadlocks
+      else if not any_at then terminals := st :: !terminals
+    end
+    else
+      List.iter
+        (fun m ->
+          let st', steps = apply eff ~idx_of_class ~on_pair st m in
+          List.iter
+            (fun (s : step) ->
+              if s.st_sid >= 0 then Hashtbl.replace fired s.st_sid ())
+            steps;
+          let k = key st' in
+          if not (Hashtbl.mem visited k) then begin
+            if !n >= budget then truncated := true
+            else begin
+              Hashtbl.replace visited k ();
+              incr n;
+              Queue.add (st', List.rev_append steps rpath) q
+            end
+          end)
+        moves
+  done;
+  {
+    ex_nstates = !n;
+    ex_truncated = !truncated;
+    ex_deadlocks = List.rev !deadlocks;
+    ex_terminals = List.rev !terminals;
+    ex_coreach = coreach;
+    ex_at = at;
+    ex_fired = fired;
+    ex_pairs = pairs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock classification.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let describe_act p = function
+  | Act a -> Format.asprintf "%a" (E.pp_action p) a
+  | Finish -> "finish"
+
+(* [ever_does] pred over a class's whole automaton: can it ever perform
+   an action satisfying [pred]? Used for wait-for edges. *)
+let ever_does (a : E.aut) pred =
+  Array.exists (List.exists (fun (tr : E.trans) -> pred tr.E.tr_act)) a.E.au_out
+
+let classify_deadlock (p : P.t) (eff : E.t) st =
+  (* the blocked classes and what they wait on *)
+  let blocked = ref [] in
+  Array.iteri
+    (fun i (a : E.aut) ->
+      match st.ps_cls.(i) with
+      | At q when a.E.au_out.(q) <> [] ->
+        let tr = List.hd a.E.au_out.(q) in
+        blocked :=
+          (i, tr)
+          :: !blocked
+      | _ -> ())
+    eff.E.auts;
+  let blocked = List.rev !blocked in
+  (* wait-for edges: i -> j when j could in principle unblock i *)
+  let helps i (tr : E.trans) j =
+    i <> j
+    &&
+    match st.ps_cls.(j) with
+    | At _ -> (
+      let b = eff.E.auts.(j) in
+      match tr.E.tr_act with
+      | E.Recv c | E.Send c ->
+        ever_does b (function
+          | E.Send c' | E.Recv c' -> c' = c
+          | _ -> false)
+      | E.SemP s -> ever_does b (function E.SemV s' -> s' = s | _ -> false)
+      | E.Join c2 -> eff.E.auts.(j).E.au_cls = c2
+      | _ -> false)
+    | _ -> false
+  in
+  let idxs = List.map fst blocked in
+  let edges =
+    List.concat_map
+      (fun (i, tr) -> List.filter_map (fun j -> if helps i tr j then Some (i, j) else None) idxs)
+      blocked
+  in
+  (* is there a cycle among blocked classes? *)
+  let rec reach seen src dst =
+    List.exists
+      (fun (a, b) ->
+        a = src
+        && (b = dst || ((not (List.mem b seen)) && reach (b :: seen) b dst)))
+      edges
+  in
+  let cyclic = List.exists (fun i -> reach [ i ] i i) idxs in
+  let helpless (i, tr) = not (List.exists (fun j -> helps i tr j) idxs) in
+  let kind =
+    if cyclic then Cyclic_wait
+    else
+      match List.find_opt helpless blocked with
+      | Some (_, tr) -> (
+        match tr.E.tr_act with
+        | E.Recv _ -> Orphan_recv
+        | E.SemP _ -> Sem_starvation
+        | E.Send _ -> Orphan_recv  (* a send nobody will ever take *)
+        | _ -> Stuck)
+      | None -> Stuck
+  in
+  let descr =
+    List.map
+      (fun (i, (tr : E.trans)) ->
+        let a = eff.E.auts.(i) in
+        {
+          bk_cls = a.E.au_cls;
+          bk_sid = tr.E.tr_sid;
+          bk_what =
+            Format.asprintf "%s blocked at %a (s%d)"
+              p.P.funcs.(a.E.au_root_fid).P.fname (E.pp_action p) tr.E.tr_act
+              tr.E.tr_sid;
+        })
+      blocked
+  in
+  (kind, descr)
+
+(* ------------------------------------------------------------------ *)
+(* Top-level analysis.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let default_budget = 200_000
+
+let default_bound = 8
+
+let analyze ?(budget = default_budget) ?(bound = default_bound) ?mhp
+    ?max_aut_states (p : P.t) =
+  let mhp = match mhp with Some m -> m | None -> Mhp.compute p in
+  let eff = E.compute ?max_states:max_aut_states mhp p in
+  let classes = Mhp.live_classes mhp in
+  let multi =
+    List.filter_map
+      (fun (cv : Mhp.class_view) -> if cv.Mhp.cv_multi then Some cv else None)
+      classes
+  in
+  let base sv =
+    {
+      prog = p;
+      mhp;
+      effects = eff;
+      verdict = sv;
+      facts = [];
+      orphan_sends = [];
+      dead_recvs = [];
+      sem_leaks = [];
+      stats = { states_full = 0; states_reduced = 0; truncated = false };
+      refined = None;
+    }
+  in
+  if multi <> [] then
+    base
+      (Unsupported
+         (Printf.sprintf
+            "class #%d (%s) may have several simultaneous instances"
+            (List.hd multi).Mhp.cv_id
+            p.P.funcs.((List.hd multi).Mhp.cv_root_fid).P.fname))
+  else if not eff.E.complete then
+    base
+      (Unsupported
+         ("effect automata incomplete: "
+         ^ String.concat "; " eff.E.notes))
+  else begin
+    let idx_of_class c = Hashtbl.find_opt eff.E.by_class c in
+    let main_idx =
+      match idx_of_class 0 with Some i -> i | None -> 0
+    in
+    let full =
+      explore p eff ~bound ~budget ~idx_of_class ~main_idx
+    in
+    let reduced =
+      explore ~reduce:true p eff ~bound ~budget ~idx_of_class ~main_idx
+    in
+    let truncated = full.ex_truncated || reduced.ex_truncated in
+    let stats =
+      {
+        states_full = full.ex_nstates;
+        states_reduced = reduced.ex_nstates;
+        truncated;
+      }
+    in
+    (* certificates: prefer the full run's, deduplicated by blocked
+       signature; fall back to the reduced run's if the full run was
+       truncated out of finding any *)
+    let raw_deadlocks =
+      if full.ex_deadlocks <> [] then full.ex_deadlocks
+      else reduced.ex_deadlocks
+    in
+    let seen_sig = Hashtbl.create 8 in
+    let certs =
+      List.filter_map
+        (fun (st, path) ->
+          let kind, blk = classify_deadlock p eff st in
+          let sg = (kind, List.map (fun b -> (b.bk_cls, b.bk_sid)) blk) in
+          if Hashtbl.mem seen_sig sg || Hashtbl.length seen_sig >= 4 then None
+          else begin
+            Hashtbl.replace seen_sig sg ();
+            Some { cert_kind = kind; cert_steps = path; cert_blocked = blk }
+          end)
+        raw_deadlocks
+    in
+    let sound_facts = (not truncated) && eff.E.complete in
+    (* orphan sends: a message still buffered when every process is done *)
+    let orphan_sends =
+      if not sound_facts then []
+      else
+        List.concat_map
+          (fun st ->
+            Array.to_list st.ps_bufs
+            |> List.concat_map (fun l -> l)
+            |> List.map (fun sid ->
+                   match p.stmts.(sid).P.desc with
+                   | P.Ssend (c, _) -> (c.P.ch_id, sid)
+                   | _ -> (-1, sid)))
+          full.ex_terminals
+        |> List.sort_uniq compare
+    in
+    (* dead recvs: the source state is occupied in some reachable
+       configuration, but the receive can never fire *)
+    let dead_recvs =
+      if not sound_facts then []
+      else begin
+        let out = ref [] in
+        Array.iteri
+          (fun ai (a : E.aut) ->
+            Array.iteri
+              (fun qi trs ->
+                List.iter
+                  (fun (tr : E.trans) ->
+                    match tr.E.tr_act with
+                    | E.Recv _
+                      when Hashtbl.mem full.ex_at (ai, qi)
+                           && not (Hashtbl.mem full.ex_fired tr.E.tr_sid) ->
+                      out := tr.E.tr_sid :: !out
+                    | _ -> ())
+                  trs)
+              a.E.au_out)
+          eff.E.auts;
+        List.sort_uniq compare !out
+      end
+    in
+    (* semaphore leaks: tokens missing at a terminal state *)
+    let sem_leaks =
+      if not sound_facts then []
+      else begin
+        let deficit = Array.make (Array.length p.sems) 0 in
+        List.iter
+          (fun st ->
+            Array.iteri
+              (fun s toks ->
+                let d = p.sems.(s).P.sem_init - List.length toks in
+                if d > deficit.(s) then deficit.(s) <- d)
+              st.ps_sems)
+          full.ex_terminals;
+        Array.to_list (Array.mapi (fun s d -> (s, d)) deficit)
+        |> List.filter (fun (_, d) -> d > 0)
+      end
+    in
+    (* must-ordering facts: a recv (or P) whose messages (tokens) can
+       only ever come from one send (V) site *)
+    let facts =
+      if not sound_facts then []
+      else begin
+        let keys =
+          Hashtbl.fold (fun k _ acc -> k :: acc) full.ex_pairs []
+          |> List.sort Int.compare
+        in
+        List.filter_map
+          (fun sid ->
+            match Hashtbl.find_opt full.ex_pairs sid with
+            | Some [ src ] when src >= 0 ->
+              let kind =
+                match p.stmts.(sid).P.desc with
+                | P.Srecv (c, _) -> Some (`Chan c.P.ch_id)
+                | P.Sp s -> Some (`Sem s.P.sem_id)
+                | _ -> None
+              in
+              Option.map
+                (fun k -> { fa_pre_sid = src; fa_post_sid = sid; fa_kind = k })
+                kind
+            | _ -> None)
+          keys
+      end
+    in
+    let refined =
+      if not sound_facts then None
+      else begin
+        let chains = List.map (fun f -> (f.fa_pre_sid, f.fa_post_sid)) facts in
+        let veto sa sb =
+          let la = E.states_of eff sa and lb = E.states_of eff sb in
+          la <> [] && lb <> []
+          && List.for_all
+               (fun (ai, qa) ->
+                 List.for_all
+                   (fun (bi, qb) ->
+                     if ai = bi then true  (* single-instance classes *)
+                     else
+                       let i, qi, j, qj =
+                         if ai < bi then (ai, qa, bi, qb) else (bi, qb, ai, qa)
+                       in
+                       not (Hashtbl.mem full.ex_coreach (i, qi, j, qj)))
+                   lb)
+               la
+        in
+        Some (Mhp.refine ~not_parallel:veto ~chains mhp)
+      end
+    in
+    let verdict =
+      if certs <> [] then Deadlocks certs
+      else if truncated then Deadlock_free_bounded
+      else Deadlock_free
+    in
+    { (base verdict) with facts; orphan_sends; dead_recvs; sem_leaks; stats;
+      refined }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Race-pair discharge metric.                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Conflicting shared-access pairs (>= 1 write, both in live code), and
+   how many of them the given MHP relation proves non-parallel. *)
+let discharged_pairs (p : P.t) (mhp : Mhp.t) =
+  let accs =
+    List.filter
+      (fun (a : Static_race.access) -> Mhp.function_live mhp a.acc_fid)
+      (Static_race.shared_accesses p)
+  in
+  let conflicting = ref 0 and discharged = ref 0 in
+  let consider (a : Static_race.access) (b : Static_race.access) =
+    if a.acc_var.P.vid = b.acc_var.P.vid && (a.acc_write || b.acc_write) then begin
+      incr conflicting;
+      if not (Mhp.may_parallel mhp a.acc_sid b.acc_sid) then incr discharged
+    end
+  in
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+      consider a a;
+      List.iter (consider a) rest;
+      pairs rest
+  in
+  pairs accs;
+  (!conflicting, !discharged)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let kind_name = function
+  | Cyclic_wait -> "cyclic wait"
+  | Orphan_recv -> "orphan receive"
+  | Sem_starvation -> "semaphore starvation"
+  | Stuck -> "stuck"
+
+let verdict_name = function
+  | Deadlock_free -> "deadlock-free"
+  | Deadlock_free_bounded -> "deadlock-free within budget"
+  | Deadlocks _ -> "deadlock"
+  | Unsupported _ -> "unsupported"
+
+let pp_step p ppf (s : step) =
+  Format.fprintf ppf "#%d %s" s.st_cls (describe_act p s.st_act);
+  if s.st_sid >= 0 then Format.fprintf ppf " (s%d)" s.st_sid
+
+let pp ppf t =
+  let p = t.prog in
+  Format.fprintf ppf "@[<v>proto: %s" (verdict_name t.verdict);
+  (match t.verdict with
+  | Unsupported why -> Format.fprintf ppf "@,  %s" why
+  | Deadlocks certs ->
+    List.iter
+      (fun c ->
+        Format.fprintf ppf "@,  certificate (%s), %d step(s):"
+          (kind_name c.cert_kind)
+          (List.length c.cert_steps);
+        List.iter
+          (fun s -> Format.fprintf ppf "@,    %a" (pp_step p) s)
+          c.cert_steps;
+        List.iter
+          (fun b -> Format.fprintf ppf "@,    -> %s" b.bk_what)
+          c.cert_blocked)
+      certs
+  | Deadlock_free | Deadlock_free_bounded -> ());
+  if t.facts <> [] then begin
+    Format.fprintf ppf "@,  %d must-ordering fact(s):" (List.length t.facts);
+    List.iter
+      (fun f ->
+        Format.fprintf ppf "@,    s%d -> s%d (%s)" f.fa_pre_sid f.fa_post_sid
+          (match f.fa_kind with
+          | `Chan c -> "chan " ^ p.P.chans.(c).P.ch_name
+          | `Sem s -> "sem " ^ p.P.sems.(s).P.sem_name))
+      t.facts
+  end;
+  List.iter
+    (fun (c, sid) ->
+      Format.fprintf ppf "@,  orphan send: s%d on '%s' may never be received"
+        sid
+        (if c >= 0 then p.P.chans.(c).P.ch_name else "?"))
+    t.orphan_sends;
+  List.iter
+    (fun sid -> Format.fprintf ppf "@,  dead recv: s%d can never fire" sid)
+    t.dead_recvs;
+  List.iter
+    (fun (s, d) ->
+      Format.fprintf ppf "@,  sem leak: '%s' may end %d token(s) short"
+        p.P.sems.(s).P.sem_name d)
+    t.sem_leaks;
+  Format.fprintf ppf "@,  states: %d full, %d reduced%s" t.stats.states_full
+    t.stats.states_reduced
+    (if t.stats.truncated then " [truncated]" else "");
+  Format.fprintf ppf "@]"

@@ -1,0 +1,106 @@
+(** Synchronous-product exploration of the per-process communication
+    automata ({!Effects}): static deadlock certificates, orphan
+    communication, semaphore leaks, and must-ordering facts that refine
+    {!Mhp}.
+
+    The product state is each live class's automaton state (or
+    unspawned/done), the buffered contents of every channel (sender
+    sids, FIFO) and every semaphore's token queue with provenance.
+    Exploration is exhaustive breadth-first under a state [budget];
+    unbounded channels and semaphore counts are cut at [bound], and any
+    cut (or budget exhaustion) demotes every universal claim to
+    "within budget". A second, reduced exploration applies a
+    {e Finish-priority ample set} — a class whose only possible move is
+    terminating is explored alone, which is sound for deadlock
+    reachability because nothing else depends on the Finish until it
+    fires — and its state count is reported alongside the full one.
+
+    Soundness direction of each result:
+    - a {e deadlock certificate} is a witness trace of the {e abstract}
+      model (data-insensitive: both branch arms, loops as cycles); it
+      must be confirmed by guided replay (see [Runtime.Cert_replay])
+      before being treated as a concrete schedule;
+    - {e deadlock-free} with [truncated = false] is a proof over every
+      interleaving of the abstract model, which over-approximates the
+      machine: no concrete execution deadlocks;
+    - {e must-ordering facts}, {e orphan}/{e leak} reports and the
+      {!Mhp} refinement are derived only from the complete unreduced
+      exploration (a reduced one skips states and could claim exclusion
+      it never checked), and only when every live class is
+      single-instance and the automata are complete. *)
+
+type step_act = Act of Effects.action | Finish
+
+type step = { st_cls : int; st_sid : int; st_act : step_act }
+(** One certificate step: class [st_cls] performs [st_act] at statement
+    [st_sid] ([-1] for [Finish]). *)
+
+type blocked = { bk_cls : int; bk_sid : int; bk_what : string }
+
+type cert_kind = Cyclic_wait | Orphan_recv | Sem_starvation | Stuck
+
+type cert = {
+  cert_kind : cert_kind;
+  cert_steps : step list;  (** interleaving prefix from program start *)
+  cert_blocked : blocked list;  (** who is stuck, and on what *)
+}
+
+type verdict =
+  | Deadlock_free  (** complete: no interleaving of the model deadlocks *)
+  | Deadlock_free_bounded  (** no deadlock within the explored budget *)
+  | Deadlocks of cert list  (** up to 4, deduplicated by blocked set *)
+  | Unsupported of string
+      (** multi-instance class, recursion through communication, or an
+          unmatched join: the model cannot represent the program *)
+
+type fact = {
+  fa_pre_sid : int;
+  fa_post_sid : int;
+  fa_kind : [ `Chan of int | `Sem of int ];
+}
+(** Every message (token) consumed at [fa_post_sid] was produced at
+    [fa_pre_sid]: everything before the producer happens-before
+    everything after the consumer. *)
+
+type stats = { states_full : int; states_reduced : int; truncated : bool }
+
+type t = {
+  prog : Lang.Prog.t;
+  mhp : Mhp.t;  (** the base relation the analysis started from *)
+  effects : Effects.t;
+  verdict : verdict;
+  facts : fact list;
+  orphan_sends : (int * int) list;
+      (** (chan id, send sid): buffered but unreceived at some clean
+          termination *)
+  dead_recvs : int list;  (** recv sids that can never fire *)
+  sem_leaks : (int * int) list;
+      (** (sem id, deficit): tokens still held at some termination *)
+  stats : stats;
+  refined : Mhp.t option;
+      (** [mhp] with chains and exclusion folded in; [None] when the
+          exploration was not complete enough to trust *)
+}
+
+val analyze :
+  ?budget:int ->
+  ?bound:int ->
+  ?mhp:Mhp.t ->
+  ?max_aut_states:int ->
+  Lang.Prog.t ->
+  t
+(** Defaults: [budget] 200000 product states, [bound] 8 buffered
+    messages / extra tokens, automaton size per {!Effects.compute}. *)
+
+val discharged_pairs : Lang.Prog.t -> Mhp.t -> int * int
+(** [(conflicting, discharged)]: shared-access pairs with at least one
+    write in live code, and how many of them the given relation proves
+    can never run in parallel — the benchmark's precision metric. *)
+
+val kind_name : cert_kind -> string
+
+val verdict_name : verdict -> string
+
+val pp_step : Lang.Prog.t -> Format.formatter -> step -> unit
+
+val pp : Format.formatter -> t -> unit

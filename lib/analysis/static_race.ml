@@ -15,10 +15,18 @@ type report = {
   pr_write_write : bool;
 }
 
+type summaries = {
+  sum_may_release : Bitset.t array;  (* fid -> sems a call may release *)
+  sum_must_acquire : Bitset.t array;  (* fid -> sems held on every return *)
+}
+
 (* Must-held locks via the complement trick: compute the MAY-NOT-HELD
    set with the union-join framework (entry seeded with every
-   semaphore, [V] generates, [P] kills); held = complement. *)
-let may_not_held (p : P.t) (cfg : Cfg.t) =
+   semaphore, [V] generates, [P] kills); held = complement. With
+   [summaries], a call site generates only what the callee may
+   transitively release and kills what it must acquire, instead of
+   clobbering every lock. *)
+let may_not_held ?summaries (p : P.t) (cfg : Cfg.t) =
   let nsems = Array.length p.sems in
   let nnodes = Cfg.nnodes cfg in
   let empty = Bitset.create nsems in
@@ -34,14 +42,19 @@ let may_not_held (p : P.t) (cfg : Cfg.t) =
       let k = Bitset.create nsems in
       Bitset.add k sem.sem_id;
       kill.(node) <- k
-    | Cfg.Stmt { desc = P.Scall _; _ } ->
-      (* a callee might release anything: assume all released after a
-         call (conservative for must-held) *)
-      let g = Bitset.create nsems in
-      for s = 0 to nsems - 1 do
-        Bitset.add g s
-      done;
-      gen.(node) <- g
+    | Cfg.Stmt { desc = P.Scall (_, { callee; _ }); _ } -> (
+      match summaries with
+      | Some sm ->
+        gen.(node) <- sm.sum_may_release.(callee);
+        kill.(node) <- sm.sum_must_acquire.(callee)
+      | None ->
+        (* a callee might release anything: assume all released after a
+           call (conservative for must-held) *)
+        let g = Bitset.create nsems in
+        for s = 0 to nsems - 1 do
+          Bitset.add g s
+        done;
+        gen.(node) <- g)
     | _ -> ()
   done;
   let universe_set = Bitset.create nsems in
@@ -58,17 +71,70 @@ let may_not_held (p : P.t) (cfg : Cfg.t) =
   in
   result.Dataflow.live_in
 
-let held_at (p : P.t) (cfg : Cfg.t) node =
+(* Per-function semaphore summaries via the callgraph, callees before
+   callers (Tarjan SCC order). [sum_may_release] is a syntactic may
+   fixpoint — any [V] in the function or a transitive callee — so it is
+   sound for recursion too. [sum_must_acquire] re-runs the lockset
+   dataflow per function with the callees' (already final) summaries at
+   call sites and takes the complement at EXIT; members of a recursive
+   SCC conservatively promise nothing. *)
+let compute_summaries (p : P.t) =
+  let nf = Array.length p.funcs in
   let nsems = Array.length p.sems in
-  let mnh = (may_not_held p cfg).(node) in
+  let cg = Callgraph.compute p in
+  let mr = Array.init nf (fun _ -> Bitset.create nsems) in
+  Array.iter
+    (fun (f : P.func) ->
+      P.iter_stmts
+        (fun s ->
+          match s.desc with
+          | P.Sv sem -> Bitset.add mr.(f.fid) sem.sem_id
+          | _ -> ())
+        f.body)
+    p.funcs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (f : P.func) ->
+        List.iter
+          (fun g ->
+            if Bitset.union_into ~dst:mr.(f.fid) mr.(g) then changed := true)
+          cg.Callgraph.calls.(f.fid))
+      p.funcs
+  done;
+  let ma = Array.init nf (fun _ -> Bitset.create nsems) in
+  let sm = { sum_may_release = mr; sum_must_acquire = ma } in
+  if nsems > 0 then begin
+    let _, comps = Callgraph.sccs cg in
+    List.iter
+      (fun members ->
+        match members with
+        | [ f ] when not (Callgraph.is_recursive cg f) ->
+          let cfg = Cfg.build p p.funcs.(f) in
+          let mnh = may_not_held ~summaries:sm p cfg in
+          let held = Bitset.create nsems in
+          for s = 0 to nsems - 1 do
+            if not (Bitset.mem mnh.(cfg.Cfg.exit) s) then Bitset.add held s
+          done;
+          ma.(f) <- held
+        | _ -> ())
+      comps
+  end;
+  sm
+
+let held_at ?summaries (p : P.t) (cfg : Cfg.t) node =
+  let nsems = Array.length p.sems in
+  let mnh = (may_not_held ?summaries p cfg).(node) in
   List.filter (fun s -> not (Bitset.mem mnh s)) (List.init nsems Fun.id)
 
 let shared_accesses (p : P.t) =
   let out = ref [] in
+  let summaries = compute_summaries p in
   Array.iter
     (fun (f : P.func) ->
       let cfg = Cfg.build p f in
-      let mnh = may_not_held p cfg in
+      let mnh = may_not_held ~summaries p cfg in
       let nsems = Array.length p.sems in
       let locks_at node =
         List.filter

@@ -38,11 +38,23 @@ type report = {
 }
 
 val shared_accesses : Lang.Prog.t -> access list
-(** Every shared-variable access in the program with its lockset. *)
+(** Every shared-variable access in the program with its lockset,
+    computed with interprocedural summaries ({!compute_summaries}):
+    acquiring a lock inside a helper protects the caller's accesses. *)
 
-val held_at : Lang.Prog.t -> Cfg.t -> int -> int list
+type summaries
+(** Per-function semaphore effect summaries: which semaphores a call
+    may transitively release, and which it must hold on every return.
+    Built over {!Callgraph.sccs} callees-first; recursive functions
+    promise nothing (must-acquire empty) but still report their may
+    releases, so the lockset stays a sound must-analysis. *)
+
+val compute_summaries : Lang.Prog.t -> summaries
+
+val held_at : ?summaries:summaries -> Lang.Prog.t -> Cfg.t -> int -> int list
 (** Semaphores must-held at the entry of a CFG node (exposed for
-    tests). *)
+    tests). Without [summaries], any call conservatively clobbers every
+    lock. *)
 
 val concurrent_functions : Lang.Prog.t -> (int -> int -> bool)
 (** Legacy function-granular view: may functions [f] and [g] (by fid)

@@ -27,6 +27,8 @@ let help_text =
       "  log [<pid>]            dump log entries";
       "  races [static]         race detection report (dynamic or static)";
       "  lint [<pass> ...]      static diagnostics (races, deadlocks, ...)";
+      "  proto                  communication-protocol analysis (deadlock";
+      "                         certificates, must-orderings, orphan comm)";
       "  deadlock               wait-for analysis";
       "  restore <step>         shared store at a machine step";
       "  whatif [p<pid>#<iv>] x=1 ...   what-if replay with overrides";
@@ -231,6 +233,9 @@ let eval t line =
     | "races" :: _ ->
       let pd = Session.pardyn t.session in
       fmt "%a" (Race.pp_report pd) (Session.races t.session)
+    | "proto" :: _ ->
+      let p = Session.prog t.session in
+      fmt "%a" Analysis.Proto.pp (Analysis.Proto.analyze p)
     | "deadlock" :: _ ->
       fmt "%a" (Deadlock.pp (Session.prog t.session)) (Session.deadlock t.session)
     | "restore" :: rest -> (

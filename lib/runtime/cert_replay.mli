@@ -1,0 +1,31 @@
+(** Guided replay of {!Analysis.Proto} deadlock certificates.
+
+    A certificate is a witness of the {e abstract} protocol model
+    (data-insensitive: both branch arms, loops as cycles), so it may
+    describe an interleaving no concrete execution follows. [validate]
+    drives the real {!Machine} with a {!Sched.Guided} policy that
+    schedules, at each decision, the process whose class owns the next
+    certificate step, and watches the event stream: the step is consumed
+    when that process performs the matching communication event (same
+    statement, same channel/semaphore/child), intermediate
+    non-communication events pass freely, and any mismatching
+    synchronization — or the target process being blocked or already
+    finished — is a divergence.
+
+    A [Confirmed] result carries the concrete pid [schedule] actually
+    taken; feeding it back through {!Sched.Scripted}
+    ([confirm_scripted]) reproduces the deadlock with the seeded
+    scheduler, which is how tests pin certificates as replayable. *)
+
+type result =
+  | Confirmed of { schedule : int list; blocked : (int * string) list }
+      (** the machine followed every certificate step and then
+          deadlocked; [blocked] is {!Machine.Deadlock}'s payload *)
+  | Diverged of string  (** why the concrete execution left the trace *)
+
+val validate : ?max_steps:int -> Lang.Prog.t -> Analysis.Proto.cert -> result
+(** Default [max_steps]: 200000. *)
+
+val confirm_scripted : ?max_steps:int -> Lang.Prog.t -> int list -> bool
+(** Run the program under [Sched.Scripted schedule]; [true] iff the
+    machine halts in a deadlock. *)

@@ -1,4 +1,8 @@
-type policy = Round_robin of int | Random_seed of int | Scripted of int list
+type policy =
+  | Round_robin of int
+  | Random_seed of int
+  | Scripted of int list
+  | Guided of (runnable:int list -> int)
 
 type t = {
   policy : policy;
@@ -16,7 +20,7 @@ let create policy =
     rng =
       (match policy with
       | Random_seed seed -> Random.State.make [| seed |]
-      | Round_robin _ | Scripted _ -> Random.State.make [| 0 |]);
+      | Round_robin _ | Scripted _ | Guided _ -> Random.State.make [| 0 |]);
     script = (match policy with Scripted s -> s | _ -> []);
   }
 
@@ -50,7 +54,7 @@ let pick t ~runnable =
     | Round_robin quantum -> round_robin t ~runnable quantum
     | Random_seed _ ->
       List.nth runnable (Random.State.int t.rng (List.length runnable))
-    | Scripted _ -> (
+    | Scripted _ ->
       (* skip script entries that are not currently runnable *)
       let rec next_scripted () =
         match t.script with
@@ -59,6 +63,9 @@ let pick t ~runnable =
           t.script <- rest;
           if List.mem p runnable then p else next_scripted ()
       in
-      next_scripted ()))
+      next_scripted ()
+    | Guided f ->
+      let p = f ~runnable in
+      if List.mem p runnable then p else round_robin t ~runnable 1)
 
 let default = Round_robin 3

@@ -13,6 +13,9 @@ type policy =
       (** follow the given pid script while possible (skipping
           non-runnable entries), then fall back to round-robin — used to
           force specific interleavings in tests *)
+  | Guided of (runnable:int list -> int)
+      (** delegate each decision to a callback (certificate-guided
+          replay); a pick outside [runnable] falls back to round-robin *)
 
 type t
 

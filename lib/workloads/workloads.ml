@@ -243,6 +243,36 @@ func main() {
 }
 |}
 
+let ping_pong ~rounds =
+  (* strict alternation through signaling semaphores: the locksets are
+     disjoint (pinger holds only 'ping', ponger only 'pong'), so the
+     lockset analysis alone flags every access pair on 'board' — only
+     the protocol tier (Proto state exclusion) proves they can never
+     overlap. Straight-line on purpose: the abstract automata are exact *)
+  let round body = String.concat "" (List.init rounds (fun _ -> body)) in
+  Printf.sprintf
+    {|
+shared int board = 0;
+sem ping = 1;
+sem pong = 0;
+
+func pinger() {
+%s}
+
+func ponger() {
+%s}
+
+func main() {
+  var a = spawn pinger();
+  var b = spawn ponger();
+  join(a);
+  join(b);
+  print(board);
+}
+|}
+    (round "  P(ping);\n  board = board + 1;\n  V(pong);\n")
+    (round "  P(pong);\n  board = board * 2;\n  V(ping);\n")
+
 let all_fixed =
   [
     ("fig41", fig41);
@@ -253,6 +283,7 @@ let all_fixed =
     ("sv_race", sv_race);
     ("deadlock_ab", deadlock_ab);
     ("rpc", rpc);
+    ("ping_pong", ping_pong ~rounds:2);
     ("buggy_min", buggy_min);
   ]
 
@@ -541,3 +572,4 @@ func main() {
 }
 |}
     spawns joins
+

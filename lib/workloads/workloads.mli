@@ -74,3 +74,10 @@ val config_pipeline : workers:int -> rounds:int -> string
     reading configuration globals that [main] wrote before spawning
     anything — the showcase for MHP-pruned synchronization-unit
     prelogs (only the accumulator still needs entries). *)
+
+val ping_pong : rounds:int -> string
+(** Two processes alternating writes to a shared board through
+    signaling semaphores, [rounds] times each, straight-line. Disjoint
+    locksets make every access pair a lockset-analysis race; the
+    protocol product proves strict alternation — the showcase for
+    Proto-refined MHP (bench T16, `ppd race --static --proto`). *)

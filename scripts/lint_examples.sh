@@ -23,6 +23,18 @@ for f in examples/mpl/*.mpl; do
     exit 1
   fi
   printf '%s exit=%d %s\n' "$(basename "$f")" "$code" "$json" >>"$out"
+
+  # the protocol analysis must never crash on an example; its JSON
+  # verdict (and certificate replay status) is pinned too
+  set +e
+  pjson=$("$PPD" proto --format=json "$f")
+  pcode=$?
+  set -e
+  if [ "$pcode" -ne 0 ] && [ "$pcode" -ne 5 ]; then
+    echo "lint-examples: $f: ppd proto exited $pcode" >&2
+    exit 1
+  fi
+  printf '%s proto exit=%d %s\n' "$(basename "$f")" "$pcode" "$pjson" >>"$out"
 done
 
 if [ "${1:-}" = "--update" ]; then

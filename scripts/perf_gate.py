@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""CI perf gate over the bench JSON (dune exec bench/main.exe -- --json t9 t10 t11 t12)
+"""CI perf gate over the bench JSON (dune exec bench/main.exe -- --json t9 t10 t11 t12 t16)
 and, optionally, a ppd profile JSON (--profile FILE).
 
 Checks on the T10 (parallel replay) table:
@@ -31,9 +31,18 @@ Checks on the T12 (fault-injection overhead) table, when present:
 6. Arming a plan whose entries never match must not slow the full
    log-and-flowback pass by more than 2x.
 
+Checks on the T16 (protocol analysis) table, when present:
+
+7. Refinement monotonicity — on every workload the protocol-refined
+   MHP must discharge at least as many conflicting pairs as the
+   spawn/join baseline (discharged_proto >= discharged_base), and the
+   refined count must not regress below the committed floor for that
+   workload. Precision, unlike wall-clock, is deterministic, so the
+   floors are exact numbers.
+
 Checks on the profile JSON (--profile FILE), when given:
 
-7. Counter coherence — cache hits + misses == lookups; the emulator's
+8. Counter coherence — cache hits + misses == lookups; the emulator's
    replay count >= the controller's assembled replays (speculation can
    only add); assembled replays <= lookups; at least one phase span
    of each of "execution" and "debugging" was recorded.
@@ -152,6 +161,45 @@ def check_t12(data, failures):
             )
 
 
+# Committed precision floors for T16: pairs the protocol-refined MHP
+# discharged on each workload when the gate was last updated. The
+# analysis is deterministic, so any dip below these is a real
+# precision regression, not noise.
+T16_DISCHARGE_FLOOR = {
+    "pipeline/w2": 7,
+    "pipeline/w3": 7,
+    "pipeline/w4": 7,
+    "ping_pong": 30,
+}
+
+
+def check_t16(data, failures):
+    rows = data.get("t16")
+    if not rows:
+        return
+    for row in rows:
+        name = row["workload"]
+        base = int(row["discharged_base"])
+        proto = int(row["discharged_proto"])
+        print(
+            f"perf-gate: t16/{name}: {row['states']} state(s), "
+            f"{base}/{row['conflicting']} pair(s) discharged by "
+            f"spawn/join, {proto} with protocol refinement"
+        )
+        if proto < base:
+            failures.append(
+                f"t16/{name}: protocol refinement discharged {proto} "
+                f"pair(s), fewer than the {base} the spawn/join "
+                f"baseline already proves — refinement lost pairs"
+            )
+        floor = T16_DISCHARGE_FLOOR.get(name)
+        if floor is not None and proto < floor:
+            failures.append(
+                f"t16/{name}: discharged pairs regressed to {proto} "
+                f"(committed floor {floor})"
+            )
+
+
 def check_profile(path, failures):
     with open(path) as f:
         prof = json.load(f)
@@ -211,6 +259,7 @@ def main():
     nrows = check_t10(data, margin, failures)
     check_t11(data, failures)
     check_t12(data, failures)
+    check_t16(data, failures)
     if profile:
         check_profile(profile, failures)
     if failures:

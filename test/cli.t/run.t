@@ -81,6 +81,9 @@ The unified lint driver (exit code 5 when there are findings):
   deadlocks    lock-order cycles over must-held semaphores (PPD020)
   unreachable  unreachable statements and dead functions (PPD030, PPD031)
   uninit       possibly-uninitialised local reads (PPD040)
+  proto-deadlock communication-protocol deadlock certificates (PPD070)
+  orphan-comm  orphaned sends and dead receives (PPD071)
+  sem-leak     semaphores still held at program exit (PPD072)
   $ ppd lint racy.mpl
   PPD010 warning at 5:3: potential read/write race on shared 'balance': read of 'balance' at s0 in withdraw may happen in parallel with write of 'balance' at s2 in withdraw
     - at 7:3: write of 'balance' at s2 in withdraw
@@ -96,7 +99,10 @@ The unified lint driver (exit code 5 when there are findings):
   $ ppd lint dl.mpl
   PPD020 warning at 7:3: potential deadlock: lock-order cycle between 'a' and 'b' (P on 'b' while holding 'a' at s1 in left can run in parallel with the reverse order)
     - at 14:3: P on 'a' while holding 'b' at s5 in right
-  1 finding(s): 0 error(s), 1 warning(s), 0 note(s)
+  PPD070 warning at 22:3: potential deadlock (cyclic wait): main blocked at join#1 (s10) after 4 protocol step(s); run 'ppd proto' for the certificate
+    - at 7:3: left blocked at P(b) (s1)
+    - at 14:3: right blocked at P(a) (s5)
+  2 finding(s): 0 error(s), 2 warning(s), 0 note(s)
   [5]
   $ ppd lint fixed.mpl --format=json
   {"findings":[],"count":0}
@@ -105,8 +111,67 @@ The unified lint driver (exit code 5 when there are findings):
   1 finding(s): 1 error(s), 0 warning(s), 0 note(s)
   [1]
   $ ppd lint racy.mpl --pass nosuch
-  unknown lint pass 'nosuch'; available: races, deadlocks, unreachable, uninit
+  unknown lint pass 'nosuch'; available: races, deadlocks, unreachable, uninit, proto-deadlock, orphan-comm, sem-leak
   [124]
+
+The communication-protocol analysis: per-process automata, a bounded
+product exploration, deadlock certificates validated by guided replay
+(exit 5), and protocol-refined static race reports:
+
+  $ ppd proto dl.mpl
+  proto: deadlock
+    certificate (cyclic wait), 4 step(s):
+      #0 spawn#1 (s8)
+      #0 spawn#2 (s9)
+      #1 P(a) (s0)
+      #2 P(b) (s4)
+      -> main blocked at join#1 (s10)
+      -> left blocked at P(b) (s1)
+      -> right blocked at P(a) (s5)
+    states: 53 full, 44 reduced
+  certificate 1: confirmed by guided replay (schedule: 0 0 0 1 1 2 2 0 1 2)
+  [5]
+  $ ppd proto fig61.mpl
+  proto: deadlock-free
+    2 must-ordering fact(s):
+      s8 -> s1 (chan c12)
+      s2 -> s4 (chan c23)
+    states: 12 full, 10 reduced
+  $ ppd proto dl.mpl --format=json
+  {"verdict":"deadlock","states_full":53,"states_reduced":44,"truncated":false,"certificates":[{"kind":"cyclic wait","steps":[{"cls":0,"sid":8,"act":"#0 spawn#1 (s8)"},{"cls":0,"sid":9,"act":"#0 spawn#2 (s9)"},{"cls":1,"sid":0,"act":"#1 P(a) (s0)"},{"cls":2,"sid":4,"act":"#2 P(b) (s4)"}],"confirmed":true,"schedule":[0,0,0,1,1,2,2,0,1,2]}],"facts":0,"orphan_sends":0,"dead_recvs":0,"sem_leaks":0,"conflicting_pairs":0,"discharged_base":0,"discharged_proto":0}
+  [5]
+  $ ppd proto dl.mpl --dot | head -n 3
+  digraph effects {
+    rankdir=LR;
+    subgraph cluster_0 {
+  $ ppd example ping_pong > pp.mpl
+  $ ppd run pp.mpl
+  6
+  $ ppd race --static pp.mpl
+  12 potential race(s):
+  - 'board': s1 in pinger (read, holds ping) vs s7 in ponger (write, holds pong)
+  - 'board': s1 in pinger (read, holds ping) vs s10 in ponger (write, holds pong)
+  - 'board': s1 in pinger (write, holds ping) vs s7 in ponger (read, holds pong)
+  - 'board': s1 in pinger (write, holds ping) vs s7 in ponger (write, holds pong) [write/write]
+  - 'board': s1 in pinger (write, holds ping) vs s10 in ponger (read, holds pong)
+  - 'board': s1 in pinger (write, holds ping) vs s10 in ponger (write, holds pong) [write/write]
+  - 'board': s4 in pinger (read, holds ping) vs s7 in ponger (write, holds pong)
+  - 'board': s4 in pinger (read, holds ping) vs s10 in ponger (write, holds pong)
+  - 'board': s4 in pinger (write, holds ping) vs s7 in ponger (read, holds pong)
+  - 'board': s4 in pinger (write, holds ping) vs s7 in ponger (write, holds pong) [write/write]
+  - 'board': s4 in pinger (write, holds ping) vs s10 in ponger (read, holds pong)
+  - 'board': s4 in pinger (write, holds ping) vs s10 in ponger (write, holds pong) [write/write]
+  [3]
+  $ ppd race --static --proto pp.mpl
+  protocol refinement: 30 conflicting pair(s) discharged (vs 18 by spawn/join structure alone)
+  no potential races: every conflicting access pair is ordered or protected
+  $ ppd proto pp.mpl
+  proto: deadlock-free
+    3 must-ordering fact(s):
+      s8 -> s3 (sem ping)
+      s2 -> s6 (sem pong)
+      s5 -> s9 (sem pong)
+    states: 24 full, 21 reduced
 
 What-if experiments (§5.7):
 

@@ -208,6 +208,47 @@ let parallel ?(workers = 3) ?(budget = 6) ~protect seed =
   Buffer.add_string buf "  print(g0);\n  print(g1);\n}\n";
   Buffer.contents buf
 
+(* A random protocol-heavy program: two straight-line workers that take
+   two semaphores in a random (possibly inverted, possibly nested)
+   order and perform a random sequence of rendezvous sends/receives;
+   main spawns and joins both. No loops, branches or data-dependent
+   control, so the abstract protocol model of [Analysis.Effects] is
+   exact for these programs — [Analysis.Proto]'s verdict must agree
+   with concrete scheduling in both directions, which is what the
+   qcheck oracle in test_proto.ml exploits. Roughly half the seeds can
+   deadlock (AB/BA lock inversion or mismatched rendezvous counts). *)
+let protocol seed =
+  let rng = Random.State.make [| seed |] in
+  let r n = Random.State.int rng n in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "sem a = 1;\nsem b = 1;\nchan c[0];\n\n";
+  let worker name =
+    Buffer.add_string buf (Printf.sprintf "func %s() {\n" name);
+    let x, y = if r 2 = 0 then ("a", "b") else ("b", "a") in
+    if r 2 = 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "  P(%s);\n  P(%s);\n  V(%s);\n  V(%s);\n" x y y x)
+    else Buffer.add_string buf (Printf.sprintf "  P(%s);\n  V(%s);\n" x x);
+    let ops = List.init (r 4) (fun _ -> r 2 = 0) in
+    if List.exists not ops then Buffer.add_string buf "  var m = 0;\n";
+    List.iter
+      (fun send ->
+        Buffer.add_string buf
+          (if send then "  send(c, 1);\n" else "  recv(c, m);\n"))
+      ops;
+    Buffer.add_string buf "}\n\n"
+  in
+  worker "w1";
+  worker "w2";
+  Buffer.add_string buf
+    "func main() {\n\
+    \  var p1 = spawn w1();\n\
+    \  var p2 = spawn w2();\n\
+    \  join(p1);\n\
+    \  join(p2);\n\
+     }\n";
+  Buffer.contents buf
+
 (* Random raw ASTs for pretty-printer round-trips are easier to derive
    from the source generators: parse the generated text. *)
 let sequential_ast seed = Lang.Parser.parse_program (sequential seed)

@@ -56,6 +56,18 @@ let test_races_command () =
   Alcotest.(check bool) "static report" true
     (Util.contains ~sub:"potential race" static)
 
+let test_proto_command () =
+  let d = dbg Workloads.deadlock_ab in
+  let out = Ppd.Debugger.eval d "proto" in
+  Alcotest.(check bool) "deadlock certificate shown" true
+    (Util.contains ~sub:"deadlock" out);
+  let d2 = dbg Workloads.rpc in
+  let out2 = Ppd.Debugger.eval d2 "proto" in
+  Alcotest.(check bool) "clean protocol verdict" true
+    (Util.contains ~sub:"deadlock-free" out2);
+  Alcotest.(check bool) "help lists proto" true
+    (Util.contains ~sub:"proto" (Ppd.Debugger.eval d "help"))
+
 let test_restore_command () =
   let d = dbg Workloads.fixed_bank in
   let out = Ppd.Debugger.eval d "restore 100000" in
@@ -102,6 +114,7 @@ let suite =
       Alcotest.test_case "expand" `Quick test_expand_call;
       Alcotest.test_case "slice" `Quick test_slice;
       Alcotest.test_case "races" `Quick test_races_command;
+      Alcotest.test_case "proto" `Quick test_proto_command;
       Alcotest.test_case "restore" `Quick test_restore_command;
       Alcotest.test_case "whatif" `Quick test_whatif_command;
       Alcotest.test_case "vars" `Quick test_vars_command;

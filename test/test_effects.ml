@@ -1,0 +1,172 @@
+(* Per-process communication automata: shape, regions, completeness. *)
+
+open Analysis
+
+let build src =
+  let p = Util.compile src in
+  let mhp = Mhp.compute p in
+  (p, Effects.compute mhp p)
+
+let actions_of (a : Effects.aut) =
+  Array.to_list a.Effects.au_out
+  |> List.concat_map (List.map (fun t -> t.Effects.tr_act))
+
+let test_deadlock_ab_shape () =
+  let _, eff = build Workloads.deadlock_ab in
+  Alcotest.(check bool) "complete" true eff.Effects.complete;
+  Alcotest.(check int) "three automata (main, left, right)" 3
+    (Array.length eff.Effects.auts);
+  (* left: P(a) P(b) V(b) V(a) -> a 5-state chain *)
+  let left = eff.Effects.auts.(1) in
+  Alcotest.(check int) "left has 5 states" 5 left.Effects.au_nstates;
+  Alcotest.(check int) "left has 4 transitions" 4 (Effects.ntrans left);
+  let is_p = function Effects.SemP _ -> true | _ -> false in
+  Alcotest.(check int) "left does two Ps" 2
+    (List.length (List.filter is_p (actions_of left)));
+  (* main: spawn spawn join join *)
+  let main = eff.Effects.auts.(0) in
+  let spawns =
+    List.filter (function Effects.Spawn _ -> true | _ -> false)
+      (actions_of main)
+  in
+  Alcotest.(check int) "main spawns two classes" 2 (List.length spawns)
+
+let test_loops_become_cycles () =
+  let src =
+    {|
+sem s = 1;
+func worker() {
+  var i = 0;
+  while (i < 3) {
+    P(s);
+    V(s);
+    i = i + 1;
+  }
+}
+func main() {
+  var p = spawn worker();
+  join(p);
+}
+|}
+  in
+  let _, eff = build src in
+  Alcotest.(check bool) "complete" true eff.Effects.complete;
+  let w = eff.Effects.auts.(1) in
+  Alcotest.(check bool) "worker has a cyclic state" true
+    (Array.exists Fun.id w.Effects.au_on_cycle)
+
+let test_comm_free_calls_are_epsilon () =
+  let src =
+    {|
+sem s = 1;
+func helper(x) {
+  return x * 2;
+}
+func worker() {
+  var a = helper(1);
+  P(s);
+  var b = helper(a);
+  V(s);
+}
+func main() {
+  var p = spawn worker();
+  join(p);
+}
+|}
+  in
+  let p, eff = build src in
+  Alcotest.(check bool) "complete" true eff.Effects.complete;
+  let w = eff.Effects.auts.(1) in
+  Alcotest.(check int) "only P and V remain" 2 (Effects.ntrans w);
+  (* the helper body's statements live inside some region of the
+     worker's automaton *)
+  let helper_fid =
+    let f =
+      Array.to_seq p.Lang.Prog.funcs
+      |> Seq.find (fun (f : Lang.Prog.func) -> f.fname = "helper")
+    in
+    (Option.get f).fid
+  in
+  let helper_sid =
+    let found = ref (-1) in
+    Array.iter
+      (fun (s : Lang.Prog.stmt) ->
+        if !found < 0 && p.Lang.Prog.stmt_fid.(s.sid) = helper_fid then
+          found := s.sid)
+      p.Lang.Prog.stmts;
+    !found
+  in
+  Alcotest.(check bool) "helper sid covered by a region" true
+    (Effects.states_of eff helper_sid <> [])
+
+let test_inlined_comm_calls () =
+  (* a P hidden behind a call still shows up as a transition *)
+  let src =
+    {|
+sem s = 1;
+func lock() {
+  P(s);
+}
+func unlock() {
+  V(s);
+}
+func worker() {
+  lock();
+  unlock();
+}
+func main() {
+  var p = spawn worker();
+  join(p);
+}
+|}
+  in
+  let _, eff = build src in
+  Alcotest.(check bool) "complete" true eff.Effects.complete;
+  let w = eff.Effects.auts.(1) in
+  let acts = actions_of w in
+  Alcotest.(check bool) "P through call" true
+    (List.mem (Effects.SemP 0) acts);
+  Alcotest.(check bool) "V through call" true
+    (List.mem (Effects.SemV 0) acts)
+
+let test_recursion_degrades () =
+  let src =
+    {|
+sem s = 1;
+func rec_lock(n) {
+  if (n > 0) {
+    P(s);
+    var x = rec_lock(n - 1);
+    V(s);
+  }
+  return 0;
+}
+func main() {
+  var x = rec_lock(3);
+}
+|}
+  in
+  let _, eff = build src in
+  Alcotest.(check bool) "recursion through comm -> incomplete" false
+    eff.Effects.complete;
+  Alcotest.(check bool) "a note explains it" true (eff.Effects.notes <> [])
+
+let test_multi_spawn_still_modelled () =
+  (* two spawns of the same function are two distinct classes *)
+  let _, eff = build (Workloads.counter ~workers:2 ~incs:1 ~mutex:true) in
+  Alcotest.(check int) "main + 2 worker classes" 3
+    (Array.length eff.Effects.auts)
+
+let suite =
+  ( "effects",
+    [
+      Alcotest.test_case "deadlock_ab shape" `Quick test_deadlock_ab_shape;
+      Alcotest.test_case "loops become cycles" `Quick test_loops_become_cycles;
+      Alcotest.test_case "comm-free calls are epsilon" `Quick
+        test_comm_free_calls_are_epsilon;
+      Alcotest.test_case "comm calls inlined" `Quick test_inlined_comm_calls;
+      Alcotest.test_case "recursion degrades to incomplete" `Quick
+        test_recursion_degrades;
+      Alcotest.test_case "multi-spawn classes" `Quick
+        test_multi_spawn_still_modelled;
+    ] )

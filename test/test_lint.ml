@@ -96,7 +96,15 @@ let test_pass_selection () =
   | exception Lint.Unknown_pass n ->
     Alcotest.(check string) "pass name reported" "nosuch" n);
   Alcotest.(check (list string)) "registry names"
-    [ "races"; "deadlocks"; "unreachable"; "uninit" ]
+    [
+      "races";
+      "deadlocks";
+      "unreachable";
+      "uninit";
+      "proto-deadlock";
+      "orphan-comm";
+      "sem-leak";
+    ]
     Lint.pass_names
 
 let test_stable_order () =
@@ -178,9 +186,86 @@ let test_regressions_lint_clean_races () =
   Alcotest.(check (list string)) "send/recv-ordered: no race findings" []
     (codes (lint ~only:[ "races" ] msg_ordered))
 
+let test_recv_initialises () =
+  (* regression pin for the uninit pass: a recv's target variable is a
+     definition, so reading it afterwards is NOT flagged... *)
+  let clean =
+    {|
+    chan c[1];
+    func main() {
+      send(c, 42);
+      var x;
+      recv(c, x);
+      print(x);
+    }
+    |}
+  in
+  Alcotest.(check bool) "recv defines its target" false
+    (has_code "PPD040" (lint ~only:[ "uninit" ] clean));
+  (* ...while an genuinely-unset local still is *)
+  let dirty =
+    {|
+    func main() {
+      var x;
+      print(x);
+    }
+    |}
+  in
+  Alcotest.(check bool) "unset local still flagged" true
+    (has_code "PPD040" (lint ~only:[ "uninit" ] dirty))
+
+let test_proto_deadlock_pass () =
+  let diags = lint ~only:[ "proto-deadlock" ] Workloads.deadlock_ab in
+  Alcotest.(check bool) "PPD070 on deadlock_ab" true (has_code "PPD070" diags);
+  Alcotest.(check (list string)) "clean program: no PPD070" []
+    (codes (lint ~only:[ "proto-deadlock" ] Workloads.rpc))
+
+let test_orphan_comm_pass () =
+  let orphan =
+    {|
+    chan c[4];
+    func main() {
+      send(c, 1);
+      print(0);
+    }
+    |}
+  in
+  Alcotest.(check bool) "PPD071 for an unreceived send" true
+    (has_code "PPD071" (lint ~only:[ "orphan-comm" ] orphan));
+  Alcotest.(check (list string)) "rpc has no orphans" []
+    (codes (lint ~only:[ "orphan-comm" ] Workloads.rpc))
+
+let test_sem_leak_pass () =
+  let leak =
+    {|
+    sem lock = 1;
+    func main() {
+      P(lock);
+      print(1);
+    }
+    |}
+  in
+  Alcotest.(check bool) "PPD072 for a held-at-exit semaphore" true
+    (has_code "PPD072" (lint ~only:[ "sem-leak" ] leak));
+  Alcotest.(check (list string)) "balanced P/V is clean" []
+    (codes (lint ~only:[ "sem-leak" ] Workloads.fixed_bank))
+
+let test_unknown_pass_raises () =
+  match lint ~only:[ "no-such-pass" ] Workloads.rpc with
+  | exception Lint.Unknown_pass n ->
+    Alcotest.(check string) "names the pass" "no-such-pass" n
+  | _ -> Alcotest.fail "expected Unknown_pass"
+
 let suite =
   ( "lint",
     [
+      Alcotest.test_case "recv initialises its target" `Quick
+        test_recv_initialises;
+      Alcotest.test_case "proto-deadlock: PPD070" `Quick
+        test_proto_deadlock_pass;
+      Alcotest.test_case "orphan-comm: PPD071" `Quick test_orphan_comm_pass;
+      Alcotest.test_case "sem-leak: PPD072" `Quick test_sem_leak_pass;
+      Alcotest.test_case "unknown pass raises" `Quick test_unknown_pass_raises;
       Alcotest.test_case "racy bank: PPD010/PPD011" `Quick test_racy_bank_codes;
       Alcotest.test_case "fixed bank clean" `Quick test_fixed_bank_clean;
       Alcotest.test_case "deadlock candidate: PPD020" `Quick

@@ -187,9 +187,100 @@ let test_report_rendering () =
   in
   Alcotest.(check bool) "clean message" true (Util.contains ~sub:"no potential" s2)
 
+let test_interprocedural_locksets () =
+  (* a lock acquired in a helper protects the caller's accesses: the
+     must-acquire summary keeps it held across the call return, and the
+     may-release summary is what clobbers — not the mere presence of a
+     call *)
+  let src which =
+    Printf.sprintf
+      {|
+    shared int g = 0;
+    sem m = 1;
+    func lock() { P(m); }
+    func unlock() { V(m); }
+    func worker() {
+      %s
+      g = g + 1;
+      %s
+    }
+    func main() {
+      var a = spawn worker();
+      var b = spawn worker();
+      join(a);
+      join(b);
+    }
+    |}
+      (fst which) (snd which)
+  in
+  Alcotest.(check int) "helper-wrapped lock discharges the race" 0
+    (List.length (reports (src ("lock();", "unlock();"))));
+  Alcotest.(check bool) "without the lock helpers the race stays" true
+    (reports (src ("", "")) <> []);
+  (* a helper that conditionally releases must clobber (may-release) *)
+  let leaky =
+    {|
+    shared int g = 0;
+    sem m = 1;
+    func maybe_unlock(x) {
+      if (x > 0) {
+        V(m);
+      }
+    }
+    func worker(x) {
+      P(m);
+      maybe_unlock(x);
+      g = g + 1;
+      V(m);
+    }
+    func main() {
+      var a = spawn worker(0);
+      var b = spawn worker(1);
+      join(a);
+      join(b);
+    }
+    |}
+  in
+  Alcotest.(check bool) "may-release helper breaks must-held" true
+    (reports leaky <> [])
+
+let test_summaries_recursion_conservative () =
+  (* a recursive lock helper promises nothing: the access is not
+     considered protected *)
+  let src =
+    {|
+    shared int g = 0;
+    sem m = 1;
+    func lockr(n) {
+      if (n > 0) {
+        var x = lockr(n - 1);
+      }
+      P(m);
+      return 0;
+    }
+    func worker() {
+      var x = lockr(0);
+      g = g + 1;
+      V(m);
+    }
+    func main() {
+      var a = spawn worker();
+      var b = spawn worker();
+      join(a);
+      join(b);
+    }
+    |}
+  in
+  Alcotest.(check bool) "recursive helper keeps the race flagged" true
+    (reports src <> [])
+
 let suite =
   ( "static-race",
     [
+      Alcotest.test_case "interprocedural locksets" `Quick
+        test_interprocedural_locksets;
+      Alcotest.test_case "recursive summaries conservative" `Quick
+        test_summaries_recursion_conservative;
       Alcotest.test_case "racy bank flagged" `Quick test_racy_bank_flagged;
       Alcotest.test_case "fixed bank: mutex discharges writes" `Quick
         test_fixed_bank_mutex_discharges_writes;
