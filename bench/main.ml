@@ -883,6 +883,197 @@ let t12 () =
     \      gate bounds the disarmed per-check cost)"
 
 (* ------------------------------------------------------------------ *)
+(* T13: the serve daemon under concurrent sessions.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* N client threads drive the in-process dispatcher over one recorded
+   log: each registers a session, opens a handle, issues a fixed mix
+   of flowback and replay requests, and closes. Latency is measured
+   around [handle_line] per heavy request. The shared fragment cache
+   is what makes N sessions cheaper than N one-shot CLI runs, so its
+   hit rate is the headline number; the admission queue is sized so
+   nothing sheds, because T13's acceptance bar is zero protocol
+   errors. *)
+
+let t13_sessions = [ 1; 4; 16; 64 ]
+
+let t13_requests_per_session = 6
+
+type t13_row = {
+  td_sessions : int;
+  td_requests : int;  (* heavy requests completed *)
+  td_errors : int;  (* error responses of any kind *)
+  td_p50_ns : float;
+  td_p99_ns : float;
+  td_hits : int;
+  td_misses : int;
+  td_hit_rate : float;
+  td_shed : int;
+}
+
+let t13_fixture () =
+  let src = Workloads.config_pipeline ~workers:4 ~rounds:40 in
+  let mpl = Filename.temp_file "ppd_t13" ".mpl" in
+  let seg = Filename.temp_file "ppd_t13" ".seg" in
+  Out_channel.with_open_text mpl (fun oc -> Out_channel.output_string oc src);
+  let prog = compile src in
+  let eb = Analysis.Eblock.analyze prog in
+  let w = Store.Segment.Writer.to_file seg in
+  let logger = Trace.Logger.create ~sink:(Store.Segment.Writer.sink w) eb in
+  let m =
+    Runtime.Machine.create ~sched ~max_steps:5_000_000
+      ~hooks:(Trace.Logger.factory logger) prog
+  in
+  ignore (Runtime.Machine.run m);
+  ignore (Trace.Logger.finish logger);
+  Store.Segment.Writer.close w;
+  (mpl, seg)
+
+let t13_jint v name =
+  match Option.bind (Serve.Json.member name v) Serve.Json.to_int with
+  | Some i -> i
+  | None -> 0
+
+let t13_percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let t13_rows () =
+  let mpl, seg = t13_fixture () in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove mpl;
+      Sys.remove seg)
+    (fun () ->
+      List.map
+        (fun n ->
+          (* fresh server per N: every row starts from a cold cache *)
+          let config =
+            {
+              Serve.Server.default_config with
+              jobs = 1;
+              max_active = 8;
+              max_queue = 4096;
+            }
+          in
+          let srv = Serve.Server.create ~config () in
+          let errors = Atomic.make 0 in
+          let lock = Mutex.create () in
+          let lats = ref [] in
+          let hits = ref 0 in
+          let misses = ref 0 in
+          let client () =
+            let s = Serve.Server.session srv in
+            let say line = Serve.Server.handle_line srv s line in
+            let parse resp =
+              match Serve.Json.parse resp with
+              | Ok v ->
+                if Serve.Json.member "error" v <> None then begin
+                  Atomic.incr errors;
+                  None
+                end
+                else Serve.Json.member "result" v
+              | Error _ ->
+                Atomic.incr errors;
+                None
+            in
+            let h =
+              let r =
+                parse
+                  (say
+                     (Printf.sprintf
+                        {|{"id":1,"method":"open","params":{"log":%S,"program":%S}}|}
+                        seg mpl))
+              in
+              match r with Some r -> t13_jint r "handle" | None -> -1
+            in
+            let my_lats = ref [] in
+            let my_hits = ref 0 in
+            let my_misses = ref 0 in
+            for k = 1 to t13_requests_per_session do
+              let meth = if k land 1 = 1 then "flowback" else "replay" in
+              let line =
+                Printf.sprintf
+                  {|{"id":%d,"method":"%s","params":{"handle":%d,"depth":2}}|}
+                  (k + 1) meth h
+              in
+              let t0 = Obs.now_ns () in
+              let resp = say line in
+              let dt = float_of_int (Obs.now_ns () - t0) in
+              (match parse resp with
+              | Some r ->
+                my_hits := !my_hits + t13_jint r "cacheHits";
+                my_misses := !my_misses + t13_jint r "cacheMisses"
+              | None -> ());
+              my_lats := dt :: !my_lats
+            done;
+            ignore
+              (say
+                 (Printf.sprintf
+                    {|{"id":99,"method":"close","params":{"handle":%d}}|} h));
+            Serve.Server.end_session srv s;
+            Mutex.lock lock;
+            lats := !my_lats @ !lats;
+            hits := !hits + !my_hits;
+            misses := !misses + !my_misses;
+            Mutex.unlock lock
+          in
+          let threads = List.init n (fun _ -> Thread.create client ()) in
+          List.iter Thread.join threads;
+          (* shed count from the daemon's own accounting *)
+          let shed =
+            let s0 = Serve.Server.session srv in
+            let resp =
+              Serve.Server.handle_line srv s0
+                {|{"id":1,"method":"serverStats"}|}
+            in
+            Serve.Server.end_session srv s0;
+            match Serve.Json.parse resp with
+            | Ok v -> (
+              match
+                Option.bind (Serve.Json.member "result" v)
+                  (Serve.Json.member "gate")
+              with
+              | Some g -> t13_jint g "shed"
+              | None -> 0)
+            | Error _ -> 0
+          in
+          Serve.Server.shutdown srv;
+          let sorted = Array.of_list !lats in
+          Array.sort Float.compare sorted;
+          let looked_up = !hits + !misses in
+          {
+            td_sessions = n;
+            td_requests = Array.length sorted;
+            td_errors = Atomic.get errors;
+            td_p50_ns = t13_percentile sorted 0.50;
+            td_p99_ns = t13_percentile sorted 0.99;
+            td_hits = !hits;
+            td_misses = !misses;
+            td_hit_rate =
+              (if looked_up = 0 then 0.
+               else float_of_int !hits /. float_of_int looked_up);
+            td_shed = shed;
+          })
+        t13_sessions)
+
+let t13 () =
+  header "T13  Serve daemon: concurrent sessions over one shared log";
+  row "%-10s %10s %8s %11s %11s %8s %8s %9s %6s\n" "sessions" "requests"
+    "errors" "p50" "p99" "hits" "misses" "hit rate" "shed";
+  List.iter
+    (fun r ->
+      row "%-10d %10d %8d %11s %11s %8d %8d %8.0f%% %6d\n" r.td_sessions
+        r.td_requests r.td_errors (fmt_ns r.td_p50_ns) (fmt_ns r.td_p99_ns)
+        r.td_hits r.td_misses (100. *. r.td_hit_rate) r.td_shed)
+    (t13_rows ());
+  print_endline
+    "(every session issues the same flowback/replay mix; the shared\n\
+    \      fragment cache turns N concurrent sessions into one cold pass\n\
+    \      plus N-1 warm ones — the hit rate is the sharing visible)"
+
+(* ------------------------------------------------------------------ *)
 (* T16: communication-protocol analysis — latency of the product        *)
 (* exploration and the MHP pairs it discharges, as the process count    *)
 (* grows. The gate checks the proto column never falls below the        *)
@@ -1014,6 +1205,21 @@ let t12_json () =
               r.tf_name (jfloat r.tf_off_ns) (jfloat r.tf_armed_ns))
           (t12_rows ())))
 
+let t13_json () =
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             "{\"sessions\":%d,\"requests\":%d,\"errors\":%d,\
+              \"p50_ns\":%s,\"p99_ns\":%s,\"hits\":%d,\"misses\":%d,\
+              \"hit_rate\":%s,\"shed\":%d}"
+             r.td_sessions r.td_requests r.td_errors (jfloat r.td_p50_ns)
+             (jfloat r.td_p99_ns) r.td_hits r.td_misses
+             (jfloat r.td_hit_rate) r.td_shed)
+         (t13_rows ()))
+  ^ "]"
+
 let t16_json () =
   "["
   ^ String.concat ","
@@ -1083,6 +1289,7 @@ let experiments =
     ("t10", t10);
     ("t11", t11);
     ("t12", t12);
+    ("t13", t13);
     ("t16", t16);
   ]
 
@@ -1095,6 +1302,7 @@ let json_experiments =
     ("t10", t10_json);
     ("t11", t11_json);
     ("t12", t12_json);
+    ("t13", t13_json);
     ("t16", t16_json);
   ]
 

@@ -610,32 +610,11 @@ let flowback_cmd =
       & info [ "dot" ] ~docv:"PATH"
           ~doc:"Write the dynamic graph as Graphviz dot to PATH.")
   in
-  (* The post-query report shared by the run and --load paths: tree
-     already printed; holes, stats line and the optional dot dump. *)
+  (* The post-query report shared by the run and --load paths (and,
+     through Serve.Render, byte-identical to the daemon's answers). *)
   let report ~depth ~dot ctl root =
-    (match root with
-    | None -> print_endline "no events to debug"
-    | Some root ->
-      Format.printf "%a@." (Ppd.Flowback.pp_explain ~max_depth:depth ctl) root);
-    let st = Ppd.Controller.stats ctl in
-    (* a rootless clean run keeps its historical one-line output; once
-       there is a root or a hole, the full report follows *)
-    if root <> None || st.Ppd.Controller.holes > 0 then begin
-      Ppd.Flowback.pp_holes ctl Format.std_formatter;
-      Printf.printf "emulated %d of %d log intervals (%d replay steps)%s\n"
-        st.Ppd.Controller.replays st.Ppd.Controller.intervals_total
-        st.Ppd.Controller.replay_steps
-        (if st.Ppd.Controller.holes > 0 then
-           Printf.sprintf ", %d hole(s)" st.Ppd.Controller.holes
-         else "")
-    end;
-    match dot with
-    | None -> ()
-    | Some path ->
-      Out_channel.with_open_text path (fun oc ->
-          Out_channel.output_string oc
-            (Ppd.Dyn_graph.to_dot (Ppd.Controller.graph ctl)));
-      Printf.printf "dynamic graph written to %s\n" path
+    Serve.Render.flowback_report (Serve.Render.stdout_sink ()) ~depth ~dot ctl
+      root
   in
   let run file sched steps inline loops depth dot jobs degraded max_rs faults
       fseed load pout ptrace =
@@ -667,8 +646,10 @@ let flowback_cmd =
       | exception Trace.Log_io.Unreadable { path; reason } ->
         die_unreadable ~path ~reason
       | r ->
-        Printf.printf "debugging saved log %s (v%d, %d process(es))\n" logpath
-          (Store.Segment.version r) (Store.Segment.nprocs r);
+        Serve.Render.header
+          (Serve.Render.stdout_sink ())
+          ~path:logpath ~version:(Store.Segment.version r)
+          ~nprocs:(Store.Segment.nprocs r);
         let jobs = resolve_jobs jobs in
         let pool = if jobs > 1 then Some (Exec.Pool.create ~jobs ()) else None in
         let cleanup () =
@@ -704,29 +685,10 @@ let replay_cmd =
           ~doc:"Print the assembled dynamic graph (deterministic dump).")
   in
   (* Batch-build every interval of every process and report the graph;
-     shared by the run and --load paths. *)
+     shared by the run and --load paths (and the daemon, via
+     Serve.Render). *)
   let rebuild ~dump ~nprocs ctl =
-    let keys =
-      List.concat
-        (List.init nprocs (fun pid ->
-             List.init
-               (Array.length (Ppd.Controller.intervals ctl ~pid))
-               (fun iv_id -> (pid, iv_id))))
-    in
-    Ppd.Controller.build_intervals_par ctl keys;
-    let st = Ppd.Controller.stats ctl in
-    let g = Ppd.Controller.graph ctl in
-    Printf.printf
-      "replayed %d of %d log intervals (%d replay steps); graph: %d nodes, \
-       %d edges%s\n"
-      st.Ppd.Controller.replays st.Ppd.Controller.intervals_total
-      st.Ppd.Controller.replay_steps (Ppd.Dyn_graph.nnodes g)
-      (Ppd.Dyn_graph.nedges g)
-      (if st.Ppd.Controller.holes > 0 then
-         Printf.sprintf ", %d hole(s)" st.Ppd.Controller.holes
-       else "");
-    Ppd.Flowback.pp_holes ctl Format.std_formatter;
-    if dump then Format.printf "%a@." Ppd.Dyn_graph.pp g
+    Serve.Render.replay_report (Serve.Render.stdout_sink ()) ~dump ~nprocs ctl
   in
   let run file sched steps inline loops jobs dump degraded max_rs faults fseed
       load pout ptrace =
@@ -754,8 +716,10 @@ let replay_cmd =
       | exception Trace.Log_io.Unreadable { path; reason } ->
         die_unreadable ~path ~reason
       | r ->
-        Printf.printf "debugging saved log %s (v%d, %d process(es))\n" logpath
-          (Store.Segment.version r) (Store.Segment.nprocs r);
+        Serve.Render.header
+          (Serve.Render.stdout_sink ())
+          ~path:logpath ~version:(Store.Segment.version r)
+          ~nprocs:(Store.Segment.nprocs r);
         let jobs = resolve_jobs jobs in
         let pool = if jobs > 1 then Some (Exec.Pool.create ~jobs ()) else None in
         let cleanup () =
@@ -1316,6 +1280,180 @@ let profile_cmd =
           Chrome trace_event JSON for chrome://tracing or Perfetto.")
     Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* The debugging daemon (DESIGN §14).                                   *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a unix-domain socket.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"N" ~doc:"Listen on TCP loopback port N.")
+
+let serve_cmd =
+  let rpc_arg =
+    Arg.(
+      value & flag
+      & info [ "rpc" ]
+          ~doc:
+            "Serve one session over stdin/stdout instead of a socket \
+             (one JSON request per line in, one id-matched response per \
+             line out) — the transport cram tests and scripts drive.")
+  in
+  let max_active_arg =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.max_active
+      & info [ "max-active" ] ~docv:"N"
+          ~doc:"Heavy requests (flowback/replay/race/proto/fsck) running \
+                at once; more wait in the admission queue.")
+  in
+  let max_queue_arg =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.max_queue
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Admission-queue depth; requests beyond it are shed with \
+                the PPD084 busy error instead of stalling.")
+  in
+  let max_open_arg =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.max_open_logs
+      & info [ "max-open-logs" ] ~docv:"N"
+          ~doc:"Per-session open-log quota (PPD085 beyond it).")
+  in
+  let step_quota_arg =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.step_quota
+      & info [ "step-quota" ] ~docv:"N"
+          ~doc:"Per-session lifetime replay-step quota (PPD085 beyond it).")
+  in
+  let run socket port rpc jobs max_active max_queue max_open_logs step_quota
+      faults fseed pout ptrace =
+    profile_setup pout ptrace;
+    arm_faults faults fseed;
+    let config =
+      {
+        Serve.Server.jobs = resolve_jobs jobs;
+        max_active;
+        max_queue;
+        max_open_logs;
+        step_quota;
+        max_replay_steps_cap =
+          Serve.Server.default_config.Serve.Server.max_replay_steps_cap;
+      }
+    in
+    let t = Serve.Server.create ~config () in
+    (match (rpc, socket, port) with
+    | true, None, None ->
+      (* stdout carries only protocol lines in --rpc mode *)
+      Serve.Server.run_stdio t;
+      Serve.Server.shutdown t
+    | false, Some path, None ->
+      let stop = Atomic.make false in
+      let on_signal _ = Atomic.set stop true in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      Printf.eprintf "ppd serve: listening on unix:%s (-j %d)\n%!" path
+        config.Serve.Server.jobs;
+      Serve.Server.run_unix ~stop t ~path;
+      Printf.eprintf "ppd serve: stopped (pool drained, socket removed)\n%!"
+    | false, None, Some port ->
+      let stop = Atomic.make false in
+      let on_signal _ = Atomic.set stop true in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      Printf.eprintf "ppd serve: listening on tcp:%d (-j %d)\n%!" port
+        config.Serve.Server.jobs;
+      Serve.Server.run_tcp ~stop t ~port;
+      Printf.eprintf "ppd serve: stopped (pool drained)\n%!"
+    | _ ->
+      Format.eprintf
+        "ppd serve: pass exactly one of --socket PATH, --port N or --rpc@.";
+      exit 124);
+    profile_write pout ptrace
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived debugging daemon: a registry of opened \
+          logs served to many concurrent sessions over line-delimited \
+          JSON-RPC (methods: open, close, flowback, replay, race, \
+          proto, fsck, profile, stats, serverStats), sharing one \
+          domain pool and one replayed-fragment cache per log across \
+          sessions, with per-session quotas and a bounded admission \
+          queue that sheds overload with the PPD084 busy error.")
+    Term.(
+      const run $ socket_arg $ port_arg $ rpc_arg $ jobs_arg $ max_active_arg
+      $ max_queue_arg $ max_open_arg $ step_quota_arg $ fault_arg
+      $ fault_seed_arg $ profile_out_arg $ profile_trace_arg)
+
+let connect_cmd =
+  let run socket port =
+    let fd =
+      match (socket, port) with
+      | Some path, None ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_UNIX path)
+         with Unix.Unix_error (e, _, _) ->
+           Printf.eprintf "ppd connect: %s: %s\n" path (Unix.error_message e);
+           exit 1);
+        fd
+      | None, Some port ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+         with Unix.Unix_error (e, _, _) ->
+           Printf.eprintf "ppd connect: port %d: %s\n" port
+             (Unix.error_message e);
+           exit 1);
+        fd
+      | _ ->
+        Format.eprintf "ppd connect: pass exactly one of --socket or --port@.";
+        exit 124
+    in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (* lockstep: one request line in, one response line out — exactly
+       the protocol's per-connection ordering guarantee *)
+    let rec loop () =
+      match In_channel.input_line In_channel.stdin with
+      | None -> ()
+      | Some line ->
+        if String.trim line = "" then loop ()
+        else begin
+          output_string oc line;
+          output_char oc '\n';
+          flush oc;
+          (match In_channel.input_line ic with
+          | Some resp ->
+            print_string resp;
+            print_newline ();
+            flush stdout;
+            loop ()
+          | None ->
+            Printf.eprintf "ppd connect: server closed the connection\n";
+            exit 1)
+        end
+    in
+    loop ();
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:
+         "Connect to a running $(b,ppd serve) daemon and bridge \
+          stdin/stdout to it: each input line is sent as one request, \
+          each response line is printed back.")
+    Term.(const run $ socket_arg $ port_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "ppd" ~version:"1.0.0"
@@ -1339,6 +1477,8 @@ let main_cmd =
       restore_cmd;
       whatif_cmd;
       debug_cmd;
+      serve_cmd;
+      connect_cmd;
       examples_cmd;
       example_cmd;
       profile_cmd;

@@ -38,7 +38,13 @@ type t = {
   ivs : L.interval array array;  (* per pid *)
   outcomes : (int * int, Emulator.outcome) Hashtbl.t;
       (* intervals whose fragment is in the graph *)
-  pool : Exec.Pool.t option;  (* None = the bit-identical serial path *)
+  mutable pool : Exec.Pool.t option;
+      (* None = the bit-identical serial path; {!detach_pool} drops a
+         shut-down pool so later queries fall back to serial replay *)
+  shared : Fragcache.t option;
+      (* cross-controller fragment cache (one per log identity in the
+         `ppd serve` registry); clean outcomes are published here and
+         consulted before any replay *)
   frag_lock : Mutex.t;
   frags : (int * int, Emulator.outcome) Hashtbl.t;
       (* raw replay outcomes produced by pool workers (batch or
@@ -51,6 +57,8 @@ type t = {
   mutable replays : int;
   mutable replay_steps : int;
   mutable prefetched : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
   config : config;
   mutable holes_rev : hole list;
   mutable retried : int;
@@ -61,6 +69,8 @@ type stats = {
   replay_steps : int;
   intervals_total : int;
   prefetched : int;
+  cache_hits : int;
+  cache_misses : int;
   holes : int;
   retried : int;
 }
@@ -86,7 +96,7 @@ let c_holes = Obs.counter "ctl.holes"
 
 let c_retries = Obs.counter "ctl.retries"
 
-let make ?pool ?(config = default_config) eb src =
+let make ?pool ?shared ?(config = default_config) eb src =
   let prog = eb.Analysis.Eblock.prog in
   let stmt_fid sid = prog.P.stmt_fid.(sid) in
   let ivs, pd =
@@ -109,6 +119,7 @@ let make ?pool ?(config = default_config) eb src =
     ivs;
     outcomes = Hashtbl.create 16;
     pool;
+    shared;
     frag_lock = Mutex.create ();
     frags = Hashtbl.create 16;
     inflight = Hashtbl.create 16;
@@ -116,14 +127,24 @@ let make ?pool ?(config = default_config) eb src =
     replays = 0;
     replay_steps = 0;
     prefetched = 0;
+    cache_hits = 0;
+    cache_misses = 0;
     config;
     holes_rev = [];
     retried = 0;
   }
 
-let start ?pool ?config eb log = make ?pool ?config eb (S_mem log)
+let start ?pool ?shared ?config eb log = make ?pool ?shared ?config eb (S_mem log)
 
-let start_paged ?pool ?config eb reader = make ?pool ?config eb (S_paged reader)
+let start_paged ?pool ?shared ?config eb reader =
+  make ?pool ?shared ?config eb (S_paged reader)
+
+(* Forget the pool: later queries replay serially on the calling
+   domain. In-flight futures stay consumable (a shut-down pool has
+   drained every queued task, so they are already resolved); only new
+   submissions stop. This is what lets a {!Session} answer queries
+   after its pool was shut down instead of raising. *)
+let detach_pool t = t.pool <- None
 
 (* The log slice an interval's emulation touches: entries
    [iv_prelog - 1 .. iv_postlog] (the preceding sync record through the
@@ -166,6 +187,21 @@ let replay_outcome t (iv : L.interval) =
   Emulator.replay ~max_steps:t.config.max_replay_steps t.eb (interval_log t iv)
     ~interval:iv
 
+(* Consult the cross-controller fragment cache. A cached outcome whose
+   step count exceeds *this* controller's watchdog budget is ignored:
+   the consumer must see the same overrun a fresh replay would report,
+   so a generous producer cannot mask a tight consumer's PPD060. *)
+let shared_find t key =
+  match t.shared with
+  | None -> None
+  | Some sh -> (
+    match Fragcache.find sh key with
+    | Some o when o.Emulator.steps <= t.config.max_replay_steps -> Some o
+    | Some _ | None -> None)
+
+let shared_mem t key =
+  match t.shared with None -> false | Some sh -> Fragcache.mem sh key
+
 (* Fetch (and drop) a worker-produced fragment, if one landed. *)
 let take_frag t key =
   Mutex.lock t.frag_lock;
@@ -189,8 +225,11 @@ let submit_replay t (iv : L.interval) =
       Mutex.unlock t.frag_lock;
       c
     in
-    if Hashtbl.mem t.outcomes key || Hashtbl.mem t.inflight key || cached then
-      false
+    if
+      Hashtbl.mem t.outcomes key
+      || Hashtbl.mem t.inflight key
+      || cached || shared_mem t key
+    then false
     else begin
       let fut =
         Exec.Pool.submit pool (fun () ->
@@ -273,30 +312,40 @@ let reason_of_failure = function
   | Emulator.Replay_mismatch m -> Printf.sprintf "replay diverged: %s" m
   | e -> Printexc.to_string e
 
-let build_interval t ~pid ~iv_id =
+let build_interval (t : t) ~pid ~iv_id =
   let key = (pid, iv_id) in
   Obs.incr c_lookups;
+  let hit () =
+    Obs.incr c_hits;
+    t.cache_hits <- t.cache_hits + 1
+  in
   match Hashtbl.find_opt t.outcomes key with
   | Some o ->
-    Obs.incr c_hits;
+    hit ();
     o
   | None ->
     let iv = t.ivs.(pid).(iv_id) in
     let acquire () =
       match take_frag t key with
       | Some o ->
-        Obs.incr c_hits;
+        hit ();
         o
       | None -> (
         match Hashtbl.find_opt t.inflight key with
         | Some fut ->
-          Obs.incr c_hits;
+          hit ();
           let o = Exec.Pool.await fut in
           ignore (take_frag t key);
           o
-        | None ->
-          Obs.incr c_misses;
-          replay_outcome t iv)
+        | None -> (
+          match shared_find t key with
+          | Some o ->
+            hit ();
+            o
+          | None ->
+            Obs.incr c_misses;
+            t.cache_misses <- t.cache_misses + 1;
+            replay_outcome t iv))
     in
     let is_hole = ref false in
     let hole reason =
@@ -339,6 +388,11 @@ let build_interval t ~pid ~iv_id =
       t.pending <- Builder.pending_links builder @ t.pending;
       retry_pending t;
       Hashtbl.replace t.outcomes key outcome;
+      (* publish clean outcomes for sibling sessions on the same log
+         ([Fragcache.publish] drops faulted/overrun ones itself) *)
+      (match t.shared with
+      | Some sh -> Fragcache.publish sh key outcome
+      | None -> ());
       outcome
     end
 
@@ -723,6 +777,8 @@ let stats (t : t) =
     replay_steps = t.replay_steps;
     intervals_total = Array.fold_left (fun a ivs -> a + Array.length ivs) 0 t.ivs;
     prefetched = t.prefetched;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
     holes = List.length t.holes_rev;
     retried = t.retried;
   }

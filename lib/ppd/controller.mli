@@ -54,14 +54,26 @@ type hole = {
 }
 
 val start :
-  ?pool:Exec.Pool.t -> ?config:config -> Analysis.Eblock.t -> Trace.Log.t -> t
+  ?pool:Exec.Pool.t ->
+  ?shared:Fragcache.t ->
+  ?config:config ->
+  Analysis.Eblock.t ->
+  Trace.Log.t ->
+  t
 (** Debug over a whole in-memory log. With [pool], interval emulation
     can run on the pool's domains ({!build_intervals_par},
     {!prefetch}); graph assembly stays on the querying domain, so the
-    resulting graph is byte-identical to the serial one. *)
+    resulting graph is byte-identical to the serial one. With [shared],
+    raw replay outcomes are exchanged with every other controller bound
+    to the same {!Fragcache} (the `ppd serve` registry keeps one per
+    opened log): clean outcomes are published after assembly and the
+    cache is consulted before any serial replay. Statistics
+    ([replays]/[replay_steps]) count assembly, not raw replay work, so
+    they are unchanged by sharing. *)
 
 val start_paged :
   ?pool:Exec.Pool.t ->
+  ?shared:Fragcache.t ->
   ?config:config ->
   Analysis.Eblock.t ->
   Store.Segment.reader ->
@@ -70,6 +82,11 @@ val start_paged :
     footer index, and only the intervals a query touches are ever
     decoded (through the reader's window LRU). Flowback answers are
     identical to {!start} on the same execution. *)
+
+val detach_pool : t -> unit
+(** Forget the pool: subsequent queries replay serially on the calling
+    domain instead of raising on a shut-down pool. Used by
+    {!Session.close} so a closed session stays queryable. *)
 
 val holes : t -> hole list
 (** Holes declared so far, in assembly order (deterministic across
@@ -133,6 +150,12 @@ type stats = {
   replay_steps : int;  (** interpreter steps spent emulating *)
   intervals_total : int;  (** intervals available in the log *)
   prefetched : int;  (** speculative replays submitted by {!prefetch} *)
+  cache_hits : int;
+      (** assembly requests answered without a fresh serial replay
+          (already assembled, pool fragment, in flight, or shared
+          cache) — this instance only, always live unlike the Obs
+          mirror *)
+  cache_misses : int;  (** assembly requests that forced a serial replay *)
   holes : int;  (** degraded-mode holes declared *)
   retried : int;  (** transient replay failures retried *)
 }

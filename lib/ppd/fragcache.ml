@@ -1,0 +1,79 @@
+(* Shared replayed-fragment cache (DESIGN §14).
+
+   One instance per opened log identity: every controller debugging
+   that log — across daemon sessions, across requests — publishes the
+   raw replay outcomes it produces and consults the cache before
+   replaying. Outcomes are pure functions of (log, e-block analysis,
+   interval), so sharing them across sessions is safe; only *clean*
+   outcomes are published (no injected fault, no watchdog overrun), so
+   one session's degraded holes can never leak into another session's
+   answers.
+
+   The hit/miss counters are plain atomics, always live (unlike the
+   Obs mirrors, which are no-ops until profiling is enabled): the T13
+   bench and the `serverStats` method read exact numbers from here. *)
+
+type stats = { hits : int; misses : int; inserts : int }
+
+type t = {
+  lock : Mutex.t;
+  tbl : (int * int, Emulator.outcome) Hashtbl.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  inserts : int Atomic.t;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    inserts = Atomic.make 0;
+  }
+
+let find t key =
+  Mutex.lock t.lock;
+  let o = Hashtbl.find_opt t.tbl key in
+  Mutex.unlock t.lock;
+  (match o with
+  | Some _ -> Atomic.incr t.hits
+  | None -> Atomic.incr t.misses);
+  o
+
+(* Publish a clean outcome. Failed or truncated replays stay private to
+   the controller that saw them: a transient fault or a tight watchdog
+   budget is that session's business, not the log's. *)
+let publish t key (o : Emulator.outcome) =
+  if o.Emulator.fault = None && not o.Emulator.overrun then begin
+    Mutex.lock t.lock;
+    if not (Hashtbl.mem t.tbl key) then begin
+      Hashtbl.replace t.tbl key o;
+      Atomic.incr t.inserts
+    end;
+    Mutex.unlock t.lock
+  end
+
+let mem t key =
+  Mutex.lock t.lock;
+  let m = Hashtbl.mem t.tbl key in
+  Mutex.unlock t.lock;
+  m
+
+let size t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.lock;
+  n
+
+let stats t =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    inserts = Atomic.get t.inserts;
+  }
+
+let hit_rate t =
+  let s = stats t in
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total

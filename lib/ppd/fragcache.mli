@@ -1,0 +1,35 @@
+(** Shared replayed-fragment cache: raw {!Emulator.outcome}s keyed by
+    [(pid, iv_id)], shared by every controller debugging the same saved
+    log (the `ppd serve` registry keeps one instance per log identity
+    and analysis policy, so concurrent sessions hit each other's
+    replays).
+
+    Thread- and domain-safe: the table is mutex-protected and the
+    counters are atomics. Only clean outcomes (no injected fault, no
+    watchdog overrun) are ever published, so a degraded session cannot
+    poison its neighbours. *)
+
+type t
+
+type stats = { hits : int; misses : int; inserts : int }
+
+val create : unit -> t
+
+val find : t -> int * int -> Emulator.outcome option
+(** Look up an interval's outcome; counts a hit or a miss. *)
+
+val publish : t -> int * int -> Emulator.outcome -> unit
+(** Insert a clean outcome (first writer wins); failed or overrun
+    outcomes are silently dropped. *)
+
+val mem : t -> int * int -> bool
+(** Presence probe; does not count as a lookup. *)
+
+val size : t -> int
+(** Cached outcomes. *)
+
+val stats : t -> stats
+(** Exact lifetime counters (always live, independent of {!Obs}). *)
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; [0.0] before any lookup. *)

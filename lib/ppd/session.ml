@@ -10,6 +10,9 @@ type t = {
   ctl_config : Controller.config option;
   mutable pool : Exec.Pool.t option;
   mutable ctl : Controller.t option;
+  mutable closed : bool;
+      (* mirrors the Pool.shutdown joined flag: close is idempotent,
+         and a closed session never creates another pool *)
 }
 
 let of_program ?sched ?max_steps ?policy ?(race_sets = true) ?breakpoints
@@ -34,6 +37,7 @@ let of_program ?sched ?max_steps ?policy ?(race_sets = true) ?breakpoints
     ctl_config;
     pool = None;
     ctl = None;
+    closed = false;
   }
 
 let run ?sched ?max_steps ?policy ?race_sets ?breakpoints ?log_sink ?jobs
@@ -58,7 +62,7 @@ let controller t =
   | Some c -> c
   | None ->
     let pool =
-      if t.jobs > 1 then begin
+      if t.jobs > 1 && not t.closed then begin
         let p = Exec.Pool.create ~jobs:t.jobs () in
         t.pool <- Some p;
         Some p
@@ -70,8 +74,18 @@ let controller t =
     c
 
 let shutdown t =
-  (match t.pool with Some p -> Exec.Pool.shutdown p | None -> ());
-  t.pool <- None
+  if not t.closed then begin
+    t.closed <- true;
+    (* detach before joining: once the pool is gone the controller
+       must fall back to serial replay instead of raising on submit *)
+    (match t.ctl with Some c -> Controller.detach_pool c | None -> ());
+    (match t.pool with Some p -> Exec.Pool.shutdown p | None -> ());
+    t.pool <- None
+  end
+
+let close = shutdown
+
+let closed t = t.closed
 
 let pardyn t =
   match t.pardyn_rt with

@@ -64,9 +64,16 @@ val controller : t -> Controller.t
     [jobs > 1], the controller gets a domain pool of that size. *)
 
 val shutdown : t -> unit
-(** Join the session's pool domains, if a pool was created. Safe to
-    call more than once; the controller keeps answering queries (on
-    the serial path) afterwards. *)
+(** Join the session's pool domains, if a pool was created. Idempotent
+    (a closed session never joins or creates a pool again), and the
+    controller keeps answering queries afterwards: the pool is detached
+    first, so later [build_interval]s replay serially instead of
+    raising on a shut-down pool. *)
+
+val close : t -> unit
+(** Alias of {!shutdown} — the registry-facing name. *)
+
+val closed : t -> bool
 
 val pardyn : t -> Pardyn.t
 (** With access sets when [race_sets] was on; otherwise from the log. *)

@@ -1,0 +1,100 @@
+(* Mutex/condvar admission gate. The fast path (slot free, no queue)
+   is one lock round-trip; the slow path parks the thread on [cond]
+   until a release hands it a slot. FIFO fairness is not guaranteed —
+   the condvar wakes an arbitrary waiter — but the queue bound keeps
+   the worst case short, and anything past the bound is shed with
+   [`Busy] while holding the lock for O(1). *)
+
+type t = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  max_active : int;
+  max_queue : int;
+  mutable active : int;
+  mutable queued : int;
+  mutable admitted : int;
+  mutable shed : int;
+  mutable total_wait_ns : int;
+}
+
+type stats = {
+  active : int;
+  queued : int;
+  admitted : int;
+  shed : int;
+  total_wait_ns : int;
+}
+
+let create ~max_active ~max_queue =
+  {
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    max_active = max 1 max_active;
+    max_queue = max 0 max_queue;
+    active = 0;
+    queued = 0;
+    admitted = 0;
+    shed = 0;
+    total_wait_ns = 0;
+  }
+
+let admit t =
+  Mutex.lock t.lock;
+  if t.active < t.max_active then begin
+    t.active <- t.active + 1;
+    t.admitted <- t.admitted + 1;
+    Mutex.unlock t.lock;
+    Ok 0
+  end
+  else if t.queued >= t.max_queue then begin
+    t.shed <- t.shed + 1;
+    Mutex.unlock t.lock;
+    Error `Busy
+  end
+  else begin
+    let t0 = Obs.now_ns () in
+    t.queued <- t.queued + 1;
+    while t.active >= t.max_active do
+      Condition.wait t.cond t.lock
+    done;
+    t.queued <- t.queued - 1;
+    t.active <- t.active + 1;
+    t.admitted <- t.admitted + 1;
+    let wait = Obs.now_ns () - t0 in
+    t.total_wait_ns <- t.total_wait_ns + wait;
+    Mutex.unlock t.lock;
+    Ok wait
+  end
+
+let release t =
+  Mutex.lock t.lock;
+  t.active <- t.active - 1;
+  Condition.signal t.cond;
+  Mutex.unlock t.lock
+
+let with_slot t f =
+  match admit t with
+  | Error `Busy -> Error `Busy
+  | Ok wait_ns ->
+    let r =
+      try f ~queue_wait_ns:wait_ns
+      with e ->
+        release t;
+        raise e
+    in
+    release t;
+    Ok r
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      active = t.active;
+      queued = t.queued;
+      admitted = t.admitted;
+      shed = t.shed;
+      total_wait_ns = t.total_wait_ns;
+    }
+  in
+  Mutex.unlock t.lock;
+  s

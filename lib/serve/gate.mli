@@ -1,0 +1,37 @@
+(** Bounded admission for the daemon's heavy methods (DESIGN §14).
+
+    At most [max_active] requests execute at once; up to [max_queue]
+    more wait their turn on a condvar. Anything beyond that is shed
+    immediately with [`Busy] (the PPD084 error) instead of stalling
+    the connection — under overload the daemon degrades by refusing
+    work it cannot start soon, never by going unresponsive.
+
+    Queue wait is measured per admission (monotonic nanoseconds) and
+    accumulated in the stats, so `serverStats` can report tail
+    queueing directly. *)
+
+type t
+
+val create : max_active:int -> max_queue:int -> t
+
+val admit : t -> (int, [ `Busy ]) result
+(** Block until a slot frees (bounded by the queue), then take it.
+    [Ok wait_ns] is the time spent queued; [Error `Busy] means the
+    queue was full and nothing was taken. *)
+
+val release : t -> unit
+(** Give the slot back and wake one waiter. Must pair with a
+    successful {!admit}. *)
+
+val with_slot : t -> (queue_wait_ns:int -> 'a) -> ('a, [ `Busy ]) result
+(** [admit]/[release] around a callback, releasing on exceptions. *)
+
+type stats = {
+  active : int;  (** currently executing *)
+  queued : int;  (** currently waiting *)
+  admitted : int;  (** lifetime admissions *)
+  shed : int;  (** lifetime [`Busy] rejections *)
+  total_wait_ns : int;  (** lifetime queue wait across admissions *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,36 @@
+(** Minimal JSON for the serve protocol (DESIGN §14).
+
+    The repo carries no JSON dependency, so the daemon speaks through
+    this hand-rolled value type: a strict parser (UTF-8 validated,
+    depth-bounded) and a canonical printer. One value per protocol
+    line; no pretty-printing, no trailing newline. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Canonical single-line rendering: object fields in the given order,
+    strings escaped per RFC 8259 (control characters as [\u00XX]). *)
+
+val parse : string -> (t, string) result
+(** Strict parse of one complete JSON value (surrounding whitespace
+    allowed, nothing else). Rejects trailing garbage, invalid UTF-8 in
+    strings, unknown escapes, and nesting deeper than 64. The error
+    string is a human-readable reason. *)
+
+(* Accessors used by the dispatcher; all total. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+
+val to_str : t -> string option
+
+val to_bool : t -> bool option

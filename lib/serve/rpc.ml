@@ -1,0 +1,59 @@
+(* Request/response framing. Every malformed input maps to a PPD080
+   error *response*: the connection stays up, the read loop never
+   throws. *)
+
+type request = { rq_id : Json.t; rq_method : string; rq_params : Json.t }
+
+let err_protocol = "PPD080"
+
+let err_unknown_method = "PPD081"
+
+let err_bad_params = "PPD082"
+
+let err_unknown_handle = "PPD083"
+
+let err_busy = "PPD084"
+
+let err_quota = "PPD085"
+
+let max_line_bytes = 1 lsl 20
+
+let parse_request line =
+  if String.length line > max_line_bytes then
+    Error
+      ( err_protocol,
+        Printf.sprintf "request line exceeds %d bytes" max_line_bytes )
+  else
+    match Json.parse line with
+    | Error reason -> Error (err_protocol, "invalid JSON: " ^ reason)
+    | Ok (Json.Obj _ as obj) -> (
+      let id = Json.member "id" obj in
+      match id with
+      | None | Some Json.Null ->
+        Error (err_protocol, "request has no \"id\"")
+      | Some ((Json.List _ | Json.Obj _) as _structured) ->
+        Error (err_protocol, "request \"id\" must be a scalar")
+      | Some id -> (
+        match Json.member "method" obj with
+        | Some (Json.Str m) when m <> "" -> (
+          match Json.member "params" obj with
+          | None -> Ok { rq_id = id; rq_method = m; rq_params = Json.Obj [] }
+          | Some (Json.Obj _ as p) ->
+            Ok { rq_id = id; rq_method = m; rq_params = p }
+          | Some _ -> Error (err_protocol, "request \"params\" must be an object"))
+        | Some _ -> Error (err_protocol, "request \"method\" must be a string")
+        | None -> Error (err_protocol, "request has no \"method\"")))
+    | Ok _ -> Error (err_protocol, "request must be a JSON object")
+
+let result_line ~id result =
+  Json.to_string (Json.Obj [ ("id", id); ("result", result) ])
+
+let error_line ~id ~code ~message =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id);
+         ( "error",
+           Json.Obj [ ("code", Json.Str code); ("message", Json.Str message) ]
+         );
+       ])

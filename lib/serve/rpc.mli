@@ -1,0 +1,54 @@
+(** Line-delimited JSON-RPC framing for the serve protocol (DESIGN
+    §14): one request object per line in, one id-matched response
+    object per line out.
+
+    Requests: [{"id": ID, "method": "NAME", "params": {...}}] — [id]
+    is any scalar the client chooses and is echoed verbatim; [params]
+    is optional and defaults to [{}].
+
+    Responses: [{"id": ID, "result": ...}] on success, or
+    [{"id": ID, "error": {"code": "PPD08x", "message": "..."}}].
+    A request whose id could not be recovered is answered with
+    [id: null] — the line is never silently dropped. *)
+
+type request = {
+  rq_id : Json.t;  (** echoed verbatim; never [List]/[Obj] *)
+  rq_method : string;
+  rq_params : Json.t;  (** always an [Obj] ([{}] when absent) *)
+}
+
+(* Protocol-layer diagnostic codes, continuing the PPD0xx registry
+   (PPD050/PPD060/PPD001 are reused for the conditions they already
+   name). *)
+
+val err_protocol : string
+(** PPD080: unparsable line, oversized line, invalid UTF-8, or a
+    request object of the wrong shape. *)
+
+val err_unknown_method : string
+(** PPD081 *)
+
+val err_bad_params : string
+(** PPD082: missing or ill-typed parameter. *)
+
+val err_unknown_handle : string
+(** PPD083: log handle not in the registry (or already closed). *)
+
+val err_busy : string
+(** PPD084: admission queue full — back off and retry. *)
+
+val err_quota : string
+(** PPD085: per-session quota exceeded (open logs, replay steps). *)
+
+val max_line_bytes : int
+(** Requests longer than this are PPD080 without being parsed (1 MiB). *)
+
+val parse_request : string -> (request, string * string) result
+(** Parse one line. [Error (code, message)] is always [err_protocol]
+    with a reason; the caller answers it with {!error_line} and
+    [id = Null]. *)
+
+val result_line : id:Json.t -> Json.t -> string
+(** One response line (no trailing newline). *)
+
+val error_line : id:Json.t -> code:string -> message:string -> string

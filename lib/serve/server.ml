@@ -1,0 +1,762 @@
+(* The daemon core. Transport-independent: `handle_line` is the whole
+   protocol, so cram (--rpc over stdin/stdout), the unix/tcp listeners
+   and the in-process T13 bench all share one dispatcher.
+
+   Locking: [t.lock] guards the registry and session tables (open,
+   close, session bookkeeping — all O(1) critical sections). Heavy
+   method bodies run outside it: the segment reader is immutable after
+   open apart from its mutex-sharded page LRU, the fragment cache is
+   internally locked, and the pool accepts submissions from any
+   thread. Session counters are only written by the session's own
+   connection thread; `serverStats` reads them racily, which for
+   monotonic ints is at worst one request stale. *)
+
+module J = Json
+
+type config = {
+  jobs : int;
+  max_active : int;
+  max_queue : int;
+  max_open_logs : int;
+  step_quota : int;
+  max_replay_steps_cap : int;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    max_active = 4;
+    max_queue = 16;
+    max_open_logs = 8;
+    step_quota = 50_000_000;
+    max_replay_steps_cap = 10_000_000;
+  }
+
+(* One opened (log, program, policy) identity. Everything here is
+   shared by every handle on it, across sessions: the reader's page
+   LRU and the fragment cache are where concurrent sessions help each
+   other. *)
+type entry = {
+  e_key : string;
+  e_log : string;
+  e_reader : Store.Segment.reader;
+  e_eb : Analysis.Eblock.t;
+  e_frag : Ppd.Fragcache.t;
+  mutable e_refs : int;
+}
+
+(* Global counters and their per-session mirrors (satellite: the
+   globals must equal the sum of the serve.s<ID>.* namespaces; the
+   perf gate asserts it). Only ever bumped in pairs. *)
+let c_requests = Obs.counter "serve.requests"
+
+let c_errors = Obs.counter "serve.errors"
+
+let c_hits = Obs.counter "serve.cache.hits"
+
+let c_misses = Obs.counter "serve.cache.misses"
+
+let c_wait = Obs.counter "serve.queue_wait_ns"
+
+let c_shed = Obs.counter "serve.shed"
+
+type session = {
+  s_id : int;
+  s_handles : (int, entry) Hashtbl.t;
+  (* handles are session-scoped: every session's first open is handle 1,
+     so a scripted client never has to parse the number back out *)
+  mutable s_next_handle : int;
+  mutable s_requests : int;
+  mutable s_errors : int;
+  mutable s_cache_hits : int;
+  mutable s_cache_misses : int;
+  mutable s_replay_steps : int;
+  mutable s_queue_wait_ns : int;
+  mutable s_shed : int;
+  mutable s_ended : bool;
+  (* Obs mirrors, namespaced serve.s<ID>.* *)
+  sc_requests : Obs.counter;
+  sc_errors : Obs.counter;
+  sc_hits : Obs.counter;
+  sc_misses : Obs.counter;
+  sc_wait : Obs.counter;
+  sc_shed : Obs.counter;
+}
+
+type t = {
+  cfg : config;
+  lock : Mutex.t;
+  entries : (string, entry) Hashtbl.t;  (* key -> entry *)
+  sessions : (int, session) Hashtbl.t;
+  mutable next_session : int;
+  pool : Exec.Pool.t option;
+  gate : Gate.t;
+  started_ns : int;
+}
+
+let create ?(config = default_config) () =
+  let jobs = max 1 config.jobs in
+  {
+    cfg = { config with jobs };
+    lock = Mutex.create ();
+    entries = Hashtbl.create 8;
+    sessions = Hashtbl.create 8;
+    next_session = 1;
+    pool = (if jobs > 1 then Some (Exec.Pool.create ~jobs ()) else None);
+    gate = Gate.create ~max_active:config.max_active ~max_queue:config.max_queue;
+    started_ns = Obs.now_ns ();
+  }
+
+let config t = t.cfg
+
+let shutdown t =
+  match t.pool with Some p -> Exec.Pool.shutdown p | None -> ()
+
+let session t =
+  Mutex.lock t.lock;
+  let id = t.next_session in
+  t.next_session <- id + 1;
+  let pfx = Printf.sprintf "serve.s%d." id in
+  let s =
+    {
+      s_id = id;
+      s_handles = Hashtbl.create 4;
+      s_next_handle = 1;
+      s_requests = 0;
+      s_errors = 0;
+      s_cache_hits = 0;
+      s_cache_misses = 0;
+      s_replay_steps = 0;
+      s_queue_wait_ns = 0;
+      s_shed = 0;
+      s_ended = false;
+      sc_requests = Obs.counter (pfx ^ "requests");
+      sc_errors = Obs.counter (pfx ^ "errors");
+      sc_hits = Obs.counter (pfx ^ "cache.hits");
+      sc_misses = Obs.counter (pfx ^ "cache.misses");
+      sc_wait = Obs.counter (pfx ^ "queue_wait_ns");
+      sc_shed = Obs.counter (pfx ^ "shed");
+    }
+  in
+  Hashtbl.replace t.sessions id s;
+  Mutex.unlock t.lock;
+  s
+
+let session_id s = s.s_id
+
+(* Drop one handle while holding [t.lock]. *)
+let drop_handle_locked t s h =
+  match Hashtbl.find_opt s.s_handles h with
+  | None -> None
+  | Some e ->
+    Hashtbl.remove s.s_handles h;
+    e.e_refs <- e.e_refs - 1;
+    if e.e_refs <= 0 then Hashtbl.remove t.entries e.e_key;
+    Some e.e_refs
+
+let end_session t s =
+  Mutex.lock t.lock;
+  if not s.s_ended then begin
+    s.s_ended <- true;
+    let hs = Hashtbl.fold (fun h _ acc -> h :: acc) s.s_handles [] in
+    List.iter (fun h -> ignore (drop_handle_locked t s h)) hs;
+    Hashtbl.remove t.sessions s.s_id
+  end;
+  Mutex.unlock t.lock
+
+(* ------------------------------------------------------------------ *)
+(* Parameter extraction.                                                *)
+(* ------------------------------------------------------------------ *)
+
+type 'a rpc_result = ('a, string * string) result
+
+let bad_params msg : 'a rpc_result = Error (Rpc.err_bad_params, msg)
+
+let p_str params name : string rpc_result =
+  match J.member name params with
+  | Some (J.Str s) -> Ok s
+  | Some _ -> bad_params (Printf.sprintf "param \"%s\" must be a string" name)
+  | None -> bad_params (Printf.sprintf "missing param \"%s\"" name)
+
+let p_int_opt params name ~default : int rpc_result =
+  match J.member name params with
+  | None -> Ok default
+  | Some (J.Int i) -> Ok i
+  | Some _ -> bad_params (Printf.sprintf "param \"%s\" must be an integer" name)
+
+let p_bool_opt params name ~default : bool rpc_result =
+  match J.member name params with
+  | None -> Ok default
+  | Some (J.Bool b) -> Ok b
+  | Some _ -> bad_params (Printf.sprintf "param \"%s\" must be a boolean" name)
+
+let p_handle t s params : entry rpc_result =
+  match J.member "handle" params with
+  | Some (J.Int h) -> (
+    Mutex.lock t.lock;
+    let e = Hashtbl.find_opt s.s_handles h in
+    Mutex.unlock t.lock;
+    match e with
+    | Some e -> Ok e
+    | None ->
+      Error
+        ( Rpc.err_unknown_handle,
+          Printf.sprintf "no open log with handle %d in this session" h ))
+  | Some _ -> bad_params "param \"handle\" must be an integer"
+  | None -> bad_params "missing param \"handle\""
+
+let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v
+
+(* ------------------------------------------------------------------ *)
+(* Shared failure mapping: the daemon's equivalent of the CLI's        *)
+(* [debugging] wrapper — same conditions, same PPD codes, but as       *)
+(* error responses on one request instead of process exits.            *)
+(* ------------------------------------------------------------------ *)
+
+let guarded (f : unit -> J.t rpc_result) : J.t rpc_result =
+  match f () with
+  | r -> r
+  | exception Ppd.Controller.Replay_overrun { pid; iv_id; budget } ->
+    Error
+      ( "PPD060",
+        Printf.sprintf
+          "replay watchdog: process %d interval %d exhausted the %d-step \
+           budget (raise maxReplaySteps, or degraded:true to debug around it)"
+          pid iv_id budget )
+  | exception Trace.Log_io.Unreadable { path; reason } ->
+    Error ("PPD050", Printf.sprintf "%s is not a readable log: %s" path reason)
+  | exception Fault.Injected { site; kind } ->
+    Error
+      ( "PPD086",
+        Printf.sprintf
+          "injected %s fault at %s aborted this request (use degraded:true \
+           to continue around it)"
+          (Fault.kind_to_string kind) site )
+
+(* ------------------------------------------------------------------ *)
+(* Methods.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let policy_of ~loops ~inline =
+  {
+    Analysis.Eblock.leaf_inline_max_stmts = inline;
+    loop_block_min_body = loops;
+  }
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> Ok s
+  | exception Sys_error e -> bad_params ("cannot read program file: " ^ e)
+
+let m_open t s params =
+  let* log = p_str params "log" in
+  let* program = p_str params "program" in
+  let* inline = p_int_opt params "inline" ~default:0 in
+  let* loops = p_int_opt params "loops" ~default:0 in
+  let quota_ok =
+    Mutex.lock t.lock;
+    let n = Hashtbl.length s.s_handles in
+    Mutex.unlock t.lock;
+    n < t.cfg.max_open_logs
+  in
+  if not quota_ok then
+    Error
+      ( Rpc.err_quota,
+        Printf.sprintf "session open-log quota exhausted (%d)"
+          t.cfg.max_open_logs )
+  else
+    guarded (fun () ->
+        let key = Printf.sprintf "%s\x00%s\x00%d\x00%d" log program inline loops in
+        let fresh () =
+          let* src = read_file program in
+          match Lang.Compile.compile_result src with
+          | Error (loc, msg) ->
+            Error
+              ( "PPD001",
+                Format.asprintf "%a" Lang.Diag.pp_error (loc, msg) )
+          | Ok prog ->
+            let eb =
+              Analysis.Eblock.analyze ~policy:(policy_of ~loops ~inline) prog
+            in
+            let reader = Store.Segment.open_file log in
+            Ok
+              {
+                e_key = key;
+                e_log = log;
+                e_reader = reader;
+                e_eb = eb;
+                e_frag = Ppd.Fragcache.create ();
+                e_refs = 0;
+              }
+        in
+        (* probe the registry, build outside the lock on miss, then
+           insert (second builder of the same key loses and is dropped) *)
+        Mutex.lock t.lock;
+        let hit = Hashtbl.find_opt t.entries key in
+        Mutex.unlock t.lock;
+        let* e =
+          match hit with
+          | Some e -> Ok e
+          | None ->
+            let* fresh_e = fresh () in
+            Mutex.lock t.lock;
+            let e =
+              match Hashtbl.find_opt t.entries key with
+              | Some racing -> racing
+              | None ->
+                Hashtbl.replace t.entries key fresh_e;
+                fresh_e
+            in
+            Mutex.unlock t.lock;
+            Ok e
+        in
+        Mutex.lock t.lock;
+        let h = s.s_next_handle in
+        s.s_next_handle <- h + 1;
+        e.e_refs <- e.e_refs + 1;
+        Hashtbl.replace s.s_handles h e;
+        Mutex.unlock t.lock;
+        Ok
+          (J.Obj
+             [
+               ("handle", J.Int h);
+               ("version", J.Int (Store.Segment.version e.e_reader));
+               ("nprocs", J.Int (Store.Segment.nprocs e.e_reader));
+               ("bytes", J.Int (Store.Segment.file_bytes e.e_reader));
+               ("refs", J.Int e.e_refs);
+             ]))
+
+let m_close t s params =
+  match J.member "handle" params with
+  | Some (J.Int h) -> (
+    Mutex.lock t.lock;
+    let owned = Hashtbl.mem s.s_handles h in
+    let refs = if owned then drop_handle_locked t s h else None in
+    Mutex.unlock t.lock;
+    match refs with
+    | Some refs ->
+      Ok (J.Obj [ ("closed", J.Bool true); ("refs", J.Int refs) ])
+    | None ->
+      Error
+        ( Rpc.err_unknown_handle,
+          Printf.sprintf "no open log with handle %d in this session" h ))
+  | Some _ -> bad_params "param \"handle\" must be an integer"
+  | None -> bad_params "missing param \"handle\""
+
+(* Build a per-request controller over a registry entry. Fresh per
+   request: graph, stats and holes stay private to the request, while
+   the reader, pool and fragment cache are the shared substrate. *)
+let request_ctl t (e : entry) ~degraded ~max_replay_steps =
+  let config =
+    { Ppd.Controller.default_config with degraded; max_replay_steps }
+  in
+  Ppd.Controller.start_paged ?pool:t.pool ~shared:e.e_frag ~config e.e_eb
+    e.e_reader
+
+let ctl_params t params =
+  let* degraded = p_bool_opt params "degraded" ~default:false in
+  let* max_rs =
+    p_int_opt params "maxReplaySteps"
+      ~default:Ppd.Controller.default_config.Ppd.Controller.max_replay_steps
+  in
+  if max_rs > t.cfg.max_replay_steps_cap then
+    Error
+      ( Rpc.err_quota,
+        Printf.sprintf "maxReplaySteps %d exceeds the server cap %d" max_rs
+          t.cfg.max_replay_steps_cap )
+  else Ok (degraded, max_rs)
+
+(* Post-query accounting: fold the controller's exact per-instance
+   counters into the session (plain ints) and the Obs namespaces. *)
+let account t s (st : Ppd.Controller.stats) =
+  ignore t;
+  s.s_cache_hits <- s.s_cache_hits + st.Ppd.Controller.cache_hits;
+  s.s_cache_misses <- s.s_cache_misses + st.Ppd.Controller.cache_misses;
+  s.s_replay_steps <- s.s_replay_steps + st.Ppd.Controller.replay_steps;
+  Obs.add c_hits st.Ppd.Controller.cache_hits;
+  Obs.add s.sc_hits st.Ppd.Controller.cache_hits;
+  Obs.add c_misses st.Ppd.Controller.cache_misses;
+  Obs.add s.sc_misses st.Ppd.Controller.cache_misses
+
+let query_result ~output (st : Ppd.Controller.stats) =
+  J.Obj
+    [
+      ("output", J.Str output);
+      ("replays", J.Int st.Ppd.Controller.replays);
+      ("replaySteps", J.Int st.Ppd.Controller.replay_steps);
+      ("holes", J.Int st.Ppd.Controller.holes);
+      ("cacheHits", J.Int st.Ppd.Controller.cache_hits);
+      ("cacheMisses", J.Int st.Ppd.Controller.cache_misses);
+    ]
+
+let m_flowback t s params =
+  let* e = p_handle t s params in
+  let* depth = p_int_opt params "depth" ~default:4 in
+  let* degraded, max_replay_steps = ctl_params t params in
+  guarded (fun () ->
+      let ctl = request_ctl t e ~degraded ~max_replay_steps in
+      let buf = Buffer.create 1024 in
+      let sink = Render.buffer_sink buf in
+      Render.header sink ~path:e.e_log
+        ~version:(Store.Segment.version e.e_reader)
+        ~nprocs:(Store.Segment.nprocs e.e_reader);
+      let root =
+        if Store.Segment.nprocs e.e_reader = 0 then None
+        else Ppd.Controller.last_event_node ctl ~pid:0
+      in
+      Render.flowback_report sink ~depth ~dot:None ctl root;
+      let st = Ppd.Controller.stats ctl in
+      account t s st;
+      Ok (query_result ~output:(Buffer.contents buf) st))
+
+let m_replay t s params =
+  let* e = p_handle t s params in
+  let* dump = p_bool_opt params "dump" ~default:false in
+  let* degraded, max_replay_steps = ctl_params t params in
+  guarded (fun () ->
+      let ctl = request_ctl t e ~degraded ~max_replay_steps in
+      let buf = Buffer.create 1024 in
+      let sink = Render.buffer_sink buf in
+      Render.header sink ~path:e.e_log
+        ~version:(Store.Segment.version e.e_reader)
+        ~nprocs:(Store.Segment.nprocs e.e_reader);
+      Render.replay_report sink ~dump
+        ~nprocs:(Store.Segment.nprocs e.e_reader)
+        ctl;
+      let st = Ppd.Controller.stats ctl in
+      account t s st;
+      Ok (query_result ~output:(Buffer.contents buf) st))
+
+let m_race t s params =
+  let* e = p_handle t s params in
+  guarded (fun () ->
+      let ctl = request_ctl t e ~degraded:false
+          ~max_replay_steps:t.cfg.max_replay_steps_cap
+      in
+      let pd = Ppd.Controller.pardyn ctl in
+      let stats = Ppd.Race.detect pd in
+      ignore s;
+      let output =
+        Format.asprintf "%a@." (Ppd.Race.pp_report pd) stats.Ppd.Race.races
+      in
+      Ok
+        (J.Obj
+           [
+             ("races", J.Int (List.length stats.Ppd.Race.races));
+             ("pairsExamined", J.Int stats.Ppd.Race.pairs_examined);
+             ("output", J.Str output);
+           ]))
+
+let m_proto _t _s params =
+  let* program = p_str params "program" in
+  let* budget = p_int_opt params "budget" ~default:200_000 in
+  let* bound = p_int_opt params "bound" ~default:8 in
+  guarded (fun () ->
+      let* src = read_file program in
+      match Lang.Compile.compile_result src with
+      | Error (loc, msg) ->
+        Error ("PPD001", Format.asprintf "%a" Lang.Diag.pp_error (loc, msg))
+      | Ok p ->
+        let r = Analysis.Proto.analyze ~budget ~bound p in
+        let certs =
+          match r.Analysis.Proto.verdict with
+          | Analysis.Proto.Deadlocks cs -> List.length cs
+          | _ -> 0
+        in
+        Ok
+          (J.Obj
+             [
+               ( "verdict",
+                 J.Str (Analysis.Proto.verdict_name r.Analysis.Proto.verdict)
+               );
+               ("statesFull", J.Int r.Analysis.Proto.stats.states_full);
+               ("statesReduced", J.Int r.Analysis.Proto.stats.states_reduced);
+               ("truncated", J.Bool r.Analysis.Proto.stats.truncated);
+               ("certificates", J.Int certs);
+               ("facts", J.Int (List.length r.Analysis.Proto.facts));
+             ]))
+
+let m_fsck _t _s params =
+  let* log = p_str params "log" in
+  guarded (fun () ->
+      let rp = Store.Segment.fsck log in
+      let page (p : Store.Segment.fsck_page) =
+        J.Obj
+          [
+            ("pid", J.Int p.Store.Segment.fp_pid);
+            ("page", J.Int p.Store.Segment.fp_page);
+            ("offset", J.Int p.Store.Segment.fp_offset);
+            ("count", J.Int p.Store.Segment.fp_count);
+            ( "error",
+              match p.Store.Segment.fp_error with
+              | None -> J.Null
+              | Some e -> J.Str e );
+          ]
+      in
+      let dmg (d : Store.Segment.damage) =
+        J.Obj
+          [
+            ("offset", J.Int d.Store.Segment.dmg_offset);
+            ("reason", J.Str d.Store.Segment.dmg_reason);
+          ]
+      in
+      Ok
+        (J.Obj
+           [
+             ("path", J.Str log);
+             ("version", J.Int rp.Store.Segment.fk_version);
+             ("bytes", J.Int rp.Store.Segment.fk_bytes);
+             ("indexed", J.Bool rp.Store.Segment.fk_indexed);
+             ("clean", J.Bool rp.Store.Segment.fk_clean);
+             ("procs", J.Int rp.Store.Segment.fk_procs);
+             ("records", J.Int rp.Store.Segment.fk_records);
+             ("intervals", J.Int rp.Store.Segment.fk_intervals);
+             ("pages", J.List (List.map page rp.Store.Segment.fk_pages));
+             ("damage", J.List (List.map dmg rp.Store.Segment.fk_damage));
+           ]))
+
+let m_stats t s params =
+  let* e = p_handle t s params in
+  let fs = Ppd.Fragcache.stats e.e_frag in
+  Ok
+    (J.Obj
+       [
+         ("log", J.Str e.e_log);
+         ("version", J.Int (Store.Segment.version e.e_reader));
+         ("nprocs", J.Int (Store.Segment.nprocs e.e_reader));
+         ("bytes", J.Int (Store.Segment.file_bytes e.e_reader));
+         ("refs", J.Int e.e_refs);
+         ( "fragCache",
+           J.Obj
+             [
+               ("size", J.Int (Ppd.Fragcache.size e.e_frag));
+               ("hits", J.Int fs.Ppd.Fragcache.hits);
+               ("misses", J.Int fs.Ppd.Fragcache.misses);
+               ("inserts", J.Int fs.Ppd.Fragcache.inserts);
+               ("hitRate", J.Float (Ppd.Fragcache.hit_rate e.e_frag));
+             ] );
+       ])
+
+let m_profile _t _s _params =
+  (* the Obs export is itself JSON; embed it as a value when it parses
+     (it should — both sides are this repo's hand-rolled printers) *)
+  let raw = Obs.to_json () in
+  match J.parse raw with
+  | Ok v -> Ok (J.Obj [ ("profile", v) ])
+  | Error _ -> Ok (J.Obj [ ("profile", J.Str raw) ])
+
+let m_server_stats t _s _params =
+  Mutex.lock t.lock;
+  let sessions =
+    Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions []
+    |> List.sort (fun a b -> Int.compare a.s_id b.s_id)
+  in
+  let n_entries = Hashtbl.length t.entries in
+  let n_handles =
+    List.fold_left (fun acc s -> acc + Hashtbl.length s.s_handles) 0 sessions
+  in
+  Mutex.unlock t.lock;
+  let g = Gate.stats t.gate in
+  let session_json s =
+    J.Obj
+      [
+        ("id", J.Int s.s_id);
+        ("requests", J.Int s.s_requests);
+        ("errors", J.Int s.s_errors);
+        ("openLogs", J.Int (Hashtbl.length s.s_handles));
+        ("cacheHits", J.Int s.s_cache_hits);
+        ("cacheMisses", J.Int s.s_cache_misses);
+        ("replaySteps", J.Int s.s_replay_steps);
+        ("queueWaitNs", J.Int s.s_queue_wait_ns);
+        ("shed", J.Int s.s_shed);
+      ]
+  in
+  Ok
+    (J.Obj
+       [
+         ("uptimeNs", J.Int (Obs.now_ns () - t.started_ns));
+         ("jobs", J.Int t.cfg.jobs);
+         ("openLogs", J.Int n_entries);
+         ("openHandles", J.Int n_handles);
+         ( "gate",
+           J.Obj
+             [
+               ("active", J.Int g.Gate.active);
+               ("queued", J.Int g.Gate.queued);
+               ("admitted", J.Int g.Gate.admitted);
+               ("shed", J.Int g.Gate.shed);
+               ("totalWaitNs", J.Int g.Gate.total_wait_ns);
+             ] );
+         ("sessions", J.List (List.map session_json sessions));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Heavy methods replay log intervals: they pass the admission gate
+   (shedding PPD084 under overload) and the session's lifetime
+   replay-step quota (PPD085). Registry and bookkeeping methods always
+   run — a busy server must still answer close/stats. *)
+let heavy t s body =
+  if s.s_replay_steps >= t.cfg.step_quota then
+    Error
+      ( Rpc.err_quota,
+        Printf.sprintf "session replay-step quota exhausted (%d)"
+          t.cfg.step_quota )
+  else
+    match
+      Gate.with_slot t.gate (fun ~queue_wait_ns ->
+          s.s_queue_wait_ns <- s.s_queue_wait_ns + queue_wait_ns;
+          Obs.add c_wait queue_wait_ns;
+          Obs.add s.sc_wait queue_wait_ns;
+          body ())
+    with
+    | Ok r -> r
+    | Error `Busy ->
+      s.s_shed <- s.s_shed + 1;
+      Obs.incr c_shed;
+      Obs.incr s.sc_shed;
+      Error
+        ( Rpc.err_busy,
+          Printf.sprintf
+            "server busy: %d active and %d queued requests (retry later)"
+            t.cfg.max_active t.cfg.max_queue )
+
+let dispatch t s (rq : Rpc.request) : J.t rpc_result =
+  let p = rq.Rpc.rq_params in
+  match rq.Rpc.rq_method with
+  | "ping" -> Ok (J.Obj [ ("pong", J.Bool true) ])
+  | "open" -> m_open t s p
+  | "close" -> m_close t s p
+  | "stats" -> m_stats t s p
+  | "profile" -> m_profile t s p
+  | "serverStats" -> m_server_stats t s p
+  | "flowback" -> heavy t s (fun () -> m_flowback t s p)
+  | "replay" -> heavy t s (fun () -> m_replay t s p)
+  | "race" -> heavy t s (fun () -> m_race t s p)
+  | "proto" -> heavy t s (fun () -> m_proto t s p)
+  | "fsck" -> heavy t s (fun () -> m_fsck t s p)
+  | m ->
+    Error
+      ( Rpc.err_unknown_method,
+        Printf.sprintf
+          "unknown method \"%s\" (known: ping open close flowback replay \
+           race proto fsck profile stats serverStats)"
+          m )
+
+let handle_line t s line =
+  s.s_requests <- s.s_requests + 1;
+  Obs.incr c_requests;
+  Obs.incr s.sc_requests;
+  let err ~id ~code ~message =
+    s.s_errors <- s.s_errors + 1;
+    Obs.incr c_errors;
+    Obs.incr s.sc_errors;
+    Rpc.error_line ~id ~code ~message
+  in
+  match Rpc.parse_request line with
+  | Error (code, message) -> err ~id:J.Null ~code ~message
+  | Ok rq -> (
+    match dispatch t s rq with
+    | Ok result -> Rpc.result_line ~id:rq.Rpc.rq_id result
+    | Error (code, message) -> err ~id:rq.Rpc.rq_id ~code ~message
+    | exception e ->
+      (* the last-resort guard: a bug in a method body degrades that
+         request, never the daemon *)
+      err ~id:rq.Rpc.rq_id ~code:Rpc.err_protocol
+        ~message:("internal error: " ^ Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Transports.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let serve_channel t ~ic ~put_line =
+  let s = session t in
+  (try
+     let rec loop () =
+       match In_channel.input_line ic with
+       | None -> ()
+       | Some line ->
+         if String.trim line = "" then loop ()
+         else begin
+           put_line (handle_line t s line);
+           loop ()
+         end
+     in
+     loop ()
+   with Sys_error _ | End_of_file -> ());
+  end_session t s
+
+let run_stdio t =
+  serve_channel t ~ic:In_channel.stdin ~put_line:(fun l ->
+      print_string l;
+      print_newline ();
+      flush stdout)
+
+(* Socket listeners: accept on the calling thread (select with a short
+   timeout so [stop] — set from a signal handler — is honoured within
+   ~200ms), one sys-thread per connection. On stop, live connections
+   are shut down (their readers see EOF and the threads run out), then
+   joined, so "pool drained, no leaked socket" holds by the time this
+   returns. *)
+let run_listener t fd ~stop ~cleanup =
+  Unix.listen fd 64;
+  let conn_lock = Mutex.create () in
+  let conns = ref [] in
+  let track c =
+    Mutex.lock conn_lock;
+    conns := c :: !conns;
+    Mutex.unlock conn_lock
+  in
+  let rec accept_loop threads =
+    if Atomic.get stop then threads
+    else
+      match Unix.select [ fd ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop threads
+      | [], _, _ -> accept_loop threads
+      | _ -> (
+        match Unix.accept fd with
+        | exception Unix.Unix_error (_, _, _) -> accept_loop threads
+        | cfd, _ ->
+          track cfd;
+          let th =
+            Thread.create
+              (fun () ->
+                let ic = Unix.in_channel_of_descr cfd in
+                let oc = Unix.out_channel_of_descr cfd in
+                serve_channel t ~ic ~put_line:(fun l ->
+                    output_string oc l;
+                    output_char oc '\n';
+                    flush oc);
+                try Unix.close cfd with Unix.Unix_error _ -> ())
+              ()
+          in
+          accept_loop (th :: threads))
+  in
+  let threads = accept_loop [] in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.lock conn_lock;
+  let live = !conns in
+  Mutex.unlock conn_lock;
+  List.iter
+    (fun c -> try Unix.shutdown c Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    live;
+  List.iter Thread.join threads;
+  cleanup ();
+  shutdown t
+
+let run_unix ~stop t ~path =
+  (if Sys.file_exists path then
+     (* a previous daemon's leftover: rebinding requires the name free *)
+     try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  run_listener t fd ~stop ~cleanup:(fun () ->
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let run_tcp ~stop t ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  run_listener t fd ~stop ~cleanup:(fun () -> ())

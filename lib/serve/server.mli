@@ -1,0 +1,67 @@
+(** The `ppd serve` daemon core (DESIGN §14): a registry of opened
+    logs, per-connection sessions, and the JSON-RPC dispatcher —
+    independent of any transport, so tests and the T13 bench drive
+    {!handle_line} in-process while the CLI wires it to stdin/stdout
+    ([--rpc]) or a socket.
+
+    Sharing model: all sessions share one {!Exec.Pool}, and all
+    handles on the same (log, program, policy) share one segment
+    reader (its page LRU) and one {!Ppd.Fragcache}. Each request gets
+    a {e fresh} controller, so its graph, statistics and degraded-mode
+    holes are private: answers are byte-identical to the one-shot CLI,
+    and an injected fault degrades only the request it hit. *)
+
+type config = {
+  jobs : int;  (** pool size shared by every session; 1 = serial *)
+  max_active : int;  (** heavy requests executing at once *)
+  max_queue : int;  (** heavy requests waiting; beyond this, PPD084 *)
+  max_open_logs : int;  (** per-session open handles; beyond, PPD085 *)
+  step_quota : int;
+      (** per-session lifetime replay-step budget; at/beyond, heavy
+          requests get PPD085 *)
+  max_replay_steps_cap : int;
+      (** largest per-request [maxReplaySteps] a client may ask for *)
+}
+
+val default_config : config
+
+type t
+
+type session
+
+val create : ?config:config -> unit -> t
+
+val config : t -> config
+
+val shutdown : t -> unit
+(** Join the shared pool (idempotent). Sessions stay answerable on the
+    serial path, mirroring {!Ppd.Session.close} semantics. *)
+
+val session : t -> session
+(** Register a new session (one per connection). *)
+
+val session_id : session -> int
+
+val end_session : t -> session -> unit
+(** Drop the session's remaining handles (refcounts fall; a log leaves
+    the registry with its last handle). Idempotent. *)
+
+val handle_line : t -> session -> string -> string
+(** One protocol round-trip: parse the request line, dispatch, and
+    return the response line (no trailing newline). Never raises —
+    malformed input and failed methods become error responses. *)
+
+val run_stdio : t -> unit
+(** The [--rpc] mode: serve one session over stdin/stdout until EOF.
+    Responses are flushed per line, so a cram test (or a pipe) can
+    drive the protocol without sockets. *)
+
+val run_unix : stop:bool Atomic.t -> t -> path:string -> unit
+(** Listen on a unix-domain socket, one thread per connection, until
+    [stop] is set (the CLI sets it from SIGTERM/SIGINT). On stop:
+    stops accepting, shuts down live connections (clients see EOF),
+    joins their threads, removes the socket file, and joins the pool.
+    Raises [Unix.Unix_error] if the socket cannot be bound. *)
+
+val run_tcp : stop:bool Atomic.t -> t -> port:int -> unit
+(** Same, on a TCP port (loopback). *)

@@ -40,14 +40,29 @@ Checks on the T16 (protocol analysis) table, when present:
    workload. Precision, unlike wall-clock, is deterministic, so the
    floors are exact numbers.
 
+Checks on the T13 (serve daemon) table, when present:
+
+8. Zero protocol errors across every session count — a daemon that
+   sheds or misdispatches under the bench's load is broken, not slow.
+9. Cache sharing — the shared-fragment-cache hit rate at 16
+   concurrent sessions must beat the single-session run: if it does
+   not, sessions are not actually sharing replayed fragments.
+
+Checks on a serve profile JSON (--serve-profile FILE), when given:
+
+10. Namespace coherence — every global serve.* counter must equal the
+    sum of its per-session serve.s<ID>.* mirrors (the satellite
+    invariant of the per-session accounting).
+
 Checks on the profile JSON (--profile FILE), when given:
 
-8. Counter coherence — cache hits + misses == lookups; the emulator's
+11. Counter coherence — cache hits + misses == lookups; the emulator's
    replay count >= the controller's assembled replays (speculation can
    only add); assembled replays <= lookups; at least one phase span
    of each of "execution" and "debugging" was recorded.
 
 Usage: perf_gate.py BENCH_JSON [MARGIN] [--profile PROFILE_JSON]
+                    [--serve-profile SERVE_PROFILE_JSON]
 """
 
 import json
@@ -161,6 +176,66 @@ def check_t12(data, failures):
             )
 
 
+def check_t13(data, failures):
+    rows = data.get("t13")
+    if not rows:
+        return
+    by_sessions = {}
+    for row in rows:
+        n = int(row["sessions"])
+        by_sessions[n] = row
+        print(
+            f"perf-gate: t13/{n} session(s): {row['requests']} request(s), "
+            f"{row['errors']} error(s), p50 {row['p50_ns'] / 1e6:.2f} ms, "
+            f"p99 {row['p99_ns'] / 1e6:.2f} ms, hit rate "
+            f"{100 * row['hit_rate']:.0f}%, {row['shed']} shed"
+        )
+        if int(row["errors"]) != 0:
+            failures.append(
+                f"t13/{n}: {row['errors']} protocol error(s) — the bench "
+                f"drives only well-formed requests, so every one must "
+                f"succeed"
+            )
+        if int(row["requests"]) == 0:
+            failures.append(f"t13/{n}: no requests completed")
+    if 1 in by_sessions and 16 in by_sessions:
+        lone = float(by_sessions[1]["hit_rate"])
+        many = float(by_sessions[16]["hit_rate"])
+        if many <= lone:
+            failures.append(
+                f"t13: hit rate at 16 sessions ({100 * many:.0f}%) does "
+                f"not beat the single-session run ({100 * lone:.0f}%) — "
+                f"sessions are not sharing the fragment cache"
+            )
+    else:
+        failures.append("t13: missing the 1- or 16-session row")
+
+
+def check_serve_profile(path, failures):
+    with open(path) as f:
+        prof = json.load(f)
+    c = {k: int(v) for k, v in prof.get("counters", {}).items()}
+    names = ("requests", "errors", "cache.hits", "cache.misses",
+             "queue_wait_ns", "shed")
+    for name in names:
+        total = sum(
+            v
+            for k, v in c.items()
+            if k.startswith("serve.s") and k.endswith("." + name)
+            and k != f"serve.{name}"
+        )
+        glob = c.get(f"serve.{name}", 0)
+        print(f"perf-gate: serve profile: serve.{name} = {glob}, "
+              f"session sum = {total}")
+        if glob != total:
+            failures.append(
+                f"serve profile: serve.{name} ({glob}) != sum of the "
+                f"per-session serve.s<ID>.{name} mirrors ({total})"
+            )
+    if c.get("serve.requests", 0) == 0:
+        failures.append("serve profile: no serve.requests recorded")
+
+
 # Committed precision floors for T16: pairs the protocol-refined MHP
 # discharged on each workload when the gate was last updated. The
 # analysis is deterministic, so any dip below these is a real
@@ -250,6 +325,11 @@ def main():
         i = args.index("--profile")
         profile = args[i + 1]
         del args[i : i + 2]
+    serve_profile = None
+    if "--serve-profile" in args:
+        i = args.index("--serve-profile")
+        serve_profile = args[i + 1]
+        del args[i : i + 2]
     path = args[0] if args else "bench.json"
     margin = float(args[1]) if len(args) > 1 else 1.4
     with open(path) as f:
@@ -259,9 +339,12 @@ def main():
     nrows = check_t10(data, margin, failures)
     check_t11(data, failures)
     check_t12(data, failures)
+    check_t13(data, failures)
     check_t16(data, failures)
     if profile:
         check_profile(profile, failures)
+    if serve_profile:
+        check_serve_profile(serve_profile, failures)
     if failures:
         fail("; ".join(failures))
     cores = int(data.get("host_cores", 0))

@@ -1,0 +1,91 @@
+The multi-session debugging daemon, driven in --rpc mode: one JSON
+request per line on stdin, one id-matched response per line on
+stdout — the same dispatcher the socket transports use, minus the
+socket.
+
+Record an execution to debug, and capture the one-shot CLI answers
+the daemon must reproduce byte for byte:
+
+  $ ppd example fig61 > fig61.mpl
+  $ ppd log fig61.mpl --save fig61.seg > /dev/null
+  $ ppd flowback fig61.mpl --load fig61.seg --depth 2 > flowback.one
+  $ ppd replay fig61.mpl --load fig61.seg > replay.one
+
+A helper that pulls the "output" field of the response with a given
+id back out of a transcript:
+
+  $ extract() { python3 -c '
+  > import json, sys
+  > want = int(sys.argv[1])
+  > for line in sys.stdin:
+  >     r = json.loads(line)
+  >     if r["id"] == want:
+  >         sys.stdout.write(r["result"]["output"])
+  > ' "$1"; }
+
+A full conversation — open, query twice (the second is answered from
+the shared fragment cache), inspect, close — plus every way a client
+can get it wrong. Responses arrive in request order with ids echoed;
+protocol failures are error responses, never dropped lines:
+
+  $ ppd serve --rpc <<'EOF' > rpc.out
+  > {"id":1,"method":"ping"}
+  > {"id":2,"method":"open","params":{"log":"fig61.seg","program":"fig61.mpl"}}
+  > {"id":3,"method":"flowback","params":{"handle":1,"depth":2}}
+  > {"id":4,"method":"flowback","params":{"handle":1,"depth":2}}
+  > {"id":5,"method":"stats","params":{"handle":1}}
+  > {"id":6,"method":"serverStats"}
+  > {"id":7,"method":"close","params":{"handle":1}}
+  > {"id":8,"method":"flowback","params":{"handle":1,"depth":2}}
+  > {"id":9,"method":"frobnicate"}
+  > {"id":10,"method":"flowback","params":{}}
+  > this is not json
+  > EOF
+  $ sed -E 's/"(uptimeNs|queueWaitNs|totalWaitNs)":[0-9]+/"\1":_/g' rpc.out
+  {"id":1,"result":{"pong":true}}
+  {"id":2,"result":{"handle":1,"version":2,"nprocs":3,"bytes":289,"refs":1}}
+  {"id":3,"result":{"output":"debugging saved log fig61.seg (v2, 3 process(es))\nflowback from:\n  [p0] EXIT main\nemulated 1 of 3 log intervals (6 replay steps)\n","replays":1,"replaySteps":6,"holes":0,"cacheHits":0,"cacheMisses":1}}
+  {"id":4,"result":{"output":"debugging saved log fig61.seg (v2, 3 process(es))\nflowback from:\n  [p0] EXIT main\nemulated 1 of 3 log intervals (6 replay steps)\n","replays":1,"replaySteps":6,"holes":0,"cacheHits":1,"cacheMisses":0}}
+  {"id":5,"result":{"log":"fig61.seg","version":2,"nprocs":3,"bytes":289,"refs":1,"fragCache":{"size":1,"hits":1,"misses":1,"inserts":1,"hitRate":0.5}}}
+  {"id":6,"result":{"uptimeNs":_,"jobs":1,"openLogs":1,"openHandles":1,"gate":{"active":0,"queued":0,"admitted":2,"shed":0,"totalWaitNs":_},"sessions":[{"id":1,"requests":6,"errors":0,"openLogs":1,"cacheHits":1,"cacheMisses":1,"replaySteps":12,"queueWaitNs":_,"shed":0}]}}
+  {"id":7,"result":{"closed":true,"refs":0}}
+  {"id":8,"error":{"code":"PPD083","message":"no open log with handle 1 in this session"}}
+  {"id":9,"error":{"code":"PPD081","message":"unknown method \"frobnicate\" (known: ping open close flowback replay race proto fsck profile stats serverStats)"}}
+  {"id":10,"error":{"code":"PPD082","message":"missing param \"handle\""}}
+  {"id":null,"error":{"code":"PPD080","message":"invalid JSON: invalid literal (expected true)"}}
+
+The daemon's flowback answer is byte-identical to the one-shot CLI:
+
+  $ extract 3 < rpc.out | cmp - flowback.one && echo byte-identical
+  byte-identical
+  $ extract 4 < rpc.out | cmp - flowback.one && echo byte-identical
+  byte-identical
+
+The same holds with the shared pool (-j 4), for both flowback and
+replay:
+
+  $ ppd serve --rpc -j 4 <<'EOF' > rpc4.out
+  > {"id":1,"method":"open","params":{"log":"fig61.seg","program":"fig61.mpl"}}
+  > {"id":2,"method":"flowback","params":{"handle":1,"depth":2}}
+  > {"id":3,"method":"replay","params":{"handle":1}}
+  > {"id":4,"method":"close","params":{"handle":1}}
+  > EOF
+  $ extract 2 < rpc4.out | cmp - flowback.one && echo byte-identical
+  byte-identical
+  $ extract 3 < rpc4.out | cmp - replay.one && echo byte-identical
+  byte-identical
+
+An injected transient pool fault degrades only the request it hits:
+the pooled replay retries serially, the answer is still
+byte-identical, and the rest of the conversation never notices:
+
+  $ ppd serve --rpc -j 4 --fault exec.pool.task:1 <<'EOF' > rpcf.out
+  > {"id":1,"method":"open","params":{"log":"fig61.seg","program":"fig61.mpl"}}
+  > {"id":2,"method":"replay","params":{"handle":1,"degraded":true}}
+  > {"id":3,"method":"flowback","params":{"handle":1,"depth":2}}
+  > {"id":4,"method":"close","params":{"handle":1}}
+  > EOF
+  $ extract 2 < rpcf.out | cmp - replay.one && echo byte-identical
+  byte-identical
+  $ extract 3 < rpcf.out | cmp - flowback.one && echo byte-identical
+  byte-identical
