@@ -101,6 +101,28 @@ let logged_artifacts src =
   let halt = Runtime.Machine.run m in
   (eb, halt, Trace.Logger.finish logger, Trace.Full_trace.finish ft, m)
 
+let run_bare_e engine prog =
+  let m = Runtime.Machine.create ~engine ~sched ~max_steps:5_000_000 prog in
+  ignore (Runtime.Machine.run m)
+
+(* Events materialized (nil hooks count as instrumentation) but nothing
+   consumes them: isolates the cost of producing the event stream from
+   the cost of the logger proper. *)
+let run_instr_vm prog =
+  let m =
+    Runtime.Machine.create ~sched ~max_steps:5_000_000 ~hooks:Runtime.Hooks.nil
+      prog
+  in
+  ignore (Runtime.Machine.run m)
+
+let run_logged_e engine eb =
+  let logger = Trace.Logger.create eb in
+  let m =
+    Runtime.Machine.create ~engine ~sched ~max_steps:5_000_000
+      ~hooks:(Trace.Logger.factory logger) eb.Analysis.Eblock.prog
+  in
+  ignore (Runtime.Machine.run m)
+
 (* The workload suite used by T1 and T2. *)
 let workloads =
   [
@@ -116,8 +138,81 @@ let workloads =
 (* T1: execution-phase overhead of logging (§7: "less than 15%").       *)
 (* ------------------------------------------------------------------ *)
 
+(* Engine comparison rows, shared by the console table and `--json t1`
+   (consumed by scripts/perf_gate.py check_t1_vm). Steps/run is
+   identical across engines — the differential oracle proves it — so
+   steps/sec ratios reduce to wall-time ratios. *)
+type t1_row = {
+  t1_name : string;
+  t1_steps : int;
+  t1_interp_bare_ns : float;
+  t1_interp_logged_ns : float;
+  t1_vm_bare_ns : float;
+  t1_vm_instr_ns : float;
+  t1_vm_logged_ns : float;
+}
+
+let t1_rows () =
+  let tests =
+    List.concat_map
+      (fun (name, src) ->
+        let prog = compile src in
+        let eb = Analysis.Eblock.analyze prog in
+        [
+          Test.make ~name:(name ^ "/interp-bare")
+            (Staged.stage (fun () ->
+                 run_bare_e Runtime.Machine.Interp_engine prog));
+          Test.make ~name:(name ^ "/interp-logged")
+            (Staged.stage (fun () ->
+                 run_logged_e Runtime.Machine.Interp_engine eb));
+          Test.make ~name:(name ^ "/vm-bare")
+            (Staged.stage (fun () -> run_bare_e Runtime.Machine.Vm_engine prog));
+          Test.make ~name:(name ^ "/vm-instr")
+            (Staged.stage (fun () -> run_instr_vm prog));
+          Test.make ~name:(name ^ "/vm-logged")
+            (Staged.stage (fun () ->
+                 run_logged_e Runtime.Machine.Vm_engine eb));
+        ])
+      workloads
+  in
+  let results = measure_tests ~quota:0.6 (Test.make_grouped ~name:"t1e" tests) in
+  List.map
+    (fun (name, src) ->
+      let prog = compile src in
+      let m = Runtime.Machine.create ~sched ~max_steps:5_000_000 prog in
+      ignore (Runtime.Machine.run m);
+      let t k = time_of results ("t1e/" ^ name ^ "/" ^ k) in
+      {
+        t1_name = name;
+        t1_steps = Runtime.Machine.nsteps m;
+        t1_interp_bare_ns = t "interp-bare";
+        t1_interp_logged_ns = t "interp-logged";
+        t1_vm_bare_ns = t "vm-bare";
+        t1_vm_instr_ns = t "vm-instr";
+        t1_vm_logged_ns = t "vm-logged";
+      })
+    workloads
+
 let t1 () =
   header "T1  Execution-phase overhead of incremental tracing (paper §7: <15%)";
+  let speedup b v =
+    if Float.is_nan b || Float.is_nan v || v = 0. then "n/a"
+    else Printf.sprintf "%.1fx" (b /. v)
+  in
+  let rows = t1_rows () in
+  row "%-14s %8s %11s %11s %8s %11s %11s %9s\n" "workload" "steps" "interp"
+    "vm" "speedup" "vm+events" "vm+log" "log ovh";
+  List.iter
+    (fun r ->
+      row "%-14s %8d %11s %11s %8s %11s %11s %9s\n" r.t1_name r.t1_steps
+        (fmt_ns r.t1_interp_bare_ns) (fmt_ns r.t1_vm_bare_ns)
+        (speedup r.t1_interp_bare_ns r.t1_vm_bare_ns)
+        (fmt_ns r.t1_vm_instr_ns) (fmt_ns r.t1_vm_logged_ns)
+        (pct r.t1_vm_instr_ns r.t1_vm_logged_ns))
+    rows;
+  print_endline
+    "(vm = default bytecode engine, interp = AST-walking oracle; log ovh\n\
+    \      compares vm+log against vm+events: the cost the paper bounds at 15%)";
   let tests =
     List.concat_map
       (fun (name, src) ->
@@ -1148,6 +1243,24 @@ let t16 () =
 
 let jfloat f = if Float.is_nan f then "null" else Printf.sprintf "%.9g" f
 
+let t1_json () =
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             "{\"workload\":%S,\"steps\":%d,\"interp_bare_ns\":%s,\
+              \"interp_logged_ns\":%s,\"vm_bare_ns\":%s,\"vm_instr_ns\":%s,\
+              \"vm_logged_ns\":%s}"
+             r.t1_name r.t1_steps
+             (jfloat r.t1_interp_bare_ns)
+             (jfloat r.t1_interp_logged_ns)
+             (jfloat r.t1_vm_bare_ns)
+             (jfloat r.t1_vm_instr_ns)
+             (jfloat r.t1_vm_logged_ns))
+         (t1_rows ()))
+  ^ "]"
+
 let t9_json () =
   "["
   ^ String.concat ","
@@ -1298,6 +1411,7 @@ let experiments =
    downstream gates can tell whether a speedup was even possible. *)
 let json_experiments =
   [
+    ("t1", t1_json);
     ("t9", t9_json);
     ("t10", t10_json);
     ("t11", t11_json);

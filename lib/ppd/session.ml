@@ -15,8 +15,8 @@ type t = {
          and a closed session never creates another pool *)
 }
 
-let of_program ?sched ?max_steps ?policy ?(race_sets = true) ?breakpoints
-    ?log_sink ?(jobs = 1) ?ctl_config prog =
+let of_program ?engine ?sched ?max_steps ?policy ?(race_sets = true)
+    ?breakpoints ?log_sink ?(jobs = 1) ?ctl_config prog =
   let eb = Analysis.Eblock.analyze ?policy prog in
   let logger = Trace.Logger.create ?sink:log_sink eb in
   let obs = if race_sets then Some (Pardyn.observer prog) else None in
@@ -25,7 +25,7 @@ let of_program ?sched ?max_steps ?policy ?(race_sets = true) ?breakpoints
     | None -> Trace.Logger.factory logger
     | Some o -> Runtime.Hooks.both (Trace.Logger.factory logger) (Pardyn.factory o)
   in
-  let machine = M.create ?sched ?max_steps ~hooks ?breakpoints prog in
+  let machine = M.create ?engine ?sched ?max_steps ~hooks ?breakpoints prog in
   let halt = Obs.phase "execution" (fun () -> M.run machine) in
   {
     eb;
@@ -40,10 +40,10 @@ let of_program ?sched ?max_steps ?policy ?(race_sets = true) ?breakpoints
     closed = false;
   }
 
-let run ?sched ?max_steps ?policy ?race_sets ?breakpoints ?log_sink ?jobs
-    ?ctl_config src =
-  of_program ?sched ?max_steps ?policy ?race_sets ?breakpoints ?log_sink ?jobs
-    ?ctl_config (Lang.Compile.compile src)
+let run ?engine ?sched ?max_steps ?policy ?race_sets ?breakpoints ?log_sink
+    ?jobs ?ctl_config src =
+  of_program ?engine ?sched ?max_steps ?policy ?race_sets ?breakpoints
+    ?log_sink ?jobs ?ctl_config (Lang.Compile.compile src)
 
 let prog t = t.eb.Analysis.Eblock.prog
 

@@ -10,6 +10,7 @@
 type t
 
 val run :
+  ?engine:Runtime.Machine.engine ->
   ?sched:Runtime.Sched.policy ->
   ?max_steps:int ->
   ?policy:Analysis.Eblock.policy ->
@@ -33,6 +34,7 @@ val run :
     {!Lang.Diag.Error} on front-end errors. *)
 
 val of_program :
+  ?engine:Runtime.Machine.engine ->
   ?sched:Runtime.Sched.policy ->
   ?max_steps:int ->
   ?policy:Analysis.Eblock.policy ->

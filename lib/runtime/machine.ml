@@ -1,4 +1,7 @@
 module P = Lang.Prog
+module B = Lang.Bytecode
+
+type engine = Interp_engine | Vm_engine
 
 type halt =
   | Finished
@@ -28,17 +31,28 @@ type pending =
 
 type pstatus = Sready | Sblocked of block_reason | Sdone
 
+(* Both engines hang their state off the same process record: a frame is
+   either an interpreter frame or a VM frame that embeds one. The embed
+   shares the [Value.t array] slot representation, so instrumentation
+   reads and driver-side operand evaluation are engine-blind. *)
+type eframe = Fi of Interp.frame | Fv of Vm.frame
+
+let iframe = function Fi f -> f | Fv vf -> vf.Vm.fr
+
+type veng = { vst : Vm.pstate; vhost : Vm.host }
+
 type proc = {
   pid : int;
   root_fid : int;
-  mutable frames : Interp.frame list;  (** top first; empty iff done *)
+  mutable frames : eframe list;  (** top first; empty iff done *)
   mutable status : pstatus;
   mutable pending : pending;
-  mutable seq : int;
+  seq : int ref;  (** shared with the VM host for inline bumping *)
   mutable started : bool;
   spawn_ref : Event.eref option;
   mutable exit_info : (Value.t option * Event.eref) option;
   mutable p_waited : bool;  (** blocked at least once on the current P *)
+  mutable veng : veng option;  (** VM register arena + host, Vm engine only *)
 }
 
 type sem_state = {
@@ -58,6 +72,8 @@ type chan_state = {
 
 type t = {
   prog : P.t;
+  plan : B.prog option;  (** [Some] iff the Vm engine is selected *)
+  instrumented : bool;
   shared : Value.t array;
   sems : sem_state array;
   chans : chan_state array;
@@ -65,14 +81,23 @@ type t = {
   sched : Sched.t;
   mutable hooks : Hooks.t;
   max_steps : int;
-  mutable steps : int;
+  steps : int ref;  (** shared with the VM hosts for inline ticking *)
   out : Buffer.t;
   mutable halted : halt option;
-  mutable current_sid : int option;  (** for fault attribution *)
+  mutable current_sid : int;  (** for fault attribution; -1 = none *)
+  mutable runnable_cache : int list;
+      (** ascending pids; valid iff [runnable_valid]. Local statements
+          never change a process status, so the hot loop reuses this
+          list and only sync ops / spawns / exits rebuild it. *)
+  mutable runnable_valid : bool;
   breakpoints : Analysis.Bitset.t option;  (** statement ids that halt the run *)
 }
 
+let sched_dirty t = t.runnable_valid <- false
+
 let prog t = t.prog
+
+let engine t = match t.plan with Some _ -> Vm_engine | None -> Interp_engine
 
 let init_shared (p : P.t) =
   Array.map
@@ -81,8 +106,139 @@ let init_shared (p : P.t) =
       | P.Ginit_arr len -> Value.Varr (Array.make len 0))
     p.global_inits
 
-let create ?(sched = Sched.default) ?(max_steps = 1_000_000) ?(hooks = Hooks.nil)
-    ?(breakpoints = []) (p : P.t) =
+let proc t pid =
+  if pid < 0 || pid >= Array.length t.procs then
+    raise (Interp.Fault (Printf.sprintf "no process with id %d" pid))
+  else t.procs.(pid)
+
+let emit t (pr : proc) ev =
+  let r = { Event.epid = pr.pid; eseq = !(pr.seq) } in
+  incr pr.seq;
+  t.hooks.Hooks.on_event ~pid:pr.pid ~seq:r.eseq ev;
+  (match (t.breakpoints, Event.sid_of ev) with
+  | Some bps, Some sid when t.halted = None && Analysis.Bitset.mem bps sid ->
+    t.halted <- Some (Breakpoint { pid = pr.pid; sid })
+  | _ -> ());
+  (match ev with
+  | Event.E_stmt { kind = Event.K_print { value }; _ } ->
+    Buffer.add_string t.out (Value.to_string value);
+    Buffer.add_char t.out '\n'
+  | _ -> ());
+  r
+
+(* Uninstrumented fast path: account for a VM-local statement event
+   without materializing it — same seq bump and breakpoint check as
+   [emit], minus the allocation and the (nil) hook call. Every VM-local
+   event carries its own sid, so the check is exactly [emit]'s. *)
+let fast_account t (pr : proc) sid =
+  incr pr.seq;
+  match t.breakpoints with
+  | Some bps when t.halted = None && Analysis.Bitset.mem bps sid ->
+    t.halted <- Some (Breakpoint { pid = pr.pid; sid })
+  | _ -> ()
+
+(* Bare-run driver accounting: [emit]'s seq bump, breakpoint check and
+   provenance ref without materializing the event. Driver sites switch
+   on [t.instrumented] so an uninstrumented run never allocates event
+   records, read lists or frame-bind lists on the sync path — the same
+   contract the VM's [want] flag gives local statements. [sid] must be
+   what [Event.sid_of] would have reported for the skipped event. *)
+let bare_ref t (pr : proc) sid =
+  let r = { Event.epid = pr.pid; eseq = !(pr.seq) } in
+  incr pr.seq;
+  (match (t.breakpoints, sid) with
+  | Some bps, Some sid when t.halted = None && Analysis.Bitset.mem bps sid ->
+    t.halted <- Some (Breakpoint { pid = pr.pid; sid })
+  | _ -> ());
+  r
+
+let attach_vm t (pr : proc) =
+  match t.plan with
+  | None -> ()
+  | Some _ ->
+    let vst = Vm.make_pstate () in
+    let stop = ref false in
+    (* [emit] only ever halts the machine at a breakpoint, so without
+       breakpoints the host never has to re-check [t.halted] and the
+       bare fast path reduces to the inline seq bump in the VM. *)
+    let vhost =
+      match t.breakpoints with
+      | None ->
+        {
+          Vm.want = t.instrumented;
+          emit = (fun ev -> ignore (emit t pr ev));
+          fast_event = (fun _sid -> incr pr.seq);
+          fast_print =
+            (fun _sid n ->
+              incr pr.seq;
+              Buffer.add_string t.out (string_of_int n);
+              Buffer.add_char t.out '\n');
+          has_bp = false;
+          seq = pr.seq;
+          steps = t.steps;
+          stop;
+          glb = t.shared;
+        }
+      | Some _ ->
+        let check () =
+          match t.halted with Some _ -> stop := true | None -> ()
+        in
+        {
+          Vm.want = t.instrumented;
+          emit =
+            (fun ev ->
+              ignore (emit t pr ev);
+              check ());
+          fast_event =
+            (fun sid ->
+              fast_account t pr sid;
+              check ());
+          fast_print =
+            (fun sid n ->
+              fast_account t pr sid;
+              check ();
+              Buffer.add_string t.out (string_of_int n);
+              Buffer.add_char t.out '\n');
+          has_bp = true;
+          seq = pr.seq;
+          steps = t.steps;
+          stop;
+          glb = t.shared;
+        }
+    in
+    pr.veng <- Some { vst; vhost }
+
+let make_eframe t (pr : proc) ~fid ~args ~ret_lhs ~call_sid =
+  match (t.plan, pr.veng) with
+  | Some bp, Some v ->
+    Fv (Vm.make_frame bp t.prog v.vst ~fid ~args ~ret_lhs ~call_sid)
+  | _ -> Fi (Interp.make_frame t.prog ~fid ~args ~ret_lhs ~call_sid)
+
+let new_proc t ~fid ~args ~spawn_ref =
+  let pid = Array.length t.procs in
+  let pr =
+    {
+      pid;
+      root_fid = fid;
+      frames = [];
+      status = Sready;
+      pending = Pnone;
+      seq = ref 0;
+      started = false;
+      spawn_ref;
+      exit_info = None;
+      p_waited = false;
+      veng = None;
+    }
+  in
+  attach_vm t pr;
+  pr.frames <- [ make_eframe t pr ~fid ~args ~ret_lhs:None ~call_sid:None ];
+  t.procs <- Array.append t.procs [| pr |];
+  sched_dirty t;
+  pid
+
+let create ?(engine = Vm_engine) ?(sched = Sched.default)
+    ?(max_steps = 1_000_000) ?hooks ?(breakpoints = []) (p : P.t) =
   let sems =
     Array.map
       (fun (s : P.sem) ->
@@ -105,37 +261,27 @@ let create ?(sched = Sched.default) ?(max_steps = 1_000_000) ?(hooks = Hooks.nil
         })
       p.chans
   in
-  let main_frame =
-    Interp.make_frame p ~fid:p.main_fid ~args:[] ~ret_lhs:None ~call_sid:None
-  in
-  let main =
-    {
-      pid = 0;
-      root_fid = p.main_fid;
-      frames = [ main_frame ];
-      status = Sready;
-      pending = Pnone;
-      seq = 0;
-      started = false;
-      spawn_ref = None;
-      exit_info = None;
-      p_waited = false;
-    }
-  in
   let t =
     {
       prog = p;
+      plan =
+        (match engine with
+        | Vm_engine -> Some (B.plan p)
+        | Interp_engine -> None);
+      instrumented = Option.is_some hooks;
       shared = init_shared p;
       sems;
       chans;
-      procs = [| main |];
+      procs = [||];
       sched = Sched.create sched;
       hooks = Hooks.nil { Hooks.read_var = (fun ~pid:_ _ -> Value.Vundef); now = (fun () -> 0) };
       max_steps;
-      steps = 0;
+      steps = ref 0;
       out = Buffer.create 256;
       halted = None;
-      current_sid = None;
+      current_sid = -1;
+      runnable_cache = [];
+      runnable_valid = false;
       breakpoints =
         (match breakpoints with
         | [] -> None
@@ -154,32 +300,14 @@ let create ?(sched = Sched.default) ?(max_steps = 1_000_000) ?(hooks = Hooks.nil
           | P.Local slot -> (
             match t.procs.(pid).frames with
             | [] -> Value.Vundef
-            | top :: _ -> top.Interp.slots.(slot)));
-      now = (fun () -> t.steps);
+            | top :: _ -> (iframe top).Interp.slots.(slot)));
+      now = (fun () -> !(t.steps));
     }
   in
-  t.hooks <- hooks port;
+  t.hooks <- (match hooks with Some h -> h port | None -> Hooks.nil port);
+  let pid0 = new_proc t ~fid:p.main_fid ~args:[] ~spawn_ref:None in
+  assert (pid0 = 0);
   t
-
-let proc t pid =
-  if pid < 0 || pid >= Array.length t.procs then
-    raise (Interp.Fault (Printf.sprintf "no process with id %d" pid))
-  else t.procs.(pid)
-
-let emit t (pr : proc) ev =
-  let r = { Event.epid = pr.pid; eseq = pr.seq } in
-  pr.seq <- pr.seq + 1;
-  t.hooks.Hooks.on_event ~pid:pr.pid ~seq:r.eseq ev;
-  (match (t.breakpoints, Event.sid_of ev) with
-  | Some bps, Some sid when t.halted = None && Analysis.Bitset.mem bps sid ->
-    t.halted <- Some (Breakpoint { pid = pr.pid; sid })
-  | _ -> ());
-  (match ev with
-  | Event.E_stmt { kind = Event.K_print { value }; _ } ->
-    Buffer.add_string t.out (Value.to_string value);
-    Buffer.add_char t.out '\n'
-  | _ -> ());
-  r
 
 let ctx t (pr : proc) =
   match pr.frames with
@@ -189,18 +317,40 @@ let ctx t (pr : proc) =
       Interp.prog = t.prog;
       read_global = (fun slot -> t.shared.(slot));
       write_global = (fun slot v -> t.shared.(slot) <- v);
-      frame = top;
+      frame = iframe top;
     }
+
+(* The driver completed the statement at the top frame's head. *)
+let consume_top (pr : proc) =
+  match pr.frames with
+  | Fi f :: _ -> Interp.consume_work f
+  | Fv vf :: _ -> Vm.consume vf
+  | [] -> assert false
+
+(* Return the top VM frame's register window to the process arena.
+   Registers hold only transient expression temporaries — the logged
+   state all lives in slots — so release order vs. event emission is
+   immaterial; it only has to precede pushing another frame. *)
+let release_top (pr : proc) =
+  match (pr.frames, pr.veng) with
+  | Fv vf :: _, Some v -> Vm.release v.vst vf
+  | _ -> ()
 
 let wake t pid =
   let pr = t.procs.(pid) in
-  match pr.status with Sblocked _ -> pr.status <- Sready | Sready | Sdone -> ()
+  match pr.status with
+  | Sblocked _ ->
+    pr.status <- Sready;
+    sched_dirty t
+  | Sready | Sdone -> ()
 
 let wake_joiners t child_pid =
   Array.iter
     (fun pr ->
       match pr.status with
-      | Sblocked (Bjoin q) when q = child_pid -> pr.status <- Sready
+      | Sblocked (Bjoin q) when q = child_pid ->
+        pr.status <- Sready;
+        sched_dirty t
       | _ -> ())
     t.procs
 
@@ -208,10 +358,15 @@ let wake_joiners t child_pid =
    still in place (so observers can snapshot its locals for the
    postlog), then record the result and wake joiners. *)
 let finish_proc t (pr : proc) result =
-  let r = emit t pr (Event.E_proc_exit { fid = pr.root_fid; result }) in
+  let r =
+    if t.instrumented then
+      emit t pr (Event.E_proc_exit { fid = pr.root_fid; result })
+    else bare_ref t pr None
+  in
   pr.exit_info <- Some (result, r);
   pr.frames <- [];
   pr.status <- Sdone;
+  sched_dirty t;
   wake_joiners t pr.pid
 
 (* Deliver [ret] into the caller frame after a pop: emit the
@@ -220,24 +375,36 @@ let deliver_return t (pr : proc) ~callee ~call_sid ~ret_lhs ret =
   match call_sid with
   | None -> assert false
   | Some sid ->
-    let write =
-      match ret_lhs with
-      | None -> None
+    if t.instrumented then begin
+      let write =
+        match ret_lhs with
+        | None -> None
+        | Some l ->
+          let c = ctx t pr in
+          let value = match ret with Some v -> v | None -> Value.Vundef in
+          let _idx_reads, w = Interp.write_lhs c l value in
+          Some w
+      in
+      ignore
+        (emit t pr
+           (Event.E_stmt
+              {
+                sid;
+                reads = [];
+                write;
+                kind = Event.K_call_return { callee; ret };
+              }))
+    end
+    else begin
+      (* the lhs write is semantics, not instrumentation *)
+      (match ret_lhs with
+      | None -> ()
       | Some l ->
         let c = ctx t pr in
         let value = match ret with Some v -> v | None -> Value.Vundef in
-        let _idx_reads, w = Interp.write_lhs c l value in
-        Some w
-    in
-    ignore
-      (emit t pr
-         (Event.E_stmt
-            {
-              sid;
-              reads = [];
-              write;
-              kind = Event.K_call_return { callee; ret };
-            }))
+        ignore (Interp.write_lhs c l value));
+      ignore (bare_ref t pr (Some sid))
+    end
 
 (* Pop the top frame with return value [ret] (already evaluated). The
    root frame emits only E_proc_exit (the process boundary is the
@@ -246,38 +413,27 @@ let deliver_return t (pr : proc) ~callee ~call_sid ~ret_lhs ret =
 let pop_frame t (pr : proc) ret =
   match pr.frames with
   | [] -> assert false
-  | [ _root ] -> finish_proc t pr ret
+  | [ _root ] ->
+    release_top pr;
+    finish_proc t pr ret
   | top :: rest ->
-    ignore
-      (emit t pr
-         (Event.E_leave { fid = top.ffid; call_sid = top.call_sid; ret }));
+    let f = iframe top in
+    if t.instrumented then
+      ignore
+        (emit t pr
+           (Event.E_leave { fid = f.Interp.ffid; call_sid = f.Interp.call_sid; ret }))
+    else ignore (bare_ref t pr f.Interp.call_sid);
+    release_top pr;
     pr.frames <- rest;
-    deliver_return t pr ~callee:top.ffid ~call_sid:top.call_sid
-      ~ret_lhs:top.ret_lhs ret
+    deliver_return t pr ~callee:f.Interp.ffid ~call_sid:f.Interp.call_sid
+      ~ret_lhs:f.Interp.ret_lhs ret
 
 let spawn_proc t ~fid ~args ~spawn_ref =
-  let pid = Array.length t.procs in
-  let frame =
-    Interp.make_frame t.prog ~fid ~args ~ret_lhs:None ~call_sid:None
-  in
-  let pr =
-    {
-      pid;
-      root_fid = fid;
-      frames = [ frame ];
-      status = Sready;
-      pending = Pnone;
-      seq = 0;
-      started = false;
-      spawn_ref = Some spawn_ref;
-      exit_info = None;
-      p_waited = false;
-    }
-  in
-  t.procs <- Array.append t.procs [| pr |];
-  pid
+  new_proc t ~fid ~args ~spawn_ref:(Some spawn_ref)
 
-let block pr reason = pr.status <- Sblocked reason
+let block t pr reason =
+  pr.status <- Sblocked reason;
+  sched_dirty t
 
 (* ------------------------------------------------------------------ *)
 (* Driver-handled statements.                                           *)
@@ -294,20 +450,25 @@ let exec_driver t (pr : proc) (s : P.stmt) =
         let n, reads = Interp.eval_int c e in
         (Some (Value.Vint n), reads)
     in
-    ignore
-      (emit t pr
-         (Event.E_stmt
-            { sid = s.sid; reads; write = None; kind = Event.K_return { value = ret } }));
+    if t.instrumented then
+      ignore
+        (emit t pr
+           (Event.E_stmt
+              { sid = s.sid; reads; write = None; kind = Event.K_return { value = ret } }))
+    else ignore (bare_ref t pr (Some s.sid));
     (* returning unwinds any loops still executing in this frame: close
        their loop e-blocks (§5.4), then drop the work and leave *)
     (match pr.frames with
     | top :: _ ->
+      let f = iframe top in
       List.iter
         (fun sid ->
-          ignore (emit t pr (Event.E_loop_exit { sid; writes = None })))
-        top.Interp.active_loops;
-      top.Interp.active_loops <- [];
-      top.work <- []
+          if t.instrumented then
+            ignore (emit t pr (Event.E_loop_exit { sid; writes = None }))
+          else ignore (bare_ref t pr (Some sid)))
+        f.Interp.active_loops;
+      f.Interp.active_loops <- [];
+      f.Interp.work <- []
     | [] -> assert false);
     pop_frame t pr ret
   | P.Scall (lhs, call) ->
@@ -319,29 +480,33 @@ let exec_driver t (pr : proc) (s : P.stmt) =
         ([], []) call.cargs
     in
     let args = List.rev args_rev and reads = List.rev reads_rev in
-    ignore
-      (emit t pr
-         (Event.E_stmt
-            {
-              sid = s.sid;
-              reads;
-              write = None;
-              kind = Event.K_call { callee = call.callee; args };
-            }));
-    Interp.consume_work (List.hd pr.frames);
+    if t.instrumented then
+      ignore
+        (emit t pr
+           (Event.E_stmt
+              {
+                sid = s.sid;
+                reads;
+                write = None;
+                kind = Event.K_call { callee = call.callee; args };
+              }))
+    else ignore (bare_ref t pr (Some s.sid));
+    consume_top pr;
     let frame =
-      Interp.make_frame t.prog ~fid:call.callee ~args ~ret_lhs:lhs
+      make_eframe t pr ~fid:call.callee ~args ~ret_lhs:lhs
         ~call_sid:(Some s.sid)
     in
     pr.frames <- frame :: pr.frames;
-    ignore
-      (emit t pr
-         (Event.E_enter
-            {
-              fid = call.callee;
-              call_sid = Some s.sid;
-              binds = Interp.binds_of_frame t.prog frame;
-            }))
+    if t.instrumented then
+      ignore
+        (emit t pr
+           (Event.E_enter
+              {
+                fid = call.callee;
+                call_sid = Some s.sid;
+                binds = Interp.binds_of_frame t.prog (iframe frame);
+              }))
+    else ignore (bare_ref t pr (Some s.sid))
   | P.Sspawn (lhs, call) ->
     let args_rev, reads_rev =
       List.fold_left
@@ -352,99 +517,123 @@ let exec_driver t (pr : proc) (s : P.stmt) =
     in
     let args = List.rev args_rev and reads = List.rev reads_rev in
     let child = Array.length t.procs in
-    let write =
-      match lhs with
-      | None -> None
-      | Some l ->
-        let _idx, w = Interp.write_lhs c l (Value.Vint child) in
-        Some w
-    in
     let r =
-      emit t pr
-        (Event.E_stmt
-           {
-             sid = s.sid;
-             reads;
-             write;
-             kind = Event.K_spawn { child; callee = call.callee; args };
-           })
+      if t.instrumented then begin
+        let write =
+          match lhs with
+          | None -> None
+          | Some l ->
+            let _idx, w = Interp.write_lhs c l (Value.Vint child) in
+            Some w
+        in
+        emit t pr
+          (Event.E_stmt
+             {
+               sid = s.sid;
+               reads;
+               write;
+               kind = Event.K_spawn { child; callee = call.callee; args };
+             })
+      end
+      else begin
+        (match lhs with
+        | None -> ()
+        | Some l -> ignore (Interp.write_lhs c l (Value.Vint child)));
+        bare_ref t pr (Some s.sid)
+      end
     in
     let child' = spawn_proc t ~fid:call.callee ~args ~spawn_ref:r in
     assert (child' = child);
-    Interp.consume_work (List.hd pr.frames)
+    consume_top pr
   | P.Sjoin (lhs, e) ->
     let q, reads = Interp.eval_int c e in
     let target = proc t q in
     if target.pid = pr.pid then raise (Interp.Fault "process joining itself");
     (match target.exit_info with
     | Some (result, exit_ref) ->
-      let write =
-        match lhs with
-        | None -> None
+      if t.instrumented then begin
+        let write =
+          match lhs with
+          | None -> None
+          | Some l ->
+            let value = match result with Some v -> v | None -> Value.Vundef in
+            let _idx, w = Interp.write_lhs c l value in
+            Some w
+        in
+        ignore
+          (emit t pr
+             (Event.E_stmt
+                {
+                  sid = s.sid;
+                  reads;
+                  write;
+                  kind = Event.K_join { child = q; result; child_exit = exit_ref };
+                }))
+      end
+      else begin
+        (match lhs with
+        | None -> ()
         | Some l ->
           let value = match result with Some v -> v | None -> Value.Vundef in
-          let _idx, w = Interp.write_lhs c l value in
-          Some w
-      in
-      ignore
-        (emit t pr
-           (Event.E_stmt
-              {
-                sid = s.sid;
-                reads;
-                write;
-                kind = Event.K_join { child = q; result; child_exit = exit_ref };
-              }));
-      Interp.consume_work (List.hd pr.frames)
-    | None -> block pr (Bjoin q))
+          ignore (Interp.write_lhs c l value));
+        ignore (bare_ref t pr (Some s.sid))
+      end;
+      consume_top pr
+    | None -> block t pr (Bjoin q))
   | P.Sp sem ->
     let st = t.sems.(sem.sem_id) in
     if Queue.is_empty st.tokens then begin
       if not (Queue.fold (fun acc p -> acc || p = pr.pid) false st.sem_waiters)
       then Queue.add pr.pid st.sem_waiters;
       pr.p_waited <- true;
-      block pr (Bsem sem.sem_id)
+      block t pr (Bsem sem.sem_id)
     end
     else begin
       let src = Queue.take st.tokens in
-      ignore
-        (emit t pr
-           (Event.E_stmt
-              {
-                sid = s.sid;
-                reads = [];
-                write = None;
-                kind =
-                  Event.K_p { sem = sem.sem_id; src; was_blocked = pr.p_waited };
-              }));
+      if t.instrumented then
+        ignore
+          (emit t pr
+             (Event.E_stmt
+                {
+                  sid = s.sid;
+                  reads = [];
+                  write = None;
+                  kind =
+                    Event.K_p { sem = sem.sem_id; src; was_blocked = pr.p_waited };
+                }))
+      else ignore (bare_ref t pr (Some s.sid));
       pr.p_waited <- false;
-      Interp.consume_work (List.hd pr.frames)
+      consume_top pr
     end
   | P.Sv sem ->
     let st = t.sems.(sem.sem_id) in
     let r =
-      emit t pr
-        (Event.E_stmt
-           { sid = s.sid; reads = []; write = None; kind = Event.K_v { sem = sem.sem_id } })
+      if t.instrumented then
+        emit t pr
+          (Event.E_stmt
+             { sid = s.sid; reads = []; write = None; kind = Event.K_v { sem = sem.sem_id } })
+      else bare_ref t pr (Some s.sid)
     in
     Queue.add (Some r) st.tokens;
     if not (Queue.is_empty st.sem_waiters) then wake t (Queue.take st.sem_waiters);
-    Interp.consume_work (List.hd pr.frames)
+    consume_top pr
   | P.Ssend (ch, e) -> (
     let st = t.chans.(ch.ch_id) in
     match pr.pending with
     | Punblock { by } ->
       pr.pending <- Pnone;
-      ignore
-        (emit t pr
-           (Event.E_stmt
-              {
-                sid = s.sid;
-                reads = [];
-                write = None;
-                kind = Event.K_send_unblocked { chan = ch.ch_id; by };
-              }));
-      Interp.consume_work (List.hd pr.frames)
+      if t.instrumented then
+        ignore
+          (emit t pr
+             (Event.E_stmt
+                {
+                  sid = s.sid;
+                  reads = [];
+                  write = None;
+                  kind = Event.K_send_unblocked { chan = ch.ch_id; by };
+                }))
+      else ignore (bare_ref t pr (Some s.sid));
+      consume_top pr
     | Precv_value _ -> assert false
     | Pnone -> (
       match st.cap with
@@ -452,14 +641,16 @@ let exec_driver t (pr : proc) (s : P.stmt) =
         (* synchronous: emit send, then block awaiting the receive *)
         let value, reads = Interp.eval_int c e in
         let r =
-          emit t pr
-            (Event.E_stmt
-               {
-                 sid = s.sid;
-                 reads;
-                 write = None;
-                 kind = Event.K_send { chan = ch.ch_id; value };
-               })
+          if t.instrumented then
+            emit t pr
+              (Event.E_stmt
+                 {
+                   sid = s.sid;
+                   reads;
+                   write = None;
+                   kind = Event.K_send { chan = ch.ch_id; value };
+                 })
+          else bare_ref t pr (Some s.sid)
         in
         match st.recv_waiters with
         | rcv :: rest ->
@@ -468,25 +659,27 @@ let exec_driver t (pr : proc) (s : P.stmt) =
           receiver.pending <-
             Precv_value { value; src = r; sender = Some pr.pid };
           wake t rcv;
-          block pr (Bsend_ack ch.ch_id)
+          block t pr (Bsend_ack ch.ch_id)
         | [] ->
           Queue.add (pr.pid, value, r) st.sync_senders;
-          block pr (Bsend_ack ch.ch_id))
+          block t pr (Bsend_ack ch.ch_id))
       | Some cap when Queue.length st.buf >= cap ->
         if not (List.mem pr.pid st.full_senders) then
           st.full_senders <- st.full_senders @ [ pr.pid ];
-        block pr (Bsend ch.ch_id)
+        block t pr (Bsend ch.ch_id)
       | Some _ | None ->
         let value, reads = Interp.eval_int c e in
         let r =
-          emit t pr
-            (Event.E_stmt
-               {
-                 sid = s.sid;
-                 reads;
-                 write = None;
-                 kind = Event.K_send { chan = ch.ch_id; value };
-               })
+          if t.instrumented then
+            emit t pr
+              (Event.E_stmt
+                 {
+                   sid = s.sid;
+                   reads;
+                   write = None;
+                   kind = Event.K_send { chan = ch.ch_id; value };
+                 })
+          else bare_ref t pr (Some s.sid)
         in
         Queue.add (value, r) st.buf;
         (match st.recv_waiters with
@@ -494,22 +687,24 @@ let exec_driver t (pr : proc) (s : P.stmt) =
           st.recv_waiters <- rest;
           wake t rcv
         | [] -> ());
-        Interp.consume_work (List.hd pr.frames)))
+        consume_top pr))
   | P.Srecv (ch, lhs) -> (
     let st = t.chans.(ch.ch_id) in
     let complete value src sender =
       let idx_reads, w = Interp.write_lhs c lhs (Value.Vint value) in
       let r =
-        emit t pr
-          (Event.E_stmt
-             {
-               sid = s.sid;
-               reads = idx_reads;
-               write = Some w;
-               kind = Event.K_recv { chan = ch.ch_id; value; src };
-             })
+        if t.instrumented then
+          emit t pr
+            (Event.E_stmt
+               {
+                 sid = s.sid;
+                 reads = idx_reads;
+                 write = Some w;
+                 kind = Event.K_recv { chan = ch.ch_id; value; src };
+               })
+        else bare_ref t pr (Some s.sid)
       in
-      Interp.consume_work (List.hd pr.frames);
+      consume_top pr;
       match sender with
       | Some sp ->
         let sender = t.procs.(sp) in
@@ -540,21 +735,24 @@ let exec_driver t (pr : proc) (s : P.stmt) =
       else begin
         if not (List.mem pr.pid st.recv_waiters) then
           st.recv_waiters <- st.recv_waiters @ [ pr.pid ];
-        block pr (Brecv ch.ch_id)
+        block t pr (Brecv ch.ch_id)
       end)
   | P.Swhile _ -> (
-    let top = List.hd pr.frames in
-    match top.Interp.work with
-    | Interp.Wstmt _ :: _ ->
-      (* loop e-block boundary: enter before the first condition test *)
-      ignore (emit t pr (Event.E_loop_enter { sid = s.sid }));
-      Interp.loop_entry top s
-    | Interp.Wloop _ :: _ ->
-      let ev, continued = Interp.loop_test c s in
-      ignore (emit t pr (Event.E_stmt ev));
-      if not continued then
-        ignore (emit t pr (Event.E_loop_exit { sid = s.sid; writes = None }))
-    | [] -> assert false)
+    (* interpreter engine only: the VM compiles loops to jumps *)
+    match pr.frames with
+    | Fi top :: _ -> (
+      match top.Interp.work with
+      | Interp.Wstmt _ :: _ ->
+        (* loop e-block boundary: enter before the first condition test *)
+        ignore (emit t pr (Event.E_loop_enter { sid = s.sid }));
+        Interp.loop_entry top s
+      | Interp.Wloop _ :: _ ->
+        let ev, continued = Interp.loop_test c s in
+        ignore (emit t pr (Event.E_stmt ev));
+        if not continued then
+          ignore (emit t pr (Event.E_loop_exit { sid = s.sid; writes = None }))
+      | [] -> assert false)
+    | Fv _ :: _ | [] -> assert false)
   | P.Sassign _ | P.Sif _ | P.Sprint _ | P.Sassert _ -> assert false
 
 (* ------------------------------------------------------------------ *)
@@ -564,25 +762,27 @@ let exec_driver t (pr : proc) (s : P.stmt) =
 let step_proc t (pr : proc) =
   if not pr.started then begin
     pr.started <- true;
-    let binds =
-      match pr.frames with
-      | top :: _ -> Interp.binds_of_frame t.prog top
-      | [] -> []
-    in
-    ignore
-      (emit t pr
-         (Event.E_proc_start { fid = pr.root_fid; binds; spawn = pr.spawn_ref }))
+    if t.instrumented then begin
+      let binds =
+        match pr.frames with
+        | top :: _ -> Interp.binds_of_frame t.prog (iframe top)
+        | [] -> []
+      in
+      ignore
+        (emit t pr
+           (Event.E_proc_start { fid = pr.root_fid; binds; spawn = pr.spawn_ref }))
+    end
+    else ignore (bare_ref t pr None)
   end
   else
     match pr.frames with
     | [] -> assert false
-    | _ :: _ -> (
+    | Fi top :: _ -> (
       let c = ctx t pr in
       (* remember the sid for fault attribution *)
-      (match (List.hd pr.frames).Interp.work with
-      | Interp.Wstmt s :: _ | Interp.Wloop s :: _ ->
-        t.current_sid <- Some s.P.sid
-      | [] -> t.current_sid <- None);
+      (match top.Interp.work with
+      | Interp.Wstmt s :: _ | Interp.Wloop s :: _ -> t.current_sid <- s.P.sid
+      | [] -> t.current_sid <- -1);
       match Interp.step_local c with
       | Interp.Event ev ->
         ignore (emit t pr (Event.E_stmt ev));
@@ -592,13 +792,24 @@ let step_proc t (pr : proc) =
         | _ -> ())
       | Interp.Frame_done -> pop_frame t pr None
       | Interp.Driver s -> exec_driver t pr s)
+    | Fv _ :: _ ->
+      (* started VM processes go through the burst path in [step_one] *)
+      assert false
 
 let runnable t =
-  Array.to_list t.procs
-  |> List.filter_map (fun pr ->
-         match pr.status with
-         | Sready -> Some pr.pid
-         | Sblocked _ | Sdone -> None)
+  if t.runnable_valid then t.runnable_cache
+  else begin
+    let l =
+      Array.to_list t.procs
+      |> List.filter_map (fun pr ->
+             match pr.status with
+             | Sready -> Some pr.pid
+             | Sblocked _ | Sdone -> None)
+    in
+    t.runnable_cache <- l;
+    t.runnable_valid <- true;
+    l
+  end
 
 let describe_block = function
   | Bsem s -> Printf.sprintf "P on semaphore %d" s
@@ -623,16 +834,47 @@ let step_one t =
       t.halted <- Some (if blocked = [] then Finished else Deadlock blocked);
       false
     | pids ->
-      if t.steps >= t.max_steps then begin
+      if !(t.steps) >= t.max_steps then begin
         t.halted <- Some Out_of_fuel;
         false
       end
       else begin
         let pid = Sched.pick t.sched ~runnable:pids in
-        t.steps <- t.steps + 1;
-        (try step_proc t t.procs.(pid)
-         with Interp.Fault msg ->
-           t.halted <- Some (Fault { pid; sid = t.current_sid; msg }));
+        let pr = t.procs.(pid) in
+        (match pr.frames with
+        | Fv vf :: _ when pr.started -> (
+          (* Burst path: local statements never change process statuses,
+             so the scheduler's remaining quantum can run inside the VM
+             dispatch loop without re-entering this loop. Ticks bump
+             [t.steps]; afterwards the extra picks are committed, which
+             is observationally identical to single-stepping. *)
+          let v = match pr.veng with Some v -> v | None -> assert false in
+          let promised = Sched.burst t.sched ~runnable:pids ~pid in
+          let budget =
+            (* careful: [promised] may be [max_int] (sole runnable) *)
+            min (if promised < max_int then promised + 1 else max_int)
+              (t.max_steps - !(t.steps))
+          in
+          let before = !(t.steps) in
+          try
+            let res = Vm.run vf v.vst v.vhost ~budget in
+            Sched.commit t.sched ~pid (!(t.steps) - before - 1);
+            match res with
+            | Vm.Stepped -> ()
+            | Vm.Frame_done -> pop_frame t pr None
+            | Vm.Driver s -> exec_driver t pr s
+          with Interp.Fault msg ->
+            (* the machine halts here, so the uncommitted extra picks
+               are never observed *)
+            let s = Vm.current_sid vf in
+            t.halted <-
+              Some (Fault { pid; sid = (if s < 0 then None else Some s); msg }))
+        | _ -> (
+          incr t.steps;
+          try step_proc t pr
+          with Interp.Fault msg ->
+            let sid = if t.current_sid < 0 then None else Some t.current_sid in
+            t.halted <- Some (Fault { pid; sid; msg })));
         true
       end)
 
@@ -641,18 +883,18 @@ let step_one t =
 let c_steps = Obs.counter "runtime.machine_steps"
 
 let run t =
-  let before = t.steps in
+  let before = !(t.steps) in
   while step_one t do
     ()
   done;
-  Obs.add c_steps (t.steps - before);
+  Obs.add c_steps (!(t.steps) - before);
   match t.halted with Some h -> h | None -> assert false
 
 let status t = t.halted
 
 let output t = Buffer.contents t.out
 
-let nsteps t = t.steps
+let nsteps t = !(t.steps)
 
 let nprocs t = Array.length t.procs
 
@@ -673,7 +915,7 @@ let blocked_wait t pid =
       | Brecv c -> Wrecv c
       | Bjoin p -> Wjoin p)
 
-let proc_seq t pid = t.procs.(pid).seq
+let proc_seq t pid = !(t.procs.(pid).seq)
 
 let proc_root t pid = t.procs.(pid).root_fid
 

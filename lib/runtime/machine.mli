@@ -23,7 +23,18 @@
 
     A runtime fault (division by zero, failed assert, uninitialised
     read, ...) halts the whole machine — that is the "program halts due
-    to an error" moment at which the debugging phase begins. *)
+    to an error" moment at which the debugging phase begins.
+
+    Two execution engines share this machine (DESIGN §15). The default
+    {!Vm_engine} compiles each function to {!Lang.Bytecode} and runs
+    local statements on a dispatch-loop VM; {!Interp_engine} walks the
+    AST and survives as the differential-testing oracle. Both engines
+    share the driver for sync ops, calls and returns, and the slot
+    representation read by instrumentation, so event streams, trace
+    logs, scheduling decisions and halts are identical — only steps/sec
+    differs. *)
+
+type engine = Interp_engine | Vm_engine
 
 type halt =
   | Finished  (** every process ran to completion *)
@@ -47,18 +58,26 @@ type wait =
 type t
 
 val create :
+  ?engine:engine ->
   ?sched:Sched.policy ->
   ?max_steps:int ->
   ?hooks:Hooks.factory ->
   ?breakpoints:int list ->
   Lang.Prog.t ->
   t
-(** Defaults: {!Sched.default}, one million steps, no instrumentation,
-    no breakpoints. [breakpoints] are statement ids; the machine halts
-    with {!Breakpoint} right after any of them produces an event —
-    postlog-based restoration then gives every other process's state at
-    its own last e-block boundary, the paper's answer to the timely-halt
-    problem (§5.7). *)
+(** Defaults: {!Vm_engine}, {!Sched.default}, one million steps, no
+    instrumentation, no breakpoints. When [hooks] is omitted the machine
+    skips event materialization entirely — the VM takes its bare local
+    fast path and the driver accounts for sync/call/return events
+    without allocating them — which is the bare-execution fast path
+    benchmarked by T1. Sequence numbers, the step clock, breakpoint
+    checks and program output are identical either way. [breakpoints] are
+    statement ids; the machine halts with {!Breakpoint} right after any
+    of them produces an event — postlog-based restoration then gives
+    every other process's state at its own last e-block boundary, the
+    paper's answer to the timely-halt problem (§5.7). *)
+
+val engine : t -> engine
 
 val run : t -> halt
 (** Run to halt. *)

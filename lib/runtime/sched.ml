@@ -68,4 +68,39 @@ let pick t ~runnable =
       let p = f ~runnable in
       if List.mem p runnable then p else round_robin t ~runnable 1)
 
+(* Burst scheduling: after [pick] returned [pid], a round-robin
+   scheduler is committed to the same pid for its remaining quantum as
+   long as the runnable set does not change — and when [pid] is the
+   only runnable process, every future pick is determined, so the
+   guarantee is unbounded. The machine exploits that to run many VM
+   statements per scheduler entry. [burst] reports the guarantee
+   without consuming it; [commit] consumes [n] picks after the fact
+   (n picks that [pick] would provably have returned [pid] for).
+
+   Only round-robin gives a guarantee: random draws advance the rng
+   state per pick (skipping would shift every later draw), scripted
+   picks consume script entries, and guided picks run a user callback
+   whose calls must not be elided. *)
+let burst t ~runnable ~pid =
+  match t.policy with
+  | Round_robin _ -> (
+    match runnable with
+    | [ p ] when p = pid -> max_int
+    | _ -> if t.rr_current = pid then t.rr_left else 0)
+  | Random_seed _ | Scripted _ | Guided _ -> 0
+
+let commit t ~pid n =
+  if n > 0 then begin
+    assert (t.rr_current = pid);
+    if n <= t.rr_left then t.rr_left <- t.rr_left - n
+    else begin
+      (* sole-runnable fast-forward: n picks from (current = pid,
+         left = L) wrap the quantum, landing on left = (L - n) mod q *)
+      let q =
+        match t.policy with Round_robin q -> max 1 q | _ -> assert false
+      in
+      t.rr_left <- (((t.rr_left - n) mod q) + q) mod q
+    end
+  end
+
 let default = Round_robin 3

@@ -25,5 +25,19 @@ val pick : t -> runnable:int list -> int
 (** Choose the next process to step. [runnable] is non-empty and
     sorted. *)
 
+val burst : t -> runnable:int list -> pid:int -> int
+(** After {!pick} on [runnable] just returned [pid]: how many further
+    consecutive calls to {!pick} are guaranteed to return [pid] again,
+    provided the runnable set does not change in between. Non-zero only
+    for round-robin — the rest of the current quantum, or unbounded
+    ([max_int]) when [pid] is the sole runnable process; random,
+    scripted and guided schedulers give no guarantee. Does not consume
+    the picks. *)
+
+val commit : t -> pid:int -> int -> unit
+(** Consume [n] of the picks promised by {!burst} — the machine calls
+    this after stepping [pid] [n] extra times without re-entering
+    {!pick}. [n] must not exceed the last {!burst} answer. *)
+
 val default : policy
 (** [Round_robin 3]. *)

@@ -261,11 +261,13 @@ let finish t =
       entries;
   { Log.nprocs = t.nprocs; entries; stops }
 
-let run_logged ?sched ?max_steps ?(extra_hooks = Runtime.Hooks.nil) ?sink eb =
+let run_logged ?engine ?sched ?max_steps ?(extra_hooks = Runtime.Hooks.nil)
+    ?sink eb =
   let logger = create ?sink eb in
   let hooks = Runtime.Hooks.both (factory logger) extra_hooks in
   let m =
-    Runtime.Machine.create ?sched ?max_steps ~hooks eb.Analysis.Eblock.prog
+    Runtime.Machine.create ?engine ?sched ?max_steps ~hooks
+      eb.Analysis.Eblock.prog
   in
   let halt = Runtime.Machine.run m in
   (halt, finish logger, m)

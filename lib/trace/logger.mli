@@ -41,6 +41,7 @@ val finish : t -> Log.t
 (** Snapshot the accumulated log (callable once the run halts). *)
 
 val run_logged :
+  ?engine:Runtime.Machine.engine ->
   ?sched:Runtime.Sched.policy ->
   ?max_steps:int ->
   ?extra_hooks:Runtime.Hooks.factory ->

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""CI perf gate over the bench JSON (dune exec bench/main.exe -- --json t9 t10 t11 t12 t16)
+"""CI perf gate over the bench JSON (dune exec bench/main.exe -- --json t1 t9 t10 t11 t12 t16)
 and, optionally, a ppd profile JSON (--profile FILE).
 
 Checks on the T10 (parallel replay) table:
@@ -11,6 +11,31 @@ Checks on the T10 (parallel replay) table:
    reports at least MIN_CORES cores: a 1- or 2-core runner physically
    cannot show the speedup, so the gate prints the numbers and skips
    the margin there instead of failing spuriously.
+
+Checks on the T1 (engine comparison) table, when present:
+
+A. Per-workload VM speedup floors — interp_bare_ns / vm_bare_ns must
+   clear a committed per-workload floor. The floors are calibrated,
+   not uniform: matmul is local-step dominated so the bytecode VM's
+   full dispatch-loop advantage shows (measured 5.3-5.9x -> floor
+   4.0), while sync-heavy workloads spend most of their steps in the
+   shared scheduler/driver that both engines use by design (the
+   single-driver architecture is what makes traces identical by
+   construction), so their physically attainable ratio is bounded by
+   the driver share — their floors encode "the VM never loses and
+   keeps its measured edge", not 10x.
+B. Logged-path sanity — vm_logged_ns must stay within
+   T1_VM_LOGGED_MAX_RATIO of interp_logged_ns on every workload: the
+   VM must not surrender its advantage once the trace logger is on
+   (zero-copy prelog/postlog contract, DESIGN §15).
+C. VM tracing overhead — on the local-dominated workload the cost of
+   log writes over event materialization alone,
+   (vm_logged - vm_instr) / vm_instr, must stay under a loose bound.
+   Measured 7-22% across runs; the bound (50%) is a tripwire for the
+   zero-copy contract breaking (per-event allocation on the VM log
+   path shows up as 2-3x), not the paper's tight claim — wall-clock
+   ratios of two sub-100ns paths are too noisy on shared runners for
+   a tight gate.
 
 Checks on the T11 (observability overhead) table, when present:
 
@@ -114,6 +139,79 @@ def check_t10(data, margin, failures):
             f"determinism checked, speedup margin skipped"
         )
     return len(rows)
+
+
+# Committed per-workload floors for the T1 bare-execution speedup
+# (interp_bare_ns / vm_bare_ns). Calibrated from bench runs on the
+# committing host with roughly 25-35% headroom below the measured
+# ratio; see the module docstring for why the floors differ per
+# workload (local-step share vs shared-driver share).
+T1_VM_SPEEDUP_FLOOR = {
+    "matmul-12": 4.0,     # measured 5.3-5.9x; local-step dominated
+    "branchy-150": 1.7,   # measured 2.2-3.0x
+    "prodcons-300": 1.4,  # measured 1.9-2.1x; channel driver heavy
+    "counter-4x50": 1.3,  # measured 1.6-1.9x; semaphore driver heavy
+    "ring-6x12": 1.0,     # measured 1.1-1.4x; almost all sync steps
+    "fib-15": 1.0,        # measured 1.1-1.3x; call/return driver heavy
+}
+T1_VM_LOGGED_MAX_RATIO = 1.05
+T1_VM_TRACE_OVH_MAX = {"matmul-12": 0.5}
+
+
+def check_t1_vm(data, failures):
+    rows = data.get("t1")
+    if not rows:
+        return
+    seen = set()
+    for row in rows:
+        name = row["workload"]
+        seen.add(name)
+        ib = float(row["interp_bare_ns"])
+        vb = float(row["vm_bare_ns"])
+        il = float(row["interp_logged_ns"])
+        vi = float(row["vm_instr_ns"])
+        vl = float(row["vm_logged_ns"])
+        steps = int(row["steps"])
+        if not (ib and vb and il and vi and vl):
+            failures.append(f"t1/{name}: missing engine timings")
+            continue
+        speedup = ib / vb
+        print(
+            f"perf-gate: t1/{name}: {steps} step(s), interp "
+            f"{ib / steps:.1f} ns/step, vm {vb / steps:.1f} ns/step "
+            f"-> {speedup:.2f}x bare"
+        )
+        floor = T1_VM_SPEEDUP_FLOOR.get(name)
+        if floor is not None and speedup < floor:
+            failures.append(
+                f"t1/{name}: vm speedup {speedup:.2f}x below the "
+                f"committed {floor:.1f}x floor"
+            )
+        logged_ratio = vl / il
+        print(
+            f"perf-gate: t1/{name}: logged vm/interp = {logged_ratio:.3f}x"
+        )
+        if logged_ratio > T1_VM_LOGGED_MAX_RATIO:
+            failures.append(
+                f"t1/{name}: vm-with-logging is {logged_ratio:.2f}x the "
+                f"interp-with-logging time (> {T1_VM_LOGGED_MAX_RATIO:.2f}x)"
+                f" — the VM lost its advantage once the logger came on"
+            )
+        ovh_max = T1_VM_TRACE_OVH_MAX.get(name)
+        if ovh_max is not None:
+            ovh = (vl - vi) / vi
+            print(f"perf-gate: t1/{name}: vm log-write overhead "
+                  f"{100 * ovh:.0f}%")
+            if ovh > ovh_max:
+                failures.append(
+                    f"t1/{name}: log writes cost {100 * ovh:.0f}% over "
+                    f"event materialization (> {100 * ovh_max:.0f}%) — "
+                    f"the zero-copy logging contract looks broken"
+                )
+    for name in T1_VM_SPEEDUP_FLOOR:
+        if name not in seen:
+            failures.append(f"t1: committed workload {name} missing "
+                            f"from the bench JSON")
 
 
 def check_t11(data, failures):
@@ -337,6 +435,7 @@ def main():
 
     failures = []
     nrows = check_t10(data, margin, failures)
+    check_t1_vm(data, failures)
     check_t11(data, failures)
     check_t12(data, failures)
     check_t13(data, failures)

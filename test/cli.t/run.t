@@ -431,3 +431,23 @@ output under injected faults stays byte-identical to a clean -j1 run:
   $ ppd flowback fig61.mpl --depth 2 -j 4 --fault exec.pool.task:1 > faulted.out
   $ cmp clean.out faulted.out && echo identical
   identical
+
+The two execution engines (DESIGN §15): the default bytecode VM and
+the AST-walking interpreter oracle are observationally identical —
+same run output, byte-identical saved log segments, and byte-identical
+flowback answers, including under -j4 replay with an injected
+transient fault:
+
+  $ ppd run fig61.mpl --engine interp
+  42
+  $ ppd log fig61.mpl --save vm.seg --engine vm > /dev/null
+  $ ppd log fig61.mpl --save oracle.seg --engine interp > /dev/null
+  $ cmp vm.seg oracle.seg && echo identical
+  identical
+  $ ppd flowback buggy.mpl --depth 2 > fb-vm.out
+  $ ppd flowback buggy.mpl --depth 2 --engine interp > fb-oracle.out
+  $ cmp fb-vm.out fb-oracle.out && echo identical
+  identical
+  $ ppd flowback fig61.mpl --depth 2 -j 4 --fault exec.pool.task:1 --engine interp > faulted-oracle.out
+  $ cmp clean.out faulted-oracle.out && echo identical
+  identical

@@ -1,0 +1,257 @@
+(* Differential tests: the bytecode VM against the AST-walking
+   interpreter oracle.
+
+   The VM claims observational identity with the interpreter — same
+   event stream (pid, seq, step, event), same halt, same output, same
+   step count, same final stores — under every scheduler, budget and
+   breakpoint set. These tests quantify over random programs and
+   schedules (qcheck) and pin the VM-specific edge cases: register
+   arena growth under deep recursion, receive defining its own target,
+   a burst budget collapsing mid-statement, breakpoints landing inside
+   a burst, and the peephole-fused instruction forms (literal operands,
+   local-scalar operands, counter statements, fused loop tests) which
+   must preserve fault messages and fault points exactly. *)
+
+let ( = ) : int -> int -> bool = Stdlib.( = )
+
+let trace_with engine ?(sched = Runtime.Sched.default) ?(max_steps = 200_000)
+    ?(breakpoints = []) prog =
+  let ft = Trace.Full_trace.create () in
+  let m =
+    Runtime.Machine.create ~engine ~sched ~max_steps ~breakpoints
+      ~hooks:(Trace.Full_trace.factory ft) prog
+  in
+  let halt = Runtime.Machine.run m in
+  (halt, Trace.Full_trace.finish ft, m)
+
+let bare_with engine ?(sched = Runtime.Sched.default) ?(max_steps = 200_000)
+    ?(breakpoints = []) prog =
+  let m = Runtime.Machine.create ~engine ~sched ~max_steps ~breakpoints prog in
+  let halt = Runtime.Machine.run m in
+  (halt, m)
+
+let pp_halt = Util.halt_name
+
+let show_rec (r : Trace.Full_trace.rec_) =
+  Format.asprintf "p%d #%d @%d %a" r.tr_pid r.tr_seq r.tr_step Runtime.Event.pp
+    r.tr_ev
+
+(* Structural machine-state comparison shared by every differential
+   check: halt, output, step clock, per-process event counts, final
+   globals. *)
+let check_machines what mi mv hi hv =
+  if Stdlib.( <> ) hi hv then
+    Alcotest.failf "%s: halt differs\ninterp: %s\nvm:     %s" what (pp_halt hi)
+      (pp_halt hv);
+  Alcotest.(check string)
+    (what ^ ": output") (Runtime.Machine.output mi) (Runtime.Machine.output mv);
+  Alcotest.(check int)
+    (what ^ ": nsteps") (Runtime.Machine.nsteps mi) (Runtime.Machine.nsteps mv);
+  Alcotest.(check int)
+    (what ^ ": nprocs") (Runtime.Machine.nprocs mi) (Runtime.Machine.nprocs mv);
+  for pid = 0 to Runtime.Machine.nprocs mi - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "%s: proc %d seq" what pid)
+      (Runtime.Machine.proc_seq mi pid)
+      (Runtime.Machine.proc_seq mv pid)
+  done;
+  let p = Runtime.Machine.prog mi in
+  Array.iteri
+    (fun slot _ ->
+      let gi = Runtime.Machine.read_global mi slot
+      and gv = Runtime.Machine.read_global mv slot in
+      if Stdlib.( <> ) gi gv then
+        Alcotest.failf "%s: global slot %d differs: %s vs %s" what slot
+          (Runtime.Value.to_string gi) (Runtime.Value.to_string gv))
+    p.Lang.Prog.global_inits
+
+let check_traces what (ti : Trace.Full_trace.t) (tv : Trace.Full_trace.t) =
+  let ni = Array.length ti.recs and nv = Array.length tv.recs in
+  let n = min ni nv in
+  for i = 0 to n - 1 do
+    if Stdlib.( <> ) ti.recs.(i) tv.recs.(i) then
+      Alcotest.failf "%s: trace diverges at event %d\ninterp: %s\nvm:     %s"
+        what i (show_rec ti.recs.(i)) (show_rec tv.recs.(i))
+  done;
+  if ni <> nv then
+    Alcotest.failf "%s: trace lengths differ: interp %d, vm %d" what ni nv
+
+(* The whole contract at once, instrumented and bare. *)
+let assert_identical ?sched ?max_steps ?breakpoints what src =
+  let prog = Util.compile src in
+  let hi, ti, mi =
+    trace_with Runtime.Machine.Interp_engine ?sched ?max_steps ?breakpoints prog
+  in
+  let hv, tv, mv =
+    trace_with Runtime.Machine.Vm_engine ?sched ?max_steps ?breakpoints prog
+  in
+  check_traces what ti tv;
+  check_machines what mi mv hi hv;
+  let hib, mib =
+    bare_with Runtime.Machine.Interp_engine ?sched ?max_steps ?breakpoints prog
+  in
+  let hvb, mvb =
+    bare_with Runtime.Machine.Vm_engine ?sched ?max_steps ?breakpoints prog
+  in
+  check_machines (what ^ " (bare)") mib mvb hib hvb
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: random programs x random schedules.                          *)
+(* ------------------------------------------------------------------ *)
+
+let schedulers seed =
+  [
+    Runtime.Sched.Round_robin 1;
+    Runtime.Sched.Round_robin 4;
+    Runtime.Sched.Random_seed seed;
+    Runtime.Sched.Random_seed ((seed * 31) + 7);
+  ]
+
+let oracle_seq seed =
+  assert_identical "sequential" (Gen.sequential seed);
+  true
+
+let oracle_par seed =
+  let src = Gen.parallel ~protect:`Sometimes seed in
+  List.iter
+    (fun sched -> assert_identical ~sched "parallel" src)
+    (schedulers seed);
+  true
+
+(* Budget collapse: truncating the run at every fuel level must agree —
+   a burst cut short mid-quantum is observationally the same as single
+   stepping. The full run for this source is a few hundred steps; probe
+   a spread of prefixes including 0 and 1. *)
+let oracle_budget seed =
+  let src = Gen.parallel ~protect:`Always seed in
+  List.iter
+    (fun max_steps ->
+      assert_identical ~sched:(Runtime.Sched.Round_robin 3) ~max_steps
+        (Printf.sprintf "budget %d" max_steps)
+        src)
+    [ 1; 2; 3; 7; 20; 53; 101 ];
+  true
+
+let qcheck_seq =
+  Util.qtest ~count:40 "vm = interp on random sequential programs"
+    QCheck2.Gen.(int_range 0 100_000)
+    oracle_seq
+
+let qcheck_par =
+  Util.qtest ~count:25 "vm = interp on random parallel programs x scheds"
+    QCheck2.Gen.(int_range 0 100_000)
+    oracle_par
+
+let qcheck_budget =
+  Util.qtest ~count:15 "vm = interp under truncated budgets"
+    QCheck2.Gen.(int_range 0 100_000)
+    oracle_budget
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Deep call nesting grows the register arena (each live frame holds a
+   window) and exercises frame release on the way back down. *)
+let test_deep_nesting () =
+  assert_identical "deep recursion"
+    {|
+func down(n) {
+  var r = 0;
+  if (n > 0) {
+    r = down(n - 1);
+  }
+  return r + 1;
+}
+func main() {
+  var d = down(200);
+  print(d);
+}
+|}
+
+(* recv defines its target — including an array element whose index is
+   itself read at delivery time. *)
+let test_recv_defines_target () =
+  assert_identical "recv defines target"
+    {|
+chan c[2];
+func main() {
+  var a[3];
+  var i = 1;
+  send(c, 41);
+  send(c, 42);
+  var x = 0;
+  recv(c, x);
+  recv(c, a[i + 1]);
+  print(x);
+  print(a[2]);
+}
+|}
+
+(* Breakpoints at every statement: a halt landing mid-burst must stop
+   the VM at the same event as single-stepping the interpreter. *)
+let test_breakpoint_sweep () =
+  let src = Workloads.counter ~workers:2 ~incs:3 ~mutex:true in
+  let prog = Util.compile src in
+  let nsids = Array.length prog.Lang.Prog.stmts in
+  for sid = 0 to nsids - 1 do
+    assert_identical ~breakpoints:[ sid ]
+      (Printf.sprintf "breakpoint at s%d" sid)
+      src
+  done
+
+(* Fused-instruction faults: literal divisors and uninitialised
+   operands must fault with the interpreter's message at the
+   interpreter's statement. *)
+let test_fused_faults () =
+  assert_identical "div by literal zero"
+    "func main() {\n  var x = 5;\n  var y = x / 0;\n  print(y);\n}\n";
+  assert_identical "mod by literal zero"
+    "func main() {\n  var x = 5;\n  var y = x % 0;\n  print(y);\n}\n";
+  assert_identical "uninitialised fused operand"
+    "func main() {\n  var x;\n  var y = 1 + x;\n  print(y);\n}\n";
+  assert_identical "uninitialised fused loop test"
+    "func main() {\n  var i;\n  while (i < 3) {\n    i = 0;\n  }\n}\n";
+  assert_identical "uninitialised fused increment"
+    "func main() {\n  var i;\n  i = i + 1;\n}\n"
+
+(* Fused-instruction arithmetic: literal-left commutative swaps, the
+   subtraction increment, mirrored loop tests, global counters. *)
+let test_fused_forms () =
+  assert_identical "fused forms"
+    {|
+shared int g = 10;
+func main() {
+  var i = 6;
+  var acc = 0;
+  while (3 < i) {
+    i = i - 1;
+    acc = 2 * (acc + 1);
+    acc = acc + i;
+  }
+  var j = 0;
+  while (j < 4) {
+    j = j + 1;
+    g = g + 2;
+  }
+  print(i);
+  print(acc);
+  print(g);
+  print(100 - acc);
+  print(acc == 10);
+  print(7 * acc + acc * 7);
+}
+|}
+
+let suite =
+  ( "vm",
+    [
+      qcheck_seq;
+      qcheck_par;
+      qcheck_budget;
+      Alcotest.test_case "deep call nesting" `Quick test_deep_nesting;
+      Alcotest.test_case "recv defines target" `Quick test_recv_defines_target;
+      Alcotest.test_case "breakpoint sweep" `Quick test_breakpoint_sweep;
+      Alcotest.test_case "fused faults" `Quick test_fused_faults;
+      Alcotest.test_case "fused forms" `Quick test_fused_forms;
+    ] )
