@@ -1169,6 +1169,139 @@ let t13 () =
     \      plus N-1 warm ones — the hit rate is the sharing visible)"
 
 (* ------------------------------------------------------------------ *)
+(* T14: the ordering-based logging tier (DESIGN §16) — bytes on disk,   *)
+(* reconstruction cost and identity, and checkpoint-bounded seeks.      *)
+(* ------------------------------------------------------------------ *)
+
+(* Sync-heavy workloads are where the order tier earns its keep: the
+   content tier snapshots every shared variable a sync unit may read,
+   so when critical sections touch sizeable shared state (the hist
+   rows) the
+   log is dominated by value snapshots the order tier regenerates
+   instead of recording. Scalar sync loops (counter, prodcons, ring)
+   ride along as context: both tiers keep the sync skeleton verbatim,
+   so the saving there is bounded by the snapshot share (~1-2x), and
+   matmul-12 is the compute-heavy control with almost no sync at all.
+   The perf gate (check_t14) requires an order-of-magnitude byte
+   reduction on the sync-heavy set and reconstruction identity
+   everywhere. *)
+let t14_workloads =
+  [
+    ( "hist-4x24x512",
+      Workloads.locked_hist ~workers:4 ~rounds:24 ~cells:512,
+      true );
+    ( "hist-8x12x512",
+      Workloads.locked_hist ~workers:8 ~rounds:12 ~cells:512,
+      true );
+    ("counter-4x50", Workloads.counter ~workers:4 ~incs:50 ~mutex:true, false);
+    ("prodcons-300", Workloads.producer_consumer ~items:300 ~cap:8, false);
+    ("ring-6x12", Workloads.token_ring ~procs:6 ~rounds:12, false);
+    ("matmul-12", Workloads.matmul 12, false);
+  ]
+
+type t14_row = {
+  tv_name : string;
+  tv_sync_heavy : bool;
+  tv_steps : int;
+  tv_content_bytes : int;
+  tv_order_bytes : int;
+  tv_ckpts : int;
+  tv_identity : bool;  (* reconstruction == content log, entry for entry *)
+  tv_recon_ns : float;
+  tv_fb_content_ns : float;  (* Controller.start + first query *)
+  tv_fb_order_ns : float;  (* same, including the reconstruction *)
+  tv_scan_full : int;  (* restore scan cost without checkpoints *)
+  tv_scan_ckpt : int;  (* same seek, seeded from the nearest checkpoint *)
+}
+
+let t14_tier =
+  Trace.Log.T_order
+    { Trace.Log.o_sched = "rr:4"; o_engine = "vm"; o_max_steps = 5_000_000 }
+
+let t14_rows () =
+  List.map
+    (fun (name, src, sync_heavy) ->
+      let prog = compile src in
+      let eb = Analysis.Eblock.analyze prog in
+      let _, content, m =
+        Trace.Logger.run_logged ~sched ~max_steps:5_000_000 eb
+      in
+      let _, order, _ =
+        Trace.Logger.run_logged ~sched ~max_steps:5_000_000 ~tier:t14_tier eb
+      in
+      let recon = Ppd.Reconstruct.reconstruct eb order in
+      let identity =
+        recon.Trace.Log.entries = content.Trace.Log.entries
+        && recon.Trace.Log.stops = content.Trace.Log.stops
+      in
+      (* Seek-to-step: restore the shared store three quarters into the
+         run. The reconstructed log carries the order log's checkpoints,
+         the content log has none, so the scan counts isolate exactly
+         what checkpoint seeding saves. *)
+      let late = Runtime.Machine.nsteps m * 3 / 4 in
+      let scan_full =
+        (Ppd.Restore.shared_at prog content ~step:late)
+          .Ppd.Restore.entries_scanned
+      in
+      let scan_ckpt =
+        (Ppd.Restore.shared_at prog recon ~step:late)
+          .Ppd.Restore.entries_scanned
+      in
+      let first_query log () =
+        let ctl = Ppd.Controller.start eb log in
+        ignore (Ppd.Controller.last_event_node ctl ~pid:0)
+      in
+      let results =
+        measure_tests ~quota:0.3
+          (Test.make_grouped ~name:"t14"
+             [
+               Test.make ~name:(name ^ "/recon")
+                 (Staged.stage (fun () ->
+                      ignore (Ppd.Reconstruct.reconstruct eb order)));
+               Test.make ~name:(name ^ "/fb-content")
+                 (Staged.stage (first_query content));
+               Test.make ~name:(name ^ "/fb-order")
+                 (Staged.stage (first_query order));
+             ])
+      in
+      let t k = time_of results ("t14/" ^ name ^ "/" ^ k) in
+      {
+        tv_name = name;
+        tv_sync_heavy = sync_heavy;
+        tv_steps = Runtime.Machine.nsteps m;
+        tv_content_bytes = Store.Segment.encoded_size content;
+        tv_order_bytes = Store.Segment.encoded_size order;
+        tv_ckpts = Array.length order.Trace.Log.ckpts;
+        tv_identity = identity;
+        tv_recon_ns = t "recon";
+        tv_fb_content_ns = t "fb-content";
+        tv_fb_order_ns = t "fb-order";
+        tv_scan_full = scan_full;
+        tv_scan_ckpt = scan_ckpt;
+      })
+    t14_workloads
+
+let t14 () =
+  header "T14  Ordering-based logging: bytes, reconstruction, seeks";
+  row "%-14s %8s %9s %9s %7s %6s %10s %10s %10s %7s %7s\n" "workload" "steps"
+    "content" "order" "ratio" "ident" "recon" "fb-cont" "fb-order" "scanF"
+    "scanC";
+  List.iter
+    (fun r ->
+      row "%-14s %8d %8dB %8dB %6.1fx %6b %10s %10s %10s %7d %7d\n" r.tv_name
+        r.tv_steps r.tv_content_bytes r.tv_order_bytes
+        (float_of_int r.tv_content_bytes /. float_of_int r.tv_order_bytes)
+        r.tv_identity (fmt_ns r.tv_recon_ns)
+        (fmt_ns r.tv_fb_content_ns)
+        (fmt_ns r.tv_fb_order_ns)
+        r.tv_scan_full r.tv_scan_ckpt)
+    (t14_rows ());
+  print_endline
+    "(order logs keep only the sync order plus checkpoints; debugging\n\
+    \      one re-executes the program under the recorded scheduler and\n\
+    \      validates the sync skeleton, so flowback answers are identical)"
+
+(* ------------------------------------------------------------------ *)
 (* T16: communication-protocol analysis — latency of the product        *)
 (* exploration and the MHP pairs it discharges, as the process count    *)
 (* grows. The gate checks the proto column never falls below the        *)
@@ -1333,6 +1466,24 @@ let t13_json () =
          (t13_rows ()))
   ^ "]"
 
+let t14_json () =
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             "{\"workload\":%S,\"sync_heavy\":%b,\"steps\":%d,\
+              \"content_bytes\":%d,\"order_bytes\":%d,\"checkpoints\":%d,\
+              \"identity\":%b,\"recon_ns\":%s,\"fb_content_ns\":%s,\
+              \"fb_order_ns\":%s,\"scan_full\":%d,\"scan_ckpt\":%d}"
+             r.tv_name r.tv_sync_heavy r.tv_steps r.tv_content_bytes
+             r.tv_order_bytes r.tv_ckpts r.tv_identity (jfloat r.tv_recon_ns)
+             (jfloat r.tv_fb_content_ns)
+             (jfloat r.tv_fb_order_ns)
+             r.tv_scan_full r.tv_scan_ckpt)
+         (t14_rows ()))
+  ^ "]"
+
 let t16_json () =
   "["
   ^ String.concat ","
@@ -1403,6 +1554,7 @@ let experiments =
     ("t11", t11);
     ("t12", t12);
     ("t13", t13);
+    ("t14", t14);
     ("t16", t16);
   ]
 
@@ -1417,6 +1569,7 @@ let json_experiments =
     ("t11", t11_json);
     ("t12", t12_json);
     ("t13", t13_json);
+    ("t14", t14_json);
     ("t16", t16_json);
   ]
 

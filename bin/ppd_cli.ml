@@ -28,21 +28,16 @@ let file_arg =
     & info [] ~docv:"FILE" ~doc:"MPL source file ('-' for stdin).")
 
 let sched_conv =
+  (* one parser/printer for scheduler specs, shared with the order-tier
+     metadata that log files record (Runtime.Sched.policy_of_string) *)
   let parse s =
-    match String.split_on_char ':' s with
-    | [ "rr"; q ] -> (
-      match int_of_string_opt q with
-      | Some q when q > 0 -> Ok (Runtime.Sched.Round_robin q)
-      | _ -> Error (`Msg "rr quantum must be a positive integer"))
-    | [ "random"; seed ] -> (
-      match int_of_string_opt seed with
-      | Some seed -> Ok (Runtime.Sched.Random_seed seed)
-      | None -> Error (`Msg "random seed must be an integer"))
-    | _ -> Error (`Msg "expected rr:<quantum> or random:<seed>")
+    match Runtime.Sched.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg "expected rr:<quantum> or random:<seed>")
   in
   let print ppf = function
-    | Runtime.Sched.Round_robin q -> Format.fprintf ppf "rr:%d" q
-    | Runtime.Sched.Random_seed s -> Format.fprintf ppf "random:%d" s
+    | (Runtime.Sched.Round_robin _ | Runtime.Sched.Random_seed _) as p ->
+      Format.pp_print_string ppf (Runtime.Sched.string_of_policy p)
     | Runtime.Sched.Scripted _ -> Format.fprintf ppf "scripted"
     | Runtime.Sched.Guided _ -> Format.fprintf ppf "guided"
   in
@@ -104,6 +99,46 @@ let jobs_arg =
 
 (* 0 (the cmdliner default) means "the machine decides". *)
 let resolve_jobs j = if j <= 0 then Exec.Pool.default_jobs () else j
+
+let log_mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("content", false); ("order", true) ]) false
+    & info [ "log-mode" ] ~docv:"MODE"
+        ~doc:
+          "Logging tier (DESIGN \u{00A7}16): $(b,content) (default) records \
+           value snapshots and is debugged directly; $(b,order) records \
+           only the sync-event partial order plus periodic checkpoints \
+           — an order of magnitude smaller for sync-heavy programs — \
+           and is reconstructed by validated re-execution when the \
+           debugging phase starts (a mismatch is PPD061, exit 8).")
+
+let ckpt_every_arg =
+  Arg.(
+    value
+    & opt int Trace.Logger.default_ckpt_every
+    & info [ "ckpt-every" ] ~docv:"N"
+        ~doc:
+          "With $(b,--log-mode=order): record a full-state checkpoint \
+           every N machine steps. Checkpoints bound the log window a \
+           state restore must scan, not the reconstruction itself.")
+
+let engine_name = function
+  | Runtime.Machine.Vm_engine -> "vm"
+  | Runtime.Machine.Interp_engine -> "interp"
+
+(* The tier value a saved segment must carry: order-tier metadata
+   remembers exactly how to re-execute (scheduler spec, engine, step
+   budget), content carries nothing. *)
+let tier_of ~order ~sched ~engine ~steps =
+  if order then
+    Trace.Log.T_order
+      {
+        Trace.Log.o_sched = Runtime.Sched.string_of_policy sched;
+        o_engine = engine_name engine;
+        o_max_steps = steps;
+      }
+  else Trace.Log.T_content
 
 let engine_arg =
   Arg.(
@@ -227,13 +262,13 @@ let profile_write pout ptrace =
     Printf.printf "trace written to %s\n" path
   | None -> ()
 
-let session_of ?engine ?loops ?(breakpoints = []) ?jobs ?ctl_config file sched
-    steps inline =
+let session_of ?engine ?loops ?(breakpoints = []) ?jobs ?ctl_config ?log_order
+    ?ckpt_every file sched steps inline =
   let src = read_source file in
   let prog = compile_or_die src in
   Ppd.Session.of_program ?engine ~sched ~max_steps:steps
     ~policy:(policy_of ?loops inline)
-    ~breakpoints ?jobs ?ctl_config prog
+    ~breakpoints ?jobs ?ctl_config ?log_order ?ckpt_every prog
 
 (* ------------------------------------------------------------------ *)
 (* Subcommands.                                                         *)
@@ -378,8 +413,29 @@ let die_overrun ~pid ~iv_id ~budget =
     ];
   exit 7
 
+(* Render PPD061 and exit 8: order-tier reconstruction diverged from
+   the recorded sync order — the re-execution is not the recorded
+   computation, so no flowback answer derived from it can be trusted. *)
+let die_divergence ~reason =
+  Format.eprintf "%a@." Lang.Diag.pp_human
+    [
+      {
+        Lang.Diag.d_code = "PPD061";
+        d_severity = Lang.Diag.Sev_error;
+        d_loc = Lang.Loc.none;
+        d_message =
+          Printf.sprintf
+            "order-log reconstruction diverged: %s (the program text, \
+             analysis flags and build must match the recording run)"
+            reason;
+        d_related = [];
+      };
+    ];
+  exit 8
+
 (* Run the debugging phase with the robustness contract applied: the
-   watchdog is PPD060/exit 7, a damaged log is PPD050/exit 6 and an
+   watchdog is PPD060/exit 7, a damaged log is PPD050/exit 6, a
+   diverged order-log reconstruction is PPD061/exit 8 and an
    injected fault that survives the retry budget is a run fault
    (exit 2) — never a bare uncaught exception. [cleanup] joins any
    pool domains before the process exits. *)
@@ -389,6 +445,9 @@ let debugging ~cleanup f =
   | exception Ppd.Controller.Replay_overrun { pid; iv_id; budget } ->
     cleanup ();
     die_overrun ~pid ~iv_id ~budget
+  | exception Ppd.Reconstruct.Divergence { reason } ->
+    cleanup ();
+    die_divergence ~reason
   | exception Trace.Log_io.Unreadable { path; reason } ->
     cleanup ();
     die_unreadable ~path ~reason
@@ -420,22 +479,23 @@ let log_cmd =
       value & flag
       & info [ "v1" ] ~doc:"With --save, write the legacy v1 marshal format.")
   in
-  let run file sched steps engine inline loops save v1 faults fseed pout ptrace
-      =
+  let run file sched steps engine inline loops save v1 order ckpt_every faults
+      fseed pout ptrace =
     profile_setup pout ptrace;
     arm_faults faults fseed;
     let src = read_source file in
     let prog = compile_or_die src in
+    let tier = tier_of ~order ~sched ~engine ~steps in
     let writer =
       match save with
-      | Some path when not v1 -> Some (Store.Segment.Writer.to_file path)
+      | Some path when not v1 -> Some (Store.Segment.Writer.to_file ~tier path)
       | Some _ | None -> None
     in
     let s =
       Ppd.Session.of_program ~engine ~sched ~max_steps:steps
         ~policy:(policy_of ~loops inline)
         ?log_sink:(Option.map Store.Segment.Writer.sink writer)
-        prog
+        ~log_order:order ~ckpt_every prog
     in
     print_endline (Ppd.Session.explain_halt s);
     let log = Ppd.Session.log s in
@@ -444,6 +504,11 @@ let log_cmd =
       (Trace.Log.entry_count log)
       (Store.Segment.encoded_size log)
       (Trace.Log_io.measure log);
+    if order then
+      Printf.printf "order tier (%s, %s engine), %d checkpoint(s)\n"
+        (Runtime.Sched.string_of_policy sched)
+        (engine_name engine)
+        (Array.length log.Trace.Log.ckpts);
     (match save with
     | None -> ()
     | Some path ->
@@ -479,6 +544,13 @@ let log_cmd =
           (Store.Segment.nprocs r)
           (Store.Segment.entry_count r)
           !ivs;
+        (match Store.Segment.tier r with
+        | Trace.Log.T_content -> ()
+        | Trace.Log.T_order m ->
+          Printf.printf
+            "order tier (%s, %s engine, %d-step budget), %d checkpoint(s)\n"
+            m.Trace.Log.o_sched m.Trace.Log.o_engine m.Trace.Log.o_max_steps
+            (Array.length (Store.Segment.ckpts r)));
         List.iter
           (fun d ->
             Printf.printf "damage at byte %d: %s\n"
@@ -492,23 +564,134 @@ let log_cmd =
          ~doc:"Describe a saved log file (format, size, index, damage).")
       Term.(const run $ log_path_arg)
   in
+  let compact_cmd =
+    let in_arg =
+      Arg.(
+        required
+        & pos 1 (some string) None
+        & info [] ~docv:"LOG" ~doc:"Saved content-tier log to compact.")
+    in
+    let out_arg =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "o"; "out" ] ~docv:"PATH"
+            ~doc:"Where to write the order-tier segment.")
+    in
+    let no_verify_arg =
+      Arg.(
+        value & flag
+        & info [ "no-verify" ]
+            ~doc:
+              "Skip the reconstruction check (re-executing the program \
+               and comparing against the content log being compacted).")
+    in
+    let run file inpath sched steps engine inline loops out ckpt_every
+        no_verify =
+      let prog = compile_or_die (read_source file) in
+      match Store.Segment.open_file inpath with
+      | exception Trace.Log_io.Unreadable { path; reason } ->
+        die_unreadable ~path ~reason
+      | r ->
+        let module L = Trace.Log in
+        let log = Store.Segment.to_log r in
+        (match log.L.tier with
+        | L.T_order _ ->
+          Format.eprintf "ppd: %s is already an order-tier log@." inpath;
+          exit 124
+        | L.T_content -> ());
+        (* The order tier keeps only the sync skeleton; checkpoints are
+           synthesized from the content log's own value records, so a
+           restore seeded from one equals the restore that scans the
+           whole prefix (Restore.shared_at computes both the same way). *)
+        let sync =
+          Array.init log.L.nprocs (fun pid ->
+              Array.of_list (L.sync_entries log ~pid))
+        in
+        let max_step =
+          Array.fold_left
+            (Array.fold_left (fun m e -> max m (L.entry_step_at e)))
+            0 log.L.entries
+        in
+        let ckpts = ref [] in
+        let cut = ref ckpt_every in
+        while !cut <= max_step do
+          let snap = Ppd.Restore.shared_at prog log ~step:!cut in
+          ckpts :=
+            {
+              L.ck_step = !cut;
+              ck_clock = snap.Ppd.Restore.clock;
+              ck_globals = snap.Ppd.Restore.globals;
+            }
+            :: !ckpts;
+          cut := !cut + ckpt_every
+        done;
+        let order =
+          {
+            L.nprocs = log.L.nprocs;
+            entries = sync;
+            stops = log.L.stops;
+            tier = tier_of ~order:true ~sched ~engine ~steps;
+            ckpts = Array.of_list (List.rev !ckpts);
+          }
+        in
+        if not no_verify then begin
+          let eb =
+            Analysis.Eblock.analyze ~policy:(policy_of ~loops inline) prog
+          in
+          match Ppd.Reconstruct.reconstruct eb order with
+          | exception Ppd.Reconstruct.Divergence { reason } ->
+            die_divergence ~reason
+          | recon ->
+            if recon.L.entries <> log.L.entries then
+              die_divergence
+                ~reason:
+                  "re-execution matches the sync order but not the \
+                   recorded values (was the log recorded with these \
+                   --sched/--engine/--max-steps?)"
+        end;
+        Store.Segment.save out order;
+        let out_bytes = (Unix.stat out).Unix.st_size in
+        Printf.printf
+          "%s: %d bytes (content) -> %s: %d bytes (order, %d sync \
+           record(s), %d checkpoint(s))\n"
+          inpath
+          (Store.Segment.file_bytes r)
+          out out_bytes (L.entry_count order)
+          (Array.length order.L.ckpts)
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:
+           "Rewrite a content-tier log as an order-tier segment: drop \
+            every value snapshot, keep the sync-event partial order, \
+            and synthesize periodic checkpoints. FILE must be the \
+            program the log records, and --sched/--engine/--max-steps \
+            must name the recording run (verified by re-execution \
+            unless $(b,--no-verify)).")
+      Term.(
+        const run $ file_arg $ in_arg $ sched_arg $ steps_arg $ engine_arg
+        $ inline_arg $ loops_arg $ out_arg $ ckpt_every_arg $ no_verify_arg)
+  in
   let run_term =
     Term.(
       const run $ file_arg $ sched_arg $ steps_arg $ engine_arg $ inline_arg
-      $ loops_arg $ save_arg $ v1_arg $ fault_arg $ fault_seed_arg
-      $ profile_out_arg $ profile_trace_arg)
+      $ loops_arg $ save_arg $ v1_arg $ log_mode_arg $ ckpt_every_arg
+      $ fault_arg $ fault_seed_arg $ profile_out_arg $ profile_trace_arg)
   in
   Cmd.group ~default:run_term
     (Cmd.info "log"
        ~doc:
          "Run with incremental-tracing instrumentation and dump the log; \
-          `ppd log stats` describes a saved log file.")
+          `ppd log stats` describes a saved log file, `ppd log compact` \
+          rewrites one to the order tier.")
     [
       Cmd.v
         (Cmd.info "run"
            ~doc:"Run with instrumentation and dump the log (the default).")
         run_term;
       stats_cmd;
+      compact_cmd;
     ]
 
 let verify_log_cmd =
@@ -590,6 +773,8 @@ let fsck_cmd =
         \  \"bytes\": %d,\n\
         \  \"indexed\": %b,\n\
         \  \"clean\": %b,\n\
+        \  \"tier\": %s,\n\
+        \  \"checkpoints\": %d,\n\
         \  \"procs\": %d,\n\
         \  \"records\": %d,\n\
         \  \"intervals\": %d,\n\
@@ -598,7 +783,9 @@ let fsck_cmd =
          }\n"
         (json_str path) rp.Store.Segment.fk_version rp.Store.Segment.fk_bytes
         rp.Store.Segment.fk_indexed rp.Store.Segment.fk_clean
-        rp.Store.Segment.fk_procs rp.Store.Segment.fk_records
+        (json_str rp.Store.Segment.fk_tier)
+        rp.Store.Segment.fk_ckpts rp.Store.Segment.fk_procs
+        rp.Store.Segment.fk_records
         rp.Store.Segment.fk_intervals
         (arr (List.map page rp.Store.Segment.fk_pages))
         (arr (List.map dmg rp.Store.Segment.fk_damage));
@@ -635,7 +822,7 @@ let flowback_cmd =
       root
   in
   let run file sched steps engine inline loops depth dot jobs degraded max_rs
-      faults fseed load pout ptrace =
+      order ckpt_every faults fseed load pout ptrace =
     profile_setup pout ptrace;
     arm_faults faults fseed;
     let config = ctl_config_of degraded max_rs in
@@ -643,7 +830,7 @@ let flowback_cmd =
     | None ->
       let s =
         session_of ~engine ~loops ~jobs:(resolve_jobs jobs) ~ctl_config:config
-          file sched steps inline
+          ~log_order:order ~ckpt_every file sched steps inline
       in
       print_endline (Ppd.Session.explain_halt s);
       debugging
@@ -673,8 +860,10 @@ let flowback_cmd =
         let cleanup () =
           match pool with Some p -> Exec.Pool.shutdown p | None -> ()
         in
-        let ctl = Ppd.Controller.start_paged ?pool ~config eb r in
+        (* inside [debugging]: an order-tier log reconstructs here, and
+           a divergence must render as PPD061, not an uncaught raise *)
         debugging ~cleanup (fun () ->
+            let ctl = Ppd.Controller.start_paged ?pool ~config eb r in
             let root =
               if Store.Segment.nprocs r = 0 then None
               else Ppd.Controller.last_event_node ctl ~pid:0
@@ -692,8 +881,8 @@ let flowback_cmd =
     Term.(
       const run $ file_arg $ sched_arg $ steps_arg $ engine_arg $ inline_arg
       $ loops_arg $ depth_arg $ dot_arg $ jobs_arg $ degraded_arg
-      $ replay_steps_arg $ fault_arg $ fault_seed_arg $ load_arg
-      $ profile_out_arg $ profile_trace_arg)
+      $ replay_steps_arg $ log_mode_arg $ ckpt_every_arg $ fault_arg
+      $ fault_seed_arg $ load_arg $ profile_out_arg $ profile_trace_arg)
 
 let replay_cmd =
   let dump_arg =
@@ -708,8 +897,8 @@ let replay_cmd =
   let rebuild ~dump ~nprocs ctl =
     Serve.Render.replay_report (Serve.Render.stdout_sink ()) ~dump ~nprocs ctl
   in
-  let run file sched steps engine inline loops jobs dump degraded max_rs faults
-      fseed load pout ptrace =
+  let run file sched steps engine inline loops jobs dump degraded max_rs order
+      ckpt_every faults fseed load pout ptrace =
     profile_setup pout ptrace;
     arm_faults faults fseed;
     let config = ctl_config_of degraded max_rs in
@@ -717,7 +906,7 @@ let replay_cmd =
     | None ->
       let s =
         session_of ~engine ~loops ~jobs:(resolve_jobs jobs) ~ctl_config:config
-          file sched steps inline
+          ~log_order:order ~ckpt_every file sched steps inline
       in
       print_endline (Ppd.Session.explain_halt s);
       debugging
@@ -743,8 +932,8 @@ let replay_cmd =
         let cleanup () =
           match pool with Some p -> Exec.Pool.shutdown p | None -> ()
         in
-        let ctl = Ppd.Controller.start_paged ?pool ~config eb r in
         debugging ~cleanup (fun () ->
+            let ctl = Ppd.Controller.start_paged ?pool ~config eb r in
             rebuild ~dump ~nprocs:(Store.Segment.nprocs r) ctl);
         cleanup ()));
     profile_write pout ptrace
@@ -759,8 +948,8 @@ let replay_cmd =
     Term.(
       const run $ file_arg $ sched_arg $ steps_arg $ engine_arg $ inline_arg
       $ loops_arg $ jobs_arg $ dump_arg $ degraded_arg $ replay_steps_arg
-      $ fault_arg $ fault_seed_arg $ load_arg $ profile_out_arg
-      $ profile_trace_arg)
+      $ log_mode_arg $ ckpt_every_arg $ fault_arg $ fault_seed_arg $ load_arg
+      $ profile_out_arg $ profile_trace_arg)
 
 let format_arg =
   Arg.(
@@ -1510,7 +1699,8 @@ let rewrite_log a =
   if
     Array.length a >= 2
     && a.(1) = "log"
-    && (Array.length a = 2 || (a.(2) <> "stats" && a.(2) <> "run"))
+    && (Array.length a = 2
+       || (a.(2) <> "stats" && a.(2) <> "run" && a.(2) <> "compact"))
   then
     Array.concat
       [ Array.sub a 0 2; [| "run" |]; Array.sub a 2 (Array.length a - 2) ]

@@ -45,6 +45,10 @@ type t = {
       (* cross-controller fragment cache (one per log identity in the
          `ppd serve` registry); clean outcomes are published here and
          consulted before any replay *)
+  src_tier : string;
+      (* tier of the *original* source ("content"/"order") — the shared
+         cache key prefix, so outcomes derived from a reconstructed
+         order log never mix with directly-recorded ones *)
   frag_lock : Mutex.t;
   frags : (int * int, Emulator.outcome) Hashtbl.t;
       (* raw replay outcomes produced by pool workers (batch or
@@ -56,6 +60,14 @@ type t = {
   mutable pending : (E.eref * int) list;
   mutable replays : int;
   mutable replay_steps : int;
+  mutable spec_steps : int;
+      (* replay work charged against the watchdog budget that
+         [replay_steps] does not see: steps burned by speculative
+         prefetch replays (awaited in {!prefetch}) and by overrun
+         attempts (which never assemble). [prefetch] stops submitting
+         once [replay_steps + spec_steps] reaches the budget, so a
+         [--degraded] run cannot keep burning budget-sized replays
+         silently. *)
   mutable prefetched : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
@@ -97,6 +109,26 @@ let c_holes = Obs.counter "ctl.holes"
 let c_retries = Obs.counter "ctl.retries"
 
 let make ?pool ?shared ?(config = default_config) eb src =
+  (* An order-tier log carries no value snapshots, so nothing here can
+     emulate from it directly. Reconstruct the equivalent content log
+     up front (DESIGN §16) and debug that: the reconstruction is
+     validated against the recorded sync order, so every downstream
+     answer is byte-identical to debugging a content recording of the
+     same execution. *)
+  let src_tier =
+    L.tier_name
+      (match src with
+      | S_mem log -> log.L.tier
+      | S_paged r -> Store.Segment.tier r)
+  in
+  let src =
+    match src with
+    | S_mem log when log.L.tier <> L.T_content ->
+      S_mem (Reconstruct.reconstruct eb log)
+    | S_paged r when Store.Segment.tier r <> L.T_content ->
+      S_mem (Reconstruct.reconstruct eb (Store.Segment.to_log r))
+    | src -> src
+  in
   let prog = eb.Analysis.Eblock.prog in
   let stmt_fid sid = prog.P.stmt_fid.(sid) in
   let ivs, pd =
@@ -120,12 +152,14 @@ let make ?pool ?shared ?(config = default_config) eb src =
     outcomes = Hashtbl.create 16;
     pool;
     shared;
+    src_tier;
     frag_lock = Mutex.create ();
     frags = Hashtbl.create 16;
     inflight = Hashtbl.create 16;
     pending = [];
     replays = 0;
     replay_steps = 0;
+    spec_steps = 0;
     prefetched = 0;
     cache_hits = 0;
     cache_misses = 0;
@@ -191,16 +225,18 @@ let replay_outcome t (iv : L.interval) =
    step count exceeds *this* controller's watchdog budget is ignored:
    the consumer must see the same overrun a fresh replay would report,
    so a generous producer cannot mask a tight consumer's PPD060. *)
-let shared_find t key =
+let shared_find t (pid, iv_id) =
   match t.shared with
   | None -> None
   | Some sh -> (
-    match Fragcache.find sh key with
+    match Fragcache.find sh (t.src_tier, pid, iv_id) with
     | Some o when o.Emulator.steps <= t.config.max_replay_steps -> Some o
     | Some _ | None -> None)
 
-let shared_mem t key =
-  match t.shared with None -> false | Some sh -> Fragcache.mem sh key
+let shared_mem t (pid, iv_id) =
+  match t.shared with
+  | None -> false
+  | Some sh -> Fragcache.mem sh (t.src_tier, pid, iv_id)
 
 (* Fetch (and drop) a worker-produced fragment, if one landed. *)
 let take_frag t key =
@@ -355,11 +391,16 @@ let build_interval (t : t) ~pid ~iv_id =
     let outcome =
       match with_retries t iv acquire with
       | o ->
-        if o.Emulator.overrun then
+        if o.Emulator.overrun then begin
+          (* the attempt burned its whole budget before the watchdog
+             tripped; charge that work so eager speculation cannot keep
+             launching budget-sized replays after the cap is blown *)
+          t.spec_steps <- t.spec_steps + o.Emulator.steps;
           if t.config.degraded then hole "replay step budget exhausted"
           else
             raise
               (Replay_overrun { pid; iv_id; budget = t.config.max_replay_steps })
+        end
         else o
       | exception
           ((Fault.Injected _ | Trace.Log_io.Unreadable _
@@ -391,7 +432,7 @@ let build_interval (t : t) ~pid ~iv_id =
       (* publish clean outcomes for sibling sessions on the same log
          ([Fragcache.publish] drops faulted/overrun ones itself) *)
       (match t.shared with
-      | Some sh -> Fragcache.publish sh key outcome
+      | Some sh -> Fragcache.publish sh (t.src_tier, pid, iv_id) outcome
       | None -> ());
       outcome
     end
@@ -717,7 +758,23 @@ let prefetch ?(max_candidates = 8) t =
   | None -> 0
   | Some _ ->
     let n = ref 0 in
-    let spec iv = if submit_replay t iv then incr n in
+    let submitted = ref [] in
+    (* Speculative replays are charged against the same watchdog budget
+       as demand replays (PPD060): once the charged account — assembled
+       work plus earlier speculation and overrun attempts — reaches
+       [max_replay_steps], eager mode submits nothing more. Without the
+       charge, a [--degraded] run with a tight budget would keep
+       launching budget-sized speculative replays, silently exceeding
+       the cap it was asked to respect. *)
+    let spec iv =
+      if
+        t.replay_steps + t.spec_steps < t.config.max_replay_steps
+        && submit_replay t iv
+      then begin
+        incr n;
+        submitted := (iv.L.iv_pid, iv.L.iv_id) :: !submitted
+      end
+    in
     List.iter
       (fun ((src : E.eref), _) ->
         match enclosing_interval t src with
@@ -750,6 +807,20 @@ let prefetch ?(max_candidates = 8) t =
                 | None -> ())
               | None -> ())))
       (Dyn_graph.externals t.g);
+    (* Collect and charge the speculative work before returning, in
+       submission order, so the account (and thus later submission
+       decisions) is identical across [-jN]. A failed task charges
+       nothing here — its exception is still delivered, with retries,
+       when the interval is assembled. *)
+    List.iter
+      (fun key ->
+        match Hashtbl.find_opt t.inflight key with
+        | None -> ()
+        | Some fut -> (
+          match Exec.Pool.await fut with
+          | o -> t.spec_steps <- t.spec_steps + o.Emulator.steps
+          | exception _ -> ()))
+      (List.rev !submitted);
     t.prefetched <- t.prefetched + !n;
     Obs.add c_prefetched !n;
     !n

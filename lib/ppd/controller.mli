@@ -69,7 +69,12 @@ val start :
     opened log): clean outcomes are published after assembly and the
     cache is consulted before any serial replay. Statistics
     ([replays]/[replay_steps]) count assembly, not raw replay work, so
-    they are unchanged by sharing. *)
+    they are unchanged by sharing.
+
+    An order-tier log (DESIGN §16) is reconstructed into the equivalent
+    content log up front via {!Reconstruct.reconstruct} — may raise
+    {!Reconstruct.Divergence} (PPD061/exit 8) when the re-execution
+    does not match the recorded sync order. *)
 
 val start_paged :
   ?pool:Exec.Pool.t ->
@@ -120,7 +125,14 @@ val prefetch : ?max_candidates:int -> t -> int
     DEFINED-set shared-write candidates for globals, default 8). Only
     raw outcomes are produced, never graph nodes, so queries stay
     deterministic. Returns the number of replays submitted; [0]
-    without a pool. *)
+    without a pool.
+
+    Speculative work is charged against [config.max_replay_steps], the
+    same budget the PPD060 watchdog enforces on demand replays: once
+    the controller's charged account (assembled work plus earlier
+    speculation and overrun attempts) reaches the budget, no further
+    speculative replays are submitted — so a [--degraded] run with a
+    tight budget cannot silently burn unbounded speculative steps. *)
 
 val node_of_event : t -> Runtime.Event.eref -> int option
 (** Locate the graph node for an event, building its enclosing interval

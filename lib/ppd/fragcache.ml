@@ -15,9 +15,16 @@
 
 type stats = { hits : int; misses : int; inserts : int }
 
+(* Keys carry the *source tier* of the session that produced the
+   outcome ("content" or "order"), not just (pid, iv_id): an order-tier
+   session debugs a reconstructed log whose value snapshots are
+   re-derived rather than recorded, so its outcomes are never exchanged
+   with a content-tier session on the same registry identity — the two
+   populations stay separate even if a registry ever maps both to one
+   cache instance. *)
 type t = {
   lock : Mutex.t;
-  tbl : (int * int, Emulator.outcome) Hashtbl.t;
+  tbl : (string * int * int, Emulator.outcome) Hashtbl.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
   inserts : int Atomic.t;

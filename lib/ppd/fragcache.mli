@@ -1,8 +1,10 @@
 (** Shared replayed-fragment cache: raw {!Emulator.outcome}s keyed by
-    [(pid, iv_id)], shared by every controller debugging the same saved
-    log (the `ppd serve` registry keeps one instance per log identity
-    and analysis policy, so concurrent sessions hit each other's
-    replays).
+    [(tier, pid, iv_id)], shared by every controller debugging the same
+    saved log (the `ppd serve` registry keeps one instance per log
+    identity and analysis policy, so concurrent sessions hit each
+    other's replays). The tier component ("content" or "order", DESIGN
+    §16) keeps outcomes produced from a reconstructed order log
+    separate from those of a directly-recorded content log.
 
     Thread- and domain-safe: the table is mutex-protected and the
     counters are atomics. Only clean outcomes (no injected fault, no
@@ -15,14 +17,14 @@ type stats = { hits : int; misses : int; inserts : int }
 
 val create : unit -> t
 
-val find : t -> int * int -> Emulator.outcome option
+val find : t -> string * int * int -> Emulator.outcome option
 (** Look up an interval's outcome; counts a hit or a miss. *)
 
-val publish : t -> int * int -> Emulator.outcome -> unit
+val publish : t -> string * int * int -> Emulator.outcome -> unit
 (** Insert a clean outcome (first writer wins); failed or overrun
     outcomes are silently dropped. *)
 
-val mem : t -> int * int -> bool
+val mem : t -> string * int * int -> bool
 (** Presence probe; does not count as a lookup. *)
 
 val size : t -> int

@@ -5,6 +5,7 @@ module L = Trace.Log
 type snapshot = {
   at_step : int;
   globals : V.t array;
+  clock : int array;
   entries_scanned : int;
 }
 
@@ -15,28 +16,73 @@ let init_globals (p : P.t) =
       | P.Ginit_arr len -> V.Varr (Array.make len 0))
     p.global_inits
 
-(* Collect every value-carrying log record as (step, vals), merge-sort
-   by step, and apply in order. *)
+(* First index whose step_at exceeds [bound] ([step_at] is monotone
+   non-decreasing within a process's entry array). *)
+let lower_bound entries ~bound =
+  let lo = ref 0 and hi = ref (Array.length entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if L.entry_step_at entries.(mid) <= bound then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Seed from the nearest checkpoint at or before [step] (falling back
+   to the initial store), then collect every value-carrying log record
+   in the window as (step, vals), merge-sort by step, and apply in
+   order.
+
+   The checkpoint cut is inclusive: a checkpoint at step S covers
+   exactly the entries with step_at <= S, so re-application must be
+   strict — only entries with step_at > S. Re-applying the boundary
+   entry would be harmless for values (last-writer-wins) but would
+   double-count boundary sync events into the clock: a restore at an
+   e-block head that coincides with a sync event would then observe a
+   stale (over-advanced) vector-clock entry for that process. The same
+   strict bound re-seeds the clock from ck_clock, never from zero. *)
 let shared_at (p : P.t) (log : L.t) ~step =
+  let ck =
+    Array.fold_left
+      (fun best c -> if c.L.ck_step <= step then Some c else best)
+      None log.L.ckpts
+  in
+  let base_step = match ck with None -> -1 | Some c -> c.L.ck_step in
+  let globals =
+    match ck with
+    | None -> init_globals p
+    | Some c -> Array.map V.copy c.L.ck_globals
+  in
+  let clock =
+    match ck with
+    | None -> Array.make log.L.nprocs 0
+    | Some c ->
+      Array.init log.L.nprocs (fun pid ->
+          if pid < Array.length c.L.ck_clock then c.L.ck_clock.(pid) else 0)
+  in
   let records = ref [] in
   let scanned = ref 0 in
-  Array.iter
-    (fun entries ->
-      Array.iter
-        (fun e ->
-          incr scanned;
-          match e with
-          | L.Postlog { step_at; vals; _ } when step_at <= step ->
+  Array.iteri
+    (fun pid entries ->
+      let n = Array.length entries in
+      let i = ref (lower_bound entries ~bound:base_step) in
+      let past = ref false in
+      while (not !past) && !i < n do
+        let e = entries.(!i) in
+        incr scanned;
+        if L.entry_step_at e > step then past := true
+        else begin
+          (match e with
+          | L.Postlog { step_at; vals; _ } | L.Sync_prelog { step_at; vals; _ }
+            ->
             records := (step_at, vals) :: !records
-          | L.Sync_prelog { step_at; vals; _ } when step_at <= step ->
-            records := (step_at, vals) :: !records
-          | L.Postlog _ | L.Sync_prelog _ | L.Prelog _ | L.Sync _ -> ())
-        entries)
+          | L.Sync _ -> clock.(pid) <- clock.(pid) + 1
+          | L.Prelog _ -> ());
+          incr i
+        end
+      done)
     log.L.entries;
   let records =
     List.sort (fun (a, _) (b, _) -> Int.compare a b) (List.rev !records)
   in
-  let globals = init_globals p in
   List.iter
     (fun (_, vals) ->
       List.iter
@@ -46,7 +92,7 @@ let shared_at (p : P.t) (log : L.t) ~step =
           | P.Local _ -> ())
         vals)
     records;
-  { at_step = step; globals; entries_scanned = !scanned }
+  { at_step = step; globals; clock; entries_scanned = !scanned }
 
 let at_interval_end (p : P.t) (log : L.t) (iv : L.interval) =
   match iv.L.iv_postlog with

@@ -16,13 +16,22 @@
 type snapshot = {
   at_step : int;
   globals : Runtime.Value.t array;  (** by global slot *)
-  entries_scanned : int;  (** cost metric for benchmark T7 *)
+  clock : int array;
+      (** per-pid count of sync events performed by [at_step] — the
+          global sync frontier, re-seeded from the nearest checkpoint
+          with strict-boundary semantics (a checkpoint at step S covers
+          entries with [step_at <= S]; only strictly later entries are
+          re-applied, so boundary sync events are never counted twice) *)
+  entries_scanned : int;  (** cost metric for benchmarks T7/T14 *)
 }
 
 val shared_at : Lang.Prog.t -> Trace.Log.t -> step:int -> snapshot
 (** Shared store as of machine step [step], accurate at e-block and
     synchronization-unit boundaries (exact for race-free executions
-    whose writes have been postlogged by [step]). *)
+    whose writes have been postlogged by [step]). When the log carries
+    checkpoints, seeds from the nearest one at or before [step] and
+    scans only the tail window, so the cost is bounded by the
+    checkpoint interval instead of the log length. *)
 
 val at_interval_end : Lang.Prog.t -> Trace.Log.t -> Trace.Log.interval -> snapshot
 (** State right after the interval's postlog. *)

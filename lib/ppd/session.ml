@@ -15,17 +15,34 @@ type t = {
          and a closed session never creates another pool *)
 }
 
-let of_program ?engine ?sched ?max_steps ?policy ?(race_sets = true)
-    ?breakpoints ?log_sink ?(jobs = 1) ?ctl_config prog =
+let of_program ?(engine = M.Vm_engine) ?(sched = Runtime.Sched.default)
+    ?(max_steps = 1_000_000) ?policy ?(race_sets = true) ?breakpoints
+    ?log_sink ?(log_order = false) ?ckpt_every ?(jobs = 1) ?ctl_config prog =
   let eb = Analysis.Eblock.analyze ?policy prog in
-  let logger = Trace.Logger.create ?sink:log_sink eb in
+  (* Order-tier recording (DESIGN §16) must remember how to re-execute:
+     the scheduler spec, engine and step budget go into the tier
+     metadata so reconstruction can replay the identical run. Only
+     nameable schedulers qualify — a scripted/guided policy has no
+     spec string and [Sched.string_of_policy] rejects it. *)
+  let tier =
+    if log_order then
+      Trace.Log.T_order
+        {
+          Trace.Log.o_sched = Runtime.Sched.string_of_policy sched;
+          o_engine =
+            (match engine with M.Vm_engine -> "vm" | M.Interp_engine -> "interp");
+          o_max_steps = max_steps;
+        }
+    else Trace.Log.T_content
+  in
+  let logger = Trace.Logger.create ?sink:log_sink ~tier ?ckpt_every eb in
   let obs = if race_sets then Some (Pardyn.observer prog) else None in
   let hooks =
     match obs with
     | None -> Trace.Logger.factory logger
     | Some o -> Runtime.Hooks.both (Trace.Logger.factory logger) (Pardyn.factory o)
   in
-  let machine = M.create ?engine ?sched ?max_steps ~hooks ?breakpoints prog in
+  let machine = M.create ~engine ~sched ~max_steps ~hooks ?breakpoints prog in
   let halt = Obs.phase "execution" (fun () -> M.run machine) in
   {
     eb;
@@ -41,9 +58,10 @@ let of_program ?engine ?sched ?max_steps ?policy ?(race_sets = true)
   }
 
 let run ?engine ?sched ?max_steps ?policy ?race_sets ?breakpoints ?log_sink
-    ?jobs ?ctl_config src =
+    ?log_order ?ckpt_every ?jobs ?ctl_config src =
   of_program ?engine ?sched ?max_steps ?policy ?race_sets ?breakpoints
-    ?log_sink ?jobs ?ctl_config (Lang.Compile.compile src)
+    ?log_sink ?log_order ?ckpt_every ?jobs ?ctl_config
+    (Lang.Compile.compile src)
 
 let prog t = t.eb.Analysis.Eblock.prog
 

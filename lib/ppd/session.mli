@@ -17,6 +17,8 @@ val run :
   ?race_sets:bool ->
   ?breakpoints:int list ->
   ?log_sink:Trace.Logger.sink ->
+  ?log_order:bool ->
+  ?ckpt_every:int ->
   ?jobs:int ->
   ?ctl_config:Controller.config ->
   string ->
@@ -30,8 +32,15 @@ val run :
     pool the debugging phase may replay intervals on; [1] is the
     serial path and both build byte-identical graphs. [ctl_config]
     sets the controller's degraded-mode policy (retries, watchdog,
-    hole declaration — see {!Controller.config}). Raises
-    {!Lang.Diag.Error} on front-end errors. *)
+    hole declaration — see {!Controller.config}). [log_order] (default
+    [false]) records an order-tier log instead of a content log (DESIGN
+    §16): only the sync-event partial order plus a checkpoint every
+    [ckpt_every] machine steps ({!Trace.Logger.default_ckpt_every}) —
+    the debugging phase then reconstructs the content log by validated
+    re-execution on first use of the controller. Raises
+    {!Lang.Diag.Error} on front-end errors, [Invalid_argument] when
+    [log_order] is combined with a scripted/guided scheduler (no spec
+    string to record). *)
 
 val of_program :
   ?engine:Runtime.Machine.engine ->
@@ -41,6 +50,8 @@ val of_program :
   ?race_sets:bool ->
   ?breakpoints:int list ->
   ?log_sink:Trace.Logger.sink ->
+  ?log_order:bool ->
+  ?ckpt_every:int ->
   ?jobs:int ->
   ?ctl_config:Controller.config ->
   Lang.Prog.t ->

@@ -104,3 +104,23 @@ let commit t ~pid n =
   end
 
 let default = Round_robin 3
+
+(* The two policies a CLI flag can name — exactly the reproducible
+   ones. Order-tier logs store this spec so reconstruction can re-run
+   the recording schedule without the original command line. *)
+let string_of_policy = function
+  | Round_robin q -> Printf.sprintf "rr:%d" q
+  | Random_seed s -> Printf.sprintf "random:%d" s
+  | Scripted _ -> invalid_arg "Sched.string_of_policy: scripted"
+  | Guided _ -> invalid_arg "Sched.string_of_policy: guided"
+
+let policy_of_string s =
+  match String.index_opt s ':' with
+  | Some i -> (
+    let name = String.sub s 0 i in
+    let arg = String.sub s (i + 1) (String.length s - i - 1) in
+    match (name, int_of_string_opt arg) with
+    | "rr", Some q when q > 0 -> Some (Round_robin q)
+    | "random", Some seed -> Some (Random_seed seed)
+    | _ -> None)
+  | None -> None

@@ -41,3 +41,12 @@ val commit : t -> pid:int -> int -> unit
 
 val default : policy
 (** [Round_robin 3]. *)
+
+val string_of_policy : policy -> string
+(** ["rr:<quantum>"] or ["random:<seed>"] — the reproducible policies a
+    flag can name. Order-tier logs persist this spec so reconstruction
+    can replay the recording schedule. @raise Invalid_argument on
+    scripted/guided policies, which are not serialisable. *)
+
+val policy_of_string : string -> policy option
+(** Inverse of {!string_of_policy}; [None] on anything else. *)

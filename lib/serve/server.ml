@@ -225,6 +225,13 @@ let guarded (f : unit -> J.t rpc_result) : J.t rpc_result =
           pid iv_id budget )
   | exception Trace.Log_io.Unreadable { path; reason } ->
     Error ("PPD050", Printf.sprintf "%s is not a readable log: %s" path reason)
+  | exception Ppd.Reconstruct.Divergence { reason } ->
+    Error
+      ( "PPD061",
+        Printf.sprintf
+          "order-log reconstruction diverged: %s (the program text, \
+           analysis flags and build must match the recording run)"
+          reason )
   | exception Fault.Injected { site; kind } ->
     Error
       ( "PPD086",

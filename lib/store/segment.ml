@@ -92,8 +92,10 @@ module Writer = struct
 
   type t = {
     dest : dest;
+    tier : L.tier;
     mutable pos : int;
     mutable pids : pidw array;
+    mutable ckpts : (int * int) list;  (* (offset, step), reversed *)
     mutable finalized : bool;
     mutable closed : bool;
     mutable dead : string option;
@@ -144,12 +146,14 @@ module Writer = struct
         w.dead <- Some reason;
         (match w.dest with D_channel oc -> flush oc | D_buffer _ -> ()))
 
-  let make dest =
+  let make ?(tier = L.T_content) dest =
     let w =
       {
         dest;
+        tier;
         pos = 0;
         pids = [||];
+        ckpts = [];
         finalized = false;
         closed = false;
         dead = None;
@@ -158,9 +162,9 @@ module Writer = struct
     emit w magic;
     w
 
-  let to_file path = make (D_channel (open_out_bin path))
+  let to_file ?tier path = make ?tier (D_channel (open_out_bin path))
 
-  let to_buffer buf = make (D_buffer buf)
+  let to_buffer ?tier buf = make ?tier (D_buffer buf)
 
   let ensure_pid w pid =
     let n = Array.length w.pids in
@@ -217,12 +221,30 @@ module Writer = struct
       | L.Postlog _ when pw.depth <= 0 -> flush_page w ~pid pw
       | _ -> ()
 
+  (* A checkpoint gets its own frame (tag 3) so the salvage scan can
+     skip or keep it like any other frame, and the footer can point at
+     it. Checkpoints are rare (one per interval of [ckpt_every] steps),
+     so each is a durability point of its own. *)
+  let append_ckpt w (ck : L.ckpt) =
+    if w.finalized then
+      invalid_arg "Segment.Writer.append_ckpt: writer is closed";
+    let payload = Buffer.create 64 in
+    Wire.put_ckpt payload ck;
+    let p = Buffer.contents payload in
+    let frame = Buffer.create (String.length p + 10) in
+    Buffer.add_char frame '\003';
+    Varint.write frame (String.length p);
+    Buffer.add_string frame p;
+    add_u32_le frame (Crc32.digest p);
+    w.ckpts <- (w.pos, ck.L.ck_step) :: w.ckpts;
+    emit w (Buffer.contents frame);
+    match w.dest with D_channel oc -> flush oc | D_buffer _ -> ()
+
   let skeleton_log w ~stops =
-    {
-      L.nprocs = Array.length w.pids;
-      entries = Array.map (fun pw -> Array.of_list (List.rev pw.skel)) w.pids;
-      stops;
-    }
+    L.content
+      ~nprocs:(Array.length w.pids)
+      ~entries:(Array.map (fun pw -> Array.of_list (List.rev pw.skel)) w.pids)
+      ~stops
 
   (* Stops when the run died before [finish]: everything we saw. *)
   let default_stops w =
@@ -235,6 +257,20 @@ module Writer = struct
     let log = skeleton_log w ~stops in
     let buf = Buffer.create 256 in
     Varint.write buf log.L.nprocs;
+    (* logging tier, then the checkpoint table: (offset delta, step
+       delta) pairs in file order, so seek-to-step restores can find
+       the nearest checkpoint without touching any page *)
+    Wire.put_tier buf w.tier;
+    let cks = Array.of_list (List.rev w.ckpts) in
+    Varint.write buf (Array.length cks);
+    let prev_off = ref 0 and prev_step = ref 0 in
+    Array.iter
+      (fun (off, step) ->
+        Varint.write buf (off - !prev_off);
+        prev_off := off;
+        Varint.write buf (step - !prev_step);
+        prev_step := step)
+      cks;
     for pid = 0 to log.L.nprocs - 1 do
       let pw = w.pids.(pid) in
       let entries = log.L.entries.(pid) in
@@ -321,6 +357,7 @@ module Writer = struct
   let sink w =
     {
       Trace.Logger.sink_entry = (fun ~pid entry -> append w ~pid entry);
+      sink_ckpt = (fun ck -> append_ckpt w ck);
       sink_close = (fun ~stops -> finalize w ~stops);
     }
 
@@ -340,15 +377,16 @@ let write_log w (log : L.t) =
   Array.iteri
     (fun pid entries -> Array.iter (fun e -> Writer.append w ~pid e) entries)
     log.L.entries;
+  Array.iter (fun ck -> Writer.append_ckpt w ck) log.L.ckpts;
   Writer.finalize w ~stops:log.L.stops
 
 let save path (log : L.t) =
-  let w = Writer.to_file path in
+  let w = Writer.to_file ~tier:log.L.tier path in
   Fun.protect ~finally:(fun () -> Writer.close w) (fun () -> write_log w log)
 
 let encoded_size (log : L.t) =
   let buf = Buffer.create 4096 in
-  let w = Writer.to_buffer buf in
+  let w = Writer.to_buffer ~tier:log.L.tier buf in
   write_log w log;
   Writer.bytes_written w
 
@@ -358,14 +396,17 @@ let encoded_size (log : L.t) =
 
 type frame =
   | F_page of { fpid : int; fentries : L.entry array; fnext : int }
-  | F_footer of { fpayload : string; fnext : int }
+  | F_ckpt of { fck : L.ckpt; fnext : int }
+  | F_footer of { fpos : int; flen : int; fnext : int }
+      (* payload bounds in the raw file, so footer decoding can report
+         damage at absolute offsets *)
 
 let parse_frame raw off =
   let file_len = String.length raw in
   try
     if off >= file_len then raise (Varint.Corrupt "unexpected end of file");
     let tag = raw.[off] in
-    if tag <> '\001' && tag <> '\002' then
+    if tag <> '\001' && tag <> '\002' && tag <> '\003' then
       raise
         (Varint.Corrupt
            (Printf.sprintf "unknown frame type 0x%02x" (Char.code tag)));
@@ -377,7 +418,8 @@ let parse_frame raw off =
     if Crc32.digest ~pos:ppos ~len:plen raw <> get_u32_le raw (ppos + plen)
     then raise (Varint.Corrupt "payload fails its CRC-32 check");
     let fnext = ppos + plen + 4 in
-    if tag = '\001' then begin
+    match tag with
+    | '\001' ->
       let pd = Varint.decoder ~pos:ppos ~limit:(ppos + plen) raw in
       let fpid = Varint.read pd in
       let count = Varint.read pd in
@@ -388,8 +430,13 @@ let parse_frame raw off =
       if not (Varint.at_end pd) then
         raise (Varint.Corrupt "trailing bytes inside a page frame");
       Ok (F_page { fpid; fentries; fnext })
-    end
-    else Ok (F_footer { fpayload = String.sub raw ppos plen; fnext })
+    | '\003' ->
+      let cd = Varint.decoder ~pos:ppos ~limit:(ppos + plen) raw in
+      let fck = Wire.get_ckpt cd in
+      if not (Varint.at_end cd) then
+        raise (Varint.Corrupt "trailing bytes inside a checkpoint frame");
+      Ok (F_ckpt { fck; fnext })
+    | _ -> Ok (F_footer { fpos = ppos; flen = plen; fnext })
   with Varint.Corrupt m -> Error m
 
 (* The decoded footer: page table plus raw interval rows per process.
@@ -411,10 +458,37 @@ type pid_index = {
   px_snaps : (int * int) array;  (* sync-prelog (seq_at, step_at) *)
 }
 
-let parse_footer payload =
-  let d = Varint.decoder payload in
+(* The decoded footer head: logging tier, checkpoint directory, then
+   the per-process tables. *)
+type footer = {
+  ft_tier : L.tier;
+  ft_ckpts : (int * int) array;  (* (file offset, step) per checkpoint *)
+  ft_index : pid_index array;
+}
+
+(* Decodes in place over the whole file (not a payload substring), so a
+   [Varint.Corrupt] raised mid-footer carries the absolute file offset
+   of the bad byte. Decoding a substring here used to make those
+   messages point at payload-relative offsets — i.e. at the wrong page
+   of the file (the middle of page 1, typically) when printed in a
+   damage report. *)
+let parse_footer raw ~pos ~limit =
+  let d = Varint.decoder ~pos ~limit raw in
   let nprocs = Varint.read d in
   if nprocs > 65_536 then raise (Varint.Corrupt "unreasonable process count");
+  let ft_tier = Wire.get_tier d in
+  let nckpts = Varint.read d in
+  if nckpts > 1_000_000 then
+    raise (Varint.Corrupt "unreasonable checkpoint count");
+  let prev_off = ref 0 and prev_step = ref 0 in
+  let ft_ckpts =
+    Array.init nckpts (fun _ ->
+        let off = !prev_off + Varint.read d in
+        prev_off := off;
+        let step = !prev_step + Varint.read d in
+        prev_step := step;
+        (off, step))
+  in
   let index =
     Array.init nprocs (fun _ ->
         let px_stop = Varint.read d in
@@ -510,7 +584,7 @@ let parse_footer payload =
   in
   if not (Varint.at_end d) then
     raise (Varint.Corrupt "trailing bytes after the footer tables");
-  index
+  { ft_tier; ft_ckpts; ft_index = index }
 
 (* Materialise [Log.interval] values from the raw rows; children rebuild
    from the parent pointers (nesting is a stack discipline, so
@@ -549,7 +623,8 @@ type scan_result = {
   sc_entries : (int * L.entry array) list;  (* pages, in file order *)
   sc_pages : int;
   sc_nentries : int;
-  sc_index : pid_index array option;  (* the footer, when intact *)
+  sc_ckpts : L.ckpt list;  (* checkpoint frames, in file order *)
+  sc_index : footer option;  (* the footer, when intact *)
   sc_damage : damage list;
 }
 
@@ -558,6 +633,7 @@ let scan raw =
   let pages = ref [] in
   let npages = ref 0 in
   let nentries = ref 0 in
+  let ckpts = ref [] in
   let damage = ref [] in
   let findex = ref None in
   let add off reason =
@@ -573,9 +649,12 @@ let scan raw =
       nentries := !nentries + Array.length fentries;
       pages := (fpid, fentries) :: !pages;
       pos := fnext
-    | Ok (F_footer { fpayload; fnext }) ->
-      (match parse_footer fpayload with
-      | idx -> findex := Some idx
+    | Ok (F_ckpt { fck; fnext }) ->
+      ckpts := fck :: !ckpts;
+      pos := fnext
+    | Ok (F_footer { fpos; flen; fnext }) ->
+      (match parse_footer raw ~pos:fpos ~limit:(fpos + flen) with
+      | ft -> findex := Some ft
       | exception Varint.Corrupt m -> add off ("footer: " ^ m));
       (if len - fnext <> trailer_len then
          add fnext
@@ -599,6 +678,7 @@ let scan raw =
     sc_entries = List.rev !pages;
     sc_pages = !npages;
     sc_nentries = !nentries;
+    sc_ckpts = List.rev !ckpts;
     sc_index = !findex;
     sc_damage = List.rev !damage;
   }
@@ -621,6 +701,11 @@ type indexed = {
   ix_path : string;
   ix_raw : string;
   ix_index : pid_index array;
+  ix_tier : L.tier;
+  ix_ckpts : L.ckpt array;
+      (* decoded eagerly at open: checkpoints are rare and small, and a
+         corrupt checkpoint frame should demote the reader to salvage
+         just like a corrupt footer would *)
   ix_shards : page_shard array;
 }
 
@@ -692,7 +777,7 @@ let salvage raw =
   let nprocs =
     List.fold_left
       (fun a (pid, _) -> max a (pid + 1))
-      (match sc.sc_index with Some ix -> Array.length ix | None -> 0)
+      (match sc.sc_index with Some ft -> Array.length ft.ft_index | None -> 0)
       sc.sc_entries
   in
   let per = Array.init nprocs (fun _ -> ref []) in
@@ -702,15 +787,29 @@ let salvage raw =
   in
   let stops =
     match sc.sc_index with
-    | Some ix when Array.length ix = nprocs ->
-      Array.map (fun px -> px.px_stop) ix
+    | Some ft when Array.length ft.ft_index = nprocs ->
+      Array.map (fun px -> px.px_stop) ft.ft_index
     | _ ->
       Array.map
         (fun es ->
           Array.fold_left (fun a e -> max a (L.entry_seq_at e + 1)) 0 es)
         entries
   in
-  mem_backing ~dmg:sc.sc_damage { L.nprocs; entries; stops }
+  (* The tier lives in the footer; when the footer is gone, the safest
+     reading of the remains is content (an order log without its tier
+     metadata cannot be reconstructed anyway — the prefix degrades to
+     whatever entries survived). *)
+  let tier =
+    match sc.sc_index with Some ft -> ft.ft_tier | None -> L.T_content
+  in
+  mem_backing ~dmg:sc.sc_damage
+    {
+      L.nprocs;
+      entries;
+      stops;
+      tier;
+      ckpts = Array.of_list sc.sc_ckpts;
+    }
 
 (* Fast path: intact trailer -> footer -> index; no page is decoded. *)
 let indexed_backing path raw =
@@ -724,17 +823,28 @@ let indexed_backing path raw =
     then None
     else
       match parse_frame raw footer_pos with
-      | Ok (F_footer { fpayload; fnext }) when fnext = len - trailer_len -> (
-        match parse_footer fpayload with
-        | index ->
-          Some
-            (B_indexed
-               {
-                 ix_path = path;
-                 ix_raw = raw;
-                 ix_index = index;
-                 ix_shards = fresh_shards ();
-               })
+      | Ok (F_footer { fpos; flen; fnext }) when fnext = len - trailer_len
+        -> (
+        match parse_footer raw ~pos:fpos ~limit:(fpos + flen) with
+        | ft -> (
+          let decode_ckpt (off, _step) =
+            match parse_frame raw off with
+            | Ok (F_ckpt { fck; _ }) -> fck
+            | Ok _ | Error _ -> raise Exit
+          in
+          match Array.map decode_ckpt ft.ft_ckpts with
+          | ckpts ->
+            Some
+              (B_indexed
+                 {
+                   ix_path = path;
+                   ix_raw = raw;
+                   ix_index = ft.ft_index;
+                   ix_tier = ft.ft_tier;
+                   ix_ckpts = ckpts;
+                   ix_shards = fresh_shards ();
+                 })
+          | exception Exit -> None)
         | exception Varint.Corrupt _ -> None)
       | Ok _ | Error _ -> None
 
@@ -768,6 +878,16 @@ let is_indexed r =
 
 let damage r =
   match r.r_backing with B_indexed _ -> [] | B_mem m -> m.bm_damage
+
+let tier r =
+  match r.r_backing with
+  | B_indexed ix -> ix.ix_tier
+  | B_mem m -> m.bm_log.L.tier
+
+let ckpts r =
+  match r.r_backing with
+  | B_indexed ix -> ix.ix_ckpts
+  | B_mem m -> m.bm_log.L.ckpts
 
 let nprocs r =
   match r.r_backing with
@@ -854,6 +974,8 @@ let decode_page ix ~pid ~page =
         off (Array.length fentries) fpid count pid
     | Ok (F_footer _) ->
       unreadable ix.ix_path "index points at the footer (byte %d)" off
+    | Ok (F_ckpt _) ->
+      unreadable ix.ix_path "index points at a checkpoint frame (byte %d)" off
     | Error reason -> unreadable ix.ix_path "page at byte %d: %s" off reason)
 
 let intervals r ~stmt_fid ~pid =
@@ -926,6 +1048,8 @@ let window r ~pid ~lo ~hi =
       entries =
         Array.mapi (fun p _ -> if p = pid then arr else [||]) ix.ix_index;
       stops = Array.map (fun px -> px.px_stop) ix.ix_index;
+      tier = ix.ix_tier;
+      ckpts = ix.ix_ckpts;
     }
 
 let to_log r =
@@ -942,6 +1066,8 @@ let to_log r =
                    decode_page ix ~pid ~page)))
           ix.ix_index;
       stops = Array.map (fun px -> px.px_stop) ix.ix_index;
+      tier = ix.ix_tier;
+      ckpts = ix.ix_ckpts;
     }
 
 let load path =
@@ -1029,6 +1155,8 @@ type fsck_report = {
   fk_version : int;
   fk_bytes : int;
   fk_indexed : bool;
+  fk_tier : string;  (* "content" or "order" *)
+  fk_ckpts : int;  (* intact checkpoint frames *)
   fk_pages : fsck_page list;
   fk_damage : damage list;
   fk_procs : int;
@@ -1052,6 +1180,8 @@ let fsck path =
         fk_version = 1;
         fk_bytes = bytes;
         fk_indexed = false;
+        fk_tier = L.tier_name log.L.tier;
+        fk_ckpts = Array.length log.L.ckpts;
         fk_pages = [];
         fk_damage = [];
         fk_procs = log.L.nprocs;
@@ -1064,6 +1194,8 @@ let fsck path =
         fk_version = 1;
         fk_bytes = bytes;
         fk_indexed = false;
+        fk_tier = "content";
+        fk_ckpts = 0;
         fk_pages = [];
         fk_damage =
           [
@@ -1100,6 +1232,7 @@ let fsck path =
                         process %d"
                        (Array.length fentries) fpid count pid)
                 | Ok (F_footer _) -> Some "index points at the footer"
+                | Ok (F_ckpt _) -> Some "index points at a checkpoint frame"
                 | Error reason -> Some reason
               in
               (match error with
@@ -1120,6 +1253,8 @@ let fsck path =
         fk_version = 2;
         fk_bytes = bytes;
         fk_indexed = true;
+        fk_tier = L.tier_name ix.ix_tier;
+        fk_ckpts = Array.length ix.ix_ckpts;
         fk_pages = List.rev !pages;
         fk_damage = [];
         fk_procs = Array.length ix.ix_index;
@@ -1154,6 +1289,7 @@ let fsck path =
             }
             :: !pages;
           pos := fnext
+        | Ok (F_ckpt { fnext; _ }) -> pos := fnext
         | Ok (F_footer _) | Error _ -> stop := true
       done;
       let log =
@@ -1169,6 +1305,8 @@ let fsck path =
         fk_version = 2;
         fk_bytes = bytes;
         fk_indexed = false;
+        fk_tier = L.tier_name log.L.tier;
+        fk_ckpts = List.length sc.sc_ckpts;
         fk_pages = List.rev !pages;
         fk_damage = sc.sc_damage;
         fk_procs = log.L.nprocs;

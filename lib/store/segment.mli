@@ -6,24 +6,27 @@
     e-block), so a crash loses at most the open tail, never the whole
     log.
 
-    Layout (DESIGN.md §9):
+    Layout (DESIGN.md §9, §16):
     {v
     "PPDLOG2\n"                                   8-byte magic
     repeat: 0x01 · varint len · payload · crc32   page frames
             payload = varint pid · varint count · count entries
+      or:   0x03 · varint len · ckpt    · crc32   checkpoint frames
     once:   0x02 · varint len · footer  · crc32   footer frame
     trailer: u64-le footer offset · "PPDEND2\n"   last 16 bytes
     v}
 
-    The footer is an interval index: per process it stores the stop
-    sequence number, the page table (offset and entry count of every
-    page frame), and the delta-coded interval table — block, prelog and
-    postlog positions, reader-sequence span, parent link, and the
-    prelog's [step_at] (which doubles as the restore-snapshot
-    coordinate) — plus the sync-unit prelog snapshots. That is
-    everything the debugging-phase controller needs to answer queries
-    without decoding a single page, until an interval is actually
-    emulated.
+    The footer starts with the logging tier (content, or order with its
+    reconstruction metadata) and the checkpoint directory (file offset
+    and step of every checkpoint frame), then the interval index: per
+    process it stores the stop sequence number, the page table (offset
+    and entry count of every page frame), and the delta-coded interval
+    table — block, prelog and postlog positions, reader-sequence span,
+    parent link, and the prelog's [step_at] (which doubles as the
+    restore-snapshot coordinate) — plus the sync-unit prelog snapshots.
+    That is everything the debugging-phase controller needs to answer
+    queries without decoding a single page, until an interval is
+    actually emulated.
 
     Reading degrades gracefully: an intact trailer gives O(1) seeks to
     the pages covering any interval; a truncated or damaged file falls
@@ -47,11 +50,16 @@ type damage = {
 module Writer : sig
   type t
 
-  val to_file : string -> t
-  (** Open a segment at the path and write the magic. *)
+  val to_file : ?tier:Trace.Log.tier -> string -> t
+  (** Open a segment at the path and write the magic. [tier] (default
+      content) is recorded in the footer. *)
 
-  val to_buffer : Buffer.t -> t
+  val to_buffer : ?tier:Trace.Log.tier -> Buffer.t -> t
   (** Same, into a buffer — used to measure encoded sizes. *)
+
+  val append_ckpt : t -> Trace.Log.ckpt -> unit
+  (** Write a checkpoint as its own frame and index its offset in the
+      footer's checkpoint directory. *)
 
   val sink : t -> Trace.Logger.sink
   (** The logger-facing streaming interface; its [sink_close] writes
@@ -99,6 +107,13 @@ val is_indexed : reader -> bool
 
 val damage : reader -> damage list
 (** What the salvage scan found; [[]] for an intact file. *)
+
+val tier : reader -> Trace.Log.tier
+(** The logging tier recorded in the footer; [T_content] for v1 files
+    and for salvaged files whose footer was lost. *)
+
+val ckpts : reader -> Trace.Log.ckpt array
+(** The decoded checkpoints, in step order. *)
 
 val nprocs : reader -> int
 
@@ -176,6 +191,8 @@ type fsck_report = {
   fk_version : int;
   fk_bytes : int;
   fk_indexed : bool;  (** trailer and footer index intact *)
+  fk_tier : string;  (** ["content"] or ["order"] *)
+  fk_ckpts : int;  (** intact checkpoint frames *)
   fk_pages : fsck_page list;  (** one row per page, all of them checked *)
   fk_damage : damage list;  (** structural damage (scan path only) *)
   fk_procs : int;

@@ -258,6 +258,56 @@ let get_point d =
   | t -> corrupt "bad prelog-point tag %d" t
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoints and tier metadata (the order tier, DESIGN §16).          *)
+(* ------------------------------------------------------------------ *)
+
+let put_string buf s =
+  put buf (String.length s);
+  Buffer.add_string buf s
+
+let get_string d =
+  let n = Varint.read d in
+  if n > 4096 then corrupt "unreasonable string length %d" n;
+  Varint.read_bytes d n
+
+(* A checkpoint page's payload: the step it cuts at, the per-pid sync
+   frontier, and the full shared store. Self-contained — no codec
+   context, so a damaged checkpoint never poisons its neighbours. *)
+let put_ckpt buf (ck : L.ckpt) =
+  put buf ck.L.ck_step;
+  put buf (Array.length ck.L.ck_clock);
+  Array.iter (put buf) ck.L.ck_clock;
+  put buf (Array.length ck.L.ck_globals);
+  Array.iter (put_value buf) ck.L.ck_globals
+
+let get_ckpt d =
+  let ck_step = Varint.read d in
+  let nclock = Varint.read d in
+  if nclock > 65_536 then corrupt "unreasonable checkpoint clock width %d" nclock;
+  let ck_clock = Array.init nclock (fun _ -> Varint.read d) in
+  let nglb = Varint.read d in
+  if nglb > 16_777_216 then corrupt "unreasonable checkpoint store size %d" nglb;
+  let ck_globals = Array.init nglb (fun _ -> get_value d) in
+  { L.ck_step; ck_clock; ck_globals }
+
+let put_tier buf = function
+  | L.T_content -> Buffer.add_char buf '\000'
+  | L.T_order { o_sched; o_engine; o_max_steps } ->
+    Buffer.add_char buf '\001';
+    put_string buf o_sched;
+    put_string buf o_engine;
+    put buf o_max_steps
+
+let get_tier d =
+  match Varint.read_byte d with
+  | 0 -> L.T_content
+  | 1 ->
+    let o_sched = get_string d in
+    let o_engine = get_string d in
+    L.T_order { o_sched; o_engine; o_max_steps = Varint.read d }
+  | t -> corrupt "bad tier tag %d" t
+
+(* ------------------------------------------------------------------ *)
 (* Entries.                                                             *)
 (* ------------------------------------------------------------------ *)
 

@@ -30,3 +30,16 @@ val put_block : Buffer.t -> Trace.Log.block -> unit
 (** Also used by the segment footer's interval table. *)
 
 val get_block : Varint.decoder -> Trace.Log.block
+
+val put_ckpt : Buffer.t -> Trace.Log.ckpt -> unit
+(** Checkpoint frames (order tier): step, sync frontier, shared store. *)
+
+val get_ckpt : Varint.decoder -> Trace.Log.ckpt
+(** @raise Varint.Corrupt on any malformed encoding. *)
+
+val put_tier : Buffer.t -> Trace.Log.tier -> unit
+(** The logging tier and (for order logs) its reconstruction metadata,
+    stored in the segment footer. *)
+
+val get_tier : Varint.decoder -> Trace.Log.tier
+(** @raise Varint.Corrupt on any malformed encoding. *)

@@ -16,6 +16,28 @@ type prelog_point =
   | After_sync of int
   | At_inlined_entry of int
 
+(* How the log was captured (DESIGN §16). Content logs carry value
+   snapshots in pre/post/sync-unit logs and can be debugged directly.
+   Order logs carry only the sync-event partial order plus periodic
+   checkpoints; debugging them first reconstructs an equivalent content
+   log by deterministic re-execution, which needs the recorded
+   scheduler, engine and step budget. *)
+type tier_meta = { o_sched : string; o_engine : string; o_max_steps : int }
+
+type tier = T_content | T_order of tier_meta
+
+(* A periodic full-state checkpoint: the shared store and the global
+   sync frontier (per-pid count of sync events performed) at step
+   [ck_step]. The cut is inclusive: every log entry with
+   [step_at <= ck_step] is covered by the snapshot, entries strictly
+   after it are not — restore seeds from the checkpoint and applies
+   only entries with [step_at > ck_step]. *)
+type ckpt = {
+  ck_step : int;
+  ck_clock : int array;
+  ck_globals : Runtime.Value.t array;
+}
+
 type entry =
   | Prelog of {
       block : block;
@@ -40,7 +62,24 @@ type entry =
     }
   | Sync of { sid : int option; seq : int; step_at : int; data : sync_data }
 
-type t = { nprocs : int; entries : entry array array; stops : int array }
+type t = {
+  nprocs : int;
+  entries : entry array array;
+  stops : int array;
+  tier : tier;
+  ckpts : ckpt array;
+}
+
+let content ~nprocs ~entries ~stops =
+  { nprocs; entries; stops; tier = T_content; ckpts = [||] }
+
+let tier_name = function T_content -> "content" | T_order _ -> "order"
+
+(* The sync skeleton of a log: exactly what an order-tier log records.
+   Used by `ppd log compact` and by the reconstruction validator. *)
+let sync_entries t ~pid =
+  Array.to_list t.entries.(pid)
+  |> List.filter (function Sync _ -> true | _ -> false)
 
 type interval = {
   iv_id : int;
@@ -59,6 +98,13 @@ let entry_seq_at = function
   | Prelog { seq_at; _ } | Postlog { seq_at; _ } | Sync_prelog { seq_at; _ } ->
     seq_at
   | Sync { seq; _ } -> seq
+
+let entry_step_at = function
+  | Prelog { step_at; _ }
+  | Postlog { step_at; _ }
+  | Sync_prelog { step_at; _ }
+  | Sync { step_at; _ } ->
+    step_at
 
 (* Reconstruct intervals from the entry stream: prelogs open, postlogs
    close the innermost open interval of the same block. [stmt_fid] maps

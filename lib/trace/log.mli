@@ -69,6 +69,32 @@ type entry =
       data : sync_data;
     }
 
+(** How the log was captured (DESIGN §16). A {e content} log carries
+    value snapshots in pre/post/sync-unit logs and can be debugged
+    directly. An {e order} log carries only the sync-event partial
+    order plus periodic checkpoints; debugging it first reconstructs an
+    equivalent content log by deterministic re-execution, which needs
+    the recorded scheduler, engine and step budget. *)
+type tier_meta = {
+  o_sched : string;  (** scheduler spec, e.g. ["rr:3"] *)
+  o_engine : string;  (** ["vm"] or ["interp"] *)
+  o_max_steps : int;  (** the recording run's step budget *)
+}
+
+type tier = T_content | T_order of tier_meta
+
+(** A periodic full-state checkpoint: the shared store and the global
+    sync frontier (per-pid count of sync events performed) at step
+    [ck_step]. The cut is inclusive: every log entry with
+    [step_at <= ck_step] is covered by the snapshot; entries strictly
+    after it are not — restore seeds from the checkpoint and applies
+    only entries with [step_at > ck_step]. *)
+type ckpt = {
+  ck_step : int;
+  ck_clock : int array;
+  ck_globals : Runtime.Value.t array;
+}
+
 type t = {
   nprocs : int;
   entries : entry array array;  (** per pid, in emission order *)
@@ -78,7 +104,21 @@ type t = {
           this bound — events beyond it never happened (the process was
           preempted, blocked, or the run hit a fault/breakpoint in some
           process). *)
+  tier : tier;
+  ckpts : ckpt array;  (** in step order *)
 }
+
+val content :
+  nprocs:int -> entries:entry array array -> stops:int array -> t
+(** A content-tier log with no checkpoints (the historical shape). *)
+
+val tier_name : tier -> string
+(** ["content"] or ["order"]. *)
+
+val sync_entries : t -> pid:int -> entry list
+(** The sync skeleton of one process: exactly what an order-tier log
+    records. Used by [ppd log compact] and the reconstruction
+    validator. *)
 
 (** A log interval [I_i]: from prelog(i) to the matching postlog(i)
     (§5.1), with the §5.2 nesting structure. *)
@@ -103,6 +143,10 @@ val intervals : ?stmt_fid:(int -> int) -> t -> pid:int -> interval array
 val entry_count : t -> int
 
 val entry_seq_at : entry -> int
+
+val entry_step_at : entry -> int
+(** The global machine step at which the entry was emitted; monotone
+    non-decreasing within one process's entry array. *)
 
 val find_enclosing : interval array -> seq:int -> interval option
 (** Innermost interval containing the event with this sequence number. *)

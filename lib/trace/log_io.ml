@@ -52,6 +52,7 @@ let save_per_process ~dir ~basename (log : Log.t) =
          let path = Filename.concat dir (Printf.sprintf "%s.%d.log" basename pid) in
          let one =
            {
+             log with
              Log.nprocs = 1;
              entries = [| entries |];
              stops = [| log.Log.stops.(pid) |];

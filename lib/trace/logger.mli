@@ -24,6 +24,9 @@ type sink = {
           per-process chronological order (processes interleave). The
           durable store uses this to append records streamingly instead
           of marshalling the whole log at exit. *)
+  sink_ckpt : Log.ckpt -> unit;
+      (** Called for every periodic checkpoint (order tier only); the
+          store writes it as its own frame and indexes its offset. *)
   sink_close : stops:int array -> unit;
       (** Called once by {!finish} with the final per-process stop
           sequence numbers; the store writes its footer index here. *)
@@ -31,7 +34,14 @@ type sink = {
 (** A streaming consumer of log entries (dependency inversion: [trace]
     cannot depend on the store, so the store plugs in here). *)
 
-val create : ?sink:sink -> Analysis.Eblock.t -> t
+val default_ckpt_every : int
+(** Default checkpoint interval in machine steps (order tier). *)
+
+val create :
+  ?sink:sink -> ?tier:Log.tier -> ?ckpt_every:int -> Analysis.Eblock.t -> t
+(** [tier] selects what gets recorded: [T_content] (default) keeps
+    every entry; [T_order _] keeps only sync records plus periodic
+    checkpoints every [ckpt_every] machine steps. *)
 
 val factory : t -> Runtime.Hooks.factory
 (** Pass to {!Runtime.Machine.create}; combine with other observers via
@@ -46,6 +56,8 @@ val run_logged :
   ?max_steps:int ->
   ?extra_hooks:Runtime.Hooks.factory ->
   ?sink:sink ->
+  ?tier:Log.tier ->
+  ?ckpt_every:int ->
   Analysis.Eblock.t ->
   (Runtime.Machine.halt * Log.t * Runtime.Machine.t)
 (** Convenience: create a machine over the analysed program with logging

@@ -573,3 +573,39 @@ func main() {
 |}
     spawns joins
 
+
+let locked_hist ~workers ~rounds ~cells =
+  let spawns =
+    String.concat "\n"
+      (List.init workers (fun i ->
+           Printf.sprintf "  var p%d = spawn worker(%d);" i i))
+  in
+  let joins =
+    String.concat "\n"
+      (List.init workers (fun i -> Printf.sprintf "  join(p%d);" i))
+  in
+  Printf.sprintf
+    {|
+shared int hist[%d];
+shared int total = 0;
+sem lock = 1;
+
+func worker(w) {
+  var i = 0;
+  for (i = 0; i < %d; i = i + 1) {
+    var k = w + i * 7;
+    k = k - (k / %d) * %d;
+    P(lock);
+    hist[k] = hist[k] + 1;
+    total = total + hist[k];
+    V(lock);
+  }
+}
+
+func main() {
+%s
+%s
+  print(total);
+}
+|}
+    cells rounds cells cells spawns joins

@@ -81,3 +81,11 @@ val ping_pong : rounds:int -> string
     locksets make every access pair a lockset-analysis race; the
     protocol product proves strict alternation — the showcase for
     Proto-refined MHP (bench T16, `ppd race --static --proto`). *)
+
+val locked_hist : workers:int -> rounds:int -> cells:int -> string
+(** [workers] processes each perform [rounds] critical sections that
+    read-modify-write a [cells]-slot shared histogram under one lock.
+    Every synchronization unit reads the whole array, so the content
+    tier snapshots [cells] values per round while the order tier (T14)
+    records only the two sync events — the regime where ordering-based
+    logging wins by an order of magnitude (DESIGN §16). *)

@@ -12,9 +12,41 @@
 #     are caught by fsck, read faults and replay-budget exhaustion
 #     degrade to holes, and a transient pool fault leaves -j4 output
 #     byte-identical to a clean -j1 run.
+#  4. The same truncation contract over an order-tier log (sync order +
+#     checkpoint frames + tier footer), and cross-tier flowback
+#     identity on the intact file.
+#
+# Every damage report must carry the EXACT absolute offset of the
+# enclosing frame start: re-truncating at the reported offset must
+# report damage at that same offset (or none) — never an offset that
+# was relative to a frame payload.
 set -eu
 
 PPD=${PPD:-_build/default/bin/ppd_cli.exe}
+
+# First damage offset fsck reports for a file, or -1 when clean.
+damage_offset() {
+  "$PPD" fsck "$1" 2>/dev/null | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+print(d["damage"][0]["offset"] if d["damage"] else -1)' 2>/dev/null || echo -1
+}
+
+# The exact-offset contract for one truncated file $1 cut at $2 bytes.
+check_damage_offset() {
+  o=$(damage_offset "$1")
+  if [ "$o" -lt 0 ]; then return 0; fi
+  if [ "$o" -gt "$2" ]; then
+    echo "chaos: damage offset $o beyond the $2-byte cut" >&2
+    exit 1
+  fi
+  head -c "$o" "$1" >"$dir/recut.log"
+  o2=$(damage_offset "$dir/recut.log")
+  if [ "$o2" -ne -1 ] && [ "$o2" -ne "$o" ]; then
+    echo "chaos: damage offset $o is not a frame start (re-cut reports $o2)" >&2
+    exit 1
+  fi
+}
 
 dir=$(mktemp -d)
 trap 'rm -rf "$dir"' EXIT
@@ -65,6 +97,8 @@ while [ "$k" -lt "$size" ]; do
     echo "chaos: expected PPD050 (exit 6) on a $k-byte file, got $flow_code" >&2
     exit 1
   fi
+
+  check_damage_offset "$dir/cut.log" "$k"
 
   k=$((k + 1))
 done
@@ -154,3 +188,68 @@ cmp "$dir/clean.out" "$dir/faulted.out" || {
 }
 
 echo "chaos: fault matrix ok (flip, read, budget, transient)"
+
+# -------------------------------------------------------------------
+# 4. Order-tier sweep: sync order + checkpoints + tier footer obey the
+#    same truncation contract, and debugging the intact order log
+#    gives byte-identical answers to the content log.
+# -------------------------------------------------------------------
+"$PPD" log "$dir/fig61.mpl" --save "$dir/order.log" --log-mode order \
+  --ckpt-every 8 >/dev/null
+
+# line 1 of `flowback --load` names the log file, so compare from line 2
+"$PPD" flowback "$dir/fig61.mpl" --load "$dir/run.log" \
+  | tail -n +2 >"$dir/fb.content.out"
+"$PPD" flowback "$dir/fig61.mpl" --load "$dir/order.log" \
+  | tail -n +2 >"$dir/fb.order.out"
+cmp "$dir/fb.content.out" "$dir/fb.order.out" || {
+  echo "chaos: order-tier flowback differs from the content tier" >&2
+  exit 1
+}
+
+osize=$(wc -c <"$dir/order.log")
+k=0
+while [ "$k" -lt "$osize" ]; do
+  head -c "$k" "$dir/order.log" >"$dir/ocut.log"
+
+  set +e
+  "$PPD" fsck "$dir/ocut.log" >/dev/null 2>&1
+  fsck_code=$?
+  "$PPD" log stats "$dir/ocut.log" >/dev/null 2>&1
+  stats_code=$?
+  "$PPD" flowback "$dir/fig61.mpl" --load "$dir/ocut.log" --degraded \
+    >/dev/null 2>&1
+  flow_code=$?
+  set -e
+
+  case "$fsck_code" in
+  0 | 4 | 6) ;;
+  *)
+    echo "chaos: fsck exited $fsck_code on a $k-byte order truncation" >&2
+    exit 1
+    ;;
+  esac
+  case "$stats_code" in
+  0 | 4 | 6) ;;
+  *)
+    echo "chaos: log stats exited $stats_code on a $k-byte order truncation" >&2
+    exit 1
+    ;;
+  esac
+  # a salvaged order prefix either debugs degraded (0), is too short to
+  # carry the magic (PPD050, 6), or keeps enough footer to demand a
+  # reconstruction the partial sync skeleton fails (PPD061, 8) — it
+  # must never crash
+  case "$flow_code" in
+  0 | 6 | 8) ;;
+  *)
+    echo "chaos: degraded flowback exited $flow_code on a $k-byte order truncation" >&2
+    exit 1
+    ;;
+  esac
+
+  check_damage_offset "$dir/ocut.log" "$k"
+
+  k=$((k + 1))
+done
+echo "chaos: order-tier truncation sweep ok ($osize cut points)"

@@ -309,6 +309,59 @@ def check_t13(data, failures):
         failures.append("t13: missing the 1- or 16-session row")
 
 
+# Order-tier byte gate (T14): on sync-heavy workloads — critical
+# sections reading sizeable shared state, where the content tier's
+# sync-unit snapshots dominate — the order tier must cut the log by
+# an order of magnitude; 0.3x is the never-regress ceiling, the
+# committed rows sit near 0.06x. Reconstruction identity must hold on
+# every row (it is the correctness contract, not a perf number), and
+# checkpoint seeding must actually bound the seek scan.
+T14_ORDER_MAX_RATIO = 0.3
+
+
+def check_t14(data, failures):
+    rows = data.get("t14")
+    if not rows:
+        return
+    for row in rows:
+        name = row["workload"]
+        content = int(row["content_bytes"])
+        order = int(row["order_bytes"])
+        ratio = order / content if content else 1.0
+        print(
+            f"perf-gate: t14/{name}: {content}B content, {order}B order "
+            f"({ratio:.3f}x), {row['checkpoints']} checkpoint(s), "
+            f"identity={row['identity']}, seek scan "
+            f"{row['scan_full']} -> {row['scan_ckpt']}"
+        )
+        if not row["identity"]:
+            failures.append(
+                f"t14/{name}: reconstruction did not reproduce the "
+                f"content log entry-for-entry — order-tier debugging "
+                f"would diverge from the recording"
+            )
+        if row["sync_heavy"] and ratio > T14_ORDER_MAX_RATIO:
+            failures.append(
+                f"t14/{name}: order log is {ratio:.2f}x of the content "
+                f"log (> {T14_ORDER_MAX_RATIO}x) — the order tier is "
+                f"recording more than the sync order"
+            )
+        scan_full, scan_ckpt = int(row["scan_full"]), int(row["scan_ckpt"])
+        if scan_ckpt > scan_full:
+            failures.append(
+                f"t14/{name}: checkpoint-seeded restore scanned "
+                f"{scan_ckpt} entries, more than the {scan_full} a full "
+                f"scan needs"
+            )
+        if int(row["checkpoints"]) >= 2 and scan_full >= 50 \
+                and scan_ckpt * 2 > scan_full:
+            failures.append(
+                f"t14/{name}: checkpoint-seeded restore scanned "
+                f"{scan_ckpt}/{scan_full} entries — checkpoints are not "
+                f"bounding the seek"
+            )
+
+
 def check_serve_profile(path, failures):
     with open(path) as f:
         prof = json.load(f)
@@ -439,6 +492,7 @@ def main():
     check_t11(data, failures)
     check_t12(data, failures)
     check_t13(data, failures)
+    check_t14(data, failures)
     check_t16(data, failures)
     if profile:
         check_profile(profile, failures)

@@ -218,10 +218,10 @@ The durable segmented store (v2) is the default save format; stats
 inspects a file without replaying anything:
 
   $ ppd log stats run.log
-  run.log: v2, 289 bytes, interval index intact
+  run.log: v2, 291 bytes, interval index intact
   3 process(es), 22 record(s), 3 interval(s)
   $ ppd verify-log run.log
-  run.log: v2, 289 bytes, 22 record(s) in 3 page(s), index intact
+  run.log: v2, 291 bytes, 22 record(s) in 3 page(s), index intact
   no damage detected
 
 Crash recovery: truncate the file mid-page, as if the machine died
@@ -244,10 +244,10 @@ through the same commands:
 
   $ ppd log fig61.mpl --save old.log --v1 > /dev/null
   $ ppd log stats old.log
-  old.log: v1, 263 bytes, marshal blob
+  old.log: v1, 265 bytes, marshal blob
   3 process(es), 22 record(s), 3 interval(s)
   $ ppd verify-log old.log
-  old.log: v1, 263 bytes, 22 record(s)
+  old.log: v1, 265 bytes, 22 record(s)
   no damage detected
 
 A file that is not a log at all is refused with PPD050 (exit code 6):
@@ -355,9 +355,11 @@ prefix verify-log walks — and emits a machine-readable damage report:
   {
     "path": "run.log",
     "version": 2,
-    "bytes": 289,
+    "bytes": 291,
     "indexed": true,
     "clean": true,
+    "tier": "content",
+    "checkpoints": 0,
     "procs": 3,
     "records": 22,
     "intervals": 3,
@@ -451,3 +453,77 @@ transient fault:
   $ ppd flowback fig61.mpl --depth 2 -j 4 --fault exec.pool.task:1 --engine interp > faulted-oracle.out
   $ cmp clean.out faulted-oracle.out && echo identical
   identical
+
+The ordering-based logging tier (DESIGN §16): --log-mode order records
+only the sync-event partial order plus a full-state checkpoint every
+--ckpt-every machine steps. Stats and fsck expose the tier and the
+checkpoint count:
+
+  $ ppd log fig61.mpl --save order.seg --log-mode order --ckpt-every 8 | tail -n 3
+  16 entries, 253 bytes serialized (v2; 228 as v1)
+  order tier (rr:3, vm engine), 2 checkpoint(s)
+  saved to order.seg
+  $ ppd log stats order.seg
+  order.seg: v2, 253 bytes, interval index intact
+  3 process(es), 16 record(s), 0 interval(s)
+  order tier (rr:3, vm engine, 1000000-step budget), 2 checkpoint(s)
+  $ ppd fsck order.seg | python3 -c 'import json,sys; d=json.load(sys.stdin); print(d["tier"], d["checkpoints"], d["clean"])'
+  order 2 True
+
+Debugging an order log reconstructs the content log by re-executing
+under the recorded scheduler, so the answers are byte-identical to
+debugging the content recording (line 1 names the loaded file, so the
+comparison starts at line 2) — also under -j4 with an injected
+transient fault:
+
+  $ ppd flowback fig61.mpl --load run.log --depth 2 | tail -n +2 > fb.content
+  $ ppd flowback fig61.mpl --load order.seg --depth 2 | tail -n +2 > fb.order
+  $ cmp fb.content fb.order && echo identical
+  identical
+  $ ppd flowback fig61.mpl --load order.seg --depth 2 -j 4 --fault exec.pool.task:1 | tail -n +2 > fb.order4
+  $ cmp fb.content fb.order4 && echo identical
+  identical
+
+`ppd log compact` turns a saved content log into the order tier — the
+sync skeleton is extracted and the checkpoints are synthesized from
+the recorded snapshots, then the result is verified by a full
+reconstruction before it is written:
+
+  $ ppd log compact fig61.mpl run.log -o compacted.seg --ckpt-every 8
+  run.log: 291 bytes (content) -> compacted.seg: 253 bytes (order, 16 sync record(s), 2 checkpoint(s))
+  $ ppd flowback fig61.mpl --load compacted.seg --depth 2 | tail -n +2 > fb.compact
+  $ cmp fb.content fb.compact && echo identical
+  identical
+
+Reconstruction validates the re-execution against the recorded order.
+A different scheduler or a different program is a different
+computation: PPD061, exit 8 — never silently wrong history:
+
+  $ ppd log compact fig61.mpl run.log -o bad.seg --sched rr:1
+  PPD061 error at ?: order-log reconstruction diverged: process 0 diverged: log records [sync s7 seq=2 step=3 spawn p2 (f1)], re-execution did [sync s7 seq=2 step=4 spawn p2 (f1)] (the program text, analysis flags and build must match the recording run)
+  1 finding(s): 1 error(s), 0 warning(s), 0 note(s)
+  [8]
+  $ ppd flowback buggy.mpl --load order.seg --depth 2 > /dev/null
+  PPD061 error at ?: order-log reconstruction diverged: re-execution created 1 process(es), the log records 3 (the program text, analysis flags and build must match the recording run)
+  1 finding(s): 1 error(s), 0 warning(s), 0 note(s)
+  [8]
+
+The replay watchdog charges speculative prefetch replays against
+--max-replay-steps too: once the budget is spent, the controller stops
+speculating (ppd.controller.prefetched stays 0) instead of burning
+unbounded work behind --degraded holes:
+
+  $ ppd flowback fig61.mpl --depth 2 -j 2 --degraded --max-replay-steps 1 --profile-out exhausted.json > /dev/null
+  $ python3 -c 'import json; print(json.load(open("exhausted.json"))["counters"].get("ppd.controller.prefetched", 0))'
+  0
+  $ ppd flowback fig61.mpl --depth 2 -j 2 --profile-out roomy.json > /dev/null
+  $ python3 -c 'import json; print(json.load(open("roomy.json"))["counters"].get("ppd.controller.prefetched", 0))'
+  2
+
+Damage reports carry the exact absolute offset of the enclosing frame
+start, including for cuts inside the footer (run.log's footer frame
+starts at byte 224):
+
+  $ head -c 230 run.log > footcut.log
+  $ ppd fsck footcut.log | python3 -c 'import json,sys; print(json.load(sys.stdin)["damage"])'
+  [{'offset': 224, 'reason': 'frame extends past the end of the file'}]

@@ -43,10 +43,10 @@ protocol failures are error responses, never dropped lines:
   > EOF
   $ sed -E 's/"(uptimeNs|queueWaitNs|totalWaitNs)":[0-9]+/"\1":_/g' rpc.out
   {"id":1,"result":{"pong":true}}
-  {"id":2,"result":{"handle":1,"version":2,"nprocs":3,"bytes":289,"refs":1}}
+  {"id":2,"result":{"handle":1,"version":2,"nprocs":3,"bytes":291,"refs":1}}
   {"id":3,"result":{"output":"debugging saved log fig61.seg (v2, 3 process(es))\nflowback from:\n  [p0] EXIT main\nemulated 1 of 3 log intervals (6 replay steps)\n","replays":1,"replaySteps":6,"holes":0,"cacheHits":0,"cacheMisses":1}}
   {"id":4,"result":{"output":"debugging saved log fig61.seg (v2, 3 process(es))\nflowback from:\n  [p0] EXIT main\nemulated 1 of 3 log intervals (6 replay steps)\n","replays":1,"replaySteps":6,"holes":0,"cacheHits":1,"cacheMisses":0}}
-  {"id":5,"result":{"log":"fig61.seg","version":2,"nprocs":3,"bytes":289,"refs":1,"fragCache":{"size":1,"hits":1,"misses":1,"inserts":1,"hitRate":0.5}}}
+  {"id":5,"result":{"log":"fig61.seg","version":2,"nprocs":3,"bytes":291,"refs":1,"fragCache":{"size":1,"hits":1,"misses":1,"inserts":1,"hitRate":0.5}}}
   {"id":6,"result":{"uptimeNs":_,"jobs":1,"openLogs":1,"openHandles":1,"gate":{"active":0,"queued":0,"admitted":2,"shed":0,"totalWaitNs":_},"sessions":[{"id":1,"requests":6,"errors":0,"openLogs":1,"cacheHits":1,"cacheMisses":1,"replaySteps":12,"queueWaitNs":_,"shed":0}]}}
   {"id":7,"result":{"closed":true,"refs":0}}
   {"id":8,"error":{"code":"PPD083","message":"no open log with handle 1 in this session"}}
@@ -89,3 +89,30 @@ byte-identical, and the rest of the conversation never notices:
   byte-identical
   $ extract 3 < rpcf.out | cmp - flowback.one && echo byte-identical
   byte-identical
+
+Order-tier logs (DESIGN §16) are served too: the per-request
+controller reconstructs the content log behind the scenes, so the
+flowback answer matches the content recording from line 2 on (line 1
+names the loaded file). A program that does not match the recording
+diverges as a PPD061 error response on that request — the daemon keeps
+serving:
+
+  $ ppd example buggy_min > buggy.mpl
+  $ ppd log fig61.mpl --save order.seg --log-mode order --ckpt-every 8 > /dev/null
+  $ ppd serve --rpc <<'EOF' > rpco.out
+  > {"id":1,"method":"open","params":{"log":"order.seg","program":"fig61.mpl"}}
+  > {"id":2,"method":"flowback","params":{"handle":1,"depth":2}}
+  > {"id":3,"method":"open","params":{"log":"order.seg","program":"buggy.mpl"}}
+  > {"id":4,"method":"flowback","params":{"handle":2,"depth":2}}
+  > {"id":5,"method":"ping"}
+  > EOF
+  $ cat rpco.out
+  {"id":1,"result":{"handle":1,"version":2,"nprocs":3,"bytes":253,"refs":1}}
+  {"id":2,"result":{"output":"debugging saved log order.seg (v2, 3 process(es))\nflowback from:\n  [p0] EXIT main\nemulated 1 of 3 log intervals (6 replay steps)\n","replays":1,"replaySteps":6,"holes":0,"cacheHits":0,"cacheMisses":1}}
+  {"id":3,"result":{"handle":2,"version":2,"nprocs":3,"bytes":253,"refs":1}}
+  {"id":4,"error":{"code":"PPD061","message":"order-log reconstruction diverged: re-execution created 1 process(es), the log records 3 (the program text, analysis flags and build must match the recording run)"}}
+  {"id":5,"result":{"pong":true}}
+  $ extract 2 < rpco.out | tail -n +2 > fb.order.body
+  $ tail -n +2 flowback.one > fb.content.body
+  $ cmp fb.order.body fb.content.body && echo identical
+  identical
