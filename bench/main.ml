@@ -1500,6 +1500,378 @@ let t16_json () =
   ^ "]"
 
 (* ------------------------------------------------------------------ *)
+(* T17: daemon survivability (DESIGN §17) — deadline refusals,          *)
+(* quarantine isolation, crash recovery, and memory governance.         *)
+(* ------------------------------------------------------------------ *)
+
+(* Every scenario drives the in-process dispatcher the way T13 does;
+   the difference is what goes wrong on purpose. Refusals the
+   resilience layer issues by design (PPD090 past a deadline, PPD050
+   and then PPD091 on a poisoned co-tenant) are counted apart from
+   protocol errors, which must stay zero. check_t17 enforces that
+   bar, the isolation bound (healthy p99 beside a poisoned co-tenant
+   at most 2x the baseline), and the memory budget. *)
+
+type t17_row = {
+  tz_scenario : string;
+  tz_requests : int;
+  tz_errors : int;  (* unexpected protocol errors: the bar is zero *)
+  tz_refused : int;  (* PPD050/PPD090/PPD091 issued by design *)
+  tz_p50_ns : float;
+  tz_p99_ns : float;
+  tz_aux : (string * int) list;  (* scenario-specific counters *)
+}
+
+type t17_acc = {
+  za_lock : Mutex.t;
+  mutable za_lats : float list;
+  mutable za_errors : int;
+  mutable za_refused : int;
+}
+
+let t17_acc () =
+  { za_lock = Mutex.create (); za_lats = []; za_errors = 0; za_refused = 0 }
+
+let t17_expected =
+  [ "PPD050"; Serve.Rpc.err_deadline; Serve.Rpc.err_quarantined ]
+
+let t17_copy src dst =
+  Out_channel.with_open_bin dst (fun oc ->
+      Out_channel.output_string oc
+        (In_channel.with_open_bin src In_channel.input_all))
+
+(* Flip one byte inside every page frame: the footer index stays
+   intact, so the poisoned log opens fine and every replay is a
+   PPD050 hard fault — the deterministic quarantine trigger. *)
+let t17_poison seg =
+  let pages = (Store.Segment.fsck seg).Store.Segment.fk_pages in
+  let b =
+    Bytes.of_string (In_channel.with_open_bin seg In_channel.input_all)
+  in
+  List.iter
+    (fun (p : Store.Segment.fsck_page) ->
+      let off = p.Store.Segment.fp_offset + 4 in
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xff)))
+    pages;
+  Out_channel.with_open_bin seg (fun oc ->
+      Out_channel.output_string oc (Bytes.to_string b))
+
+let t17_err_code resp =
+  match Serve.Json.parse resp with
+  | Ok v ->
+    Option.map
+      (fun e ->
+        Option.value ~default:"?"
+          (Option.bind (Serve.Json.member "code" e) Serve.Json.to_str))
+      (Serve.Json.member "error" v)
+  | Error _ -> Some "unparseable"
+
+(* One client session: open a handle on [seg], issue [requests]
+   flowbacks with [params] spliced into the body, classify every
+   response, fold the latencies into [acc]. *)
+let t17_client srv ~mpl ~seg ~requests ~params acc =
+  let s = Serve.Server.session srv in
+  let say line = Serve.Server.handle_line srv s line in
+  let h =
+    let resp =
+      say
+        (Printf.sprintf
+           {|{"id":1,"method":"open","params":{"log":%S,"program":%S}}|} seg
+           mpl)
+    in
+    match Serve.Json.parse resp with
+    | Ok v -> (
+      match Serve.Json.member "result" v with
+      | Some r -> t13_jint r "handle"
+      | None -> -1)
+    | Error _ -> -1
+  in
+  let my = ref [] and errs = ref 0 and refused = ref 0 in
+  for k = 1 to requests do
+    let line =
+      Printf.sprintf
+        {|{"id":%d,"method":"flowback","params":{"handle":%d,"depth":2%s}}|}
+        (k + 1) h params
+    in
+    let t0 = Obs.now_ns () in
+    let resp = say line in
+    let dt = float_of_int (Obs.now_ns () - t0) in
+    (match t17_err_code resp with
+    | None -> ()
+    | Some c when List.mem c t17_expected -> incr refused
+    | Some _ -> incr errs);
+    my := dt :: !my
+  done;
+  ignore
+    (say
+       (Printf.sprintf {|{"id":99,"method":"close","params":{"handle":%d}}|} h));
+  Serve.Server.end_session srv s;
+  Mutex.lock acc.za_lock;
+  acc.za_lats <- !my @ acc.za_lats;
+  acc.za_errors <- acc.za_errors + !errs;
+  acc.za_refused <- acc.za_refused + !refused;
+  Mutex.unlock acc.za_lock
+
+let t17_finish ~scenario ~aux acc =
+  let sorted = Array.of_list acc.za_lats in
+  Array.sort Float.compare sorted;
+  {
+    tz_scenario = scenario;
+    tz_requests = Array.length sorted;
+    tz_errors = acc.za_errors;
+    tz_refused = acc.za_refused;
+    tz_p50_ns = t13_percentile sorted 0.50;
+    tz_p99_ns = t13_percentile sorted 0.99;
+    tz_aux = aux;
+  }
+
+let t17_stats srv =
+  let s = Serve.Server.session srv in
+  let resp =
+    Serve.Server.handle_line srv s {|{"id":1,"method":"serverStats"}|}
+  in
+  Serve.Server.end_session srv s;
+  match Serve.Json.parse resp with
+  | Ok v -> Serve.Json.member "result" v
+  | Error _ -> None
+
+let t17_config =
+  {
+    Serve.Server.default_config with
+    jobs = 1;
+    max_active = 8;
+    max_queue = 4096;
+  }
+
+let t17_rows () =
+  let mpl, seg = t13_fixture () in
+  let bad = seg ^ ".poisoned" in
+  t17_copy seg bad;
+  t17_poison bad;
+  let jpath = Filename.temp_file "ppd_t17" ".journal" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        [ mpl; seg; bad; jpath ])
+    (fun () ->
+      (* deadline: a mocked resilience clock advances 10 ms per
+         reading, so a 5 ms budget is over by the first deadline check
+         and every request that replays is refused at an e-block
+         boundary; the percentiles are the real-time cost of saying no
+         (wall-clock latencies are measured on the unmocked Obs clock) *)
+      let deadline_row =
+        let tick = Atomic.make 0 in
+        Resil.Clock.with_source
+          (fun () -> 10_000_000 * Atomic.fetch_and_add tick 1)
+          (fun () ->
+            let srv = Serve.Server.create ~config:t17_config () in
+            let acc = t17_acc () in
+            let ths =
+              List.init 4 (fun _ ->
+                  Thread.create
+                    (fun () ->
+                      t17_client srv ~mpl ~seg ~requests:8
+                        ~params:{|,"deadlineMs":5|} acc)
+                    ())
+            in
+            List.iter Thread.join ths;
+            Serve.Server.shutdown srv;
+            t17_finish ~scenario:"deadline" ~aux:[] acc)
+      in
+      (* the healthy load alone: the baseline the isolation bound
+         compares against *)
+      let baseline_row =
+        let srv = Serve.Server.create ~config:t17_config () in
+        let acc = t17_acc () in
+        let ths =
+          List.init 4 (fun _ ->
+              Thread.create
+                (fun () -> t17_client srv ~mpl ~seg ~requests:6 ~params:"" acc)
+                ())
+        in
+        List.iter Thread.join ths;
+        Serve.Server.shutdown srv;
+        t17_finish ~scenario:"quarantine_baseline" ~aux:[] acc
+      in
+      (* the same healthy load beside a poisoned co-tenant: the bad
+         log trips its breaker and fast-fails; the healthy sessions
+         must barely notice *)
+      let quarantine_rows =
+        let srv = Serve.Server.create ~config:t17_config () in
+        let healthy = t17_acc () in
+        let poisoned = t17_acc () in
+        let ths =
+          List.init 4 (fun _ ->
+              Thread.create
+                (fun () ->
+                  t17_client srv ~mpl ~seg ~requests:6 ~params:"" healthy)
+                ())
+          @ List.init 2 (fun _ ->
+                Thread.create
+                  (fun () ->
+                    t17_client srv ~mpl ~seg:bad ~requests:8 ~params:""
+                      poisoned)
+                  ())
+        in
+        List.iter Thread.join ths;
+        let trips, fast =
+          match
+            Option.bind (t17_stats srv) (Serve.Json.member "breakers")
+          with
+          | Some (Serve.Json.List bs) ->
+            List.fold_left
+              (fun (t, f) b ->
+                (t + t13_jint b "trips", f + t13_jint b "fastFails"))
+              (0, 0) bs
+          | Some _ | None -> (0, 0)
+        in
+        Serve.Server.shutdown srv;
+        [
+          t17_finish ~scenario:"quarantine_healthy"
+            ~aux:[ ("breaker_trips", trips); ("breaker_fast_fails", fast) ]
+            healthy;
+          t17_finish ~scenario:"quarantine_poisoned" ~aux:[] poisoned;
+        ]
+      in
+      (* recovery: journal, crash (no shutdown), resume, attach the
+         dead session, re-query — the latency is the whole cycle *)
+      let recovery_row =
+        let acc = t17_acc () in
+        let srv0 = Serve.Server.create ~config:t17_config ~journal:jpath () in
+        let s0 = Serve.Server.session srv0 in
+        let say0 line = Serve.Server.handle_line srv0 s0 line in
+        ignore
+          (say0
+             (Printf.sprintf
+                {|{"id":1,"method":"open","params":{"log":%S,"program":%S}}|}
+                seg mpl));
+        ignore (say0 {|{"id":2,"method":"flowback","params":{"handle":1,"depth":2}}|});
+        let dead = ref (Serve.Server.session_id s0) in
+        let cycles = 5 in
+        for _ = 1 to cycles do
+          let t0 = Obs.now_ns () in
+          let srv = Serve.Server.create ~config:t17_config ~resume:jpath () in
+          let s = Serve.Server.session srv in
+          let say line = Serve.Server.handle_line srv s line in
+          let at =
+            say
+              (Printf.sprintf
+                 {|{"id":1,"method":"attach","params":{"session":%d}}|} !dead)
+          in
+          let resp =
+            say {|{"id":2,"method":"flowback","params":{"handle":1,"depth":2}}|}
+          in
+          let dt = float_of_int (Obs.now_ns () - t0) in
+          Mutex.lock acc.za_lock;
+          acc.za_lats <- dt :: acc.za_lats;
+          if t17_err_code at <> None || t17_err_code resp <> None then
+            acc.za_errors <- acc.za_errors + 1;
+          Mutex.unlock acc.za_lock;
+          dead := Serve.Server.session_id s
+          (* and crash again: no end_session, no shutdown — the journal
+             already re-recorded the adopted session under its new id *)
+        done;
+        t17_finish ~scenario:"recovery" ~aux:[ ("cycles", cycles) ] acc
+      in
+      (* 64 sessions under one daemon-wide byte budget: the caches
+         must evict to fit, and the answers must keep coming. A
+         monitor thread samples the gauges mid-soak (the high-water
+         mark), and a final session holds a handle open so the gauges
+         are live when the settled reading is taken. *)
+      let soak_row =
+        let config = { t17_config with mem_budget = 64 * 1024 } in
+        let srv = Serve.Server.create ~config () in
+        let acc = t17_acc () in
+        let mem_of () =
+          match Option.bind (t17_stats srv) (Serve.Json.member "memory") with
+          | Some m -> (t13_jint m "budgetCap", t13_jint m "budgetUsed")
+          | None -> (0, 0)
+        in
+        let stop = Atomic.make false in
+        let high = Atomic.make 0 in
+        let monitor =
+          Thread.create
+            (fun () ->
+              while not (Atomic.get stop) do
+                let _, used = mem_of () in
+                if used > Atomic.get high then Atomic.set high used;
+                Thread.yield ()
+              done)
+            ()
+        in
+        let ths =
+          List.init 64 (fun _ ->
+              Thread.create
+                (fun () -> t17_client srv ~mpl ~seg ~requests:4 ~params:"" acc)
+                ())
+        in
+        List.iter Thread.join ths;
+        Atomic.set stop true;
+        Thread.join monitor;
+        (* the settled reading, with the caches still referenced *)
+        let s = Serve.Server.session srv in
+        ignore
+          (Serve.Server.handle_line srv s
+             (Printf.sprintf
+                {|{"id":1,"method":"open","params":{"log":%S,"program":%S}}|}
+                seg mpl));
+        ignore
+          (Serve.Server.handle_line srv s
+             {|{"id":2,"method":"flowback","params":{"handle":1,"depth":2}}|});
+        let cap, used = mem_of () in
+        Serve.Server.end_session srv s;
+        Serve.Server.shutdown srv;
+        t17_finish ~scenario:"soak64"
+          ~aux:
+            [
+              ("budget_cap", cap);
+              ("budget_used", used);
+              ("budget_used_max", max used (Atomic.get high));
+            ]
+          acc
+      in
+      (deadline_row :: baseline_row :: quarantine_rows)
+      @ [ recovery_row; soak_row ])
+
+let t17 () =
+  header "T17  Daemon survivability: deadlines, quarantine, recovery, memory";
+  row "%-20s %9s %7s %8s %11s %11s  %s\n" "scenario" "requests" "errors"
+    "refused" "p50" "p99" "notes";
+  List.iter
+    (fun r ->
+      let notes =
+        String.concat " "
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) r.tz_aux)
+      in
+      row "%-20s %9d %7d %8d %11s %11s  %s\n" r.tz_scenario r.tz_requests
+        r.tz_errors r.tz_refused (fmt_ns r.tz_p50_ns) (fmt_ns r.tz_p99_ns)
+        notes)
+    (t17_rows ());
+  print_endline
+    "(refusals are the resilience layer working as designed — PPD090 past\n\
+    \      a deadline, PPD050/PPD091 on the poisoned co-tenant; protocol\n\
+    \      errors must stay zero, and check_t17 gates the healthy p99 beside\n\
+    \      the poisoned co-tenant at 2x the baseline)"
+
+let t17_json () =
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             "{\"scenario\":%S,\"requests\":%d,\"errors\":%d,\"refused\":%d,\
+              \"p50_ns\":%s,\"p99_ns\":%s%s}"
+             r.tz_scenario r.tz_requests r.tz_errors r.tz_refused
+             (jfloat r.tz_p50_ns) (jfloat r.tz_p99_ns)
+             (String.concat ""
+                (List.map
+                   (fun (k, v) -> Printf.sprintf ",%S:%d" k v)
+                   r.tz_aux)))
+         (t17_rows ()))
+  ^ "]"
+
+(* ------------------------------------------------------------------ *)
 (* Figures.                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1556,6 +1928,7 @@ let experiments =
     ("t13", t13);
     ("t14", t14);
     ("t16", t16);
+    ("t17", t17);
   ]
 
 (* Tables with a machine-readable emitter (`bench -- --json t9 t10`):
@@ -1571,6 +1944,7 @@ let json_experiments =
     ("t13", t13_json);
     ("t14", t14_json);
     ("t16", t16_json);
+    ("t17", t17_json);
   ]
 
 let () =

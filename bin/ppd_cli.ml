@@ -673,6 +673,52 @@ let log_cmd =
         const run $ file_arg $ in_arg $ sched_arg $ steps_arg $ engine_arg
         $ inline_arg $ loops_arg $ out_arg $ ckpt_every_arg $ no_verify_arg)
   in
+  let repair_cmd =
+    let out_arg =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "o"; "out" ] ~docv:"PATH"
+            ~doc:"Where to write the repaired segment.")
+    in
+    let run path out =
+      match Store.Segment.repair path ~out with
+      | exception Trace.Log_io.Unreadable { path; reason } ->
+        die_unreadable ~path ~reason
+      | rp ->
+        Printf.printf
+          "%s: v%d %s tier -> %s: %d bytes, %d page(s), %d record(s), %d \
+           checkpoint(s)\n"
+          path rp.Store.Segment.rp_version rp.Store.Segment.rp_tier out
+          rp.Store.Segment.rp_out_bytes rp.Store.Segment.rp_kept_pages
+          rp.Store.Segment.rp_kept_records rp.Store.Segment.rp_kept_ckpts;
+        (match rp.Store.Segment.rp_dropped with
+        | [] -> print_endline "clean: no bytes dropped"
+        | drops ->
+          List.iter
+            (fun d ->
+              if d.Store.Segment.rd_pid < 0 then
+                Printf.printf "dropped: suffix at byte %d (%s)\n"
+                  d.Store.Segment.rd_offset d.Store.Segment.rd_reason
+              else
+                Printf.printf
+                  "dropped: pid %d page %d at byte %d, %d record(s) (%s)\n"
+                  d.Store.Segment.rd_pid d.Store.Segment.rd_page
+                  d.Store.Segment.rd_offset d.Store.Segment.rd_records
+                  d.Store.Segment.rd_reason)
+            drops;
+          exit 4)
+    in
+    Cmd.v
+      (Cmd.info "repair"
+         ~doc:
+           "Rewrite everything salvageable from a damaged log into a \
+            fresh, fully verified segment: the clean page prefix of each \
+            process plus any salvageable pages, with the interval index \
+            rebuilt. Exits 0 when nothing was lost, 4 when bytes had to \
+            be dropped (each dropped page is reported).")
+      Term.(const run $ log_path_arg $ out_arg)
+  in
   let run_term =
     Term.(
       const run $ file_arg $ sched_arg $ steps_arg $ engine_arg $ inline_arg
@@ -684,7 +730,8 @@ let log_cmd =
        ~doc:
          "Run with incremental-tracing instrumentation and dump the log; \
           `ppd log stats` describes a saved log file, `ppd log compact` \
-          rewrites one to the order tier.")
+          rewrites one to the order tier, `ppd log repair` salvages a \
+          damaged one into a fresh verified segment.")
     [
       Cmd.v
         (Cmd.info "run"
@@ -692,6 +739,7 @@ let log_cmd =
         run_term;
       stats_cmd;
       compact_cmd;
+      repair_cmd;
     ]
 
 let verify_log_cmd =
@@ -1544,8 +1592,44 @@ let serve_cmd =
       & info [ "step-quota" ] ~docv:"N"
           ~doc:"Per-session lifetime replay-step quota (PPD085 beyond it).")
   in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.default_deadline_ms
+      & info [ "default-deadline-ms" ] ~docv:"MS"
+          ~doc:"Deadline for heavy requests that carry no per-request \
+                $(b,deadlineMs); expiry — in the admission queue or at an \
+                e-block replay boundary — answers PPD090. 0 disables.")
+  in
+  let mem_budget_arg =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.mem_budget
+      & info [ "mem-budget" ] ~docv:"BYTES"
+          ~doc:"Daemon-wide byte budget shared by every page LRU and \
+                fragment cache; over it, cost-weighted reclaim evicts \
+                until usage fits. 0 means unlimited.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:"Journal the session table (open logs, quotas) to PATH, \
+                flushed per record, so a killed daemon can be resumed \
+                with $(b,--resume).")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"PATH"
+          ~doc:"Replay the session journal a killed daemon left at PATH: \
+                its sessions become recoverable through the $(b,attach) \
+                method, and journaling continues to the same file.")
+  in
   let run socket port rpc jobs max_active max_queue max_open_logs step_quota
-      faults fseed pout ptrace =
+      default_deadline_ms mem_budget journal resume faults fseed pout ptrace =
     profile_setup pout ptrace;
     arm_faults faults fseed;
     let config =
@@ -1557,9 +1641,15 @@ let serve_cmd =
         step_quota;
         max_replay_steps_cap =
           Serve.Server.default_config.Serve.Server.max_replay_steps_cap;
+        default_deadline_ms;
+        mem_budget;
+        retry_budget =
+          Serve.Server.default_config.Serve.Server.retry_budget;
+        backoff = Serve.Server.default_config.Serve.Server.backoff;
+        breaker = Serve.Server.default_config.Serve.Server.breaker;
       }
     in
-    let t = Serve.Server.create ~config () in
+    let t = Serve.Server.create ~config ?journal ?resume () in
     (match (rpc, socket, port) with
     | true, None, None ->
       (* stdout carries only protocol lines in --rpc mode *)
@@ -1594,14 +1684,18 @@ let serve_cmd =
        ~doc:
          "Run the long-lived debugging daemon: a registry of opened \
           logs served to many concurrent sessions over line-delimited \
-          JSON-RPC (methods: open, close, flowback, replay, race, \
-          proto, fsck, profile, stats, serverStats), sharing one \
+          JSON-RPC (methods: open, close, attach, flowback, replay, \
+          race, proto, fsck, profile, stats, serverStats), sharing one \
           domain pool and one replayed-fragment cache per log across \
-          sessions, with per-session quotas and a bounded admission \
-          queue that sheds overload with the PPD084 busy error.")
+          sessions, with per-session quotas, request deadlines \
+          (PPD090), per-log quarantine (PPD091), a shared memory \
+          budget, crash-recoverable sessions (--journal/--resume, \
+          PPD092 for stale handles) and a bounded admission queue \
+          that sheds overload with the PPD084 busy error.")
     Term.(
       const run $ socket_arg $ port_arg $ rpc_arg $ jobs_arg $ max_active_arg
-      $ max_queue_arg $ max_open_arg $ step_quota_arg $ fault_arg
+      $ max_queue_arg $ max_open_arg $ step_quota_arg $ deadline_arg
+      $ mem_budget_arg $ journal_arg $ resume_arg $ fault_arg
       $ fault_seed_arg $ profile_out_arg $ profile_trace_arg)
 
 let connect_cmd =
@@ -1700,7 +1794,8 @@ let rewrite_log a =
     Array.length a >= 2
     && a.(1) = "log"
     && (Array.length a = 2
-       || (a.(2) <> "stats" && a.(2) <> "run" && a.(2) <> "compact"))
+       || (a.(2) <> "stats" && a.(2) <> "run" && a.(2) <> "compact"
+          && a.(2) <> "repair"))
   then
     Array.concat
       [ Array.sub a 0 2; [| "run" |]; Array.sub a 2 (Array.length a - 2) ]

@@ -7,16 +7,36 @@ module L = Trace.Log
    it (the demand-paged debugging phase). *)
 type source = S_mem of L.t | S_paged of Store.Segment.reader
 
-(* Degraded-mode policy (DESIGN §12). [degraded] turns damaged or
-   unreplayable intervals into explicit hole nodes instead of letting
-   the exception abort the query; [retries] bounds how many times a
+(* Degraded-mode policy (DESIGN §12) plus the per-request resilience
+   envelope (DESIGN §17). [degraded] turns damaged or unreplayable
+   intervals into explicit hole nodes instead of letting the exception
+   abort the query; [retries] bounds how many times a
    transiently-failed pool replay is re-attempted (serially, on the
    querying domain, so -jN output stays identical to -j1) before a hole
    is declared; [max_replay_steps] is the runaway-replay watchdog fed
-   to {!Emulator.replay}. *)
-type config = { degraded : bool; retries : int; max_replay_steps : int }
+   to {!Emulator.replay}; [deadline] is checked at every e-block
+   assembly boundary ([build_interval] entry) and propagates as
+   [Resil.Deadline.Expired]; [backoff] (with [retry_seed]) spaces the
+   serial retries out instead of hammering a recovering store — delays
+   never change what is computed, so outputs stay byte-identical. *)
+type config = {
+  degraded : bool;
+  retries : int;
+  max_replay_steps : int;
+  deadline : Resil.Deadline.t;
+  backoff : Resil.Backoff.policy option;
+  retry_seed : int;
+}
 
-let default_config = { degraded = false; retries = 2; max_replay_steps = 1_000_000 }
+let default_config =
+  {
+    degraded = false;
+    retries = 2;
+    max_replay_steps = 1_000_000;
+    deadline = Resil.Deadline.none;
+    backoff = None;
+    retry_seed = 0;
+  }
 
 exception Replay_overrun of { pid : int; iv_id : int; budget : int }
 
@@ -336,6 +356,14 @@ let with_retries t (iv : L.interval) first =
     | exception Fault.Injected _ when attempt < t.config.retries ->
       t.retried <- t.retried + 1;
       Obs.incr c_retries;
+      (* space retries out under the configured policy (DESIGN §17);
+         the delay is deterministic in (seed, attempt) and changes
+         nothing about what is recomputed *)
+      (match t.config.backoff with
+      | Some policy ->
+        Resil.Backoff.sleep_ms
+          (Resil.Backoff.delay_ms ~policy ~seed:t.config.retry_seed attempt)
+      | None -> ());
       go (attempt + 1) (fun () -> replay_outcome t iv)
   in
   go 0 first
@@ -349,6 +377,10 @@ let reason_of_failure = function
   | e -> Printexc.to_string e
 
 let build_interval (t : t) ~pid ~iv_id =
+  (* the e-block boundary is the deadline propagation point: a query
+     that expires mid-flowback stops before the next replay instead of
+     holding its slot to completion (DESIGN §17) *)
+  Resil.Deadline.check t.config.deadline;
   let key = (pid, iv_id) in
   Obs.incr c_lookups;
   let hit () =

@@ -24,7 +24,8 @@
 
 type t
 
-(** Degraded-mode policy (DESIGN §12). *)
+(** Degraded-mode policy (DESIGN §12) and per-request resilience
+    envelope (DESIGN §17). *)
 type config = {
   degraded : bool;
       (** map damaged/unreplayable intervals to explicit hole nodes
@@ -35,6 +36,17 @@ type config = {
   max_replay_steps : int;
       (** the runaway-replay watchdog budget per interval (default
           1_000_000) *)
+  deadline : Resil.Deadline.t;
+      (** checked at every {!build_interval} entry (the e-block replay
+          boundary); expiry raises [Resil.Deadline.Expired], which the
+          daemon answers as PPD090 (default: none) *)
+  backoff : Resil.Backoff.policy option;
+      (** when set, serial retries of transient faults sleep under
+          this jittered-exponential policy instead of re-attempting
+          immediately; delays never change the computed output
+          (default: [None] — retry immediately, the CLI behavior) *)
+  retry_seed : int;
+      (** seed for the deterministic backoff jitter (default 0) *)
 }
 
 val default_config : config

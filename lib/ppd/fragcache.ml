@@ -1,4 +1,4 @@
-(* Shared replayed-fragment cache (DESIGN §14).
+(* Shared replayed-fragment cache (DESIGN §14, §17).
 
    One instance per opened log identity: every controller debugging
    that log — across daemon sessions, across requests — publishes the
@@ -9,11 +9,24 @@
    one session's degraded holes can never leak into another session's
    answers.
 
+   With a [Resil.Budget] attached, every insert charges a byte
+   estimate and triggers a rebalance; the registered reclaimer calls
+   {!reclaim}, which evicts in ascending replay-cost-per-byte order —
+   the outcomes that are big but cheap to recompute go first, the
+   small expensive ones are kept. Eviction is always safe: a future
+   lookup just replays the interval again.
+
    The hit/miss counters are plain atomics, always live (unlike the
    Obs mirrors, which are no-ops until profiling is enabled): the T13
    bench and the `serverStats` method read exact numbers from here. *)
 
 type stats = { hits : int; misses : int; inserts : int }
+
+type entry = {
+  e_outcome : Emulator.outcome;
+  e_bytes : int;  (* charged estimate *)
+  e_steps : int;  (* replay cost: what eviction throws away *)
+}
 
 (* Keys carry the *source tier* of the session that produced the
    outcome ("content" or "order"), not just (pid, iv_id): an order-tier
@@ -24,20 +37,32 @@ type stats = { hits : int; misses : int; inserts : int }
    cache instance. *)
 type t = {
   lock : Mutex.t;
-  tbl : (string * int * int, Emulator.outcome) Hashtbl.t;
+  tbl : (string * int * int, entry) Hashtbl.t;
+  budget : Resil.Budget.t option;
+  bytes : int Atomic.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
   inserts : int Atomic.t;
+  evictions : int Atomic.t;
 }
 
-let create () =
+let create ?budget () =
   {
     lock = Mutex.create ();
     tbl = Hashtbl.create 64;
+    budget;
+    bytes = Atomic.make 0;
     hits = Atomic.make 0;
     misses = Atomic.make 0;
     inserts = Atomic.make 0;
+    evictions = Atomic.make 0;
   }
+
+(* A coarse in-memory cost for one outcome: events dominate (boxed
+   (seq, event) pairs on a list), plus the regenerated output string
+   and a fixed overhead for the record and the table slot. *)
+let cost_bytes (o : Emulator.outcome) =
+  (List.length o.Emulator.events * 48) + String.length o.Emulator.output + 96
 
 let find t key =
   Mutex.lock t.lock;
@@ -46,20 +71,69 @@ let find t key =
   (match o with
   | Some _ -> Atomic.incr t.hits
   | None -> Atomic.incr t.misses);
-  o
+  Option.map (fun e -> e.e_outcome) o
 
 (* Publish a clean outcome. Failed or truncated replays stay private to
    the controller that saw them: a transient fault or a tight watchdog
-   budget is that session's business, not the log's. *)
+   budget is that session's business, not the log's. The budget charge
+   and rebalance run *after* the table lock is released — the
+   rebalance walk re-enters this cache through {!reclaim}. *)
 let publish t key (o : Emulator.outcome) =
   if o.Emulator.fault = None && not o.Emulator.overrun then begin
+    let cost = cost_bytes o in
     Mutex.lock t.lock;
-    if not (Hashtbl.mem t.tbl key) then begin
-      Hashtbl.replace t.tbl key o;
-      Atomic.incr t.inserts
-    end;
-    Mutex.unlock t.lock
+    let inserted =
+      if Hashtbl.mem t.tbl key then false
+      else begin
+        Hashtbl.replace t.tbl key
+          { e_outcome = o; e_bytes = cost; e_steps = o.Emulator.steps };
+        Atomic.incr t.inserts;
+        ignore (Atomic.fetch_and_add t.bytes cost);
+        true
+      end
+    in
+    Mutex.unlock t.lock;
+    match t.budget with
+    | Some b when inserted ->
+      Resil.Budget.charge b cost;
+      Resil.Budget.rebalance b
+    | _ -> ()
   end
+
+(* Evict up to [want] accounted bytes, cheapest-to-recompute-per-byte
+   first. Returns the bytes actually freed; releases them from the
+   attached budget itself (the [Resil.Budget] reclaimer contract). *)
+let reclaim t want =
+  if want <= 0 then 0
+  else begin
+    Mutex.lock t.lock;
+    let entries = Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.tbl [] in
+    let ranked =
+      List.sort
+        (fun (_, a) (_, b) ->
+          compare
+            (float_of_int a.e_steps /. float_of_int a.e_bytes)
+            (float_of_int b.e_steps /. float_of_int b.e_bytes))
+        entries
+    in
+    let freed = ref 0 in
+    List.iter
+      (fun (k, e) ->
+        if !freed < want then begin
+          Hashtbl.remove t.tbl k;
+          freed := !freed + e.e_bytes;
+          Atomic.incr t.evictions
+        end)
+      ranked;
+    ignore (Atomic.fetch_and_add t.bytes (- !freed));
+    Mutex.unlock t.lock;
+    (match t.budget with
+    | Some b -> Resil.Budget.release b !freed
+    | None -> ());
+    !freed
+  end
+
+let clear t = ignore (reclaim t max_int)
 
 let mem t key =
   Mutex.lock t.lock;
@@ -72,6 +146,10 @@ let size t =
   let n = Hashtbl.length t.tbl in
   Mutex.unlock t.lock;
   n
+
+let bytes t = Atomic.get t.bytes
+
+let evictions t = Atomic.get t.evictions
 
 let stats t =
   {

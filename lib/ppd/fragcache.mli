@@ -15,7 +15,12 @@ type t
 
 type stats = { hits : int; misses : int; inserts : int }
 
-val create : unit -> t
+val create : ?budget:Resil.Budget.t -> unit -> t
+(** With [budget], every insert charges a byte estimate to it and
+    triggers a rebalance (DESIGN §17). The daemon registers
+    {!reclaim} as the budget's reclaimer for this cache; eviction is
+    always safe — an evicted outcome is just replayed again on the
+    next lookup. *)
 
 val find : t -> string * int * int -> Emulator.outcome option
 (** Look up an interval's outcome; counts a hit or a miss. *)
@@ -29,6 +34,22 @@ val mem : t -> string * int * int -> bool
 
 val size : t -> int
 (** Cached outcomes. *)
+
+val bytes : t -> int
+(** Accounted byte estimate of everything cached right now. *)
+
+val reclaim : t -> int -> int
+(** [reclaim t want] evicts cached outcomes until at least [want]
+    accounted bytes are freed (or the cache is empty), in ascending
+    replay-cost-per-byte order — big-but-cheap-to-recompute outcomes
+    go first. Returns the bytes freed; releases them from the
+    attached budget itself. *)
+
+val clear : t -> unit
+(** Evict everything (releasing the budget charge). *)
+
+val evictions : t -> int
+(** Lifetime evicted-entry count. *)
 
 val stats : t -> stats
 (** Exact lifetime counters (always live, independent of {!Obs}). *)

@@ -1,0 +1,332 @@
+(* Resilience substrate (DESIGN §17). Mechanism only: deadlines,
+   deterministic backoff, breakers and byte budgets. Policy — which
+   outcomes are hard failures, what evicts first — lives with the
+   callers (Serve.Server, Ppd.Controller, the caches). *)
+
+module Clock = struct
+  (* One atomic read on the hot path; tests swap in a counter. *)
+  let source : (unit -> int) option Atomic.t = Atomic.make None
+
+  let now_ns () =
+    match Atomic.get source with
+    | None -> Obs.now_ns ()
+    | Some f -> f ()
+
+  let set_source s = Atomic.set source s
+
+  let with_source f body =
+    let saved = Atomic.get source in
+    Atomic.set source (Some f);
+    Fun.protect ~finally:(fun () -> Atomic.set source saved) body
+end
+
+module Deadline = struct
+  type t = int
+
+  let none = max_int
+
+  let at_ns ns = ns
+
+  let after_ms ms =
+    if ms <= 0 then none
+    else
+      let ns = Clock.now_ns () + (ms * 1_000_000) in
+      (* overflow on a huge ms collapses to "never" *)
+      if ns < 0 then none else ns
+
+  let is_none d = d = none
+
+  let expired d = d <> none && Clock.now_ns () > d
+
+  let remaining_ns d =
+    if d = none then max_int else max 0 (d - Clock.now_ns ())
+
+  exception Expired
+
+  let check d = if d <> none && Clock.now_ns () > d then raise Expired
+end
+
+module Backoff = struct
+  type policy = {
+    base_ms : int;
+    max_ms : int;
+    multiplier : int;
+    jitter_pct : int;
+  }
+
+  let default = { base_ms = 5; max_ms = 1000; multiplier = 2; jitter_pct = 50 }
+
+  (* Splitmix-style finalizer (same construction as Fault.mix): the
+     jitter draw is a pure function of (seed, attempt). *)
+  let mix seed attempt =
+    let z = ref ((seed * 0x9e3779b9) + attempt + 1) in
+    z := (!z lxor (!z lsr 30)) * 0x4e5b94d049bb1331;
+    z := (!z lxor (!z lsr 27)) * 0x1ce4e5b9bf58476d;
+    !z lxor (!z lsr 31) land max_int
+
+  let delay_ms ?(policy = default) ~seed attempt =
+    let base = max 0 policy.base_ms in
+    let cap = max base policy.max_ms in
+    let mult = max 1 policy.multiplier in
+    (* capped exponential, guarding the power against overflow *)
+    let rec expo acc n =
+      if n <= 0 || acc >= cap then min acc cap else expo (acc * mult) (n - 1)
+    in
+    let upper = if base = 0 then 0 else expo base attempt in
+    let jit = max 0 (min 100 policy.jitter_pct) in
+    if upper = 0 || jit = 0 then upper
+    else
+      (* deterministic draw in [upper*(100-jit)%, upper] *)
+      let span = upper * jit / 100 in
+      let lo = upper - span in
+      lo + (mix seed attempt mod (span + 1))
+
+  let sleep_ms ms = if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.)
+end
+
+module Breaker = struct
+  type config = {
+    failure_threshold : int;
+    cooldown_ms : int;
+  }
+
+  let default_config = { failure_threshold = 3; cooldown_ms = 5000 }
+
+  type state =
+    | Closed
+    | Open
+    | Half_open
+
+  type t = {
+    key : string;
+    cfg : config;
+    lock : Mutex.t;
+    mutable st : state;
+    mutable opened_at : int;  (* Clock ns of the trip *)
+    mutable failures : int;  (* consecutive, while Closed *)
+    mutable probing : bool;  (* Half_open probe token out *)
+    mutable trips : int;
+    mutable fast_fails : int;
+  }
+
+  let create ?(config = default_config) key =
+    {
+      key;
+      cfg =
+        {
+          failure_threshold = max 1 config.failure_threshold;
+          cooldown_ms = max 0 config.cooldown_ms;
+        };
+      lock = Mutex.create ();
+      st = Closed;
+      opened_at = 0;
+      failures = 0;
+      probing = false;
+      trips = 0;
+      fast_fails = 0;
+    }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    let r = f () in
+    Mutex.unlock t.lock;
+    r
+
+  let cooled t = Clock.now_ns () - t.opened_at >= t.cfg.cooldown_ms * 1_000_000
+
+  let acquire t =
+    locked t (fun () ->
+        match t.st with
+        | Closed -> true
+        | Open when cooled t ->
+          t.st <- Half_open;
+          t.probing <- true;
+          true
+        | Open ->
+          t.fast_fails <- t.fast_fails + 1;
+          false
+        | Half_open when not t.probing ->
+          (* one probe at a time; the rest still fast-fail *)
+          t.probing <- true;
+          true
+        | Half_open ->
+          t.fast_fails <- t.fast_fails + 1;
+          false)
+
+  let success t =
+    locked t (fun () ->
+        t.failures <- 0;
+        t.probing <- false;
+        t.st <- Closed)
+
+  let trip t =
+    t.st <- Open;
+    t.opened_at <- Clock.now_ns ();
+    t.probing <- false;
+    t.trips <- t.trips + 1
+
+  let failure t =
+    locked t (fun () ->
+        match t.st with
+        | Half_open -> trip t
+        | Open -> ()
+        | Closed ->
+          t.failures <- t.failures + 1;
+          if t.failures >= t.cfg.failure_threshold then trip t)
+
+  let abstain t = locked t (fun () -> t.probing <- false)
+
+  let state t = locked t (fun () -> t.st)
+
+  type stats = {
+    st_key : string;
+    st_state : state;
+    st_failures : int;
+    st_trips : int;
+    st_fast_fails : int;
+  }
+
+  let stats t =
+    locked t (fun () ->
+        {
+          st_key = t.key;
+          st_state = t.st;
+          st_failures = t.failures;
+          st_trips = t.trips;
+          st_fast_fails = t.fast_fails;
+        })
+
+  let make_breaker = create
+
+  module Group = struct
+    type breaker = t
+
+    type t = {
+      cfg : config;
+      lock : Mutex.t;
+      tbl : (string, breaker) Hashtbl.t;
+    }
+
+    let create ?(config = default_config) () =
+      { cfg = config; lock = Mutex.create (); tbl = Hashtbl.create 16 }
+
+    let get g key =
+      Mutex.lock g.lock;
+      let b =
+        match Hashtbl.find_opt g.tbl key with
+        | Some b -> b
+        | None ->
+          let b = make_breaker ~config:g.cfg key in
+          Hashtbl.add g.tbl key b;
+          b
+      in
+      Mutex.unlock g.lock;
+      b
+
+    let find g key =
+      Mutex.lock g.lock;
+      let b = Hashtbl.find_opt g.tbl key in
+      Mutex.unlock g.lock;
+      b
+
+    let all g =
+      Mutex.lock g.lock;
+      let bs = Hashtbl.fold (fun _ b acc -> b :: acc) g.tbl [] in
+      Mutex.unlock g.lock;
+      List.sort compare (List.map stats bs)
+
+    let remove g key =
+      Mutex.lock g.lock;
+      Hashtbl.remove g.tbl key;
+      Mutex.unlock g.lock
+  end
+end
+
+module Budget = struct
+  type reclaimer = {
+    r_name : string;
+    r_weight : int;
+    r_free : int -> int;
+  }
+
+  type t = {
+    b_cap : int;  (* <= 0: unlimited *)
+    b_used : int Atomic.t;
+    lock : Mutex.t;  (* guards the reclaimer list *)
+    walk : Mutex.t;  (* serializes rebalance walks *)
+    mutable reclaimers : reclaimer list;  (* ascending weight *)
+    g_used : Obs.counter;
+    g_used_max : Obs.counter;
+    c_reclaims : Obs.counter;
+    c_reclaimed : Obs.counter;
+  }
+
+  let create ?(name = "resil") ~cap () =
+    {
+      b_cap = cap;
+      b_used = Atomic.make 0;
+      lock = Mutex.create ();
+      walk = Mutex.create ();
+      reclaimers = [];
+      g_used = Obs.counter (name ^ ".budget.used");
+      g_used_max = Obs.gauge_max (name ^ ".budget.used_max");
+      c_reclaims = Obs.counter (name ^ ".budget.reclaims");
+      c_reclaimed = Obs.counter (name ^ ".budget.reclaimed_bytes");
+    }
+
+  let cap t = t.b_cap
+
+  let used t = Atomic.get t.b_used
+
+  let charge t bytes =
+    if bytes <> 0 then begin
+      let u = Atomic.fetch_and_add t.b_used bytes + bytes in
+      Obs.add t.g_used bytes;
+      Obs.observe t.g_used_max u
+    end
+
+  let release t bytes =
+    if bytes <> 0 then begin
+      ignore (Atomic.fetch_and_add t.b_used (-bytes));
+      Obs.add t.g_used (-bytes)
+    end
+
+  let over t =
+    if t.b_cap <= 0 then 0 else max 0 (Atomic.get t.b_used - t.b_cap)
+
+  let add_reclaimer t ~name ~weight f =
+    Mutex.lock t.lock;
+    let rest = List.filter (fun r -> r.r_name <> name) t.reclaimers in
+    t.reclaimers <-
+      List.sort
+        (fun a b -> compare (a.r_weight, a.r_name) (b.r_weight, b.r_name))
+        ({ r_name = name; r_weight = weight; r_free = f } :: rest);
+    Mutex.unlock t.lock
+
+  let remove_reclaimer t name =
+    Mutex.lock t.lock;
+    t.reclaimers <- List.filter (fun r -> r.r_name <> name) t.reclaimers;
+    Mutex.unlock t.lock
+
+  let rebalance t =
+    if over t > 0 then begin
+      (* one reclaim walk at a time; the list snapshot lets the
+         reclaimers themselves add/remove entries reentrantly *)
+      Mutex.lock t.walk;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.walk)
+        (fun () ->
+          Mutex.lock t.lock;
+          let rs = t.reclaimers in
+          Mutex.unlock t.lock;
+          Obs.incr t.c_reclaims;
+          List.iter
+            (fun r ->
+              let want = over t in
+              if want > 0 then begin
+                let freed = r.r_free want in
+                if freed > 0 then Obs.add t.c_reclaimed freed
+              end)
+            rs)
+    end
+end

@@ -1,0 +1,228 @@
+(** Resilience substrate for the long-lived debugging phase
+    (DESIGN §17): monotonic deadlines, deterministic jittered
+    backoff, per-key circuit breakers and daemon-wide byte budgets.
+
+    The daemon (`ppd serve`) is fault-{e confined} without this
+    module — an injected fault maps to one error response — but not
+    {e survivable}: a slow replay holds a gate slot forever, a
+    poisoned log burns retries for every tenant, and caches grow
+    without a global ceiling. Everything here is mechanism only;
+    policy (which errors count as hard failures, what gets evicted
+    first) stays with the callers.
+
+    All components are thread-safe; none spin. The only blocking
+    call is {!Backoff.sleep_ms}. *)
+
+(** {1 Clock} *)
+
+module Clock : sig
+  (** Monotonic time source, overridable for tests.
+
+      Deadlines and breakers read time through this indirection so
+      the [test_resil] suite can prove "never fires early / always
+      fires after" with an exact mocked clock instead of sleeping. *)
+
+  val now_ns : unit -> int
+  (** {!Obs.now_ns} unless a test source is installed. *)
+
+  val set_source : (unit -> int) option -> unit
+  (** [set_source (Some f)] makes {!now_ns} read [f]; [None]
+      restores the real monotonic clock. Test-only. *)
+
+  val with_source : (unit -> int) -> (unit -> 'a) -> 'a
+  (** Install a source around a callback, restoring on exit. *)
+end
+
+(** {1 Deadlines} *)
+
+module Deadline : sig
+  (** An absolute point on the monotonic clock. Requests carry one;
+      long-running loops call {!check} at natural boundaries
+      (e-block replay heads, gate-queue wakeups) and the expiry
+      propagates as an exception to the RPC layer (PPD090). *)
+
+  type t = private int
+
+  val none : t
+  (** Never expires. The zero-cost default: [check none] is one
+      integer compare. *)
+
+  val after_ms : int -> t
+  (** A deadline [ms] from now. [ms <= 0] means {!none} — callers
+      can pass a config field through without special-casing
+      "unset". *)
+
+  val at_ns : int -> t
+  (** An explicit absolute deadline, for tests. *)
+
+  val is_none : t -> bool
+
+  val expired : t -> bool
+
+  val remaining_ns : t -> int
+  (** Nanoseconds left; [max_int] for {!none}; never negative. *)
+
+  exception Expired
+
+  val check : t -> unit
+  (** Raise {!Expired} iff the deadline has passed. *)
+end
+
+(** {1 Backoff} *)
+
+module Backoff : sig
+  (** Jittered exponential backoff with a deterministic PRNG.
+
+      The jitter draw is a pure function of [(seed, attempt)] (a
+      splitmix-style integer mix, the same construction as
+      [Fault.mix]) so a retry schedule is reproducible from its
+      seed: tests pin exact delays, and a daemon request's retry
+      timing is a function of its request id rather than global
+      mutable RNG state. *)
+
+  type policy = {
+    base_ms : int;  (** delay before the first retry *)
+    max_ms : int;  (** cap on the uncapped exponential *)
+    multiplier : int;  (** exponent base, >= 1 *)
+    jitter_pct : int;  (** 0..100: delay drawn from [exp*(100-j)%, exp] *)
+  }
+
+  val default : policy
+  (** [{ base_ms = 5; max_ms = 1000; multiplier = 2; jitter_pct = 50 }] *)
+
+  val delay_ms : ?policy:policy -> seed:int -> int -> int
+  (** [delay_ms ~seed attempt] — delay before retry [attempt]
+      (0-based). Deterministic in [(policy, seed, attempt)]. *)
+
+  val sleep_ms : int -> unit
+  (** [Unix.sleepf] of that many milliseconds; no-op for [<= 0]. *)
+end
+
+(** {1 Circuit breakers} *)
+
+module Breaker : sig
+  (** Per-key circuit breaker: [Closed] (healthy) counts consecutive
+      hard failures; at [failure_threshold] it trips to [Open] and
+      {!acquire} fast-fails (PPD091) without touching the protected
+      resource; after [cooldown_ms] the next {!acquire} takes the
+      single [Half_open] probe token, and that probe's outcome
+      decides — success closes the breaker, failure re-opens it and
+      restarts the cooldown.
+
+      Outcomes that prove nothing about the resource (deadline
+      expiry, shedding, quota) must call {!abstain} to return the
+      probe token without moving the state machine. *)
+
+  type config = {
+    failure_threshold : int;  (** consecutive hard failures to trip *)
+    cooldown_ms : int;  (** Open -> Half_open delay *)
+  }
+
+  val default_config : config
+  (** [{ failure_threshold = 3; cooldown_ms = 5000 }] *)
+
+  type state =
+    | Closed
+    | Open
+    | Half_open
+
+  type t
+
+  val create : ?config:config -> string -> t
+  (** A fresh breaker named [key] (the name only labels stats). *)
+
+  val acquire : t -> bool
+  (** [true]: proceed (and report the outcome with exactly one of
+      {!success}/{!failure}/{!abstain}). [false]: quarantined —
+      fail fast, report nothing. *)
+
+  val success : t -> unit
+
+  val failure : t -> unit
+
+  val abstain : t -> unit
+  (** Outcome was inconclusive: release the probe token (if held)
+      and leave both state and failure count alone. *)
+
+  val state : t -> state
+
+  type stats = {
+    st_key : string;
+    st_state : state;
+    st_failures : int;  (** consecutive hard failures while closed *)
+    st_trips : int;  (** lifetime Closed/Half_open -> Open transitions *)
+    st_fast_fails : int;  (** lifetime [acquire = false] *)
+  }
+
+  val stats : t -> stats
+
+  module Group : sig
+    (** A string-keyed breaker registry — the daemon holds one and
+        lazily creates a breaker per log-registry entry. *)
+
+    type breaker := t
+
+    type t
+
+    val create : ?config:config -> unit -> t
+
+    val get : t -> string -> breaker
+    (** The breaker for [key], created on first use. *)
+
+    val find : t -> string -> breaker option
+
+    val all : t -> stats list
+    (** Stats for every breaker, sorted by key — `serverStats`. *)
+
+    val remove : t -> string -> unit
+  end
+end
+
+(** {1 Byte budgets} *)
+
+module Budget : sig
+  (** Daemon-wide byte accounting with cost-weighted reclaim.
+
+      Caches {!charge} an estimate when they insert and {!release}
+      when they evict. When usage exceeds the cap, {!rebalance}
+      walks registered reclaimers in ascending weight order, asking
+      each to free bytes, until usage fits (or every reclaimer is
+      dry). Reclaimers run caller callbacks — callers must invoke
+      {!charge}/{!rebalance} {e outside} their own cache locks or a
+      reclaim into the same cache deadlocks. *)
+
+  type t
+
+  val create : ?name:string -> cap:int -> unit -> t
+  (** [cap <= 0] means unlimited (accounting still runs). [name]
+      prefixes the Obs gauges ([<name>.budget.used] accumulated
+      charges, [<name>.budget.used_max] high watermark,
+      [<name>.budget.reclaims], [<name>.budget.reclaimed_bytes]);
+      default ["resil"]. *)
+
+  val cap : t -> int
+
+  val used : t -> int
+
+  val charge : t -> int -> unit
+  (** Account [bytes] in. Never blocks, never fails: over-cap is
+      resolved by the next {!rebalance}. *)
+
+  val release : t -> int -> unit
+
+  val over : t -> int
+  (** Bytes above cap right now (0 when unlimited or under). *)
+
+  val add_reclaimer : t -> name:string -> weight:int -> (int -> int) -> unit
+  (** Register [f]: [f want] frees up to [want] bytes from its cache
+      and returns the bytes actually freed (the reclaimer itself
+      must {!release} them too — the return value only steers the
+      walk). Lower [weight] is reclaimed first. Re-registering a
+      name replaces it. *)
+
+  val remove_reclaimer : t -> string -> unit
+
+  val rebalance : t -> unit
+  (** While over cap, ask reclaimers (ascending weight) to free the
+      excess. Safe from any thread; concurrent calls serialize. *)
+end

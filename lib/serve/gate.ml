@@ -1,9 +1,13 @@
-(* Mutex/condvar admission gate. The fast path (slot free, no queue)
-   is one lock round-trip; the slow path parks the thread on [cond]
-   until a release hands it a slot. FIFO fairness is not guaranteed —
-   the condvar wakes an arbitrary waiter — but the queue bound keeps
-   the worst case short, and anything past the bound is shed with
-   [`Busy] while holding the lock for O(1). *)
+(* Ticketed mutex/condvar admission gate. Arrival order is a ticket
+   counter; slots are granted strictly in ticket order ([next_serve]),
+   so a late arrival can never barge past a parked waiter — the fast
+   path only runs when the queue is empty. Wakeups broadcast: the
+   waiter whose ticket is due proceeds, the rest re-park.
+
+   A waiter whose deadline expires abandons its ticket. Abandoned
+   tickets that are not yet due are recorded in [abandoned] and
+   skipped when [next_serve] advances, so the queue never stalls on a
+   dead ticket. *)
 
 type t = {
   lock : Mutex.t;
@@ -12,8 +16,12 @@ type t = {
   max_queue : int;
   mutable active : int;
   mutable queued : int;
+  mutable next_ticket : int;  (* next arrival's ticket *)
+  mutable next_serve : int;  (* lowest ticket allowed a slot *)
+  abandoned : (int, unit) Hashtbl.t;  (* deadline-expired tickets *)
   mutable admitted : int;
   mutable shed : int;
+  mutable deadline_drops : int;
   mutable total_wait_ns : int;
 }
 
@@ -22,6 +30,7 @@ type stats = {
   queued : int;
   admitted : int;
   shed : int;
+  deadline_drops : int;
   total_wait_ns : int;
 }
 
@@ -33,14 +42,36 @@ let create ~max_active ~max_queue =
     max_queue = max 0 max_queue;
     active = 0;
     queued = 0;
+    next_ticket = 0;
+    next_serve = 0;
+    abandoned = Hashtbl.create 8;
     admitted = 0;
     shed = 0;
+    deadline_drops = 0;
     total_wait_ns = 0;
   }
 
-let admit t =
+(* Advance [next_serve] past tickets whose waiters gave up. Call with
+   the lock held, whenever next_serve moves. *)
+let skip_abandoned t =
+  while Hashtbl.mem t.abandoned t.next_serve do
+    Hashtbl.remove t.abandoned t.next_serve;
+    t.next_serve <- t.next_serve + 1
+  done
+
+let take_ticket t =
+  let n = t.next_ticket in
+  t.next_ticket <- n + 1;
+  n
+
+let admit ?(deadline = Resil.Deadline.none) t =
   Mutex.lock t.lock;
-  if t.active < t.max_active then begin
+  if t.queued = 0 && t.active < t.max_active then begin
+    (* nobody waiting: take the slot and retire our ticket at once *)
+    let ticket = take_ticket t in
+    assert (ticket = t.next_serve);
+    t.next_serve <- ticket + 1;
+    skip_abandoned t;
     t.active <- t.active + 1;
     t.admitted <- t.admitted + 1;
     Mutex.unlock t.lock;
@@ -53,28 +84,52 @@ let admit t =
   end
   else begin
     let t0 = Obs.now_ns () in
+    let ticket = take_ticket t in
     t.queued <- t.queued + 1;
-    while t.active >= t.max_active do
-      Condition.wait t.cond t.lock
+    let result = ref (Ok 0) in
+    let decided = ref false in
+    while not !decided do
+      if t.next_serve = ticket && t.active < t.max_active then begin
+        t.next_serve <- ticket + 1;
+        skip_abandoned t;
+        t.active <- t.active + 1;
+        t.admitted <- t.admitted + 1;
+        let wait = Obs.now_ns () - t0 in
+        t.total_wait_ns <- t.total_wait_ns + wait;
+        result := Ok wait;
+        decided := true
+      end
+      else if Resil.Deadline.expired deadline then begin
+        (* give the ticket up; if it is already due, pass the turn on
+           directly, else leave a tombstone for skip_abandoned *)
+        if t.next_serve = ticket then begin
+          t.next_serve <- ticket + 1;
+          skip_abandoned t
+        end
+        else Hashtbl.replace t.abandoned ticket ();
+        t.deadline_drops <- t.deadline_drops + 1;
+        result := Error `Deadline;
+        decided := true
+      end
+      else Condition.wait t.cond t.lock
     done;
     t.queued <- t.queued - 1;
-    t.active <- t.active + 1;
-    t.admitted <- t.admitted + 1;
-    let wait = Obs.now_ns () - t0 in
-    t.total_wait_ns <- t.total_wait_ns + wait;
+    (* our turn may have enabled the next ticket, or our abandonment
+       may have: either way the others must re-check *)
+    Condition.broadcast t.cond;
     Mutex.unlock t.lock;
-    Ok wait
+    !result
   end
 
 let release t =
   Mutex.lock t.lock;
   t.active <- t.active - 1;
-  Condition.signal t.cond;
+  Condition.broadcast t.cond;
   Mutex.unlock t.lock
 
-let with_slot t f =
-  match admit t with
-  | Error `Busy -> Error `Busy
+let with_slot ?deadline t f =
+  match admit ?deadline t with
+  | (Error `Busy | Error `Deadline) as e -> e
   | Ok wait_ns ->
     let r =
       try f ~queue_wait_ns:wait_ns
@@ -93,6 +148,7 @@ let stats t =
       queued = t.queued;
       admitted = t.admitted;
       shed = t.shed;
+      deadline_drops = t.deadline_drops;
       total_wait_ns = t.total_wait_ns;
     }
   in

@@ -6,6 +6,13 @@
     the connection — under overload the daemon degrades by refusing
     work it cannot start soon, never by going unresponsive.
 
+    Admission is strictly FIFO: each arrival takes a ticket and slots
+    are granted in ticket order, so a late request can never barge
+    past a parked waiter (the fast path only applies to an empty
+    queue). A waiter whose deadline expires abandons its ticket with
+    [`Deadline] (the PPD090 error); abandoned tickets are skipped so
+    the queue never stalls on them.
+
     Queue wait is measured per admission (monotonic nanoseconds) and
     accumulated in the stats, so `serverStats` can report tail
     queueing directly. *)
@@ -14,16 +21,22 @@ type t
 
 val create : max_active:int -> max_queue:int -> t
 
-val admit : t -> (int, [ `Busy ]) result
-(** Block until a slot frees (bounded by the queue), then take it.
-    [Ok wait_ns] is the time spent queued; [Error `Busy] means the
-    queue was full and nothing was taken. *)
+val admit : ?deadline:Resil.Deadline.t -> t -> (int, [ `Busy | `Deadline ]) result
+(** Block until it is this arrival's turn and a slot frees (bounded
+    by the queue), then take the slot. [Ok wait_ns] is the time spent
+    queued; [Error `Busy] means the queue was full and nothing was
+    taken; [Error `Deadline] means [deadline] expired while queued
+    (checked at each wakeup). *)
 
 val release : t -> unit
-(** Give the slot back and wake one waiter. Must pair with a
-    successful {!admit}. *)
+(** Give the slot back and wake the waiters (the one whose ticket is
+    due proceeds). Must pair with a successful {!admit}. *)
 
-val with_slot : t -> (queue_wait_ns:int -> 'a) -> ('a, [ `Busy ]) result
+val with_slot :
+  ?deadline:Resil.Deadline.t ->
+  t ->
+  (queue_wait_ns:int -> 'a) ->
+  ('a, [ `Busy | `Deadline ]) result
 (** [admit]/[release] around a callback, releasing on exceptions. *)
 
 type stats = {
@@ -31,6 +44,7 @@ type stats = {
   queued : int;  (** currently waiting *)
   admitted : int;  (** lifetime admissions *)
   shed : int;  (** lifetime [`Busy] rejections *)
+  deadline_drops : int;  (** lifetime [`Deadline] abandonments *)
   total_wait_ns : int;  (** lifetime queue wait across admissions *)
 }
 

@@ -1,0 +1,159 @@
+(* Session-table crash journal (DESIGN §17).
+
+   One JSON object per line, append-only, flushed per record. The
+   format is deliberately dumb — five event shapes keyed by "ev" —
+   because the reader must cope with a file cut off mid-line by
+   SIGKILL: [load] trusts the longest prefix of well-formed lines and
+   discards everything from the first malformed one on. *)
+
+module J = Json
+
+type open_spec = {
+  o_log : string;
+  o_program : string;
+  o_inline : int;
+  o_loops : int;
+}
+
+type op =
+  | Session of int
+  | Open of { sid : int; handle : int; spec : open_spec }
+  | Close of { sid : int; handle : int }
+  | Quota of { sid : int; steps : int }
+  | End of int
+
+type t = { oc : out_channel; lock : Mutex.t; mutable closed : bool }
+
+let create path = { oc = open_out path; lock = Mutex.create (); closed = false }
+
+let op_to_json = function
+  | Session sid -> J.Obj [ ("ev", J.Str "session"); ("sid", J.Int sid) ]
+  | Open { sid; handle; spec } ->
+    J.Obj
+      [
+        ("ev", J.Str "open");
+        ("sid", J.Int sid);
+        ("handle", J.Int handle);
+        ("log", J.Str spec.o_log);
+        ("program", J.Str spec.o_program);
+        ("inline", J.Int spec.o_inline);
+        ("loops", J.Int spec.o_loops);
+      ]
+  | Close { sid; handle } ->
+    J.Obj
+      [ ("ev", J.Str "close"); ("sid", J.Int sid); ("handle", J.Int handle) ]
+  | Quota { sid; steps } ->
+    J.Obj [ ("ev", J.Str "quota"); ("sid", J.Int sid); ("steps", J.Int steps) ]
+  | End sid -> J.Obj [ ("ev", J.Str "end"); ("sid", J.Int sid) ]
+
+let append t op =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    output_string t.oc (J.to_string (op_to_json op));
+    output_char t.oc '\n';
+    flush t.oc
+  end;
+  Mutex.unlock t.lock
+
+let close t =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    t.closed <- true;
+    close_out_noerr t.oc
+  end;
+  Mutex.unlock t.lock
+
+let op_of_json j =
+  let int k = Option.bind (J.member k j) J.to_int in
+  let str k = Option.bind (J.member k j) J.to_str in
+  match Option.bind (J.member "ev" j) J.to_str with
+  | Some "session" -> Option.map (fun sid -> Session sid) (int "sid")
+  | Some "open" -> (
+    match
+      (int "sid", int "handle", str "log", str "program", int "inline",
+       int "loops")
+    with
+    | Some sid, Some handle, Some l, Some p, Some i, Some lo ->
+      Some
+        (Open
+           {
+             sid;
+             handle;
+             spec = { o_log = l; o_program = p; o_inline = i; o_loops = lo };
+           })
+    | _ -> None)
+  | Some "close" -> (
+    match (int "sid", int "handle") with
+    | Some sid, Some handle -> Some (Close { sid; handle })
+    | _ -> None)
+  | Some "quota" -> (
+    match (int "sid", int "steps") with
+    | Some sid, Some steps -> Some (Quota { sid; steps })
+    | _ -> None)
+  | Some "end" -> Option.map (fun sid -> End sid) (int "sid")
+  | _ -> None
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else
+    In_channel.with_open_text path (fun ic ->
+        let rec loop acc =
+          match In_channel.input_line ic with
+          | None -> List.rev acc
+          | Some line when String.trim line = "" -> loop acc
+          | Some line -> (
+            match J.parse line with
+            | Error _ -> List.rev acc (* torn tail: stop trusting here *)
+            | Ok j -> (
+              match op_of_json j with
+              | None -> List.rev acc
+              | Some op -> loop (op :: acc)))
+        in
+        loop [])
+
+type recovered = {
+  rc_sid : int;
+  rc_steps : int;
+  rc_opens : (int * open_spec) list;
+}
+
+type replay_state = {
+  mutable rs_steps : int;
+  rs_opens : (int, open_spec) Hashtbl.t;
+  mutable rs_ended : bool;
+}
+
+let replay ops =
+  let tbl : (int, replay_state) Hashtbl.t = Hashtbl.create 8 in
+  let state sid =
+    match Hashtbl.find_opt tbl sid with
+    | Some st -> st
+    | None ->
+      let st =
+        { rs_steps = 0; rs_opens = Hashtbl.create 4; rs_ended = false }
+      in
+      Hashtbl.replace tbl sid st;
+      st
+  in
+  List.iter
+    (function
+      | Session sid -> ignore (state sid)
+      | Open { sid; handle; spec } ->
+        Hashtbl.replace (state sid).rs_opens handle spec
+      | Close { sid; handle } -> Hashtbl.remove (state sid).rs_opens handle
+      | Quota { sid; steps } ->
+        let st = state sid in
+        st.rs_steps <- max st.rs_steps steps
+      | End sid -> (state sid).rs_ended <- true)
+    ops;
+  Hashtbl.fold
+    (fun sid st acc ->
+      if st.rs_ended || Hashtbl.length st.rs_opens = 0 then acc
+      else
+        let opens =
+          Hashtbl.fold (fun h spec l -> (h, spec) :: l) st.rs_opens []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        in
+        { rc_sid = sid; rc_steps = st.rs_steps; rc_opens = opens } :: acc)
+    tbl []
+  |> List.sort (fun a b -> Int.compare a.rc_sid b.rc_sid)

@@ -1,0 +1,58 @@
+(** Crash-recovery journal for the daemon's session table (DESIGN
+    §17).
+
+    The daemon appends one JSON line per session-table mutation —
+    session registered, log opened, handle closed, replay-step quota
+    high-water, session ended — flushed per record, so a SIGKILL loses
+    at most the torn final line. `ppd serve --resume PATH` replays the
+    journal, reconstructs every session that still had open handles,
+    and offers each to a reconnecting client through the [attach]
+    method; handles whose logs can no longer be reopened answer
+    PPD092 instead of crashing the query. *)
+
+(** The immutable identity of one [open] call. *)
+type open_spec = {
+  o_log : string;
+  o_program : string;
+  o_inline : int;
+  o_loops : int;
+}
+
+type op =
+  | Session of int  (** session [sid] registered *)
+  | Open of { sid : int; handle : int; spec : open_spec }
+  | Close of { sid : int; handle : int }
+  | Quota of { sid : int; steps : int }
+      (** lifetime replay-step high-water (absolute, not a delta) *)
+  | End of int  (** session ended cleanly; nothing to recover *)
+
+type t
+(** An open journal sink. Writes are mutex-serialized and flushed per
+    record. *)
+
+val create : string -> t
+(** Truncate-and-open: a fresh daemon run starts a fresh journal (the
+    previous run's state is consumed by [--resume] {e before} this). *)
+
+val append : t -> op -> unit
+
+val close : t -> unit
+(** Idempotent. *)
+
+val load : string -> op list
+(** Parse the journal back. A missing file is an empty journal. The
+    scan stops at the first malformed line (the torn tail a SIGKILL
+    can leave) — everything before it is trusted, nothing after. *)
+
+(** One session reconstructed from the journal: it was live (no [End])
+    and still held open handles when the daemon died. *)
+type recovered = {
+  rc_sid : int;
+  rc_steps : int;  (** replay-step quota already consumed *)
+  rc_opens : (int * open_spec) list;  (** open handles, ascending *)
+}
+
+val replay : op list -> recovered list
+(** Fold the journal into the recoverable sessions, sorted by id.
+    Sessions that ended, and sessions with no handles left open, are
+    dropped — there is nothing to re-attach. *)

@@ -16,6 +16,12 @@ let err_busy = "PPD084"
 
 let err_quota = "PPD085"
 
+let err_deadline = "PPD090"
+
+let err_quarantined = "PPD091"
+
+let err_stale = "PPD092"
+
 let max_line_bytes = 1 lsl 20
 
 let parse_request line =

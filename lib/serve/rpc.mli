@@ -40,6 +40,18 @@ val err_busy : string
 val err_quota : string
 (** PPD085: per-session quota exceeded (open logs, replay steps). *)
 
+val err_deadline : string
+(** PPD090: the request's deadline expired before it finished — the
+    partial work is abandoned and the slot released. *)
+
+val err_quarantined : string
+(** PPD091: the target log's circuit breaker is open (repeated hard
+    faults); the request fast-fails without taking a slot. *)
+
+val err_stale : string
+(** PPD092: handle refers to a crash-recovered session entry that
+    could not be reopened (or an unknown recovered session id). *)
+
 val max_line_bytes : int
 (** Requests longer than this are PPD080 without being parsed (1 MiB). *)
 

@@ -1,15 +1,27 @@
 (* The daemon core. Transport-independent: `handle_line` is the whole
    protocol, so cram (--rpc over stdin/stdout), the unix/tcp listeners
-   and the in-process T13 bench all share one dispatcher.
+   and the in-process T13/T17 benches all share one dispatcher.
 
-   Locking: [t.lock] guards the registry and session tables (open,
-   close, session bookkeeping — all O(1) critical sections). Heavy
-   method bodies run outside it: the segment reader is immutable after
-   open apart from its mutex-sharded page LRU, the fragment cache is
-   internally locked, and the pool accepts submissions from any
-   thread. Session counters are only written by the session's own
-   connection thread; `serverStats` reads them racily, which for
-   monotonic ints is at worst one request stale. *)
+   Locking: [t.lock] guards the registry, session and recovered-session
+   tables (open, close, session bookkeeping — all O(1) critical
+   sections). Heavy method bodies run outside it: the segment reader is
+   immutable after open apart from its mutex-sharded page LRU, the
+   fragment cache is internally locked, and the pool accepts
+   submissions from any thread. Session counters are only written by
+   the session's own connection thread; `serverStats` reads them
+   racily, which for monotonic ints is at worst one request stale.
+
+   Survivability (DESIGN §17): every heavy request carries a
+   [Resil.Deadline] (per-request [deadlineMs], else
+   [--default-deadline-ms]) checked at gate wakeups and e-block replay
+   boundaries (PPD090); transient replay faults retry under the
+   jittered backoff policy; repeated *hard* faults on one log trip a
+   per-log circuit breaker that fast-fails (PPD091) before the gate, so
+   a poisoned log cannot occupy slots other sessions need; all page
+   LRUs and fragment caches share one [--mem-budget] byte budget with
+   cost-weighted reclaim; and the session table journals to a
+   crash-recovery file that [--resume] replays, stale handles answering
+   PPD092. *)
 
 module J = Json
 
@@ -20,6 +32,11 @@ type config = {
   max_open_logs : int;
   step_quota : int;
   max_replay_steps_cap : int;
+  default_deadline_ms : int;  (* 0 = no deadline *)
+  mem_budget : int;  (* bytes; 0 = unlimited *)
+  retry_budget : int;  (* per-request transient-fault retries *)
+  backoff : Resil.Backoff.policy option;
+  breaker : Resil.Breaker.config;
 }
 
 let default_config =
@@ -30,6 +47,11 @@ let default_config =
     max_open_logs = 8;
     step_quota = 50_000_000;
     max_replay_steps_cap = 10_000_000;
+    default_deadline_ms = 0;
+    mem_budget = 0;
+    retry_budget = 2;
+    backoff = Some Resil.Backoff.default;
+    breaker = Resil.Breaker.default_config;
   }
 
 (* One opened (log, program, policy) identity. Everything here is
@@ -44,6 +66,14 @@ type entry = {
   e_frag : Ppd.Fragcache.t;
   mutable e_refs : int;
 }
+
+(* A session slot either holds a live entry or the tombstone of a
+   handle that [--resume] could not bring back: queries on it answer
+   PPD092 with the reason instead of PPD083 (which would read as
+   "you never opened this"). *)
+type handle_state =
+  | H_live of entry
+  | H_stale of string
 
 (* Global counters and their per-session mirrors (satellite: the
    globals must equal the sum of the serve.s<ID>.* namespaces; the
@@ -62,7 +92,7 @@ let c_shed = Obs.counter "serve.shed"
 
 type session = {
   s_id : int;
-  s_handles : (int, entry) Hashtbl.t;
+  s_handles : (int, handle_state) Hashtbl.t;
   (* handles are session-scoped: every session's first open is handle 1,
      so a scripted client never has to parse the number back out *)
   mutable s_next_handle : int;
@@ -91,26 +121,69 @@ type t = {
   mutable next_session : int;
   pool : Exec.Pool.t option;
   gate : Gate.t;
+  breakers : Resil.Breaker.Group.t;
+  budget : Resil.Budget.t option;
+  journal : Journal.t option;
+  recovered : (int, Journal.recovered) Hashtbl.t;
   started_ns : int;
 }
 
-let create ?(config = default_config) () =
+let jrec t op = match t.journal with Some j -> Journal.append j op | None -> ()
+
+let create ?(config = default_config) ?journal ?resume () =
   let jobs = max 1 config.jobs in
+  let recovered : (int, Journal.recovered) Hashtbl.t = Hashtbl.create 4 in
+  (match resume with
+  | Some path ->
+    List.iter
+      (fun (r : Journal.recovered) -> Hashtbl.replace recovered r.rc_sid r)
+      (Journal.replay (Journal.load path))
+  | None -> ());
+  (* --resume implies journaling back to the same file *)
+  let journal_path = match resume with Some p -> Some p | None -> journal in
+  let jn = Option.map Journal.create journal_path in
+  (* compact rewrite: the fresh journal starts with the still-recoverable
+     state, so a second crash before anyone attaches loses nothing *)
+  (match jn with
+  | Some j ->
+    Hashtbl.fold (fun _ r acc -> r :: acc) recovered []
+    |> List.sort (fun (a : Journal.recovered) b -> Int.compare a.rc_sid b.rc_sid)
+    |> List.iter (fun (r : Journal.recovered) ->
+           Journal.append j (Journal.Session r.rc_sid);
+           List.iter
+             (fun (handle, spec) ->
+               Journal.append j (Journal.Open { sid = r.rc_sid; handle; spec }))
+             r.rc_opens;
+           if r.rc_steps > 0 then
+             Journal.append j
+               (Journal.Quota { sid = r.rc_sid; steps = r.rc_steps }))
+  | None -> ());
+  let next_session =
+    Hashtbl.fold (fun sid _ m -> max m (sid + 1)) recovered 1
+  in
   {
     cfg = { config with jobs };
     lock = Mutex.create ();
     entries = Hashtbl.create 8;
     sessions = Hashtbl.create 8;
-    next_session = 1;
+    next_session;
     pool = (if jobs > 1 then Some (Exec.Pool.create ~jobs ()) else None);
     gate = Gate.create ~max_active:config.max_active ~max_queue:config.max_queue;
+    breakers = Resil.Breaker.Group.create ~config:config.breaker ();
+    budget =
+      (if config.mem_budget > 0 then
+         Some (Resil.Budget.create ~name:"serve.mem" ~cap:config.mem_budget ())
+       else None);
+    journal = jn;
+    recovered;
     started_ns = Obs.now_ns ();
   }
 
 let config t = t.cfg
 
 let shutdown t =
-  match t.pool with Some p -> Exec.Pool.shutdown p | None -> ()
+  (match t.pool with Some p -> Exec.Pool.shutdown p | None -> ());
+  match t.journal with Some j -> Journal.close j | None -> ()
 
 let session t =
   Mutex.lock t.lock;
@@ -140,29 +213,47 @@ let session t =
   in
   Hashtbl.replace t.sessions id s;
   Mutex.unlock t.lock;
+  jrec t (Journal.Session id);
   s
 
 let session_id s = s.s_id
 
-(* Drop one handle while holding [t.lock]. *)
+(* Drop one handle while holding [t.lock]. When the last reference to
+   an entry falls, its caches leave the byte budget with it: the
+   reclaimers are unregistered and both caches cleared (releasing
+   their accounted bytes). *)
 let drop_handle_locked t s h =
   match Hashtbl.find_opt s.s_handles h with
   | None -> None
-  | Some e ->
+  | Some (H_stale _) ->
+    Hashtbl.remove s.s_handles h;
+    Some 0
+  | Some (H_live e) ->
     Hashtbl.remove s.s_handles h;
     e.e_refs <- e.e_refs - 1;
-    if e.e_refs <= 0 then Hashtbl.remove t.entries e.e_key;
+    if e.e_refs <= 0 then begin
+      Hashtbl.remove t.entries e.e_key;
+      match t.budget with
+      | Some b ->
+        Resil.Budget.remove_reclaimer b ("pages:" ^ e.e_key);
+        Resil.Budget.remove_reclaimer b ("frags:" ^ e.e_key);
+        Store.Segment.clear_cache e.e_reader;
+        Ppd.Fragcache.clear e.e_frag
+      | None -> ()
+    end;
     Some e.e_refs
 
 let end_session t s =
   Mutex.lock t.lock;
-  if not s.s_ended then begin
+  let was_live = not s.s_ended in
+  if was_live then begin
     s.s_ended <- true;
     let hs = Hashtbl.fold (fun h _ acc -> h :: acc) s.s_handles [] in
     List.iter (fun h -> ignore (drop_handle_locked t s h)) hs;
     Hashtbl.remove t.sessions s.s_id
   end;
-  Mutex.unlock t.lock
+  Mutex.unlock t.lock;
+  if was_live then jrec t (Journal.End s.s_id)
 
 (* ------------------------------------------------------------------ *)
 (* Parameter extraction.                                                *)
@@ -197,7 +288,14 @@ let p_handle t s params : entry rpc_result =
     let e = Hashtbl.find_opt s.s_handles h in
     Mutex.unlock t.lock;
     match e with
-    | Some e -> Ok e
+    | Some (H_live e) -> Ok e
+    | Some (H_stale reason) ->
+      Error
+        ( Rpc.err_stale,
+          Printf.sprintf
+            "handle %d is stale: it survived daemon recovery but its log \
+             could not be reopened (%s)"
+            h reason )
     | None ->
       Error
         ( Rpc.err_unknown_handle,
@@ -239,6 +337,11 @@ let guarded (f : unit -> J.t rpc_result) : J.t rpc_result =
           "injected %s fault at %s aborted this request (use degraded:true \
            to continue around it)"
           (Fault.kind_to_string kind) site )
+  | exception Resil.Deadline.Expired ->
+    Error
+      ( Rpc.err_deadline,
+        "deadline exceeded: the request ran out of time at an e-block \
+         replay boundary (raise deadlineMs, or resubmit)" )
 
 (* ------------------------------------------------------------------ *)
 (* Methods.                                                             *)
@@ -254,6 +357,59 @@ let read_file path =
   match In_channel.with_open_text path In_channel.input_all with
   | s -> Ok s
   | exception Sys_error e -> bad_params ("cannot read program file: " ^ e)
+
+(* Probe-or-build a registry entry for one (log, program, policy)
+   identity. Does not take a reference — the caller binds handles.
+   On a fresh insert the entry's two caches join the byte budget as
+   reclaimers: page LRU first (weight 0 — pages are cheapest to
+   re-decode), fragment outcomes second. *)
+let acquire_entry t ~log ~program ~inline ~loops : entry rpc_result =
+  let key = Printf.sprintf "%s\x00%s\x00%d\x00%d" log program inline loops in
+  let fresh () =
+    let* src = read_file program in
+    match Lang.Compile.compile_result src with
+    | Error (loc, msg) ->
+      Error ("PPD001", Format.asprintf "%a" Lang.Diag.pp_error (loc, msg))
+    | Ok prog ->
+      let eb = Analysis.Eblock.analyze ~policy:(policy_of ~loops ~inline) prog in
+      let reader = Store.Segment.open_file ?budget:t.budget log in
+      Ok
+        {
+          e_key = key;
+          e_log = log;
+          e_reader = reader;
+          e_eb = eb;
+          e_frag = Ppd.Fragcache.create ?budget:t.budget ();
+          e_refs = 0;
+        }
+  in
+  (* probe the registry, build outside the lock on miss, then insert
+     (second builder of the same key loses and is dropped) *)
+  Mutex.lock t.lock;
+  let hit = Hashtbl.find_opt t.entries key in
+  Mutex.unlock t.lock;
+  match hit with
+  | Some e -> Ok e
+  | None ->
+    let* fresh_e = fresh () in
+    Mutex.lock t.lock;
+    let e, won =
+      match Hashtbl.find_opt t.entries key with
+      | Some racing -> (racing, false)
+      | None ->
+        Hashtbl.replace t.entries key fresh_e;
+        (fresh_e, true)
+    in
+    Mutex.unlock t.lock;
+    (if won then
+       match t.budget with
+       | Some b ->
+         Resil.Budget.add_reclaimer b ~name:("pages:" ^ key) ~weight:0
+           (Store.Segment.reclaim_cache fresh_e.e_reader);
+         Resil.Budget.add_reclaimer b ~name:("frags:" ^ key) ~weight:1
+           (Ppd.Fragcache.reclaim fresh_e.e_frag)
+       | None -> ());
+    Ok e
 
 let m_open t s params =
   let* log = p_str params "log" in
@@ -273,56 +429,26 @@ let m_open t s params =
           t.cfg.max_open_logs )
   else
     guarded (fun () ->
-        let key = Printf.sprintf "%s\x00%s\x00%d\x00%d" log program inline loops in
-        let fresh () =
-          let* src = read_file program in
-          match Lang.Compile.compile_result src with
-          | Error (loc, msg) ->
-            Error
-              ( "PPD001",
-                Format.asprintf "%a" Lang.Diag.pp_error (loc, msg) )
-          | Ok prog ->
-            let eb =
-              Analysis.Eblock.analyze ~policy:(policy_of ~loops ~inline) prog
-            in
-            let reader = Store.Segment.open_file log in
-            Ok
-              {
-                e_key = key;
-                e_log = log;
-                e_reader = reader;
-                e_eb = eb;
-                e_frag = Ppd.Fragcache.create ();
-                e_refs = 0;
-              }
-        in
-        (* probe the registry, build outside the lock on miss, then
-           insert (second builder of the same key loses and is dropped) *)
-        Mutex.lock t.lock;
-        let hit = Hashtbl.find_opt t.entries key in
-        Mutex.unlock t.lock;
-        let* e =
-          match hit with
-          | Some e -> Ok e
-          | None ->
-            let* fresh_e = fresh () in
-            Mutex.lock t.lock;
-            let e =
-              match Hashtbl.find_opt t.entries key with
-              | Some racing -> racing
-              | None ->
-                Hashtbl.replace t.entries key fresh_e;
-                fresh_e
-            in
-            Mutex.unlock t.lock;
-            Ok e
-        in
+        let* e = acquire_entry t ~log ~program ~inline ~loops in
         Mutex.lock t.lock;
         let h = s.s_next_handle in
         s.s_next_handle <- h + 1;
         e.e_refs <- e.e_refs + 1;
-        Hashtbl.replace s.s_handles h e;
+        Hashtbl.replace s.s_handles h (H_live e);
         Mutex.unlock t.lock;
+        jrec t
+          (Journal.Open
+             {
+               sid = s.s_id;
+               handle = h;
+               spec =
+                 {
+                   Journal.o_log = log;
+                   o_program = program;
+                   o_inline = inline;
+                   o_loops = loops;
+                 };
+             });
         Ok
           (J.Obj
              [
@@ -337,11 +463,11 @@ let m_close t s params =
   match J.member "handle" params with
   | Some (J.Int h) -> (
     Mutex.lock t.lock;
-    let owned = Hashtbl.mem s.s_handles h in
-    let refs = if owned then drop_handle_locked t s h else None in
+    let refs = drop_handle_locked t s h in
     Mutex.unlock t.lock;
     match refs with
     | Some refs ->
+      jrec t (Journal.Close { sid = s.s_id; handle = h });
       Ok (J.Obj [ ("closed", J.Bool true); ("refs", J.Int refs) ])
     | None ->
       Error
@@ -350,15 +476,116 @@ let m_close t s params =
   | Some _ -> bad_params "param \"handle\" must be an integer"
   | None -> bad_params "missing param \"handle\""
 
+(* Adopt a journaled session: reopen its logs under the original handle
+   numbers (so a reconnecting client's scripts keep working), inherit
+   its consumed replay-step quota, and re-journal everything under the
+   live session id. A log that cannot be reopened becomes a stale
+   handle answering PPD092 — recovery never turns one bad file into a
+   failed attach. *)
+let m_attach t s params =
+  match J.member "session" params with
+  | Some (J.Int sid) -> (
+    Mutex.lock t.lock;
+    let has_handles = Hashtbl.length s.s_handles > 0 in
+    let rec_opt =
+      if has_handles then None
+      else
+        match Hashtbl.find_opt t.recovered sid with
+        | None -> None
+        | Some r ->
+          Hashtbl.remove t.recovered sid;
+          Some r
+    in
+    Mutex.unlock t.lock;
+    if has_handles then
+      bad_params "attach requires a session with no open handles"
+    else
+      match rec_opt with
+      | None ->
+        Error
+          ( Rpc.err_stale,
+            Printf.sprintf
+              "no recoverable session %d in the journal (already attached, \
+               ended cleanly, or never existed)"
+              sid )
+      | Some r ->
+        let adopted =
+          List.map
+            (fun (h, (spec : Journal.open_spec)) ->
+              match
+                acquire_entry t ~log:spec.o_log ~program:spec.o_program
+                  ~inline:spec.o_inline ~loops:spec.o_loops
+              with
+              | Ok e -> (h, spec, H_live e)
+              | Error (code, msg) -> (h, spec, H_stale (code ^ ": " ^ msg))
+              | exception Trace.Log_io.Unreadable { path; reason } ->
+                (h, spec, H_stale (Printf.sprintf "%s: %s" path reason))
+              | exception e -> (h, spec, H_stale (Printexc.to_string e)))
+            r.Journal.rc_opens
+        in
+        Mutex.lock t.lock;
+        List.iter
+          (fun (h, _, st) ->
+            (match st with
+            | H_live e -> e.e_refs <- e.e_refs + 1
+            | H_stale _ -> ());
+            Hashtbl.replace s.s_handles h st;
+            s.s_next_handle <- max s.s_next_handle (h + 1))
+          adopted;
+        s.s_replay_steps <- s.s_replay_steps + r.Journal.rc_steps;
+        Mutex.unlock t.lock;
+        jrec t (Journal.End sid);
+        List.iter
+          (fun (h, spec, _) ->
+            jrec t (Journal.Open { sid = s.s_id; handle = h; spec }))
+          adopted;
+        if r.Journal.rc_steps > 0 then
+          jrec t (Journal.Quota { sid = s.s_id; steps = r.Journal.rc_steps });
+        let handle_json (h, (spec : Journal.open_spec), st) =
+          J.Obj
+            [
+              ("handle", J.Int h);
+              ("log", J.Str spec.o_log);
+              ("live", J.Bool (match st with H_live _ -> true | _ -> false));
+              ( "reason",
+                match st with H_stale r -> J.Str r | H_live _ -> J.Null );
+            ]
+        in
+        Ok
+          (J.Obj
+             [
+               ("attached", J.Int sid);
+               ("replaySteps", J.Int r.Journal.rc_steps);
+               ("handles", J.List (List.map handle_json adopted));
+             ]))
+  | Some _ -> bad_params "param \"session\" must be an integer"
+  | None -> bad_params "missing param \"session\""
+
 (* Build a per-request controller over a registry entry. Fresh per
    request: graph, stats and holes stay private to the request, while
-   the reader, pool and fragment cache are the shared substrate. *)
-let request_ctl t (e : entry) ~degraded ~max_replay_steps =
+   the reader, pool and fragment cache are the shared substrate. The
+   resilience envelope rides in the config: the deadline is checked at
+   every e-block replay boundary, and transient pool/store faults
+   retry under the daemon's backoff policy (seeded per request, so the
+   schedule is deterministic and delays never change the answer). *)
+let request_ctl t (e : entry) ~degraded ~max_replay_steps ~deadline ~seed =
   let config =
-    { Ppd.Controller.default_config with degraded; max_replay_steps }
+    {
+      Ppd.Controller.degraded;
+      max_replay_steps;
+      deadline;
+      retries = t.cfg.retry_budget;
+      backoff = t.cfg.backoff;
+      retry_seed = seed;
+    }
   in
   Ppd.Controller.start_paged ?pool:t.pool ~shared:e.e_frag ~config e.e_eb
     e.e_reader
+
+(* A deterministic per-request backoff seed: the (session, request)
+   ordinal pair, mixed so neighbouring requests land on different
+   jitter streams. *)
+let request_seed s = (s.s_id * 1_000_003) + s.s_requests
 
 let ctl_params t params =
   let* degraded = p_bool_opt params "degraded" ~default:false in
@@ -396,12 +623,15 @@ let query_result ~output (st : Ppd.Controller.stats) =
       ("cacheMisses", J.Int st.Ppd.Controller.cache_misses);
     ]
 
-let m_flowback t s params =
+let m_flowback t s ~deadline params =
   let* e = p_handle t s params in
   let* depth = p_int_opt params "depth" ~default:4 in
   let* degraded, max_replay_steps = ctl_params t params in
   guarded (fun () ->
-      let ctl = request_ctl t e ~degraded ~max_replay_steps in
+      let ctl =
+        request_ctl t e ~degraded ~max_replay_steps ~deadline
+          ~seed:(request_seed s)
+      in
       let buf = Buffer.create 1024 in
       let sink = Render.buffer_sink buf in
       Render.header sink ~path:e.e_log
@@ -416,12 +646,15 @@ let m_flowback t s params =
       account t s st;
       Ok (query_result ~output:(Buffer.contents buf) st))
 
-let m_replay t s params =
+let m_replay t s ~deadline params =
   let* e = p_handle t s params in
   let* dump = p_bool_opt params "dump" ~default:false in
   let* degraded, max_replay_steps = ctl_params t params in
   guarded (fun () ->
-      let ctl = request_ctl t e ~degraded ~max_replay_steps in
+      let ctl =
+        request_ctl t e ~degraded ~max_replay_steps ~deadline
+          ~seed:(request_seed s)
+      in
       let buf = Buffer.create 1024 in
       let sink = Render.buffer_sink buf in
       Render.header sink ~path:e.e_log
@@ -434,11 +667,13 @@ let m_replay t s params =
       account t s st;
       Ok (query_result ~output:(Buffer.contents buf) st))
 
-let m_race t s params =
+let m_race t s ~deadline params =
   let* e = p_handle t s params in
   guarded (fun () ->
-      let ctl = request_ctl t e ~degraded:false
-          ~max_replay_steps:t.cfg.max_replay_steps_cap
+      let ctl =
+        request_ctl t e ~degraded:false
+          ~max_replay_steps:t.cfg.max_replay_steps_cap ~deadline
+          ~seed:(request_seed s)
       in
       let pd = Ppd.Controller.pardyn ctl in
       let stats = Ppd.Race.detect pd in
@@ -562,8 +797,32 @@ let m_server_stats t _s _params =
   let n_handles =
     List.fold_left (fun acc s -> acc + Hashtbl.length s.s_handles) 0 sessions
   in
+  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.entries [] in
+  let n_recoverable = Hashtbl.length t.recovered in
   Mutex.unlock t.lock;
+  let page_bytes =
+    List.fold_left (fun a e -> a + Store.Segment.cache_bytes e.e_reader) 0
+      entries
+  in
+  let frag_bytes =
+    List.fold_left (fun a e -> a + Ppd.Fragcache.bytes e.e_frag) 0 entries
+  in
   let g = Gate.stats t.gate in
+  let state_name = function
+    | Resil.Breaker.Closed -> "closed"
+    | Resil.Breaker.Open -> "open"
+    | Resil.Breaker.Half_open -> "halfOpen"
+  in
+  let breaker_json (b : Resil.Breaker.stats) =
+    J.Obj
+      [
+        ("key", J.Str b.Resil.Breaker.st_key);
+        ("state", J.Str (state_name b.Resil.Breaker.st_state));
+        ("failures", J.Int b.Resil.Breaker.st_failures);
+        ("trips", J.Int b.Resil.Breaker.st_trips);
+        ("fastFails", J.Int b.Resil.Breaker.st_fast_fails);
+      ]
+  in
   let session_json s =
     J.Obj
       [
@@ -585,6 +844,7 @@ let m_server_stats t _s _params =
          ("jobs", J.Int t.cfg.jobs);
          ("openLogs", J.Int n_entries);
          ("openHandles", J.Int n_handles);
+         ("recoverable", J.Int n_recoverable);
          ( "gate",
            J.Obj
              [
@@ -592,7 +852,27 @@ let m_server_stats t _s _params =
                ("queued", J.Int g.Gate.queued);
                ("admitted", J.Int g.Gate.admitted);
                ("shed", J.Int g.Gate.shed);
+               ("deadlineDrops", J.Int g.Gate.deadline_drops);
                ("totalWaitNs", J.Int g.Gate.total_wait_ns);
+             ] );
+         ( "breakers",
+           J.List (List.map breaker_json (Resil.Breaker.Group.all t.breakers))
+         );
+         ( "memory",
+           J.Obj
+             [
+               ( "budgetCap",
+                 J.Int
+                   (match t.budget with
+                   | Some b -> Resil.Budget.cap b
+                   | None -> 0) );
+               ( "budgetUsed",
+                 J.Int
+                   (match t.budget with
+                   | Some b -> Resil.Budget.used b
+                   | None -> 0) );
+               ("pageBytes", J.Int page_bytes);
+               ("fragBytes", J.Int frag_bytes);
              ] );
          ("sessions", J.List (List.map session_json sessions));
        ])
@@ -601,34 +881,94 @@ let m_server_stats t _s _params =
 (* Dispatch.                                                            *)
 (* ------------------------------------------------------------------ *)
 
-(* Heavy methods replay log intervals: they pass the admission gate
-   (shedding PPD084 under overload) and the session's lifetime
+(* Hard faults are the ones that indict the log itself — unreadable
+   pages, reconstruction divergence, injected storage faults — and
+   feed the per-log circuit breaker. Everything else (deadline, quota,
+   shedding, bad params) proves nothing about the log and abstains. *)
+let hard_fault code = code = "PPD050" || code = "PPD061" || code = "PPD086"
+
+(* Heavy methods replay log intervals: they pass the per-log circuit
+   breaker (PPD091 fast-fail without ever taking a slot), the
+   admission gate (shedding PPD084 under overload; abandoning the
+   queue on deadline expiry, PPD090) and the session's lifetime
    replay-step quota (PPD085). Registry and bookkeeping methods always
    run — a busy server must still answer close/stats. *)
-let heavy t s body =
+let heavy t s p (body : Resil.Deadline.t -> J.t rpc_result) =
   if s.s_replay_steps >= t.cfg.step_quota then
     Error
       ( Rpc.err_quota,
         Printf.sprintf "session replay-step quota exhausted (%d)"
           t.cfg.step_quota )
   else
-    match
-      Gate.with_slot t.gate (fun ~queue_wait_ns ->
-          s.s_queue_wait_ns <- s.s_queue_wait_ns + queue_wait_ns;
-          Obs.add c_wait queue_wait_ns;
-          Obs.add s.sc_wait queue_wait_ns;
-          body ())
-    with
-    | Ok r -> r
-    | Error `Busy ->
-      s.s_shed <- s.s_shed + 1;
-      Obs.incr c_shed;
-      Obs.incr s.sc_shed;
-      Error
-        ( Rpc.err_busy,
-          Printf.sprintf
-            "server busy: %d active and %d queued requests (retry later)"
-            t.cfg.max_active t.cfg.max_queue )
+    let* dl_ms = p_int_opt p "deadlineMs" ~default:t.cfg.default_deadline_ms in
+    let deadline = Resil.Deadline.after_ms dl_ms in
+    let run () =
+      match
+        Gate.with_slot ~deadline t.gate (fun ~queue_wait_ns ->
+            s.s_queue_wait_ns <- s.s_queue_wait_ns + queue_wait_ns;
+            Obs.add c_wait queue_wait_ns;
+            Obs.add s.sc_wait queue_wait_ns;
+            body deadline)
+      with
+      | Ok r -> r
+      | Error `Busy ->
+        s.s_shed <- s.s_shed + 1;
+        Obs.incr c_shed;
+        Obs.incr s.sc_shed;
+        Error
+          ( Rpc.err_busy,
+            Printf.sprintf
+              "server busy: %d active and %d queued requests (retry later)"
+              t.cfg.max_active t.cfg.max_queue )
+      | Error `Deadline ->
+        Error
+          ( Rpc.err_deadline,
+            Printf.sprintf
+              "deadline exceeded: request expired after %dms waiting for an \
+               execution slot"
+              dl_ms )
+    in
+    (* the breaker guards the log this request replays; handle-less
+       heavy methods (proto, fsck) have no log to quarantine *)
+    let bkey =
+      match J.member "handle" p with
+      | Some (J.Int h) -> (
+        Mutex.lock t.lock;
+        let st = Hashtbl.find_opt s.s_handles h in
+        Mutex.unlock t.lock;
+        match st with Some (H_live e) -> Some e.e_log | _ -> None)
+      | _ -> None
+    in
+    let r =
+      match bkey with
+      | None -> run ()
+      | Some key -> (
+        let b = Resil.Breaker.Group.get t.breakers key in
+        if not (Resil.Breaker.acquire b) then
+          Error
+            ( Rpc.err_quarantined,
+              Printf.sprintf
+                "log %s is quarantined after repeated hard faults (retry \
+                 after the cooldown; other logs are unaffected)"
+                key )
+        else
+          match run () with
+          | Ok _ as r ->
+            Resil.Breaker.success b;
+            r
+          | Error (code, _) as r ->
+            if hard_fault code then Resil.Breaker.failure b
+            else Resil.Breaker.abstain b;
+            r
+          | exception e ->
+            Resil.Breaker.abstain b;
+            raise e)
+    in
+    (* persist the replay-step high-water so a crash-recovered session
+       cannot reset its lifetime quota *)
+    if t.journal <> None then
+      jrec t (Journal.Quota { sid = s.s_id; steps = s.s_replay_steps });
+    r
 
 let dispatch t s (rq : Rpc.request) : J.t rpc_result =
   let p = rq.Rpc.rq_params in
@@ -636,20 +976,21 @@ let dispatch t s (rq : Rpc.request) : J.t rpc_result =
   | "ping" -> Ok (J.Obj [ ("pong", J.Bool true) ])
   | "open" -> m_open t s p
   | "close" -> m_close t s p
+  | "attach" -> m_attach t s p
   | "stats" -> m_stats t s p
   | "profile" -> m_profile t s p
   | "serverStats" -> m_server_stats t s p
-  | "flowback" -> heavy t s (fun () -> m_flowback t s p)
-  | "replay" -> heavy t s (fun () -> m_replay t s p)
-  | "race" -> heavy t s (fun () -> m_race t s p)
-  | "proto" -> heavy t s (fun () -> m_proto t s p)
-  | "fsck" -> heavy t s (fun () -> m_fsck t s p)
+  | "flowback" -> heavy t s p (fun deadline -> m_flowback t s ~deadline p)
+  | "replay" -> heavy t s p (fun deadline -> m_replay t s ~deadline p)
+  | "race" -> heavy t s p (fun deadline -> m_race t s ~deadline p)
+  | "proto" -> heavy t s p (fun _deadline -> m_proto t s p)
+  | "fsck" -> heavy t s p (fun _deadline -> m_fsck t s p)
   | m ->
     Error
       ( Rpc.err_unknown_method,
         Printf.sprintf
-          "unknown method \"%s\" (known: ping open close flowback replay \
-           race proto fsck profile stats serverStats)"
+          "unknown method \"%s\" (known: ping open close attach flowback \
+           replay race proto fsck profile stats serverStats)"
           m )
 
 let handle_line t s line =

@@ -1,15 +1,25 @@
-(** The `ppd serve` daemon core (DESIGN §14): a registry of opened
+(** The `ppd serve` daemon core (DESIGN §14, §17): a registry of opened
     logs, per-connection sessions, and the JSON-RPC dispatcher —
-    independent of any transport, so tests and the T13 bench drive
-    {!handle_line} in-process while the CLI wires it to stdin/stdout
-    ([--rpc]) or a socket.
+    independent of any transport, so tests and the T13/T17 benches
+    drive {!handle_line} in-process while the CLI wires it to
+    stdin/stdout ([--rpc]) or a socket.
 
     Sharing model: all sessions share one {!Exec.Pool}, and all
     handles on the same (log, program, policy) share one segment
     reader (its page LRU) and one {!Ppd.Fragcache}. Each request gets
     a {e fresh} controller, so its graph, statistics and degraded-mode
     holes are private: answers are byte-identical to the one-shot CLI,
-    and an injected fault degrades only the request it hit. *)
+    and an injected fault degrades only the request it hit.
+
+    Survivability: heavy requests carry a deadline (per-request
+    [deadlineMs], else [default_deadline_ms]) answered as PPD090 when
+    it expires in the gate queue or at an e-block replay boundary;
+    transient replay faults retry under [backoff]; repeated hard
+    faults on one log trip a per-log circuit breaker that fast-fails
+    PPD091 until a cooldown probe succeeds; all caches share the
+    [mem_budget] byte ceiling; and with a journal attached the session
+    table survives SIGKILL — [--resume] rebuilds it and clients
+    [attach], stale handles answering PPD092. *)
 
 type config = {
   jobs : int;  (** pool size shared by every session; 1 = serial *)
@@ -21,6 +31,19 @@ type config = {
           requests get PPD085 *)
   max_replay_steps_cap : int;
       (** largest per-request [maxReplaySteps] a client may ask for *)
+  default_deadline_ms : int;
+      (** deadline for heavy requests that carry no [deadlineMs];
+          [0] (the default) means none *)
+  mem_budget : int;
+      (** daemon-wide byte ceiling shared by every page LRU and
+          fragment cache; [0] (the default) means unlimited *)
+  retry_budget : int;
+      (** per-request transient-fault retries (the controller's
+          serial retry budget) *)
+  backoff : Resil.Backoff.policy option;
+      (** retry delay policy; [None] retries immediately *)
+  breaker : Resil.Breaker.config;
+      (** per-log circuit breaker thresholds *)
 }
 
 val default_config : config
@@ -29,13 +52,20 @@ type t
 
 type session
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?journal:string -> ?resume:string -> unit -> t
+(** [journal] appends every session-table mutation to the path
+    (truncating any previous file — flushed per record, so SIGKILL
+    loses at most the torn tail). [resume] replays a journal left by a
+    killed daemon first, making its sessions available to [attach],
+    and implies journaling back to the same path (a [journal] argument
+    is then ignored). *)
 
 val config : t -> config
 
 val shutdown : t -> unit
-(** Join the shared pool (idempotent). Sessions stay answerable on the
-    serial path, mirroring {!Ppd.Session.close} semantics. *)
+(** Join the shared pool and close the journal (idempotent). Sessions
+    stay answerable on the serial path, mirroring {!Ppd.Session.close}
+    semantics. *)
 
 val session : t -> session
 (** Register a new session (one per connection). *)
@@ -44,7 +74,8 @@ val session_id : session -> int
 
 val end_session : t -> session -> unit
 (** Drop the session's remaining handles (refcounts fall; a log leaves
-    the registry with its last handle). Idempotent. *)
+    the registry with its last handle and its caches leave the byte
+    budget). Idempotent. *)
 
 val handle_line : t -> session -> string -> string
 (** One protocol round-trip: parse the request line, dispatch, and

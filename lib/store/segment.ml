@@ -690,11 +690,13 @@ let scan raw =
 (* One shard of the page cache: an assoc-list LRU under its own lock,
    so domains decoding different pages rarely contend. Everything else
    in an indexed reader ([ix_raw], the index arrays) is immutable after
-   [open_file], hence safe to share without locks. *)
+   [open_file], hence safe to share without locks. Each cached page
+   carries its byte estimate so the daemon's memory budget (DESIGN
+   §17) can account and reclaim it. *)
 type page_shard = {
   ps_lock : Mutex.t;
-  mutable ps_cache : ((int * int) * L.entry array) list;
-      (* (pid, page) -> decoded entries, recent first *)
+  mutable ps_cache : ((int * int) * (L.entry array * int)) list;
+      (* (pid, page) -> (decoded entries, byte estimate), recent first *)
 }
 
 type indexed = {
@@ -707,6 +709,8 @@ type indexed = {
          corrupt checkpoint frame should demote the reader to salvage
          just like a corrupt footer would *)
   ix_shards : page_shard array;
+  ix_budget : Resil.Budget.t option;
+      (* daemon-wide byte budget the cached pages are charged to *)
 }
 
 type mem = {
@@ -772,6 +776,10 @@ let mem_backing ?(dmg = []) log =
   B_mem
     { bm_log = log; bm_damage = dmg; bm_ivs = Array.make log.L.nprocs None }
 
+(* A coarse in-memory cost for one decoded page: boxed entries on an
+   array plus the cache slot overhead. *)
+let page_cost entries = (Array.length entries * 64) + 128
+
 let salvage raw =
   let sc = scan raw in
   let nprocs =
@@ -812,7 +820,7 @@ let salvage raw =
     }
 
 (* Fast path: intact trailer -> footer -> index; no page is decoded. *)
-let indexed_backing path raw =
+let indexed_backing ?budget path raw =
   let len = String.length raw in
   if len < String.length magic + trailer_len then None
   else if not (String.equal (String.sub raw (len - 8) 8) trailer_magic) then
@@ -843,12 +851,13 @@ let indexed_backing path raw =
                    ix_tier = ft.ft_tier;
                    ix_ckpts = ckpts;
                    ix_shards = fresh_shards ();
+                   ix_budget = budget;
                  })
           | exception Exit -> None)
         | exception Varint.Corrupt _ -> None)
       | Ok _ | Error _ -> None
 
-let open_file path =
+let open_file ?budget path =
   let raw = read_file path in
   match check_magic path raw with
   | 1 ->
@@ -860,7 +869,9 @@ let open_file path =
     }
   | _ ->
     let backing =
-      match indexed_backing path raw with Some b -> b | None -> salvage raw
+      match indexed_backing ?budget path raw with
+      | Some b -> b
+      | None -> salvage raw
     in
     {
       r_path = path;
@@ -935,12 +946,12 @@ let decode_page ix ~pid ~page =
   Mutex.lock shard.ps_lock;
   let hit = List.assoc_opt key shard.ps_cache in
   (match hit with
-  | Some entries ->
-    shard.ps_cache <- (key, entries) :: List.remove_assoc key shard.ps_cache
+  | Some cached ->
+    shard.ps_cache <- (key, cached) :: List.remove_assoc key shard.ps_cache
   | None -> ());
   Mutex.unlock shard.ps_lock;
   match hit with
-  | Some entries ->
+  | Some (entries, _) ->
     Obs.incr c_page_hits;
     entries
   | None -> (
@@ -951,14 +962,21 @@ let decode_page ix ~pid ~page =
     match parse_frame ix.ix_raw off with
     | Ok (F_page { fpid; fentries; _ })
       when fpid = pid && Array.length fentries = count ->
+      let cost = page_cost fentries in
       Mutex.lock shard.ps_lock;
+      let charged = ref 0 in
       (if not (List.mem_assoc key shard.ps_cache) then begin
+         charged := cost;
          (if List.length shard.ps_cache >= page_cache_cap then begin
             Obs.incr c_evictions;
-            Obs.incr c_shard_evictions.(shard_i)
+            Obs.incr c_shard_evictions.(shard_i);
+            (* the LRU tail falls off: return its bytes *)
+            match List.rev shard.ps_cache with
+            | (_, (_, b)) :: _ -> charged := !charged - b
+            | [] -> ()
           end);
          shard.ps_cache <-
-           (key, fentries)
+           (key, (fentries, cost))
            :: (if List.length shard.ps_cache >= page_cache_cap then
                  List.filteri
                    (fun i _ -> i < page_cache_cap - 1)
@@ -966,6 +984,13 @@ let decode_page ix ~pid ~page =
                else shard.ps_cache)
        end);
       Mutex.unlock shard.ps_lock;
+      (* budget work strictly outside the shard lock: the rebalance
+         walk re-enters these shards through the registered reclaimer *)
+      (match ix.ix_budget with
+      | Some b when !charged <> 0 ->
+        Resil.Budget.charge b !charged;
+        Resil.Budget.rebalance b
+      | _ -> ());
       fentries
     | Ok (F_page { fpid; fentries; _ }) ->
       unreadable ix.ix_path
@@ -977,6 +1002,60 @@ let decode_page ix ~pid ~page =
     | Ok (F_ckpt _) ->
       unreadable ix.ix_path "index points at a checkpoint frame (byte %d)" off
     | Error reason -> unreadable ix.ix_path "page at byte %d: %s" off reason)
+
+(* Evict cached pages (LRU tails first, round-robin across shards)
+   until [want] accounted bytes are freed or every shard is empty.
+   Returns the bytes freed; releases them from the attached budget
+   itself (the [Resil.Budget] reclaimer contract). Pages are the
+   cheapest thing in the daemon to reconstruct — one frame re-parse —
+   so the daemon registers this at the lowest reclaim weight. *)
+let reclaim_cache r want =
+  match r.r_backing with
+  | B_mem _ -> 0
+  | B_indexed ix ->
+    if want <= 0 then 0
+    else begin
+      let freed = ref 0 in
+      let progress = ref true in
+      while !freed < want && !progress do
+        progress := false;
+        Array.iteri
+          (fun shard_i shard ->
+            if !freed < want then begin
+              Mutex.lock shard.ps_lock;
+              (match List.rev shard.ps_cache with
+              | (k, (_, b)) :: _ ->
+                shard.ps_cache <- List.remove_assoc k shard.ps_cache;
+                freed := !freed + b;
+                progress := true;
+                Obs.incr c_evictions;
+                Obs.incr c_shard_evictions.(shard_i)
+              | [] -> ());
+              Mutex.unlock shard.ps_lock
+            end)
+          ix.ix_shards
+      done;
+      (match ix.ix_budget with
+      | Some b -> Resil.Budget.release b !freed
+      | None -> ());
+      !freed
+    end
+
+let clear_cache r = ignore (reclaim_cache r max_int)
+
+let cache_bytes r =
+  match r.r_backing with
+  | B_mem _ -> 0
+  | B_indexed ix ->
+    Array.fold_left
+      (fun acc shard ->
+        Mutex.lock shard.ps_lock;
+        let n =
+          List.fold_left (fun a (_, (_, b)) -> a + b) 0 shard.ps_cache
+        in
+        Mutex.unlock shard.ps_lock;
+        acc + n)
+      0 ix.ix_shards
 
 let intervals r ~stmt_fid ~pid =
   match r.r_backing with
@@ -1314,3 +1393,174 @@ let fsck path =
         fk_intervals = !intervals;
         fk_clean = sc.sc_damage = [];
       })
+
+(* ------------------------------------------------------------------ *)
+(* Repair: rewrite everything salvageable into a fresh verified log.   *)
+(* ------------------------------------------------------------------ *)
+
+(* fsck *reports* damage; repair acts on the same information. For an
+   indexed file every process keeps its clean page prefix: pages after
+   the first damaged page of that process are dropped even when intact,
+   because entry indices shift and the rewritten interval table must
+   keep prelog/postlog nesting coherent (a kept Postlog whose Prelog
+   fell in the damaged page would corrupt the rebuilt index). Without a
+   usable index the salvage scan's valid prefix is all there is. The
+   kept entries are re-encoded through the ordinary writer, so the
+   output is a fully verified v2 segment with a fresh footer. *)
+
+type repair_drop = {
+  rd_pid : int;  (* -1 when the page structure is unknown (scan path) *)
+  rd_page : int;  (* ordinal within the process; -1 on the scan path *)
+  rd_offset : int;
+  rd_records : int;  (* entries lost with it; 0 when unknowable *)
+  rd_reason : string;
+}
+
+type repair_report = {
+  rp_version : int;
+  rp_tier : string;
+  rp_kept_pages : int;
+  rp_kept_records : int;
+  rp_kept_ckpts : int;
+  rp_dropped : repair_drop list;  (* empty iff nothing was lost *)
+  rp_out_bytes : int;
+}
+
+let repair path ~out =
+  let raw = read_file path in
+  match check_magic path raw with
+  | 1 ->
+    (* v1 is all-or-nothing Marshal: loadable means nothing to drop *)
+    let log = Trace.Log_io.load path in
+    save out log;
+    {
+      rp_version = 1;
+      rp_tier = L.tier_name log.L.tier;
+      rp_kept_pages = 0;
+      rp_kept_records = L.entry_count log;
+      rp_kept_ckpts = Array.length log.L.ckpts;
+      rp_dropped = [];
+      rp_out_bytes = (read_file out |> String.length);
+    }
+  | _ ->
+    let finish (log : L.t) ~kept_pages ~dropped =
+      save out log;
+      {
+        rp_version = 2;
+        rp_tier = L.tier_name log.L.tier;
+        rp_kept_pages = kept_pages;
+        rp_kept_records = L.entry_count log;
+        rp_kept_ckpts = Array.length log.L.ckpts;
+        rp_dropped = List.rev dropped;
+        rp_out_bytes = (read_file out |> String.length);
+      }
+    in
+    (match indexed_backing path raw with
+    | Some (B_indexed ix) ->
+      let dropped = ref [] in
+      let kept_pages = ref 0 in
+      let entries =
+        Array.mapi
+          (fun pid px ->
+            let kept = ref [] in
+            let broken = ref None in
+            Array.iteri
+              (fun page (off, count) ->
+                match !broken with
+                | Some first_bad ->
+                  dropped :=
+                    {
+                      rd_pid = pid;
+                      rd_page = page;
+                      rd_offset = off;
+                      rd_records = count;
+                      rd_reason =
+                        Printf.sprintf
+                          "follows damaged page %d of this process" first_bad;
+                    }
+                    :: !dropped
+                | None -> (
+                  match parse_frame raw off with
+                  | Ok (F_page { fpid; fentries; _ })
+                    when fpid = pid && Array.length fentries = count ->
+                    incr kept_pages;
+                    kept := fentries :: !kept
+                  | Ok (F_page { fpid; fentries; _ }) ->
+                    broken := Some page;
+                    dropped :=
+                      {
+                        rd_pid = pid;
+                        rd_page = page;
+                        rd_offset = off;
+                        rd_records = count;
+                        rd_reason =
+                          Printf.sprintf
+                            "holds %d entries of process %d, the index says \
+                             %d of process %d"
+                            (Array.length fentries) fpid count pid;
+                      }
+                      :: !dropped
+                  | Ok (F_footer _ | F_ckpt _) ->
+                    broken := Some page;
+                    dropped :=
+                      {
+                        rd_pid = pid;
+                        rd_page = page;
+                        rd_offset = off;
+                        rd_records = count;
+                        rd_reason = "index points at a non-page frame";
+                      }
+                      :: !dropped
+                  | Error reason ->
+                    broken := Some page;
+                    dropped :=
+                      {
+                        rd_pid = pid;
+                        rd_page = page;
+                        rd_offset = off;
+                        rd_records = count;
+                        rd_reason = reason;
+                      }
+                      :: !dropped))
+              px.px_pages;
+            (Array.concat (List.rev !kept), !broken = None))
+          ix.ix_index
+      in
+      let stops =
+        Array.mapi
+          (fun pid (es, intact) ->
+            (* a truncated process recomputes its stop from what
+               survived; an intact one keeps the recorded stop *)
+            if intact then ix.ix_index.(pid).px_stop
+            else Array.fold_left (fun a e -> max a (L.entry_seq_at e + 1)) 0 es)
+          entries
+      in
+      let log =
+        {
+          L.nprocs = Array.length ix.ix_index;
+          entries = Array.map fst entries;
+          stops;
+          tier = ix.ix_tier;
+          ckpts = ix.ix_ckpts;
+        }
+      in
+      finish log ~kept_pages:!kept_pages ~dropped:!dropped
+    | Some (B_mem _) | None ->
+      let sc = scan raw in
+      let backing = salvage raw in
+      let log =
+        match backing with B_mem m -> m.bm_log | B_indexed _ -> assert false
+      in
+      let dropped =
+        List.map
+          (fun d ->
+            {
+              rd_pid = -1;
+              rd_page = -1;
+              rd_offset = d.dmg_offset;
+              rd_records = 0;
+              rd_reason = d.dmg_reason;
+            })
+          sc.sc_damage
+      in
+      finish log ~kept_pages:sc.sc_pages ~dropped:(List.rev dropped))

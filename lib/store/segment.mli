@@ -90,11 +90,28 @@ type reader
     several domains may demand-page through one reader concurrently
     (the index tables and raw bytes are immutable after open). *)
 
-val open_file : string -> reader
+val open_file : ?budget:Resil.Budget.t -> string -> reader
 (** Open any log file: a v2 segment (indexed when the trailer and
     footer are intact, salvaged otherwise) or a v1 marshal blob (loaded
-    whole). @raise Trace.Log_io.Unreadable on a foreign or hopeless
+    whole). With [budget] (DESIGN §17), every page the LRU caches is
+    charged by a byte estimate and a rebalance runs after each insert;
+    the daemon registers {!reclaim_cache} as the corresponding
+    reclaimer. @raise Trace.Log_io.Unreadable on a foreign or hopeless
     file. *)
+
+val reclaim_cache : reader -> int -> int
+(** [reclaim_cache r want] evicts cached pages (LRU tails first,
+    round-robin across the shards) until at least [want] accounted
+    bytes are freed or the cache is empty. Returns the bytes freed and
+    releases them from the attached budget itself. Always safe: an
+    evicted page is re-parsed from the raw segment on the next touch.
+    [0] for salvaged/v1 readers (they hold the log, not a cache). *)
+
+val clear_cache : reader -> unit
+(** Evict every cached page (releasing the budget charge). *)
+
+val cache_bytes : reader -> int
+(** Accounted byte estimate of the pages cached right now. *)
 
 val version : reader -> int
 (** 1 or 2. *)
@@ -208,3 +225,33 @@ val fsck : string -> fsck_report
     file is reported per page with offsets; without a usable index it
     reports the salvageable prefix. @raise Trace.Log_io.Unreadable only
     when the magic itself is foreign. *)
+
+(** One page {!repair} had to leave behind. *)
+type repair_drop = {
+  rd_pid : int;  (** [-1] when page structure is unknown (scan path) *)
+  rd_page : int;  (** ordinal within the process; [-1] on the scan path *)
+  rd_offset : int;  (** byte offset in the damaged input *)
+  rd_records : int;  (** entries lost with it; [0] when unknowable *)
+  rd_reason : string;
+}
+
+type repair_report = {
+  rp_version : int;  (** of the {e input} file (1 or 2) *)
+  rp_tier : string;  (** ["content"] or ["order"] *)
+  rp_kept_pages : int;  (** intact input pages rewritten (0 for v1) *)
+  rp_kept_records : int;  (** entries in the rewritten log *)
+  rp_kept_ckpts : int;
+  rp_dropped : repair_drop list;  (** empty iff nothing was lost *)
+  rp_out_bytes : int;  (** size of the rewritten segment *)
+}
+
+val repair : string -> out:string -> repair_report
+(** Rewrite everything salvageable from a (possibly damaged) log into
+    a fresh, fully verified v2 segment at [out] (`ppd log repair`).
+    With an intact index, each process keeps its clean page {e prefix}
+    — intact pages that follow a damaged page of the same process are
+    dropped too (and reported), because the rebuilt interval table
+    must keep prelog/postlog nesting coherent. Without a usable index
+    the salvage scan's valid prefix is kept. [rp_dropped] is empty iff
+    no bytes were lost (the CLI exits 4 otherwise). @raise
+    Trace.Log_io.Unreadable when nothing can be read at all. *)

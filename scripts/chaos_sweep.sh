@@ -253,3 +253,137 @@ while [ "$k" -lt "$osize" ]; do
   k=$((k + 1))
 done
 echo "chaos: order-tier truncation sweep ok ($osize cut points)"
+
+# -------------------------------------------------------------------
+# 5. Survivability: `ppd log repair` must salvage every damage shape
+#    above into a file that fscks clean, and a SIGKILLed daemon must
+#    come back with --resume and re-answer byte-identically.
+# -------------------------------------------------------------------
+
+# repair the flip artifact: bytes are lost (exit 4), the output is clean
+set +e
+"$PPD" log repair "$dir/flip.log" -o "$dir/flip.repaired" >/dev/null
+code=$?
+set -e
+if [ "$code" -ne 4 ]; then
+  echo "chaos: repair of the flip artifact exited $code (want 4)" >&2
+  exit 1
+fi
+"$PPD" fsck "$dir/flip.repaired" >/dev/null || {
+  echo "chaos: repaired flip artifact does not fsck clean" >&2
+  exit 1
+}
+
+# repair a mid-page truncation: clean prefix kept, output clean
+head -c $((size / 2)) "$dir/run.log" >"$dir/half.log"
+set +e
+"$PPD" log repair "$dir/half.log" -o "$dir/half.repaired" >/dev/null
+code=$?
+set -e
+case "$code" in
+0 | 4) ;;
+*)
+  echo "chaos: repair of a truncated log exited $code" >&2
+  exit 1
+  ;;
+esac
+"$PPD" fsck "$dir/half.repaired" >/dev/null || {
+  echo "chaos: repaired truncation does not fsck clean" >&2
+  exit 1
+}
+
+# repairing the intact log drops nothing and the repaired file answers
+# the same bytes
+"$PPD" log repair "$dir/run.log" -o "$dir/run.repaired" >/dev/null || {
+  echo "chaos: repair of an intact log did not exit 0" >&2
+  exit 1
+}
+"$PPD" flowback "$dir/fig61.mpl" --load "$dir/run.repaired" \
+  | tail -n +2 >"$dir/fb.repaired.out"
+cmp "$dir/fb.content.out" "$dir/fb.repaired.out" || {
+  echo "chaos: repaired log changed the flowback answer" >&2
+  exit 1
+}
+echo "chaos: repair ok (flip, truncation, intact identity)"
+
+# daemon SIGKILL -> --resume -> attach -> byte-identical re-query
+sock="$dir/ppd.sock"
+journal="$dir/journal.jsonl"
+"$PPD" flowback "$dir/fig61.mpl" --load "$dir/run.log" --depth 2 \
+  >"$dir/fb.oneshot"
+"$PPD" serve --socket "$sock" -j 2 --journal "$journal" \
+  2>"$dir/daemon.log" &
+daemon_pid=$!
+trap 'kill -9 "$daemon_pid" 2>/dev/null || true; rm -rf "$dir"' EXIT
+k=0
+while [ ! -S "$sock" ]; do
+  k=$((k + 1))
+  [ "$k" -gt 100 ] && { echo "chaos: daemon never bound $sock" >&2; exit 1; }
+  sleep 0.1
+done
+
+{
+  printf '%s\n' \
+    "{\"id\":1,\"method\":\"open\",\"params\":{\"log\":\"$dir/run.log\",\"program\":\"$dir/fig61.mpl\"}}" \
+    "{\"id\":2,\"method\":\"flowback\",\"params\":{\"handle\":1,\"depth\":2}}"
+  sleep 30
+} | "$PPD" connect --socket "$sock" >"$dir/before.out" 2>/dev/null &
+client_pid=$!
+k=0
+while [ "$(wc -l <"$dir/before.out")" -lt 2 ]; do
+  k=$((k + 1))
+  [ "$k" -gt 100 ] && { echo "chaos: daemon session never answered" >&2; exit 1; }
+  sleep 0.1
+done
+
+kill -9 "$daemon_pid" 2>/dev/null
+wait "$daemon_pid" 2>/dev/null || true
+kill -9 "$client_pid" 2>/dev/null || true
+rm -f "$sock"
+
+"$PPD" serve --socket "$sock" -j 2 --resume "$journal" \
+  2>>"$dir/daemon.log" &
+daemon_pid=$!
+k=0
+while [ ! -S "$sock" ]; do
+  k=$((k + 1))
+  [ "$k" -gt 100 ] && { echo "chaos: resumed daemon never bound $sock" >&2; exit 1; }
+  sleep 0.1
+done
+
+sid=$(python3 - "$journal" <<'PYEOF'
+import json, sys
+live = {}
+for line in open(sys.argv[1]):
+    try:
+        ev = json.loads(line)
+    except ValueError:
+        break
+    e, sid = ev.get("ev"), ev.get("sid")
+    if e == "open":
+        live.setdefault(sid, set()).add(ev["handle"])
+    elif e == "close":
+        live.get(sid, set()).discard(ev["handle"])
+    elif e == "end":
+        live.pop(sid, None)
+print([s for s, hs in live.items() if hs][-1])
+PYEOF
+)
+printf '%s\n' \
+  "{\"id\":1,\"method\":\"attach\",\"params\":{\"session\":$sid}}" \
+  '{"id":2,"method":"flowback","params":{"handle":1,"depth":2}}' |
+  "$PPD" connect --socket "$sock" >"$dir/after.out"
+python3 - "$dir/before.out" "$dir/after.out" "$dir/fb.oneshot" <<'PYEOF'
+import json, sys
+before = [json.loads(l) for l in open(sys.argv[1])]
+after = [json.loads(l) for l in open(sys.argv[2])]
+oneshot = open(sys.argv[3]).read()
+for r in before + after:
+    assert "error" not in r, f"protocol error: {r}"
+assert before[1]["result"]["output"] == oneshot, "pre-kill answer differs from one-shot CLI"
+assert after[1]["result"]["output"] == oneshot, "post-resume answer differs from one-shot CLI"
+PYEOF
+kill -TERM "$daemon_pid" 2>/dev/null || true
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+echo "chaos: daemon SIGKILL -> --resume -> byte-identical re-query ok"

@@ -426,6 +426,112 @@ def check_t16(data, failures):
             )
 
 
+# Daemon survivability (T17): the bench injects every failure the
+# resilience layer exists for — deadlines it cannot meet, a poisoned
+# co-tenant, a crash/resume cycle, 64 sessions under a byte budget —
+# and the acceptance bar is (a) zero protocol errors anywhere, (b)
+# every injected failure actually refused (PPD090/PPD050/PPD091
+# observed where designed), (c) the healthy p99 beside the poisoned
+# co-tenant within 2x the baseline p99 (with a small absolute floor so
+# microsecond-scale noise cannot flake the gate), and (d) the memory
+# high-water mark within the configured budget plus eviction slack.
+T17_ISOLATION_MAX_RATIO = 2.0
+T17_ISOLATION_FLOOR_NS = 2_000_000  # both p99s under 2 ms: noise, pass
+T17_BUDGET_SLACK = 1.25
+
+
+def check_t17(data, failures):
+    rows = data.get("t17")
+    if not rows:
+        return
+    by_scenario = {}
+    for row in rows:
+        name = row["scenario"]
+        by_scenario[name] = row
+        print(
+            f"perf-gate: t17/{name}: {row['requests']} request(s), "
+            f"{row['errors']} error(s), {row['refused']} refused, "
+            f"p50 {row['p50_ns'] / 1e6:.2f} ms, "
+            f"p99 {row['p99_ns'] / 1e6:.2f} ms"
+        )
+        if int(row["errors"]) != 0:
+            failures.append(
+                f"t17/{name}: {row['errors']} protocol error(s) — "
+                f"refusals must be typed PPD090/PPD091/PPD050 answers, "
+                f"never malformed or unexpected errors"
+            )
+        if int(row["requests"]) == 0:
+            failures.append(f"t17/{name}: no requests completed")
+    for name in (
+        "deadline",
+        "quarantine_baseline",
+        "quarantine_healthy",
+        "quarantine_poisoned",
+        "recovery",
+        "soak64",
+    ):
+        if name not in by_scenario:
+            failures.append(f"t17: missing the {name} row")
+    if "deadline" in by_scenario and int(by_scenario["deadline"]["refused"]) == 0:
+        failures.append(
+            "t17/deadline: no request was refused — the deadline "
+            "mechanism never fired under a clock it cannot meet"
+        )
+    if (
+        "quarantine_poisoned" in by_scenario
+        and int(by_scenario["quarantine_poisoned"]["refused"]) == 0
+    ):
+        failures.append(
+            "t17/quarantine_poisoned: the poisoned log was never "
+            "refused — hard faults are not reaching the breaker"
+        )
+    if (
+        "quarantine_healthy" in by_scenario
+        and int(by_scenario["quarantine_healthy"].get("breaker_trips", 0)) == 0
+    ):
+        failures.append(
+            "t17/quarantine_healthy: the co-tenant's breaker never "
+            "tripped — quarantine was not exercised"
+        )
+    if "quarantine_baseline" in by_scenario and "quarantine_healthy" in by_scenario:
+        base = float(by_scenario["quarantine_baseline"]["p99_ns"])
+        beside = float(by_scenario["quarantine_healthy"]["p99_ns"])
+        if (
+            beside > T17_ISOLATION_FLOOR_NS
+            and base > 0
+            and beside / base > T17_ISOLATION_MAX_RATIO
+        ):
+            failures.append(
+                f"t17: healthy p99 beside the poisoned co-tenant is "
+                f"{beside / base:.2f}x the baseline "
+                f"(> {T17_ISOLATION_MAX_RATIO:.1f}x) — quarantine is "
+                f"not isolating sessions"
+            )
+    if "soak64" in by_scenario:
+        row = by_scenario["soak64"]
+        cap = int(row.get("budget_cap", 0))
+        used = int(row.get("budget_used", 0))
+        high = int(row.get("budget_used_max", used))
+        if cap <= 0:
+            failures.append("t17/soak64: no memory budget was configured")
+        else:
+            print(
+                f"perf-gate: t17/soak64: budget {cap} byte(s), settled "
+                f"{used}, high-water {high}"
+            )
+            if used <= 0:
+                failures.append(
+                    "t17/soak64: the settled budget gauge reads zero "
+                    "with a handle open — memory accounting is dead"
+                )
+            if high > cap * T17_BUDGET_SLACK:
+                failures.append(
+                    f"t17/soak64: memory high-water mark {high} exceeds "
+                    f"the {cap}-byte budget beyond the "
+                    f"{T17_BUDGET_SLACK:.2f}x eviction slack"
+                )
+
+
 def check_profile(path, failures):
     with open(path) as f:
         prof = json.load(f)
@@ -494,6 +600,7 @@ def main():
     check_t13(data, failures)
     check_t14(data, failures)
     check_t16(data, failures)
+    check_t17(data, failures)
     if profile:
         check_profile(profile, failures)
     if serve_profile:

@@ -1,0 +1,260 @@
+#!/bin/sh
+# Chaos soak for the serve daemon (DESIGN §17): concurrent clients
+# under injected transient faults, clients killed mid-conversation,
+# one SIGKILL of the daemon followed by `--resume` and an `attach`
+# that must re-answer byte-identically, and finally a SIGTERM landing
+# while requests are in flight. The acceptance bar is zero protocol
+# errors on every surviving conversation and byte-identity of every
+# surviving answer against the one-shot CLI.
+#
+# On failure the work directory is kept (journal, daemon log, client
+# transcripts, last serverStats dump) so CI can upload it as an
+# artifact; set SOAK_DIR to choose where it lives.
+set -eu
+
+PPD=${PPD:-_build/default/bin/ppd_cli.exe}
+CLIENTS=${CLIENTS:-6}
+ROUNDS=${ROUNDS:-4}
+
+dir=${SOAK_DIR:-$(mktemp -d)}
+mkdir -p "$dir"
+daemon_pid=""
+ok=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+  if [ -n "$ok" ]; then
+    rm -rf "$dir"
+  else
+    echo "soak-serve: FAILED — artifacts kept in $dir" >&2
+  fi
+}
+trap cleanup EXIT
+
+sock="$dir/ppd.sock"
+journal="$dir/journal.jsonl"
+
+"$PPD" example fig61 >"$dir/fig61.mpl"
+"$PPD" log "$dir/fig61.mpl" --save "$dir/fig61.seg" >/dev/null
+
+# the answers every surviving query must reproduce byte for byte
+"$PPD" flowback "$dir/fig61.mpl" --load "$dir/fig61.seg" --depth 2 >"$dir/flowback.one"
+"$PPD" replay "$dir/fig61.mpl" --load "$dir/fig61.seg" >"$dir/replay.one"
+
+start_daemon() {
+  rm -f "$sock"
+  "$PPD" serve --socket "$sock" -j 2 "$@" 2>>"$dir/daemon.log" &
+  daemon_pid=$!
+  i=0
+  while [ ! -S "$sock" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "soak-serve: daemon never bound $sock" >&2
+      cat "$dir/daemon.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+stats_dump() {
+  printf '{"id":1,"method":"serverStats"}\n' |
+    "$PPD" connect --socket "$sock" >"$dir/serverstats.json" 2>/dev/null || true
+}
+
+# ---------------------------------------------------------------- #
+# Phase 1: concurrent clients under injected transient faults,      #
+# with two co-tenants killed mid-conversation.                      #
+# ---------------------------------------------------------------- #
+
+start_daemon --journal "$journal" \
+  --fault 'exec.pool.task:1,exec.pool.task:3,exec.pool.task:7' --fault-seed 7
+
+# two victims: opened a handle, got one answer, then SIGKILLed — the
+# daemon must shrug the dropped connections off
+victim_pids=""
+for v in 1 2; do
+  {
+    printf '%s\n' \
+      "{\"id\":1,\"method\":\"open\",\"params\":{\"log\":\"$dir/fig61.seg\",\"program\":\"$dir/fig61.mpl\"}}" \
+      "{\"id\":2,\"method\":\"flowback\",\"params\":{\"handle\":1,\"depth\":2}}"
+    sleep 30
+  } | "$PPD" connect --socket "$sock" >"$dir/victim$v.out" 2>/dev/null &
+  victim_pids="$victim_pids $!"
+done
+
+client_pids=""
+n=0
+while [ "$n" -lt "$CLIENTS" ]; do
+  n=$((n + 1))
+  {
+    {
+      printf '{"id":1,"method":"open","params":{"log":"%s","program":"%s"}}\n' \
+        "$dir/fig61.seg" "$dir/fig61.mpl"
+      k=0
+      while [ "$k" -lt "$ROUNDS" ]; do
+        k=$((k + 1))
+        printf '{"id":%d,"method":"flowback","params":{"handle":1,"depth":2}}\n' $((2 * k))
+        printf '{"id":%d,"method":"replay","params":{"handle":1}}\n' $((2 * k + 1))
+      done
+      printf '{"id":99,"method":"close","params":{"handle":1}}\n'
+    } | "$PPD" connect --socket "$sock" >"$dir/client$n.out"
+  } &
+  client_pids="$client_pids $!"
+done
+
+# kill the victims while the fleet is talking
+sleep 0.3
+for pid in $victim_pids; do
+  kill -9 "$pid" 2>/dev/null || true
+done
+
+for pid in $client_pids; do
+  wait "$pid"
+done
+
+n=0
+while [ "$n" -lt "$CLIENTS" ]; do
+  n=$((n + 1))
+  python3 - "$dir/client$n.out" "$dir/flowback.one" "$dir/replay.one" "$ROUNDS" <<'EOF'
+import json, sys
+out, flow, rep, rounds = sys.argv[1], sys.argv[2], sys.argv[3], int(sys.argv[4])
+lines = [json.loads(l) for l in open(out)]
+assert len(lines) == 2 * rounds + 2, f"{out}: {len(lines)} response(s)"
+for r in lines:
+    assert "error" not in r, f"{out}: protocol error {r}"
+flow_want, rep_want = open(flow).read(), open(rep).read()
+for i, r in enumerate(lines[1:-1]):
+    want = flow_want if i % 2 == 0 else rep_want
+    assert r["result"]["output"] == want, f"{out}: response {r['id']} differs"
+EOF
+done
+echo "soak-serve: $CLIENTS clients x $ROUNDS rounds under transient faults, 2 clients killed: all surviving answers byte-identical"
+
+stats_dump
+
+# ---------------------------------------------------------------- #
+# Phase 2: a session with an open handle survives SIGKILL via the   #
+# journal — resume, attach, and the same query answers the same     #
+# bytes.                                                            #
+# ---------------------------------------------------------------- #
+
+{
+  printf '%s\n' \
+    "{\"id\":1,\"method\":\"open\",\"params\":{\"log\":\"$dir/fig61.seg\",\"program\":\"$dir/fig61.mpl\"}}" \
+    "{\"id\":2,\"method\":\"flowback\",\"params\":{\"handle\":1,\"depth\":2}}"
+  sleep 30
+} | "$PPD" connect --socket "$sock" >"$dir/survivor.out" 2>/dev/null &
+survivor_pid=$!
+
+# wait for the flowback answer to prove the handle is open and journaled
+i=0
+while [ "$(wc -l <"$dir/survivor.out")" -lt 2 ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "soak-serve: survivor session never answered" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+kill -9 "$daemon_pid" 2>/dev/null
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+kill -9 "$survivor_pid" 2>/dev/null || true
+
+# the journal knows which session died with handles open
+sid=$(python3 - "$journal" <<'EOF'
+import json, sys
+live = {}
+for line in open(sys.argv[1]):
+    try:
+        ev = json.loads(line)
+    except ValueError:
+        break  # torn tail from the SIGKILL: trust the prefix
+    e, sid = ev.get("ev"), ev.get("sid")
+    if e == "open":
+        live.setdefault(sid, set()).add(ev["handle"])
+    elif e == "close":
+        live.get(sid, set()).discard(ev["handle"])
+    elif e == "end":
+        live.pop(sid, None)
+recoverable = [s for s, hs in live.items() if hs]
+assert recoverable, "no recoverable session in the journal"
+print(recoverable[-1])
+EOF
+)
+
+start_daemon --resume "$journal"
+
+printf '%s\n' \
+  '{"id":1,"method":"serverStats"}' \
+  "{\"id\":2,\"method\":\"attach\",\"params\":{\"session\":$sid}}" \
+  '{"id":3,"method":"flowback","params":{"handle":1,"depth":2}}' |
+  "$PPD" connect --socket "$sock" >"$dir/resume.out"
+
+python3 - "$dir/resume.out" "$dir/flowback.one" <<'EOF'
+import json, sys
+out, flow = sys.argv[1], sys.argv[2]
+lines = [json.loads(l) for l in open(out)]
+assert len(lines) == 3, f"{out}: {len(lines)} response(s)"
+for r in lines:
+    assert "error" not in r, f"{out}: protocol error {r}"
+assert lines[0]["result"]["recoverable"] >= 1, f"{out}: nothing recoverable after --resume"
+handles = lines[1]["result"]["handles"]
+assert any(h["handle"] == 1 and h["live"] for h in handles), f"{out}: handle 1 not live after attach"
+assert lines[2]["result"]["output"] == open(flow).read(), f"{out}: post-resume flowback differs"
+EOF
+echo "soak-serve: SIGKILL -> --resume -> attach session $sid: byte-identical re-query"
+
+stats_dump
+
+# ---------------------------------------------------------------- #
+# Phase 3: SIGTERM landing mid-request — the daemon drains and      #
+# stops cleanly, socket removed.                                    #
+# ---------------------------------------------------------------- #
+
+{
+  printf '{"id":1,"method":"open","params":{"log":"%s","program":"%s"}}\n' \
+    "$dir/fig61.seg" "$dir/fig61.mpl"
+  k=1
+  while [ "$k" -lt 200 ]; do
+    k=$((k + 1))
+    printf '{"id":%d,"method":"flowback","params":{"handle":1,"depth":2}}\n' "$k"
+  done
+} | "$PPD" connect --socket "$sock" >"$dir/inflight.out" 2>/dev/null &
+inflight_pid=$!
+
+sleep 0.3
+kill -TERM "$daemon_pid"
+i=0
+while kill -0 "$daemon_pid" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "soak-serve: daemon ignored SIGTERM with requests in flight" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+daemon_pid=""
+wait "$inflight_pid" 2>/dev/null || true
+if [ -e "$sock" ]; then
+  echo "soak-serve: daemon leaked its socket file $sock" >&2
+  exit 1
+fi
+grep -q "stopped (pool drained, socket removed)" "$dir/daemon.log" || {
+  echo "soak-serve: daemon did not report a clean stop" >&2
+  cat "$dir/daemon.log" >&2
+  exit 1
+}
+
+# whatever the in-flight client did receive must be clean protocol
+python3 - "$dir/inflight.out" <<'EOF'
+import json, sys
+for line in open(sys.argv[1]):
+    r = json.loads(line)
+    assert "error" not in r, f"protocol error during drain: {r}"
+EOF
+echo "soak-serve: mid-request SIGTERM drained cleanly, no leaked socket"
+
+ok=1
+echo "soak-serve: OK"

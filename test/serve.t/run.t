@@ -47,10 +47,10 @@ protocol failures are error responses, never dropped lines:
   {"id":3,"result":{"output":"debugging saved log fig61.seg (v2, 3 process(es))\nflowback from:\n  [p0] EXIT main\nemulated 1 of 3 log intervals (6 replay steps)\n","replays":1,"replaySteps":6,"holes":0,"cacheHits":0,"cacheMisses":1}}
   {"id":4,"result":{"output":"debugging saved log fig61.seg (v2, 3 process(es))\nflowback from:\n  [p0] EXIT main\nemulated 1 of 3 log intervals (6 replay steps)\n","replays":1,"replaySteps":6,"holes":0,"cacheHits":1,"cacheMisses":0}}
   {"id":5,"result":{"log":"fig61.seg","version":2,"nprocs":3,"bytes":291,"refs":1,"fragCache":{"size":1,"hits":1,"misses":1,"inserts":1,"hitRate":0.5}}}
-  {"id":6,"result":{"uptimeNs":_,"jobs":1,"openLogs":1,"openHandles":1,"gate":{"active":0,"queued":0,"admitted":2,"shed":0,"totalWaitNs":_},"sessions":[{"id":1,"requests":6,"errors":0,"openLogs":1,"cacheHits":1,"cacheMisses":1,"replaySteps":12,"queueWaitNs":_,"shed":0}]}}
+  {"id":6,"result":{"uptimeNs":_,"jobs":1,"openLogs":1,"openHandles":1,"recoverable":0,"gate":{"active":0,"queued":0,"admitted":2,"shed":0,"deadlineDrops":0,"totalWaitNs":_},"breakers":[{"key":"fig61.seg","state":"closed","failures":0,"trips":0,"fastFails":0}],"memory":{"budgetCap":0,"budgetUsed":0,"pageBytes":768,"fragBytes":480},"sessions":[{"id":1,"requests":6,"errors":0,"openLogs":1,"cacheHits":1,"cacheMisses":1,"replaySteps":12,"queueWaitNs":_,"shed":0}]}}
   {"id":7,"result":{"closed":true,"refs":0}}
   {"id":8,"error":{"code":"PPD083","message":"no open log with handle 1 in this session"}}
-  {"id":9,"error":{"code":"PPD081","message":"unknown method \"frobnicate\" (known: ping open close flowback replay race proto fsck profile stats serverStats)"}}
+  {"id":9,"error":{"code":"PPD081","message":"unknown method \"frobnicate\" (known: ping open close attach flowback replay race proto fsck profile stats serverStats)"}}
   {"id":10,"error":{"code":"PPD082","message":"missing param \"handle\""}}
   {"id":null,"error":{"code":"PPD080","message":"invalid JSON: invalid literal (expected true)"}}
 

@@ -1,0 +1,270 @@
+(* The resilience substrate (DESIGN §17): deterministic backoff
+   schedules, breaker state machines at exact thresholds, and
+   deadlines that never fire early — all under a mocked monotonic
+   clock, so every assertion is exact and nothing sleeps. *)
+
+module R = Resil
+
+(* -------------------------------------------------------------- *)
+(* Backoff *)
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let backoff_reproducible =
+  Util.qtest ~count:200 "backoff schedule is a pure function of the seed"
+    QCheck2.Gen.(pair seed_gen (int_range 0 20))
+    (fun (seed, attempt) ->
+      R.Backoff.delay_ms ~seed attempt = R.Backoff.delay_ms ~seed attempt)
+
+let backoff_bounded =
+  Util.qtest ~count:500 "backoff delays stay inside the jitter window"
+    QCheck2.Gen.(pair seed_gen (int_range 0 30))
+    (fun (seed, attempt) ->
+      let p = R.Backoff.default in
+      let rec expo acc n =
+        if n <= 0 || acc >= p.R.Backoff.max_ms then min acc p.R.Backoff.max_ms
+        else expo (acc * p.R.Backoff.multiplier) (n - 1)
+      in
+      let upper = expo p.R.Backoff.base_ms attempt in
+      let lo = upper - (upper * p.R.Backoff.jitter_pct / 100) in
+      let d = R.Backoff.delay_ms ~seed attempt in
+      lo <= d && d <= upper)
+
+let test_backoff_exact_without_jitter () =
+  let policy =
+    { R.Backoff.base_ms = 10; max_ms = 160; multiplier = 2; jitter_pct = 0 }
+  in
+  List.iteri
+    (fun attempt expected ->
+      Alcotest.(check int)
+        (Printf.sprintf "attempt %d" attempt)
+        expected
+        (R.Backoff.delay_ms ~policy ~seed:42 attempt))
+    [ 10; 20; 40; 80; 160; 160; 160 ]
+
+let test_backoff_seed_variation () =
+  (* distinct seeds should disagree somewhere in a short schedule —
+     the jitter is real, not a constant offset *)
+  let schedule seed = List.init 8 (fun a -> R.Backoff.delay_ms ~seed a) in
+  Alcotest.(check bool) "seeds produce different schedules" true
+    (schedule 1 <> schedule 2 || schedule 2 <> schedule 3)
+
+(* -------------------------------------------------------------- *)
+(* Deadlines under a mocked clock *)
+
+let with_clock ns f =
+  let now = ref ns in
+  R.Clock.with_source (fun () -> !now) (fun () -> f now)
+
+let test_deadline_never_early () =
+  with_clock 1_000_000 (fun now ->
+      let d = R.Deadline.after_ms 10 in
+      (* sweep the whole open interval: not expired anywhere inside *)
+      List.iter
+        (fun delta ->
+          now := 1_000_000 + delta;
+          Alcotest.(check bool)
+            (Printf.sprintf "alive at +%dns" delta)
+            false (R.Deadline.expired d);
+          R.Deadline.check d (* must not raise *))
+        [ 0; 1; 9_999_999; 10_000_000 ];
+      (* one nanosecond past the boundary: expired, and check raises *)
+      now := 1_000_000 + 10_000_001;
+      Alcotest.(check bool) "expired after the boundary" true
+        (R.Deadline.expired d);
+      (match R.Deadline.check d with
+      | () -> Alcotest.fail "check did not raise past the deadline"
+      | exception R.Deadline.Expired -> ());
+      Alcotest.(check bool) "remaining is clamped at zero" true
+        (R.Deadline.remaining_ns d = 0))
+
+let deadline_never_early_qcheck =
+  Util.qtest ~count:300 "deadline never fires inside its window"
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 0 99))
+    (fun (ms, pct) ->
+      with_clock 5_000_000 (fun now ->
+          let d = R.Deadline.after_ms ms in
+          (* a point strictly inside [now, now + ms) *)
+          now := 5_000_000 + (ms * 1_000_000 * pct / 100);
+          not (R.Deadline.expired d)))
+
+let test_deadline_none () =
+  with_clock 0 (fun now ->
+      let d = R.Deadline.none in
+      Alcotest.(check bool) "is_none" true (R.Deadline.is_none d);
+      now := max_int / 2;
+      Alcotest.(check bool) "none never expires" false (R.Deadline.expired d);
+      R.Deadline.check d;
+      Alcotest.(check bool) "after_ms 0 is none" true
+        (R.Deadline.is_none (R.Deadline.after_ms 0));
+      Alcotest.(check bool) "after_ms -5 is none" true
+        (R.Deadline.is_none (R.Deadline.after_ms (-5))))
+
+(* -------------------------------------------------------------- *)
+(* Breakers at exact thresholds *)
+
+let test_breaker_trips_at_threshold () =
+  with_clock 0 (fun now ->
+      let config = { R.Breaker.failure_threshold = 3; cooldown_ms = 50 } in
+      let b = R.Breaker.create ~config "log-a" in
+      (* threshold - 1 failures: still closed, still admitting *)
+      for _ = 1 to 2 do
+        Alcotest.(check bool) "closed admits" true (R.Breaker.acquire b);
+        R.Breaker.failure b
+      done;
+      Alcotest.(check bool) "still closed" true
+        (R.Breaker.state b = R.Breaker.Closed);
+      (* the exact threshold failure trips it *)
+      Alcotest.(check bool) "third acquire" true (R.Breaker.acquire b);
+      R.Breaker.failure b;
+      Alcotest.(check bool) "tripped open" true
+        (R.Breaker.state b = R.Breaker.Open);
+      Alcotest.(check bool) "open fast-fails" false (R.Breaker.acquire b);
+      (* one nanosecond short of the cooldown: still quarantined *)
+      now := (50 * 1_000_000) - 1;
+      Alcotest.(check bool) "not yet cooled" false (R.Breaker.acquire b);
+      (* at the cooldown boundary: the single half-open probe *)
+      now := 50 * 1_000_000;
+      Alcotest.(check bool) "cooled: probe admitted" true (R.Breaker.acquire b);
+      Alcotest.(check bool) "half-open" true
+        (R.Breaker.state b = R.Breaker.Half_open);
+      Alcotest.(check bool) "probe token is exclusive" false
+        (R.Breaker.acquire b);
+      (* a failed probe re-opens and restarts the cooldown *)
+      R.Breaker.failure b;
+      Alcotest.(check bool) "probe failure re-opens" true
+        (R.Breaker.state b = R.Breaker.Open);
+      Alcotest.(check bool) "re-quarantined" false (R.Breaker.acquire b);
+      now := 2 * 50 * 1_000_000;
+      Alcotest.(check bool) "second probe" true (R.Breaker.acquire b);
+      (* a successful probe closes and resets the failure count *)
+      R.Breaker.success b;
+      Alcotest.(check bool) "probe success closes" true
+        (R.Breaker.state b = R.Breaker.Closed);
+      let st = R.Breaker.stats b in
+      Alcotest.(check int) "failure count reset" 0 st.R.Breaker.st_failures;
+      Alcotest.(check int) "two trips recorded" 2 st.R.Breaker.st_trips;
+      Alcotest.(check bool) "fast fails recorded" true
+        (st.R.Breaker.st_fast_fails >= 3))
+
+let test_breaker_abstain_returns_probe () =
+  with_clock 0 (fun now ->
+      let config = { R.Breaker.failure_threshold = 1; cooldown_ms = 10 } in
+      let b = R.Breaker.create ~config "log-b" in
+      Alcotest.(check bool) "admit" true (R.Breaker.acquire b);
+      R.Breaker.failure b;
+      now := 10 * 1_000_000;
+      Alcotest.(check bool) "probe" true (R.Breaker.acquire b);
+      (* inconclusive outcome: the probe token comes back, the state
+         machine does not move *)
+      R.Breaker.abstain b;
+      Alcotest.(check bool) "still half-open" true
+        (R.Breaker.state b = R.Breaker.Half_open);
+      Alcotest.(check bool) "probe available again" true (R.Breaker.acquire b);
+      R.Breaker.success b;
+      Alcotest.(check bool) "closed" true (R.Breaker.state b = R.Breaker.Closed))
+
+let test_breaker_success_resets_streak () =
+  let config = { R.Breaker.failure_threshold = 3; cooldown_ms = 1000 } in
+  let b = R.Breaker.create ~config "log-c" in
+  (* failures interleaved with successes never reach the threshold *)
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "admitted" true (R.Breaker.acquire b);
+    R.Breaker.failure b;
+    Alcotest.(check bool) "admitted" true (R.Breaker.acquire b);
+    R.Breaker.failure b;
+    Alcotest.(check bool) "admitted" true (R.Breaker.acquire b);
+    R.Breaker.success b
+  done;
+  Alcotest.(check bool) "still closed" true (R.Breaker.state b = R.Breaker.Closed)
+
+let test_breaker_group () =
+  let g = R.Breaker.Group.create () in
+  let a = R.Breaker.Group.get g "a" in
+  let a' = R.Breaker.Group.get g "a" in
+  Alcotest.(check bool) "same breaker per key" true (a == a');
+  ignore (R.Breaker.Group.get g "b");
+  let keys =
+    List.map (fun s -> s.R.Breaker.st_key) (R.Breaker.Group.all g)
+  in
+  Alcotest.(check (list string)) "sorted stats" [ "a"; "b" ] keys;
+  Alcotest.(check bool) "find" true (R.Breaker.Group.find g "a" <> None);
+  R.Breaker.Group.remove g "a";
+  Alcotest.(check bool) "removed" true (R.Breaker.Group.find g "a" = None)
+
+(* -------------------------------------------------------------- *)
+(* Byte budgets *)
+
+let test_budget_accounting () =
+  let b = R.Budget.create ~name:"t" ~cap:100 () in
+  Alcotest.(check int) "cap" 100 (R.Budget.cap b);
+  R.Budget.charge b 60;
+  Alcotest.(check int) "used" 60 (R.Budget.used b);
+  Alcotest.(check int) "not over" 0 (R.Budget.over b);
+  R.Budget.charge b 80;
+  Alcotest.(check int) "over by 40" 40 (R.Budget.over b);
+  R.Budget.release b 90;
+  Alcotest.(check int) "released" 50 (R.Budget.used b)
+
+let test_budget_reclaim_order () =
+  let b = R.Budget.create ~name:"t2" ~cap:100 () in
+  let calls = ref [] in
+  let cache name held =
+    let bytes = ref held in
+    R.Budget.add_reclaimer b ~name ~weight:(List.length !calls) (fun want ->
+        calls := name :: !calls;
+        let freed = min want !bytes in
+        bytes := !bytes - freed;
+        R.Budget.release b freed;
+        freed)
+  in
+  (* weight 0 first, then weight 1 *)
+  R.Budget.add_reclaimer b ~name:"pages" ~weight:0 (fun want ->
+      calls := "pages" :: !calls;
+      let freed = min want 30 in
+      R.Budget.release b freed;
+      freed);
+  R.Budget.add_reclaimer b ~name:"frags" ~weight:1 (fun want ->
+      calls := "frags" :: !calls;
+      let freed = min want 1000 in
+      R.Budget.release b freed;
+      freed);
+  ignore cache;
+  R.Budget.charge b 150;
+  R.Budget.rebalance b;
+  Alcotest.(check (list string)) "pages reclaimed before frags"
+    [ "pages"; "frags" ] (List.rev !calls);
+  Alcotest.(check bool) "under cap after rebalance" true
+    (R.Budget.used b <= 100)
+
+let test_budget_unlimited () =
+  let b = R.Budget.create ~cap:0 () in
+  R.Budget.charge b 1_000_000;
+  Alcotest.(check int) "accounting still runs" 1_000_000 (R.Budget.used b);
+  Alcotest.(check int) "never over" 0 (R.Budget.over b);
+  R.Budget.rebalance b (* and rebalance is a no-op, not a crash *)
+
+let suite =
+  ( "resil",
+    [
+      backoff_reproducible;
+      backoff_bounded;
+      Alcotest.test_case "backoff exact without jitter" `Quick
+        test_backoff_exact_without_jitter;
+      Alcotest.test_case "backoff seeds vary" `Quick test_backoff_seed_variation;
+      Alcotest.test_case "deadline never fires early" `Quick
+        test_deadline_never_early;
+      deadline_never_early_qcheck;
+      Alcotest.test_case "deadline none" `Quick test_deadline_none;
+      Alcotest.test_case "breaker trips at the exact threshold" `Quick
+        test_breaker_trips_at_threshold;
+      Alcotest.test_case "breaker abstain returns the probe" `Quick
+        test_breaker_abstain_returns_probe;
+      Alcotest.test_case "breaker success resets the streak" `Quick
+        test_breaker_success_resets_streak;
+      Alcotest.test_case "breaker group" `Quick test_breaker_group;
+      Alcotest.test_case "budget accounting" `Quick test_budget_accounting;
+      Alcotest.test_case "budget reclaims in weight order" `Quick
+        test_budget_reclaim_order;
+      Alcotest.test_case "budget unlimited" `Quick test_budget_unlimited;
+    ] )

@@ -157,12 +157,13 @@ let test_rpc_lines () =
 
 let test_gate_shed () =
   let g = Gate.create ~max_active:1 ~max_queue:0 in
-  (match Gate.admit g with Ok _ -> () | Error `Busy -> Alcotest.fail "admit 1");
+  (match Gate.admit g with Ok _ -> () | Error _ -> Alcotest.fail "admit 1");
   (match Gate.admit g with
   | Error `Busy -> ()
+  | Error `Deadline -> Alcotest.fail "no deadline was set"
   | Ok _ -> Alcotest.fail "should shed with a full queue");
   Gate.release g;
-  (match Gate.admit g with Ok _ -> () | Error `Busy -> Alcotest.fail "admit 2");
+  (match Gate.admit g with Ok _ -> () | Error _ -> Alcotest.fail "admit 2");
   Gate.release g;
   let st = Gate.stats g in
   Alcotest.(check int) "admitted" 2 st.Gate.admitted;
@@ -171,7 +172,7 @@ let test_gate_shed () =
 
 let test_gate_queues () =
   let g = Gate.create ~max_active:1 ~max_queue:1 in
-  (match Gate.admit g with Ok _ -> () | Error `Busy -> Alcotest.fail "admit");
+  (match Gate.admit g with Ok _ -> () | Error _ -> Alcotest.fail "admit");
   let entered = Atomic.make false in
   let th =
     Thread.create
@@ -180,7 +181,7 @@ let test_gate_queues () =
         | Ok _ ->
           Atomic.set entered true;
           Gate.release g
-        | Error `Busy -> ())
+        | Error _ -> ())
       ()
   in
   (* wait until the thread is parked in the queue *)
@@ -207,7 +208,85 @@ let test_gate_with_slot_releases_on_raise () =
    with Failure _ -> ());
   match Gate.admit g with
   | Ok _ -> Gate.release g
-  | Error `Busy -> Alcotest.fail "slot leaked by a raising callback"
+  | Error _ -> Alcotest.fail "slot leaked by a raising callback"
+
+(* Satellite: wakeup fairness. Waiters must be served in arrival
+   order — the pre-ticket condvar allowed a late waiter to barge past
+   a parked earlier one on a lucky wakeup. Each waiter is parked
+   before the next is spawned, so arrival order is pinned; the service
+   order must equal it exactly. *)
+let test_gate_fifo_order () =
+  let g = Gate.create ~max_active:1 ~max_queue:8 in
+  (match Gate.admit g with Ok _ -> () | Error _ -> Alcotest.fail "admit");
+  let order = ref [] in
+  let olock = Mutex.create () in
+  let spawn i =
+    Thread.create
+      (fun () ->
+        match Gate.admit g with
+        | Ok _ ->
+          Mutex.lock olock;
+          order := i :: !order;
+          Mutex.unlock olock;
+          Gate.release g
+        | Error _ -> ())
+      ()
+  in
+  let threads =
+    List.map
+      (fun i ->
+        let th = spawn i in
+        let rec spin n =
+          if n = 0 then Alcotest.fail "waiter never queued"
+          else if (Gate.stats g).Gate.queued < i + 1 then begin
+            Thread.yield ();
+            Thread.delay 0.001;
+            spin (n - 1)
+          end
+        in
+        spin 2000;
+        th)
+      [ 0; 1; 2; 3; 4 ]
+  in
+  Gate.release g;
+  List.iter Thread.join threads;
+  Alcotest.(check (list int)) "FIFO service order" [ 0; 1; 2; 3; 4 ]
+    (List.rev !order)
+
+let test_gate_deadline () =
+  let g = Gate.create ~max_active:1 ~max_queue:4 in
+  (match Gate.admit g with Ok _ -> () | Error _ -> Alcotest.fail "admit");
+  (* an already-expired deadline abandons the queue instead of parking *)
+  (match Gate.admit ~deadline:(Resil.Deadline.at_ns 1) g with
+  | Error `Deadline -> ()
+  | Error `Busy -> Alcotest.fail "expired deadline shed as busy"
+  | Ok _ -> Alcotest.fail "expired deadline admitted");
+  Alcotest.(check int) "deadline drop counted" 1
+    (Gate.stats g).Gate.deadline_drops;
+  (* the abandoned ticket must not wedge the queue for later arrivals *)
+  let entered = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        match Gate.admit g with
+        | Ok _ ->
+          Atomic.set entered true;
+          Gate.release g
+        | Error _ -> ())
+      ()
+  in
+  let rec spin n =
+    if n > 0 && (Gate.stats g).Gate.queued = 0 then begin
+      Thread.yield ();
+      Thread.delay 0.001;
+      spin (n - 1)
+    end
+  in
+  spin 2000;
+  Gate.release g;
+  Thread.join th;
+  Alcotest.(check bool) "later arrival served past the tombstone" true
+    (Atomic.get entered)
 
 (* -------------------------------------------------------------- *)
 (* The daemon, in-process *)
@@ -504,6 +583,245 @@ let test_obs_namespace_invariant () =
           Server.end_session srv s2;
           Server.shutdown srv))
 
+(* -------------------------------------------------------------- *)
+(* Survivability (DESIGN §17): deadlines, quarantine, memory budget,
+   crash recovery *)
+
+(* A clock whose first reading is sane and every later reading is far
+   in the future: the deadline is minted live, then found expired at
+   the first e-block replay boundary. *)
+let with_expiring_clock f =
+  let calls = ref 0 in
+  Resil.Clock.with_source
+    (fun () ->
+      incr calls;
+      if !calls <= 1 then 1_000 else max_int / 2)
+    f
+
+let test_deadline_ppd090 () =
+  with_fixture (fun ~mpl ~seg ->
+      let srv = Server.create () in
+      let s = Server.session srv in
+      let h = open_handle srv s ~mpl ~seg in
+      let code =
+        with_expiring_clock (fun () ->
+            error_code_of
+              (Server.handle_line srv s
+                 (req ~id:2 "flowback"
+                    [ ("handle", J.Int h); ("deadlineMs", J.Int 5) ])))
+      in
+      Alcotest.(check string) "expired deadline answers PPD090"
+        Rpc.err_deadline code;
+      (* the slot was released and no breaker moved: the same query
+         without a deadline still succeeds *)
+      ignore (flowback_result srv s ~h ~id:3);
+      Server.end_session srv s;
+      Server.shutdown srv)
+
+(* Flip one byte inside every page frame (offsets via fsck on the
+   clean file), leaving checkpoints, footer and trailer intact: the
+   file still opens indexed, and every page decode fails its CRC —
+   a deterministic hard fault (PPD050) at query time. *)
+let poison_pages seg =
+  let pages = (Store.Segment.fsck seg).Store.Segment.fk_pages in
+  let raw = In_channel.with_open_bin seg In_channel.input_all in
+  let b = Bytes.of_string raw in
+  List.iter
+    (fun (p : Store.Segment.fsck_page) ->
+      let off = p.Store.Segment.fp_offset + 4 in
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xff)))
+    pages;
+  Out_channel.with_open_bin seg (fun oc ->
+      Out_channel.output_string oc (Bytes.to_string b))
+
+let test_quarantine_ppd091 () =
+  with_fixture (fun ~mpl ~seg ->
+      poison_pages seg;
+      let config =
+        {
+          Server.default_config with
+          breaker =
+            { Resil.Breaker.failure_threshold = 2; cooldown_ms = 3_600_000 };
+        }
+      in
+      let srv = Server.create ~config () in
+      let s = Server.session srv in
+      let h = open_handle srv s ~mpl ~seg in
+      let fb id =
+        error_code_of
+          (Server.handle_line srv s (req ~id "flowback" [ ("handle", J.Int h) ]))
+      in
+      Alcotest.(check string) "hard fault 1" "PPD050" (fb 2);
+      Alcotest.(check string) "hard fault 2" "PPD050" (fb 3);
+      Alcotest.(check string) "breaker trips: fast-fail PPD091"
+        Rpc.err_quarantined (fb 4);
+      Alcotest.(check string) "stays quarantined through the cooldown"
+        Rpc.err_quarantined (fb 5);
+      (* serverStats exposes the breaker *)
+      let ss = result_of (Server.handle_line srv s (req ~id:6 "serverStats" [])) in
+      (match J.member "breakers" ss with
+      | Some (J.List (b :: _)) ->
+        Alcotest.(check string) "breaker key is the log" seg (jstr b "key");
+        Alcotest.(check string) "breaker is open" "open" (jstr b "state");
+        Alcotest.(check bool) "fast fails counted" true (jint b "fastFails" >= 2)
+      | _ -> Alcotest.fail "serverStats without breakers");
+      (* light methods on the quarantined log still answer *)
+      ignore (result_of (Server.handle_line srv s (req ~id:7 "stats" [ ("handle", J.Int h) ])));
+      Server.end_session srv s;
+      Server.shutdown srv)
+
+(* Quarantine isolates: a healthy co-tenant log keeps answering while
+   the poisoned one fast-fails. *)
+let test_quarantine_isolates () =
+  with_fixture (fun ~mpl ~seg ->
+      let bad = Filename.temp_file "serve_bad" ".seg" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove bad with Sys_error _ -> ())
+        (fun () ->
+          let raw = In_channel.with_open_bin seg In_channel.input_all in
+          Out_channel.with_open_bin bad (fun oc ->
+              Out_channel.output_string oc raw);
+          poison_pages bad;
+          let config =
+            {
+              Server.default_config with
+              breaker =
+                { Resil.Breaker.failure_threshold = 1; cooldown_ms = 3_600_000 };
+            }
+          in
+          let srv = Server.create ~config () in
+          let s = Server.session srv in
+          let hg = open_handle srv s ~mpl ~seg in
+          let hb =
+            jint
+              (result_of
+                 (Server.handle_line srv s
+                    (J.to_string
+                       (J.Obj
+                          [
+                            ("id", J.Int 2);
+                            ("method", J.Str "open");
+                            ( "params",
+                              J.Obj
+                                [ ("log", J.Str bad); ("program", J.Str mpl) ]
+                            );
+                          ]))))
+              "handle"
+          in
+          let code h id =
+            error_code_of
+              (Server.handle_line srv s
+                 (req ~id "flowback" [ ("handle", J.Int h) ]))
+          in
+          Alcotest.(check string) "poisoned log faults" "PPD050" (code hb 3);
+          Alcotest.(check string) "poisoned log quarantined"
+            Rpc.err_quarantined (code hb 4);
+          (* the healthy log is untouched by its co-tenant's breaker *)
+          ignore (flowback_result srv s ~h:hg ~id:5);
+          Server.end_session srv s;
+          Server.shutdown srv))
+
+let test_mem_budget () =
+  with_fixture (fun ~mpl ~seg ->
+      let unbudgeted = Server.create () in
+      let s0 = Server.session unbudgeted in
+      let h0 = open_handle unbudgeted s0 ~mpl ~seg in
+      let r0 = flowback_result unbudgeted s0 ~h:h0 ~id:2 in
+      Server.end_session unbudgeted s0;
+      Server.shutdown unbudgeted;
+      let config = { Server.default_config with mem_budget = 16_384 } in
+      let srv = Server.create ~config () in
+      let s = Server.session srv in
+      let h = open_handle srv s ~mpl ~seg in
+      let r1 = flowback_result srv s ~h ~id:2 in
+      Alcotest.(check string) "byte-identical under a memory budget"
+        (jstr r0 "output") (jstr r1 "output");
+      let ss = result_of (Server.handle_line srv s (req ~id:3 "serverStats" [])) in
+      (match J.member "memory" ss with
+      | Some m ->
+        Alcotest.(check int) "cap reported" 16_384 (jint m "budgetCap");
+        Alcotest.(check bool) "usage within budget after rebalance" true
+          (jint m "budgetUsed" <= 16_384)
+      | None -> Alcotest.fail "serverStats without memory block");
+      Server.end_session srv s;
+      Server.shutdown srv)
+
+let with_journal f =
+  let jpath = Filename.temp_file "serve" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove jpath with Sys_error _ -> ())
+    (fun () -> f jpath)
+
+let test_journal_resume_attach () =
+  with_fixture (fun ~mpl ~seg ->
+      with_journal (fun jpath ->
+          let srv1 = Server.create ~journal:jpath () in
+          let s1 = Server.session srv1 in
+          let h = open_handle srv1 s1 ~mpl ~seg in
+          let r1 = flowback_result srv1 s1 ~h ~id:2 in
+          let sid = Server.session_id s1 in
+          (* "SIGKILL": neither end_session nor shutdown runs *)
+          let srv2 = Server.create ~resume:jpath () in
+          let s2 = Server.session srv2 in
+          let ss =
+            result_of (Server.handle_line srv2 s2 (req ~id:1 "serverStats" []))
+          in
+          Alcotest.(check int) "one recoverable session" 1
+            (jint ss "recoverable");
+          let at =
+            result_of
+              (Server.handle_line srv2 s2
+                 (req ~id:2 "attach" [ ("session", J.Int sid) ]))
+          in
+          Alcotest.(check int) "replay-step quota inherited"
+            (jint r1 "replaySteps")
+            (jint at "replaySteps");
+          let r2 = flowback_result srv2 s2 ~h ~id:3 in
+          Alcotest.(check string) "byte-identical across the crash"
+            (jstr r1 "output") (jstr r2 "output");
+          (* the recovered session can only be adopted once *)
+          let s3 = Server.session srv2 in
+          Alcotest.(check string) "second attach is stale" Rpc.err_stale
+            (error_code_of
+               (Server.handle_line srv2 s3
+                  (req ~id:4 "attach" [ ("session", J.Int sid) ])));
+          Server.end_session srv2 s2;
+          Server.end_session srv2 s3;
+          Server.shutdown srv2))
+
+let test_stale_handle_ppd092 () =
+  with_fixture (fun ~mpl ~seg ->
+      with_journal (fun jpath ->
+          let srv1 = Server.create ~journal:jpath () in
+          let s1 = Server.session srv1 in
+          ignore (open_handle srv1 s1 ~mpl ~seg);
+          let sid = Server.session_id s1 in
+          (* crash, and the log vanishes before the daemon is resumed *)
+          Sys.remove seg;
+          let srv2 = Server.create ~resume:jpath () in
+          let s2 = Server.session srv2 in
+          let at =
+            result_of
+              (Server.handle_line srv2 s2
+                 (req ~id:1 "attach" [ ("session", J.Int sid) ]))
+          in
+          (match J.member "handles" at with
+          | Some (J.List (hd :: _)) ->
+            Alcotest.(check bool) "handle recovered stale" true
+              (J.member "live" hd = Some (J.Bool false))
+          | _ -> Alcotest.fail "attach without handles");
+          Alcotest.(check string) "stale handle answers PPD092" Rpc.err_stale
+            (error_code_of
+               (Server.handle_line srv2 s2
+                  (req ~id:2 "flowback" [ ("handle", J.Int 1) ])));
+          (* a stale handle can still be closed cleanly *)
+          ignore
+            (result_of
+               (Server.handle_line srv2 s2
+                  (req ~id:3 "close" [ ("handle", J.Int 1) ])));
+          Server.end_session srv2 s2;
+          Server.shutdown srv2))
+
 let suite =
   ( "serve",
     [
@@ -517,6 +835,9 @@ let suite =
       Alcotest.test_case "gate queues and wakes" `Quick test_gate_queues;
       Alcotest.test_case "gate releases on raise" `Quick
         test_gate_with_slot_releases_on_raise;
+      Alcotest.test_case "gate serves in FIFO order" `Quick
+        test_gate_fifo_order;
+      Alcotest.test_case "gate abandons on deadline" `Quick test_gate_deadline;
       Alcotest.test_case "dispatch basics" `Quick test_dispatch_basics;
       Alcotest.test_case "registry refcounts" `Quick test_registry_refcounts;
       Alcotest.test_case "open-log quota" `Quick test_open_quota;
@@ -530,4 +851,15 @@ let suite =
       Alcotest.test_case "fsck method" `Quick test_fsck_method;
       Alcotest.test_case "Obs namespace invariant" `Quick
         test_obs_namespace_invariant;
+      Alcotest.test_case "deadline answers PPD090" `Quick test_deadline_ppd090;
+      Alcotest.test_case "quarantine answers PPD091" `Quick
+        test_quarantine_ppd091;
+      Alcotest.test_case "quarantine isolates co-tenants" `Quick
+        test_quarantine_isolates;
+      Alcotest.test_case "memory budget bounds the caches" `Quick
+        test_mem_budget;
+      Alcotest.test_case "journal, resume, attach" `Quick
+        test_journal_resume_attach;
+      Alcotest.test_case "stale handles answer PPD092" `Quick
+        test_stale_handle_ppd092;
     ] )
